@@ -1,0 +1,64 @@
+//! Criterion end-to-end benchmarks: whole simulated-cluster scenarios.
+//! These measure *simulator* throughput (how fast a full transaction
+//! workload, failover and recovery run in wall-clock time), providing a
+//! regression fence around the complete protocol path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cumulo_core::{Cluster, ClusterConfig, PersistenceMode};
+use cumulo_sim::SimDuration;
+use cumulo_ycsb::{Driver, Workload};
+
+fn small_cluster(seed: u64) -> Cluster {
+    Cluster::build(ClusterConfig {
+        seed,
+        servers: 2,
+        clients: 8,
+        regions: 4,
+        key_count: 5_000,
+        persistence: PersistenceMode::Asynchronous,
+        ..ClusterConfig::default()
+    })
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    g.bench_function("five_sim_seconds_of_transactions", |b| {
+        b.iter(|| {
+            let cluster = small_cluster(77);
+            let workload = Workload {
+                record_count: 5_000,
+                threads: 8,
+                target_tps: Some(100.0),
+                ..Workload::default()
+            };
+            let driver = Driver::new(&cluster, workload);
+            let report =
+                driver.run(&cluster, SimDuration::from_secs(1), SimDuration::from_secs(5));
+            assert!(report.committed > 0);
+            report.committed
+        })
+    });
+    g.bench_function("server_crash_and_recovery", |b| {
+        b.iter(|| {
+            let cluster = small_cluster(78);
+            let workload = Workload {
+                record_count: 5_000,
+                threads: 8,
+                target_tps: Some(80.0),
+                ..Workload::default()
+            };
+            let driver = Driver::new(&cluster, workload);
+            driver.start(SimDuration::ZERO, SimDuration::from_secs(12));
+            cluster.run_for(SimDuration::from_secs(4));
+            cluster.crash_server(0);
+            cluster.run_for(SimDuration::from_secs(10));
+            assert!(cluster.all_regions_online());
+            driver.stats().committed.get()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,190 @@
+//! Criterion micro-benchmarks of the core data structures and protocol
+//! building blocks.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use cumulo_core::{FlushTracker, PersistTracker};
+use cumulo_sim::metrics::Histogram;
+use cumulo_sim::Sim;
+use cumulo_store::codec::{decode_wal_batch, encode_wal_batch, WalRecord};
+use cumulo_store::{BlockCache, MemStore, Mutation, RegionId, Timestamp, WriteSet};
+use cumulo_txn::{ConflictChecker, LogRecord, RecoveryLog, RecoveryLogConfig};
+use cumulo_ycsb::generators::{ScrambledZipfian, Uniform};
+
+fn bench_memstore(c: &mut Criterion) {
+    c.bench_function("memstore/apply_10k", |b| {
+        b.iter_batched(
+            MemStore::new,
+            |mut ms| {
+                for i in 0..10_000u64 {
+                    ms.apply(
+                        Bytes::from(format!("row{:08}", i % 1000)),
+                        Bytes::from_static(b"f0"),
+                        Timestamp(i),
+                        Some(Bytes::from_static(b"value")),
+                    );
+                }
+                ms
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let mut ms = MemStore::new();
+    for i in 0..100_000u64 {
+        ms.apply(
+            Bytes::from(format!("row{:08}", i % 10_000)),
+            Bytes::from_static(b"f0"),
+            Timestamp(i),
+            Some(Bytes::from_static(b"value")),
+        );
+    }
+    c.bench_function("memstore/get_hot", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7) % 10_000;
+            let key = format!("row{i:08}");
+            std::hint::black_box(ms.get(key.as_bytes(), b"f0", Timestamp::MAX))
+        })
+    });
+}
+
+fn bench_block_cache(c: &mut Criterion) {
+    c.bench_function("blockcache/access_insert", |b| {
+        let mut cache = BlockCache::new(10_000);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let key = Bytes::from(format!("row{:08}", i % 20_000));
+            if !cache.access(RegionId(0), &key) {
+                cache.insert(RegionId(0), key);
+            }
+        })
+    });
+}
+
+fn bench_trackers(c: &mut Criterion) {
+    c.bench_function("flush_tracker/1k_commit_flush_advance", |b| {
+        b.iter_batched(
+            FlushTracker::new,
+            |mut t| {
+                for i in 1..=1_000u64 {
+                    t.on_committed(Timestamp(i));
+                }
+                for i in (1..=1_000u64).rev() {
+                    t.on_flushed(Timestamp(i));
+                }
+                t.advance()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("persist_tracker/1k_apply_sync", |b| {
+        b.iter_batched(
+            PersistTracker::new,
+            |mut t| {
+                t.on_t_f(Timestamp(1_000));
+                for i in 1..=1_000u64 {
+                    t.on_applied(Timestamp(i), i, None);
+                }
+                t.on_synced(1_000)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let records: Vec<WalRecord> = (0..100)
+        .map(|i| WalRecord {
+            region: RegionId(i % 4),
+            ts: Timestamp(i as u64),
+            mutations: (0..5)
+                .map(|j| Mutation::put(format!("row{i}-{j}"), "f0", vec![0u8; 100]))
+                .collect(),
+        })
+        .collect();
+    c.bench_function("codec/encode_wal_batch_100x5", |b| {
+        b.iter(|| encode_wal_batch(std::hint::black_box(&records)))
+    });
+    let encoded = encode_wal_batch(&records);
+    c.bench_function("codec/decode_wal_batch_100x5", |b| {
+        b.iter(|| decode_wal_batch(std::hint::black_box(&encoded)).unwrap())
+    });
+}
+
+fn bench_recovery_log(c: &mut Criterion) {
+    c.bench_function("recovery_log/append_fetch_truncate_1k", |b| {
+        b.iter_batched(
+            || Sim::new(1),
+            |sim| {
+                let log = RecoveryLog::new(&sim, RecoveryLogConfig::default());
+                for i in 1..=1_000u64 {
+                    let ws: WriteSet =
+                        vec![Mutation::put(format!("row{i}"), "f0", "v")].into_iter().collect();
+                    log.append(
+                        LogRecord {
+                            ts: Timestamp(i),
+                            client: cumulo_store::ClientId(0),
+                            write_set: ws,
+                        },
+                        || {},
+                    );
+                }
+                sim.run_for(cumulo_sim::SimDuration::from_secs(2));
+                let fetched = log.fetch_after(Timestamp(500)).len();
+                log.truncate_below(Timestamp(900));
+                std::hint::black_box((fetched, log.len()))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_conflict_checker(c: &mut Criterion) {
+    c.bench_function("conflict_checker/check_5writes", |b| {
+        let ck = ConflictChecker::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let ws: WriteSet = (0..5)
+                .map(|j| Mutation::put(format!("row{}", (i * 5 + j) % 100_000), "f0", "v"))
+                .collect();
+            ck.check_and_record(&ws, Timestamp(i.saturating_sub(10)), Timestamp(i))
+        })
+    });
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let sim = Sim::new(9);
+    let uni = Uniform::new(500_000);
+    let zip = ScrambledZipfian::new(500_000);
+    c.bench_function("generators/uniform", |b| b.iter(|| uni.next_key(&sim)));
+    c.bench_function("generators/scrambled_zipfian", |b| b.iter(|| zip.next_key(&sim)));
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    c.bench_function("histogram/record_with_p99", |b| {
+        let h = Histogram::new();
+        let mut i = 1u64;
+        b.iter(|| {
+            i = i.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            h.record(i % 10_000_000);
+            if i.is_multiple_of(1024) {
+                std::hint::black_box(h.quantile(0.99));
+            }
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_memstore,
+    bench_block_cache,
+    bench_trackers,
+    bench_codec,
+    bench_recovery_log,
+    bench_conflict_checker,
+    bench_generators,
+    bench_histogram,
+);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! ZooKeeper-like coordination substrate for the Cumulo stack.
+//!
+//! The paper (§3.3) exchanges heartbeats between the recovery manager and
+//! the key-value clients/servers via ZooKeeper, and suggests persisting the
+//! recovery manager's threshold timestamps there so a restarted recovery
+//! manager can catch up. This crate provides the corresponding substrate:
+//!
+//! * a flat namespace of **znodes** holding small byte payloads, either
+//!   *persistent* or *ephemeral* (bound to a session);
+//! * **sessions** kept alive by heartbeat touches and expired by the
+//!   service when touches stop arriving (crash detection);
+//! * **prefix watches** delivering created/changed/deleted events to a
+//!   watcher node over the simulated network.
+//!
+//! The service itself runs on a node of the [`cumulo_sim::Network`];
+//! clients interact through [`CoordClient`], which models the RPC round
+//! trips, so a crashed or partitioned component really does stop
+//! heartbeating — exactly the failure-detection path the paper relies on.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod client;
+mod service;
+
+pub use client::CoordClient;
+pub use service::{CoordService, SessionId, WatchEvent, WatchId};

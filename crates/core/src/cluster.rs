@@ -1,0 +1,472 @@
+//! One-stop cluster harness: wires the filesystem, coordination service,
+//! store, transaction manager and recovery middleware into a running
+//! simulated deployment, with fault-injection helpers.
+//!
+//! The defaults mirror the paper's testbed (§4.1): two region servers
+//! with co-located datanodes, HDFS replication factor 2, a combined
+//! transaction/recovery management tier, 500 k rows, heartbeats of one
+//! second, and a 100 Mbps LAN.
+
+use crate::hooks_impl::MiddlewareHooks;
+use crate::recovery_client::RecoveryClient;
+use crate::recovery_manager::{RecoveryManager, RecoveryManagerConfig};
+use crate::server_tracker::{ServerTracker, ServerTrackerConfig};
+use crate::txn_client::{PersistenceMode, TransactionalClient, TxnClientConfig};
+use bytes::Bytes;
+use cumulo_coord::{CoordClient, CoordService};
+use cumulo_dfs::{DataNode, DfsClient, NameNode, NameNodeConfig};
+use cumulo_sim::{DiskConfig, LatencyConfig, Network, Sim, SimDuration, SimTime};
+use cumulo_store::{
+    ClientId, Master, MasterConfig, MemStore, RegionMap, RegionServer,
+    RegionServerConfig, ServerDirectory, ServerId, StoreClient, StoreClientConfig, StoreFileData,
+    StoreFileRegistry, Timestamp, WalSyncMode,
+};
+use cumulo_txn::{TransactionManager, TxnManagerConfig};
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// Cluster-wide configuration.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Simulation seed (same seed ⇒ identical run).
+    pub seed: u64,
+    /// Number of region servers (paper: 2).
+    pub servers: usize,
+    /// Number of transactional client processes (paper: 50 threads).
+    pub clients: usize,
+    /// Number of regions the table is split into.
+    pub regions: usize,
+    /// Number of datanodes (0 ⇒ one per server plus a spare).
+    pub datanodes: usize,
+    /// Filesystem replication factor (paper: 2).
+    pub replication: usize,
+    /// Row-key prefix of the loaded table.
+    pub key_prefix: String,
+    /// Number of rows the key space is sized for (paper: 500 000).
+    pub key_count: u64,
+    /// Asynchronous (paper) vs synchronous (baseline) persistence.
+    pub persistence: PersistenceMode,
+    /// Tracker heartbeat period for clients and servers (Fig. 2b sweeps
+    /// 50 ms – 10 s; the failure experiment uses 1 s).
+    pub heartbeat_interval: SimDuration,
+    /// Whether threshold tracking runs (ablation).
+    pub tracking: bool,
+    /// Whether log truncation runs (ablation).
+    pub truncation: bool,
+    /// Network latency model.
+    pub latency: LatencyConfig,
+    /// Region-server knobs (`wal_mode` is overridden by `persistence`).
+    pub server_cfg: RegionServerConfig,
+    /// Store-client knobs.
+    pub store_client_cfg: StoreClientConfig,
+    /// Transaction-manager knobs.
+    pub tm_cfg: TxnManagerConfig,
+    /// Recovery-manager knobs (`tracking`/`truncation` are overridden).
+    pub rm_cfg: RecoveryManagerConfig,
+    /// Server-tracker knobs (`heartbeat_interval`/`tracking` overridden).
+    pub tracker_cfg: ServerTrackerConfig,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            seed: 42,
+            servers: 2,
+            clients: 4,
+            regions: 4,
+            datanodes: 0,
+            replication: 2,
+            key_prefix: "user".to_owned(),
+            key_count: 500_000,
+            persistence: PersistenceMode::Asynchronous,
+            heartbeat_interval: SimDuration::from_secs(1),
+            tracking: true,
+            truncation: true,
+            latency: LatencyConfig::lan_100mbps(),
+            server_cfg: RegionServerConfig::default(),
+            store_client_cfg: StoreClientConfig::default(),
+            tm_cfg: TxnManagerConfig::default(),
+            rm_cfg: RecoveryManagerConfig::default(),
+            tracker_cfg: ServerTrackerConfig::default(),
+        }
+    }
+}
+
+/// A fully wired simulated deployment.
+pub struct Cluster {
+    /// The simulation kernel (drive it with `run_for`).
+    pub sim: Sim,
+    /// The network (crash/partition nodes through it).
+    pub net: Rc<Network>,
+    /// The coordination service.
+    pub coord: Rc<CoordService>,
+    /// The filesystem namenode.
+    pub namenode: Rc<NameNode>,
+    /// The shared store-file registry.
+    pub registry: Rc<StoreFileRegistry>,
+    /// The server directory.
+    pub dir: Rc<ServerDirectory>,
+    /// The store master.
+    pub master: Rc<Master>,
+    /// The transaction manager.
+    pub tm: Rc<TransactionManager>,
+    /// The recovery manager (the paper's contribution).
+    pub rm: Rc<RecoveryManager>,
+    /// The hook bridge between store and middleware.
+    pub hooks: Rc<MiddlewareHooks>,
+    /// Region servers, by index.
+    pub servers: Vec<Rc<RegionServer>>,
+    /// Per-server tracking runtimes.
+    pub server_trackers: Vec<Rc<ServerTracker>>,
+    /// Transactional clients, by index.
+    pub clients: Vec<TransactionalClient>,
+    probe: StoreClient,
+    cfg: ClusterConfig,
+}
+
+impl fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Cluster")
+            .field("servers", &self.servers.len())
+            .field("clients", &self.clients.len())
+            .field("now", &self.sim.now())
+            .finish()
+    }
+}
+
+impl Cluster {
+    /// Builds and starts a cluster; returns once every region is online
+    /// and every client is registered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster fails to come up within simulated 30 s
+    /// (a configuration error).
+    pub fn build(cfg: ClusterConfig) -> Cluster {
+        let sim = Sim::new(cfg.seed);
+        let net = Network::new(&sim, cfg.latency);
+
+        // Coordination service.
+        let coord_node = net.add_node("coord");
+        let coord = CoordService::new(&sim, &net, coord_node, SimDuration::from_millis(100));
+
+        // Filesystem: one datanode per server plus a spare by default.
+        let n_dn = if cfg.datanodes == 0 { cfg.servers + 1 } else { cfg.datanodes };
+        let dns: Vec<Rc<DataNode>> = (0..n_dn)
+            .map(|i| DataNode::new(&sim, net.add_node(&format!("dn{i}")), DiskConfig::server_hdd()))
+            .collect();
+        let nn_node = net.add_node("namenode");
+        let nn_cfg = NameNodeConfig { replication: cfg.replication, ..NameNodeConfig::default() };
+        let namenode = NameNode::new(&sim, &net, nn_node, dns, nn_cfg);
+
+        let registry = StoreFileRegistry::new();
+        let dir = ServerDirectory::new();
+
+        // Transaction manager on its own node.
+        let tm_node = net.add_node("txn-manager");
+        let tm = TransactionManager::new(&sim, tm_node, cfg.tm_cfg);
+
+        // Region servers.
+        let mut server_cfg = cfg.server_cfg;
+        server_cfg.wal_mode = match cfg.persistence {
+            PersistenceMode::Asynchronous => WalSyncMode::Async,
+            PersistenceMode::Synchronous => WalSyncMode::Sync,
+        };
+        if cfg.tracking && cfg.persistence == PersistenceMode::Asynchronous {
+            // Paper-faithful: with the middleware installed, the WAL is
+            // synced by the tracker heartbeat (Algorithm 3), not by a
+            // separate background timer.
+            server_cfg.wal_sync_interval = SimDuration::from_secs(3600);
+        }
+        let mut servers = Vec::new();
+        for i in 0..cfg.servers {
+            let node = net.add_node(&format!("rs{i}"));
+            let dfs = DfsClient::new(&sim, &net, &namenode, node);
+            let server = RegionServer::new(
+                &sim,
+                &net,
+                node,
+                ServerId(i as u32),
+                server_cfg,
+                dfs,
+                Rc::clone(&registry),
+            );
+            let server_coord = CoordClient::new(&sim, &net, &coord, node);
+            server.start(&server_coord);
+            dir.register(Rc::clone(&server));
+            servers.push(server);
+        }
+
+        // Master.
+        let master_node = net.add_node("master");
+        let master_dfs = DfsClient::new(&sim, &net, &namenode, master_node);
+        let master =
+            Master::new(&sim, &net, master_node, MasterConfig::default(), master_dfs, Rc::clone(&dir));
+        let master_coord = CoordClient::new(&sim, &net, &coord, master_node);
+        master.start(&master_coord);
+
+        // Recovery manager + recovery client on their own node.
+        let rm_node = net.add_node("recovery-manager");
+        let rc_store =
+            StoreClient::new(&sim, &net, rm_node, &master, &dir, cfg.store_client_cfg);
+        let rc = RecoveryClient::new(&sim, &net, rm_node, rc_store, &tm);
+        let rm_coord = CoordClient::new(&sim, &net, &coord, rm_node);
+        let rm_cfg = RecoveryManagerConfig {
+            tracking: cfg.tracking,
+            truncation: cfg.truncation,
+            ..cfg.rm_cfg
+        };
+        let rm = RecoveryManager::new(&sim, &net, rm_node, rm_coord, &tm, rc, rm_cfg);
+        rm.start();
+
+        // Hook bridge + per-server trackers.
+        let hooks = MiddlewareHooks::new(&sim, &net, &rm, master_node);
+        let tracker_cfg = ServerTrackerConfig {
+            heartbeat_interval: cfg.heartbeat_interval,
+            tracking: cfg.tracking,
+            ..cfg.tracker_cfg
+        };
+        let mut server_trackers = Vec::new();
+        for server in &servers {
+            let coord_client = CoordClient::new(&sim, &net, &coord, server.node());
+            let tracker = ServerTracker::new(&sim, server, coord_client, tracker_cfg);
+            tracker.start();
+            hooks.register_tracker(Rc::clone(&tracker));
+            server_trackers.push(tracker);
+        }
+        master.set_hooks(hooks.clone() as Rc<dyn cumulo_store::RecoveryHooks>);
+
+        // Table bootstrap.
+        master.bootstrap(RegionMap::split_decimal_keyspace(
+            &cfg.key_prefix,
+            cfg.key_count,
+            cfg.regions,
+        ));
+        let deadline = sim.now() + SimDuration::from_secs(30);
+        loop {
+            sim.run_for(SimDuration::from_millis(200));
+            let map = master.snapshot_map();
+            let online = map.regions().iter().all(|r| {
+                map.server_for(r.id)
+                    .and_then(|s| dir.get(s))
+                    .map(|srv| srv.region_online(r.id))
+                    .unwrap_or(false)
+            });
+            if online {
+                break;
+            }
+            assert!(sim.now() < deadline, "cluster failed to bootstrap");
+        }
+
+        rm.recovery_client().reseed_region_map();
+
+        // Clients.
+        let session_timeout = {
+            let three = cfg.heartbeat_interval * 3;
+            three.max(SimDuration::from_secs(1)).min(SimDuration::from_secs(30))
+        };
+        let client_cfg = TxnClientConfig {
+            heartbeat_interval: cfg.heartbeat_interval,
+            session_timeout,
+            persistence: cfg.persistence,
+            tracking: cfg.tracking,
+            ..TxnClientConfig::default()
+        };
+        let mut clients = Vec::new();
+        for i in 0..cfg.clients {
+            let node = net.add_node(&format!("client{i}"));
+            let store =
+                StoreClient::new(&sim, &net, node, &master, &dir, cfg.store_client_cfg);
+            let coord_client = CoordClient::new(&sim, &net, &coord, node);
+            let client = TransactionalClient::new(
+                &sim,
+                &net,
+                ClientId(i as u32),
+                node,
+                &tm,
+                store,
+                coord_client,
+                client_cfg,
+            );
+            client.start();
+            clients.push(client);
+        }
+
+        // Probe client for out-of-band reads in tests and verification.
+        let probe_node = net.add_node("probe");
+        let probe = StoreClient::new(&sim, &net, probe_node, &master, &dir, cfg.store_client_cfg);
+
+        sim.run_for(SimDuration::from_millis(500)); // registrations settle
+
+        Cluster {
+            sim,
+            net,
+            coord,
+            namenode,
+            registry,
+            dir,
+            master,
+            tm,
+            rm,
+            hooks,
+            servers,
+            server_trackers,
+            clients,
+            probe,
+            cfg,
+        }
+    }
+
+    /// The cluster's configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Runs the simulation forward.
+    pub fn run_for(&self, d: SimDuration) {
+        self.sim.run_for(d);
+    }
+
+    /// The current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// A client by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn client(&self, i: usize) -> &TransactionalClient {
+        &self.clients[i]
+    }
+
+    /// Crashes region server `i` (crash-stop; the master detects it via
+    /// the coordination session timeout).
+    pub fn crash_server(&self, i: usize) {
+        self.servers[i].crash();
+    }
+
+    /// Crashes client `i` (the recovery manager detects the missed
+    /// heartbeats and replays its interrupted commits).
+    pub fn crash_client(&self, i: usize) {
+        self.clients[i].crash();
+    }
+
+    /// Crashes the recovery manager (§3.3).
+    pub fn crash_recovery_manager(&self) {
+        self.rm.crash();
+    }
+
+    /// Restarts the recovery manager; it catches up from the
+    /// coordination service.
+    pub fn restart_recovery_manager(&self) {
+        self.rm.restart();
+    }
+
+    /// Bulk-loads `rows` rows (named `prefix{i:012}`) with the given
+    /// columns and value size, as pre-versioned store files (version 0),
+    /// and optionally pre-warms the hosting servers' block caches (the
+    /// paper warms the cache before every experiment, §4.1).
+    ///
+    /// Drives the simulation while the files replicate.
+    pub fn load_rows(&self, rows: u64, columns: &[&str], value_len: usize, warm_cache: bool) {
+        let map = self.master.snapshot_map();
+        let loader_node = self.net.add_node("loader");
+        let dfs = DfsClient::new(&self.sim, &self.net, &self.namenode, loader_node);
+        let value = Bytes::from(vec![0x61; value_len]);
+        for desc in map.regions() {
+            let region = desc.id;
+            let mut ms = MemStore::new();
+            let mut region_rows: Vec<Bytes> = Vec::new();
+            for i in 0..rows {
+                let key = Bytes::from(format!("{}{:012}", self.cfg.key_prefix, i));
+                if !desc.contains(&key) {
+                    continue;
+                }
+                for col in columns {
+                    ms.apply(
+                        key.clone(),
+                        Bytes::copy_from_slice(col.as_bytes()),
+                        Timestamp::ZERO,
+                        Some(value.clone()),
+                    );
+                }
+                region_rows.push(key);
+            }
+            if ms.is_empty() {
+                continue;
+            }
+            let path = format!("/store/{region}/loaded");
+            let data = Rc::new(StoreFileData::from_memstore(region, path.clone(), &ms));
+            let registry = Rc::clone(&self.registry);
+            let done: Rc<RefCell<bool>> = Rc::new(RefCell::new(false));
+            let done2 = Rc::clone(&done);
+            let data2 = Rc::clone(&data);
+            dfs.create(&path, move |file| {
+                let file = file.expect("loader file create");
+                let encoded = data2.encode();
+                file.append(encoded, move |r| {
+                    r.expect("loader append");
+                    registry.insert(data2);
+                    *done2.borrow_mut() = true;
+                });
+            });
+            // Drive the replication to completion.
+            let deadline = self.sim.now() + SimDuration::from_secs(120);
+            while !*done.borrow() {
+                self.sim.run_for(SimDuration::from_millis(250));
+                assert!(self.sim.now() < deadline, "bulk load stalled");
+            }
+            let server = map
+                .server_for(region)
+                .and_then(|s| self.dir.get(s))
+                .expect("region assigned during load");
+            server.attach_storefile(region, Rc::clone(&data));
+            if warm_cache {
+                server.warm_cache(region, region_rows);
+            }
+        }
+    }
+
+    /// Reads the newest committed-and-flushed version of a cell through
+    /// the probe client, driving the simulation until the read completes
+    /// (or `within` elapses, which panics — reads retry forever, so this
+    /// indicates an unrecoverable cluster).
+    pub fn read_cell(&self, row: impl Into<Bytes>, column: impl Into<Bytes>, within: SimDuration) -> Option<Bytes> {
+        let result: Rc<RefCell<Option<Option<Bytes>>>> = Rc::new(RefCell::new(None));
+        let r2 = Rc::clone(&result);
+        self.probe.get(row.into(), column.into(), Timestamp::MAX, move |vv| {
+            *r2.borrow_mut() = Some(vv.and_then(|v| v.value));
+        });
+        let deadline = self.sim.now() + within;
+        while result.borrow().is_none() {
+            self.sim.run_for(SimDuration::from_millis(100));
+            assert!(self.sim.now() < deadline, "read did not complete within {within}");
+        }
+        let out = result.borrow_mut().take();
+        out.expect("loop exits only when set")
+    }
+
+    /// Whether every region of the table is online on its assigned server.
+    pub fn all_regions_online(&self) -> bool {
+        let map = self.master.snapshot_map();
+        map.regions().iter().all(|r| {
+            map.server_for(r.id)
+                .and_then(|s| self.dir.get(s))
+                .map(|srv| srv.region_online(r.id))
+                .unwrap_or(false)
+        })
+    }
+
+    /// Total transactions committed across all clients.
+    pub fn total_committed(&self) -> u64 {
+        self.clients.iter().map(TransactionalClient::committed_count).sum()
+    }
+
+    /// Total transactions aborted across all clients.
+    pub fn total_aborted(&self) -> u64 {
+        self.clients.iter().map(TransactionalClient::aborted_count).sum()
+    }
+}

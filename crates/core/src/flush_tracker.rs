@@ -1,0 +1,196 @@
+//! Client-side flushed-threshold tracking — Algorithm 1 of the paper.
+//!
+//! Each key-value client maintains a threshold timestamp `T_F(c)` with the
+//! local invariant: *every local transaction with commit timestamp ≤
+//! `T_F(c)` has been fully flushed to its participant servers.* The
+//! threshold advances strictly in local commit order, using two priority
+//! queues: `FQ` tracks transactions in the commit phase (enqueued when the
+//! client receives the commit timestamp) and `FQ'` tracks completed
+//! flushes. When the heads of both queues match, that transaction is the
+//! earliest tracked commit and its flush has completed, so `T_F(c)`
+//! advances to it.
+
+use cumulo_store::Timestamp;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// The `(FQ, FQ', T_F)` state of one client.
+///
+/// # Example
+///
+/// ```
+/// use cumulo_core::FlushTracker;
+/// use cumulo_store::Timestamp;
+///
+/// let mut t = FlushTracker::new();
+/// t.on_committed(Timestamp(10));
+/// t.on_committed(Timestamp(12));
+/// // The later transaction flushes first: T_F must wait for ts 10.
+/// t.on_flushed(Timestamp(12));
+/// assert_eq!(t.advance(), Timestamp(0));
+/// t.on_flushed(Timestamp(10));
+/// assert_eq!(t.advance(), Timestamp(12));
+/// ```
+pub struct FlushTracker {
+    /// Committed transactions not yet passed by `T_F` (min-heap).
+    fq: BinaryHeap<Reverse<u64>>,
+    /// Flushed transactions not yet passed by `T_F` (min-heap).
+    fq_done: BinaryHeap<Reverse<u64>>,
+    t_f: Timestamp,
+}
+
+impl fmt::Debug for FlushTracker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FlushTracker")
+            .field("t_f", &self.t_f)
+            .field("committed_pending", &self.fq.len())
+            .field("flushed_pending", &self.fq_done.len())
+            .finish()
+    }
+}
+
+impl Default for FlushTracker {
+    fn default() -> Self {
+        FlushTracker::new()
+    }
+}
+
+impl FlushTracker {
+    /// Creates a tracker with `T_F = 0`.
+    pub fn new() -> FlushTracker {
+        FlushTracker::with_threshold(Timestamp::ZERO)
+    }
+
+    /// Creates a tracker starting at the given threshold (Algorithm 2
+    /// seeds a registering client with the current global `T_F`; the
+    /// recovery client is seeded with the failed client's `T_F_r(c)`).
+    pub fn with_threshold(t_f: Timestamp) -> FlushTracker {
+        FlushTracker { fq: BinaryHeap::new(), fq_done: BinaryHeap::new(), t_f }
+    }
+
+    /// Records that the client received commit timestamp `ts` ("On
+    /// receiving commit timestamp T: FQ.enqueue(T)").
+    pub fn on_committed(&mut self, ts: Timestamp) {
+        self.fq.push(Reverse(ts.0));
+    }
+
+    /// Records that `ts`'s write-set has been acknowledged by every
+    /// participant server ("On post-flush: FQ'.enqueue(T)").
+    pub fn on_flushed(&mut self, ts: Timestamp) {
+        self.fq_done.push(Reverse(ts.0));
+    }
+
+    /// The heartbeat-time advancement loop of Algorithm 1: dequeues
+    /// matched heads, advancing `T_F` in local commit order. Returns the
+    /// (possibly unchanged) threshold.
+    pub fn advance(&mut self) -> Timestamp {
+        while let (Some(&Reverse(c)), Some(&Reverse(fl))) = (self.fq.peek(), self.fq_done.peek()) {
+            if c == fl {
+                self.fq.pop();
+                self.fq_done.pop();
+                self.t_f = Timestamp(c);
+            } else {
+                // The earliest tracked commit has not flushed yet;
+                // respect the local commit ordering.
+                debug_assert!(fl > c, "flush recorded for untracked commit {fl} (head {c})");
+                break;
+            }
+        }
+        self.t_f
+    }
+
+    /// The current threshold (without advancing).
+    pub fn t_f(&self) -> Timestamp {
+        self.t_f
+    }
+
+    /// Transactions committed but whose flush has not yet been passed by
+    /// `T_F` — the paper's queue-size alert monitors this (§3.2).
+    pub fn pending(&self) -> usize {
+        self.fq.len()
+    }
+
+    /// Whether every tracked commit has been flushed and passed.
+    pub fn is_idle(&mut self) -> bool {
+        self.advance();
+        self.fq.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_in_commit_order_despite_flush_reordering() {
+        let mut t = FlushTracker::new();
+        for ts in [10u64, 11, 12, 13] {
+            t.on_committed(Timestamp(ts));
+        }
+        t.on_flushed(Timestamp(12));
+        t.on_flushed(Timestamp(13));
+        assert_eq!(t.advance(), Timestamp::ZERO);
+        t.on_flushed(Timestamp(10));
+        assert_eq!(t.advance(), Timestamp(10), "11 still unflushed");
+        t.on_flushed(Timestamp(11));
+        assert_eq!(t.advance(), Timestamp(13), "everything flushed");
+        assert_eq!(t.pending(), 0);
+    }
+
+    #[test]
+    fn in_order_flushes_advance_incrementally() {
+        let mut t = FlushTracker::new();
+        for ts in 1..=100u64 {
+            t.on_committed(Timestamp(ts));
+            t.on_flushed(Timestamp(ts));
+            assert_eq!(t.advance(), Timestamp(ts));
+        }
+    }
+
+    #[test]
+    fn commit_without_flush_blocks() {
+        let mut t = FlushTracker::new();
+        t.on_committed(Timestamp(5));
+        assert_eq!(t.advance(), Timestamp::ZERO);
+        assert_eq!(t.pending(), 1);
+        assert!(!t.is_idle());
+    }
+
+    #[test]
+    fn out_of_order_commit_arrivals_are_handled() {
+        // Commit notifications can arrive out of timestamp order at the
+        // tracker (e.g. enqueued by different callbacks); the min-heaps
+        // restore the order.
+        let mut t = FlushTracker::new();
+        t.on_committed(Timestamp(20));
+        t.on_committed(Timestamp(10));
+        t.on_flushed(Timestamp(20));
+        t.on_flushed(Timestamp(10));
+        assert_eq!(t.advance(), Timestamp(20));
+    }
+
+    #[test]
+    fn seeded_threshold() {
+        let mut t = FlushTracker::with_threshold(Timestamp(42));
+        assert_eq!(t.t_f(), Timestamp(42));
+        t.on_committed(Timestamp(50));
+        t.on_flushed(Timestamp(50));
+        assert_eq!(t.advance(), Timestamp(50));
+    }
+
+    #[test]
+    fn interleaved_usage_pattern() {
+        let mut t = FlushTracker::new();
+        t.on_committed(Timestamp(1));
+        t.on_committed(Timestamp(2));
+        t.on_flushed(Timestamp(1));
+        assert_eq!(t.advance(), Timestamp(1));
+        t.on_committed(Timestamp(3));
+        t.on_flushed(Timestamp(3));
+        assert_eq!(t.advance(), Timestamp(1), "2 still pending");
+        t.on_flushed(Timestamp(2));
+        assert_eq!(t.advance(), Timestamp(3));
+        assert!(t.is_idle());
+    }
+}

@@ -1,0 +1,73 @@
+//! **Cumulo** — transactional failure recovery for a distributed
+//! key-value store.
+//!
+//! This crate is the paper's contribution (Ahmad, Kemme, Brondino,
+//! Patiño-Martínez, Jiménez-Peris: *Transactional Failure Recovery for a
+//! Distributed Key-Value Store*, Middleware 2013): a failure-recovery
+//! middleware for a system where an independent transaction manager owns
+//! durability (commit-time logging) while the key-value store persists
+//! asynchronously. Its pieces:
+//!
+//! * [`TransactionalClient`] — the extended key-value client: deferred
+//!   updates, commit through the transaction manager, post-commit flush,
+//!   and Algorithm 1's flushed-threshold tracking ([`FlushTracker`]);
+//! * [`ServerTracker`] — Algorithm 3's server-side runtime: heartbeat-
+//!   driven WAL persistence and persisted-threshold tracking
+//!   ([`PersistTracker`]);
+//! * [`RecoveryManager`] — Algorithms 2 and 4: global thresholds
+//!   `T_F`/`T_P`, client- and server-failure recovery by replaying the
+//!   transaction manager's log via the [`RecoveryClient`] `c_R`, log
+//!   truncation, and §3.3's recovery-manager crash/restart;
+//! * [`MiddlewareHooks`] — the minimal store-side integration surface;
+//! * [`Cluster`] — a one-call harness that wires the full simulated
+//!   deployment (filesystem, coordination service, store, transaction
+//!   manager, middleware) with fault-injection helpers.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cumulo_core::{Cluster, ClusterConfig, CommitResult};
+//! use cumulo_sim::SimDuration;
+//! use std::{cell::RefCell, rc::Rc};
+//!
+//! let cluster = Cluster::build(ClusterConfig {
+//!     clients: 1,
+//!     key_count: 1_000,
+//!     ..ClusterConfig::default()
+//! });
+//! let client = cluster.client(0).clone();
+//! let outcome: Rc<RefCell<Option<CommitResult>>> = Rc::new(RefCell::new(None));
+//! let o = outcome.clone();
+//! let c2 = client.clone();
+//! client.begin(move |txn| {
+//!     c2.put(txn, "user000000000001", "f0", "hello");
+//!     c2.commit(txn, move |r| *o.borrow_mut() = Some(r));
+//! });
+//! cluster.run_for(SimDuration::from_secs(1));
+//! assert!(matches!(*outcome.borrow(), Some(CommitResult::Committed(_))));
+//! // The committed value is readable (and will survive a server crash).
+//! let v = cluster.read_cell("user000000000001", "f0", SimDuration::from_secs(5));
+//! assert_eq!(v.as_deref(), Some(&b"hello"[..]));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod cluster;
+mod flush_tracker;
+mod hooks_impl;
+pub mod paths;
+mod persist_tracker;
+mod recovery_client;
+mod recovery_manager;
+mod server_tracker;
+mod txn_client;
+
+pub use cluster::{Cluster, ClusterConfig};
+pub use flush_tracker::FlushTracker;
+pub use hooks_impl::MiddlewareHooks;
+pub use persist_tracker::PersistTracker;
+pub use recovery_client::RecoveryClient;
+pub use recovery_manager::{RecoveryManager, RecoveryManagerConfig};
+pub use server_tracker::{ServerTracker, ServerTrackerConfig};
+pub use txn_client::{CommitResult, PersistenceMode, TransactionalClient, TxnClientConfig};

@@ -1,0 +1,179 @@
+//! The recovery client `c_R` — the recovery manager's local client that
+//! replays write-sets from the transaction manager's log.
+//!
+//! It differs from a regular client in three ways (§3.2): it replays with
+//! the *original* commit timestamp instead of requesting a fresh one; in
+//! server recovery it filters each write-set down to the updates that
+//! fall in the recovering region; and it piggybacks the failed server's
+//! `T_P(s)` on every replayed update so the receiving server inherits
+//! responsibility for the replayed data.
+
+use cumulo_sim::metrics::Counter;
+use cumulo_sim::{Network, NodeId, Sim};
+use cumulo_store::{Mutation, RegionId, StoreClient, Timestamp};
+use cumulo_txn::{LogRecord, TransactionManager};
+use std::cell::{Cell, RefCell};
+use std::fmt;
+use std::rc::Rc;
+
+/// The recovery client. Shared via `Rc`; lives on the recovery manager's
+/// node.
+pub struct RecoveryClient {
+    sim: Sim,
+    net: Rc<Network>,
+    node: NodeId,
+    store: StoreClient,
+    tm: Rc<TransactionManager>,
+    client_txns_replayed: Counter,
+    region_txns_replayed: Counter,
+}
+
+impl fmt::Debug for RecoveryClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RecoveryClient")
+            .field("node", &self.node)
+            .field("client_txns_replayed", &self.client_txns_replayed.get())
+            .field("region_txns_replayed", &self.region_txns_replayed.get())
+            .finish()
+    }
+}
+
+impl RecoveryClient {
+    /// Creates the recovery client on `node` (the recovery manager's
+    /// node); `store` must be a store client bound to the same node.
+    pub fn new(
+        sim: &Sim,
+        net: &Rc<Network>,
+        node: NodeId,
+        store: StoreClient,
+        tm: &Rc<TransactionManager>,
+    ) -> Rc<RecoveryClient> {
+        Rc::new(RecoveryClient {
+            sim: sim.clone(),
+            net: Rc::clone(net),
+            node,
+            store,
+            tm: Rc::clone(tm),
+            client_txns_replayed: Counter::new(),
+            region_txns_replayed: Counter::new(),
+        })
+    }
+
+    /// The region containing `row` (static boundary lookup, used by the
+    /// recovery manager to filter write-sets per region).
+    pub fn region_for(&self, row: &[u8]) -> RegionId {
+        self.store.region_for(row)
+    }
+
+    /// Re-seeds the store client's region map from the master (called by
+    /// the cluster harness after the table is bootstrapped).
+    pub fn reseed_region_map(&self) {
+        self.store.reseed_region_map();
+    }
+
+    /// Client recovery (Algorithm 2): replays each record's *full*
+    /// write-set with its original commit timestamp, sequentially in
+    /// commit order, notifying the transaction manager of each completed
+    /// flush (the dead client can no longer do so). `done` runs when the
+    /// whole log suffix has been replayed.
+    pub fn replay_client_log(self: &Rc<Self>, records: Vec<LogRecord>, done: Box<dyn FnOnce()>) {
+        self.replay_client_next(Rc::new(records), 0, done);
+    }
+
+    fn replay_client_next(
+        self: &Rc<Self>,
+        records: Rc<Vec<LogRecord>>,
+        idx: usize,
+        done: Box<dyn FnOnce()>,
+    ) {
+        let Some(record) = records.get(idx) else {
+            done();
+            return;
+        };
+        let ts = record.ts;
+        let groups = self.store.group_write_set(&record.write_set);
+        if groups.is_empty() {
+            self.client_txns_replayed.inc();
+            self.replay_client_next(records, idx + 1, done);
+            return;
+        }
+        let pending = Rc::new(Cell::new(groups.len()));
+        let done_cell: Rc<RefCell<Option<Box<dyn FnOnce()>>>> = Rc::new(RefCell::new(Some(done)));
+        for (region, mutations) in groups {
+            let this = Rc::clone(self);
+            let records2 = Rc::clone(&records);
+            let pending2 = Rc::clone(&pending);
+            let done2 = Rc::clone(&done_cell);
+            // Replays use the original commit timestamp; no fresh one is
+            // requested. Not flagged as a region replay: client-recovery
+            // targets normally-online regions and retries through outages.
+            self.store.multi_put(region, ts, mutations, None, false, move || {
+                pending2.set(pending2.get() - 1);
+                if pending2.get() > 0 {
+                    return;
+                }
+                this.client_txns_replayed.inc();
+                // The dead client cannot report the flush; c_R does it.
+                let tm = Rc::clone(&this.tm);
+                this.net.send(this.node, tm.node(), 48, move || {
+                    tm.handle_flush_complete(ts);
+                });
+                let done = done2.borrow_mut().take().expect("single completion");
+                this.replay_client_next(records2, idx + 1, done);
+            });
+        }
+    }
+
+    /// Server recovery (Algorithm 4's replay): applies the given
+    /// region-filtered updates to the recovering region, in commit order,
+    /// each carrying the effective recovery `floor` (the failed server's
+    /// `T_P(s)`, lowered further by any interrupted earlier recovery of
+    /// the same region). `done` runs when every update is applied.
+    pub fn replay_region_log(
+        self: &Rc<Self>,
+        region: RegionId,
+        items: Vec<(Timestamp, Vec<Mutation>)>,
+        floor: Timestamp,
+        done: Box<dyn FnOnce()>,
+    ) {
+        self.replay_region_next(region, Rc::new(items), floor, 0, done);
+    }
+
+    fn replay_region_next(
+        self: &Rc<Self>,
+        region: RegionId,
+        items: Rc<Vec<(Timestamp, Vec<Mutation>)>>,
+        floor: Timestamp,
+        idx: usize,
+        done: Box<dyn FnOnce()>,
+    ) {
+        let Some((ts, mutations)) = items.get(idx) else {
+            done();
+            return;
+        };
+        let this = Rc::clone(self);
+        let items2 = Rc::clone(&items);
+        // `replay = true`: the target region is still offline (gated on
+        // this very recovery); the floor piggyback makes the receiving
+        // server inherit responsibility for the replayed updates.
+        self.store.multi_put(region, *ts, mutations.clone(), Some(floor), true, move || {
+            this.region_txns_replayed.inc();
+            this.replay_region_next(region, items2, floor, idx + 1, done);
+        });
+    }
+
+    /// Transactions replayed by client recoveries.
+    pub fn client_txns_replayed(&self) -> u64 {
+        self.client_txns_replayed.get()
+    }
+
+    /// Per-region write-set portions replayed by server recoveries.
+    pub fn region_txns_replayed(&self) -> u64 {
+        self.region_txns_replayed.get()
+    }
+
+    /// The simulation handle (used by the recovery manager for timers).
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+}

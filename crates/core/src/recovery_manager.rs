@@ -1,0 +1,746 @@
+//! The recovery manager — the paper's central middleware service
+//! (Algorithms 2 and 4, plus the §3.3 treatment of its own failure).
+//!
+//! It tracks per-client flushed thresholds `T_F(c)` and per-server
+//! persisted thresholds `T_P(s)` from heartbeats exchanged through the
+//! coordination service, maintains the global thresholds
+//! `T_F = min_c T_F(c)` and `T_P = min_s T_P(s)`, detects client failures
+//! (missed heartbeats → session expiry), coordinates with the store's
+//! master for server failures, replays interrupted commits from the
+//! transaction manager's log via the recovery client, truncates the log
+//! below `T_P`, and — because its only state is the thresholds, which
+//! live in the coordination service — can crash and be restarted without
+//! stopping transaction processing.
+
+use crate::paths;
+use crate::recovery_client::RecoveryClient;
+use cumulo_coord::{CoordClient, WatchEvent};
+use cumulo_sim::metrics::Counter;
+use cumulo_sim::{every, Network, NodeId, Sim, SimDuration, TimerHandle};
+use cumulo_store::{ClientId, Mutation, RegionId, RegionServer, ServerId, Timestamp};
+use cumulo_txn::TransactionManager;
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+use std::rc::{Rc, Weak};
+
+/// Recovery-manager tuning knobs.
+#[derive(Copy, Clone, Debug)]
+pub struct RecoveryManagerConfig {
+    /// Checkpoint period: recompute `T_P`, truncate the log, republish
+    /// thresholds.
+    pub checkpoint_interval: SimDuration,
+    /// Whether log truncation below `T_P` runs (§3.2).
+    pub truncation: bool,
+    /// Whether threshold tracking is honoured. When disabled (ablation),
+    /// every recovery replays from the beginning of the log.
+    pub tracking: bool,
+}
+
+impl Default for RecoveryManagerConfig {
+    fn default() -> Self {
+        RecoveryManagerConfig {
+            checkpoint_interval: SimDuration::from_secs(2),
+            truncation: true,
+            tracking: true,
+        }
+    }
+}
+
+struct RegionTask {
+    generation: u64,
+    target: ServerId,
+    /// Deferred online declarations (shared with the hook's retry loop).
+    online: Rc<RefCell<Option<Box<dyn FnOnce()>>>>,
+    floor: Timestamp,
+}
+
+/// The recovery manager. Shared via `Rc`.
+pub struct RecoveryManager {
+    sim: Sim,
+    net: Rc<Network>,
+    node: NodeId,
+    coord: CoordClient,
+    tm: Rc<TransactionManager>,
+    rc: Rc<RecoveryClient>,
+    cfg: RecoveryManagerConfig,
+    /// `T_F_r(c)` per registered client.
+    clients: RefCell<BTreeMap<ClientId, Timestamp>>,
+    /// `T_P_r(s)` per registered server (failed servers stay until all
+    /// their regions have been recovered).
+    servers: RefCell<BTreeMap<ServerId, Timestamp>>,
+    /// Virtual registrations pinning `T_F` during client recoveries (the
+    /// recovery client acts as a tracked client; DESIGN.md note 2).
+    pins: RefCell<BTreeMap<u64, Timestamp>>,
+    next_pin: Cell<u64>,
+    /// In-progress region recoveries (also pin `T_P` via their floors).
+    region_tasks: RefCell<HashMap<RegionId, RegionTask>>,
+    next_generation: Cell<u64>,
+    /// Regions of each failed server still awaiting recovery.
+    pending_regions: RefCell<BTreeMap<ServerId, BTreeSet<RegionId>>>,
+    t_f: Cell<Timestamp>,
+    t_p: Cell<Timestamp>,
+    last_truncated: Cell<Timestamp>,
+    alive: Cell<bool>,
+    timers: RefCell<Vec<TimerHandle>>,
+    client_recoveries: Counter,
+    region_recoveries: Counter,
+    truncations: Counter,
+    self_weak: RefCell<Weak<RecoveryManager>>,
+}
+
+impl fmt::Debug for RecoveryManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RecoveryManager")
+            .field("node", &self.node)
+            .field("alive", &self.alive.get())
+            .field("t_f", &self.t_f.get())
+            .field("t_p", &self.t_p.get())
+            .field("clients", &self.clients.borrow().len())
+            .field("servers", &self.servers.borrow().len())
+            .finish()
+    }
+}
+
+impl RecoveryManager {
+    /// Creates the recovery manager on `node`; `rc` is its recovery
+    /// client (bound to the same node).
+    pub fn new(
+        sim: &Sim,
+        net: &Rc<Network>,
+        node: NodeId,
+        coord: CoordClient,
+        tm: &Rc<TransactionManager>,
+        rc: Rc<RecoveryClient>,
+        cfg: RecoveryManagerConfig,
+    ) -> Rc<RecoveryManager> {
+        let rm = Rc::new(RecoveryManager {
+            sim: sim.clone(),
+            net: Rc::clone(net),
+            node,
+            coord,
+            tm: Rc::clone(tm),
+            rc,
+            cfg,
+            clients: RefCell::new(BTreeMap::new()),
+            servers: RefCell::new(BTreeMap::new()),
+            pins: RefCell::new(BTreeMap::new()),
+            next_pin: Cell::new(0),
+            region_tasks: RefCell::new(HashMap::new()),
+            next_generation: Cell::new(0),
+            pending_regions: RefCell::new(BTreeMap::new()),
+            t_f: Cell::new(Timestamp::ZERO),
+            t_p: Cell::new(Timestamp::ZERO),
+            last_truncated: Cell::new(Timestamp::ZERO),
+            alive: Cell::new(true),
+            timers: RefCell::new(Vec::new()),
+            client_recoveries: Counter::new(),
+            region_recoveries: Counter::new(),
+            truncations: Counter::new(),
+            self_weak: RefCell::new(Weak::new()),
+        });
+        *rm.self_weak.borrow_mut() = Rc::downgrade(&rm);
+        rm
+    }
+
+    /// Registers the coordination watches, publishes the initial
+    /// thresholds and starts the checkpoint timer.
+    pub fn start(self: &Rc<Self>) {
+        self.coord.set_data(paths::TF_PATH, paths::encode_ts(self.t_f.get()));
+        self.coord.set_data(paths::TP_PATH, paths::encode_ts(self.t_p.get()));
+
+        let weak = Rc::downgrade(self);
+        self.coord.watch_prefix(
+            "/live/clients/",
+            move |event| {
+                let Some(rm) = weak.upgrade() else { return };
+                if !rm.alive.get() {
+                    return;
+                }
+                match &event {
+                    WatchEvent::Created(path) => {
+                        if let Some(c) = paths::parse_client_path(path) {
+                            rm.on_client_up(c);
+                        }
+                    }
+                    WatchEvent::Deleted(path) => {
+                        if let Some(c) = paths::parse_client_path(path) {
+                            rm.on_client_down(c);
+                        }
+                    }
+                    WatchEvent::DataChanged(_) => {}
+                }
+            },
+            |_| {},
+        );
+
+        let weak = Rc::downgrade(self);
+        self.coord.watch_prefix(
+            "/live/servers/",
+            move |event| {
+                let Some(rm) = weak.upgrade() else { return };
+                if !rm.alive.get() {
+                    return;
+                }
+                if let WatchEvent::Created(path) = &event {
+                    if let Some(s) = paths::parse_server_path(path) {
+                        rm.on_server_up(s);
+                    }
+                }
+                // Server deletions are driven by the master's hook (it
+                // must split the WAL and reassign regions first).
+            },
+            |_| {},
+        );
+
+        let weak = Rc::downgrade(self);
+        self.coord.watch_prefix(
+            "/thresholds/",
+            move |event| {
+                let Some(rm) = weak.upgrade() else { return };
+                if !rm.alive.get() {
+                    return;
+                }
+                match &event {
+                    WatchEvent::Created(path) | WatchEvent::DataChanged(path) => {
+                        rm.refresh_threshold(path.clone());
+                    }
+                    WatchEvent::Deleted(_) => {}
+                }
+            },
+            |_| {},
+        );
+
+        let weak = Rc::downgrade(self);
+        let timer = every(&self.sim, self.cfg.checkpoint_interval, move || {
+            if let Some(rm) = weak.upgrade() {
+                if rm.alive.get() {
+                    rm.checkpoint();
+                }
+            }
+        });
+        self.timers.borrow_mut().push(timer);
+    }
+
+    /// The node the recovery manager runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Whether the process is alive.
+    pub fn is_alive(&self) -> bool {
+        self.alive.get()
+    }
+
+    /// The global flushed threshold `T_F`.
+    pub fn t_f(&self) -> Timestamp {
+        self.t_f.get()
+    }
+
+    /// The global persisted threshold `T_P` (the log-truncation point).
+    pub fn t_p(&self) -> Timestamp {
+        self.t_p.get()
+    }
+
+    /// Client recoveries performed.
+    pub fn client_recovery_count(&self) -> u64 {
+        self.client_recoveries.get()
+    }
+
+    /// Region recoveries performed (server recovery is per affected
+    /// region).
+    pub fn region_recovery_count(&self) -> u64 {
+        self.region_recoveries.get()
+    }
+
+    /// Log truncations issued.
+    pub fn truncation_count(&self) -> u64 {
+        self.truncations.get()
+    }
+
+    /// The recovery client.
+    pub fn recovery_client(&self) -> &Rc<RecoveryClient> {
+        &self.rc
+    }
+
+    // ------------------------------------------------------------------
+    // Registration and thresholds
+    // ------------------------------------------------------------------
+
+    fn on_client_up(self: &Rc<Self>, c: ClientId) {
+        let this = Rc::clone(self);
+        self.coord.get_data(&paths::client_threshold(c), move |data| {
+            let ts = data.map(|d| paths::decode_ts(&d)).unwrap_or(Timestamp::ZERO);
+            this.clients.borrow_mut().insert(c, ts);
+            this.recompute_t_f();
+        });
+    }
+
+    /// A client's liveness node vanished: a clean shutdown deleted its
+    /// threshold first (unregister); a crash left the threshold behind —
+    /// recover from it (Algorithm 2 "On failure(c)").
+    fn on_client_down(self: &Rc<Self>, c: ClientId) {
+        let this = Rc::clone(self);
+        self.coord.get_data(&paths::client_threshold(c), move |data| {
+            match data {
+                Some(d) => {
+                    let t = if this.cfg.tracking { paths::decode_ts(&d) } else { Timestamp::ZERO };
+                    this.recover_client(c, t);
+                }
+                None if !this.cfg.tracking => {
+                    // Without tracking we cannot distinguish clean from
+                    // crashed: conservatively replay from the beginning.
+                    this.recover_client(c, Timestamp::ZERO);
+                }
+                None => {
+                    // Clean unregister.
+                    this.clients.borrow_mut().remove(&c);
+                    this.recompute_t_f();
+                }
+            }
+        });
+    }
+
+    fn on_server_up(self: &Rc<Self>, s: ServerId) {
+        let this = Rc::clone(self);
+        self.coord.get_data(&paths::server_threshold(s), move |data| {
+            let ts = data.map(|d| paths::decode_ts(&d)).unwrap_or(Timestamp::ZERO);
+            this.servers.borrow_mut().insert(s, ts);
+            this.recompute_t_p();
+        });
+    }
+
+    fn refresh_threshold(self: &Rc<Self>, path: String) {
+        let this = Rc::clone(self);
+        let path2 = path.clone();
+        self.coord.get_data(&path2, move |data| {
+            let Some(d) = data else { return };
+            let ts = paths::decode_ts(&d);
+            if path.starts_with("/thresholds/clients/") {
+                if let Some(c) = paths::parse_client_path(&path) {
+                    if let Some(entry) = this.clients.borrow_mut().get_mut(&c) {
+                        if ts > *entry {
+                            *entry = ts;
+                        }
+                    }
+                    this.recompute_t_f();
+                }
+            } else if path.starts_with("/thresholds/servers/") {
+                if let Some(s) = paths::parse_server_path(&path) {
+                    let mut servers = this.servers.borrow_mut();
+                    match servers.get_mut(&s) {
+                        // Floors may legitimately *lower* a server's
+                        // threshold (replay inheritance), so take the
+                        // reported value as-is.
+                        Some(entry) => *entry = ts,
+                        None => {
+                            servers.insert(s, ts);
+                        }
+                    }
+                    drop(servers);
+                    this.recompute_t_p();
+                }
+            }
+        });
+    }
+
+    /// `T_F = min over clients (and recovery pins) of T_F(c)`.
+    fn recompute_t_f(&self) {
+        let clients = self.clients.borrow();
+        let pins = self.pins.borrow();
+        let min = clients.values().chain(pins.values()).min().copied();
+        let Some(min) = min else { return };
+        if min > self.t_f.get() {
+            self.t_f.set(min);
+            self.coord.set_data(paths::TF_PATH, paths::encode_ts(min));
+        }
+    }
+
+    /// `T_P = min over servers (and active region-recovery floors)`.
+    fn recompute_t_p(&self) {
+        let servers = self.servers.borrow();
+        let tasks = self.region_tasks.borrow();
+        let min = servers.values().copied().chain(tasks.values().map(|t| t.floor)).min();
+        let Some(min) = min else { return };
+        if min > self.t_p.get() {
+            self.t_p.set(min);
+            self.coord.set_data(paths::TP_PATH, paths::encode_ts(min));
+        }
+    }
+
+    /// Checkpoint tick: republish `T_P` and truncate the log below it.
+    fn checkpoint(self: &Rc<Self>) {
+        self.recompute_t_p();
+        let t_p = self.t_p.get();
+        if self.cfg.truncation && t_p > self.last_truncated.get() {
+            self.last_truncated.set(t_p);
+            self.truncations.inc();
+            let tm = Rc::clone(&self.tm);
+            self.net.send(self.node, tm.node(), 48, move || {
+                tm.log().truncate_below(t_p);
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Client recovery (Algorithm 2)
+    // ------------------------------------------------------------------
+
+    fn recover_client(self: &Rc<Self>, c: ClientId, t_f_r: Timestamp) {
+        self.client_recoveries.inc();
+        // Pin the global T_F at the dead client's threshold: the recovery
+        // client now vouches for the interrupted flushes.
+        let pin = self.next_pin.get();
+        self.next_pin.set(pin + 1);
+        self.pins.borrow_mut().insert(pin, t_f_r);
+        self.clients.borrow_mut().remove(&c);
+        self.recompute_t_f();
+
+        // Fetch the client's committed-but-possibly-unflushed suffix.
+        let tm = Rc::clone(&self.tm);
+        let net = Rc::clone(&self.net);
+        let node = self.node;
+        let this = Rc::clone(self);
+        self.net.send(node, tm.node(), 64, move || {
+            let records = tm.log().fetch_client_after(c, t_f_r);
+            let size = 64 + records.iter().map(|r| r.wire_size()).sum::<usize>();
+            net.send(tm.node(), node, size, move || {
+                if !this.alive.get() {
+                    return;
+                }
+                let this2 = Rc::clone(&this);
+                let rc = Rc::clone(&this.rc);
+                rc.replay_client_log(
+                    records,
+                    Box::new(move || {
+                        this2.pins.borrow_mut().remove(&pin);
+                        this2.recompute_t_f();
+                        // Unregister the dead client permanently.
+                        this2.coord.delete(&paths::client_threshold(c));
+                    }),
+                );
+            });
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Server recovery (Algorithm 4)
+    // ------------------------------------------------------------------
+
+    /// Master hook: server `failed` died and its `regions` are being
+    /// reassigned. Records the pending-recovery set (idempotent).
+    pub fn note_server_failed(self: &Rc<Self>, failed: ServerId, regions: Vec<RegionId>) {
+        if self.pending_regions.borrow().contains_key(&failed) {
+            return;
+        }
+        let set: BTreeSet<RegionId> = regions.iter().copied().collect();
+        self.coord.set_data(&paths::pending_recovery(failed), paths::encode_regions(&regions));
+        let empty = set.is_empty();
+        self.pending_regions.borrow_mut().insert(failed, set);
+        if empty {
+            self.finish_failed_server(failed);
+        }
+    }
+
+    /// Region hook: `region` finished HBase-internal recovery on `server`
+    /// after `failed`'s crash; replay the log suffix for it, then let it
+    /// go online. `online` is shared with the hook's retry loop — taken
+    /// exactly once, when the replay completes.
+    pub fn handle_region_recovered(
+        self: &Rc<Self>,
+        server: Rc<RegionServer>,
+        region: RegionId,
+        failed: ServerId,
+        online: Rc<RefCell<Option<Box<dyn FnOnce()>>>>,
+    ) {
+        if !self.alive.get() || !server.is_alive() {
+            return;
+        }
+        // Duplicate notification for an in-progress task on the same
+        // target: the retry loop re-delivered; nothing to do.
+        if let Some(task) = self.region_tasks.borrow().get(&region) {
+            if task.target == server.id() {
+                return;
+            }
+        }
+        // Late duplicate after completion: the region is already online.
+        if server.region_online(region) {
+            if let Some(cb) = online.borrow_mut().take() {
+                let net = Rc::clone(&self.net);
+                net.send(self.node, server.node(), 32, cb);
+            }
+            return;
+        }
+        let generation = self.next_generation.get();
+        self.next_generation.set(generation + 1);
+        let t_p_r = if self.cfg.tracking {
+            self.servers.borrow().get(&failed).copied().unwrap_or(Timestamp::ZERO)
+        } else {
+            Timestamp::ZERO
+        };
+        self.region_tasks.borrow_mut().insert(
+            region,
+            RegionTask {
+                generation,
+                target: server.id(),
+                online: Rc::clone(&online),
+                floor: t_p_r,
+            },
+        );
+        // Combine with a persisted floor from an interrupted earlier
+        // recovery of this region (cascading failure, DESIGN.md note 4),
+        // persist the effective floor, then start the replay. The second
+        // read is a write barrier: the floor znode is durable at the
+        // coordination service before any replay is sent.
+        let this = Rc::clone(self);
+        self.coord.get_data(&paths::region_floor(region), move |stored| {
+            let prior = stored.map(|d| paths::decode_ts(&d)).unwrap_or(Timestamp::MAX);
+            let floor = t_p_r.min(prior);
+            {
+                let mut tasks = this.region_tasks.borrow_mut();
+                match tasks.get_mut(&region) {
+                    Some(task) if task.generation == generation => task.floor = floor,
+                    _ => return, // superseded
+                }
+            }
+            this.coord.set_data(&paths::region_floor(region), paths::encode_ts(floor));
+            let this2 = Rc::clone(&this);
+            this.coord.get_data(&paths::region_floor(region), move |_| {
+                this2.start_region_replay(generation, server, region, failed, floor);
+            });
+        });
+    }
+
+    fn start_region_replay(
+        self: &Rc<Self>,
+        generation: u64,
+        server: Rc<RegionServer>,
+        region: RegionId,
+        failed: ServerId,
+        floor: Timestamp,
+    ) {
+        if !self.alive.get() {
+            return;
+        }
+        {
+            let tasks = self.region_tasks.borrow();
+            match tasks.get(&region) {
+                Some(task) if task.generation == generation => {}
+                _ => return, // superseded by a newer recovery round
+            }
+        }
+        // Fetch everything committed after the floor, then filter each
+        // write-set down to the updates that fall in the region
+        // (Algorithm 4's per-update region check).
+        let tm = Rc::clone(&self.tm);
+        let net = Rc::clone(&self.net);
+        let node = self.node;
+        let this = Rc::clone(self);
+        self.net.send(node, tm.node(), 64, move || {
+            let records = tm.log().fetch_after(floor);
+            let size = 64 + records.iter().map(|r| r.wire_size()).sum::<usize>();
+            net.send(tm.node(), node, size, move || {
+                if !this.alive.get() {
+                    return;
+                }
+                let items: Vec<(Timestamp, Vec<Mutation>)> = records
+                    .into_iter()
+                    .filter_map(|r| {
+                        let muts: Vec<Mutation> = r
+                            .write_set
+                            .mutations
+                            .iter()
+                            .filter(|m| this.rc.region_for(&m.row) == region)
+                            .cloned()
+                            .collect();
+                        if muts.is_empty() {
+                            None
+                        } else {
+                            Some((r.ts, muts))
+                        }
+                    })
+                    .collect();
+                let this2 = Rc::clone(&this);
+                let rc = Rc::clone(&this.rc);
+                rc.replay_region_log(
+                    region,
+                    items,
+                    floor,
+                    Box::new(move || {
+                        this2.finish_region_recovery(generation, server, region, failed);
+                    }),
+                );
+            });
+        });
+    }
+
+    fn finish_region_recovery(
+        self: &Rc<Self>,
+        generation: u64,
+        server: Rc<RegionServer>,
+        region: RegionId,
+        failed: ServerId,
+    ) {
+        if !self.alive.get() {
+            return;
+        }
+        let online = {
+            let mut tasks = self.region_tasks.borrow_mut();
+            match tasks.get(&region) {
+                Some(task) if task.generation == generation => {
+                    let task = tasks.remove(&region).expect("present");
+                    task.online
+                }
+                _ => return, // superseded
+            }
+        };
+        self.region_recoveries.inc();
+        self.coord.delete(&paths::region_floor(region));
+        // Let the region declare itself online (runs at the server).
+        if let Some(cb) = online.borrow_mut().take() {
+            self.net.send(self.node, server.node(), 32, cb);
+        }
+        // Update the failed server's pending set; drop it entirely once
+        // every region has been recovered.
+        let now_empty = {
+            let mut pending = self.pending_regions.borrow_mut();
+            match pending.get_mut(&failed) {
+                Some(set) => {
+                    set.remove(&region);
+                    let regions: Vec<RegionId> = set.iter().copied().collect();
+                    self.coord
+                        .set_data(&paths::pending_recovery(failed), paths::encode_regions(&regions));
+                    set.is_empty()
+                }
+                None => false,
+            }
+        };
+        if now_empty {
+            self.finish_failed_server(failed);
+        }
+        self.recompute_t_p();
+    }
+
+    fn finish_failed_server(&self, failed: ServerId) {
+        self.pending_regions.borrow_mut().remove(&failed);
+        self.coord.delete(&paths::pending_recovery(failed));
+        self.servers.borrow_mut().remove(&failed);
+        self.coord.delete(&paths::server_threshold(failed));
+        self.recompute_t_p();
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery-manager failure (§3.3)
+    // ------------------------------------------------------------------
+
+    /// Crash-stop failure of the recovery manager itself. Transaction
+    /// processing continues; heartbeats keep updating the coordination
+    /// service; failure notifications are retried by their hooks.
+    pub fn crash(&self) {
+        self.alive.set(false);
+        self.net.crash(self.node);
+        for t in self.timers.borrow().iter() {
+            t.cancel();
+        }
+        self.timers.borrow_mut().clear();
+        // Volatile recovery state is lost with the process.
+        self.region_tasks.borrow_mut().clear();
+        self.pins.borrow_mut().clear();
+        self.pending_regions.borrow_mut().clear();
+        self.clients.borrow_mut().clear();
+        self.servers.borrow_mut().clear();
+    }
+
+    /// Restart after a crash: re-reads every threshold from the
+    /// coordination service ("contacts ZooKeeper to catch up with the
+    /// system's progress"), resumes pending recoveries, and recovers any
+    /// entity that died while the manager was down.
+    pub fn restart(self: &Rc<Self>) {
+        self.alive.set(true);
+        self.net.restart(self.node);
+        let weak = Rc::downgrade(self);
+        let timer = every(&self.sim, self.cfg.checkpoint_interval, move || {
+            if let Some(rm) = weak.upgrade() {
+                if rm.alive.get() {
+                    rm.checkpoint();
+                }
+            }
+        });
+        self.timers.borrow_mut().push(timer);
+
+        // Rebuild the client registry; clients with a threshold but no
+        // liveness node died while we were down — recover them.
+        let this = Rc::clone(self);
+        self.coord.children("/thresholds/clients/", move |tpaths| {
+            let this2 = Rc::clone(&this);
+            this.coord.children("/live/clients/", move |live| {
+                let live: Rc<BTreeSet<ClientId>> =
+                    Rc::new(live.iter().filter_map(|p| paths::parse_client_path(p)).collect());
+                for path in tpaths {
+                    let live = Rc::clone(&live);
+                    let Some(c) = paths::parse_client_path(&path) else { continue };
+                    let this3 = Rc::clone(&this2);
+                    this2.coord.get_data(&path, move |data| {
+                        let ts = data.map(|d| paths::decode_ts(&d)).unwrap_or(Timestamp::ZERO);
+                        if live.contains(&c) {
+                            this3.clients.borrow_mut().insert(c, ts);
+                            this3.recompute_t_f();
+                        } else {
+                            let t = if this3.cfg.tracking { ts } else { Timestamp::ZERO };
+                            this3.recover_client(c, t);
+                        }
+                    });
+                }
+            });
+        });
+
+        // Rebuild the server registry and the pending-recovery sets.
+        let this = Rc::clone(self);
+        self.coord.children("/thresholds/servers/", move |tpaths| {
+            for path in tpaths {
+                let Some(s) = paths::parse_server_path(&path) else { continue };
+                let this2 = Rc::clone(&this);
+                this.coord.get_data(&path, move |data| {
+                    let ts = data.map(|d| paths::decode_ts(&d)).unwrap_or(Timestamp::ZERO);
+                    this2.servers.borrow_mut().insert(s, ts);
+                    this2.recompute_t_p();
+                    // Was this server under recovery when we crashed?
+                    let this3 = Rc::clone(&this2);
+                    this2.coord.get_data(&paths::pending_recovery(s), move |pending| {
+                        if let Some(d) = pending {
+                            let regions = paths::decode_regions(&d);
+                            let set: BTreeSet<RegionId> = regions.into_iter().collect();
+                            if set.is_empty() {
+                                this3.finish_failed_server(s);
+                            } else {
+                                this3.pending_regions.borrow_mut().insert(s, set);
+                                // The per-region hooks keep retrying their
+                                // notifications; replays resume from them.
+                            }
+                        }
+                    });
+                });
+            }
+        });
+
+        // Republish the recovered thresholds.
+        let this = Rc::clone(self);
+        self.coord.get_data(paths::TF_PATH, move |data| {
+            if let Some(d) = data {
+                let ts = paths::decode_ts(&d);
+                if ts > this.t_f.get() {
+                    this.t_f.set(ts);
+                }
+            }
+            let this2 = Rc::clone(&this);
+            this.coord.get_data(paths::TP_PATH, move |data| {
+                if let Some(d) = data {
+                    let ts = paths::decode_ts(&d);
+                    if ts > this2.t_p.get() {
+                        this2.t_p.set(ts);
+                    }
+                }
+            });
+        });
+    }
+}

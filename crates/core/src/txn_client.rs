@@ -1,0 +1,624 @@
+//! The transactional key-value client: the paper's extended HBase client.
+//!
+//! Provides `begin` / `get` / `put` / `delete` / `commit` / `abort` with
+//! the deferred-update model of §2.2: writes buffer locally in the
+//! transaction's write-set; at commit the write-set goes to the
+//! transaction manager, which makes it durable in its recovery log; only
+//! *after* commit is the write-set flushed to the store servers. The
+//! client runs Algorithm 1: it tracks commit/flush completion in its
+//! [`FlushTracker`] and heartbeats its threshold `T_F(c)` to the recovery
+//! manager through the coordination service.
+
+use crate::flush_tracker::FlushTracker;
+use crate::paths;
+use bytes::Bytes;
+use cumulo_coord::{CoordClient, SessionId};
+use cumulo_sim::metrics::Counter;
+use cumulo_sim::{every_from, Network, NodeId, Sim, SimDuration, TimerHandle};
+use cumulo_store::{ClientId, Mutation, MutationKind, StoreClient, Timestamp, WriteSet};
+use cumulo_txn::{CommitOutcome, TransactionManager, TxnId};
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// When a transaction's durability is achieved, relative to the commit
+/// acknowledgement to the application (the comparison of Fig. 2a).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum PersistenceMode {
+    /// The paper's design: commit acks after the transaction manager's
+    /// log force; the write-set flushes to the store afterwards and the
+    /// store persists asynchronously.
+    Asynchronous,
+    /// The baseline: the commit ack additionally waits for the write-set
+    /// to be flushed to every participant server and for the servers'
+    /// WALs to sync to the filesystem (pair with
+    /// [`cumulo_store::WalSyncMode::Sync`]).
+    Synchronous,
+}
+
+/// The application-visible outcome of a commit request.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum CommitResult {
+    /// Committed (durable in the transaction manager's log) with this
+    /// commit timestamp.
+    Committed(Timestamp),
+    /// Aborted (write-write conflict or unknown transaction).
+    Aborted,
+}
+
+/// Transactional-client tuning knobs.
+#[derive(Copy, Clone, Debug)]
+pub struct TxnClientConfig {
+    /// Heartbeat period (threshold publication + liveness touch). The
+    /// paper varies this from 50 ms to 10 s in Fig. 2b.
+    pub heartbeat_interval: SimDuration,
+    /// Coordination session timeout (client-failure detection latency).
+    pub session_timeout: SimDuration,
+    /// Sync vs async persistence (Fig. 2a).
+    pub persistence: PersistenceMode,
+    /// Whether threshold tracking runs at all (ablation: without it, the
+    /// recovery manager must replay from the beginning of the log).
+    pub tracking: bool,
+    /// Pending-commit count above which the client raises an alert
+    /// (§3.2's stuck-region detector).
+    pub alert_pending_threshold: usize,
+}
+
+impl Default for TxnClientConfig {
+    fn default() -> Self {
+        TxnClientConfig {
+            heartbeat_interval: SimDuration::from_secs(1),
+            session_timeout: SimDuration::from_secs(3),
+            persistence: PersistenceMode::Asynchronous,
+            tracking: true,
+            alert_pending_threshold: 1_000,
+        }
+    }
+}
+
+struct ActiveTxn {
+    start_ts: Timestamp,
+    write_set: WriteSet,
+}
+
+struct TcInner {
+    sim: Sim,
+    net: Rc<Network>,
+    id: ClientId,
+    node: NodeId,
+    tm: Rc<TransactionManager>,
+    store: StoreClient,
+    coord: CoordClient,
+    cfg: TxnClientConfig,
+    tracker: RefCell<FlushTracker>,
+    active: RefCell<HashMap<TxnId, ActiveTxn>>,
+    session: Cell<Option<SessionId>>,
+    /// Instant of the last acknowledged round trip to the coordination
+    /// service; when it lags by more than the session timeout the client
+    /// terminates itself (§3.1: a partitioned client "will result in it
+    /// terminating itself").
+    last_coord_ack: Cell<cumulo_sim::SimTime>,
+    alive: Cell<bool>,
+    closed: Cell<bool>,
+    timers: RefCell<Vec<TimerHandle>>,
+    committed: Counter,
+    aborted: Counter,
+    flushed: Counter,
+    alerts: Counter,
+}
+
+/// A transactional client process. Cheap to clone (shared identity).
+#[derive(Clone)]
+pub struct TransactionalClient {
+    inner: Rc<TcInner>,
+}
+
+impl fmt::Debug for TransactionalClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TransactionalClient")
+            .field("id", &self.inner.id)
+            .field("alive", &self.inner.alive.get())
+            .field("committed", &self.inner.committed.get())
+            .field("t_f", &self.inner.tracker.borrow().t_f())
+            .finish()
+    }
+}
+
+impl TransactionalClient {
+    /// Creates a client on `node`. Call [`TransactionalClient::start`]
+    /// before using it so it registers with the recovery manager.
+    pub fn new(
+        sim: &Sim,
+        net: &Rc<Network>,
+        id: ClientId,
+        node: NodeId,
+        tm: &Rc<TransactionManager>,
+        store: StoreClient,
+        coord: CoordClient,
+        cfg: TxnClientConfig,
+    ) -> TransactionalClient {
+        TransactionalClient {
+            inner: Rc::new(TcInner {
+                sim: sim.clone(),
+                net: Rc::clone(net),
+                id,
+                node,
+                tm: Rc::clone(tm),
+                store,
+                coord,
+                cfg,
+                tracker: RefCell::new(FlushTracker::new()),
+                active: RefCell::new(HashMap::new()),
+                session: Cell::new(None),
+                last_coord_ack: Cell::new(sim.now()),
+                alive: Cell::new(true),
+                closed: Cell::new(false),
+                timers: RefCell::new(Vec::new()),
+                committed: Counter::new(),
+                aborted: Counter::new(),
+                flushed: Counter::new(),
+                alerts: Counter::new(),
+            }),
+        }
+    }
+
+    /// Registers with the recovery manager (Algorithm 1 "On startup"):
+    /// seeds `T_F(c)` with the current global `T_F`, creates the
+    /// threshold and liveness znodes, and starts the heartbeat.
+    pub fn start(&self) {
+        let inner = Rc::clone(&self.inner);
+        // Seed the local threshold from the recovery manager's published
+        // global T_F ("T_F(c) ← T_F").
+        self.inner.coord.get_data(paths::TF_PATH, move |data| {
+            let seed = data.map(|d| paths::decode_ts(&d)).unwrap_or(Timestamp::ZERO);
+            *inner.tracker.borrow_mut() = FlushTracker::with_threshold(seed);
+            let inner2 = Rc::clone(&inner);
+            inner.coord.create_session(inner.cfg.session_timeout, move |sid| {
+                if !inner2.alive.get() {
+                    return;
+                }
+                inner2.session.set(Some(sid));
+                // Threshold (persistent) strictly before liveness
+                // (ephemeral): the recovery manager reads the threshold
+                // when it sees the liveness node appear or vanish.
+                if inner2.cfg.tracking {
+                    inner2.coord.create(
+                        &paths::client_threshold(inner2.id),
+                        paths::encode_ts(inner2.tracker.borrow().t_f()),
+                        None,
+                    );
+                }
+                inner2.coord.create(&paths::client_live(inner2.id), Bytes::new(), Some(sid));
+                let inner3 = Rc::clone(&inner2);
+                let first = inner2.sim.jitter(inner2.cfg.heartbeat_interval, 0.9);
+                let timer = every_from(
+                    &inner2.sim,
+                    first,
+                    inner2.cfg.heartbeat_interval,
+                    move || heartbeat(&inner3),
+                );
+                inner2.timers.borrow_mut().push(timer);
+            });
+        });
+    }
+
+    /// This client's id.
+    pub fn id(&self) -> ClientId {
+        self.inner.id
+    }
+
+    /// The node the client runs on.
+    pub fn node(&self) -> NodeId {
+        self.inner.node
+    }
+
+    /// Whether the process is alive.
+    pub fn is_alive(&self) -> bool {
+        self.inner.alive.get()
+    }
+
+    /// Begins a transaction; `done` receives its id (reads are served at
+    /// the transaction's snapshot, the flush watermark).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the client was shut down.
+    pub fn begin(&self, done: impl FnOnce(TxnId) + 'static) {
+        assert!(!self.inner.closed.get(), "client was shut down");
+        let inner = Rc::clone(&self.inner);
+        let tm = Rc::clone(&self.inner.tm);
+        let net = Rc::clone(&self.inner.net);
+        let node = self.inner.node;
+        self.inner.net.send(node, tm.node(), 48, move || {
+            let (txn, start_ts) = tm.handle_begin(inner.id);
+            net.send(tm.node(), node, 48, move || {
+                if !inner.alive.get() {
+                    return;
+                }
+                inner
+                    .active
+                    .borrow_mut()
+                    .insert(txn, ActiveTxn { start_ts, write_set: WriteSet::new() });
+                done(txn);
+            });
+        });
+    }
+
+    /// Transactional read: the transaction's own buffered writes win
+    /// (read-your-own-writes); otherwise the newest version at the
+    /// transaction's snapshot is fetched from the store. Tombstones and
+    /// missing cells both read as `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `txn` is not an active transaction of this client.
+    pub fn get(
+        &self,
+        txn: TxnId,
+        row: impl Into<Bytes>,
+        column: impl Into<Bytes>,
+        done: impl FnOnce(Option<Bytes>) + 'static,
+    ) {
+        let row = row.into();
+        let column = column.into();
+        let start_ts = {
+            let active = self.inner.active.borrow();
+            let at = active.get(&txn).expect("get on unknown transaction");
+            if let Some(kind) = at.write_set.get(&row, &column) {
+                let value = match kind {
+                    MutationKind::Put(v) => Some(v.clone()),
+                    MutationKind::Delete => None,
+                };
+                let sim = self.inner.sim.clone();
+                sim.schedule_in(SimDuration::ZERO, move || done(value));
+                return;
+            }
+            at.start_ts
+        };
+        self.inner.store.get(row, column, start_ts, move |vv| {
+            done(vv.and_then(|v| v.value));
+        });
+    }
+
+    /// Transactional range scan over `[start, end)` at the transaction's
+    /// snapshot, returning up to `limit` cells merged with the
+    /// transaction's own buffered writes (which win per cell; buffered
+    /// deletes hide cells).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `txn` is not an active transaction of this client.
+    pub fn scan(
+        &self,
+        txn: TxnId,
+        start: impl Into<Bytes>,
+        end: Option<Bytes>,
+        limit: usize,
+        done: impl FnOnce(Vec<(Bytes, Bytes, Bytes)>) + 'static,
+    ) {
+        let start = start.into();
+        let (start_ts, own): (Timestamp, Vec<Mutation>) = {
+            let active = self.inner.active.borrow();
+            let at = active.get(&txn).expect("scan on unknown transaction");
+            let end_ref = end.clone();
+            let own = at
+                .write_set
+                .mutations
+                .iter()
+                .filter(|m| {
+                    m.row >= start
+                        && end_ref.as_ref().map(|e| m.row < *e).unwrap_or(true)
+                })
+                .cloned()
+                .collect();
+            (at.start_ts, own)
+        };
+        self.inner.store.scan(start, end, start_ts, limit, move |hits| {
+            // Merge: buffered writes overwrite store results per cell.
+            let mut merged: Vec<(Bytes, Bytes, Bytes)> = hits
+                .into_iter()
+                .filter_map(|(r, c, vv)| vv.value.map(|v| (r, c, v)))
+                .collect();
+            for m in own {
+                merged.retain(|(r, c, _)| !(r == &m.row && c == &m.column));
+                if let MutationKind::Put(v) = &m.kind {
+                    merged.push((m.row.clone(), m.column.clone(), v.clone()));
+                }
+            }
+            merged.sort();
+            merged.truncate(limit);
+            done(merged);
+        });
+    }
+
+    /// Buffers a put in the transaction's write-set (deferred updates:
+    /// nothing reaches the store before commit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `txn` is not an active transaction of this client.
+    pub fn put(
+        &self,
+        txn: TxnId,
+        row: impl Into<Bytes>,
+        column: impl Into<Bytes>,
+        value: impl Into<Bytes>,
+    ) {
+        let mut active = self.inner.active.borrow_mut();
+        let at = active.get_mut(&txn).expect("put on unknown transaction");
+        at.write_set.push(Mutation::put(row.into(), column.into(), value.into()));
+    }
+
+    /// Buffers a delete in the transaction's write-set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `txn` is not an active transaction of this client.
+    pub fn delete(&self, txn: TxnId, row: impl Into<Bytes>, column: impl Into<Bytes>) {
+        let mut active = self.inner.active.borrow_mut();
+        let at = active.get_mut(&txn).expect("delete on unknown transaction");
+        at.write_set.push(Mutation::delete(row.into(), column.into()));
+    }
+
+    /// Commits the transaction (§2.2's termination phase): the write-set
+    /// goes to the transaction manager; on success the commit timestamp
+    /// is tracked in `FQ` and the write-set is flushed to the store —
+    /// before the ack in [`PersistenceMode::Synchronous`], after it in
+    /// [`PersistenceMode::Asynchronous`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `txn` is not an active transaction of this client.
+    pub fn commit(&self, txn: TxnId, done: impl FnOnce(CommitResult) + 'static) {
+        let at = self
+            .inner
+            .active
+            .borrow_mut()
+            .remove(&txn)
+            .expect("commit on unknown transaction");
+        let ws = at.write_set;
+        let inner = Rc::clone(&self.inner);
+        let tm = Rc::clone(&self.inner.tm);
+        let net = Rc::clone(&self.inner.net);
+        let node = self.inner.node;
+        let size = 64 + ws.wire_size();
+        self.inner.net.send(node, tm.node(), size, move || {
+            let ws2 = ws.clone();
+            let tm2 = Rc::clone(&tm);
+            tm.handle_commit(txn, ws, move |outcome| {
+                net.send(tm2.node(), node, 48, move || {
+                    if !inner.alive.get() {
+                        // Client died while the commit was in flight: if it
+                        // committed, the recovery manager replays it.
+                        return;
+                    }
+                    match outcome {
+                        CommitOutcome::Committed(ts) => {
+                            inner.committed.inc();
+                            if ws2.is_empty() {
+                                done(CommitResult::Committed(ts));
+                                return;
+                            }
+                            inner.tracker.borrow_mut().on_committed(ts);
+                            match inner.cfg.persistence {
+                                PersistenceMode::Asynchronous => {
+                                    done(CommitResult::Committed(ts));
+                                    flush_write_set(inner, ts, ws2, None);
+                                }
+                                PersistenceMode::Synchronous => {
+                                    flush_write_set(
+                                        inner,
+                                        ts,
+                                        ws2,
+                                        Some(Box::new(move || done(CommitResult::Committed(ts)))),
+                                    );
+                                }
+                            }
+                        }
+                        CommitOutcome::Conflict | CommitOutcome::UnknownTxn => {
+                            inner.aborted.inc();
+                            done(CommitResult::Aborted);
+                        }
+                    }
+                });
+            });
+        });
+    }
+
+    /// Aborts the transaction: the buffered write-set is discarded
+    /// locally and the transaction manager is informed.
+    pub fn abort(&self, txn: TxnId) {
+        if self.inner.active.borrow_mut().remove(&txn).is_none() {
+            return;
+        }
+        self.inner.aborted.inc();
+        let tm = Rc::clone(&self.inner.tm);
+        self.inner.net.send(self.inner.node, tm.node(), 48, move || {
+            tm.handle_abort(txn);
+        });
+    }
+
+    /// Clean shutdown (Algorithm 1 "On shutdown"): waits until every
+    /// tracked commit has flushed, sends a final pre-shutdown heartbeat,
+    /// removes the threshold znode and closes the session — so the
+    /// recovery manager unregisters this client without running recovery.
+    pub fn shutdown(&self) {
+        self.inner.closed.set(true);
+        try_finish_shutdown(Rc::clone(&self.inner));
+    }
+
+    /// Crash-stop failure: the process dies mid-flight. The recovery
+    /// manager will detect the missed heartbeats and replay any committed
+    /// write-sets that were not fully flushed.
+    pub fn crash(&self) {
+        self.inner.alive.set(false);
+        for t in self.inner.timers.borrow().iter() {
+            t.cancel();
+        }
+        self.inner.timers.borrow_mut().clear();
+        self.inner.net.crash(self.inner.node);
+    }
+
+    /// The client's current flushed threshold `T_F(c)`.
+    pub fn t_f(&self) -> Timestamp {
+        self.inner.tracker.borrow().t_f()
+    }
+
+    /// Committed transactions (including read-only).
+    pub fn committed_count(&self) -> u64 {
+        self.inner.committed.get()
+    }
+
+    /// Aborted transactions.
+    pub fn aborted_count(&self) -> u64 {
+        self.inner.aborted.get()
+    }
+
+    /// Fully flushed write-sets.
+    pub fn flushed_count(&self) -> u64 {
+        self.inner.flushed.get()
+    }
+
+    /// Queue-size alerts raised.
+    pub fn alert_count(&self) -> u64 {
+        self.inner.alerts.get()
+    }
+
+    /// Commits whose flush is still outstanding.
+    pub fn pending_flushes(&self) -> usize {
+        self.inner.tracker.borrow().pending()
+    }
+}
+
+fn heartbeat(inner: &Rc<TcInner>) {
+    if !inner.alive.get() {
+        return;
+    }
+    // Partition self-check: if the coordination service has been
+    // unreachable for a whole session timeout, our session has (or will
+    // have) expired and the recovery manager is recovering us — terminate
+    // rather than risk acting as a zombie (§3.1).
+    let silence = inner.sim.now().saturating_since(inner.last_coord_ack.get());
+    if silence > inner.cfg.session_timeout {
+        inner.alive.set(false);
+        for t in inner.timers.borrow().iter() {
+            t.cancel();
+        }
+        inner.timers.borrow_mut().clear();
+        inner.net.crash(inner.node);
+        return;
+    }
+    // Round trip to the coordination service doubling as reachability
+    // probe (the response refreshes `last_coord_ack`).
+    {
+        let inner2 = Rc::clone(inner);
+        inner.coord.get_data(crate::paths::TF_PATH, move |_| {
+            inner2.last_coord_ack.set(inner2.sim.now());
+        });
+    }
+    // Idle-client advancement: a client with no unflushed commits may
+    // report any threshold ≥ its last local commit without violating the
+    // local invariant (all its transactions are flushed). Advancing to
+    // the transaction manager's latest assigned timestamp keeps an idle
+    // client from pinning the global T_F (and with it, log truncation)
+    // forever. FIFO ordering makes this safe: any commit of ours that the
+    // manager processed before answering has already been delivered to
+    // us, so the tracker cannot be idle if a lower commit is in flight.
+    if inner.cfg.tracking && inner.tracker.borrow_mut().is_idle() {
+        let inner2 = Rc::clone(inner);
+        let tm = Rc::clone(&inner.tm);
+        inner.net.send(inner.node, tm.node(), 48, move || {
+            let latest = tm.last_commit_ts();
+            let net = Rc::clone(&inner2.net);
+            let node = inner2.node;
+            net.send(tm.node(), node, 48, move || {
+                if !inner2.alive.get() {
+                    return;
+                }
+                let mut tracker = inner2.tracker.borrow_mut();
+                if tracker.is_idle() && latest > tracker.t_f() {
+                    *tracker = FlushTracker::with_threshold(latest);
+                }
+            });
+        });
+    }
+    let t_f = inner.tracker.borrow_mut().advance();
+    let pending = inner.tracker.borrow().pending();
+    if pending > inner.cfg.alert_pending_threshold {
+        inner.alerts.inc();
+        inner
+            .coord
+            .set_data(&paths::alert("clients", inner.id.0), paths::encode_ts(Timestamp(pending as u64)));
+    }
+    if inner.cfg.tracking {
+        inner.coord.set_data(&paths::client_threshold(inner.id), paths::encode_ts(t_f));
+    }
+    if let Some(sid) = inner.session.get() {
+        inner.coord.touch(sid);
+    }
+}
+
+fn try_finish_shutdown(inner: Rc<TcInner>) {
+    if !inner.alive.get() {
+        return;
+    }
+    if !inner.tracker.borrow_mut().is_idle() {
+        let inner2 = Rc::clone(&inner);
+        inner.sim.schedule_in(SimDuration::from_millis(20), move || try_finish_shutdown(inner2));
+        return;
+    }
+    // Final heartbeat, then unregister cleanly: delete the threshold
+    // *before* the liveness node vanishes, so the recovery manager can
+    // tell a clean shutdown from a crash.
+    heartbeat(&inner);
+    if inner.cfg.tracking {
+        inner.coord.delete(&paths::client_threshold(inner.id));
+    }
+    if let Some(sid) = inner.session.get() {
+        inner.coord.close_session(sid);
+    }
+    for t in inner.timers.borrow().iter() {
+        t.cancel();
+    }
+    inner.timers.borrow_mut().clear();
+}
+
+/// Post-commit flush (§2.2): the write-set, stamped with the commit
+/// timestamp, is sent to each participant region; when every region acks,
+/// the flush is recorded in `FQ'` and the transaction manager's watermark
+/// learns of it.
+fn flush_write_set(
+    inner: Rc<TcInner>,
+    ts: Timestamp,
+    ws: WriteSet,
+    then: Option<Box<dyn FnOnce()>>,
+) {
+    let groups = inner.store.group_write_set(&ws);
+    debug_assert!(!groups.is_empty());
+    let pending = Rc::new(Cell::new(groups.len()));
+    let then = Rc::new(RefCell::new(then));
+    for (region, mutations) in groups {
+        let inner2 = Rc::clone(&inner);
+        let pending2 = Rc::clone(&pending);
+        let then2 = Rc::clone(&then);
+        inner.store.multi_put(region, ts, mutations, None, false, move || {
+            pending2.set(pending2.get() - 1);
+            if pending2.get() > 0 {
+                return;
+            }
+            if !inner2.alive.get() {
+                return;
+            }
+            inner2.tracker.borrow_mut().on_flushed(ts);
+            inner2.flushed.inc();
+            let tm = Rc::clone(&inner2.tm);
+            inner2.net.send(inner2.node, tm.node(), 48, move || {
+                tm.handle_flush_complete(ts);
+            });
+            if let Some(cb) = then2.borrow_mut().take() {
+                cb();
+            }
+        });
+    }
+}

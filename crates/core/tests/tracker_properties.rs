@@ -1,0 +1,128 @@
+//! Property-based tests of the two checkpoint trackers — the data
+//! structures the paper's correctness rests on.
+
+use cumulo_core::{FlushTracker, PersistTracker};
+use cumulo_store::Timestamp;
+use proptest::prelude::*;
+
+proptest! {
+    /// Whatever order flush completions arrive in, `T_F` always equals
+    /// the largest prefix of the commit order that is fully flushed —
+    /// Algorithm 1's local invariant.
+    #[test]
+    fn flush_tracker_t_f_is_largest_fully_flushed_prefix(
+        // Commit timestamps 1..=n; flush completion order is a permutation.
+        n in 1usize..60,
+        perm_seed in any::<u64>(),
+    ) {
+        let mut tracker = FlushTracker::new();
+        let commits: Vec<u64> = (1..=n as u64).collect();
+        for &ts in &commits {
+            tracker.on_committed(Timestamp(ts));
+        }
+        // Deterministic pseudo-random permutation of the flush order.
+        let mut order = commits.clone();
+        let mut state = perm_seed | 1;
+        for i in (1..order.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        let mut flushed = vec![false; n + 1];
+        for (k, &ts) in order.iter().enumerate() {
+            tracker.on_flushed(Timestamp(ts));
+            flushed[ts as usize] = true;
+            let t_f = tracker.advance();
+            // Model: largest m such that 1..=m all flushed.
+            let expect = (1..=n as u64).take_while(|&i| flushed[i as usize]).last().unwrap_or(0);
+            prop_assert_eq!(t_f, Timestamp(expect), "after {} flushes", k + 1);
+        }
+        prop_assert_eq!(tracker.advance(), Timestamp(n as u64));
+        prop_assert!(tracker.is_idle());
+    }
+
+    /// `T_F` never exceeds a committed-but-unflushed transaction and is
+    /// monotone.
+    #[test]
+    fn flush_tracker_is_monotone_and_safe(
+        ops in prop::collection::vec((1u64..200, any::<bool>()), 1..200),
+    ) {
+        // Interpretation: walk a commit counter; `true` means the next
+        // commit, `false` means flush the oldest unflushed commit.
+        let mut tracker = FlushTracker::new();
+        let mut next_commit = 1u64;
+        let mut unflushed: std::collections::VecDeque<u64> = Default::default();
+        let mut last_tf = Timestamp::ZERO;
+        for (_, is_commit) in ops {
+            if is_commit || unflushed.is_empty() {
+                tracker.on_committed(Timestamp(next_commit));
+                unflushed.push_back(next_commit);
+                next_commit += 1;
+            } else if let Some(ts) = unflushed.pop_front() {
+                tracker.on_flushed(Timestamp(ts));
+            }
+            let t_f = tracker.advance();
+            prop_assert!(t_f >= last_tf, "T_F regressed");
+            if let Some(&oldest) = unflushed.front() {
+                prop_assert!(t_f.0 < oldest, "T_F {} passed unflushed {}", t_f, oldest);
+            }
+            last_tf = t_f;
+        }
+    }
+
+    /// `T_P` never claims an unsynced entry and never regresses except
+    /// through an explicit replay floor — Algorithm 3's local invariant
+    /// plus the floor refinement.
+    #[test]
+    fn persist_tracker_never_overclaims(
+        entries in prop::collection::vec((1u64..1000, prop::option::of(1u64..1000)), 1..100),
+        sync_points in prop::collection::vec(any::<u8>(), 1..20),
+        t_f in 0u64..1200,
+    ) {
+        let mut tracker = PersistTracker::new();
+        tracker.on_t_f(Timestamp(t_f));
+        let mut applied: Vec<(u64, Timestamp, Option<Timestamp>)> = Vec::new();
+        for (seq0, (ts, floor)) in entries.iter().enumerate() {
+            let seq = seq0 as u64 + 1;
+            let floor = floor.map(|f| Timestamp(f.min(*ts))); // floors precede the entry
+            tracker.on_applied(Timestamp(*ts), seq, floor);
+            applied.push((seq, Timestamp(*ts), floor));
+        }
+        let max_seq = applied.len() as u64;
+        let mut synced_to = 0u64;
+        for sp in sync_points {
+            synced_to = (synced_to + sp as u64 % (max_seq + 1)).min(max_seq);
+            let t_p = tracker.on_synced(synced_to);
+            // Invariant: every unsynced entry bounds T_P.
+            for (seq, ts, floor) in &applied {
+                if *seq > synced_to {
+                    let bound = floor.unwrap_or(Timestamp(ts.0.saturating_sub(1)));
+                    prop_assert!(t_p <= bound,
+                        "T_P {} passed unsynced entry seq {} (ts {}, floor {:?})",
+                        t_p, seq, ts, floor);
+                }
+            }
+            // And never exceeds the published T_F.
+            prop_assert!(t_p.0 <= t_f);
+        }
+        // Full sync: T_P reaches exactly min(T_F, no bound) = T_F.
+        let final_tp = tracker.on_synced(max_seq);
+        prop_assert_eq!(final_tp, Timestamp(t_f));
+    }
+
+    /// Replay floors take effect immediately (inheritance of
+    /// responsibility happens before the ack returns to the recovery
+    /// client).
+    #[test]
+    fn persist_tracker_floor_lowers_immediately(
+        start in 1u64..1000,
+        floor in 0u64..1000,
+    ) {
+        let mut tracker = PersistTracker::new();
+        tracker.on_t_f(Timestamp(start));
+        tracker.on_synced(0);
+        prop_assert_eq!(tracker.t_p(), Timestamp(start));
+        tracker.on_applied(Timestamp(floor + 1), 1, Some(Timestamp(floor)));
+        prop_assert_eq!(tracker.t_p(), Timestamp(floor.min(start)));
+    }
+}

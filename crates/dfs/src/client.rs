@@ -1,0 +1,506 @@
+//! Client-side filesystem API: create/open files, serialized appends with
+//! replica-failure handling, longest-replica reads.
+
+use crate::datanode::DataNode;
+use crate::error::DfsError;
+use crate::namenode::NameNode;
+use bytes::Bytes;
+use cumulo_sim::{Network, NodeId, Sim, SimDuration};
+use std::cell::{Cell, RefCell};
+use std::collections::{HashSet, VecDeque};
+use std::fmt;
+use std::rc::Rc;
+
+/// Base wait for replica acks before consulting the namenode about dead
+/// replicas; large appends get a size-proportional allowance on top.
+const APPEND_TIMEOUT_BASE: SimDuration = SimDuration::from_millis(60);
+
+/// Extra ack-wait allowance per payload byte (covers transfer time with
+/// ample margin over the worst-case link model).
+fn append_timeout(bytes: usize) -> SimDuration {
+    APPEND_TIMEOUT_BASE + SimDuration::from_nanos(bytes as u64 * 300)
+}
+/// How many times a read retries end-to-end before reporting unavailable.
+const READ_RETRIES: u32 = 3;
+
+struct ClientInner {
+    sim: Sim,
+    net: Rc<Network>,
+    nn: Rc<NameNode>,
+    from: NodeId,
+}
+
+/// A component's handle to the filesystem.
+///
+/// Cheap to clone; clones share the caller's node identity.
+///
+/// # Example
+///
+/// ```
+/// use bytes::Bytes;
+/// use cumulo_dfs::{DataNode, DfsClient, NameNode, NameNodeConfig};
+/// use cumulo_sim::{DiskConfig, LatencyConfig, Network, Sim, SimTime};
+/// use std::{cell::RefCell, rc::Rc};
+///
+/// let sim = Sim::new(1);
+/// let net = Network::new(&sim, LatencyConfig::lan_100mbps());
+/// let dns = (0..2)
+///     .map(|i| DataNode::new(&sim, net.add_node(&format!("dn{i}")), DiskConfig::server_hdd()))
+///     .collect();
+/// let nn = NameNode::new(&sim, &net, net.add_node("nn"), dns, NameNodeConfig::default());
+/// let me = net.add_node("app");
+/// let dfs = DfsClient::new(&sim, &net, &nn, me);
+///
+/// let out: Rc<RefCell<Vec<Bytes>>> = Rc::new(RefCell::new(Vec::new()));
+/// let out2 = out.clone();
+/// let dfs2 = dfs.clone();
+/// dfs.create("/f", move |file| {
+///     let file = file.expect("create");
+///     file.append(Bytes::from_static(b"rec"), move |r| {
+///         r.expect("append");
+///         dfs2.read("/f", move |data| *out2.borrow_mut() = data.expect("read"));
+///     });
+/// });
+/// sim.run_until(SimTime::from_secs(1));
+/// assert_eq!(&*out.borrow(), &[Bytes::from_static(b"rec")]);
+/// ```
+#[derive(Clone)]
+pub struct DfsClient {
+    inner: Rc<ClientInner>,
+}
+
+impl fmt::Debug for DfsClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DfsClient").field("from", &self.inner.from).finish()
+    }
+}
+
+struct PendingAppend {
+    record: Bytes,
+    done: Box<dyn FnOnce(crate::Result<()>)>,
+}
+
+struct FileState {
+    path: String,
+    replicas: Vec<usize>,
+    queue: VecDeque<PendingAppend>,
+    in_flight: bool,
+}
+
+/// An open file handle supporting serialized appends.
+///
+/// Appends submitted on one handle complete in submission order (the WAL
+/// contract). The handle caches the replica set; dead replicas are pruned
+/// via the namenode when an append times out.
+#[derive(Clone)]
+pub struct DfsFile {
+    client: Rc<ClientInner>,
+    state: Rc<RefCell<FileState>>,
+}
+
+impl fmt::Debug for DfsFile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.state.borrow();
+        f.debug_struct("DfsFile")
+            .field("path", &st.path)
+            .field("replicas", &st.replicas)
+            .field("queued", &st.queue.len())
+            .finish()
+    }
+}
+
+impl DfsClient {
+    /// Creates a filesystem handle for the component on node `from`.
+    pub fn new(sim: &Sim, net: &Rc<Network>, nn: &Rc<NameNode>, from: NodeId) -> DfsClient {
+        DfsClient {
+            inner: Rc::new(ClientInner {
+                sim: sim.clone(),
+                net: Rc::clone(net),
+                nn: Rc::clone(nn),
+                from,
+            }),
+        }
+    }
+
+    /// Creates a new file; `done` receives an appendable handle.
+    pub fn create(&self, path: &str, done: impl FnOnce(crate::Result<DfsFile>) + 'static) {
+        let inner = Rc::clone(&self.inner);
+        let nn = Rc::clone(&inner.nn);
+        let net = Rc::clone(&inner.net);
+        let from = inner.from;
+        let path = path.to_owned();
+        self.inner.net.send(from, nn.node(), 64 + path.len(), move || {
+            let result = nn.create_file(&path);
+            net.send(nn.node(), from, 64, move || match result {
+                Ok(replicas) => done(Ok(DfsFile::new(inner, path, replicas))),
+                Err(e) => done(Err(e)),
+            });
+        });
+    }
+
+    /// Opens an existing file for appending; `done` receives the handle.
+    pub fn open_append(&self, path: &str, done: impl FnOnce(crate::Result<DfsFile>) + 'static) {
+        let inner = Rc::clone(&self.inner);
+        let nn = Rc::clone(&inner.nn);
+        let net = Rc::clone(&inner.net);
+        let from = inner.from;
+        let path = path.to_owned();
+        self.inner.net.send(from, nn.node(), 64 + path.len(), move || {
+            let result = nn.replicas(&path);
+            net.send(nn.node(), from, 64, move || match result {
+                Ok(replicas) => done(Ok(DfsFile::new(inner, path, replicas))),
+                Err(e) => done(Err(e)),
+            });
+        });
+    }
+
+    /// Reads the whole file (all records, in append order) from the
+    /// longest live replica; `done` receives the records.
+    pub fn read(&self, path: &str, done: impl FnOnce(crate::Result<Vec<Bytes>>) + 'static) {
+        read_attempt(Rc::clone(&self.inner), path.to_owned(), READ_RETRIES, Box::new(done));
+    }
+
+    /// Lists paths with the given prefix; `done` receives them in order.
+    pub fn list(&self, prefix: &str, done: impl FnOnce(Vec<String>) + 'static) {
+        let inner = Rc::clone(&self.inner);
+        let nn = Rc::clone(&inner.nn);
+        let net = Rc::clone(&inner.net);
+        let from = inner.from;
+        let prefix = prefix.to_owned();
+        self.inner.net.send(from, nn.node(), 64, move || {
+            let names = nn.list(&prefix);
+            let size = 64 + names.iter().map(String::len).sum::<usize>();
+            net.send(nn.node(), from, size, move || done(names));
+        });
+    }
+
+    /// Deletes a file (fire and forget); missing files are a no-op.
+    pub fn delete(&self, path: &str) {
+        let nn = Rc::clone(&self.inner.nn);
+        let path = path.to_owned();
+        self.inner.net.send(self.inner.from, nn.node(), 64 + path.len(), move || {
+            nn.delete_file(&path);
+        });
+    }
+
+    /// The node this client issues requests from.
+    pub fn from_node(&self) -> NodeId {
+        self.inner.from
+    }
+
+    /// Direct namenode access for tests and harness assertions.
+    pub fn namenode(&self) -> &Rc<NameNode> {
+        &self.inner.nn
+    }
+}
+
+impl DfsFile {
+    fn new(client: Rc<ClientInner>, path: String, replicas: Vec<usize>) -> DfsFile {
+        DfsFile {
+            client,
+            state: Rc::new(RefCell::new(FileState {
+                path,
+                replicas,
+                queue: VecDeque::new(),
+                in_flight: false,
+            })),
+        }
+    }
+
+    /// The file's path.
+    pub fn path(&self) -> String {
+        self.state.borrow().path.clone()
+    }
+
+    /// Appends `record`; `done` runs once every live replica holds the
+    /// record (the `hflush` durability point).
+    ///
+    /// Appends on one handle are serialized: they complete in submission
+    /// order, which is what the write-ahead log requires.
+    ///
+    /// # Errors
+    ///
+    /// `done` receives [`DfsError::ReplicationFailed`] if no replica
+    /// datanode remains alive.
+    pub fn append(&self, record: Bytes, done: impl FnOnce(crate::Result<()>) + 'static) {
+        {
+            let mut st = self.state.borrow_mut();
+            st.queue.push_back(PendingAppend { record, done: Box::new(done) });
+        }
+        pump(Rc::clone(&self.client), Rc::clone(&self.state));
+    }
+
+    /// Number of appends waiting behind the in-flight one.
+    pub fn queued_appends(&self) -> usize {
+        self.state.borrow().queue.len()
+    }
+}
+
+fn pump(client: Rc<ClientInner>, state: Rc<RefCell<FileState>>) {
+    let next = {
+        let mut st = state.borrow_mut();
+        if st.in_flight {
+            None
+        } else {
+            match st.queue.pop_front() {
+                Some(p) => {
+                    st.in_flight = true;
+                    Some(p)
+                }
+                None => None,
+            }
+        }
+    };
+    if let Some(p) = next {
+        attempt_append(client, state, p.record, Rc::new(RefCell::new(HashSet::new())), p.done);
+    }
+}
+
+fn finish_append(
+    client: Rc<ClientInner>,
+    state: Rc<RefCell<FileState>>,
+    done: Box<dyn FnOnce(crate::Result<()>)>,
+    result: crate::Result<()>,
+) {
+    state.borrow_mut().in_flight = false;
+    done(result);
+    pump(client, state);
+}
+
+/// One round of the append protocol: fan the record out to the replicas not
+/// yet acked, succeed when the ack set covers the (possibly pruned) replica
+/// set, and on timeout consult the namenode to drop dead replicas.
+fn attempt_append(
+    client: Rc<ClientInner>,
+    state: Rc<RefCell<FileState>>,
+    record: Bytes,
+    acks: Rc<RefCell<HashSet<usize>>>,
+    done: Box<dyn FnOnce(crate::Result<()>)>,
+) {
+    let (path, targets) = {
+        let st = state.borrow();
+        let pending: Vec<usize> =
+            st.replicas.iter().copied().filter(|r| !acks.borrow().contains(r)).collect();
+        (st.path.clone(), pending)
+    };
+    if targets.is_empty() {
+        finish_append(client, state, done, Ok(()));
+        return;
+    }
+    let settled = Rc::new(Cell::new(false));
+    let done_cell: Rc<RefCell<Option<Box<dyn FnOnce(crate::Result<()>)>>>> =
+        Rc::new(RefCell::new(Some(done)));
+
+    for idx in targets {
+        let dn: Rc<DataNode> = client.nn.datanode(idx);
+        let dn_node = dn.node();
+        let net = Rc::clone(&client.net);
+        let from = client.from;
+        let path2 = path.clone();
+        let rec = record.clone();
+        let acks2 = Rc::clone(&acks);
+        let settled2 = Rc::clone(&settled);
+        let state2 = Rc::clone(&state);
+        let client2 = Rc::clone(&client);
+        let done2 = Rc::clone(&done_cell);
+        let size = 64 + record.len();
+        client.net.send(from, dn_node, size, move || {
+            let net2 = Rc::clone(&net);
+            dn.append(&path2, rec, move || {
+                net2.send(dn_node, from, 32, move || {
+                    // Record the ack even if this attempt already timed
+                    // out: the shared ack set keeps a retry from
+                    // re-sending to a replica that did store the record.
+                    acks2.borrow_mut().insert(idx);
+                    if settled2.get() {
+                        return;
+                    }
+                    let covered = {
+                        let st = state2.borrow();
+                        st.replicas.iter().all(|r| acks2.borrow().contains(r))
+                    };
+                    if covered {
+                        settled2.set(true);
+                        let done = done2.borrow_mut().take().expect("done consumed once");
+                        finish_append(client2, state2, done, Ok(()));
+                    }
+                });
+            });
+        });
+    }
+
+    // Timeout path: prune replicas through the namenode, then either finish
+    // or re-attempt against the survivors.
+    let client3 = Rc::clone(&client);
+    let timeout = append_timeout(record.len());
+    client.sim.schedule_in(timeout, move || {
+        if settled.get() {
+            return;
+        }
+        let nn = Rc::clone(&client3.nn);
+        let net = Rc::clone(&client3.net);
+        let net_req = Rc::clone(&client3.net);
+        let from = client3.from;
+        let path3 = path.clone();
+        net_req.send(from, nn.node(), 64, move || {
+            let live = nn.live_replicas(&path3).unwrap_or_default();
+            net.send(nn.node(), from, 64, move || {
+                if settled.get() {
+                    return;
+                }
+                settled.set(true);
+                state.borrow_mut().replicas = live.clone();
+                let done = done_cell.borrow_mut().take().expect("done consumed once");
+                if live.is_empty() {
+                    finish_append(client3, state, done, Err(DfsError::ReplicationFailed(path3)));
+                } else if live.iter().all(|r| acks.borrow().contains(r)) {
+                    finish_append(client3, state, done, Ok(()));
+                } else {
+                    attempt_append(client3, state, record, acks, done);
+                }
+            });
+        });
+    });
+}
+
+/// One end-to-end read attempt: resolve live replicas, ask each for its
+/// record count, fetch from the longest.
+fn read_attempt(
+    client: Rc<ClientInner>,
+    path: String,
+    retries_left: u32,
+    done: Box<dyn FnOnce(crate::Result<Vec<Bytes>>)>,
+) {
+    let nn = Rc::clone(&client.nn);
+    let net = Rc::clone(&client.net);
+    let from = client.from;
+    let client2 = Rc::clone(&client);
+    let path2 = path.clone();
+    client.net.send(from, nn.node(), 64 + path.len(), move || {
+        let live = nn.live_replicas(&path2);
+        net.send(nn.node(), from, 64, move || match live {
+            Err(e) => done(Err(e)),
+            Ok(live) if live.is_empty() => retry_or_fail(client2, path2, retries_left, done),
+            Ok(live) => fetch_longest(client2, path2, live, retries_left, done),
+        });
+    });
+}
+
+fn retry_or_fail(
+    client: Rc<ClientInner>,
+    path: String,
+    retries_left: u32,
+    done: Box<dyn FnOnce(crate::Result<Vec<Bytes>>)>,
+) {
+    if retries_left == 0 {
+        done(Err(DfsError::Unavailable(path)));
+        return;
+    }
+    let client2 = Rc::clone(&client);
+    client.sim.schedule_in(SimDuration::from_millis(20), move || {
+        read_attempt(client2, path, retries_left - 1, done);
+    });
+}
+
+fn fetch_longest(
+    client: Rc<ClientInner>,
+    path: String,
+    live: Vec<usize>,
+    retries_left: u32,
+    done: Box<dyn FnOnce(crate::Result<Vec<Bytes>>)>,
+) {
+    // Phase 1: collect record counts from every live replica.
+    let counts: Rc<RefCell<Vec<(usize, usize)>>> = Rc::new(RefCell::new(Vec::new()));
+    let expected = live.len();
+    let decided = Rc::new(Cell::new(false));
+    let done_cell: Rc<RefCell<Option<Box<dyn FnOnce(crate::Result<Vec<Bytes>>)>>>> =
+        Rc::new(RefCell::new(Some(done)));
+
+    let decide = {
+        let client = Rc::clone(&client);
+        let path = path.clone();
+        let counts = Rc::clone(&counts);
+        let decided = Rc::clone(&decided);
+        let done_cell = Rc::clone(&done_cell);
+        Rc::new(move || {
+            if decided.get() {
+                return;
+            }
+            decided.set(true);
+            let done = done_cell.borrow_mut().take().expect("done consumed once");
+            let best = counts.borrow().iter().max_by_key(|(_, c)| *c).map(|(i, _)| *i);
+            match best {
+                None => retry_or_fail(Rc::clone(&client), path.clone(), retries_left, done),
+                Some(idx) => {
+                    let dn = client.nn.datanode(idx);
+                    let dn_node = dn.node();
+                    let net = Rc::clone(&client.net);
+                    let from = client.from;
+                    let path2 = path.clone();
+                    let client2 = Rc::clone(&client);
+                    let path_for_retry = path.clone();
+                    // Guard the data fetch with its own timeout in case the
+                    // chosen replica dies mid-read.
+                    let got = Rc::new(Cell::new(false));
+                    let got2 = Rc::clone(&got);
+                    let done_cell2: Rc<RefCell<Option<Box<dyn FnOnce(crate::Result<Vec<Bytes>>)>>>> =
+                        Rc::new(RefCell::new(Some(done)));
+                    let done_cell3 = Rc::clone(&done_cell2);
+                    client.net.send(from, dn_node, 64, move || {
+                        let net2 = Rc::clone(&net);
+                        let path3 = path2.clone();
+                        dn.read(&path2, move |data| {
+                            let size = 64 + data
+                                .as_ref()
+                                .map(|d| d.iter().map(Bytes::len).sum::<usize>())
+                                .unwrap_or(0);
+                            net2.send(dn_node, from, size, move || {
+                                if got2.get() {
+                                    return;
+                                }
+                                got2.set(true);
+                                let done =
+                                    done_cell2.borrow_mut().take().expect("done consumed once");
+                                match data {
+                                    Some(records) => done(Ok(records)),
+                                    None => done(Err(DfsError::NotFound(path3))),
+                                }
+                            });
+                        });
+                    });
+                    let sim = client2.sim.clone();
+                    sim.schedule_in(SimDuration::from_millis(100), move || {
+                        if got.get() {
+                            return;
+                        }
+                        got.set(true);
+                        let done = done_cell3.borrow_mut().take().expect("done consumed once");
+                        retry_or_fail(client2, path_for_retry, retries_left, done);
+                    });
+                }
+            }
+        })
+    };
+
+    for idx in live {
+        let dn = client.nn.datanode(idx);
+        let dn_node = dn.node();
+        let net = Rc::clone(&client.net);
+        let from = client.from;
+        let path2 = path.clone();
+        let counts2 = Rc::clone(&counts);
+        let decide2 = Rc::clone(&decide);
+        client.net.send(from, dn_node, 32, move || {
+            let count = dn.record_count(&path2);
+            net.send(dn_node, from, 32, move || {
+                counts2.borrow_mut().push((idx, count));
+                if counts2.borrow().len() == expected {
+                    decide2();
+                }
+            });
+        });
+    }
+    // If some replicas die before answering, decide with what arrived.
+    let decide3 = Rc::clone(&decide);
+    client.sim.schedule_in(SimDuration::from_millis(50), move || decide3());
+}

@@ -1,0 +1,53 @@
+//! Error type for DFS operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a DFS operation failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DfsError {
+    /// The file does not exist.
+    NotFound(String),
+    /// A file already exists at the path.
+    AlreadyExists(String),
+    /// No live replica holds the file's data.
+    Unavailable(String),
+    /// An append could not reach any live replica.
+    ReplicationFailed(String),
+}
+
+impl fmt::Display for DfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfsError::NotFound(p) => write!(f, "file not found: {p}"),
+            DfsError::AlreadyExists(p) => write!(f, "file already exists: {p}"),
+            DfsError::Unavailable(p) => write!(f, "no live replica for: {p}"),
+            DfsError::ReplicationFailed(p) => write!(f, "append could not be replicated: {p}"),
+        }
+    }
+}
+
+impl Error for DfsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(DfsError::NotFound("/a".into()).to_string(), "file not found: /a");
+        assert_eq!(DfsError::AlreadyExists("/a".into()).to_string(), "file already exists: /a");
+        assert_eq!(DfsError::Unavailable("/a".into()).to_string(), "no live replica for: /a");
+        assert_eq!(
+            DfsError::ReplicationFailed("/a".into()).to_string(),
+            "append could not be replicated: /a"
+        );
+    }
+
+    #[test]
+    fn error_is_send_less_but_std_error() {
+        // Single-threaded simulation: errors only need std::error::Error.
+        fn assert_err<E: Error>() {}
+        assert_err::<DfsError>();
+    }
+}

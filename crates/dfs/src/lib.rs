@@ -1,0 +1,36 @@
+//! HDFS-like distributed filesystem substrate.
+//!
+//! HBase persists both its write-ahead logs and its flushed store files in
+//! HDFS; the paper's durability argument ("once a write-set has been fully
+//! persisted … we can rely on the key-value store") bottoms out here. This
+//! crate reproduces the contract the recovery middleware depends on:
+//!
+//! * files are append-only sequences of records, replicated across
+//!   `replication` datanodes (the paper's testbed used factor 2);
+//! * an acknowledged append is present on **every live replica** — the
+//!   `hflush` durability point — so data written by a region server
+//!   survives that server's crash;
+//! * reads succeed while at least one replica datanode is alive, selecting
+//!   the longest replica (tails may differ only for appends that were
+//!   never acknowledged);
+//! * a background namenode sweep re-replicates under-replicated files.
+//!
+//! All operations are asynchronous callbacks over the simulated network, so
+//! they pay realistic latency and interact correctly with crashes and
+//! partitions.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod client;
+mod datanode;
+mod error;
+mod namenode;
+
+pub use client::{DfsClient, DfsFile};
+pub use datanode::DataNode;
+pub use error::DfsError;
+pub use namenode::{NameNode, NameNodeConfig};
+
+/// Convenience alias for DFS operation results.
+pub type Result<T> = std::result::Result<T, DfsError>;

@@ -1,0 +1,389 @@
+//! Measurement utilities: shared counters, HDR-style latency histograms and
+//! windowed time series.
+//!
+//! The benchmark harness uses [`Histogram`] for response-time percentiles
+//! (Fig. 2a/2b) and [`TimeSeries`] for the failure-timeline plots (Fig. 3).
+
+use crate::time::{SimDuration, SimTime};
+use std::cell::{Cell, RefCell};
+use std::fmt;
+use std::rc::Rc;
+
+/// A shared monotonically increasing counter.
+#[derive(Clone, Default)]
+pub struct Counter {
+    v: Rc<Cell<u64>>,
+}
+
+impl fmt::Debug for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Counter({})", self.get())
+    }
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.v.set(self.v.get() + n);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.v.get()
+    }
+}
+
+const SUB_BITS: u32 = 5;
+const SUB_COUNT: u64 = 1 << SUB_BITS;
+
+/// Maps a value to its logarithmic bucket (~3% relative precision).
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_COUNT {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros() as u64;
+    let shift = msb - SUB_BITS as u64;
+    let sub = (v >> shift) & (SUB_COUNT - 1);
+    (((msb - SUB_BITS as u64) * SUB_COUNT) + SUB_COUNT + sub) as usize
+}
+
+/// Lower bound of the bucket with the given index (inverse of
+/// [`bucket_index`] up to bucket granularity).
+fn bucket_lower_bound(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < SUB_COUNT {
+        return idx;
+    }
+    let group = (idx - SUB_COUNT) / SUB_COUNT;
+    let sub = (idx - SUB_COUNT) % SUB_COUNT;
+    (SUB_COUNT + sub) << group
+}
+
+/// A log-bucketed histogram of `u64` samples (typically nanoseconds), with
+/// ~3% relative error on quantiles — the same trade-off as HdrHistogram.
+///
+/// # Example
+///
+/// ```
+/// use cumulo_sim::metrics::Histogram;
+///
+/// let h = Histogram::new();
+/// for v in 1..=1000u64 {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 1000);
+/// let p50 = h.quantile(0.5);
+/// assert!((450..=550).contains(&p50), "{p50}");
+/// ```
+#[derive(Clone, Default)]
+pub struct Histogram {
+    counts: Rc<RefCell<Vec<u64>>>,
+    count: Rc<Cell<u64>>,
+    sum: Rc<Cell<u64>>,
+    max: Rc<Cell<u64>>,
+    min: Rc<Cell<u64>>,
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("mean", &self.mean())
+            .field("p50", &self.quantile(0.5))
+            .field("p99", &self.quantile(0.99))
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        let idx = bucket_index(v);
+        {
+            let mut counts = self.counts.borrow_mut();
+            if counts.len() <= idx {
+                counts.resize(idx + 1, 0);
+            }
+            counts[idx] += 1;
+        }
+        self.count.set(self.count.get() + 1);
+        self.sum.set(self.sum.get().saturating_add(v));
+        if v > self.max.get() {
+            self.max.set(v);
+        }
+        if self.count.get() == 1 || v < self.min.get() {
+            self.min.set(v);
+        }
+    }
+
+    /// Records a duration's nanoseconds.
+    pub fn record_duration(&self, d: SimDuration) {
+        self.record(d.nanos());
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.get()
+    }
+
+    /// Mean of all samples (0 if empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.get().checked_div(self.count.get()).unwrap_or(0)
+    }
+
+    /// Largest sample seen (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max.get()
+    }
+
+    /// Smallest sample seen (0 if empty).
+    pub fn min(&self) -> u64 {
+        if self.count.get() == 0 {
+            0
+        } else {
+            self.min.get()
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]`, within bucket precision.
+    ///
+    /// Returns 0 for an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        let total = self.count.get();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q * total as f64).ceil() as u64).max(1);
+        let counts = self.counts.borrow();
+        let mut seen = 0;
+        for (idx, c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Report the bucket's highest contained value, clamped to
+                // the true max so `quantile(1.0) == max()`.
+                let upper = bucket_lower_bound(idx + 1).saturating_sub(1);
+                return upper.min(self.max.get());
+            }
+        }
+        self.max.get()
+    }
+
+    /// Resets the histogram to empty.
+    pub fn clear(&self) {
+        self.counts.borrow_mut().clear();
+        self.count.set(0);
+        self.sum.set(0);
+        self.max.set(0);
+        self.min.set(0);
+    }
+}
+
+/// One aggregated window of a [`TimeSeries`].
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Window {
+    /// Window start instant.
+    pub start: SimTime,
+    /// Samples recorded in the window.
+    pub count: u64,
+    /// Sum of sample values.
+    pub sum: u64,
+    /// Largest sample value (0 if none).
+    pub max: u64,
+}
+
+impl Window {
+    /// Mean sample value in this window (0 if empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Events per second given the window length.
+    pub fn rate(&self, window: SimDuration) -> f64 {
+        self.count as f64 / window.as_secs_f64()
+    }
+}
+
+/// Fixed-window time series: counts and value aggregates per window of
+/// simulated time. Used for throughput/response-time timelines (Fig. 3).
+#[derive(Clone)]
+pub struct TimeSeries {
+    window: SimDuration,
+    data: Rc<RefCell<Vec<Window>>>,
+}
+
+impl fmt::Debug for TimeSeries {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TimeSeries")
+            .field("window", &self.window)
+            .field("windows", &self.data.borrow().len())
+            .finish()
+    }
+}
+
+impl TimeSeries {
+    /// Creates a series with the given aggregation window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: SimDuration) -> TimeSeries {
+        assert!(!window.is_zero(), "window must be non-zero");
+        TimeSeries { window, data: Rc::new(RefCell::new(Vec::new())) }
+    }
+
+    /// Records an event at `now` with associated `value` (e.g. a response
+    /// time in nanoseconds; use 0 when only counting).
+    pub fn record(&self, now: SimTime, value: u64) {
+        let idx = (now.nanos() / self.window.nanos()) as usize;
+        let mut data = self.data.borrow_mut();
+        while data.len() <= idx {
+            let start = SimTime::from_nanos(data.len() as u64 * self.window.nanos());
+            data.push(Window { start, count: 0, sum: 0, max: 0 });
+        }
+        let w = &mut data[idx];
+        w.count += 1;
+        w.sum = w.sum.saturating_add(value);
+        if value > w.max {
+            w.max = value;
+        }
+    }
+
+    /// The aggregation window length.
+    pub fn window(&self) -> SimDuration {
+        self.window
+    }
+
+    /// Snapshot of all windows from t=0 through the last recorded event.
+    pub fn windows(&self) -> Vec<Window> {
+        self.data.borrow().clone()
+    }
+
+    /// Snapshot padded with empty windows up to (and excluding) `until`,
+    /// so quiet periods appear as zero-throughput windows in plots.
+    pub fn windows_until(&self, until: SimTime) -> Vec<Window> {
+        let mut out = self.data.borrow().clone();
+        let needed = (until.nanos() / self.window.nanos()) as usize;
+        while out.len() < needed {
+            let start = SimTime::from_nanos(out.len() as u64 * self.window.nanos());
+            out.push(Window { start, count: 0, sum: 0, max: 0 });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_roundtrip_precision() {
+        for v in [0u64, 1, 31, 32, 33, 100, 1_000, 123_456, 10_000_000_000] {
+            let lb = bucket_lower_bound(bucket_index(v));
+            assert!(lb <= v, "lower bound {lb} above value {v}");
+            // Relative error bounded by bucket width: < 1/32.
+            assert!((v - lb) as f64 <= (v as f64 / 32.0).max(1.0), "v={v} lb={lb}");
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_monotone() {
+        let mut values: Vec<u64> = (0..10_000u64).chain((1..60).map(|s| 1u64 << s)).collect();
+        values.sort_unstable();
+        let mut prev = 0;
+        for v in values {
+            let idx = bucket_index(v);
+            assert!(idx >= prev, "index not monotone at {v}");
+            prev = idx;
+        }
+    }
+
+    #[test]
+    fn quantiles_of_uniform_data() {
+        let h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        for (q, expect) in [(0.1, 1_000u64), (0.5, 5_000), (0.9, 9_000), (0.99, 9_900)] {
+            let got = h.quantile(q);
+            let err = (got as f64 - expect as f64).abs() / expect as f64;
+            assert!(err < 0.05, "q={q} got={got} expect~{expect}");
+        }
+        assert_eq!(h.quantile(1.0), 10_000);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 10_000);
+        assert_eq!(h.mean(), 5_000);
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0);
+        assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let h = Histogram::new();
+        h.record(500);
+        h.clear();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn counter_shares_state_across_clones() {
+        let c = Counter::new();
+        let c2 = c.clone();
+        c.inc();
+        c2.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn time_series_windows() {
+        let ts = TimeSeries::new(SimDuration::from_secs(1));
+        ts.record(SimTime::from_nanos(100), 10);
+        ts.record(SimTime::from_nanos(200), 30);
+        ts.record(SimTime::from_secs(2), 100);
+        let ws = ts.windows();
+        assert_eq!(ws.len(), 3);
+        assert_eq!(ws[0].count, 2);
+        assert_eq!(ws[0].mean(), 20);
+        assert_eq!(ws[0].max, 30);
+        assert_eq!(ws[1].count, 0);
+        assert_eq!(ws[2].count, 1);
+        assert!((ws[0].rate(SimDuration::from_secs(1)) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn windows_until_pads_trailing_quiet_period() {
+        let ts = TimeSeries::new(SimDuration::from_secs(1));
+        ts.record(SimTime::from_nanos(5), 1);
+        let ws = ts.windows_until(SimTime::from_secs(5));
+        assert_eq!(ws.len(), 5);
+        assert!(ws[4].count == 0);
+    }
+}

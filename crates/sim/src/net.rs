@@ -1,0 +1,376 @@
+//! Network model: named nodes, latency with jitter, FIFO delivery per
+//! (source, destination) pair, crash-stop node failures and partitions.
+//!
+//! FIFO per-pair ordering models TCP connections. The recovery protocol in
+//! `cumulo-core` relies on it: a client must observe its own commit
+//! timestamps in monotonic order or its flushed-threshold `T_F(c)` could
+//! overclaim (see DESIGN.md, "Protocol notes").
+
+use crate::kernel::Sim;
+use crate::time::{SimDuration, SimTime};
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::fmt;
+use std::rc::Rc;
+
+/// Identifier of a simulated machine on the network.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Latency parameters for message delivery.
+///
+/// One-way latency is `base + per_kb * ceil(bytes / 1024)`, plus
+/// multiplicative jitter uniform in `[1, 1 + jitter_frac)`. Messages a node
+/// sends to itself use `loopback` instead.
+#[derive(Copy, Clone, Debug)]
+pub struct LatencyConfig {
+    /// Fixed one-way propagation plus protocol overhead.
+    pub base: SimDuration,
+    /// Serialization cost per kilobyte (models link bandwidth).
+    pub per_kb: SimDuration,
+    /// Multiplicative jitter fraction (0.0 disables jitter).
+    pub jitter_frac: f64,
+    /// Latency for node-local messages.
+    pub loopback: SimDuration,
+}
+
+impl LatencyConfig {
+    /// A 100 Mbps-switched-Ethernet-like LAN, matching the paper's testbed:
+    /// ~200 µs one-way base latency, ~80 µs per KB serialization, 20% jitter.
+    pub fn lan_100mbps() -> Self {
+        LatencyConfig {
+            base: SimDuration::from_micros(200),
+            per_kb: SimDuration::from_micros(80),
+            jitter_frac: 0.2,
+            loopback: SimDuration::from_micros(15),
+        }
+    }
+
+    /// Near-zero latency, for unit tests that don't care about timing.
+    pub fn instant() -> Self {
+        LatencyConfig {
+            base: SimDuration::from_nanos(1),
+            per_kb: SimDuration::ZERO,
+            jitter_frac: 0.0,
+            loopback: SimDuration::from_nanos(1),
+        }
+    }
+}
+
+struct NodeMeta {
+    name: String,
+    alive: bool,
+}
+
+struct NetState {
+    nodes: Vec<NodeMeta>,
+    partitions: HashSet<(u32, u32)>,
+    /// Per-(src,dst) earliest next delivery instant, enforcing FIFO order.
+    fifo_horizon: HashMap<(u32, u32), u64>,
+}
+
+/// The simulated network. Shared via `Rc`.
+///
+/// # Example
+///
+/// ```
+/// use cumulo_sim::{LatencyConfig, Network, Sim, SimTime};
+/// use std::cell::Cell;
+/// use std::rc::Rc;
+///
+/// let sim = Sim::new(1);
+/// let net = Network::new(&sim, LatencyConfig::lan_100mbps());
+/// let a = net.add_node("a");
+/// let b = net.add_node("b");
+/// let got = Rc::new(Cell::new(false));
+/// let g = got.clone();
+/// net.send(a, b, 128, move || g.set(true));
+/// sim.run_until(SimTime::from_secs(1));
+/// assert!(got.get());
+/// ```
+pub struct Network {
+    sim: Sim,
+    latency: LatencyConfig,
+    state: RefCell<NetState>,
+    sent: Cell<u64>,
+    delivered: Cell<u64>,
+    dropped: Cell<u64>,
+}
+
+impl fmt::Debug for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Network")
+            .field("nodes", &self.state.borrow().nodes.len())
+            .field("sent", &self.sent.get())
+            .field("delivered", &self.delivered.get())
+            .field("dropped", &self.dropped.get())
+            .finish()
+    }
+}
+
+fn pair(a: NodeId, b: NodeId) -> (u32, u32) {
+    if a.0 <= b.0 {
+        (a.0, b.0)
+    } else {
+        (b.0, a.0)
+    }
+}
+
+impl Network {
+    /// Creates an empty network on `sim` with the given latency model.
+    pub fn new(sim: &Sim, latency: LatencyConfig) -> Rc<Network> {
+        Rc::new(Network {
+            sim: sim.clone(),
+            latency,
+            state: RefCell::new(NetState {
+                nodes: Vec::new(),
+                partitions: HashSet::new(),
+                fifo_horizon: HashMap::new(),
+            }),
+            sent: Cell::new(0),
+            delivered: Cell::new(0),
+            dropped: Cell::new(0),
+        })
+    }
+
+    /// Registers a machine and returns its id. Nodes start alive.
+    pub fn add_node(&self, name: &str) -> NodeId {
+        let mut st = self.state.borrow_mut();
+        let id = NodeId(st.nodes.len() as u32);
+        st.nodes.push(NodeMeta { name: name.to_owned(), alive: true });
+        id
+    }
+
+    /// Human-readable name given at registration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` was not created by this network.
+    pub fn node_name(&self, node: NodeId) -> String {
+        self.state.borrow().nodes[node.0 as usize].name.clone()
+    }
+
+    /// Whether the node is currently alive.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.state.borrow().nodes[node.0 as usize].alive
+    }
+
+    /// Marks a node dead. In-flight messages to or from it are dropped at
+    /// their delivery instant; future sends from it are dropped immediately.
+    pub fn crash(&self, node: NodeId) {
+        self.state.borrow_mut().nodes[node.0 as usize].alive = false;
+    }
+
+    /// Marks a node alive again (a restarted process on the same machine).
+    pub fn restart(&self, node: NodeId) {
+        self.state.borrow_mut().nodes[node.0 as usize].alive = true;
+    }
+
+    /// Installs a bidirectional partition between `a` and `b`.
+    pub fn partition(&self, a: NodeId, b: NodeId) {
+        self.state.borrow_mut().partitions.insert(pair(a, b));
+    }
+
+    /// Removes the partition between `a` and `b`, if any.
+    pub fn heal(&self, a: NodeId, b: NodeId) {
+        self.state.borrow_mut().partitions.remove(&pair(a, b));
+    }
+
+    /// Whether `a` and `b` are currently partitioned from each other.
+    pub fn partitioned(&self, a: NodeId, b: NodeId) -> bool {
+        self.state.borrow().partitions.contains(&pair(a, b))
+    }
+
+    /// Sends a message of `bytes` payload from `from` to `to`; `deliver`
+    /// runs at the receiver when (and if) the message arrives.
+    ///
+    /// The message is dropped — `deliver` never runs — if the sender is dead
+    /// at send time, the pair is partitioned at send or delivery time, or
+    /// the receiver is dead at delivery time. Delivery is FIFO per
+    /// (from, to) pair.
+    pub fn send(self: &Rc<Self>, from: NodeId, to: NodeId, bytes: usize, deliver: impl FnOnce() + 'static) {
+        self.sent.set(self.sent.get() + 1);
+        {
+            let st = self.state.borrow();
+            if !st.nodes[from.0 as usize].alive || st.partitions.contains(&pair(from, to)) {
+                self.dropped.set(self.dropped.get() + 1);
+                return;
+            }
+        }
+        let lat = if from == to {
+            self.latency.loopback
+        } else {
+            let kb = (bytes as u64).div_ceil(1024);
+            let raw = self.latency.base + self.latency.per_kb * kb;
+            self.sim.jitter(raw, self.latency.jitter_frac)
+        };
+        let mut at = (self.sim.now() + lat).nanos();
+        {
+            let mut st = self.state.borrow_mut();
+            let horizon = st.fifo_horizon.entry((from.0, to.0)).or_insert(0);
+            if at <= *horizon {
+                at = *horizon + 1;
+            }
+            *horizon = at;
+        }
+        let this = Rc::clone(self);
+        self.sim.schedule_at(SimTime::from_nanos(at), move || {
+            let ok = {
+                let st = this.state.borrow();
+                st.nodes[to.0 as usize].alive && !st.partitions.contains(&pair(from, to))
+            };
+            if ok {
+                this.delivered.set(this.delivered.get() + 1);
+                deliver();
+            } else {
+                this.dropped.set(this.dropped.get() + 1);
+            }
+        });
+    }
+
+    /// Total messages submitted to the network.
+    pub fn messages_sent(&self) -> u64 {
+        self.sent.get()
+    }
+
+    /// Total messages delivered to a live receiver.
+    pub fn messages_delivered(&self) -> u64 {
+        self.delivered.get()
+    }
+
+    /// Total messages dropped (dead endpoint or partition).
+    pub fn messages_dropped(&self) -> u64 {
+        self.dropped.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+
+    fn setup() -> (Sim, Rc<Network>, NodeId, NodeId) {
+        let sim = Sim::new(42);
+        let net = Network::new(&sim, LatencyConfig::lan_100mbps());
+        let a = net.add_node("a");
+        let b = net.add_node("b");
+        (sim, net, a, b)
+    }
+
+    #[test]
+    fn delivery_to_live_node() {
+        let (sim, net, a, b) = setup();
+        let got = Rc::new(Cell::new(false));
+        let g = got.clone();
+        net.send(a, b, 100, move || g.set(true));
+        sim.run_until(SimTime::from_secs(1));
+        assert!(got.get());
+        assert_eq!(net.messages_delivered(), 1);
+    }
+
+    #[test]
+    fn fifo_per_pair_even_with_jitter() {
+        let (sim, net, a, b) = setup();
+        let log: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..200u32 {
+            let log = log.clone();
+            // Alternate tiny and huge messages so raw latencies interleave.
+            let size = if i % 2 == 0 { 16 } else { 64 * 1024 };
+            net.send(a, b, size, move || log.borrow_mut().push(i));
+        }
+        sim.run_until(SimTime::from_secs(5));
+        assert_eq!(*log.borrow(), (0..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn crash_drops_inflight_and_future() {
+        let (sim, net, a, b) = setup();
+        let got = Rc::new(Cell::new(0u32));
+        let g = got.clone();
+        net.send(a, b, 100, move || g.set(g.get() + 1));
+        net.crash(b);
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(got.get(), 0);
+        // Sends from a dead node are dropped at send time.
+        net.crash(a);
+        let g2 = got.clone();
+        net.send(a, b, 100, move || g2.set(g2.get() + 1));
+        sim.run_until(SimTime::from_secs(2));
+        assert_eq!(got.get(), 0);
+        assert_eq!(net.messages_dropped(), 2);
+    }
+
+    #[test]
+    fn restart_restores_delivery() {
+        let (sim, net, a, b) = setup();
+        net.crash(b);
+        net.restart(b);
+        let got = Rc::new(Cell::new(false));
+        let g = got.clone();
+        net.send(a, b, 100, move || g.set(true));
+        sim.run_until(SimTime::from_secs(1));
+        assert!(got.get());
+    }
+
+    #[test]
+    fn partitions_block_both_directions_until_healed() {
+        let (sim, net, a, b) = setup();
+        net.partition(a, b);
+        let got = Rc::new(Cell::new(0u32));
+        let (g1, g2) = (got.clone(), got.clone());
+        net.send(a, b, 10, move || g1.set(g1.get() + 1));
+        net.send(b, a, 10, move || g2.set(g2.get() + 1));
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(got.get(), 0);
+        net.heal(a, b);
+        let g3 = got.clone();
+        net.send(a, b, 10, move || g3.set(g3.get() + 1));
+        sim.run_until(SimTime::from_secs(2));
+        assert_eq!(got.get(), 1);
+    }
+
+    #[test]
+    fn larger_messages_take_longer() {
+        let sim = Sim::new(1);
+        let mut cfg = LatencyConfig::lan_100mbps();
+        cfg.jitter_frac = 0.0;
+        let net = Network::new(&sim, cfg);
+        let a = net.add_node("a");
+        let b = net.add_node("b");
+        let t_small = Rc::new(Cell::new(SimTime::ZERO));
+        let t_big = Rc::new(Cell::new(SimTime::ZERO));
+        let (ts, tb) = (t_small.clone(), t_big.clone());
+        let (s1, s2) = (sim.clone(), sim.clone());
+        net.send(a, b, 10, move || ts.set(s1.now()));
+        sim.run_until(SimTime::from_secs(1));
+        net.send(a, b, 1024 * 1024, move || tb.set(s2.now()));
+        sim.run_until(SimTime::from_secs(2));
+        let small_lat = t_small.get() - SimTime::ZERO;
+        let big_lat = t_big.get() - SimTime::from_secs(1);
+        assert!(big_lat > small_lat * 10, "{big_lat} vs {small_lat}");
+    }
+
+    #[test]
+    fn loopback_is_fast() {
+        let (sim, net, a, _) = setup();
+        let t = Rc::new(Cell::new(SimTime::ZERO));
+        let tc = t.clone();
+        let s = sim.clone();
+        net.send(a, a, 10_000, move || tc.set(s.now()));
+        sim.run_until(SimTime::from_secs(1));
+        assert!(t.get() <= SimTime::ZERO + SimDuration::from_micros(100));
+    }
+}

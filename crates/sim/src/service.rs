@@ -1,0 +1,226 @@
+//! CPU model: a `k`-core FIFO service queue per node.
+//!
+//! Every request a region server, client node or transaction manager handles
+//! is submitted here with a service time; when all cores are busy, requests
+//! queue. This is what produces the saturation knee in the paper's
+//! response-time-versus-throughput curves (Fig. 2a) and the contention cost
+//! of overly frequent heartbeat tracking (Fig. 2b).
+
+use crate::kernel::Sim;
+use crate::time::{SimDuration, SimTime};
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::fmt;
+use std::rc::Rc;
+
+struct Job {
+    service: SimDuration,
+    run: Box<dyn FnOnce()>,
+}
+
+/// A `k`-core processor-sharing-free FIFO queue (M/G/k-style service
+/// station). Shared via `Rc`.
+///
+/// # Example
+///
+/// ```
+/// use cumulo_sim::{ServiceQueue, Sim, SimDuration, SimTime};
+/// use std::{cell::Cell, rc::Rc};
+///
+/// let sim = Sim::new(1);
+/// let cpu = ServiceQueue::new(&sim, 2);
+/// let done = Rc::new(Cell::new(0));
+/// for _ in 0..4 {
+///     let d = done.clone();
+///     cpu.submit(SimDuration::from_millis(10), move || d.set(d.get() + 1));
+/// }
+/// // Two cores, four 10 ms jobs: finishes at t = 20 ms.
+/// sim.run_until(SimTime::from_millis(19));
+/// assert_eq!(done.get(), 2);
+/// sim.run_until(SimTime::from_millis(21));
+/// assert_eq!(done.get(), 4);
+/// ```
+pub struct ServiceQueue {
+    sim: Sim,
+    cores: usize,
+    busy: Cell<usize>,
+    queue: RefCell<VecDeque<Job>>,
+    completed: Cell<u64>,
+    busy_ns: Cell<u64>,
+    created_at: Cell<u64>,
+    max_queue: Cell<usize>,
+}
+
+impl fmt::Debug for ServiceQueue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServiceQueue")
+            .field("cores", &self.cores)
+            .field("busy", &self.busy.get())
+            .field("queued", &self.queue.borrow().len())
+            .field("completed", &self.completed.get())
+            .finish()
+    }
+}
+
+impl ServiceQueue {
+    /// Creates a service station with `cores` parallel executors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn new(sim: &Sim, cores: usize) -> Rc<ServiceQueue> {
+        assert!(cores > 0, "a service queue needs at least one core");
+        Rc::new(ServiceQueue {
+            sim: sim.clone(),
+            cores,
+            busy: Cell::new(0),
+            queue: RefCell::new(VecDeque::new()),
+            completed: Cell::new(0),
+            busy_ns: Cell::new(0),
+            created_at: Cell::new(sim.now().nanos()),
+            max_queue: Cell::new(0),
+        })
+    }
+
+    /// Submits work requiring `service` CPU time; `run` executes when the
+    /// work *completes* (queueing delay + service time after submission).
+    pub fn submit(self: &Rc<Self>, service: SimDuration, run: impl FnOnce() + 'static) {
+        let job = Job { service, run: Box::new(run) };
+        if self.busy.get() < self.cores {
+            self.start(job);
+        } else {
+            let mut q = self.queue.borrow_mut();
+            q.push_back(job);
+            let len = q.len();
+            if len > self.max_queue.get() {
+                self.max_queue.set(len);
+            }
+        }
+    }
+
+    fn start(self: &Rc<Self>, job: Job) {
+        self.busy.set(self.busy.get() + 1);
+        self.busy_ns.set(self.busy_ns.get() + job.service.nanos());
+        let this = Rc::clone(self);
+        self.sim.schedule_in(job.service, move || {
+            (job.run)();
+            this.busy.set(this.busy.get() - 1);
+            this.completed.set(this.completed.get() + 1);
+            let next = this.queue.borrow_mut().pop_front();
+            if let Some(next) = next {
+                this.start(next);
+            }
+        });
+    }
+
+    /// Jobs currently waiting (not yet in service).
+    pub fn queue_len(&self) -> usize {
+        self.queue.borrow().len()
+    }
+
+    /// Jobs currently in service.
+    pub fn in_service(&self) -> usize {
+        self.busy.get()
+    }
+
+    /// Jobs completed since creation.
+    pub fn completed(&self) -> u64 {
+        self.completed.get()
+    }
+
+    /// High-water mark of the wait queue.
+    pub fn max_queue_len(&self) -> usize {
+        self.max_queue.get()
+    }
+
+    /// Fraction of capacity consumed since creation (can exceed 1.0 only
+    /// transiently due to in-flight accounting; ~1.0 means saturated).
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        let elapsed = now.nanos().saturating_sub(self.created_at.get());
+        if elapsed == 0 {
+            return 0.0;
+        }
+        self.busy_ns.get() as f64 / (elapsed as f64 * self.cores as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let sim = Sim::new(1);
+        let cpu = ServiceQueue::new(&sim, 1);
+        let log: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..5u32 {
+            let log = log.clone();
+            cpu.submit(SimDuration::from_millis(1), move || log.borrow_mut().push(i));
+        }
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(*log.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn parallelism_matches_cores() {
+        let sim = Sim::new(1);
+        let cpu = ServiceQueue::new(&sim, 4);
+        let done = Rc::new(Cell::new(0u32));
+        for _ in 0..8 {
+            let d = done.clone();
+            cpu.submit(SimDuration::from_millis(10), move || d.set(d.get() + 1));
+        }
+        sim.run_until(SimTime::from_millis(10));
+        assert_eq!(done.get(), 4);
+        sim.run_until(SimTime::from_millis(20));
+        assert_eq!(done.get(), 8);
+    }
+
+    #[test]
+    fn queueing_delay_grows_under_overload() {
+        let sim = Sim::new(1);
+        let cpu = ServiceQueue::new(&sim, 1);
+        // Offer 2x the capacity: 1ms jobs arriving every 0.5ms.
+        let last_done = Rc::new(Cell::new(SimTime::ZERO));
+        for i in 0..100u64 {
+            let ld = last_done.clone();
+            let s = sim.clone();
+            sim.schedule_at(SimTime::from_nanos(i * 500_000), move || {
+                let ld = ld.clone();
+                let s2 = s.clone();
+                // submit from inside the sim so arrival time is honored
+                ld.set(s2.now());
+            });
+        }
+        // Direct check of max queue growth instead:
+        for _ in 0..100 {
+            cpu.submit(SimDuration::from_millis(1), || {});
+        }
+        sim.run_until(SimTime::from_secs(1));
+        assert!(cpu.max_queue_len() >= 90);
+        assert_eq!(cpu.completed(), 100);
+    }
+
+    #[test]
+    fn utilization_reflects_load() {
+        let sim = Sim::new(1);
+        let cpu = ServiceQueue::new(&sim, 2);
+        for _ in 0..10 {
+            cpu.submit(SimDuration::from_millis(100), || {});
+        }
+        // 10 jobs x 100ms on 2 cores = 500ms busy each core.
+        sim.run_until(SimTime::from_millis(500));
+        let u = cpu.utilization(sim.now());
+        assert!(u > 0.95 && u <= 1.05, "utilization {u}");
+        sim.run_until(SimTime::from_secs(1));
+        let u = cpu.utilization(sim.now());
+        assert!(u > 0.45 && u < 0.55, "utilization {u}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_panics() {
+        let sim = Sim::new(1);
+        let _ = ServiceQueue::new(&sim, 0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Periodic timers built on the event queue.
+//!
+//! Heartbeats, WAL sync intervals and memstore flush checks are all
+//! periodic; [`every`] gives them a cancellable recurring callback.
+
+use crate::kernel::Sim;
+use crate::time::SimDuration;
+use std::cell::Cell;
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// Cancellation handle for a recurring timer created by [`every`].
+///
+/// Dropping the handle does *not* cancel the timer (components usually want
+/// timers to outlive local scopes); call [`TimerHandle::cancel`].
+#[derive(Clone)]
+pub struct TimerHandle {
+    cancelled: Rc<Cell<bool>>,
+}
+
+impl fmt::Debug for TimerHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TimerHandle").field("cancelled", &self.cancelled.get()).finish()
+    }
+}
+
+impl TimerHandle {
+    /// Stops the timer. The callback will not fire again.
+    pub fn cancel(&self) {
+        self.cancelled.set(true);
+    }
+
+    /// Whether [`cancel`](Self::cancel) has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.get()
+    }
+}
+
+/// Runs `f` every `interval`, starting one `interval` from now.
+///
+/// The callback keeps firing until the returned handle is cancelled.
+///
+/// # Example
+///
+/// ```
+/// use cumulo_sim::{every, Sim, SimDuration, SimTime};
+/// use std::{cell::Cell, rc::Rc};
+///
+/// let sim = Sim::new(1);
+/// let n = Rc::new(Cell::new(0));
+/// let n2 = n.clone();
+/// let timer = every(&sim, SimDuration::from_secs(1), move || n2.set(n2.get() + 1));
+/// sim.run_until(SimTime::from_secs(5));
+/// timer.cancel();
+/// sim.run_until(SimTime::from_secs(10));
+/// assert_eq!(n.get(), 5);
+/// ```
+pub fn every(sim: &Sim, interval: SimDuration, f: impl FnMut() + 'static) -> TimerHandle {
+    every_from(sim, interval, interval, f)
+}
+
+/// Like [`every`], but the first firing happens after `first_delay` instead
+/// of after one full `interval` (useful to de-synchronize many periodic
+/// components by staggering their phases).
+///
+/// # Panics
+///
+/// Panics if `interval` is zero (the timer would livelock the event loop).
+pub fn every_from(
+    sim: &Sim,
+    first_delay: SimDuration,
+    interval: SimDuration,
+    f: impl FnMut() + 'static,
+) -> TimerHandle {
+    assert!(!interval.is_zero(), "timer interval must be non-zero");
+    let cancelled = Rc::new(Cell::new(false));
+    let cb: Rc<RefCell<dyn FnMut()>> = Rc::new(RefCell::new(f));
+    schedule_tick(sim.clone(), first_delay, interval, cb, cancelled.clone());
+    TimerHandle { cancelled }
+}
+
+fn schedule_tick(
+    sim: Sim,
+    delay: SimDuration,
+    interval: SimDuration,
+    cb: Rc<RefCell<dyn FnMut()>>,
+    cancelled: Rc<Cell<bool>>,
+) {
+    let sim2 = sim.clone();
+    sim.schedule_in(delay, move || {
+        if cancelled.get() {
+            return;
+        }
+        (cb.borrow_mut())();
+        if !cancelled.get() {
+            schedule_tick(sim2.clone(), interval, interval, cb, cancelled);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    #[test]
+    fn fires_at_interval() {
+        let sim = Sim::new(1);
+        let n = Rc::new(Cell::new(0u32));
+        let n2 = n.clone();
+        every(&sim, SimDuration::from_millis(100), move || n2.set(n2.get() + 1));
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(n.get(), 10);
+    }
+
+    #[test]
+    fn cancel_stops_future_fires() {
+        let sim = Sim::new(1);
+        let n = Rc::new(Cell::new(0u32));
+        let n2 = n.clone();
+        let t = every(&sim, SimDuration::from_millis(100), move || n2.set(n2.get() + 1));
+        sim.run_until(SimTime::from_millis(350));
+        t.cancel();
+        assert!(t.is_cancelled());
+        sim.run_until(SimTime::from_secs(10));
+        assert_eq!(n.get(), 3);
+    }
+
+    #[test]
+    fn cancel_from_inside_callback() {
+        let sim = Sim::new(1);
+        let n = Rc::new(Cell::new(0u32));
+        // Cancel after 2 fires, from within the callback itself.
+        let handle: Rc<RefCell<Option<TimerHandle>>> = Rc::new(RefCell::new(None));
+        let (n2, h2) = (n.clone(), handle.clone());
+        let t = every(&sim, SimDuration::from_millis(10), move || {
+            n2.set(n2.get() + 1);
+            if n2.get() == 2 {
+                h2.borrow().as_ref().unwrap().cancel();
+            }
+        });
+        *handle.borrow_mut() = Some(t);
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(n.get(), 2);
+    }
+
+    #[test]
+    fn staggered_start() {
+        let sim = Sim::new(1);
+        let first = Rc::new(Cell::new(SimTime::ZERO));
+        let (f2, s2) = (first.clone(), sim.clone());
+        let fired = Rc::new(Cell::new(false));
+        let fi = fired.clone();
+        every_from(&sim, SimDuration::from_millis(7), SimDuration::from_millis(100), move || {
+            if !fi.get() {
+                f2.set(s2.now());
+                fi.set(true);
+            }
+        });
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(first.get(), SimTime::ZERO + SimDuration::from_millis(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_interval_panics() {
+        let sim = Sim::new(1);
+        every(&sim, SimDuration::ZERO, || {});
+    }
+}

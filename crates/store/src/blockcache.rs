@@ -1,0 +1,338 @@
+//! LRU block cache.
+//!
+//! A region server serves reads from its block cache when possible and
+//! pays a filesystem block fetch otherwise. After a failover the server
+//! that inherits a region has none of its blocks cached — which is exactly
+//! the ~30-second warm-up the paper observes after recovery (Fig. 3):
+//! "the longer delay in returning to pre-failure performance levels is due
+//! to the region server cache taking a while to warm up".
+//!
+//! Keys are `(region, row)` pairs: we model cache residency at row
+//! granularity, which is what decides hit-or-miss service time.
+
+use crate::types::RegionId;
+use bytes::Bytes;
+use std::collections::HashMap;
+use std::fmt;
+
+type Key = (RegionId, Bytes);
+
+const NIL: usize = usize::MAX;
+
+struct Entry {
+    key: Key,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity LRU set of cached blocks.
+///
+/// # Example
+///
+/// ```
+/// use bytes::Bytes;
+/// use cumulo_store::{BlockCache, RegionId};
+///
+/// let mut cache = BlockCache::new(2);
+/// let r = RegionId(0);
+/// cache.insert(r, Bytes::from_static(b"a"));
+/// cache.insert(r, Bytes::from_static(b"b"));
+/// cache.insert(r, Bytes::from_static(b"c")); // evicts "a"
+/// assert!(!cache.contains(r, b"a"));
+/// assert!(cache.contains(r, b"b"));
+/// assert!(cache.contains(r, b"c"));
+/// ```
+pub struct BlockCache {
+    capacity: usize,
+    map: HashMap<Key, usize>,
+    entries: Vec<Entry>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl fmt::Debug for BlockCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BlockCache")
+            .field("len", &self.map.len())
+            .field("capacity", &self.capacity)
+            .field("hits", &self.hits)
+            .field("misses", &self.misses)
+            .field("evictions", &self.evictions)
+            .finish()
+    }
+}
+
+impl BlockCache {
+    /// Creates a cache holding at most `capacity` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> BlockCache {
+        assert!(capacity > 0, "cache capacity must be non-zero");
+        BlockCache {
+            capacity,
+            map: HashMap::new(),
+            entries: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = (self.entries[idx].prev, self.entries[idx].next);
+        if prev != NIL {
+            self.entries[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.entries[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn attach_front(&mut self, idx: usize) {
+        self.entries[idx].prev = NIL;
+        self.entries[idx].next = self.head;
+        if self.head != NIL {
+            self.entries[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Checks residency *and records the access*: a hit refreshes the
+    /// entry's recency, a miss bumps the miss counter. This is the method
+    /// the read path uses.
+    pub fn access(&mut self, region: RegionId, row: &[u8]) -> bool {
+        let key = (region, Bytes::copy_from_slice(row));
+        if let Some(&idx) = self.map.get(&key) {
+            self.hits += 1;
+            self.detach(idx);
+            self.attach_front(idx);
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Pure residency check, with no recency or statistics side effects.
+    pub fn contains(&self, region: RegionId, row: &[u8]) -> bool {
+        self.map.contains_key(&(region, Bytes::copy_from_slice(row)))
+    }
+
+    /// Inserts a block (after a miss fetched it), evicting the least
+    /// recently used block if full.
+    pub fn insert(&mut self, region: RegionId, row: Bytes) {
+        let key = (region, row);
+        if let Some(&idx) = self.map.get(&key) {
+            self.detach(idx);
+            self.attach_front(idx);
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL);
+            self.detach(victim);
+            let vkey = self.entries[victim].key.clone();
+            self.map.remove(&vkey);
+            self.free.push(victim);
+            self.evictions += 1;
+        }
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.entries[i] = Entry { key: key.clone(), prev: NIL, next: NIL };
+                i
+            }
+            None => {
+                self.entries.push(Entry { key: key.clone(), prev: NIL, next: NIL });
+                self.entries.len() - 1
+            }
+        };
+        self.map.insert(key, idx);
+        self.attach_front(idx);
+    }
+
+    /// Drops every cached block of `region` (used when a region moves away
+    /// from this server).
+    pub fn evict_region(&mut self, region: RegionId) {
+        let doomed: Vec<Key> =
+            self.map.keys().filter(|(r, _)| *r == region).cloned().collect();
+        for key in doomed {
+            if let Some(idx) = self.map.remove(&key) {
+                self.detach(idx);
+                self.free.push(idx);
+            }
+        }
+    }
+
+    /// Blocks currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Total recorded hits.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total recorded misses.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Total evictions.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Hit fraction over all accesses (0 if never accessed).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn basic_insert_access() {
+        let mut c = BlockCache::new(10);
+        let r = RegionId(0);
+        assert!(!c.access(r, b"x"));
+        c.insert(r, b("x"));
+        assert!(c.access(r, b"x"));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        assert!((c.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = BlockCache::new(3);
+        let r = RegionId(0);
+        c.insert(r, b("a"));
+        c.insert(r, b("b"));
+        c.insert(r, b("c"));
+        // Touch "a" so "b" becomes LRU.
+        assert!(c.access(r, b"a"));
+        c.insert(r, b("d"));
+        assert!(c.contains(r, b"a"));
+        assert!(!c.contains(r, b"b"));
+        assert!(c.contains(r, b"c"));
+        assert!(c.contains(r, b"d"));
+        assert_eq!(c.evictions(), 1);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn reinsert_refreshes_not_duplicates() {
+        let mut c = BlockCache::new(2);
+        let r = RegionId(0);
+        c.insert(r, b("a"));
+        c.insert(r, b("b"));
+        c.insert(r, b("a")); // refresh
+        c.insert(r, b("c")); // evicts b (LRU), not a
+        assert!(c.contains(r, b"a"));
+        assert!(!c.contains(r, b"b"));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn regions_are_distinct() {
+        let mut c = BlockCache::new(10);
+        c.insert(RegionId(0), b("x"));
+        assert!(c.contains(RegionId(0), b"x"));
+        assert!(!c.contains(RegionId(1), b"x"));
+    }
+
+    #[test]
+    fn evict_region_clears_only_that_region() {
+        let mut c = BlockCache::new(10);
+        c.insert(RegionId(0), b("x"));
+        c.insert(RegionId(0), b("y"));
+        c.insert(RegionId(1), b("x"));
+        c.evict_region(RegionId(0));
+        assert_eq!(c.len(), 1);
+        assert!(c.contains(RegionId(1), b"x"));
+        // Slots are recycled.
+        c.insert(RegionId(2), b("z"));
+        c.insert(RegionId(2), b("w"));
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn single_slot_cache() {
+        let mut c = BlockCache::new(1);
+        let r = RegionId(0);
+        c.insert(r, b("a"));
+        c.insert(r, b("b"));
+        assert!(!c.contains(r, b"a"));
+        assert!(c.contains(r, b"b"));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        let _ = BlockCache::new(0);
+    }
+
+    #[test]
+    fn heavy_churn_consistency() {
+        // Cross-check against a naive model on a few thousand operations.
+        let mut c = BlockCache::new(50);
+        let mut model: Vec<Bytes> = Vec::new(); // front = MRU
+        let r = RegionId(0);
+        let mut x: u64 = 12345;
+        for _ in 0..5000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = b(&format!("k{}", x % 120));
+            if x.is_multiple_of(3) {
+                let hit = c.access(r, &key);
+                let model_hit = model.contains(&key);
+                assert_eq!(hit, model_hit);
+                if model_hit {
+                    model.retain(|k| k != &key);
+                    model.insert(0, key);
+                }
+            } else {
+                c.insert(r, key.clone());
+                model.retain(|k| k != &key);
+                model.insert(0, key);
+                if model.len() > 50 {
+                    model.pop();
+                }
+            }
+            assert_eq!(c.len(), model.len());
+        }
+    }
+}

@@ -1,0 +1,467 @@
+//! The store client (the paper's "HBase client" library): region location
+//! caching, request routing, timeouts and unbounded retries.
+//!
+//! The paper removes the client's retry and timeout limits so that an
+//! interrupted flush keeps retrying until the affected region comes back
+//! online (§3.2): "we work around this by removing the retry and timeout
+//! limits so that the client keeps retrying until it succeeds." Both
+//! [`StoreClient::get`] and [`StoreClient::multi_put`] therefore retry
+//! forever; their callbacks fire exactly once, on success.
+
+use crate::master::{Master, ServerDirectory};
+use crate::memstore::VersionedValue;
+use crate::region::RegionMap;
+use crate::types::{Mutation, RegionId, Timestamp, WriteSet};
+use bytes::Bytes;
+use cumulo_sim::metrics::Counter;
+use cumulo_sim::{Network, NodeId, Sim, SimDuration};
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// Store-client tuning knobs.
+#[derive(Copy, Clone, Debug)]
+pub struct StoreClientConfig {
+    /// How long to wait for a response before treating the request as
+    /// lost (dead or partitioned server).
+    pub request_timeout: SimDuration,
+    /// Delay before retrying a failed/timed-out request.
+    pub retry_backoff: SimDuration,
+    /// Cap on the exponential retry backoff.
+    pub max_backoff: SimDuration,
+}
+
+impl Default for StoreClientConfig {
+    fn default() -> Self {
+        StoreClientConfig {
+            request_timeout: SimDuration::from_millis(60),
+            retry_backoff: SimDuration::from_millis(15),
+            max_backoff: SimDuration::from_millis(500),
+        }
+    }
+}
+
+struct Inner {
+    sim: Sim,
+    net: Rc<Network>,
+    from: NodeId,
+    master: Rc<Master>,
+    dir: Rc<ServerDirectory>,
+    map: RefCell<RegionMap>,
+    cfg: StoreClientConfig,
+    refresh_inflight: Cell<bool>,
+    retries: Counter,
+    gets_ok: Counter,
+    puts_ok: Counter,
+}
+
+/// A client-side handle to the distributed store. Cheap to clone.
+#[derive(Clone)]
+pub struct StoreClient {
+    inner: Rc<Inner>,
+}
+
+impl fmt::Debug for StoreClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StoreClient")
+            .field("from", &self.inner.from)
+            .field("retries", &self.inner.retries.get())
+            .finish()
+    }
+}
+
+impl StoreClient {
+    /// Creates a client on node `from`, seeded with the master's current
+    /// region map.
+    pub fn new(
+        sim: &Sim,
+        net: &Rc<Network>,
+        from: NodeId,
+        master: &Rc<Master>,
+        dir: &Rc<ServerDirectory>,
+        cfg: StoreClientConfig,
+    ) -> StoreClient {
+        StoreClient {
+            inner: Rc::new(Inner {
+                sim: sim.clone(),
+                net: Rc::clone(net),
+                from,
+                master: Rc::clone(master),
+                dir: Rc::clone(dir),
+                map: RefCell::new(master.snapshot_map()),
+                cfg,
+                refresh_inflight: Cell::new(false),
+                retries: Counter::new(),
+                gets_ok: Counter::new(),
+                puts_ok: Counter::new(),
+            }),
+        }
+    }
+
+    /// The node requests are issued from.
+    pub fn from_node(&self) -> NodeId {
+        self.inner.from
+    }
+
+    /// Reads the newest version of `(row, column)` visible at `snapshot`.
+    /// Retries (with location refresh) until it succeeds; `done` fires
+    /// exactly once.
+    pub fn get(
+        &self,
+        row: Bytes,
+        column: Bytes,
+        snapshot: Timestamp,
+        done: impl FnOnce(Option<VersionedValue>) + 'static,
+    ) {
+        get_attempt(Rc::clone(&self.inner), row, column, snapshot, 0, Box::new(done));
+    }
+
+    /// Flushes one transaction's mutations for one region to its hosting
+    /// server, retrying forever (paper §3.2). `floor` piggybacks the
+    /// failed server's persisted threshold during server-recovery replay;
+    /// `replay` write-sets may target regions still under recovery.
+    pub fn multi_put(
+        &self,
+        region: RegionId,
+        ts: Timestamp,
+        mutations: Vec<Mutation>,
+        floor: Option<Timestamp>,
+        replay: bool,
+        done: impl FnOnce() + 'static,
+    ) {
+        put_attempt(Rc::clone(&self.inner), region, ts, mutations, floor, replay, 0, Box::new(done));
+    }
+
+    /// Scans `[start, end)` at `snapshot` within the region containing
+    /// `start`, returning up to `limit` cells. Retries until served.
+    pub fn scan(
+        &self,
+        start: Bytes,
+        end: Option<Bytes>,
+        snapshot: Timestamp,
+        limit: usize,
+        done: impl FnOnce(Vec<(Bytes, Bytes, VersionedValue)>) + 'static,
+    ) {
+        scan_attempt(Rc::clone(&self.inner), start, end, snapshot, limit, 0, Box::new(done));
+    }
+
+    /// Splits a write-set by destination region using the cached map
+    /// (boundaries are static, so staleness cannot misroute).
+    pub fn group_write_set(&self, ws: &WriteSet) -> BTreeMap<RegionId, Vec<Mutation>> {
+        let map = self.inner.map.borrow();
+        let mut out: BTreeMap<RegionId, Vec<Mutation>> = BTreeMap::new();
+        for m in &ws.mutations {
+            out.entry(map.region_for(&m.row)).or_default().push(m.clone());
+        }
+        out
+    }
+
+    /// The region containing `row` (static boundary lookup).
+    pub fn region_for(&self, row: &[u8]) -> RegionId {
+        self.inner.map.borrow().region_for(row)
+    }
+
+    /// Re-seeds the cached region map directly from the master (harness
+    /// wiring for clients constructed before the table was bootstrapped;
+    /// steady-state refreshes go through the network).
+    pub fn reseed_region_map(&self) {
+        *self.inner.map.borrow_mut() = self.inner.master.snapshot_map();
+    }
+
+    /// Total request retries performed (timeouts + not-serving).
+    pub fn retry_count(&self) -> u64 {
+        self.inner.retries.get()
+    }
+
+    /// Successful gets.
+    pub fn gets_ok(&self) -> u64 {
+        self.inner.gets_ok.get()
+    }
+
+    /// Acknowledged multi-puts.
+    pub fn puts_ok(&self) -> u64 {
+        self.inner.puts_ok.get()
+    }
+}
+
+fn backoff(inner: &Inner, attempt: u32) -> SimDuration {
+    let factor = 1u64 << attempt.min(5);
+    let d = inner.cfg.retry_backoff * factor;
+    let d = d.min(inner.cfg.max_backoff);
+    inner.sim.jitter(d, 0.3)
+}
+
+/// Refreshes the cached region map from the master (debounced).
+fn refresh_map(inner: &Rc<Inner>) {
+    if inner.refresh_inflight.get() {
+        return;
+    }
+    inner.refresh_inflight.set(true);
+    let master = Rc::clone(&inner.master);
+    let net = Rc::clone(&inner.net);
+    let from = inner.from;
+    let inner2 = Rc::clone(inner);
+    inner.net.send(from, master.node(), 64, move || {
+        let snapshot = master.snapshot_map();
+        let size = 64 + snapshot.assignments().len() * 16;
+        net.send(master.node(), from, size, move || {
+            *inner2.map.borrow_mut() = snapshot;
+            inner2.refresh_inflight.set(false);
+        });
+    });
+}
+
+fn get_attempt(
+    inner: Rc<Inner>,
+    row: Bytes,
+    column: Bytes,
+    snapshot: Timestamp,
+    attempt: u32,
+    done: Box<dyn FnOnce(Option<VersionedValue>)>,
+) {
+    if !inner.net.is_alive(inner.from) {
+        return; // the client process is dead; drop the retry chain
+    }
+    let (region, server) = inner.map.borrow().locate(&row);
+    let server = server.and_then(|s| inner.dir.get(s));
+    let Some(server) = server else {
+        refresh_map(&inner);
+        let wait = backoff(&inner, attempt);
+        let inner2 = Rc::clone(&inner);
+        inner.retries.inc();
+        inner.sim.schedule_in(wait, move || {
+            get_attempt(inner2, row, column, snapshot, attempt + 1, done)
+        });
+        return;
+    };
+    let _ = region;
+    let settled = Rc::new(Cell::new(false));
+    let done_cell: Rc<RefCell<Option<Box<dyn FnOnce(Option<VersionedValue>)>>>> =
+        Rc::new(RefCell::new(Some(done)));
+    let server_node = server.node();
+    let from = inner.from;
+    let net_back = Rc::clone(&inner.net);
+    {
+        let inner = Rc::clone(&inner);
+        let settled = Rc::clone(&settled);
+        let done_cell = Rc::clone(&done_cell);
+        let (row2, col2) = (row.clone(), column.clone());
+        inner.net.clone().send(from, server_node, 64 + row.len() + column.len(), move || {
+            let server2 = Rc::clone(&server);
+            let net_back = Rc::clone(&net_back);
+            server2.handle_get(row2.clone(), col2.clone(), snapshot, move |result| {
+                net_back.send(server_node, from, 96, move || {
+                    if settled.get() {
+                        return;
+                    }
+                    settled.set(true);
+                    let done = done_cell.borrow_mut().take().expect("settled guards");
+                    match result {
+                        Ok(v) => {
+                            inner.gets_ok.inc();
+                            done(v);
+                        }
+                        Err(_) => {
+                            // NotServing / unavailable: refresh and retry.
+                            inner.retries.inc();
+                            refresh_map(&inner);
+                            let wait = backoff(&inner, attempt);
+                            let inner2 = Rc::clone(&inner);
+                            inner.sim.schedule_in(wait, move || {
+                                get_attempt(inner2, row2, col2, snapshot, attempt + 1, done)
+                            });
+                        }
+                    }
+                });
+            });
+        });
+    }
+    let inner2 = Rc::clone(&inner);
+    inner.sim.schedule_in(inner.cfg.request_timeout, move || {
+        if settled.get() {
+            return;
+        }
+        settled.set(true);
+        let done = done_cell.borrow_mut().take().expect("settled guards");
+        inner2.retries.inc();
+        refresh_map(&inner2);
+        let wait = backoff(&inner2, attempt);
+        let inner3 = Rc::clone(&inner2);
+        inner2.sim.schedule_in(wait, move || {
+            get_attempt(inner3, row, column, snapshot, attempt + 1, done)
+        });
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn put_attempt(
+    inner: Rc<Inner>,
+    region: RegionId,
+    ts: Timestamp,
+    mutations: Vec<Mutation>,
+    floor: Option<Timestamp>,
+    replay: bool,
+    attempt: u32,
+    done: Box<dyn FnOnce()>,
+) {
+    if !inner.net.is_alive(inner.from) {
+        return; // the client process is dead; drop the retry chain
+    }
+    let server = inner.map.borrow().server_for(region).and_then(|s| inner.dir.get(s));
+    let Some(server) = server else {
+        refresh_map(&inner);
+        let wait = backoff(&inner, attempt);
+        let inner2 = Rc::clone(&inner);
+        inner.retries.inc();
+        inner.sim.schedule_in(wait, move || {
+            put_attempt(inner2, region, ts, mutations, floor, replay, attempt + 1, done)
+        });
+        return;
+    };
+    let settled = Rc::new(Cell::new(false));
+    let done_cell: Rc<RefCell<Option<Box<dyn FnOnce()>>>> = Rc::new(RefCell::new(Some(done)));
+    let server_node = server.node();
+    let from = inner.from;
+    let net_back = Rc::clone(&inner.net);
+    let size = 64 + mutations.iter().map(Mutation::wire_size).sum::<usize>();
+    {
+        let inner = Rc::clone(&inner);
+        let settled = Rc::clone(&settled);
+        let done_cell = Rc::clone(&done_cell);
+        let mutations2 = mutations.clone();
+        inner.net.clone().send(from, server_node, size, move || {
+            let net_back = Rc::clone(&net_back);
+            let server2 = Rc::clone(&server);
+            let mutations3 = mutations2.clone();
+            server2.handle_multi_put(region, ts, mutations2, floor, replay, move |result| {
+                net_back.send(server_node, from, 48, move || {
+                    if settled.get() {
+                        return;
+                    }
+                    settled.set(true);
+                    let done = done_cell.borrow_mut().take().expect("settled guards");
+                    match result {
+                        Ok(()) => {
+                            inner.puts_ok.inc();
+                            done();
+                        }
+                        Err(_) => {
+                            inner.retries.inc();
+                            refresh_map(&inner);
+                            let wait = backoff(&inner, attempt);
+                            let inner2 = Rc::clone(&inner);
+                            inner.sim.schedule_in(wait, move || {
+                                put_attempt(
+                                    inner2,
+                                    region,
+                                    ts,
+                                    mutations3,
+                                    floor,
+                                    replay,
+                                    attempt + 1,
+                                    done,
+                                )
+                            });
+                        }
+                    }
+                });
+            });
+        });
+    }
+    let inner2 = Rc::clone(&inner);
+    inner.sim.schedule_in(inner.cfg.request_timeout, move || {
+        if settled.get() {
+            return;
+        }
+        settled.set(true);
+        let done = done_cell.borrow_mut().take().expect("settled guards");
+        inner2.retries.inc();
+        refresh_map(&inner2);
+        let wait = backoff(&inner2, attempt);
+        let inner3 = Rc::clone(&inner2);
+        inner2.sim.schedule_in(wait, move || {
+            put_attempt(inner3, region, ts, mutations, floor, replay, attempt + 1, done)
+        });
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn scan_attempt(
+    inner: Rc<Inner>,
+    start: Bytes,
+    end: Option<Bytes>,
+    snapshot: Timestamp,
+    limit: usize,
+    attempt: u32,
+    done: Box<dyn FnOnce(Vec<(Bytes, Bytes, VersionedValue)>)>,
+) {
+    if !inner.net.is_alive(inner.from) {
+        return; // the client process is dead; drop the retry chain
+    }
+    let (_, server) = inner.map.borrow().locate(&start);
+    let server = server.and_then(|s| inner.dir.get(s));
+    let Some(server) = server else {
+        refresh_map(&inner);
+        let wait = backoff(&inner, attempt);
+        let inner2 = Rc::clone(&inner);
+        inner.retries.inc();
+        inner.sim.schedule_in(wait, move || {
+            scan_attempt(inner2, start, end, snapshot, limit, attempt + 1, done)
+        });
+        return;
+    };
+    let settled = Rc::new(Cell::new(false));
+    let done_cell: Rc<RefCell<Option<Box<dyn FnOnce(Vec<(Bytes, Bytes, VersionedValue)>)>>>> =
+        Rc::new(RefCell::new(Some(done)));
+    let server_node = server.node();
+    let from = inner.from;
+    let net_back = Rc::clone(&inner.net);
+    {
+        let inner = Rc::clone(&inner);
+        let settled = Rc::clone(&settled);
+        let done_cell = Rc::clone(&done_cell);
+        let (start2, end2) = (start.clone(), end.clone());
+        inner.net.clone().send(from, server_node, 96, move || {
+            let net_back = Rc::clone(&net_back);
+            let server2 = Rc::clone(&server);
+            server2.handle_scan(start2.clone(), end2.clone(), snapshot, limit, move |result| {
+                let size = 64 + result.as_ref().map(|v| v.len() * 64).unwrap_or(0);
+                net_back.send(server_node, from, size, move || {
+                    if settled.get() {
+                        return;
+                    }
+                    settled.set(true);
+                    let done = done_cell.borrow_mut().take().expect("settled guards");
+                    match result {
+                        Ok(v) => done(v),
+                        Err(_) => {
+                            inner.retries.inc();
+                            refresh_map(&inner);
+                            let wait = backoff(&inner, attempt);
+                            let inner2 = Rc::clone(&inner);
+                            inner.sim.schedule_in(wait, move || {
+                                scan_attempt(inner2, start2, end2, snapshot, limit, attempt + 1, done)
+                            });
+                        }
+                    }
+                });
+            });
+        });
+    }
+    let inner2 = Rc::clone(&inner);
+    inner.sim.schedule_in(inner.cfg.request_timeout, move || {
+        if settled.get() {
+            return;
+        }
+        settled.set(true);
+        let done = done_cell.borrow_mut().take().expect("settled guards");
+        inner2.retries.inc();
+        refresh_map(&inner2);
+        let wait = backoff(&inner2, attempt);
+        let inner3 = Rc::clone(&inner2);
+        inner2.sim.schedule_in(wait, move || {
+            scan_attempt(inner3, start, end, snapshot, limit, attempt + 1, done)
+        });
+    });
+}

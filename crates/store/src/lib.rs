@@ -1,0 +1,54 @@
+//! HBase-like distributed key-value store substrate.
+//!
+//! This crate reproduces the parts of HBase the paper's recovery
+//! middleware interacts with (§2.1):
+//!
+//! * a table partitioned into **regions** (contiguous key ranges), each
+//!   hosted by one **region server**;
+//! * per-region in-memory **memstores** holding recent updates, flushed in
+//!   batches to immutable **store files** in the distributed filesystem;
+//! * a per-server **write-ahead log** whose synchronous flush can be
+//!   *deactivated* — the paper's asynchronous-persistence mode, where a
+//!   server ack does not imply durability;
+//! * a **block cache** whose cold-start after failover produces the slow
+//!   return to peak throughput in the paper's Fig. 3;
+//! * a **master** that detects server failures through the coordination
+//!   service, splits the failed server's WAL by region, and reassigns
+//!   regions to surviving servers — with the paper's two recovery hooks
+//!   (failure notification, and gating a recovered region's online
+//!   declaration on the recovery manager's response);
+//! * a **store client** with location caching and, per §3.2 of the paper,
+//!   *unbounded* retries.
+//!
+//! The transactional layers live above: `cumulo-txn` (transaction manager)
+//! and `cumulo-core` (the failure-recovery middleware, the paper's
+//! contribution).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod blockcache;
+mod client;
+pub mod codec;
+mod error;
+mod hooks;
+mod master;
+mod memstore;
+mod region;
+mod server;
+mod sstable;
+mod types;
+mod wal;
+
+pub use blockcache::BlockCache;
+pub use client::{StoreClient, StoreClientConfig};
+pub use codec::WalRecord;
+pub use error::StoreError;
+pub use hooks::{NoopHooks, RecoveryHooks};
+pub use master::{Master, MasterConfig, ServerDirectory};
+pub use memstore::{MemStore, VersionedValue};
+pub use region::{RegionDescriptor, RegionMap};
+pub use server::{RegionServer, RegionServerConfig};
+pub use sstable::{StoreFileData, StoreFileRegistry};
+pub use types::{ClientId, Mutation, MutationKind, RegionId, ServerId, Timestamp, WriteSet};
+pub use wal::{split_wal, Wal, WalSyncMode};

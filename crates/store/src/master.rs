@@ -1,0 +1,354 @@
+//! The master: region assignment, server-failure detection via the
+//! coordination service, WAL splitting and region reassignment.
+
+use crate::hooks::{NoopHooks, RecoveryHooks};
+use crate::region::{RegionDescriptor, RegionMap};
+use crate::server::RegionServer;
+use crate::types::{RegionId, ServerId};
+use crate::wal::split_wal;
+use cumulo_coord::CoordClient;
+use cumulo_dfs::DfsClient;
+use cumulo_sim::{every, Network, NodeId, Sim, SimDuration, TimerHandle};
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+use std::rc::{Rc, Weak};
+
+/// Registry resolving [`ServerId`]s to live process handles, shared by the
+/// master and the store clients (it plays the role of connection strings /
+/// RPC stubs in a real deployment).
+#[derive(Default)]
+pub struct ServerDirectory {
+    servers: RefCell<BTreeMap<ServerId, Rc<RegionServer>>>,
+}
+
+impl fmt::Debug for ServerDirectory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServerDirectory").field("servers", &self.servers.borrow().len()).finish()
+    }
+}
+
+impl ServerDirectory {
+    /// Creates an empty directory.
+    pub fn new() -> Rc<ServerDirectory> {
+        Rc::new(ServerDirectory::default())
+    }
+
+    /// Registers a server.
+    pub fn register(&self, server: Rc<RegionServer>) {
+        self.servers.borrow_mut().insert(server.id(), server);
+    }
+
+    /// Resolves a server handle.
+    pub fn get(&self, id: ServerId) -> Option<Rc<RegionServer>> {
+        self.servers.borrow().get(&id).cloned()
+    }
+
+    /// All registered server ids, in order.
+    pub fn ids(&self) -> Vec<ServerId> {
+        self.servers.borrow().keys().copied().collect()
+    }
+
+    /// Ids of servers whose process is currently alive.
+    pub fn live_ids(&self) -> Vec<ServerId> {
+        self.servers.borrow().iter().filter(|(_, s)| s.is_alive()).map(|(id, _)| *id).collect()
+    }
+}
+
+/// Master tuning knobs.
+#[derive(Copy, Clone, Debug)]
+pub struct MasterConfig {
+    /// Retry period for regions that could not be placed (no live server).
+    pub assign_retry_interval: SimDuration,
+}
+
+impl Default for MasterConfig {
+    fn default() -> Self {
+        MasterConfig { assign_retry_interval: SimDuration::from_secs(1) }
+    }
+}
+
+/// The cluster master. Shared via `Rc`.
+pub struct Master {
+    sim: Sim,
+    net: Rc<Network>,
+    node: NodeId,
+    cfg: MasterConfig,
+    dfs: DfsClient,
+    dir: Rc<ServerDirectory>,
+    region_map: RefCell<RegionMap>,
+    hooks: RefCell<Rc<dyn RecoveryHooks>>,
+    handled_failures: RefCell<HashSet<ServerId>>,
+    /// Regions awaiting placement (no live server was available), with
+    /// their pending recovered edits and failed-server attribution.
+    unplaced: RefCell<Vec<(RegionId, Vec<crate::codec::WalRecord>, Option<ServerId>)>>,
+    edits_counter: Cell<u64>,
+    failovers: Cell<u64>,
+    timers: RefCell<Vec<TimerHandle>>,
+    self_weak: RefCell<Weak<Master>>,
+}
+
+impl fmt::Debug for Master {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Master")
+            .field("node", &self.node)
+            .field("failovers", &self.failovers.get())
+            .field("map", &*self.region_map.borrow())
+            .finish()
+    }
+}
+
+impl Master {
+    /// Creates the master on `node`; `dfs` must be bound to the same node.
+    pub fn new(
+        sim: &Sim,
+        net: &Rc<Network>,
+        node: NodeId,
+        cfg: MasterConfig,
+        dfs: DfsClient,
+        dir: Rc<ServerDirectory>,
+    ) -> Rc<Master> {
+        let master = Rc::new(Master {
+            sim: sim.clone(),
+            net: Rc::clone(net),
+            node,
+            cfg,
+            dfs,
+            dir,
+            region_map: RefCell::new(RegionMap::default()),
+            hooks: RefCell::new(Rc::new(NoopHooks)),
+            handled_failures: RefCell::new(HashSet::new()),
+            unplaced: RefCell::new(Vec::new()),
+            edits_counter: Cell::new(0),
+            failovers: Cell::new(0),
+            timers: RefCell::new(Vec::new()),
+            self_weak: RefCell::new(Weak::new()),
+        });
+        *master.self_weak.borrow_mut() = Rc::downgrade(&master);
+        master
+    }
+
+    /// The machine the master runs on (RPC destination for clients).
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Installs the recovery middleware's hooks (also propagated to every
+    /// registered server).
+    pub fn set_hooks(&self, hooks: Rc<dyn RecoveryHooks>) {
+        for id in self.dir.ids() {
+            if let Some(s) = self.dir.get(id) {
+                s.set_hooks(Rc::clone(&hooks));
+            }
+        }
+        *self.hooks.borrow_mut() = hooks;
+    }
+
+    /// Starts failure detection (a watch on the servers' liveness znodes)
+    /// and the unplaced-region retry timer.
+    pub fn start(self: &Rc<Self>, coord: &CoordClient) {
+        let weak = Rc::downgrade(self);
+        coord.watch_prefix(
+            "/live/servers/",
+            move |event| {
+                if let cumulo_coord::WatchEvent::Deleted(path) = event {
+                    if let Some(master) = weak.upgrade() {
+                        if let Some(id) = parse_server_path(&path) {
+                            master.handle_server_failure(id);
+                        }
+                    }
+                }
+            },
+            |_| {},
+        );
+        let weak = Rc::downgrade(self);
+        let timer = every(&self.sim, self.cfg.assign_retry_interval, move || {
+            if let Some(master) = weak.upgrade() {
+                master.retry_unplaced();
+            }
+        });
+        self.timers.borrow_mut().push(timer);
+    }
+
+    /// Assigns every region of `map` round-robin across the registered
+    /// servers and opens them (cluster bootstrap).
+    pub fn bootstrap(self: &Rc<Self>, map: RegionMap) {
+        *self.region_map.borrow_mut() = map;
+        let descs: Vec<RegionDescriptor> =
+            self.region_map.borrow().regions().to_vec();
+        let servers = self.dir.ids();
+        assert!(!servers.is_empty(), "bootstrap requires at least one registered server");
+        for (i, desc) in descs.into_iter().enumerate() {
+            let target = servers[i % servers.len()];
+            self.region_map.borrow_mut().assign(desc.id, target);
+            let server = self.dir.get(target).expect("registered");
+            let node = server.node();
+            self.net.send(self.node, node, 256, move || {
+                server.open_region(desc, Vec::new(), Vec::new(), None);
+            });
+        }
+    }
+
+    /// A snapshot of the region map for client caches.
+    pub fn snapshot_map(&self) -> RegionMap {
+        self.region_map.borrow().clone()
+    }
+
+    /// Current map epoch (bumps on each assignment change).
+    pub fn map_epoch(&self) -> u64 {
+        self.region_map.borrow().epoch()
+    }
+
+    /// Number of server failovers processed.
+    pub fn failover_count(&self) -> u64 {
+        self.failovers.get()
+    }
+
+    /// Handles a detected server failure: marks its regions offline,
+    /// notifies the recovery hooks, splits the failed server's WAL and
+    /// reassigns each region with its recovered edits (§2.1 + §3.2).
+    ///
+    /// Idempotent per server id.
+    pub fn handle_server_failure(self: &Rc<Self>, failed: ServerId) {
+        if !self.handled_failures.borrow_mut().insert(failed) {
+            return;
+        }
+        self.failovers.set(self.failovers.get() + 1);
+        let regions = self.region_map.borrow().regions_of(failed);
+        {
+            let mut map = self.region_map.borrow_mut();
+            for r in &regions {
+                map.unassign(*r);
+            }
+        }
+        self.hooks.borrow().on_server_failed(failed, &regions);
+        if regions.is_empty() {
+            return;
+        }
+        let weak = Rc::downgrade(self);
+        split_wal(&self.dfs, &format!("/wal/{failed}"), move |mut grouped| {
+            let Some(master) = weak.upgrade() else { return };
+            for region in regions {
+                let records = grouped.remove(&region).unwrap_or_default();
+                master.place_region(region, records, Some(failed));
+            }
+        });
+    }
+
+    /// Places a region on the live server hosting the fewest regions;
+    /// queues it for retry if no server is alive.
+    ///
+    /// Split WAL records are first persisted as a *recovered-edits file*
+    /// in the filesystem (as HBase does), so that a cascading failure of
+    /// the new host cannot lose them: the next recovery round re-reads
+    /// them. The file is deleted once the region's memstore flushes.
+    fn place_region(
+        self: &Rc<Self>,
+        region: RegionId,
+        records: Vec<crate::codec::WalRecord>,
+        failed: Option<ServerId>,
+    ) {
+        if records.is_empty() {
+            self.place_region_with_edits(region, failed);
+            return;
+        }
+        let n = self.edits_counter.get();
+        self.edits_counter.set(n + 1);
+        let path = format!("/recovered/{region}/{n:06}");
+        let encoded = crate::codec::encode_wal_batch(&records);
+        let weak = self.self_weak.borrow().clone();
+        self.dfs.create(&path, move |file| {
+            let Ok(file) = file else {
+                // Already exists should be impossible (unique counter);
+                // a failed create means no datanodes — retry via queue.
+                if let Some(master) = weak.upgrade() {
+                    master.unplaced.borrow_mut().push((region, records, failed));
+                }
+                return;
+            };
+            let weak = weak.clone();
+            file.append(encoded, move |result| {
+                let Some(master) = weak.upgrade() else { return };
+                if result.is_err() {
+                    master.unplaced.borrow_mut().push((region, records, failed));
+                    return;
+                }
+                master.place_region_with_edits(region, failed);
+            });
+        });
+    }
+
+    /// Second placement phase: recovered edits (if any) are durable in the
+    /// filesystem; choose a host and open the region there.
+    fn place_region_with_edits(self: &Rc<Self>, region: RegionId, failed: Option<ServerId>) {
+        let target = {
+            let map = self.region_map.borrow();
+            let mut live: Vec<(usize, ServerId)> = self
+                .dir
+                .live_ids()
+                .into_iter()
+                .map(|id| (map.regions_of(id).len(), id))
+                .collect();
+            live.sort();
+            live.first().map(|(_, id)| *id)
+        };
+        let Some(target) = target else {
+            self.unplaced.borrow_mut().push((region, Vec::new(), failed));
+            return;
+        };
+        let desc = self
+            .region_map
+            .borrow()
+            .descriptor(region)
+            .expect("region exists in the map")
+            .clone();
+        self.region_map.borrow_mut().assign(region, target);
+        let server = self.dir.get(target).expect("registered");
+        let node = server.node();
+        let dfs = self.dfs.clone();
+        let net = Rc::clone(&self.net);
+        let master_node = self.node;
+        // Resolve the region's store files and recovered-edits files from
+        // the filesystem namespace (the equivalent of listing the
+        // region's HDFS directories).
+        dfs.clone().list(&format!("/store/{region}/"), move |paths| {
+            dfs.list(&format!("/recovered/{region}/"), move |edits| {
+                net.send(master_node, node, 512, move || {
+                    server.open_region(desc, paths, edits, failed);
+                });
+            });
+        });
+    }
+
+    fn retry_unplaced(self: &Rc<Self>) {
+        let pending: Vec<_> = self.unplaced.borrow_mut().drain(..).collect();
+        for (region, records, failed) in pending {
+            self.place_region(region, records, failed);
+        }
+    }
+
+    /// Client RPC: current assignments (used to refresh location caches).
+    pub fn get_assignments(&self) -> (u64, HashMap<RegionId, ServerId>) {
+        let map = self.region_map.borrow();
+        (map.epoch(), map.assignments().clone())
+    }
+}
+
+fn parse_server_path(path: &str) -> Option<ServerId> {
+    let name = path.rsplit('/').next()?;
+    let digits = name.strip_prefix("rs")?;
+    digits.parse().ok().map(ServerId)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_server_paths() {
+        assert_eq!(parse_server_path("/live/servers/rs3"), Some(ServerId(3)));
+        assert_eq!(parse_server_path("/live/servers/rs12"), Some(ServerId(12)));
+        assert_eq!(parse_server_path("/live/servers/garbage"), None);
+        assert_eq!(parse_server_path("/live/servers/rsX"), None);
+    }
+}

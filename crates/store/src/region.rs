@@ -1,0 +1,240 @@
+//! Region descriptors and the key-range → region map.
+//!
+//! A table is partitioned into regions, each a contiguous, sorted key
+//! range; every region is hosted by exactly one region server at a time
+//! (§2.1 of the paper). Boundaries are fixed for the lifetime of a cluster
+//! (online splits are out of the paper's scope); only *assignments* change,
+//! when the master reassigns regions of a failed server.
+
+use crate::types::{RegionId, ServerId};
+use bytes::Bytes;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A region's identity and key range `[start, end)`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RegionDescriptor {
+    /// The region id.
+    pub id: RegionId,
+    /// Inclusive start key (empty = from the beginning of the table).
+    pub start: Bytes,
+    /// Exclusive end key (`None` = to the end of the table).
+    pub end: Option<Bytes>,
+}
+
+impl RegionDescriptor {
+    /// Whether `row` falls inside this region.
+    pub fn contains(&self, row: &[u8]) -> bool {
+        row >= &self.start[..]
+            && match &self.end {
+                Some(end) => row < &end[..],
+                None => true,
+            }
+    }
+}
+
+/// The set of region boundaries plus the current region → server
+/// assignment. Clients cache a copy and refresh it from the master when a
+/// request hits a moved or offline region.
+#[derive(Clone, Debug, Default)]
+pub struct RegionMap {
+    regions: Vec<RegionDescriptor>,
+    assignments: HashMap<RegionId, ServerId>,
+    /// Bumped on every assignment change so caches can detect staleness.
+    epoch: u64,
+}
+
+impl fmt::Display for RegionMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RegionMap(epoch {} regions {})", self.epoch, self.regions.len())?;
+        Ok(())
+    }
+}
+
+impl RegionMap {
+    /// Builds a map from explicit split points: `splits = [k1, k2]` yields
+    /// regions `[-inf,k1) [k1,k2) [k2,+inf)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the split points are not strictly increasing.
+    pub fn from_split_points(splits: &[Bytes]) -> RegionMap {
+        for w in splits.windows(2) {
+            assert!(w[0] < w[1], "split points must be strictly increasing");
+        }
+        let mut regions = Vec::with_capacity(splits.len() + 1);
+        let mut start = Bytes::new();
+        for (i, split) in splits.iter().enumerate() {
+            regions.push(RegionDescriptor {
+                id: RegionId(i as u32),
+                start: start.clone(),
+                end: Some(split.clone()),
+            });
+            start = split.clone();
+        }
+        regions.push(RegionDescriptor { id: RegionId(splits.len() as u32), start, end: None });
+        RegionMap { regions, assignments: HashMap::new(), epoch: 0 }
+    }
+
+    /// Builds `n` regions splitting the space of zero-padded decimal keys
+    /// `prefix{number}` uniformly over `[0, key_count)` — matching the YCSB
+    /// loader's `user{:012}` keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn split_decimal_keyspace(prefix: &str, key_count: u64, n: usize) -> RegionMap {
+        assert!(n > 0, "need at least one region");
+        let splits: Vec<Bytes> = (1..n)
+            .map(|i| {
+                let boundary = key_count * i as u64 / n as u64;
+                Bytes::from(format!("{prefix}{boundary:012}"))
+            })
+            .collect();
+        RegionMap::from_split_points(&splits)
+    }
+
+    /// All region descriptors, ordered by start key.
+    pub fn regions(&self) -> &[RegionDescriptor] {
+        &self.regions
+    }
+
+    /// The descriptor for `id`, if any.
+    pub fn descriptor(&self, id: RegionId) -> Option<&RegionDescriptor> {
+        self.regions.iter().find(|r| r.id == id)
+    }
+
+    /// The region containing `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map is empty (an unconfigured cluster).
+    pub fn region_for(&self, row: &[u8]) -> RegionId {
+        assert!(!self.regions.is_empty(), "region map is empty");
+        // Binary search over start keys: last region whose start <= row.
+        let idx = match self.regions.binary_search_by(|r| r.start[..].cmp(row)) {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        };
+        debug_assert!(self.regions[idx].contains(row));
+        self.regions[idx].id
+    }
+
+    /// The server currently assigned `region`, if any.
+    pub fn server_for(&self, region: RegionId) -> Option<ServerId> {
+        self.assignments.get(&region).copied()
+    }
+
+    /// Routes a row to its (region, server), if the region is assigned.
+    pub fn locate(&self, row: &[u8]) -> (RegionId, Option<ServerId>) {
+        let r = self.region_for(row);
+        (r, self.server_for(r))
+    }
+
+    /// Records an assignment, bumping the epoch.
+    pub fn assign(&mut self, region: RegionId, server: ServerId) {
+        self.assignments.insert(region, server);
+        self.epoch += 1;
+    }
+
+    /// Removes an assignment (region offline), bumping the epoch.
+    pub fn unassign(&mut self, region: RegionId) {
+        if self.assignments.remove(&region).is_some() {
+            self.epoch += 1;
+        }
+    }
+
+    /// All regions currently assigned to `server`.
+    pub fn regions_of(&self, server: ServerId) -> Vec<RegionId> {
+        let mut out: Vec<RegionId> = self
+            .assignments
+            .iter()
+            .filter(|(_, s)| **s == server)
+            .map(|(r, _)| *r)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The staleness epoch (bumped on every assignment change).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Current assignments, for snapshotting into client caches.
+    pub fn assignments(&self) -> &HashMap<RegionId, ServerId> {
+        &self.assignments
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_points_partition_keyspace() {
+        let map = RegionMap::from_split_points(&[Bytes::from_static(b"m")]);
+        assert_eq!(map.regions().len(), 2);
+        assert_eq!(map.region_for(b"a"), RegionId(0));
+        assert_eq!(map.region_for(b"lzz"), RegionId(0));
+        assert_eq!(map.region_for(b"m"), RegionId(1));
+        assert_eq!(map.region_for(b"zzz"), RegionId(1));
+        assert_eq!(map.region_for(b""), RegionId(0));
+    }
+
+    #[test]
+    fn decimal_split_is_balanced() {
+        let map = RegionMap::split_decimal_keyspace("user", 1000, 4);
+        assert_eq!(map.regions().len(), 4);
+        assert_eq!(map.region_for(b"user000000000000"), RegionId(0));
+        assert_eq!(map.region_for(b"user000000000249"), RegionId(0));
+        assert_eq!(map.region_for(b"user000000000250"), RegionId(1));
+        assert_eq!(map.region_for(b"user000000000999"), RegionId(3));
+    }
+
+    #[test]
+    fn every_key_maps_to_exactly_one_region() {
+        let map = RegionMap::split_decimal_keyspace("user", 100, 3);
+        for i in 0..100u64 {
+            let key = format!("user{i:012}");
+            let region = map.region_for(key.as_bytes());
+            let covering: Vec<_> =
+                map.regions().iter().filter(|r| r.contains(key.as_bytes())).collect();
+            assert_eq!(covering.len(), 1, "key {key} covered by {covering:?}");
+            assert_eq!(covering[0].id, region);
+        }
+    }
+
+    #[test]
+    fn assignment_lifecycle() {
+        let mut map = RegionMap::split_decimal_keyspace("user", 100, 2);
+        assert_eq!(map.epoch(), 0);
+        map.assign(RegionId(0), ServerId(1));
+        map.assign(RegionId(1), ServerId(2));
+        assert_eq!(map.epoch(), 2);
+        assert_eq!(map.server_for(RegionId(0)), Some(ServerId(1)));
+        assert_eq!(map.locate(b"user000000000010").1, Some(ServerId(1)));
+        assert_eq!(map.regions_of(ServerId(2)), vec![RegionId(1)]);
+        map.unassign(RegionId(0));
+        assert_eq!(map.server_for(RegionId(0)), None);
+        assert_eq!(map.epoch(), 3);
+        // Unassigning twice does not bump the epoch again.
+        map.unassign(RegionId(0));
+        assert_eq!(map.epoch(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_splits_panic() {
+        let _ =
+            RegionMap::from_split_points(&[Bytes::from_static(b"m"), Bytes::from_static(b"a")]);
+    }
+
+    #[test]
+    fn descriptor_lookup() {
+        let map = RegionMap::split_decimal_keyspace("user", 100, 2);
+        assert!(map.descriptor(RegionId(0)).is_some());
+        assert!(map.descriptor(RegionId(9)).is_none());
+    }
+}

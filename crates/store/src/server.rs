@@ -1,0 +1,804 @@
+//! The region server: serves gets/puts/scans for its assigned regions,
+//! applies updates to WAL + memstore, flushes memstores to store files,
+//! and participates in recovery via the [`RecoveryHooks`].
+
+use crate::blockcache::BlockCache;
+use crate::codec::WalRecord;
+use crate::error::StoreError;
+use crate::hooks::{NoopHooks, RecoveryHooks};
+use crate::memstore::{MemStore, VersionedValue};
+use crate::region::RegionDescriptor;
+use crate::sstable::{StoreFileData, StoreFileRegistry};
+use crate::types::{Mutation, RegionId, ServerId, Timestamp};
+use crate::wal::{Wal, WalSyncMode};
+use bytes::Bytes;
+use cumulo_coord::CoordClient;
+use cumulo_dfs::DfsClient;
+use cumulo_sim::{every_from, Network, NodeId, ServiceQueue, Sim, SimDuration, TimerHandle};
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::{Rc, Weak};
+
+/// Region-server tuning knobs.
+///
+/// The defaults are calibrated so that one server with 50 closed-loop
+/// clients saturates near ~250–300 transactions/s (10 ops each, 50/50
+/// read/update), matching the paper's observation that 250 tps is "near
+/// the peak capacity for a single region server serving 50 client
+/// threads" (§4.4).
+#[derive(Copy, Clone, Debug)]
+pub struct RegionServerConfig {
+    /// Concurrent request handler slots (the paper's VMs had 2 cores).
+    pub handlers: usize,
+    /// Base CPU cost of any request.
+    pub base_service: SimDuration,
+    /// CPU cost of a get served from memstore/block cache.
+    pub read_service: SimDuration,
+    /// Extra handler occupancy when a get misses the block cache and must
+    /// fetch a block from the filesystem.
+    pub block_fetch_penalty: SimDuration,
+    /// CPU cost per mutation in a write batch.
+    pub write_service_per_mutation: SimDuration,
+    /// Whether updates are acknowledged before (Async) or after (Sync)
+    /// the WAL reaches the filesystem.
+    pub wal_mode: WalSyncMode,
+    /// Background WAL sync period in Async mode.
+    pub wal_sync_interval: SimDuration,
+    /// Memstore size that triggers a flush to a store file.
+    pub memstore_flush_bytes: usize,
+    /// How often memstore sizes are checked.
+    pub flush_check_interval: SimDuration,
+    /// Block-cache capacity, in row-blocks.
+    pub block_cache_capacity: usize,
+    /// Extra handler occupancy per write batch in [`WalSyncMode::Sync`]:
+    /// the handler thread blocks while the WAL pipeline syncs (this is
+    /// why synchronous persistence also costs peak throughput, not just
+    /// latency).
+    pub sync_mode_handler_hold: SimDuration,
+    /// Liveness heartbeat period to the coordination service.
+    pub coord_heartbeat_interval: SimDuration,
+    /// Coordination session timeout (failure-detection latency).
+    pub coord_session_timeout: SimDuration,
+}
+
+impl Default for RegionServerConfig {
+    fn default() -> Self {
+        RegionServerConfig {
+            handlers: 2,
+            base_service: SimDuration::from_micros(40),
+            read_service: SimDuration::from_micros(700),
+            // Calibrated for a datanode co-located with the server (the
+            // paper's layout): a cache miss reads a block that is likely
+            // in the local datanode's page cache, not cold disk.
+            block_fetch_penalty: SimDuration::from_micros(900),
+            write_service_per_mutation: SimDuration::from_micros(500),
+            wal_mode: WalSyncMode::Async,
+            wal_sync_interval: SimDuration::from_millis(50),
+            memstore_flush_bytes: 48 << 20,
+            flush_check_interval: SimDuration::from_secs(1),
+            sync_mode_handler_hold: SimDuration::from_millis(2),
+            block_cache_capacity: 700_000,
+            coord_heartbeat_interval: SimDuration::from_millis(500),
+            coord_session_timeout: SimDuration::from_millis(1800),
+        }
+    }
+}
+
+struct RegionState {
+    desc: RegionDescriptor,
+    memstore: MemStore,
+    /// Snapshot currently being flushed (still readable).
+    flushing: Option<Rc<StoreFileData>>,
+    storefiles: Vec<Rc<StoreFileData>>,
+    /// Recovered-edits files replayed into the memstore at open; deleted
+    /// once a flush makes their contents durable in a store file.
+    recovered_paths: Vec<String>,
+    online: bool,
+    flush_in_progress: bool,
+}
+
+/// One region server process. Shared via `Rc`; all requests arrive as
+/// events scheduled by [`crate::StoreClient`] or the master.
+pub struct RegionServer {
+    sim: Sim,
+    net: Rc<Network>,
+    node: NodeId,
+    id: ServerId,
+    cfg: RegionServerConfig,
+    handlers: Rc<ServiceQueue>,
+    wal: Wal,
+    cache: RefCell<BlockCache>,
+    registry: Rc<StoreFileRegistry>,
+    dfs: DfsClient,
+    regions: RefCell<HashMap<RegionId, RegionState>>,
+    hooks: RefCell<Rc<dyn RecoveryHooks>>,
+    alive: Cell<bool>,
+    timers: RefCell<Vec<TimerHandle>>,
+    storefile_counter: Cell<u64>,
+    gets: Cell<u64>,
+    puts: Cell<u64>,
+    not_serving: Cell<u64>,
+    self_weak: RefCell<Weak<RegionServer>>,
+}
+
+impl fmt::Debug for RegionServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RegionServer")
+            .field("id", &self.id)
+            .field("node", &self.node)
+            .field("regions", &self.regions.borrow().len())
+            .field("alive", &self.alive.get())
+            .field("gets", &self.gets.get())
+            .field("puts", &self.puts.get())
+            .finish()
+    }
+}
+
+impl RegionServer {
+    /// Creates a region server on `node`. `dfs` must be a client bound to
+    /// the same node. The WAL file is created at `/wal/rs{id}`.
+    pub fn new(
+        sim: &Sim,
+        net: &Rc<Network>,
+        node: NodeId,
+        id: ServerId,
+        cfg: RegionServerConfig,
+        dfs: DfsClient,
+        registry: Rc<StoreFileRegistry>,
+    ) -> Rc<RegionServer> {
+        let wal = Wal::new(sim, &dfs, format!("/wal/{id}"));
+        let server = Rc::new(RegionServer {
+            sim: sim.clone(),
+            net: Rc::clone(net),
+            node,
+            id,
+            cfg,
+            handlers: ServiceQueue::new(sim, cfg.handlers),
+            wal,
+            cache: RefCell::new(BlockCache::new(cfg.block_cache_capacity)),
+            registry,
+            dfs,
+            regions: RefCell::new(HashMap::new()),
+            hooks: RefCell::new(Rc::new(NoopHooks)),
+            alive: Cell::new(true),
+            timers: RefCell::new(Vec::new()),
+            storefile_counter: Cell::new(0),
+            gets: Cell::new(0),
+            puts: Cell::new(0),
+            not_serving: Cell::new(0),
+            self_weak: RefCell::new(Weak::new()),
+        });
+        *server.self_weak.borrow_mut() = Rc::downgrade(&server);
+        server
+    }
+
+    /// Starts background tasks: the liveness session with the coordination
+    /// service, the async WAL sync timer and the memstore flush checker.
+    pub fn start(self: &Rc<Self>, coord: &CoordClient) {
+        // Liveness: ephemeral znode kept alive by heartbeat touches.
+        let id = self.id;
+        let coord2 = coord.clone();
+        let weak = Rc::downgrade(self);
+        coord.create_session(self.cfg.coord_session_timeout, move |sid| {
+            let Some(server) = weak.upgrade() else { return };
+            coord2.create(&format!("/live/servers/{id}"), Bytes::new(), Some(sid));
+            let coord3 = coord2.clone();
+            let weak2 = Rc::downgrade(&server);
+            let timer = every_from(
+                &server.sim,
+                server.cfg.coord_heartbeat_interval.mul_f64(0.5),
+                server.cfg.coord_heartbeat_interval,
+                move || {
+                    if weak2.upgrade().is_some() {
+                        coord3.touch(sid);
+                    }
+                },
+            );
+            server.timers.borrow_mut().push(timer);
+        });
+
+        // Async WAL sync.
+        if self.cfg.wal_mode == WalSyncMode::Async {
+            let wal = self.wal.clone();
+            let weak = Rc::downgrade(self);
+            let timer = every_from(
+                &self.sim,
+                self.sim.jitter(self.cfg.wal_sync_interval, 0.5),
+                self.cfg.wal_sync_interval,
+                move || {
+                    if weak.upgrade().is_some() {
+                        wal.sync(|| {});
+                    }
+                },
+            );
+            self.timers.borrow_mut().push(timer);
+        }
+
+        // Memstore flush checks.
+        let weak = Rc::downgrade(self);
+        let timer = every_from(
+            &self.sim,
+            self.sim.jitter(self.cfg.flush_check_interval, 0.5),
+            self.cfg.flush_check_interval,
+            move || {
+                if let Some(server) = weak.upgrade() {
+                    server.check_flushes();
+                }
+            },
+        );
+        self.timers.borrow_mut().push(timer);
+    }
+
+    /// This server's id.
+    pub fn id(&self) -> ServerId {
+        self.id
+    }
+
+    /// The machine the server runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Whether the process is alive.
+    pub fn is_alive(&self) -> bool {
+        self.alive.get()
+    }
+
+    /// Installs the recovery middleware's hooks.
+    pub fn set_hooks(&self, hooks: Rc<dyn RecoveryHooks>) {
+        *self.hooks.borrow_mut() = hooks;
+    }
+
+    /// The server's write-ahead log (the recovery middleware syncs it on
+    /// its heartbeat, per Algorithm 3).
+    pub fn wal(&self) -> &Wal {
+        &self.wal
+    }
+
+    /// Crash-stop failure: the process dies, the network drops its
+    /// traffic, timers stop, the coordination session expires on its own.
+    /// In-memory state (memstores, WAL buffer) is lost.
+    pub fn crash(&self) {
+        self.alive.set(false);
+        self.net.crash(self.node);
+        for t in self.timers.borrow().iter() {
+            t.cancel();
+        }
+        self.timers.borrow_mut().clear();
+    }
+
+    /// Ids of regions currently hosted (online or recovering).
+    pub fn hosted_regions(&self) -> Vec<RegionId> {
+        let mut v: Vec<RegionId> = self.regions.borrow().keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Whether `region` is hosted here and online.
+    pub fn region_online(&self, region: RegionId) -> bool {
+        self.regions.borrow().get(&region).map(|r| r.online).unwrap_or(false)
+    }
+
+    /// Block-cache hit rate so far (Fig. 3's warm-up indicator).
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.cache.borrow().hit_rate()
+    }
+
+    /// Number of gets served.
+    pub fn gets_served(&self) -> u64 {
+        self.gets.get()
+    }
+
+    /// Number of write batches applied.
+    pub fn puts_applied(&self) -> u64 {
+        self.puts.get()
+    }
+
+    /// Number of requests rejected with `NotServing`.
+    pub fn not_serving_count(&self) -> u64 {
+        self.not_serving.get()
+    }
+
+    /// Current handler queue length (for overload diagnostics).
+    pub fn handler_queue_len(&self) -> usize {
+        self.handlers.queue_len()
+    }
+
+    /// Submits background work to the request handlers (used by the
+    /// recovery middleware to charge its tracking CPU cost against the
+    /// same resource that serves requests — the contention the paper
+    /// measures in Fig. 2b).
+    pub fn submit_background(self: &Rc<Self>, service: SimDuration, run: impl FnOnce() + 'static) {
+        if !self.alive.get() {
+            return;
+        }
+        let this = Rc::clone(self);
+        self.handlers.submit(service, move || {
+            if this.alive.get() {
+                run();
+            }
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Request handling (invoked at this node via network events)
+    // ------------------------------------------------------------------
+
+    /// Serves a versioned read at `snapshot`.
+    pub fn handle_get(
+        self: &Rc<Self>,
+        row: Bytes,
+        column: Bytes,
+        snapshot: Timestamp,
+        reply: impl FnOnce(Result<Option<VersionedValue>, StoreError>) + 'static,
+    ) {
+        if !self.alive.get() {
+            return;
+        }
+        let region_id = {
+            let regions = self.regions.borrow();
+            match regions.values().find(|st| st.desc.contains(&row)) {
+                Some(st) if st.online => st.desc.id,
+                Some(st) => {
+                    self.not_serving.set(self.not_serving.get() + 1);
+                    reply(Err(StoreError::NotServing(st.desc.id)));
+                    return;
+                }
+                None => {
+                    self.not_serving.set(self.not_serving.get() + 1);
+                    reply(Err(StoreError::RegionUnknown));
+                    return;
+                }
+            }
+        };
+        // Hit/miss decided up front; it determines handler occupancy.
+        let in_memstore = {
+            let regions = self.regions.borrow();
+            let st = &regions[&region_id];
+            st.memstore.get(&row, &column, snapshot).is_some()
+        };
+        let hit = in_memstore || self.cache.borrow_mut().access(region_id, &row);
+        let service = self.cfg.base_service
+            + self.cfg.read_service
+            + if hit { SimDuration::ZERO } else { self.cfg.block_fetch_penalty };
+        let this = Rc::clone(self);
+        self.handlers.submit(service, move || {
+            if !this.alive.get() {
+                return;
+            }
+            let result = this.lookup(region_id, &row, &column, snapshot);
+            if !hit {
+                this.cache.borrow_mut().insert(region_id, row.clone());
+            }
+            this.gets.set(this.gets.get() + 1);
+            reply(result);
+        });
+    }
+
+    fn lookup(
+        &self,
+        region_id: RegionId,
+        row: &[u8],
+        column: &[u8],
+        snapshot: Timestamp,
+    ) -> Result<Option<VersionedValue>, StoreError> {
+        let regions = self.regions.borrow();
+        let Some(st) = regions.get(&region_id) else {
+            return Err(StoreError::NotServing(region_id));
+        };
+        if !st.online {
+            return Err(StoreError::NotServing(region_id));
+        }
+        let mut best = st.memstore.get(row, column, snapshot);
+        let mut consider = |candidate: Option<VersionedValue>| {
+            if let Some(c) = candidate {
+                if best.as_ref().map(|b| c.ts > b.ts).unwrap_or(true) {
+                    best = Some(c);
+                }
+            }
+        };
+        if let Some(fl) = &st.flushing {
+            consider(fl.get(row, column, snapshot));
+        }
+        for sf in &st.storefiles {
+            // Honesty check: a store file is only readable while at least
+            // one filesystem replica survives.
+            let live = self
+                .dfs
+                .namenode()
+                .live_replicas(sf.path())
+                .map(|l| !l.is_empty())
+                .unwrap_or(false);
+            if !live {
+                return Err(StoreError::Unavailable(sf.path().to_owned()));
+            }
+            consider(sf.get(row, column, snapshot));
+        }
+        Ok(best)
+    }
+
+    /// Applies one transaction's mutations for one region (the flush of a
+    /// committed write-set portion, or a recovery replay when `replay`).
+    ///
+    /// Matches Algorithm 3 "On receive": WAL-buffer append, memstore
+    /// apply, PQ tracking via the hook, then the ack — immediately in
+    /// Async mode, after the filesystem sync in Sync mode.
+    #[allow(clippy::too_many_arguments)]
+    pub fn handle_multi_put(
+        self: &Rc<Self>,
+        region: RegionId,
+        ts: Timestamp,
+        mutations: Vec<Mutation>,
+        floor: Option<Timestamp>,
+        replay: bool,
+        reply: impl FnOnce(Result<(), StoreError>) + 'static,
+    ) {
+        if !self.alive.get() {
+            return;
+        }
+        {
+            let regions = self.regions.borrow();
+            match regions.get(&region) {
+                None => {
+                    self.not_serving.set(self.not_serving.get() + 1);
+                    reply(Err(StoreError::NotServing(region)));
+                    return;
+                }
+                Some(st) if !st.online && !replay => {
+                    self.not_serving.set(self.not_serving.get() + 1);
+                    reply(Err(StoreError::NotServing(region)));
+                    return;
+                }
+                Some(_) => {}
+            }
+        }
+        let mut service = self.cfg.base_service
+            + self.cfg.write_service_per_mutation * mutations.len().max(1) as u64;
+        if self.cfg.wal_mode == WalSyncMode::Sync {
+            service += self.cfg.sync_mode_handler_hold;
+        }
+        let this = Rc::clone(self);
+        self.handlers.submit(service, move || {
+            if !this.alive.get() {
+                return;
+            }
+            let applied = {
+                let mut regions = this.regions.borrow_mut();
+                match regions.get_mut(&region) {
+                    Some(st) => {
+                        for m in &mutations {
+                            st.memstore.apply_mutation(
+                                m.row.clone(),
+                                m.column.clone(),
+                                ts,
+                                &m.kind,
+                            );
+                        }
+                        true
+                    }
+                    None => false,
+                }
+            };
+            if !applied {
+                reply(Err(StoreError::NotServing(region)));
+                return;
+            }
+            let seq = this.wal.append(WalRecord { region, ts, mutations });
+            this.puts.set(this.puts.get() + 1);
+            this.hooks.borrow().on_write_set_applied(this.id, region, ts, seq, floor);
+            match this.cfg.wal_mode {
+                WalSyncMode::Sync => this.wal.sync_upto(seq, move || reply(Ok(()))),
+                WalSyncMode::Async => reply(Ok(())),
+            }
+        });
+    }
+
+    /// Serves a snapshot range scan over `[start, end)` within one region,
+    /// returning the newest visible version per cell (tombstones elided).
+    pub fn handle_scan(
+        self: &Rc<Self>,
+        start: Bytes,
+        end: Option<Bytes>,
+        snapshot: Timestamp,
+        limit: usize,
+        reply: impl FnOnce(Result<Vec<(Bytes, Bytes, VersionedValue)>, StoreError>) + 'static,
+    ) {
+        if !self.alive.get() {
+            return;
+        }
+        let region_id = {
+            let regions = self.regions.borrow();
+            match regions.values().find(|st| st.desc.contains(&start)) {
+                Some(st) if st.online => st.desc.id,
+                Some(st) => {
+                    reply(Err(StoreError::NotServing(st.desc.id)));
+                    return;
+                }
+                None => {
+                    reply(Err(StoreError::RegionUnknown));
+                    return;
+                }
+            }
+        };
+        let service = self.cfg.base_service + self.cfg.read_service * 3;
+        let this = Rc::clone(self);
+        self.handlers.submit(service, move || {
+            if !this.alive.get() {
+                return;
+            }
+            let regions = this.regions.borrow();
+            let Some(st) = regions.get(&region_id) else {
+                reply(Err(StoreError::NotServing(region_id)));
+                return;
+            };
+            // Merge memstore, flushing snapshot and store files: newest
+            // version per cell wins.
+            let mut merged: HashMap<(Bytes, Bytes), VersionedValue> = HashMap::new();
+            let mut absorb = |hits: Vec<(Bytes, Bytes, VersionedValue)>| {
+                for (r, c, vv) in hits {
+                    match merged.get(&(r.clone(), c.clone())) {
+                        Some(old) if old.ts >= vv.ts => {}
+                        _ => {
+                            merged.insert((r, c), vv);
+                        }
+                    }
+                }
+            };
+            for sf in &st.storefiles {
+                absorb(sf.scan(&start, end.as_deref(), snapshot));
+            }
+            if let Some(fl) = &st.flushing {
+                absorb(fl.scan(&start, end.as_deref(), snapshot));
+            }
+            absorb(st.memstore.scan(&start, end.as_deref(), snapshot));
+            let mut out: Vec<(Bytes, Bytes, VersionedValue)> = merged
+                .into_iter()
+                .filter(|(_, vv)| vv.value.is_some())
+                .map(|((r, c), vv)| (r, c, vv))
+                .collect();
+            out.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+            out.truncate(limit);
+            reply(Ok(out));
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Region lifecycle
+    // ------------------------------------------------------------------
+
+    /// Opens a region on this server.
+    ///
+    /// For a fresh open `recovered_paths` is empty and `failed` is `None`;
+    /// the region goes online immediately. After a failover the master
+    /// passes the paths of the region's recovered-edits files (its split
+    /// WAL records, durable in the filesystem) and the failed server's
+    /// id; the edits are read back and replayed into a fresh memstore
+    /// (HBase-internal recovery) and the region stays offline until the
+    /// recovery hooks call back (transactional recovery, §3.2).
+    pub fn open_region(
+        self: &Rc<Self>,
+        desc: RegionDescriptor,
+        storefile_paths: Vec<String>,
+        recovered_paths: Vec<String>,
+        failed: Option<ServerId>,
+    ) {
+        if !self.alive.get() {
+            return;
+        }
+        let region = desc.id;
+        let storefiles: Vec<Rc<StoreFileData>> =
+            storefile_paths.iter().filter_map(|p| self.registry.get(p)).collect();
+        self.regions.borrow_mut().insert(
+            region,
+            RegionState {
+                desc,
+                memstore: MemStore::new(),
+                flushing: None,
+                storefiles,
+                recovered_paths: recovered_paths.clone(),
+                online: false,
+                flush_in_progress: false,
+            },
+        );
+        self.replay_recovered_edits(region, recovered_paths, 0, failed);
+    }
+
+    /// Sequentially reads and replays recovered-edits files, then runs the
+    /// recovery gating. Unreadable files are retried: skipping them would
+    /// silently lose acknowledged data.
+    fn replay_recovered_edits(
+        self: &Rc<Self>,
+        region: RegionId,
+        paths: Vec<String>,
+        idx: usize,
+        failed: Option<ServerId>,
+    ) {
+        if !self.alive.get() {
+            return;
+        }
+        if idx >= paths.len() {
+            self.finish_region_open(region, failed);
+            return;
+        }
+        let this = Rc::clone(self);
+        let path = paths[idx].clone();
+        self.dfs.read(&path, move |data| {
+            match data {
+                Ok(batches) => {
+                    let mut edit_count = 0u64;
+                    {
+                        let mut regions = this.regions.borrow_mut();
+                        let Some(st) = regions.get_mut(&region) else { return };
+                        for batch in &batches {
+                            if let Ok(records) = crate::codec::decode_wal_batch(batch) {
+                                for rec in records {
+                                    for m in &rec.mutations {
+                                        edit_count += 1;
+                                        st.memstore.apply_mutation(
+                                            m.row.clone(),
+                                            m.column.clone(),
+                                            rec.ts,
+                                            &m.kind,
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    // Replaying edits costs handler time.
+                    let service = this.cfg.base_service
+                        + this.cfg.write_service_per_mutation * edit_count.max(1) / 2;
+                    let next = Rc::clone(&this);
+                    this.handlers.submit(service, move || {
+                        next.replay_recovered_edits(region, paths, idx + 1, failed);
+                    });
+                }
+                Err(_) => {
+                    let retry = Rc::clone(&this);
+                    this.sim.schedule_in(SimDuration::from_millis(200), move || {
+                        retry.replay_recovered_edits(region, paths, idx, failed);
+                    });
+                }
+            }
+        });
+    }
+
+    fn finish_region_open(self: &Rc<Self>, region: RegionId, failed: Option<ServerId>) {
+        match failed {
+            Some(failed_server) => {
+                let hooks = Rc::clone(&*self.hooks.borrow());
+                let weak = Rc::downgrade(self);
+                hooks.on_region_recovered(
+                    Rc::clone(self),
+                    region,
+                    failed_server,
+                    Box::new(move || {
+                        if let Some(server) = weak.upgrade() {
+                            server.mark_region_online(region);
+                        }
+                    }),
+                );
+            }
+            None => self.mark_region_online(region),
+        }
+    }
+
+    /// Declares a hosted region online (ends its recovery gating).
+    pub fn mark_region_online(&self, region: RegionId) {
+        if let Some(st) = self.regions.borrow_mut().get_mut(&region) {
+            st.online = true;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Memstore flushing
+    // ------------------------------------------------------------------
+
+    fn check_flushes(self: &Rc<Self>) {
+        if !self.alive.get() {
+            return;
+        }
+        let candidates: Vec<RegionId> = self
+            .regions
+            .borrow()
+            .iter()
+            .filter(|(_, st)| {
+                st.online
+                    && !st.flush_in_progress
+                    && st.memstore.approx_bytes() >= self.cfg.memstore_flush_bytes
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        for region in candidates {
+            self.flush_region(region);
+        }
+    }
+
+    /// Flushes `region`'s memstore to a new store file in the filesystem.
+    /// Reads keep seeing the data throughout (flushing snapshot).
+    pub fn flush_region(self: &Rc<Self>, region: RegionId) {
+        let path = {
+            let mut regions = self.regions.borrow_mut();
+            let Some(st) = regions.get_mut(&region) else { return };
+            if st.flush_in_progress || st.memstore.is_empty() {
+                return;
+            }
+            st.flush_in_progress = true;
+            let n = self.storefile_counter.get();
+            self.storefile_counter.set(n + 1);
+            format!("/store/{region}/{:06}-{}", n, self.id)
+        };
+        let data = {
+            let mut regions = self.regions.borrow_mut();
+            let st = regions.get_mut(&region).expect("checked above");
+            let snapshot = st.memstore.take();
+            let data = Rc::new(StoreFileData::from_memstore(region, path.clone(), &snapshot));
+            st.flushing = Some(Rc::clone(&data));
+            data
+        };
+        let weak = Rc::downgrade(self);
+        let registry = Rc::clone(&self.registry);
+        let data2 = Rc::clone(&data);
+        self.dfs.create(&path, move |file| {
+            let Ok(file) = file else { return };
+            let encoded = data2.encode();
+            let weak = weak.clone();
+            file.append(encoded, move |result| {
+                let Some(server) = weak.upgrade() else { return };
+                if result.is_err() {
+                    // Filesystem unavailable: leave the snapshot readable
+                    // in `flushing`; the next flush-check retries nothing
+                    // (flush_in_progress stays set) but data is not lost —
+                    // the WAL still covers it.
+                    return;
+                }
+                registry.insert(Rc::clone(&data2));
+                let recovered = {
+                    let mut regions = server.regions.borrow_mut();
+                    match regions.get_mut(&region) {
+                        Some(st) => {
+                            st.storefiles.push(Rc::clone(&data2));
+                            st.flushing = None;
+                            st.flush_in_progress = false;
+                            std::mem::take(&mut st.recovered_paths)
+                        }
+                        None => Vec::new(),
+                    }
+                };
+                // The flushed store file now covers the recovered edits;
+                // their files can be garbage-collected.
+                for path in recovered {
+                    server.dfs.delete(&path);
+                }
+            });
+        });
+    }
+
+    /// Approximate bytes buffered in `region`'s memstore.
+    pub fn memstore_bytes(&self, region: RegionId) -> usize {
+        self.regions.borrow().get(&region).map(|st| st.memstore.approx_bytes()).unwrap_or(0)
+    }
+
+    /// Number of store files backing `region` on this server.
+    pub fn storefile_count(&self, region: RegionId) -> usize {
+        self.regions.borrow().get(&region).map(|st| st.storefiles.len()).unwrap_or(0)
+    }
+
+    /// Directly injects a store file into a hosted region (bulk load).
+    /// Used by the workload loader; the file must already be registered.
+    pub fn attach_storefile(&self, region: RegionId, data: Rc<StoreFileData>) {
+        if let Some(st) = self.regions.borrow_mut().get_mut(&region) {
+            st.storefiles.push(data);
+        }
+    }
+
+    /// Pre-warms the block cache with the given rows (the paper warms the
+    /// cache before measuring, §4.1).
+    pub fn warm_cache(&self, region: RegionId, rows: impl IntoIterator<Item = Bytes>) {
+        let mut cache = self.cache.borrow_mut();
+        for row in rows {
+            cache.insert(region, row);
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! Immutable store files (HFile/SSTable equivalents) and the cluster-wide
+//! store-file registry.
+//!
+//! A memstore flush writes its contents as a sorted, immutable store file
+//! into the distributed filesystem. Readers locate the newest version ≤
+//! their snapshot with binary search.
+//!
+//! ## Simulation note: the registry
+//!
+//! In HBase, any region server can read any store file block from HDFS. We
+//! model the *latency* of those block reads in the region server's service
+//! time (cache-miss penalty) but serve the *bytes* from a shared
+//! [`StoreFileRegistry`] keyed by file path, populated only after the DFS
+//! write of the file has been acknowledged. Durability stays honest — a
+//! file enters the registry only once it is really replicated — while
+//! avoiding the unrealistic cost of re-reading whole files per lookup.
+//! Liveness stays honest too: the read path checks that at least one
+//! replica datanode of the file is alive before serving from the registry.
+
+use crate::codec::{decode_mutation, encode_mutation, DecodeError, Decoder, Encoder};
+use crate::memstore::{MemStore, VersionedValue};
+use crate::types::{Mutation, MutationKind, RegionId, Timestamp};
+use bytes::Bytes;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// One sorted immutable store file's contents.
+pub struct StoreFileData {
+    region: RegionId,
+    path: String,
+    /// Sorted by (row, column, descending ts) — same order as a memstore.
+    entries: Vec<(Bytes, Bytes, Timestamp, Option<Bytes>)>,
+    total_bytes: usize,
+}
+
+impl fmt::Debug for StoreFileData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StoreFileData")
+            .field("region", &self.region)
+            .field("path", &self.path)
+            .field("entries", &self.entries.len())
+            .field("bytes", &self.total_bytes)
+            .finish()
+    }
+}
+
+impl StoreFileData {
+    /// Builds a store file from a (snapshot) memstore.
+    pub fn from_memstore(region: RegionId, path: impl Into<String>, ms: &MemStore) -> StoreFileData {
+        let entries: Vec<_> =
+            ms.iter().map(|(r, c, ts, v)| (r.clone(), c.clone(), ts, v.clone())).collect();
+        let total_bytes = entries
+            .iter()
+            .map(|(r, c, _, v)| r.len() + c.len() + v.as_ref().map(Bytes::len).unwrap_or(0) + 24)
+            .sum();
+        StoreFileData { region, path: path.into(), entries, total_bytes }
+    }
+
+    /// The region this file belongs to.
+    pub fn region(&self) -> RegionId {
+        self.region
+    }
+
+    /// The DFS path the file was written to.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Number of stored versions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the file stores nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Approximate on-disk size in bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.total_bytes
+    }
+
+    /// The newest version of `(row, column)` at or before `snapshot`.
+    pub fn get(&self, row: &[u8], column: &[u8], snapshot: Timestamp) -> Option<VersionedValue> {
+        // First entry with key >= (row, column, inv(snapshot)) in the
+        // (row, col, desc-ts) order.
+        let idx = self.entries.partition_point(|(r, c, ts, _)| {
+            (&r[..], &c[..], !ts.0) < (row, column, !snapshot.0)
+        });
+        let (r, c, ts, v) = self.entries.get(idx)?;
+        if r == row && c == column {
+            Some(VersionedValue { ts: *ts, value: v.clone() })
+        } else {
+            None
+        }
+    }
+
+    /// Latest version ≤ `snapshot` per cell for rows in `[start, end)`.
+    pub fn scan(
+        &self,
+        start: &[u8],
+        end: Option<&[u8]>,
+        snapshot: Timestamp,
+    ) -> Vec<(Bytes, Bytes, VersionedValue)> {
+        let mut out: Vec<(Bytes, Bytes, VersionedValue)> = Vec::new();
+        for (r, c, ts, v) in &self.entries {
+            if *ts > snapshot || &r[..] < start {
+                continue;
+            }
+            if let Some(end) = end {
+                if &r[..] >= end {
+                    continue;
+                }
+            }
+            if let Some((lr, lc, _)) = out.last() {
+                if lr == r && lc == c {
+                    continue;
+                }
+            }
+            out.push((r.clone(), c.clone(), VersionedValue { ts: *ts, value: v.clone() }));
+        }
+        out
+    }
+
+    /// Serializes the file for the DFS write.
+    pub fn encode(&self) -> Bytes {
+        let mut enc = Encoder::new();
+        enc.put_u32(self.region.0);
+        enc.put_u32(self.entries.len() as u32);
+        for (r, c, ts, v) in &self.entries {
+            let kind = match v {
+                Some(v) => MutationKind::Put(v.clone()),
+                None => MutationKind::Delete,
+            };
+            let m = Mutation { row: r.clone(), column: c.clone(), kind };
+            encode_mutation(&mut enc, &m);
+            enc.put_u64(ts.0);
+        }
+        enc.finish()
+    }
+
+    /// Parses a file previously produced by [`StoreFileData::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on truncated or corrupt input.
+    pub fn decode(path: impl Into<String>, buf: &[u8]) -> Result<StoreFileData, DecodeError> {
+        let mut dec = Decoder::new(buf);
+        let region = RegionId(dec.get_u32()?);
+        let n = dec.get_u32()? as usize;
+        let mut entries = Vec::with_capacity(n);
+        let mut total_bytes = 0;
+        for _ in 0..n {
+            let m = decode_mutation(&mut dec)?;
+            let ts = Timestamp(dec.get_u64()?);
+            let v = match m.kind {
+                MutationKind::Put(v) => Some(v),
+                MutationKind::Delete => None,
+            };
+            total_bytes +=
+                m.row.len() + m.column.len() + v.as_ref().map(Bytes::len).unwrap_or(0) + 24;
+            entries.push((m.row, m.column, ts, v));
+        }
+        Ok(StoreFileData { region, path: path.into(), entries, total_bytes })
+    }
+}
+
+/// Cluster-wide map from store-file path to parsed contents (see the
+/// module docs for why this exists).
+#[derive(Default)]
+pub struct StoreFileRegistry {
+    files: RefCell<HashMap<String, Rc<StoreFileData>>>,
+}
+
+impl fmt::Debug for StoreFileRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StoreFileRegistry").field("files", &self.files.borrow().len()).finish()
+    }
+}
+
+impl StoreFileRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Rc<StoreFileRegistry> {
+        Rc::new(StoreFileRegistry::default())
+    }
+
+    /// Registers a file (call only after its DFS write was acknowledged).
+    pub fn insert(&self, data: Rc<StoreFileData>) {
+        self.files.borrow_mut().insert(data.path().to_owned(), data);
+    }
+
+    /// Looks up a file by path.
+    pub fn get(&self, path: &str) -> Option<Rc<StoreFileData>> {
+        self.files.borrow().get(path).cloned()
+    }
+
+    /// Number of registered files.
+    pub fn len(&self) -> usize {
+        self.files.borrow().len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.files.borrow().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    fn sample() -> StoreFileData {
+        let mut ms = MemStore::new();
+        ms.apply(b("a"), b("c"), Timestamp(10), Some(b("a10")));
+        ms.apply(b("a"), b("c"), Timestamp(20), Some(b("a20")));
+        ms.apply(b("b"), b("c"), Timestamp(15), None); // tombstone
+        ms.apply(b("c"), b("d"), Timestamp(5), Some(b("c5")));
+        StoreFileData::from_memstore(RegionId(1), "/store/r1/0", &ms)
+    }
+
+    #[test]
+    fn get_respects_snapshot() {
+        let sf = sample();
+        assert_eq!(sf.get(b"a", b"c", Timestamp(9)), None);
+        assert_eq!(sf.get(b"a", b"c", Timestamp(10)).unwrap().value, Some(b("a10")));
+        assert_eq!(sf.get(b"a", b"c", Timestamp(19)).unwrap().value, Some(b("a10")));
+        assert_eq!(sf.get(b"a", b"c", Timestamp(20)).unwrap().value, Some(b("a20")));
+        assert_eq!(sf.get(b"b", b"c", Timestamp(20)).unwrap().value, None); // tombstone
+        assert_eq!(sf.get(b"zz", b"c", Timestamp(20)), None);
+        assert_eq!(sf.get(b"c", b"d", Timestamp(5)).unwrap().value, Some(b("c5")));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let sf = sample();
+        let encoded = sf.encode();
+        let back = StoreFileData::decode("/store/r1/0", &encoded).expect("decode");
+        assert_eq!(back.region(), RegionId(1));
+        assert_eq!(back.len(), sf.len());
+        assert_eq!(back.get(b"a", b"c", Timestamp(20)), sf.get(b"a", b"c", Timestamp(20)));
+        assert_eq!(back.get(b"b", b"c", Timestamp(20)), sf.get(b"b", b"c", Timestamp(20)));
+        assert!(StoreFileData::decode("/x", &encoded[..3]).is_err());
+    }
+
+    #[test]
+    fn scan_filters_range_and_snapshot() {
+        let sf = sample();
+        let hits = sf.scan(b"a", Some(b"c"), Timestamp(50));
+        assert_eq!(hits.len(), 2); // a (latest=20) and b (tombstone)
+        assert_eq!(hits[0].2.ts, Timestamp(20));
+        let hits = sf.scan(b"a", None, Timestamp(5));
+        assert_eq!(hits.len(), 1); // only c@5 visible
+        assert_eq!(hits[0].0, b("c"));
+    }
+
+    #[test]
+    fn registry_roundtrip() {
+        let reg = StoreFileRegistry::new();
+        assert!(reg.is_empty());
+        let sf = Rc::new(sample());
+        reg.insert(Rc::clone(&sf));
+        assert_eq!(reg.len(), 1);
+        let got = reg.get("/store/r1/0").expect("registered");
+        assert_eq!(got.len(), sf.len());
+        assert!(reg.get("/other").is_none());
+    }
+
+    #[test]
+    fn empty_file() {
+        let ms = MemStore::new();
+        let sf = StoreFileData::from_memstore(RegionId(0), "/f", &ms);
+        assert!(sf.is_empty());
+        assert_eq!(sf.get(b"a", b"c", Timestamp::MAX), None);
+        let back = StoreFileData::decode("/f", &sf.encode()).unwrap();
+        assert!(back.is_empty());
+    }
+}

@@ -1,0 +1,318 @@
+//! Integration tests of the store substrate: a full mini-cluster with
+//! master, region servers, DFS, coordination service and a store client.
+
+use bytes::Bytes;
+use cumulo_coord::{CoordClient, CoordService};
+use cumulo_dfs::{DataNode, DfsClient, NameNode, NameNodeConfig};
+use cumulo_sim::{DiskConfig, LatencyConfig, Network, Sim, SimDuration};
+use cumulo_store::{
+    Master, MasterConfig, Mutation, RegionMap, RegionServer, RegionServerConfig, ServerDirectory,
+    StoreClient, StoreClientConfig, StoreFileRegistry, Timestamp, WalSyncMode, WriteSet,
+};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+struct Cluster {
+    sim: Sim,
+    net: Rc<Network>,
+    master: Rc<Master>,
+    dir: Rc<ServerDirectory>,
+    servers: Vec<Rc<RegionServer>>,
+    client: StoreClient,
+}
+
+fn build(seed: u64, n_servers: usize, n_regions: usize, wal_mode: WalSyncMode) -> Cluster {
+    let sim = Sim::new(seed);
+    let net = Network::new(&sim, LatencyConfig::lan_100mbps());
+
+    // Coordination service.
+    let zk_node = net.add_node("coord");
+    let coord_svc = CoordService::new(&sim, &net, zk_node, SimDuration::from_millis(200));
+
+    // DFS: one datanode co-located per server node plus one spare.
+    let mut dns = Vec::new();
+    let mut server_nodes = Vec::new();
+    for i in 0..n_servers {
+        let node = net.add_node(&format!("rs{i}-machine"));
+        server_nodes.push(node);
+        dns.push(DataNode::new(&sim, net.add_node(&format!("dn{i}")), DiskConfig::server_hdd()));
+    }
+    dns.push(DataNode::new(&sim, net.add_node("dn-spare"), DiskConfig::server_hdd()));
+    let nn_node = net.add_node("namenode");
+    let nn = NameNode::new(&sim, &net, nn_node, dns, NameNodeConfig::default());
+
+    let registry = StoreFileRegistry::new();
+    let dir = ServerDirectory::new();
+
+    // Region servers.
+    let mut servers = Vec::new();
+    for (i, node) in server_nodes.iter().enumerate() {
+        let dfs = DfsClient::new(&sim, &net, &nn, *node);
+        let cfg = RegionServerConfig { wal_mode, ..RegionServerConfig::default() };
+        let server = RegionServer::new(
+            &sim,
+            &net,
+            *node,
+            cumulo_store::ServerId(i as u32),
+            cfg,
+            dfs,
+            Rc::clone(&registry),
+        );
+        let coord = CoordClient::new(&sim, &net, &coord_svc, *node);
+        server.start(&coord);
+        dir.register(Rc::clone(&server));
+        servers.push(server);
+    }
+
+    // Master.
+    let master_node = net.add_node("master");
+    let master_dfs = DfsClient::new(&sim, &net, &nn, master_node);
+    let master = Master::new(&sim, &net, master_node, MasterConfig::default(), master_dfs, Rc::clone(&dir));
+    let master_coord = CoordClient::new(&sim, &net, &coord_svc, master_node);
+    master.start(&master_coord);
+    master.bootstrap(RegionMap::split_decimal_keyspace("user", 1000, n_regions));
+    sim.run_for(SimDuration::from_millis(500)); // let regions open
+
+    // Client.
+    let client_node = net.add_node("client");
+    let client =
+        StoreClient::new(&sim, &net, client_node, &master, &dir, StoreClientConfig::default());
+
+    Cluster { sim, net, master, dir, servers, client }
+}
+
+fn key(i: u64) -> Bytes {
+    Bytes::from(format!("user{i:012}"))
+}
+
+/// Writes `n` rows as transactions ts=1..n, one mutation each.
+fn write_rows(c: &Cluster, base_ts: u64, n: u64) {
+    for i in 0..n {
+        let ts = Timestamp(base_ts + i);
+        let ws: WriteSet =
+            vec![Mutation::put(key(i), "f0", format!("value-{}", base_ts + i))].into_iter().collect();
+        for (region, muts) in c.client.group_write_set(&ws) {
+            c.client.multi_put(region, ts, muts, None, false, || {});
+        }
+    }
+    c.sim.run_for(SimDuration::from_secs(2));
+}
+
+fn read_row(c: &Cluster, i: u64, snapshot: u64) -> Option<(Timestamp, Option<Bytes>)> {
+    let out: Rc<RefCell<Option<Option<(Timestamp, Option<Bytes>)>>>> = Rc::new(RefCell::new(None));
+    let o = out.clone();
+    c.client.get(key(i), Bytes::from_static(b"f0"), Timestamp(snapshot), move |v| {
+        *o.borrow_mut() = Some(v.map(|vv| (vv.ts, vv.value)));
+    });
+    c.sim.run_for(SimDuration::from_secs(5));
+    let result = out.borrow_mut().take();
+    result.expect("get completed")
+}
+
+#[test]
+fn write_then_read_roundtrip() {
+    let c = build(1, 2, 4, WalSyncMode::Async);
+    write_rows(&c, 1, 20);
+    for i in 0..20 {
+        let got = read_row(&c, i, 1000);
+        assert_eq!(
+            got.unwrap().1,
+            Some(Bytes::from(format!("value-{}", 1 + i))),
+            "row {i} mismatch"
+        );
+    }
+    assert!(c.client.gets_ok() >= 20);
+}
+
+#[test]
+fn snapshot_isolation_versions() {
+    let c = build(2, 2, 4, WalSyncMode::Async);
+    write_rows(&c, 1, 5); // version ts=1..5
+    write_rows(&c, 100, 5); // overwrite rows 0..5 at ts=100..104
+    // Old snapshot sees old values.
+    let old = read_row(&c, 0, 50).unwrap();
+    assert_eq!(old.1, Some(Bytes::from_static(b"value-1")));
+    let new = read_row(&c, 0, 200).unwrap();
+    assert_eq!(new.1, Some(Bytes::from_static(b"value-100")));
+}
+
+#[test]
+fn missing_row_reads_none() {
+    let c = build(3, 2, 2, WalSyncMode::Async);
+    assert_eq!(read_row(&c, 999, 100), None);
+}
+
+#[test]
+fn server_failover_reassigns_regions_and_recovers_synced_data() {
+    let c = build(4, 2, 4, WalSyncMode::Async);
+    write_rows(&c, 1, 40);
+    // Force WAL to be synced everywhere (async sync interval is 50ms and
+    // write_rows already ran 2s, so the WAL is durable).
+    let victim = Rc::clone(&c.servers[0]);
+    let victim_regions = victim.hosted_regions();
+    assert!(!victim_regions.is_empty());
+    victim.crash();
+
+    // Failure detection (session timeout ~1.8s) + split + reassignment.
+    c.sim.run_for(SimDuration::from_secs(8));
+    assert_eq!(c.master.failover_count(), 1);
+    let survivor = Rc::clone(&c.servers[1]);
+    for r in &victim_regions {
+        assert!(survivor.region_online(*r), "region {r} should be online on the survivor");
+    }
+
+    // All rows readable, including those that only lived in the victim's
+    // memstore + synced WAL.
+    for i in 0..40 {
+        let got = read_row(&c, i, 1000);
+        assert_eq!(got.unwrap().1, Some(Bytes::from(format!("value-{}", 1 + i))), "row {i}");
+    }
+}
+
+#[test]
+fn unsynced_wal_tail_is_lost_without_transactional_recovery() {
+    // Demonstrates the durability gap the paper's middleware closes: in
+    // async mode, a write acked just before the crash may vanish.
+    let mut cfg_cluster = build(5, 2, 2, WalSyncMode::Async);
+    // Use a huge WAL sync interval by rebuilding servers? Simpler: write
+    // and crash immediately, before the 50ms background sync fires.
+    let c = &mut cfg_cluster;
+    let ws: WriteSet = vec![Mutation::put(key(0), "f0", "doomed")].into_iter().collect();
+    let acked = Rc::new(RefCell::new(false));
+    for (region, muts) in c.client.group_write_set(&ws) {
+        let a = acked.clone();
+        c.client.multi_put(region, Timestamp(7), muts, None, false, move || {
+            *a.borrow_mut() = true;
+        });
+    }
+    // Run just long enough for the ack but not the WAL sync.
+    c.sim.run_for(SimDuration::from_millis(8));
+    let victim_id = {
+        let map = c.master.snapshot_map();
+        map.server_for(c.client.region_for(&key(0))).unwrap()
+    };
+    let victim = c.dir.get(victim_id).unwrap();
+    victim.crash();
+    c.sim.run_for(SimDuration::from_secs(8));
+    assert!(*acked.borrow(), "write was acknowledged before the crash");
+    let got = read_row(c, 0, 1000);
+    assert_eq!(got, None, "acked-but-unsynced write must be lost in plain async mode");
+}
+
+#[test]
+fn sync_mode_survives_immediate_crash() {
+    // Same scenario as above but with synchronous WAL persistence: the
+    // ack implies durability, so the value must survive.
+    let c = build(6, 2, 2, WalSyncMode::Sync);
+    let ws: WriteSet = vec![Mutation::put(key(0), "f0", "durable")].into_iter().collect();
+    let acked = Rc::new(RefCell::new(false));
+    for (region, muts) in c.client.group_write_set(&ws) {
+        let a = acked.clone();
+        c.client.multi_put(region, Timestamp(7), muts, None, false, move || {
+            *a.borrow_mut() = true;
+        });
+    }
+    c.sim.run_for(SimDuration::from_millis(100));
+    assert!(*acked.borrow());
+    let victim_id = {
+        let map = c.master.snapshot_map();
+        map.server_for(c.client.region_for(&key(0))).unwrap()
+    };
+    c.dir.get(victim_id).unwrap().crash();
+    c.sim.run_for(SimDuration::from_secs(8));
+    let got = read_row(&c, 0, 1000);
+    assert_eq!(got.unwrap().1, Some(Bytes::from_static(b"durable")));
+}
+
+#[test]
+fn memstore_flush_to_storefile_keeps_data_readable() {
+    let c = build(7, 1, 1, WalSyncMode::Async);
+    write_rows(&c, 1, 30);
+    let server = Rc::clone(&c.servers[0]);
+    let region = server.hosted_regions()[0];
+    assert!(server.memstore_bytes(region) > 0);
+    server.flush_region(region);
+    c.sim.run_for(SimDuration::from_secs(2));
+    assert_eq!(server.memstore_bytes(region), 0);
+    assert_eq!(server.storefile_count(region), 1);
+    for i in 0..30 {
+        let got = read_row(&c, i, 1000);
+        assert_eq!(got.unwrap().1, Some(Bytes::from(format!("value-{}", 1 + i))), "row {i}");
+    }
+}
+
+#[test]
+fn reads_before_region_online_retry_until_served() {
+    let c = build(8, 2, 2, WalSyncMode::Async);
+    write_rows(&c, 1, 10);
+    let victim = Rc::clone(&c.servers[0]);
+    victim.crash();
+    // Immediately issue a read for a row the victim hosted: the client
+    // must stall and retry through detection + failover, then succeed.
+    let row = (0..10)
+        .find(|i| {
+            let map = c.master.snapshot_map();
+            map.server_for(c.client.region_for(&key(*i))) == Some(victim.id())
+        })
+        .expect("victim hosts some row");
+    let got = read_row(&c, row, 1000); // read_row runs 5s, enough for recovery
+    assert_eq!(got.unwrap().1, Some(Bytes::from(format!("value-{}", 1 + row))));
+    assert!(c.client.retry_count() > 0, "client must have retried");
+}
+
+#[test]
+fn scan_merges_memstore_and_storefiles() {
+    let c = build(9, 1, 1, WalSyncMode::Async);
+    write_rows(&c, 1, 10);
+    let server = Rc::clone(&c.servers[0]);
+    let region = server.hosted_regions()[0];
+    server.flush_region(region);
+    c.sim.run_for(SimDuration::from_secs(1));
+    write_rows(&c, 100, 5); // newer versions for rows 0..5 in the memstore
+    let out: Rc<RefCell<Option<Vec<(Bytes, Bytes, cumulo_store::VersionedValue)>>>> =
+        Rc::new(RefCell::new(None));
+    let o = out.clone();
+    c.client.scan(key(0), None, Timestamp(1000), 100, move |hits| *o.borrow_mut() = Some(hits));
+    c.sim.run_for(SimDuration::from_secs(2));
+    let hits = out.borrow_mut().take().expect("scan completed");
+    assert_eq!(hits.len(), 10);
+    // Rows 0..5 must show the newer (memstore) versions.
+    assert_eq!(hits[0].2.value, Some(Bytes::from_static(b"value-100")));
+    assert_eq!(hits[9].2.value, Some(Bytes::from_static(b"value-10")));
+}
+
+#[test]
+fn cache_warms_with_reads() {
+    let c = build(10, 1, 1, WalSyncMode::Async);
+    write_rows(&c, 1, 10);
+    let server = Rc::clone(&c.servers[0]);
+    let region = server.hosted_regions()[0];
+    // Move data out of the memstore so reads depend on cache + files.
+    server.flush_region(region);
+    c.sim.run_for(SimDuration::from_secs(1));
+    for i in 0..10 {
+        read_row(&c, i, 1000);
+    }
+    let cold_rate = server.cache_hit_rate();
+    for i in 0..10 {
+        read_row(&c, i, 1000);
+    }
+    let warm_rate = server.cache_hit_rate();
+    assert!(warm_rate > cold_rate, "hit rate should improve: {cold_rate} -> {warm_rate}");
+}
+
+#[test]
+fn concurrent_failures_leave_no_region_unassigned_forever() {
+    let c = build(11, 3, 6, WalSyncMode::Async);
+    write_rows(&c, 1, 30);
+    c.servers[0].crash();
+    c.servers[1].crash();
+    c.sim.run_for(SimDuration::from_secs(15));
+    let survivor = Rc::clone(&c.servers[2]);
+    let map = c.master.snapshot_map();
+    for r in map.regions() {
+        assert_eq!(map.server_for(r.id), Some(survivor.id()), "region {} placement", r.id);
+        assert!(survivor.region_online(r.id), "region {} online", r.id);
+    }
+    let _ = c.net;
+}

@@ -1,0 +1,138 @@
+//! Property-based tests of the store's core data structures.
+
+use bytes::Bytes;
+use cumulo_store::codec::{decode_wal_batch, encode_wal_batch, WalRecord};
+use cumulo_store::{
+    BlockCache, MemStore, Mutation, MutationKind, RegionId, RegionMap, StoreFileData, Timestamp,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn arb_mutation() -> impl Strategy<Value = Mutation> {
+    (
+        prop::collection::vec(any::<u8>(), 1..8),
+        prop::collection::vec(any::<u8>(), 1..4),
+        prop::option::of(prop::collection::vec(any::<u8>(), 0..16)),
+    )
+        .prop_map(|(row, col, val)| Mutation {
+            row: Bytes::from(row),
+            column: Bytes::from(col),
+            kind: match val {
+                Some(v) => MutationKind::Put(Bytes::from(v)),
+                None => MutationKind::Delete,
+            },
+        })
+}
+
+proptest! {
+    /// MemStore behaves exactly like a model map keyed by
+    /// (row, col) -> sorted versions, for any apply/get interleaving.
+    #[test]
+    fn memstore_matches_reference_model(
+        writes in prop::collection::vec((arb_mutation(), 1u64..100), 1..200),
+        reads in prop::collection::vec((0usize..200, 0u64..120), 1..50),
+    ) {
+        let mut ms = MemStore::new();
+        let mut model: HashMap<(Bytes, Bytes), Vec<(u64, Option<Bytes>)>> = HashMap::new();
+        for (m, ts) in &writes {
+            let value = match &m.kind {
+                MutationKind::Put(v) => Some(v.clone()),
+                MutationKind::Delete => None,
+            };
+            ms.apply(m.row.clone(), m.column.clone(), Timestamp(*ts), value.clone());
+            let versions = model.entry((m.row.clone(), m.column.clone())).or_default();
+            versions.retain(|(t, _)| t != ts);
+            versions.push((*ts, value));
+            versions.sort_by_key(|(t, _)| *t);
+        }
+        for (idx, snap) in reads {
+            let (m, _) = &writes[idx % writes.len()];
+            let got = ms.get(&m.row, &m.column, Timestamp(snap));
+            let expect = model
+                .get(&(m.row.clone(), m.column.clone()))
+                .and_then(|vs| vs.iter().rev().find(|(t, _)| *t <= snap))
+                .map(|(t, v)| (Timestamp(*t), v.clone()));
+            prop_assert_eq!(got.map(|vv| (vv.ts, vv.value)), expect);
+        }
+    }
+
+    /// Store files preserve memstore lookups exactly, including through
+    /// an encode/decode round trip.
+    #[test]
+    fn storefile_equals_memstore_after_roundtrip(
+        writes in prop::collection::vec((arb_mutation(), 1u64..50), 1..100),
+    ) {
+        let mut ms = MemStore::new();
+        for (m, ts) in &writes {
+            ms.apply_mutation(m.row.clone(), m.column.clone(), Timestamp(*ts), &m.kind);
+        }
+        let sf = StoreFileData::from_memstore(RegionId(0), "/f", &ms);
+        let back = StoreFileData::decode("/f", &sf.encode()).unwrap();
+        for (m, _) in &writes {
+            for snap in [0u64, 10, 25, 49, 100] {
+                let a = ms.get(&m.row, &m.column, Timestamp(snap));
+                let b = sf.get(&m.row, &m.column, Timestamp(snap));
+                let c = back.get(&m.row, &m.column, Timestamp(snap));
+                prop_assert_eq!(&a, &b);
+                prop_assert_eq!(&b, &c);
+            }
+        }
+    }
+
+    /// WAL batches decode to exactly what was encoded, for arbitrary
+    /// record contents.
+    #[test]
+    fn wal_codec_roundtrip(
+        records in prop::collection::vec(
+            (0u32..8, 1u64..1000, prop::collection::vec(arb_mutation(), 0..6)),
+            0..20
+        ),
+    ) {
+        let records: Vec<WalRecord> = records
+            .into_iter()
+            .map(|(r, ts, mutations)| WalRecord { region: RegionId(r), ts: Timestamp(ts), mutations })
+            .collect();
+        let decoded = decode_wal_batch(&encode_wal_batch(&records)).unwrap();
+        prop_assert_eq!(decoded, records);
+    }
+
+    /// Every key belongs to exactly one region, whatever the split count.
+    #[test]
+    fn region_map_partitions_keyspace(
+        keys in 1u64..10_000,
+        regions in 1usize..12,
+        samples in prop::collection::vec(any::<u64>(), 1..50),
+    ) {
+        let map = RegionMap::split_decimal_keyspace("user", keys, regions);
+        prop_assert_eq!(map.regions().len(), regions);
+        for s in samples {
+            let key = format!("user{:012}", s % keys);
+            let covering = map
+                .regions()
+                .iter()
+                .filter(|r| r.contains(key.as_bytes()))
+                .count();
+            prop_assert_eq!(covering, 1);
+        }
+    }
+
+    /// The LRU cache never exceeds capacity and a just-inserted block is
+    /// always resident.
+    #[test]
+    fn block_cache_capacity_and_residency(
+        capacity in 1usize..64,
+        ops in prop::collection::vec((any::<u16>(), any::<bool>()), 1..300),
+    ) {
+        let mut cache = BlockCache::new(capacity);
+        for (k, is_insert) in ops {
+            let key = Bytes::from(format!("k{}", k % 200));
+            if is_insert {
+                cache.insert(RegionId(0), key.clone());
+                prop_assert!(cache.contains(RegionId(0), &key));
+            } else {
+                cache.access(RegionId(0), &key);
+            }
+            prop_assert!(cache.len() <= capacity);
+        }
+    }
+}

@@ -1,0 +1,333 @@
+//! The transaction manager's recovery log with group commit.
+//!
+//! "If the transaction manager decides that the transaction can commit,
+//! the transaction receives a commit timestamp and its write-set, together
+//! with the commit timestamp and a client identifier, is flushed to the
+//! recovery log to make it persistent. At this point, the transaction is
+//! considered committed." (§2.2)
+//!
+//! Appends are batched: a periodic group-commit tick forces all pending
+//! records with a single device sync, then acknowledges them together —
+//! "the logging sub-component supports group commit" (§4.1).
+
+use cumulo_sim::{every, Disk, DiskConfig, Sim, SimDuration, TimerHandle};
+use cumulo_store::{ClientId, Timestamp, WriteSet};
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::{Rc, Weak};
+
+/// One durable log entry: a committed transaction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogRecord {
+    /// The commit timestamp (serialization order, MVCC version).
+    pub ts: Timestamp,
+    /// The key-value client that executed the transaction.
+    pub client: ClientId,
+    /// The full write-set.
+    pub write_set: WriteSet,
+}
+
+impl LogRecord {
+    /// Approximate serialized size.
+    pub fn wire_size(&self) -> usize {
+        24 + self.write_set.wire_size()
+    }
+}
+
+/// Recovery-log tuning knobs.
+#[derive(Copy, Clone, Debug)]
+pub struct RecoveryLogConfig {
+    /// Group-commit period: pending appends are forced at this cadence.
+    pub group_commit_interval: SimDuration,
+    /// Force early when this many records are pending.
+    pub max_batch: usize,
+    /// Latency profile of the log device.
+    pub disk: DiskConfig,
+}
+
+impl Default for RecoveryLogConfig {
+    fn default() -> Self {
+        RecoveryLogConfig {
+            group_commit_interval: SimDuration::from_millis(1),
+            max_batch: 64,
+            disk: DiskConfig::fast_log_device(),
+        }
+    }
+}
+
+struct Pending {
+    record: LogRecord,
+    done: Box<dyn FnOnce()>,
+}
+
+/// The append-only recovery log. Shared via `Rc`.
+pub struct RecoveryLog {
+    _sim: Sim,
+    disk: Rc<Disk>,
+    cfg: RecoveryLogConfig,
+    /// Durable records, ordered by commit timestamp.
+    records: RefCell<BTreeMap<Timestamp, LogRecord>>,
+    pending: RefCell<Vec<Pending>>,
+    flush_inflight: Cell<bool>,
+    truncated_below: Cell<Timestamp>,
+    appends: Cell<u64>,
+    forced_batches: Cell<u64>,
+    truncated_records: Cell<u64>,
+    timer: RefCell<Option<TimerHandle>>,
+    self_weak: RefCell<Weak<RecoveryLog>>,
+}
+
+impl fmt::Debug for RecoveryLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RecoveryLog")
+            .field("durable", &self.records.borrow().len())
+            .field("pending", &self.pending.borrow().len())
+            .field("truncated_below", &self.truncated_below.get())
+            .finish()
+    }
+}
+
+impl RecoveryLog {
+    /// Creates the log and starts its group-commit timer.
+    pub fn new(sim: &Sim, cfg: RecoveryLogConfig) -> Rc<RecoveryLog> {
+        let log = Rc::new(RecoveryLog {
+            _sim: sim.clone(),
+            disk: Disk::new(sim, cfg.disk),
+            cfg,
+            records: RefCell::new(BTreeMap::new()),
+            pending: RefCell::new(Vec::new()),
+            flush_inflight: Cell::new(false),
+            truncated_below: Cell::new(Timestamp::ZERO),
+            appends: Cell::new(0),
+            forced_batches: Cell::new(0),
+            truncated_records: Cell::new(0),
+            timer: RefCell::new(None),
+            self_weak: RefCell::new(Weak::new()),
+        });
+        *log.self_weak.borrow_mut() = Rc::downgrade(&log);
+        let weak = Rc::downgrade(&log);
+        let timer = every(sim, cfg.group_commit_interval, move || {
+            if let Some(log) = weak.upgrade() {
+                log.maybe_flush();
+            }
+        });
+        *log.timer.borrow_mut() = Some(timer);
+        log
+    }
+
+    /// Appends a committed transaction; `done` runs at the durability
+    /// point (group-commit sync complete). Only then may the transaction
+    /// be reported committed to the client.
+    pub fn append(&self, record: LogRecord, done: impl FnOnce() + 'static) {
+        self.appends.set(self.appends.get() + 1);
+        self.pending.borrow_mut().push(Pending { record, done: Box::new(done) });
+        if self.pending.borrow().len() >= self.cfg.max_batch {
+            self.maybe_flush();
+        }
+    }
+
+    fn maybe_flush(&self) {
+        if self.flush_inflight.get() || self.pending.borrow().is_empty() {
+            return;
+        }
+        self.flush_inflight.set(true);
+        let batch: Vec<Pending> = self.pending.borrow_mut().drain(..).collect();
+        let bytes: usize = batch.iter().map(|p| p.record.wire_size()).sum();
+        self.forced_batches.set(self.forced_batches.get() + 1);
+        let weak = self.self_weak.borrow().clone();
+        let disk = Rc::clone(&self.disk);
+        self.disk.write(bytes, move || {
+            disk.sync(bytes, move || {
+                let Some(log) = weak.upgrade() else { return };
+                {
+                    let mut records = log.records.borrow_mut();
+                    for p in &batch {
+                        records.insert(p.record.ts, p.record.clone());
+                    }
+                }
+                log.flush_inflight.set(false);
+                for p in batch {
+                    (p.done)();
+                }
+                log.maybe_flush();
+            });
+        });
+    }
+
+    /// All durable records with timestamp strictly greater than `ts`, in
+    /// timestamp order. (`fetchlogs(T_P(s))` of Algorithm 4.)
+    pub fn fetch_after(&self, ts: Timestamp) -> Vec<LogRecord> {
+        self.records.borrow().range(ts.next()..).map(|(_, r)| r.clone()).collect()
+    }
+
+    /// Durable records of `client` with timestamp strictly greater than
+    /// `ts`. (`fetchlogs(c, T_F(c))` of Algorithm 2.)
+    pub fn fetch_client_after(&self, client: ClientId, ts: Timestamp) -> Vec<LogRecord> {
+        self.records
+            .borrow()
+            .range(ts.next()..)
+            .filter(|(_, r)| r.client == client)
+            .map(|(_, r)| r.clone())
+            .collect()
+    }
+
+    /// Drops durable records with timestamp strictly below `ts` — the
+    /// checkpoint-driven truncation of §3.2. Monotonic: a lower `ts` than
+    /// a previous call is a no-op.
+    pub fn truncate_below(&self, ts: Timestamp) {
+        if ts <= self.truncated_below.get() {
+            return;
+        }
+        self.truncated_below.set(ts);
+        let mut records = self.records.borrow_mut();
+        let keep = records.split_off(&ts);
+        self.truncated_records.set(self.truncated_records.get() + records.len() as u64);
+        *records = keep;
+    }
+
+    /// Number of durable (untruncated) records.
+    pub fn len(&self) -> usize {
+        self.records.borrow().len()
+    }
+
+    /// Whether the durable log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.borrow().is_empty()
+    }
+
+    /// Oldest retained timestamp, if any.
+    pub fn oldest_ts(&self) -> Option<Timestamp> {
+        self.records.borrow().keys().next().copied()
+    }
+
+    /// Everything truncated below this timestamp.
+    pub fn truncated_below(&self) -> Timestamp {
+        self.truncated_below.get()
+    }
+
+    /// Total appends accepted.
+    pub fn append_count(&self) -> u64 {
+        self.appends.get()
+    }
+
+    /// Group-commit batches written.
+    pub fn batch_count(&self) -> u64 {
+        self.forced_batches.get()
+    }
+
+    /// Records removed by truncation.
+    pub fn truncated_count(&self) -> u64 {
+        self.truncated_records.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cumulo_store::Mutation;
+    use std::rc::Rc;
+
+    fn record(ts: u64, client: u32) -> LogRecord {
+        LogRecord {
+            ts: Timestamp(ts),
+            client: ClientId(client),
+            write_set: vec![Mutation::put(format!("r{ts}"), "c", "v")].into_iter().collect(),
+        }
+    }
+
+    #[test]
+    fn append_becomes_durable_after_group_commit() {
+        let sim = Sim::new(1);
+        let log = RecoveryLog::new(&sim, RecoveryLogConfig::default());
+        let acked = Rc::new(Cell::new(0u32));
+        for i in 1..=10 {
+            let a = acked.clone();
+            log.append(record(i, 0), move || a.set(a.get() + 1));
+        }
+        assert_eq!(log.len(), 0, "not durable before the group commit");
+        sim.run_for(SimDuration::from_millis(50));
+        assert_eq!(acked.get(), 10);
+        assert_eq!(log.len(), 10);
+    }
+
+    #[test]
+    fn group_commit_batches() {
+        let sim = Sim::new(1);
+        let log = RecoveryLog::new(&sim, RecoveryLogConfig::default());
+        for i in 1..=50 {
+            log.append(record(i, 0), || {});
+        }
+        sim.run_for(SimDuration::from_millis(100));
+        assert!(log.batch_count() <= 3, "50 appends should ride few batches: {}", log.batch_count());
+        assert_eq!(log.append_count(), 50);
+    }
+
+    #[test]
+    fn fetch_after_filters_and_orders() {
+        let sim = Sim::new(1);
+        let log = RecoveryLog::new(&sim, RecoveryLogConfig::default());
+        for i in [5u64, 1, 9, 3, 7] {
+            log.append(record(i, (i % 2) as u32), || {});
+        }
+        sim.run_for(SimDuration::from_millis(50));
+        let after3 = log.fetch_after(Timestamp(3));
+        assert_eq!(after3.iter().map(|r| r.ts.0).collect::<Vec<_>>(), vec![5, 7, 9]);
+        // Strictly greater: ts=3 itself is excluded, and ts=0 returns all.
+        assert_eq!(log.fetch_after(Timestamp::ZERO).len(), 5);
+        let c1 = log.fetch_client_after(ClientId(1), Timestamp::ZERO);
+        assert_eq!(c1.iter().map(|r| r.ts.0).collect::<Vec<_>>(), vec![1, 3, 5, 7, 9]);
+        let c0 = log.fetch_client_after(ClientId(0), Timestamp::ZERO);
+        assert!(c0.is_empty());
+    }
+
+    #[test]
+    fn truncate_below_is_monotone_and_exact() {
+        let sim = Sim::new(1);
+        let log = RecoveryLog::new(&sim, RecoveryLogConfig::default());
+        for i in 1..=10 {
+            log.append(record(i, 0), || {});
+        }
+        sim.run_for(SimDuration::from_millis(50));
+        log.truncate_below(Timestamp(5));
+        assert_eq!(log.oldest_ts(), Some(Timestamp(5)), "ts == threshold is retained");
+        assert_eq!(log.len(), 6);
+        assert_eq!(log.truncated_count(), 4);
+        // Lower threshold is a no-op.
+        log.truncate_below(Timestamp(2));
+        assert_eq!(log.len(), 6);
+        assert_eq!(log.truncated_below(), Timestamp(5));
+    }
+
+    #[test]
+    fn max_batch_forces_early_flush() {
+        let sim = Sim::new(1);
+        let cfg = RecoveryLogConfig {
+            group_commit_interval: SimDuration::from_secs(3600), // effectively never
+            ..RecoveryLogConfig::default()
+        };
+        let log = RecoveryLog::new(&sim, cfg);
+        let acked = Rc::new(Cell::new(0u32));
+        for i in 1..=64 {
+            let a = acked.clone();
+            log.append(record(i, 0), move || a.set(a.get() + 1));
+        }
+        sim.run_for(SimDuration::from_millis(100));
+        assert_eq!(acked.get(), 64, "max_batch must trigger the flush without the timer");
+    }
+
+    #[test]
+    fn commit_latency_reflects_group_commit_interval() {
+        let sim = Sim::new(1);
+        let log = RecoveryLog::new(&sim, RecoveryLogConfig::default());
+        let done_at = Rc::new(Cell::new(0u64));
+        let d = done_at.clone();
+        let s = sim.clone();
+        log.append(record(1, 0), move || d.set(s.now().nanos()));
+        sim.run_for(SimDuration::from_millis(50));
+        let latency = done_at.get();
+        // One group-commit tick (1ms) + sync (~0.4ms) plus slack.
+        assert!(latency >= 1_000_000, "latency {latency}ns too low");
+        assert!(latency <= 5_000_000, "latency {latency}ns too high");
+    }
+}

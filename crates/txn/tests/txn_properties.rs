@@ -1,0 +1,140 @@
+//! Property-based tests of the transaction manager's invariants.
+
+use cumulo_sim::{NodeId, Sim, SimDuration};
+use cumulo_store::{ClientId, Mutation, Timestamp, WriteSet};
+use cumulo_txn::{
+    CommitOutcome, ConflictChecker, LogRecord, RecoveryLog, RecoveryLogConfig,
+    TransactionManager, TxnManagerConfig,
+};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn ws(rows: &[u16]) -> WriteSet {
+    rows.iter().map(|r| Mutation::put(format!("row{r}"), "c", "v")).collect()
+}
+
+proptest! {
+    /// First-committer-wins: for any interleaving of overlapping
+    /// transactions, the set of committed transactions is conflict-free —
+    /// no two committed transactions with overlapping write-sets where
+    /// the later one's snapshot predates the earlier one's commit.
+    #[test]
+    fn committed_transactions_are_conflict_serializable(
+        txns in prop::collection::vec(
+            (prop::collection::vec(0u16..30, 1..5), 0usize..8),
+            2..40
+        ),
+    ) {
+        let checker = ConflictChecker::new();
+        // Simulate: transactions begin in waves; `delay` controls how
+        // stale each snapshot is relative to commit order.
+        let mut committed: Vec<(Vec<u16>, u64, u64)> = Vec::new(); // (rows, start, commit)
+        for (i, (rows, delay)) in txns.iter().enumerate() {
+            let commit_ts = (i + 1) as u64;
+            let start_ts = commit_ts.saturating_sub(*delay as u64 + 1);
+            let write_set = ws(rows);
+            if checker.check_and_record(&write_set, Timestamp(start_ts), Timestamp(commit_ts)) {
+                committed.push((rows.clone(), start_ts, commit_ts));
+            }
+        }
+        // Verify pairwise: overlapping committed txns must not be
+        // "concurrent" (one's start before the other's commit, both ways).
+        for (i, (rows_a, start_a, commit_a)) in committed.iter().enumerate() {
+            for (rows_b, start_b, commit_b) in committed.iter().skip(i + 1) {
+                let overlap = rows_a.iter().any(|r| rows_b.contains(r));
+                if overlap {
+                    let a_before_b = commit_a <= start_b;
+                    let b_before_a = commit_b <= start_a;
+                    prop_assert!(
+                        a_before_b || b_before_a,
+                        "concurrent overlapping commits: a=({start_a},{commit_a}) b=({start_b},{commit_b})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The recovery log's fetch operations are consistent with a model:
+    /// fetch_after(t) returns exactly the records with ts > t in order,
+    /// and truncation below t removes exactly the records with ts < t.
+    #[test]
+    fn recovery_log_fetch_and_truncate_match_model(
+        entries in prop::collection::vec((1u64..500, 0u32..4), 1..80),
+        fetch_at in 0u64..500,
+        truncate_at in 0u64..500,
+    ) {
+        let sim = Sim::new(5);
+        let log = RecoveryLog::new(&sim, RecoveryLogConfig::default());
+        let mut model: Vec<(u64, u32)> = Vec::new();
+        for (ts, client) in &entries {
+            // Skip duplicate timestamps (the oracle guarantees uniqueness).
+            if model.iter().any(|(t, _)| t == ts) {
+                continue;
+            }
+            model.push((*ts, *client));
+            log.append(
+                LogRecord {
+                    ts: Timestamp(*ts),
+                    client: ClientId(*client),
+                    write_set: ws(&[(*ts % 100) as u16]),
+                },
+                || {},
+            );
+        }
+        sim.run_for(SimDuration::from_secs(2));
+        model.sort_unstable();
+
+        let fetched: Vec<u64> = log.fetch_after(Timestamp(fetch_at)).iter().map(|r| r.ts.0).collect();
+        let expect: Vec<u64> = model.iter().map(|(t, _)| *t).filter(|t| *t > fetch_at).collect();
+        prop_assert_eq!(fetched, expect);
+
+        for c in 0..4u32 {
+            let got: Vec<u64> =
+                log.fetch_client_after(ClientId(c), Timestamp(fetch_at)).iter().map(|r| r.ts.0).collect();
+            let expect: Vec<u64> = model
+                .iter()
+                .filter(|(t, cl)| *t > fetch_at && *cl == c)
+                .map(|(t, _)| *t)
+                .collect();
+            prop_assert_eq!(got, expect, "client {}", c);
+        }
+
+        log.truncate_below(Timestamp(truncate_at));
+        let remaining: Vec<u64> = log.fetch_after(Timestamp::ZERO).iter().map(|r| r.ts.0).collect();
+        let expect: Vec<u64> = model.iter().map(|(t, _)| *t).filter(|t| *t >= truncate_at).collect();
+        prop_assert_eq!(remaining, expect);
+    }
+}
+
+/// Commit acknowledgements arrive strictly after log durability and carry
+/// strictly increasing timestamps, regardless of request interleaving.
+#[test]
+fn commit_acks_are_ordered_and_durable() {
+    let sim = Sim::new(11);
+    let tm = TransactionManager::new(&sim, NodeId(0), TxnManagerConfig::default());
+    let acks: Rc<RefCell<Vec<(u64, usize)>>> = Rc::new(RefCell::new(Vec::new()));
+    for i in 0..50usize {
+        let (txn, _) = tm.handle_begin(ClientId((i % 3) as u32));
+        let acks2 = acks.clone();
+        let tm2 = Rc::clone(&tm);
+        tm.handle_commit(txn, ws(&[i as u16]), move |o| {
+            if let CommitOutcome::Committed(ts) = o {
+                // Durability check: the record must already be fetchable.
+                assert!(
+                    tm2.log().fetch_after(Timestamp(ts.0 - 1)).iter().any(|r| r.ts == ts),
+                    "ack before log durability"
+                );
+                acks2.borrow_mut().push((ts.0, i));
+            }
+        });
+        // Interleave time so batches vary.
+        if i % 7 == 0 {
+            sim.run_for(SimDuration::from_micros(500));
+        }
+    }
+    sim.run_for(SimDuration::from_secs(1));
+    let acks = acks.borrow();
+    assert_eq!(acks.len(), 50);
+    assert!(acks.windows(2).all(|w| w[0].0 < w[1].0), "acks out of timestamp order");
+}

@@ -1,0 +1,294 @@
+//! Callback-driven workload driver: N client threads executing the
+//! paper's update transaction against a simulated cluster.
+
+use crate::generators::{HotSpot, ScrambledZipfian, Uniform};
+use crate::workload::{KeyDistribution, Workload};
+use cumulo_core::{Cluster, CommitResult, TransactionalClient};
+use cumulo_sim::metrics::{Counter, Histogram, TimeSeries, Window};
+use cumulo_sim::{Sim, SimDuration, SimTime};
+use cumulo_txn::TxnId;
+use std::cell::Cell;
+use std::fmt;
+use std::rc::Rc;
+
+/// Live measurement state of a running driver.
+#[derive(Clone)]
+pub struct DriverStats {
+    /// Response-time histogram (nanoseconds), measured transactions only.
+    pub response_ns: Histogram,
+    /// Windowed response-time series (count doubles as throughput).
+    pub series: TimeSeries,
+    /// Committed transactions (measured period).
+    pub committed: Counter,
+    /// Aborted transactions (measured period).
+    pub aborted: Counter,
+}
+
+/// Summary of a measurement interval.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DriverReport {
+    /// Mean committed-transaction throughput, transactions/second.
+    pub throughput_tps: f64,
+    /// Mean response time, milliseconds.
+    pub mean_ms: f64,
+    /// 95th-percentile response time, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile response time, milliseconds.
+    pub p99_ms: f64,
+    /// Committed transactions in the interval.
+    pub committed: u64,
+    /// Aborted transactions in the interval.
+    pub aborted: u64,
+}
+
+struct DriverInner {
+    sim: Sim,
+    workload: Workload,
+    clients: Vec<TransactionalClient>,
+    stats: DriverStats,
+    stop_at: Cell<SimTime>,
+    measure_from: Cell<SimTime>,
+    uniform: Uniform,
+    zipf: ScrambledZipfian,
+    hotspot: HotSpot,
+    in_flight: Counter,
+}
+
+/// The workload driver. Cheap to clone.
+#[derive(Clone)]
+pub struct Driver {
+    inner: Rc<DriverInner>,
+}
+
+impl fmt::Debug for Driver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Driver")
+            .field("threads", &self.inner.workload.threads)
+            .field("committed", &self.inner.stats.committed.get())
+            .field("aborted", &self.inner.stats.aborted.get())
+            .finish()
+    }
+}
+
+impl Driver {
+    /// Creates a driver for `cluster` (threads round-robin over its
+    /// clients).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster has no clients or the workload is invalid.
+    pub fn new(cluster: &Cluster, workload: Workload) -> Driver {
+        workload.validate();
+        assert!(!cluster.clients.is_empty(), "cluster has no clients");
+        let stats = DriverStats {
+            response_ns: Histogram::new(),
+            series: TimeSeries::new(workload.window),
+            committed: Counter::new(),
+            aborted: Counter::new(),
+        };
+        let uniform = Uniform::new(workload.record_count);
+        let zipf = ScrambledZipfian::new(workload.record_count);
+        let hotspot = HotSpot::new(workload.record_count, 0.01, 0.9);
+        Driver {
+            inner: Rc::new(DriverInner {
+                sim: cluster.sim.clone(),
+                workload,
+                clients: cluster.clients.clone(),
+                stats,
+                stop_at: Cell::new(SimTime::ZERO),
+                measure_from: Cell::new(SimTime::ZERO),
+                uniform,
+                zipf,
+                hotspot,
+                in_flight: Counter::new(),
+            }),
+        }
+    }
+
+    /// Launches the workload: threads run until `duration` elapses;
+    /// transactions completing before `warmup` has passed are not
+    /// measured. The caller drives the simulation afterwards.
+    pub fn start(&self, warmup: SimDuration, duration: SimDuration) {
+        let now = self.inner.sim.now();
+        self.inner.measure_from.set(now + warmup);
+        self.inner.stop_at.set(now + duration);
+        let interval_ns = self.inner.workload.target_tps.map(|tps| {
+            (self.inner.workload.threads as f64 / tps * 1e9) as u64
+        });
+        for t in 0..self.inner.workload.threads {
+            let inner = Rc::clone(&self.inner);
+            // Stagger thread phases so arrivals are not synchronized.
+            let first = match interval_ns {
+                Some(iv) => SimDuration::from_nanos(iv * t as u64 / self.inner.workload.threads as u64),
+                None => SimDuration::from_nanos(self.inner.sim.gen_range(0, 1_000_000)),
+            };
+            let arrival = now + first;
+            self.inner.sim.schedule_in(first, move || {
+                start_txn(inner, t, arrival, interval_ns);
+            });
+        }
+    }
+
+    /// Runs the full experiment synchronously: `start` + drive the
+    /// simulation until `duration` (plus drain time) elapses; returns the
+    /// report over the measured interval.
+    pub fn run(&self, cluster: &Cluster, warmup: SimDuration, duration: SimDuration) -> DriverReport {
+        self.start(warmup, duration);
+        cluster.run_for(duration + SimDuration::from_secs(2));
+        self.report()
+    }
+
+    /// Live statistics.
+    pub fn stats(&self) -> &DriverStats {
+        &self.inner.stats
+    }
+
+    /// Windowed series (window start, committed count, mean RT ns, max RT
+    /// ns) padded to the stop instant — the Fig. 3 timeline data.
+    pub fn windows(&self) -> Vec<Window> {
+        self.inner.stats.series.windows_until(self.inner.stop_at.get())
+    }
+
+    /// The measurement window length.
+    pub fn window(&self) -> SimDuration {
+        self.inner.workload.window
+    }
+
+    /// Summary over the measured interval.
+    pub fn report(&self) -> DriverReport {
+        let measured_ns = self
+            .inner
+            .stop_at
+            .get()
+            .saturating_since(self.inner.measure_from.get())
+            .nanos()
+            .max(1);
+        let h = &self.inner.stats.response_ns;
+        DriverReport {
+            throughput_tps: self.inner.stats.committed.get() as f64 / (measured_ns as f64 / 1e9),
+            mean_ms: h.mean() as f64 / 1e6,
+            p95_ms: h.quantile(0.95) as f64 / 1e6,
+            p99_ms: h.quantile(0.99) as f64 / 1e6,
+            committed: self.inner.stats.committed.get(),
+            aborted: self.inner.stats.aborted.get(),
+        }
+    }
+}
+
+fn pick_key(inner: &DriverInner) -> u64 {
+    match inner.workload.distribution {
+        KeyDistribution::Uniform => inner.uniform.next_key(&inner.sim),
+        KeyDistribution::Zipfian => inner.zipf.next_key(&inner.sim),
+        KeyDistribution::HotSpot => inner.hotspot.next_key(&inner.sim),
+    }
+}
+
+fn start_txn(inner: Rc<DriverInner>, thread: usize, arrival: SimTime, interval_ns: Option<u64>) {
+    if inner.sim.now() >= inner.stop_at.get() {
+        return;
+    }
+    let client = inner.clients[thread % inner.clients.len()].clone();
+    if !client.is_alive() {
+        return; // the thread's client process crashed
+    }
+    let started = inner.sim.now();
+    let inner2 = Rc::clone(&inner);
+    let client2 = client.clone();
+    inner.in_flight.inc();
+    client.begin(move |txn| {
+        run_op(inner2, client2, txn, 0, started, thread, arrival, interval_ns);
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_op(
+    inner: Rc<DriverInner>,
+    client: TransactionalClient,
+    txn: TxnId,
+    op: usize,
+    started: SimTime,
+    thread: usize,
+    arrival: SimTime,
+    interval_ns: Option<u64>,
+) {
+    if op >= inner.workload.ops_per_txn {
+        let inner2 = Rc::clone(&inner);
+        client.commit(txn, move |result| {
+            finish_txn(inner2, result, started, thread, arrival, interval_ns);
+        });
+        return;
+    }
+    let key = inner.workload.key(pick_key(&inner));
+    let field_idx = inner.sim.gen_range(0, inner.workload.fields.len() as u64) as usize;
+    let field = inner.workload.fields[field_idx].clone();
+    let is_read = inner.sim.gen_f64() < inner.workload.read_ratio;
+    if is_read {
+        let inner2 = Rc::clone(&inner);
+        let client2 = client.clone();
+        client.get(txn, key, field, move |_| {
+            run_op(inner2, client2, txn, op + 1, started, thread, arrival, interval_ns);
+        });
+    } else if inner.sim.gen_f64() < inner.workload.rmw_ratio {
+        // Read-modify-write (YCSB-F): read the cell, write a derived value.
+        let inner2 = Rc::clone(&inner);
+        let client2 = client.clone();
+        let key2 = key.clone();
+        let field2 = field.clone();
+        client.get(txn, key, field, move |old| {
+            let mut value: Vec<u8> = vec![0x62; inner2.workload.field_len];
+            if let Some(old) = old {
+                let n = old.len().min(value.len());
+                value[..n].copy_from_slice(&old[..n]);
+                if let Some(b) = value.first_mut() {
+                    *b = b.wrapping_add(1);
+                }
+            }
+            client2.put(txn, key2, field2, value);
+            run_op(inner2, client2, txn, op + 1, started, thread, arrival, interval_ns);
+        });
+    } else {
+        let value: Vec<u8> = vec![0x62; inner.workload.field_len];
+        client.put(txn, key, field, value);
+        run_op(inner, client, txn, op + 1, started, thread, arrival, interval_ns);
+    }
+}
+
+fn finish_txn(
+    inner: Rc<DriverInner>,
+    result: CommitResult,
+    started: SimTime,
+    thread: usize,
+    arrival: SimTime,
+    interval_ns: Option<u64>,
+) {
+    let now = inner.sim.now();
+    if now >= inner.measure_from.get() && now < inner.stop_at.get() {
+        match result {
+            CommitResult::Committed(_) => {
+                let rt = (now - started).nanos();
+                inner.stats.committed.inc();
+                inner.stats.response_ns.record(rt);
+                inner.stats.series.record(now, rt);
+            }
+            CommitResult::Aborted => inner.stats.aborted.inc(),
+        }
+    }
+    // Next arrival: rate-limited threads follow their schedule without
+    // accumulating a backlog (missed slots are skipped); unlimited
+    // threads go again immediately.
+    let next_arrival = match interval_ns {
+        Some(iv) => {
+            let mut next = arrival + SimDuration::from_nanos(iv);
+            if next < now {
+                next = now;
+            }
+            next
+        }
+        None => now,
+    };
+    let delay = next_arrival - now;
+    let inner2 = Rc::clone(&inner);
+    inner.sim.schedule_in(delay, move || {
+        start_txn(inner2, thread, next_arrival, interval_ns);
+    });
+}

@@ -1,0 +1,243 @@
+//! Key-choosing distributions: uniform and (scrambled) zipfian, following
+//! the classic YCSB/Gray et al. constructions.
+
+use cumulo_sim::Sim;
+
+/// Uniformly random keys in `[0, n)`.
+#[derive(Clone, Debug)]
+pub struct Uniform {
+    n: u64,
+}
+
+impl Uniform {
+    /// Creates a uniform generator over `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: u64) -> Uniform {
+        assert!(n > 0, "empty key space");
+        Uniform { n }
+    }
+
+    /// Draws the next key.
+    pub fn next_key(&self, sim: &Sim) -> u64 {
+        sim.gen_range(0, self.n)
+    }
+}
+
+/// Zipfian-distributed keys in `[0, n)` (popular keys get most traffic),
+/// using the rejection-inversion-free method of Gray et al. as in YCSB.
+#[derive(Clone, Debug)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl Zipfian {
+    /// The YCSB default skew.
+    pub const DEFAULT_THETA: f64 = 0.99;
+
+    /// Creates a zipfian generator over `[0, n)` with skew `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `theta` is not in `(0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Zipfian {
+        assert!(n > 0, "empty key space");
+        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0,1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian { n, theta, alpha, zetan, eta, zeta2 }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Direct sum for moderate n; sampled extrapolation above.
+        if n <= 1_000_000 {
+            (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+        } else {
+            let head: f64 = (1..=1_000_000u64).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+            // Integral approximation of the tail.
+            let tail = ((n as f64).powf(1.0 - theta) - 1_000_000f64.powf(1.0 - theta))
+                / (1.0 - theta);
+            head + tail
+        }
+    }
+
+    /// Draws the next key (0 is the most popular).
+    pub fn next_key(&self, sim: &Sim) -> u64 {
+        let u = sim.gen_f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let k = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        k.min(self.n - 1)
+    }
+
+    /// The number of keys.
+    pub fn key_count(&self) -> u64 {
+        self.n
+    }
+
+    /// Exposes ζ(2, θ) for diagnostics/tests.
+    pub fn zeta2(&self) -> f64 {
+        self.zeta2
+    }
+}
+
+/// Zipfian popularity spread over the whole key space by hashing — hot
+/// keys are scattered instead of clustered at the low ids (YCSB's
+/// "scrambled zipfian"), so the load skew is not also a region skew.
+#[derive(Clone, Debug)]
+pub struct ScrambledZipfian {
+    inner: Zipfian,
+}
+
+impl ScrambledZipfian {
+    /// Creates a scrambled zipfian generator over `[0, n)`.
+    pub fn new(n: u64) -> ScrambledZipfian {
+        ScrambledZipfian { inner: Zipfian::new(n, Zipfian::DEFAULT_THETA) }
+    }
+
+    /// Draws the next key.
+    pub fn next_key(&self, sim: &Sim) -> u64 {
+        let k = self.inner.next_key(sim);
+        fnv1a(k) % self.inner.key_count()
+    }
+}
+
+/// Hotspot distribution (YCSB's `hotspot`): `hot_fraction` of the
+/// operations target the `hot_set_fraction` front of the key space, the
+/// rest spread uniformly over the whole space.
+#[derive(Clone, Debug)]
+pub struct HotSpot {
+    n: u64,
+    hot_keys: u64,
+    hot_fraction: f64,
+}
+
+impl HotSpot {
+    /// Creates a hotspot generator over `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, the set fraction is not in `(0, 1]`, or the
+    /// operation fraction is not in `[0, 1]`.
+    pub fn new(n: u64, hot_set_fraction: f64, hot_fraction: f64) -> HotSpot {
+        assert!(n > 0, "empty key space");
+        assert!(hot_set_fraction > 0.0 && hot_set_fraction <= 1.0, "bad set fraction");
+        assert!((0.0..=1.0).contains(&hot_fraction), "bad op fraction");
+        let hot_keys = ((n as f64 * hot_set_fraction) as u64).max(1);
+        HotSpot { n, hot_keys, hot_fraction }
+    }
+
+    /// Draws the next key.
+    pub fn next_key(&self, sim: &Sim) -> u64 {
+        if sim.gen_f64() < self.hot_fraction {
+            sim.gen_range(0, self.hot_keys)
+        } else {
+            sim.gen_range(0, self.n)
+        }
+    }
+}
+
+/// FNV-1a on the 8 key bytes: cheap stable scrambling hash.
+fn fnv1a(v: u64) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in v.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_covers_range() {
+        let sim = Sim::new(1);
+        let g = Uniform::new(100);
+        let mut seen = vec![false; 100];
+        for _ in 0..10_000 {
+            let k = g.next_key(&sim);
+            assert!(k < 100);
+            seen[k as usize] = true;
+        }
+        assert!(seen.iter().filter(|s| **s).count() > 95, "uniform should cover the space");
+    }
+
+    #[test]
+    fn zipfian_in_range_and_skewed() {
+        let sim = Sim::new(2);
+        let g = Zipfian::new(10_000, 0.99);
+        let mut counts = vec![0u32; 10_000];
+        for _ in 0..100_000 {
+            let k = g.next_key(&sim);
+            assert!(k < 10_000);
+            counts[k as usize] += 1;
+        }
+        // The most popular key receives far more than uniform share (10).
+        assert!(counts[0] > 1_000, "key 0 drew {}", counts[0]);
+        // The top-10 keys should account for a significant fraction.
+        let top: u32 = counts[..10].iter().sum();
+        assert!(top as f64 > 0.2 * 100_000.0, "top-10 share {top}");
+    }
+
+    #[test]
+    fn scrambled_zipfian_spreads_hot_keys() {
+        let sim = Sim::new(3);
+        let g = ScrambledZipfian::new(10_000);
+        let mut counts = vec![0u32; 10_000];
+        for _ in 0..100_000 {
+            counts[g.next_key(&sim) as usize] += 1;
+        }
+        // Still skewed overall…
+        let max = *counts.iter().max().unwrap();
+        assert!(max > 1_000);
+        // …but the hottest keys are not concentrated in the low ids.
+        let low: u32 = counts[..10].iter().sum();
+        assert!((low as f64) < 0.1 * 100_000.0, "low ids got {low}");
+    }
+
+    #[test]
+    fn zeta_extrapolation_is_close() {
+        // Compare the sampled extrapolation to the direct sum at 2e6.
+        let direct = Zipfian::zeta(2_000_000, 0.99);
+        let z = Zipfian::new(2_000_001, 0.99);
+        assert!((z.zetan - direct).abs() / direct < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty key space")]
+    fn zero_keys_panics() {
+        let _ = Uniform::new(0);
+    }
+
+    #[test]
+    fn hotspot_concentrates_on_the_hot_set() {
+        let sim = Sim::new(4);
+        let g = HotSpot::new(10_000, 0.01, 0.9); // 90% of ops on 1% of keys
+        let mut hot = 0u32;
+        for _ in 0..10_000 {
+            let k = g.next_key(&sim);
+            assert!(k < 10_000);
+            if k < 100 {
+                hot += 1;
+            }
+        }
+        // ~90% hot + ~0.1% of the uniform remainder.
+        assert!((8_500..=9_500).contains(&hot), "hot draws: {hot}");
+    }
+}

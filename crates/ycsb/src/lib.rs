@@ -1,0 +1,23 @@
+//! YCSB-style transactional benchmark workload (§4.1 of the paper).
+//!
+//! "We extended YCSB to support true transactional workloads and
+//! implemented a simple type of update transaction that executes 10
+//! random row operations, with a 50/50 ratio of reads/updates. We loaded
+//! our test table with half a million rows."
+//!
+//! This crate provides the key-choosing [`generators`], the transactional
+//! [`Workload`] definition, and a callback-driven [`Driver`] that runs
+//! closed-loop (optionally rate-limited) client threads against a
+//! [`cumulo_core::Cluster`], collecting response-time histograms and
+//! windowed throughput/latency time series.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod generators;
+
+mod driver;
+mod workload;
+
+pub use driver::{Driver, DriverReport, DriverStats};
+pub use workload::{KeyDistribution, Workload};

@@ -1,0 +1,106 @@
+//! The transactional workload definition.
+
+use cumulo_sim::SimDuration;
+
+/// How keys are chosen.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum KeyDistribution {
+    /// Uniform over the key space ("random row operations", §4.1).
+    Uniform,
+    /// Scrambled zipfian (YCSB's default access skew).
+    Zipfian,
+    /// Hotspot: 90% of operations on the hottest 1% of keys.
+    HotSpot,
+}
+
+/// The paper's update transaction: `ops_per_txn` random row operations
+/// with a read/update mix, over `record_count` rows.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Number of loaded rows (paper: 500 000).
+    pub record_count: u64,
+    /// Row-key prefix.
+    pub key_prefix: String,
+    /// Column families/fields per row.
+    pub fields: Vec<String>,
+    /// Value size per field, in bytes.
+    pub field_len: usize,
+    /// Operations per transaction (paper: 10).
+    pub ops_per_txn: usize,
+    /// Fraction of operations that are reads (paper: 0.5).
+    pub read_ratio: f64,
+    /// Fraction of *update* operations performed as read-modify-write
+    /// (YCSB workload F style): the client reads the cell, then writes a
+    /// derived value within the same transaction.
+    pub rmw_ratio: f64,
+    /// Key distribution.
+    pub distribution: KeyDistribution,
+    /// Number of simulated client threads (paper: 50).
+    pub threads: usize,
+    /// Offered load in transactions/second; `None` = closed loop at full
+    /// speed (each thread starts its next transaction immediately).
+    pub target_tps: Option<f64>,
+    /// Measurement window for the time series.
+    pub window: SimDuration,
+}
+
+impl Default for Workload {
+    fn default() -> Self {
+        Workload {
+            record_count: 500_000,
+            key_prefix: "user".to_owned(),
+            fields: vec!["f0".to_owned()],
+            field_len: 100,
+            ops_per_txn: 10,
+            read_ratio: 0.5,
+            rmw_ratio: 0.0,
+            distribution: KeyDistribution::Uniform,
+            threads: 50,
+            target_tps: None,
+            window: SimDuration::from_secs(5),
+        }
+    }
+}
+
+impl Workload {
+    /// The row key for record `i`.
+    pub fn key(&self, i: u64) -> String {
+        format!("{}{:012}", self.key_prefix, i)
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonsensical parameters.
+    pub fn validate(&self) {
+        assert!(self.record_count > 0, "no records");
+        assert!(!self.fields.is_empty(), "no fields");
+        assert!(self.ops_per_txn > 0, "no operations");
+        assert!((0.0..=1.0).contains(&self.read_ratio), "read ratio out of range");
+        assert!((0.0..=1.0).contains(&self.rmw_ratio), "rmw ratio out of range");
+        assert!(self.threads > 0, "no threads");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let w = Workload::default();
+        w.validate();
+        assert_eq!(w.record_count, 500_000);
+        assert_eq!(w.ops_per_txn, 10);
+        assert!((w.read_ratio - 0.5).abs() < f64::EPSILON);
+        assert_eq!(w.threads, 50);
+        assert_eq!(w.key(7), "user000000000007");
+    }
+
+    #[test]
+    #[should_panic(expected = "read ratio")]
+    fn bad_ratio_panics() {
+        Workload { read_ratio: 1.5, ..Workload::default() }.validate();
+    }
+}

@@ -1,0 +1,62 @@
+//! Quickstart: bring up a cluster, run a transaction, crash a server,
+//! and watch the recovery middleware keep the committed data alive.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use cumulo_core::{Cluster, ClusterConfig, CommitResult};
+use cumulo_sim::SimDuration;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn main() {
+    // Paper-style deployment: 2 region servers, replication factor 2,
+    // one transaction manager + recovery manager, async persistence.
+    let cluster = Cluster::build(ClusterConfig {
+        clients: 2,
+        key_count: 10_000,
+        ..ClusterConfig::default()
+    });
+    println!("cluster up at t={} (4 regions on 2 servers)", cluster.now());
+
+    // One transaction, two rows on (likely) different servers.
+    let client = cluster.client(0).clone();
+    let outcome: Rc<RefCell<Option<CommitResult>>> = Rc::new(RefCell::new(None));
+    let o = outcome.clone();
+    let c = client.clone();
+    client.begin(move |txn| {
+        c.put(txn, "user000000000042", "f0", "hello");
+        c.put(txn, "user000000007500", "f0", "world");
+        c.commit(txn, move |r| *o.borrow_mut() = Some(r));
+    });
+    cluster.run_for(SimDuration::from_secs(1));
+    match outcome.borrow().as_ref() {
+        Some(CommitResult::Committed(ts)) => println!("committed at timestamp {ts}"),
+        other => panic!("commit failed: {other:?}"),
+    }
+
+    // Crash a server before its WAL buffer ever syncs: in a vanilla
+    // async-persistence store this could lose the data; the middleware
+    // replays it from the transaction manager's log.
+    println!("crashing region server rs0 at t={}", cluster.now());
+    cluster.crash_server(0);
+    cluster.run_for(SimDuration::from_secs(12));
+    println!(
+        "failover done: {} region recoveries, {} write-set portions replayed",
+        cluster.rm.region_recovery_count(),
+        cluster.rm.recovery_client().region_txns_replayed(),
+    );
+
+    let v1 = cluster.read_cell("user000000000042", "f0", SimDuration::from_secs(10));
+    let v2 = cluster.read_cell("user000000007500", "f0", SimDuration::from_secs(10));
+    println!(
+        "after recovery: user…042/f0 = {:?}, user…7500/f0 = {:?}",
+        v1.map(|b| String::from_utf8_lossy(&b).into_owned()),
+        v2.map(|b| String::from_utf8_lossy(&b).into_owned()),
+    );
+    println!(
+        "thresholds: T_F = {}, T_P = {}; recovery log holds {} records",
+        cluster.rm.t_f(),
+        cluster.rm.t_p(),
+        cluster.tm.log().len(),
+    );
+}

@@ -1,0 +1,53 @@
+//! The paper's benchmark workload end-to-end: load a table, run the
+//! transactional YCSB mix at a target rate, print a live throughput /
+//! response-time timeline (a miniature of Fig. 3, without the crash).
+//!
+//! Run: `cargo run --release --example ycsb_demo`
+
+use cumulo_core::{Cluster, ClusterConfig, PersistenceMode};
+use cumulo_sim::SimDuration;
+use cumulo_ycsb::{Driver, Workload};
+
+fn main() {
+    let rows = 100_000u64;
+    let cluster = Cluster::build(ClusterConfig {
+        servers: 2,
+        clients: 25,
+        regions: 4,
+        key_count: rows,
+        persistence: PersistenceMode::Asynchronous,
+        ..ClusterConfig::default()
+    });
+    println!("loading {rows} rows…");
+    cluster.load_rows(rows, &["f0"], 100, true);
+
+    let workload = Workload {
+        record_count: rows,
+        threads: 25,
+        target_tps: Some(150.0),
+        window: SimDuration::from_secs(2),
+        ..Workload::default()
+    };
+    let driver = Driver::new(&cluster, workload);
+    println!("running 30 s at an offered 150 tps with 25 threads…");
+    let report = driver.run(&cluster, SimDuration::from_secs(2), SimDuration::from_secs(30));
+
+    println!("\n  t(s)   tps   mean(ms)");
+    for w in driver.windows() {
+        println!(
+            "  {:4.0}  {:5.1}   {:7.2}",
+            w.start.as_secs_f64(),
+            w.rate(SimDuration::from_secs(2)),
+            w.mean() as f64 / 1e6
+        );
+    }
+    println!(
+        "\nsummary: {:.1} tps, mean {:.2} ms, p95 {:.2} ms, p99 {:.2} ms ({} committed, {} aborted)",
+        report.throughput_tps,
+        report.mean_ms,
+        report.p95_ms,
+        report.p99_ms,
+        report.committed,
+        report.aborted
+    );
+}

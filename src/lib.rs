@@ -1,0 +1,14 @@
+//! Umbrella crate for the Cumulo reproduction repository.
+//!
+//! The real library surface lives in the workspace crates; this root package
+//! exists to host the cross-crate integration tests under `tests/` and the
+//! runnable examples under `examples/`. It re-exports the public crates so
+//! examples can use one import root.
+
+pub use cumulo_coord as coord;
+pub use cumulo_core as core;
+pub use cumulo_dfs as dfs;
+pub use cumulo_sim as sim;
+pub use cumulo_store as store;
+pub use cumulo_txn as txn;
+pub use cumulo_ycsb as ycsb;

@@ -1,0 +1,214 @@
+//! Atomicity and snapshot-consistency tests: multi-row transactions
+//! spanning regions and servers must be all-or-nothing in every snapshot
+//! a reader can observe — through crashes, recoveries and replays.
+
+use cumulo_core::{Cluster, ClusterConfig, CommitResult, TransactionalClient};
+use cumulo_sim::SimDuration;
+use cumulo_txn::TxnId;
+use std::cell::Cell;
+use std::rc::Rc;
+
+const ACCOUNTS: u64 = 120;
+const INITIAL: i64 = 500;
+
+fn account(i: u64) -> String {
+    format!("user{i:012}")
+}
+
+fn parse(v: Option<bytes::Bytes>) -> i64 {
+    v.map(|b| String::from_utf8_lossy(&b).parse().unwrap_or(0)).unwrap_or(INITIAL)
+}
+
+fn transfer(cluster: &Cluster, client: TransactionalClient, committed: Rc<Cell<u32>>) {
+    let sim = cluster.sim.clone();
+    let from = sim.gen_range(0, ACCOUNTS);
+    let to = (from + 1 + sim.gen_range(0, ACCOUNTS - 1)) % ACCOUNTS;
+    let amount = sim.gen_range(1, 20) as i64;
+    let c = client.clone();
+    client.begin(move |txn: TxnId| {
+        let c2 = c.clone();
+        let committed2 = committed.clone();
+        c.get(txn, account(from), "bal", move |vf| {
+            let bf = parse(vf);
+            let c3 = c2.clone();
+            let committed3 = committed2.clone();
+            c2.get(txn, account(to), "bal", move |vt| {
+                let bt = parse(vt);
+                c3.put(txn, account(from), "bal", (bf - amount).to_string());
+                c3.put(txn, account(to), "bal", (bt + amount).to_string());
+                let committed4 = committed3.clone();
+                c3.commit(txn, move |r| {
+                    if matches!(r, CommitResult::Committed(_)) {
+                        committed4.set(committed4.get() + 1);
+                    }
+                });
+            });
+        });
+    });
+}
+
+/// Runs transfers with a mid-run server crash and client crash, then
+/// audits that the total balance is conserved.
+#[test]
+fn transfers_conserve_total_balance_through_failures() {
+    let cluster = Cluster::build(ClusterConfig {
+        seed: 31,
+        clients: 6,
+        servers: 3,
+        regions: 6,
+        key_count: ACCOUNTS,
+        ..ClusterConfig::default()
+    });
+    let committed = Rc::new(Cell::new(0u32));
+    for round in 0..60 {
+        for i in 0..cluster.clients.len() {
+            let client = cluster.client(i).clone();
+            if client.is_alive() {
+                transfer(&cluster, client, committed.clone());
+            }
+        }
+        cluster.run_for(SimDuration::from_millis(400));
+        if round == 20 {
+            cluster.crash_server(0);
+        }
+        if round == 40 {
+            cluster.crash_client(2);
+        }
+    }
+    cluster.run_for(SimDuration::from_secs(25));
+    assert!(committed.get() > 100, "enough transfers committed: {}", committed.get());
+
+    let mut total = 0i64;
+    for i in 0..ACCOUNTS {
+        total += parse(cluster.read_cell(account(i), "bal", SimDuration::from_secs(10)));
+    }
+    assert_eq!(total, ACCOUNTS as i64 * INITIAL, "atomicity violated: money not conserved");
+}
+
+/// A reader transaction must never observe one half of a two-row
+/// transaction: its snapshot (the flush watermark) only exposes fully
+/// flushed commits.
+#[test]
+fn readers_never_observe_partial_write_sets() {
+    let cluster = Cluster::build(ClusterConfig {
+        seed: 32,
+        clients: 4,
+        servers: 2,
+        regions: 4,
+        key_count: 1_000,
+        ..ClusterConfig::default()
+    });
+    // Writer: repeatedly writes (a, b) with matching values v, v.
+    let writer = cluster.client(0).clone();
+    let gen = Rc::new(Cell::new(0u64));
+    fn write_pair(cluster: &Cluster, writer: TransactionalClient, gen: Rc<Cell<u64>>) {
+        if !writer.is_alive() {
+            return;
+        }
+        let v = gen.get() + 1;
+        gen.set(v);
+        let w = writer.clone();
+        let sim = cluster.sim.clone();
+        let cluster_tick = move |w2: TransactionalClient, g2: Rc<Cell<u64>>| (w2, g2);
+        let (w_next, g_next) = cluster_tick(writer.clone(), gen.clone());
+        writer.begin(move |txn| {
+            // Rows in different regions (12 and 800 of 1000 split 4 ways).
+            w.put(txn, "user000000000012", "pair", v.to_string());
+            w.put(txn, "user000000000800", "pair", v.to_string());
+            w.commit(txn, move |_| {
+                let _ = (&w_next, &g_next);
+            });
+        });
+        let sim2 = sim.clone();
+        let _ = sim2;
+    }
+    // Reader checks the pair matches in every snapshot it gets.
+    let violations = Rc::new(Cell::new(0u32));
+    fn read_pair(reader: TransactionalClient, violations: Rc<Cell<u32>>) {
+        if !reader.is_alive() {
+            return;
+        }
+        let r = reader.clone();
+        reader.begin(move |txn| {
+            let r2 = r.clone();
+            let violations2 = violations.clone();
+            r.get(txn, "user000000000012", "pair", move |a| {
+                let r3 = r2.clone();
+                let violations3 = violations2.clone();
+                r2.get(txn, "user000000000800", "pair", move |b| {
+                    if a != b {
+                        violations3.set(violations3.get() + 1);
+                    }
+                    r3.commit(txn, |_| {});
+                });
+            });
+        });
+    }
+    for _ in 0..200 {
+        write_pair(&cluster, writer.clone(), gen.clone());
+        read_pair(cluster.client(1).clone(), violations.clone());
+        read_pair(cluster.client(2).clone(), violations.clone());
+        cluster.run_for(SimDuration::from_millis(25));
+    }
+    cluster.run_for(SimDuration::from_secs(5));
+    assert_eq!(violations.get(), 0, "a reader observed a torn write-set");
+    assert!(gen.get() > 100);
+}
+
+/// Same torn-read check, but with a server crash in the middle: recovery
+/// replay must not expose partial write-sets either (the paper's region
+/// online gating).
+#[test]
+fn recovery_does_not_expose_partial_write_sets() {
+    let cluster = Cluster::build(ClusterConfig {
+        seed: 33,
+        clients: 4,
+        servers: 2,
+        regions: 4,
+        key_count: 1_000,
+        ..ClusterConfig::default()
+    });
+    let writer = cluster.client(0).clone();
+    let violations = Rc::new(Cell::new(0u32));
+    let mut wrote = 0u64;
+    for round in 0..150u64 {
+        if writer.is_alive() {
+            let v = round + 1;
+            wrote = v;
+            let w = writer.clone();
+            writer.begin(move |txn| {
+                w.put(txn, "user000000000012", "pair", v.to_string());
+                w.put(txn, "user000000000800", "pair", v.to_string());
+                w.commit(txn, |_| {});
+            });
+        }
+        // Reader on another client.
+        let reader = cluster.client(1).clone();
+        let violations2 = violations.clone();
+        let r = reader.clone();
+        reader.begin(move |txn| {
+            let r2 = r.clone();
+            let v3 = violations2.clone();
+            r.get(txn, "user000000000012", "pair", move |a| {
+                let r3 = r2.clone();
+                r2.get(txn, "user000000000800", "pair", move |b| {
+                    if a != b {
+                        v3.set(v3.get() + 1);
+                    }
+                    r3.commit(txn, |_| {});
+                });
+            });
+        });
+        cluster.run_for(SimDuration::from_millis(40));
+        if round == 75 {
+            cluster.crash_server(0);
+        }
+    }
+    cluster.run_for(SimDuration::from_secs(20));
+    assert_eq!(violations.get(), 0, "torn read during/after recovery");
+    // And the final state reflects some committed pair.
+    let a = cluster.read_cell("user000000000012", "pair", SimDuration::from_secs(10));
+    let b = cluster.read_cell("user000000000800", "pair", SimDuration::from_secs(10));
+    assert_eq!(a, b, "final pair mismatch");
+    assert!(wrote > 0);
+}

@@ -1,0 +1,122 @@
+//! Network-partition behaviour: the paper treats partitions as crash
+//! failures (§3.1) — a partitioned client's session expires (triggering
+//! recovery) and the client terminates itself once it realizes it cannot
+//! reach the coordination service.
+
+use cumulo_core::{Cluster, ClusterConfig, CommitResult};
+use cumulo_sim::SimDuration;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+#[test]
+fn partitioned_client_is_recovered_and_self_terminates() {
+    let cluster = Cluster::build(ClusterConfig {
+        seed: 71,
+        clients: 3,
+        servers: 2,
+        regions: 4,
+        key_count: 1_000,
+        ..ClusterConfig::default()
+    });
+    let client = cluster.client(0).clone();
+
+    // Commit, then partition the client from the coordination service
+    // *and* the store the instant the commit is acknowledged (so the
+    // flush cannot complete).
+    let committed: Rc<RefCell<Option<CommitResult>>> = Rc::new(RefCell::new(None));
+    let co = committed.clone();
+    let c2 = client.clone();
+    let net = cluster.net.clone();
+    let client_node = client.node();
+    let all_nodes: Vec<_> = (0..40).map(cumulo_sim::NodeId).collect();
+    client.begin(move |txn| {
+        c2.put(txn, "user000000000099", "f0", "stranded");
+        c2.commit(txn, move |r| {
+            *co.borrow_mut() = Some(r);
+            // Total partition: cut the client off from everyone.
+            for n in &all_nodes {
+                if *n != client_node {
+                    net.partition(client_node, *n);
+                }
+            }
+        });
+    });
+    cluster.run_for(SimDuration::from_secs(1));
+    assert!(matches!(*committed.borrow(), Some(CommitResult::Committed(_))));
+
+    // Session expiry triggers client recovery; the write is replayed.
+    cluster.run_for(SimDuration::from_secs(15));
+    assert!(cluster.rm.client_recovery_count() >= 1, "partition must look like a crash");
+    assert_eq!(
+        cluster.read_cell("user000000000099", "f0", SimDuration::from_secs(10)).as_deref(),
+        Some(&b"stranded"[..])
+    );
+    // And the client noticed the silence and terminated itself.
+    assert!(!cluster.client(0).is_alive(), "partitioned client must self-terminate");
+}
+
+#[test]
+fn healed_partition_before_timeout_causes_no_recovery() {
+    let cluster = Cluster::build(ClusterConfig {
+        seed: 72,
+        clients: 2,
+        servers: 2,
+        regions: 4,
+        key_count: 1_000,
+        ..ClusterConfig::default()
+    });
+    let client = cluster.client(0).clone();
+    let coord_node = cluster.coord.node();
+    // Brief partition (1 s) — well under the 3 s session timeout.
+    cluster.net.partition(client.node(), coord_node);
+    cluster.run_for(SimDuration::from_secs(1));
+    cluster.net.heal(client.node(), coord_node);
+    cluster.run_for(SimDuration::from_secs(10));
+    assert_eq!(cluster.rm.client_recovery_count(), 0, "no spurious recovery");
+    assert!(cluster.client(0).is_alive(), "client survives a healed partition");
+
+    // The client still works.
+    let ok: Rc<RefCell<Option<CommitResult>>> = Rc::new(RefCell::new(None));
+    let o = ok.clone();
+    let c2 = client.clone();
+    client.begin(move |txn| {
+        c2.put(txn, "user000000000005", "f0", "fine");
+        c2.commit(txn, move |r| *o.borrow_mut() = Some(r));
+    });
+    cluster.run_for(SimDuration::from_secs(2));
+    assert!(matches!(*ok.borrow(), Some(CommitResult::Committed(_))));
+}
+
+#[test]
+fn partitioned_server_is_failed_over_like_a_crash() {
+    let cluster = Cluster::build(ClusterConfig {
+        seed: 73,
+        clients: 2,
+        servers: 2,
+        regions: 4,
+        key_count: 1_000,
+        ..ClusterConfig::default()
+    });
+    // Commit some data first.
+    let client = cluster.client(0).clone();
+    for i in 0..10u64 {
+        let c2 = client.clone();
+        client.begin(move |txn| {
+            c2.put(txn, format!("user{:012}", i * 97), "f0", format!("p{i}"));
+            c2.commit(txn, |_| {});
+        });
+    }
+    cluster.run_for(SimDuration::from_secs(2));
+
+    // Partition server 0 from the coordination service: its session
+    // expires, the master reassigns, recovery replays.
+    let server_node = cluster.servers[0].node();
+    let coord_node = cluster.coord.node();
+    cluster.net.partition(server_node, coord_node);
+    cluster.run_for(SimDuration::from_secs(15));
+    assert!(cluster.master.failover_count() >= 1, "partition must trigger failover");
+    for i in 0..10u64 {
+        let v = cluster.read_cell(format!("user{:012}", i * 97), "f0", SimDuration::from_secs(10));
+        assert_eq!(v.as_deref(), Some(format!("p{i}").as_bytes()), "row {i}");
+    }
+}

@@ -1,0 +1,227 @@
+//! Edge-case recovery scenarios: overlapping failures, no-op recoveries,
+//! a flapping recovery manager, and the no-tracking ablation path.
+
+use cumulo_core::{Cluster, ClusterConfig, CommitResult};
+use cumulo_sim::SimDuration;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn key(i: u64) -> String {
+    format!("user{i:012}")
+}
+
+fn commit_row(cluster: &Cluster, client_idx: usize, row: u64, val: &str) -> u64 {
+    let client = cluster.client(client_idx).clone();
+    let c = client.clone();
+    let val = val.to_string();
+    let done: Rc<RefCell<Option<CommitResult>>> = Rc::new(RefCell::new(None));
+    let d = done.clone();
+    client.begin(move |txn| {
+        c.put(txn, key(row), "f0", val.clone());
+        c.commit(txn, move |r| *d.borrow_mut() = Some(r));
+    });
+    let deadline = cluster.now() + SimDuration::from_secs(30);
+    while done.borrow().is_none() {
+        cluster.run_for(SimDuration::from_millis(20));
+        assert!(cluster.now() < deadline, "commit stalled");
+    }
+    let result = done.borrow_mut().take().unwrap();
+    match result {
+        CommitResult::Committed(ts) => ts.0,
+        CommitResult::Aborted => panic!("abort"),
+    }
+}
+
+#[test]
+fn server_failure_during_client_recovery() {
+    let cluster = Cluster::build(ClusterConfig {
+        seed: 201,
+        clients: 3,
+        servers: 2,
+        regions: 4,
+        key_count: 5_000,
+        ..ClusterConfig::default()
+    });
+    // Client 0 commits and dies instantly (flush never happens).
+    let client = cluster.client(0).clone();
+    let c2 = client.clone();
+    let c3 = client.clone();
+    client.begin(move |txn| {
+        c2.put(txn, key(100), "f0", "victim-data");
+        c2.put(txn, key(4000), "f0", "victim-data2");
+        c2.commit(txn, move |r| {
+            assert!(matches!(r, CommitResult::Committed(_)));
+            c3.crash();
+        });
+    });
+    cluster.run_for(SimDuration::from_secs(1));
+    // Kill a server too, before the client's session even expires: the
+    // recovery client's replays must retry through the region outage.
+    cluster.crash_server(0);
+    cluster.run_for(SimDuration::from_secs(25));
+    assert!(cluster.rm.client_recovery_count() >= 1);
+    assert!(cluster.all_regions_online());
+    assert_eq!(
+        cluster.read_cell(key(100), "f0", SimDuration::from_secs(10)).as_deref(),
+        Some(&b"victim-data"[..])
+    );
+    assert_eq!(
+        cluster.read_cell(key(4000), "f0", SimDuration::from_secs(10)).as_deref(),
+        Some(&b"victim-data2"[..])
+    );
+}
+
+#[test]
+fn simultaneous_double_server_failure() {
+    let cluster = Cluster::build(ClusterConfig {
+        seed: 202,
+        clients: 3,
+        servers: 3,
+        regions: 6,
+        key_count: 5_000,
+        ..ClusterConfig::default()
+    });
+    let mut expected = Vec::new();
+    for i in 0..30u64 {
+        commit_row(&cluster, (i % 3) as usize, i * 160, &format!("d{i}"));
+        expected.push((i * 160, format!("d{i}")));
+    }
+    // Two of three servers die in the same instant.
+    cluster.crash_server(0);
+    cluster.crash_server(1);
+    cluster.run_for(SimDuration::from_secs(25));
+    assert!(cluster.all_regions_online());
+    for (k, v) in expected {
+        let got = cluster.read_cell(key(k), "f0", SimDuration::from_secs(10));
+        assert_eq!(got.as_deref(), Some(v.as_bytes()), "row {k}");
+    }
+}
+
+#[test]
+fn fully_flushed_client_crash_recovers_nothing_but_cleans_up() {
+    let cluster = Cluster::build(ClusterConfig {
+        seed: 203,
+        clients: 3,
+        servers: 2,
+        regions: 4,
+        key_count: 5_000,
+        heartbeat_interval: SimDuration::from_millis(250),
+        ..ClusterConfig::default()
+    });
+    commit_row(&cluster, 0, 5, "flushed");
+    // Wait for the flush AND several heartbeats, so T_F(c) covers it.
+    cluster.run_for(SimDuration::from_secs(3));
+    assert_eq!(cluster.client(0).pending_flushes(), 0);
+    let replayed_before = cluster.rm.recovery_client().client_txns_replayed();
+    cluster.crash_client(0);
+    cluster.run_for(SimDuration::from_secs(10));
+    assert_eq!(cluster.rm.client_recovery_count(), 1, "recovery still runs");
+    assert_eq!(
+        cluster.rm.recovery_client().client_txns_replayed(),
+        replayed_before,
+        "but nothing needed replaying (threshold covered everything)"
+    );
+    // T_F keeps advancing afterwards (the dead client no longer pins it).
+    commit_row(&cluster, 1, 6, "later");
+    cluster.run_for(SimDuration::from_secs(3));
+    assert!(cluster.rm.t_f().0 >= 1);
+}
+
+#[test]
+fn flapping_recovery_manager_still_converges() {
+    let cluster = Cluster::build(ClusterConfig {
+        seed: 204,
+        clients: 3,
+        servers: 2,
+        regions: 4,
+        key_count: 5_000,
+        ..ClusterConfig::default()
+    });
+    let mut expected = Vec::new();
+    for i in 0..15u64 {
+        commit_row(&cluster, (i % 3) as usize, i * 300, &format!("f{i}"));
+        expected.push((i * 300, format!("f{i}")));
+    }
+    cluster.crash_server(0);
+    // Flap the recovery manager three times during the recovery window.
+    for _ in 0..3 {
+        cluster.run_for(SimDuration::from_millis(1500));
+        cluster.crash_recovery_manager();
+        cluster.run_for(SimDuration::from_millis(800));
+        cluster.restart_recovery_manager();
+    }
+    cluster.run_for(SimDuration::from_secs(20));
+    assert!(cluster.all_regions_online(), "recovery must converge despite RM flapping");
+    for (k, v) in expected {
+        let got = cluster.read_cell(key(k), "f0", SimDuration::from_secs(10));
+        assert_eq!(got.as_deref(), Some(v.as_bytes()), "row {k}");
+    }
+}
+
+#[test]
+fn no_tracking_ablation_still_recovers_by_full_replay() {
+    let cluster = Cluster::build(ClusterConfig {
+        seed: 205,
+        clients: 2,
+        servers: 2,
+        regions: 4,
+        key_count: 5_000,
+        tracking: false,
+        truncation: false,
+        ..ClusterConfig::default()
+    });
+    let mut expected = Vec::new();
+    for i in 0..20u64 {
+        commit_row(&cluster, (i % 2) as usize, i * 230, &format!("n{i}"));
+        expected.push((i * 230, format!("n{i}")));
+    }
+    cluster.crash_server(0);
+    cluster.run_for(SimDuration::from_secs(20));
+    assert!(cluster.all_regions_online());
+    // Everything replayable because the log was never truncated.
+    for (k, v) in expected {
+        let got = cluster.read_cell(key(k), "f0", SimDuration::from_secs(10));
+        assert_eq!(got.as_deref(), Some(v.as_bytes()), "row {k}");
+    }
+    // Replay volume is the whole log filtered by region — strictly more
+    // than the tracked equivalent would need.
+    assert!(cluster.rm.recovery_client().region_txns_replayed() > 0);
+    assert_eq!(cluster.rm.truncation_count(), 0);
+}
+
+#[test]
+fn failures_with_memstore_flushes_in_between() {
+    // Exercise the interaction of store-file flushes, WAL accumulation
+    // and recovery: flush half-way, then more commits, then crash.
+    let cluster = Cluster::build(ClusterConfig {
+        seed: 206,
+        clients: 2,
+        servers: 2,
+        regions: 2,
+        key_count: 2_000,
+        ..ClusterConfig::default()
+    });
+    let mut expected = Vec::new();
+    for i in 0..15u64 {
+        commit_row(&cluster, (i % 2) as usize, i * 130, &format!("a{i}"));
+        expected.push((i * 130, format!("a{i}")));
+    }
+    cluster.run_for(SimDuration::from_secs(2));
+    for server in &cluster.servers {
+        for r in server.hosted_regions() {
+            server.flush_region(r);
+        }
+    }
+    cluster.run_for(SimDuration::from_secs(2));
+    for i in 15..30u64 {
+        commit_row(&cluster, (i % 2) as usize, i * 130, &format!("a{i}"));
+        expected.push((i * 130, format!("a{i}")));
+    }
+    cluster.crash_server(1);
+    cluster.run_for(SimDuration::from_secs(20));
+    assert!(cluster.all_regions_online());
+    for (k, v) in expected {
+        let got = cluster.read_cell(key(k), "f0", SimDuration::from_secs(10));
+        assert_eq!(got.as_deref(), Some(v.as_bytes()), "row {k}");
+    }
+}
