@@ -33,8 +33,11 @@ fn bench_end_to_end(c: &mut Criterion) {
                 ..Workload::default()
             };
             let driver = Driver::new(&cluster, workload);
-            let report =
-                driver.run(&cluster, SimDuration::from_secs(1), SimDuration::from_secs(5));
+            let report = driver.run(
+                &cluster,
+                SimDuration::from_secs(1),
+                SimDuration::from_secs(5),
+            );
             assert!(report.committed > 0);
             report.committed
         })

@@ -119,8 +119,9 @@ fn bench_recovery_log(c: &mut Criterion) {
             |sim| {
                 let log = RecoveryLog::new(&sim, RecoveryLogConfig::default());
                 for i in 1..=1_000u64 {
-                    let ws: WriteSet =
-                        vec![Mutation::put(format!("row{i}"), "f0", "v")].into_iter().collect();
+                    let ws: WriteSet = vec![Mutation::put(format!("row{i}"), "f0", "v")]
+                        .into_iter()
+                        .collect();
                     log.append(
                         LogRecord {
                             ts: Timestamp(i),
@@ -159,7 +160,9 @@ fn bench_generators(c: &mut Criterion) {
     let uni = Uniform::new(500_000);
     let zip = ScrambledZipfian::new(500_000);
     c.bench_function("generators/uniform", |b| b.iter(|| uni.next_key(&sim)));
-    c.bench_function("generators/scrambled_zipfian", |b| b.iter(|| zip.next_key(&sim)));
+    c.bench_function("generators/scrambled_zipfian", |b| {
+        b.iter(|| zip.next_key(&sim))
+    });
 }
 
 fn bench_histogram(c: &mut Criterion) {
@@ -167,7 +170,9 @@ fn bench_histogram(c: &mut Criterion) {
         let h = Histogram::new();
         let mut i = 1u64;
         b.iter(|| {
-            i = i.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            i = i
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             h.record(i % 10_000_000);
             if i.is_multiple_of(1024) {
                 std::hint::black_box(h.quantile(0.99));

@@ -69,8 +69,14 @@ fn main() {
         let cluster = build(4100 + repl as u64, scale.rows, true, repl, 1_000);
         let workload = paper_workload(scale.rows, 50, None);
         let (_d, r) = run_measurement(&cluster, workload, scale.warmup, scale.measure);
-        println!("{repl},{:.1},{:.2},{:.2}", r.throughput_tps, r.mean_ms, r.p95_ms);
-        eprintln!("[ablation b] repl={repl}: {:.1} tps, mean {:.2} ms", r.throughput_tps, r.mean_ms);
+        println!(
+            "{repl},{:.1},{:.2},{:.2}",
+            r.throughput_tps, r.mean_ms, r.p95_ms
+        );
+        eprintln!(
+            "[ablation b] repl={repl}: {:.1} tps, mean {:.2} ms",
+            r.throughput_tps, r.mean_ms
+        );
     }
 
     // (c) Heartbeat interval vs recovery replay volume.

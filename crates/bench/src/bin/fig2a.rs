@@ -29,8 +29,7 @@ fn main() {
                 scale.rows,
             );
             let workload = paper_workload(scale.rows, t, None);
-            let (_driver, r) =
-                run_measurement(&cluster, workload, scale.warmup, scale.measure);
+            let (_driver, r) = run_measurement(&cluster, workload, scale.warmup, scale.measure);
             println!(
                 "{name},{t},{:.1},{:.2},{:.2},{:.2},{},{}",
                 r.throughput_tps, r.mean_ms, r.p95_ms, r.p99_ms, r.committed, r.aborted

@@ -46,13 +46,19 @@ fn main() {
     cluster.run_for(total.saturating_sub(crash_at) + SimDuration::from_secs(5));
 
     let r = driver.report();
-    eprintln!("[fig3] done: {} committed, {} aborted", r.committed, r.aborted);
+    eprintln!(
+        "[fig3] done: {} committed, {} aborted",
+        r.committed, r.aborted
+    );
     eprintln!(
         "[fig3] region recoveries: {}, recovery replays: {} portions",
         cluster.rm.region_recovery_count(),
         cluster.rm.recovery_client().region_txns_replayed()
     );
-    eprintln!("[fig3] survivor cache hit rate: {:.3}", cluster.servers[1].cache_hit_rate());
+    eprintln!(
+        "[fig3] survivor cache hit rate: {:.3}",
+        cluster.servers[1].cache_hit_rate()
+    );
 
     println!("time_s,throughput_tps,mean_ms,max_ms");
     for w in driver.windows() {

@@ -1,0 +1,126 @@
+//! Read-amplification microbench: get/scan latency versus store-file
+//! count, with and without background compaction.
+//!
+//! A write-heavy YCSB phase with an aggressive memstore flush threshold
+//! piles store files onto every region; a read-only measurement phase
+//! then samples transaction response times. With compaction disabled the
+//! file count — and with it the per-read service time — keeps growing;
+//! with compaction enabled the background merges hold it near one file
+//! per region and reads stay flat.
+//!
+//! Run: `cargo run --release -p cumulo-bench --bin read_amp`
+//! (`CUMULO_QUICK=1` for a scaled-down smoke run).
+
+use cumulo_bench::run_measurement;
+use cumulo_core::{Cluster, ClusterConfig};
+use cumulo_sim::SimDuration;
+use cumulo_ycsb::Workload;
+
+struct Phase {
+    label: &'static str,
+    compaction: bool,
+}
+
+fn main() {
+    let quick = std::env::var("CUMULO_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let rows: u64 = if quick { 5_000 } else { 20_000 };
+    let write_secs = if quick { 20 } else { 60 };
+    let phases = [
+        Phase {
+            label: "compaction_off",
+            compaction: false,
+        },
+        Phase {
+            label: "compaction_on",
+            compaction: true,
+        },
+    ];
+
+    println!("mode,phase,store_files_max,throughput_tps,mean_ms,p95_ms,p99_ms,committed,compactions,versions_dropped");
+    for phase in &phases {
+        let mut cfg = ClusterConfig {
+            seed: 4242,
+            servers: 2,
+            clients: 24,
+            regions: 4,
+            key_count: rows,
+            compaction: phase.compaction,
+            compaction_threshold: 4,
+            ..ClusterConfig::default()
+        };
+        // Flush every ~256 KiB so file counts climb within simulated
+        // minutes instead of hours.
+        cfg.server_cfg.memstore_flush_bytes = 256 << 10;
+        cfg.server_cfg.flush_check_interval = SimDuration::from_millis(500);
+        let cluster = Cluster::build(cfg);
+        cluster.load_rows(rows, &["f0"], 100, true);
+
+        // Phase 1: write-heavy load accumulates store files.
+        let write_workload = Workload {
+            record_count: rows,
+            threads: 24,
+            ops_per_txn: 10,
+            read_ratio: 0.1,
+            window: SimDuration::from_secs(5),
+            ..Workload::default()
+        };
+        let (_d, w) = run_measurement(
+            &cluster,
+            write_workload,
+            SimDuration::from_secs(2),
+            SimDuration::from_secs(write_secs),
+        );
+        // Drain flushes and (if enabled) compactions.
+        cluster.run_for(SimDuration::from_secs(20));
+        report(&cluster, phase, "write", &w);
+
+        // Phase 2: read-only measurement against the accumulated files.
+        let read_workload = Workload {
+            record_count: rows,
+            threads: 24,
+            ops_per_txn: 10,
+            read_ratio: 1.0,
+            window: SimDuration::from_secs(5),
+            ..Workload::default()
+        };
+        let (_d, r) = run_measurement(
+            &cluster,
+            read_workload,
+            SimDuration::from_secs(2),
+            SimDuration::from_secs(if quick { 10 } else { 20 }),
+        );
+        report(&cluster, phase, "read", &r);
+    }
+}
+
+fn report(cluster: &Cluster, phase: &Phase, stage: &str, r: &cumulo_ycsb::DriverReport) {
+    let dropped: u64 = cluster
+        .servers
+        .iter()
+        .map(|s| s.compaction_stats().versions_dropped.get())
+        .sum();
+    println!(
+        "{},{stage},{},{:.1},{:.2},{:.2},{:.2},{},{},{}",
+        phase.label,
+        cluster.max_read_amplification(),
+        r.throughput_tps,
+        r.mean_ms,
+        r.p95_ms,
+        r.p99_ms,
+        r.committed,
+        cluster.total_compactions(),
+        dropped,
+    );
+    eprintln!(
+        "[read_amp] {:>14} {stage:>5}: files={:2} {:7.1} tps mean {:6.2} ms p99 {:6.2} ms ({} compactions, {} versions dropped)",
+        phase.label,
+        cluster.max_read_amplification(),
+        r.throughput_tps,
+        r.mean_ms,
+        r.p99_ms,
+        cluster.total_compactions(),
+        dropped,
+    );
+}

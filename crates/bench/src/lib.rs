@@ -27,7 +27,10 @@ impl Scale {
     /// Full paper-scale settings, or a quick variant when
     /// `CUMULO_QUICK=1`.
     pub fn from_env() -> Scale {
-        if std::env::var("CUMULO_QUICK").map(|v| v == "1").unwrap_or(false) {
+        if std::env::var("CUMULO_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+        {
             Scale {
                 rows: 50_000,
                 warmup: SimDuration::from_secs(3),
@@ -69,7 +72,12 @@ pub fn standard_cluster(
 /// The paper's workload (§4.1) over `rows` rows with the given thread
 /// count and optional offered load.
 pub fn paper_workload(rows: u64, threads: usize, target_tps: Option<f64>) -> Workload {
-    Workload { record_count: rows, threads, target_tps, ..Workload::default() }
+    Workload {
+        record_count: rows,
+        threads,
+        target_tps,
+        ..Workload::default()
+    }
 }
 
 /// Runs one complete measurement and returns (driver, report).

@@ -23,14 +23,21 @@ pub struct CoordClient {
 
 impl fmt::Debug for CoordClient {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("CoordClient").field("from", &self.from).finish()
+        f.debug_struct("CoordClient")
+            .field("from", &self.from)
+            .finish()
     }
 }
 
 impl CoordClient {
     /// Creates a client for the component running on node `from`.
     pub fn new(sim: &Sim, net: &Rc<Network>, svc: &Rc<CoordService>, from: NodeId) -> CoordClient {
-        CoordClient { _sim: sim.clone(), net: Rc::clone(net), svc: Rc::clone(svc), from }
+        CoordClient {
+            _sim: sim.clone(),
+            net: Rc::clone(net),
+            svc: Rc::clone(svc),
+            from,
+        }
     }
 
     /// The node this client sends from.
@@ -54,13 +61,16 @@ impl CoordClient {
     /// Sends a liveness touch for `session` (fire and forget).
     pub fn touch(&self, session: SessionId) {
         let svc = Rc::clone(&self.svc);
-        self.net.send(self.from, svc.node(), 48, move || svc.touch(session));
+        self.net
+            .send(self.from, svc.node(), 48, move || svc.touch(session));
     }
 
     /// Closes `session` cleanly, removing its ephemeral znodes.
     pub fn close_session(&self, session: SessionId) {
         let svc = Rc::clone(&self.svc);
-        self.net.send(self.from, svc.node(), 48, move || svc.close_session(session));
+        self.net.send(self.from, svc.node(), 48, move || {
+            svc.close_session(session)
+        });
     }
 
     /// Creates or replaces a znode (fire and forget).
@@ -68,7 +78,9 @@ impl CoordClient {
         let svc = Rc::clone(&self.svc);
         let path = path.to_owned();
         let size = 64 + path.len() + data.len();
-        self.net.send(self.from, svc.node(), size, move || svc.create(&path, data, ephemeral_owner));
+        self.net.send(self.from, svc.node(), size, move || {
+            svc.create(&path, data, ephemeral_owner)
+        });
     }
 
     /// Updates (or creates persistent) znode data (fire and forget).
@@ -76,14 +88,19 @@ impl CoordClient {
         let svc = Rc::clone(&self.svc);
         let path = path.to_owned();
         let size = 64 + path.len() + data.len();
-        self.net.send(self.from, svc.node(), size, move || svc.set_data(&path, data));
+        self.net.send(self.from, svc.node(), size, move || {
+            svc.set_data(&path, data)
+        });
     }
 
     /// Deletes a znode (fire and forget).
     pub fn delete(&self, path: &str) {
         let svc = Rc::clone(&self.svc);
         let path = path.to_owned();
-        self.net.send(self.from, svc.node(), 64 + path.len(), move || svc.delete(&path));
+        self.net
+            .send(self.from, svc.node(), 64 + path.len(), move || {
+                svc.delete(&path)
+            });
     }
 
     /// Reads znode data; `done` runs at the caller with the result.
@@ -136,7 +153,8 @@ impl CoordClient {
     /// Removes a previously registered watch (fire and forget).
     pub fn unwatch(&self, id: WatchId) {
         let svc = Rc::clone(&self.svc);
-        self.net.send(self.from, svc.node(), 32, move || svc.unwatch(id));
+        self.net
+            .send(self.from, svc.node(), 32, move || svc.unwatch(id));
     }
 
     /// Direct (non-RPC) access to the service, for assertions in tests and
@@ -201,7 +219,9 @@ mod tests {
 
         // Heartbeat every 100ms via timer; crash the component at 1s.
         let c2 = client.clone();
-        cumulo_sim::every(&sim, SimDuration::from_millis(100), move || c2.touch(session));
+        cumulo_sim::every(&sim, SimDuration::from_millis(100), move || {
+            c2.touch(session)
+        });
         sim.run_until(SimTime::from_millis(900));
         assert!(client.service().session_alive(session));
         net.crash(client.from_node());

@@ -93,7 +93,12 @@ impl fmt::Debug for CoordService {
 impl CoordService {
     /// Creates the service on `node` and starts its session-expiry sweep
     /// (every `sweep_interval`).
-    pub fn new(sim: &Sim, net: &Rc<Network>, node: NodeId, sweep_interval: SimDuration) -> Rc<CoordService> {
+    pub fn new(
+        sim: &Sim,
+        net: &Rc<Network>,
+        node: NodeId,
+        sweep_interval: SimDuration,
+    ) -> Rc<CoordService> {
         let svc = Rc::new(CoordService {
             sim: sim.clone(),
             net: Rc::clone(net),
@@ -126,9 +131,14 @@ impl CoordService {
     pub fn create_session(&self, owner: NodeId, timeout: SimDuration) -> SessionId {
         let id = SessionId(self.next_session.get());
         self.next_session.set(id.0 + 1);
-        self.sessions
-            .borrow_mut()
-            .insert(id, Session { _owner: owner, timeout, last_touch: self.sim.now() });
+        self.sessions.borrow_mut().insert(
+            id,
+            Session {
+                _owner: owner,
+                timeout,
+                last_touch: self.sim.now(),
+            },
+        );
         id
     }
 
@@ -162,7 +172,14 @@ impl CoordService {
             let mut z = self.znodes.borrow_mut();
             let existed = z.contains_key(path);
             let version = z.get(path).map(|n| n.version + 1).unwrap_or(0);
-            z.insert(path.to_owned(), Znode { data, ephemeral_owner, version });
+            z.insert(
+                path.to_owned(),
+                Znode {
+                    data,
+                    ephemeral_owner,
+                    version,
+                },
+            );
             existed
         };
         let ev = if existed {
@@ -184,7 +201,14 @@ impl CoordService {
                     true
                 }
                 None => {
-                    z.insert(path.to_owned(), Znode { data, ephemeral_owner: None, version: 0 });
+                    z.insert(
+                        path.to_owned(),
+                        Znode {
+                            data,
+                            ephemeral_owner: None,
+                            version: 0,
+                        },
+                    );
                     false
                 }
             }
@@ -228,12 +252,22 @@ impl CoordService {
     /// Registers a persistent prefix watch. `cb` runs *at the watcher's
     /// node* (after network delivery) for every event under `prefix`; it is
     /// never invoked if the watcher node is dead at delivery time.
-    pub fn watch_prefix(&self, prefix: &str, watcher: NodeId, cb: impl Fn(WatchEvent) + 'static) -> WatchId {
+    pub fn watch_prefix(
+        &self,
+        prefix: &str,
+        watcher: NodeId,
+        cb: impl Fn(WatchEvent) + 'static,
+    ) -> WatchId {
         let id = WatchId(self.next_watch.get());
         self.next_watch.set(id.0 + 1);
-        self.watches
-            .borrow_mut()
-            .push((id, Watch { prefix: prefix.to_owned(), watcher, cb: Rc::new(cb) }));
+        self.watches.borrow_mut().push((
+            id,
+            Watch {
+                prefix: prefix.to_owned(),
+                watcher,
+                cb: Rc::new(cb),
+            },
+        ));
         id
     }
 
@@ -257,7 +291,8 @@ impl CoordService {
             .collect();
         for (watcher, cb) in targets {
             let ev = ev.clone();
-            self.net.send(self.node, watcher, 64 + ev.path().len(), move || cb(ev));
+            self.net
+                .send(self.node, watcher, 64 + ev.path().len(), move || cb(ev));
         }
     }
 
@@ -324,7 +359,10 @@ mod tests {
         for p in ["/live/a", "/live/b", "/live/c", "/thresholds/a", "/liv"] {
             svc.create(p, Bytes::new(), None);
         }
-        assert_eq!(svc.children("/live/"), vec!["/live/a", "/live/b", "/live/c"]);
+        assert_eq!(
+            svc.children("/live/"),
+            vec!["/live/a", "/live/b", "/live/c"]
+        );
         assert_eq!(svc.children("/none/"), Vec::<String>::new());
     }
 
@@ -396,8 +434,14 @@ mod tests {
         sim.run_until(SimTime::from_secs(6));
         assert!(!svc.session_alive(sid));
         assert!(!svc.exists("/live/w"));
-        assert!(svc.exists("/thresholds/w"), "persistent znode must survive expiry");
-        assert_eq!(*events.borrow(), vec![WatchEvent::Deleted("/live/w".into())]);
+        assert!(
+            svc.exists("/thresholds/w"),
+            "persistent znode must survive expiry"
+        );
+        assert_eq!(
+            *events.borrow(),
+            vec![WatchEvent::Deleted("/live/w".into())]
+        );
         assert_eq!(svc.expired_session_count(), 1);
     }
 

@@ -35,7 +35,9 @@ fn fifty_sessions_with_mixed_lifecycles() {
         let s = sid.get().expect("session");
         client.create(&format!("/live/{i}"), Bytes::new(), Some(s));
         let c2 = client.clone();
-        timers.push(every(&sim, SimDuration::from_millis(500), move || c2.touch(s)));
+        timers.push(every(&sim, SimDuration::from_millis(500), move || {
+            c2.touch(s)
+        }));
     }
     sim.run_for(SimDuration::from_secs(5));
     assert_eq!(svc.children("/live/").len(), 50);

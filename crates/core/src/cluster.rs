@@ -17,9 +17,9 @@ use cumulo_coord::{CoordClient, CoordService};
 use cumulo_dfs::{DataNode, DfsClient, NameNode, NameNodeConfig};
 use cumulo_sim::{DiskConfig, LatencyConfig, Network, Sim, SimDuration, SimTime};
 use cumulo_store::{
-    ClientId, Master, MasterConfig, MemStore, RegionMap, RegionServer,
-    RegionServerConfig, ServerDirectory, ServerId, StoreClient, StoreClientConfig, StoreFileData,
-    StoreFileRegistry, Timestamp, WalSyncMode,
+    ClientId, Master, MasterConfig, MemStore, RegionMap, RegionServer, RegionServerConfig,
+    ServerDirectory, ServerId, StoreClient, StoreClientConfig, StoreFileData, StoreFileRegistry,
+    Timestamp, WalSyncMode,
 };
 use cumulo_txn::{TransactionManager, TxnManagerConfig};
 use std::cell::RefCell;
@@ -54,9 +54,17 @@ pub struct ClusterConfig {
     pub tracking: bool,
     /// Whether log truncation runs (ablation).
     pub truncation: bool,
+    /// Whether background store-file compaction runs (overrides
+    /// `server_cfg.compaction.enabled`).
+    pub compaction: bool,
+    /// Store-file count that makes a region a compaction candidate
+    /// (overrides `server_cfg.compaction.min_files`).
+    pub compaction_threshold: usize,
     /// Network latency model.
     pub latency: LatencyConfig,
-    /// Region-server knobs (`wal_mode` is overridden by `persistence`).
+    /// Region-server knobs (`wal_mode` is overridden by `persistence`;
+    /// `compaction.enabled`/`compaction.min_files` are overridden by the
+    /// top-level `compaction`/`compaction_threshold` fields).
     pub server_cfg: RegionServerConfig,
     /// Store-client knobs.
     pub store_client_cfg: StoreClientConfig,
@@ -83,6 +91,8 @@ impl Default for ClusterConfig {
             heartbeat_interval: SimDuration::from_secs(1),
             tracking: true,
             truncation: true,
+            compaction: true,
+            compaction_threshold: 4,
             latency: LatencyConfig::lan_100mbps(),
             server_cfg: RegionServerConfig::default(),
             store_client_cfg: StoreClientConfig::default(),
@@ -152,12 +162,25 @@ impl Cluster {
         let coord = CoordService::new(&sim, &net, coord_node, SimDuration::from_millis(100));
 
         // Filesystem: one datanode per server plus a spare by default.
-        let n_dn = if cfg.datanodes == 0 { cfg.servers + 1 } else { cfg.datanodes };
+        let n_dn = if cfg.datanodes == 0 {
+            cfg.servers + 1
+        } else {
+            cfg.datanodes
+        };
         let dns: Vec<Rc<DataNode>> = (0..n_dn)
-            .map(|i| DataNode::new(&sim, net.add_node(&format!("dn{i}")), DiskConfig::server_hdd()))
+            .map(|i| {
+                DataNode::new(
+                    &sim,
+                    net.add_node(&format!("dn{i}")),
+                    DiskConfig::server_hdd(),
+                )
+            })
             .collect();
         let nn_node = net.add_node("namenode");
-        let nn_cfg = NameNodeConfig { replication: cfg.replication, ..NameNodeConfig::default() };
+        let nn_cfg = NameNodeConfig {
+            replication: cfg.replication,
+            ..NameNodeConfig::default()
+        };
         let namenode = NameNode::new(&sim, &net, nn_node, dns, nn_cfg);
 
         let registry = StoreFileRegistry::new();
@@ -173,6 +196,8 @@ impl Cluster {
             PersistenceMode::Asynchronous => WalSyncMode::Async,
             PersistenceMode::Synchronous => WalSyncMode::Sync,
         };
+        server_cfg.compaction.enabled = cfg.compaction;
+        server_cfg.compaction.min_files = cfg.compaction_threshold;
         if cfg.tracking && cfg.persistence == PersistenceMode::Asynchronous {
             // Paper-faithful: with the middleware installed, the WAL is
             // synced by the tracker heartbeat (Algorithm 3), not by a
@@ -193,6 +218,20 @@ impl Cluster {
                 Rc::clone(&registry),
             );
             let server_coord = CoordClient::new(&sim, &net, &coord, node);
+            // Compaction garbage-collects versions shadowed below the
+            // transaction manager's oldest active snapshot.
+            let tm_for_gc = Rc::clone(&tm);
+            server.set_gc_watermark_source(Rc::new(move || {
+                let horizon = tm_for_gc.oldest_active_snapshot();
+                // Tombstone purge must not outrun the recovery log:
+                // write-sets still in the log can be replayed after a
+                // client or server failure, and a purged tombstone would
+                // let a replayed older version resurrect.
+                cumulo_store::compaction::GcWatermark {
+                    horizon,
+                    purge_floor: horizon.min(tm_for_gc.log().truncated_below()),
+                }
+            }));
             server.start(&server_coord);
             dir.register(Rc::clone(&server));
             servers.push(server);
@@ -201,15 +240,20 @@ impl Cluster {
         // Master.
         let master_node = net.add_node("master");
         let master_dfs = DfsClient::new(&sim, &net, &namenode, master_node);
-        let master =
-            Master::new(&sim, &net, master_node, MasterConfig::default(), master_dfs, Rc::clone(&dir));
+        let master = Master::new(
+            &sim,
+            &net,
+            master_node,
+            MasterConfig::default(),
+            master_dfs,
+            Rc::clone(&dir),
+        );
         let master_coord = CoordClient::new(&sim, &net, &coord, master_node);
         master.start(&master_coord);
 
         // Recovery manager + recovery client on their own node.
         let rm_node = net.add_node("recovery-manager");
-        let rc_store =
-            StoreClient::new(&sim, &net, rm_node, &master, &dir, cfg.store_client_cfg);
+        let rc_store = StoreClient::new(&sim, &net, rm_node, &master, &dir, cfg.store_client_cfg);
         let rc = RecoveryClient::new(&sim, &net, rm_node, rc_store, &tm);
         let rm_coord = CoordClient::new(&sim, &net, &coord, rm_node);
         let rm_cfg = RecoveryManagerConfig {
@@ -264,7 +308,9 @@ impl Cluster {
         // Clients.
         let session_timeout = {
             let three = cfg.heartbeat_interval * 3;
-            three.max(SimDuration::from_secs(1)).min(SimDuration::from_secs(30))
+            three
+                .max(SimDuration::from_secs(1))
+                .min(SimDuration::from_secs(30))
         };
         let client_cfg = TxnClientConfig {
             heartbeat_interval: cfg.heartbeat_interval,
@@ -276,8 +322,7 @@ impl Cluster {
         let mut clients = Vec::new();
         for i in 0..cfg.clients {
             let node = net.add_node(&format!("client{i}"));
-            let store =
-                StoreClient::new(&sim, &net, node, &master, &dir, cfg.store_client_cfg);
+            let store = StoreClient::new(&sim, &net, node, &master, &dir, cfg.store_client_cfg);
             let coord_client = CoordClient::new(&sim, &net, &coord, node);
             let client = TransactionalClient::new(
                 &sim,
@@ -434,16 +479,25 @@ impl Cluster {
     /// the probe client, driving the simulation until the read completes
     /// (or `within` elapses, which panics — reads retry forever, so this
     /// indicates an unrecoverable cluster).
-    pub fn read_cell(&self, row: impl Into<Bytes>, column: impl Into<Bytes>, within: SimDuration) -> Option<Bytes> {
+    pub fn read_cell(
+        &self,
+        row: impl Into<Bytes>,
+        column: impl Into<Bytes>,
+        within: SimDuration,
+    ) -> Option<Bytes> {
         let result: Rc<RefCell<Option<Option<Bytes>>>> = Rc::new(RefCell::new(None));
         let r2 = Rc::clone(&result);
-        self.probe.get(row.into(), column.into(), Timestamp::MAX, move |vv| {
-            *r2.borrow_mut() = Some(vv.and_then(|v| v.value));
-        });
+        self.probe
+            .get(row.into(), column.into(), Timestamp::MAX, move |vv| {
+                *r2.borrow_mut() = Some(vv.and_then(|v| v.value));
+            });
         let deadline = self.sim.now() + within;
         while result.borrow().is_none() {
             self.sim.run_for(SimDuration::from_millis(100));
-            assert!(self.sim.now() < deadline, "read did not complete within {within}");
+            assert!(
+                self.sim.now() < deadline,
+                "read did not complete within {within}"
+            );
         }
         let out = result.borrow_mut().take();
         out.expect("loop exits only when set")
@@ -462,11 +516,35 @@ impl Cluster {
 
     /// Total transactions committed across all clients.
     pub fn total_committed(&self) -> u64 {
-        self.clients.iter().map(TransactionalClient::committed_count).sum()
+        self.clients
+            .iter()
+            .map(TransactionalClient::committed_count)
+            .sum()
     }
 
     /// Total transactions aborted across all clients.
     pub fn total_aborted(&self) -> u64 {
-        self.clients.iter().map(TransactionalClient::aborted_count).sum()
+        self.clients
+            .iter()
+            .map(TransactionalClient::aborted_count)
+            .sum()
+    }
+
+    /// Background compactions completed across all servers.
+    pub fn total_compactions(&self) -> u64 {
+        self.servers
+            .iter()
+            .map(|s| s.compaction_stats().completed.get())
+            .sum()
+    }
+
+    /// Worst-case read amplification right now: the largest store-file
+    /// count backing any region on any server.
+    pub fn max_read_amplification(&self) -> u64 {
+        self.servers
+            .iter()
+            .map(|s| s.compaction_stats().read_amplification.get())
+            .max()
+            .unwrap_or(0)
     }
 }

@@ -66,7 +66,11 @@ impl FlushTracker {
     /// seeds a registering client with the current global `T_F`; the
     /// recovery client is seeded with the failed client's `T_F_r(c)`).
     pub fn with_threshold(t_f: Timestamp) -> FlushTracker {
-        FlushTracker { fq: BinaryHeap::new(), fq_done: BinaryHeap::new(), t_f }
+        FlushTracker {
+            fq: BinaryHeap::new(),
+            fq_done: BinaryHeap::new(),
+            t_f,
+        }
     }
 
     /// Records that the client received commit timestamp `ts` ("On
@@ -93,7 +97,10 @@ impl FlushTracker {
             } else {
                 // The earliest tracked commit has not flushed yet;
                 // respect the local commit ordering.
-                debug_assert!(fl > c, "flush recorded for untracked commit {fl} (head {c})");
+                debug_assert!(
+                    fl > c,
+                    "flush recorded for untracked commit {fl} (head {c})"
+                );
                 break;
             }
         }

@@ -58,7 +58,9 @@ impl MiddlewareHooks {
     /// Registers a server's tracking runtime (receives the applied-write
     /// callbacks for that server).
     pub fn register_tracker(&self, tracker: Rc<ServerTracker>) {
-        self.trackers.borrow_mut().insert(tracker.server_id(), tracker);
+        self.trackers
+            .borrow_mut()
+            .insert(tracker.server_id(), tracker);
     }
 }
 

@@ -83,8 +83,12 @@ pub fn encode_regions(regions: &[RegionId]) -> Bytes {
 /// Decodes a region-id list payload (empty on malformed input).
 pub fn decode_regions(data: &[u8]) -> Vec<RegionId> {
     let mut dec = Decoder::new(data);
-    let Ok(n) = dec.get_u32() else { return Vec::new() };
-    (0..n).filter_map(|_| dec.get_u32().ok().map(RegionId)).collect()
+    let Ok(n) = dec.get_u32() else {
+        return Vec::new();
+    };
+    (0..n)
+        .filter_map(|_| dec.get_u32().ok().map(RegionId))
+        .collect()
 }
 
 /// Extracts the client id from a `/live/clients/cN` or
@@ -124,10 +128,22 @@ mod tests {
 
     #[test]
     fn path_parsing() {
-        assert_eq!(parse_client_path(&client_live(ClientId(3))), Some(ClientId(3)));
-        assert_eq!(parse_client_path(&client_threshold(ClientId(12))), Some(ClientId(12)));
-        assert_eq!(parse_server_path(&server_live(ServerId(4))), Some(ServerId(4)));
-        assert_eq!(parse_server_path(&server_threshold(ServerId(0))), Some(ServerId(0)));
+        assert_eq!(
+            parse_client_path(&client_live(ClientId(3))),
+            Some(ClientId(3))
+        );
+        assert_eq!(
+            parse_client_path(&client_threshold(ClientId(12))),
+            Some(ClientId(12))
+        );
+        assert_eq!(
+            parse_server_path(&server_live(ServerId(4))),
+            Some(ServerId(4))
+        );
+        assert_eq!(
+            parse_server_path(&server_threshold(ServerId(0))),
+            Some(ServerId(0))
+        );
         assert_eq!(parse_client_path("/live/clients/garbage"), None);
         assert_eq!(parse_server_path("/live/servers/c3"), None);
     }

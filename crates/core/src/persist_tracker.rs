@@ -92,7 +92,11 @@ impl PersistTracker {
     /// Creates a tracker starting at the given threshold (Algorithm 4
     /// seeds a registering server with the current global `T_P`).
     pub fn with_threshold(t_p: Timestamp) -> PersistTracker {
-        PersistTracker { pq: BTreeMap::new(), t_p, t_f_latest: Timestamp::ZERO }
+        PersistTracker {
+            pq: BTreeMap::new(),
+            t_p,
+            t_f_latest: Timestamp::ZERO,
+        }
     }
 
     /// Records a write-set portion applied to the WAL buffer + memstore
@@ -182,7 +186,11 @@ mod tests {
         assert_eq!(t.t_p(), Timestamp(100));
         // A replayed update for a failed server with T_P(s)=30 arrives.
         t.on_applied(Timestamp(50), 1, Some(Timestamp(30)));
-        assert_eq!(t.t_p(), Timestamp(30), "inherits responsibility immediately");
+        assert_eq!(
+            t.t_p(),
+            Timestamp(30),
+            "inherits responsibility immediately"
+        );
         // T_F moves on, but the floor pins T_P while the replay is unsynced.
         t.on_t_f(Timestamp(120));
         assert_eq!(t.on_synced(0), Timestamp(30));
@@ -232,7 +240,11 @@ mod tests {
         t.on_t_f(Timestamp(10));
         t.on_applied(Timestamp(8), 1, None);
         t.on_applied(Timestamp(8), 2, None); // duplicate
-        assert_eq!(t.on_synced(1), Timestamp(7), "duplicate unsynced: bound at 7");
+        assert_eq!(
+            t.on_synced(1),
+            Timestamp(7),
+            "duplicate unsynced: bound at 7"
+        );
         assert_eq!(t.on_synced(2), Timestamp(10));
     }
 

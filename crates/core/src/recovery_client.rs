@@ -107,20 +107,21 @@ impl RecoveryClient {
             // Replays use the original commit timestamp; no fresh one is
             // requested. Not flagged as a region replay: client-recovery
             // targets normally-online regions and retries through outages.
-            self.store.multi_put(region, ts, mutations, None, false, move || {
-                pending2.set(pending2.get() - 1);
-                if pending2.get() > 0 {
-                    return;
-                }
-                this.client_txns_replayed.inc();
-                // The dead client cannot report the flush; c_R does it.
-                let tm = Rc::clone(&this.tm);
-                this.net.send(this.node, tm.node(), 48, move || {
-                    tm.handle_flush_complete(ts);
+            self.store
+                .multi_put(region, ts, mutations, None, false, move || {
+                    pending2.set(pending2.get() - 1);
+                    if pending2.get() > 0 {
+                        return;
+                    }
+                    this.client_txns_replayed.inc();
+                    // The dead client cannot report the flush; c_R does it.
+                    let tm = Rc::clone(&this.tm);
+                    this.net.send(this.node, tm.node(), 48, move || {
+                        tm.handle_flush_complete(ts);
+                    });
+                    let done = done2.borrow_mut().take().expect("single completion");
+                    this.replay_client_next(records2, idx + 1, done);
                 });
-                let done = done2.borrow_mut().take().expect("single completion");
-                this.replay_client_next(records2, idx + 1, done);
-            });
         }
     }
 
@@ -156,10 +157,17 @@ impl RecoveryClient {
         // `replay = true`: the target region is still offline (gated on
         // this very recovery); the floor piggyback makes the receiving
         // server inherit responsibility for the replayed updates.
-        self.store.multi_put(region, *ts, mutations.clone(), Some(floor), true, move || {
-            this.region_txns_replayed.inc();
-            this.replay_region_next(region, items2, floor, idx + 1, done);
-        });
+        self.store.multi_put(
+            region,
+            *ts,
+            mutations.clone(),
+            Some(floor),
+            true,
+            move || {
+                this.region_txns_replayed.inc();
+                this.replay_region_next(region, items2, floor, idx + 1, done);
+            },
+        );
     }
 
     /// Transactions replayed by client recoveries.

@@ -146,8 +146,10 @@ impl RecoveryManager {
     /// Registers the coordination watches, publishes the initial
     /// thresholds and starts the checkpoint timer.
     pub fn start(self: &Rc<Self>) {
-        self.coord.set_data(paths::TF_PATH, paths::encode_ts(self.t_f.get()));
-        self.coord.set_data(paths::TP_PATH, paths::encode_ts(self.t_p.get()));
+        self.coord
+            .set_data(paths::TF_PATH, paths::encode_ts(self.t_f.get()));
+        self.coord
+            .set_data(paths::TP_PATH, paths::encode_ts(self.t_p.get()));
 
         let weak = Rc::downgrade(self);
         self.coord.watch_prefix(
@@ -269,11 +271,14 @@ impl RecoveryManager {
 
     fn on_client_up(self: &Rc<Self>, c: ClientId) {
         let this = Rc::clone(self);
-        self.coord.get_data(&paths::client_threshold(c), move |data| {
-            let ts = data.map(|d| paths::decode_ts(&d)).unwrap_or(Timestamp::ZERO);
-            this.clients.borrow_mut().insert(c, ts);
-            this.recompute_t_f();
-        });
+        self.coord
+            .get_data(&paths::client_threshold(c), move |data| {
+                let ts = data
+                    .map(|d| paths::decode_ts(&d))
+                    .unwrap_or(Timestamp::ZERO);
+                this.clients.borrow_mut().insert(c, ts);
+                this.recompute_t_f();
+            });
     }
 
     /// A client's liveness node vanished: a clean shutdown deleted its
@@ -281,33 +286,41 @@ impl RecoveryManager {
     /// recover from it (Algorithm 2 "On failure(c)").
     fn on_client_down(self: &Rc<Self>, c: ClientId) {
         let this = Rc::clone(self);
-        self.coord.get_data(&paths::client_threshold(c), move |data| {
-            match data {
-                Some(d) => {
-                    let t = if this.cfg.tracking { paths::decode_ts(&d) } else { Timestamp::ZERO };
-                    this.recover_client(c, t);
+        self.coord
+            .get_data(&paths::client_threshold(c), move |data| {
+                match data {
+                    Some(d) => {
+                        let t = if this.cfg.tracking {
+                            paths::decode_ts(&d)
+                        } else {
+                            Timestamp::ZERO
+                        };
+                        this.recover_client(c, t);
+                    }
+                    None if !this.cfg.tracking => {
+                        // Without tracking we cannot distinguish clean from
+                        // crashed: conservatively replay from the beginning.
+                        this.recover_client(c, Timestamp::ZERO);
+                    }
+                    None => {
+                        // Clean unregister.
+                        this.clients.borrow_mut().remove(&c);
+                        this.recompute_t_f();
+                    }
                 }
-                None if !this.cfg.tracking => {
-                    // Without tracking we cannot distinguish clean from
-                    // crashed: conservatively replay from the beginning.
-                    this.recover_client(c, Timestamp::ZERO);
-                }
-                None => {
-                    // Clean unregister.
-                    this.clients.borrow_mut().remove(&c);
-                    this.recompute_t_f();
-                }
-            }
-        });
+            });
     }
 
     fn on_server_up(self: &Rc<Self>, s: ServerId) {
         let this = Rc::clone(self);
-        self.coord.get_data(&paths::server_threshold(s), move |data| {
-            let ts = data.map(|d| paths::decode_ts(&d)).unwrap_or(Timestamp::ZERO);
-            this.servers.borrow_mut().insert(s, ts);
-            this.recompute_t_p();
-        });
+        self.coord
+            .get_data(&paths::server_threshold(s), move |data| {
+                let ts = data
+                    .map(|d| paths::decode_ts(&d))
+                    .unwrap_or(Timestamp::ZERO);
+                this.servers.borrow_mut().insert(s, ts);
+                this.recompute_t_p();
+            });
     }
 
     fn refresh_threshold(self: &Rc<Self>, path: String) {
@@ -360,7 +373,11 @@ impl RecoveryManager {
     fn recompute_t_p(&self) {
         let servers = self.servers.borrow();
         let tasks = self.region_tasks.borrow();
-        let min = servers.values().copied().chain(tasks.values().map(|t| t.floor)).min();
+        let min = servers
+            .values()
+            .copied()
+            .chain(tasks.values().map(|t| t.floor))
+            .min();
         let Some(min) = min else { return };
         if min > self.t_p.get() {
             self.t_p.set(min);
@@ -402,6 +419,10 @@ impl RecoveryManager {
         let node = self.node;
         let this = Rc::clone(self);
         self.net.send(node, tm.node(), 64, move || {
+            // The dead client's open transactions can never commit; reap
+            // them so their pinned snapshots stop holding back the MVCC
+            // garbage-collection watermark.
+            tm.handle_client_failed(c);
             let records = tm.log().fetch_client_after(c, t_f_r);
             let size = 64 + records.iter().map(|r| r.wire_size()).sum::<usize>();
             net.send(tm.node(), node, size, move || {
@@ -434,7 +455,10 @@ impl RecoveryManager {
             return;
         }
         let set: BTreeSet<RegionId> = regions.iter().copied().collect();
-        self.coord.set_data(&paths::pending_recovery(failed), paths::encode_regions(&regions));
+        self.coord.set_data(
+            &paths::pending_recovery(failed),
+            paths::encode_regions(&regions),
+        );
         let empty = set.is_empty();
         self.pending_regions.borrow_mut().insert(failed, set);
         if empty {
@@ -474,7 +498,11 @@ impl RecoveryManager {
         let generation = self.next_generation.get();
         self.next_generation.set(generation + 1);
         let t_p_r = if self.cfg.tracking {
-            self.servers.borrow().get(&failed).copied().unwrap_or(Timestamp::ZERO)
+            self.servers
+                .borrow()
+                .get(&failed)
+                .copied()
+                .unwrap_or(Timestamp::ZERO)
         } else {
             Timestamp::ZERO
         };
@@ -493,22 +521,26 @@ impl RecoveryManager {
         // read is a write barrier: the floor znode is durable at the
         // coordination service before any replay is sent.
         let this = Rc::clone(self);
-        self.coord.get_data(&paths::region_floor(region), move |stored| {
-            let prior = stored.map(|d| paths::decode_ts(&d)).unwrap_or(Timestamp::MAX);
-            let floor = t_p_r.min(prior);
-            {
-                let mut tasks = this.region_tasks.borrow_mut();
-                match tasks.get_mut(&region) {
-                    Some(task) if task.generation == generation => task.floor = floor,
-                    _ => return, // superseded
+        self.coord
+            .get_data(&paths::region_floor(region), move |stored| {
+                let prior = stored
+                    .map(|d| paths::decode_ts(&d))
+                    .unwrap_or(Timestamp::MAX);
+                let floor = t_p_r.min(prior);
+                {
+                    let mut tasks = this.region_tasks.borrow_mut();
+                    match tasks.get_mut(&region) {
+                        Some(task) if task.generation == generation => task.floor = floor,
+                        _ => return, // superseded
+                    }
                 }
-            }
-            this.coord.set_data(&paths::region_floor(region), paths::encode_ts(floor));
-            let this2 = Rc::clone(&this);
-            this.coord.get_data(&paths::region_floor(region), move |_| {
-                this2.start_region_replay(generation, server, region, failed, floor);
+                this.coord
+                    .set_data(&paths::region_floor(region), paths::encode_ts(floor));
+                let this2 = Rc::clone(&this);
+                this.coord.get_data(&paths::region_floor(region), move |_| {
+                    this2.start_region_replay(generation, server, region, failed, floor);
+                });
             });
-        });
     }
 
     fn start_region_replay(
@@ -608,8 +640,10 @@ impl RecoveryManager {
                 Some(set) => {
                     set.remove(&region);
                     let regions: Vec<RegionId> = set.iter().copied().collect();
-                    self.coord
-                        .set_data(&paths::pending_recovery(failed), paths::encode_regions(&regions));
+                    self.coord.set_data(
+                        &paths::pending_recovery(failed),
+                        paths::encode_regions(&regions),
+                    );
                     set.is_empty()
                 }
                 None => false,
@@ -674,19 +708,30 @@ impl RecoveryManager {
         self.coord.children("/thresholds/clients/", move |tpaths| {
             let this2 = Rc::clone(&this);
             this.coord.children("/live/clients/", move |live| {
-                let live: Rc<BTreeSet<ClientId>> =
-                    Rc::new(live.iter().filter_map(|p| paths::parse_client_path(p)).collect());
+                let live: Rc<BTreeSet<ClientId>> = Rc::new(
+                    live.iter()
+                        .filter_map(|p| paths::parse_client_path(p))
+                        .collect(),
+                );
                 for path in tpaths {
                     let live = Rc::clone(&live);
-                    let Some(c) = paths::parse_client_path(&path) else { continue };
+                    let Some(c) = paths::parse_client_path(&path) else {
+                        continue;
+                    };
                     let this3 = Rc::clone(&this2);
                     this2.coord.get_data(&path, move |data| {
-                        let ts = data.map(|d| paths::decode_ts(&d)).unwrap_or(Timestamp::ZERO);
+                        let ts = data
+                            .map(|d| paths::decode_ts(&d))
+                            .unwrap_or(Timestamp::ZERO);
                         if live.contains(&c) {
                             this3.clients.borrow_mut().insert(c, ts);
                             this3.recompute_t_f();
                         } else {
-                            let t = if this3.cfg.tracking { ts } else { Timestamp::ZERO };
+                            let t = if this3.cfg.tracking {
+                                ts
+                            } else {
+                                Timestamp::ZERO
+                            };
                             this3.recover_client(c, t);
                         }
                     });
@@ -698,27 +743,33 @@ impl RecoveryManager {
         let this = Rc::clone(self);
         self.coord.children("/thresholds/servers/", move |tpaths| {
             for path in tpaths {
-                let Some(s) = paths::parse_server_path(&path) else { continue };
+                let Some(s) = paths::parse_server_path(&path) else {
+                    continue;
+                };
                 let this2 = Rc::clone(&this);
                 this.coord.get_data(&path, move |data| {
-                    let ts = data.map(|d| paths::decode_ts(&d)).unwrap_or(Timestamp::ZERO);
+                    let ts = data
+                        .map(|d| paths::decode_ts(&d))
+                        .unwrap_or(Timestamp::ZERO);
                     this2.servers.borrow_mut().insert(s, ts);
                     this2.recompute_t_p();
                     // Was this server under recovery when we crashed?
                     let this3 = Rc::clone(&this2);
-                    this2.coord.get_data(&paths::pending_recovery(s), move |pending| {
-                        if let Some(d) = pending {
-                            let regions = paths::decode_regions(&d);
-                            let set: BTreeSet<RegionId> = regions.into_iter().collect();
-                            if set.is_empty() {
-                                this3.finish_failed_server(s);
-                            } else {
-                                this3.pending_regions.borrow_mut().insert(s, set);
-                                // The per-region hooks keep retrying their
-                                // notifications; replays resume from them.
+                    this2
+                        .coord
+                        .get_data(&paths::pending_recovery(s), move |pending| {
+                            if let Some(d) = pending {
+                                let regions = paths::decode_regions(&d);
+                                let set: BTreeSet<RegionId> = regions.into_iter().collect();
+                                if set.is_empty() {
+                                    this3.finish_failed_server(s);
+                                } else {
+                                    this3.pending_regions.borrow_mut().insert(s, set);
+                                    // The per-region hooks keep retrying their
+                                    // notifications; replays resume from them.
+                                }
                             }
-                        }
-                    });
+                        });
                 });
             }
         });

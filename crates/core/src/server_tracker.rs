@@ -135,11 +135,20 @@ impl ServerTracker {
     /// immediately and, per Algorithm 3, triggers an immediate threshold
     /// publication so the recovery manager learns of the inheritance as
     /// fast as possible ("heartbeat()" on line 21).
-    pub fn on_applied(&self, _region: RegionId, ts: Timestamp, wal_seq: u64, floor: Option<Timestamp>) {
+    pub fn on_applied(
+        &self,
+        _region: RegionId,
+        ts: Timestamp,
+        wal_seq: u64,
+        floor: Option<Timestamp>,
+    ) {
         self.tracker.borrow_mut().on_applied(ts, wal_seq, floor);
         if floor.is_some() && self.cfg.tracking {
             let t_p = self.tracker.borrow().t_p();
-            self.coord.set_data(&paths::server_threshold(self.server.id()), paths::encode_ts(t_p));
+            self.coord.set_data(
+                &paths::server_threshold(self.server.id()),
+                paths::encode_ts(t_p),
+            );
         }
     }
 
@@ -174,11 +183,13 @@ impl ServerTracker {
                         paths::encode_ts(t_p),
                     );
                     let tracker = Rc::clone(&this2.tracker);
-                    this2.coord.get_data(paths::TF_PATH, move |data: Option<Bytes>| {
-                        if let Some(d) = data {
-                            tracker.borrow_mut().on_t_f(paths::decode_ts(&d));
-                        }
-                    });
+                    this2
+                        .coord
+                        .get_data(paths::TF_PATH, move |data: Option<Bytes>| {
+                            if let Some(d) = data {
+                                tracker.borrow_mut().on_t_f(paths::decode_ts(&d));
+                            }
+                        });
                 }
             });
         });

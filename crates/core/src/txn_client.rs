@@ -128,6 +128,7 @@ impl fmt::Debug for TransactionalClient {
 impl TransactionalClient {
     /// Creates a client on `node`. Call [`TransactionalClient::start`]
     /// before using it so it registers with the recovery manager.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         sim: &Sim,
         net: &Rc<Network>,
@@ -171,35 +172,41 @@ impl TransactionalClient {
         // Seed the local threshold from the recovery manager's published
         // global T_F ("T_F(c) ← T_F").
         self.inner.coord.get_data(paths::TF_PATH, move |data| {
-            let seed = data.map(|d| paths::decode_ts(&d)).unwrap_or(Timestamp::ZERO);
+            let seed = data
+                .map(|d| paths::decode_ts(&d))
+                .unwrap_or(Timestamp::ZERO);
             *inner.tracker.borrow_mut() = FlushTracker::with_threshold(seed);
             let inner2 = Rc::clone(&inner);
-            inner.coord.create_session(inner.cfg.session_timeout, move |sid| {
-                if !inner2.alive.get() {
-                    return;
-                }
-                inner2.session.set(Some(sid));
-                // Threshold (persistent) strictly before liveness
-                // (ephemeral): the recovery manager reads the threshold
-                // when it sees the liveness node appear or vanish.
-                if inner2.cfg.tracking {
-                    inner2.coord.create(
-                        &paths::client_threshold(inner2.id),
-                        paths::encode_ts(inner2.tracker.borrow().t_f()),
-                        None,
+            inner
+                .coord
+                .create_session(inner.cfg.session_timeout, move |sid| {
+                    if !inner2.alive.get() {
+                        return;
+                    }
+                    inner2.session.set(Some(sid));
+                    // Threshold (persistent) strictly before liveness
+                    // (ephemeral): the recovery manager reads the threshold
+                    // when it sees the liveness node appear or vanish.
+                    if inner2.cfg.tracking {
+                        inner2.coord.create(
+                            &paths::client_threshold(inner2.id),
+                            paths::encode_ts(inner2.tracker.borrow().t_f()),
+                            None,
+                        );
+                    }
+                    inner2
+                        .coord
+                        .create(&paths::client_live(inner2.id), Bytes::new(), Some(sid));
+                    let inner3 = Rc::clone(&inner2);
+                    let first = inner2.sim.jitter(inner2.cfg.heartbeat_interval, 0.9);
+                    let timer = every_from(
+                        &inner2.sim,
+                        first,
+                        inner2.cfg.heartbeat_interval,
+                        move || heartbeat(&inner3),
                     );
-                }
-                inner2.coord.create(&paths::client_live(inner2.id), Bytes::new(), Some(sid));
-                let inner3 = Rc::clone(&inner2);
-                let first = inner2.sim.jitter(inner2.cfg.heartbeat_interval, 0.9);
-                let timer = every_from(
-                    &inner2.sim,
-                    first,
-                    inner2.cfg.heartbeat_interval,
-                    move || heartbeat(&inner3),
-                );
-                inner2.timers.borrow_mut().push(timer);
-            });
+                    inner2.timers.borrow_mut().push(timer);
+                });
         });
     }
 
@@ -236,10 +243,13 @@ impl TransactionalClient {
                 if !inner.alive.get() {
                     return;
                 }
-                inner
-                    .active
-                    .borrow_mut()
-                    .insert(txn, ActiveTxn { start_ts, write_set: WriteSet::new() });
+                inner.active.borrow_mut().insert(
+                    txn,
+                    ActiveTxn {
+                        start_ts,
+                        write_set: WriteSet::new(),
+                    },
+                );
                 done(txn);
             });
         });
@@ -306,30 +316,29 @@ impl TransactionalClient {
                 .write_set
                 .mutations
                 .iter()
-                .filter(|m| {
-                    m.row >= start
-                        && end_ref.as_ref().map(|e| m.row < *e).unwrap_or(true)
-                })
+                .filter(|m| m.row >= start && end_ref.as_ref().map(|e| m.row < *e).unwrap_or(true))
                 .cloned()
                 .collect();
             (at.start_ts, own)
         };
-        self.inner.store.scan(start, end, start_ts, limit, move |hits| {
-            // Merge: buffered writes overwrite store results per cell.
-            let mut merged: Vec<(Bytes, Bytes, Bytes)> = hits
-                .into_iter()
-                .filter_map(|(r, c, vv)| vv.value.map(|v| (r, c, v)))
-                .collect();
-            for m in own {
-                merged.retain(|(r, c, _)| !(r == &m.row && c == &m.column));
-                if let MutationKind::Put(v) = &m.kind {
-                    merged.push((m.row.clone(), m.column.clone(), v.clone()));
+        self.inner
+            .store
+            .scan(start, end, start_ts, limit, move |hits| {
+                // Merge: buffered writes overwrite store results per cell.
+                let mut merged: Vec<(Bytes, Bytes, Bytes)> = hits
+                    .into_iter()
+                    .filter_map(|(r, c, vv)| vv.value.map(|v| (r, c, v)))
+                    .collect();
+                for m in own {
+                    merged.retain(|(r, c, _)| !(r == &m.row && c == &m.column));
+                    if let MutationKind::Put(v) = &m.kind {
+                        merged.push((m.row.clone(), m.column.clone(), v.clone()));
+                    }
                 }
-            }
-            merged.sort();
-            merged.truncate(limit);
-            done(merged);
-        });
+                merged.sort();
+                merged.truncate(limit);
+                done(merged);
+            });
     }
 
     /// Buffers a put in the transaction's write-set (deferred updates:
@@ -347,7 +356,8 @@ impl TransactionalClient {
     ) {
         let mut active = self.inner.active.borrow_mut();
         let at = active.get_mut(&txn).expect("put on unknown transaction");
-        at.write_set.push(Mutation::put(row.into(), column.into(), value.into()));
+        at.write_set
+            .push(Mutation::put(row.into(), column.into(), value.into()));
     }
 
     /// Buffers a delete in the transaction's write-set.
@@ -358,7 +368,8 @@ impl TransactionalClient {
     pub fn delete(&self, txn: TxnId, row: impl Into<Bytes>, column: impl Into<Bytes>) {
         let mut active = self.inner.active.borrow_mut();
         let at = active.get_mut(&txn).expect("delete on unknown transaction");
-        at.write_set.push(Mutation::delete(row.into(), column.into()));
+        at.write_set
+            .push(Mutation::delete(row.into(), column.into()));
     }
 
     /// Commits the transaction (§2.2's termination phase): the write-set
@@ -434,9 +445,11 @@ impl TransactionalClient {
         }
         self.inner.aborted.inc();
         let tm = Rc::clone(&self.inner.tm);
-        self.inner.net.send(self.inner.node, tm.node(), 48, move || {
-            tm.handle_abort(txn);
-        });
+        self.inner
+            .net
+            .send(self.inner.node, tm.node(), 48, move || {
+                tm.handle_abort(txn);
+            });
     }
 
     /// Clean shutdown (Algorithm 1 "On shutdown"): waits until every
@@ -547,12 +560,15 @@ fn heartbeat(inner: &Rc<TcInner>) {
     let pending = inner.tracker.borrow().pending();
     if pending > inner.cfg.alert_pending_threshold {
         inner.alerts.inc();
-        inner
-            .coord
-            .set_data(&paths::alert("clients", inner.id.0), paths::encode_ts(Timestamp(pending as u64)));
+        inner.coord.set_data(
+            &paths::alert("clients", inner.id.0),
+            paths::encode_ts(Timestamp(pending as u64)),
+        );
     }
     if inner.cfg.tracking {
-        inner.coord.set_data(&paths::client_threshold(inner.id), paths::encode_ts(t_f));
+        inner
+            .coord
+            .set_data(&paths::client_threshold(inner.id), paths::encode_ts(t_f));
     }
     if let Some(sid) = inner.session.get() {
         inner.coord.touch(sid);
@@ -565,7 +581,11 @@ fn try_finish_shutdown(inner: Rc<TcInner>) {
     }
     if !inner.tracker.borrow_mut().is_idle() {
         let inner2 = Rc::clone(&inner);
-        inner.sim.schedule_in(SimDuration::from_millis(20), move || try_finish_shutdown(inner2));
+        inner
+            .sim
+            .schedule_in(SimDuration::from_millis(20), move || {
+                try_finish_shutdown(inner2)
+            });
         return;
     }
     // Final heartbeat, then unregister cleanly: delete the threshold
@@ -602,23 +622,25 @@ fn flush_write_set(
         let inner2 = Rc::clone(&inner);
         let pending2 = Rc::clone(&pending);
         let then2 = Rc::clone(&then);
-        inner.store.multi_put(region, ts, mutations, None, false, move || {
-            pending2.set(pending2.get() - 1);
-            if pending2.get() > 0 {
-                return;
-            }
-            if !inner2.alive.get() {
-                return;
-            }
-            inner2.tracker.borrow_mut().on_flushed(ts);
-            inner2.flushed.inc();
-            let tm = Rc::clone(&inner2.tm);
-            inner2.net.send(inner2.node, tm.node(), 48, move || {
-                tm.handle_flush_complete(ts);
+        inner
+            .store
+            .multi_put(region, ts, mutations, None, false, move || {
+                pending2.set(pending2.get() - 1);
+                if pending2.get() > 0 {
+                    return;
+                }
+                if !inner2.alive.get() {
+                    return;
+                }
+                inner2.tracker.borrow_mut().on_flushed(ts);
+                inner2.flushed.inc();
+                let tm = Rc::clone(&inner2.tm);
+                inner2.net.send(inner2.node, tm.node(), 48, move || {
+                    tm.handle_flush_complete(ts);
+                });
+                if let Some(cb) = then2.borrow_mut().take() {
+                    cb();
+                }
             });
-            if let Some(cb) = then2.borrow_mut().take() {
-                cb();
-            }
-        });
     }
 }

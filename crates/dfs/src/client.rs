@@ -71,7 +71,9 @@ pub struct DfsClient {
 
 impl fmt::Debug for DfsClient {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("DfsClient").field("from", &self.inner.from).finish()
+        f.debug_struct("DfsClient")
+            .field("from", &self.inner.from)
+            .finish()
     }
 }
 
@@ -129,13 +131,15 @@ impl DfsClient {
         let net = Rc::clone(&inner.net);
         let from = inner.from;
         let path = path.to_owned();
-        self.inner.net.send(from, nn.node(), 64 + path.len(), move || {
-            let result = nn.create_file(&path);
-            net.send(nn.node(), from, 64, move || match result {
-                Ok(replicas) => done(Ok(DfsFile::new(inner, path, replicas))),
-                Err(e) => done(Err(e)),
+        self.inner
+            .net
+            .send(from, nn.node(), 64 + path.len(), move || {
+                let result = nn.create_file(&path);
+                net.send(nn.node(), from, 64, move || match result {
+                    Ok(replicas) => done(Ok(DfsFile::new(inner, path, replicas))),
+                    Err(e) => done(Err(e)),
+                });
             });
-        });
     }
 
     /// Opens an existing file for appending; `done` receives the handle.
@@ -145,19 +149,26 @@ impl DfsClient {
         let net = Rc::clone(&inner.net);
         let from = inner.from;
         let path = path.to_owned();
-        self.inner.net.send(from, nn.node(), 64 + path.len(), move || {
-            let result = nn.replicas(&path);
-            net.send(nn.node(), from, 64, move || match result {
-                Ok(replicas) => done(Ok(DfsFile::new(inner, path, replicas))),
-                Err(e) => done(Err(e)),
+        self.inner
+            .net
+            .send(from, nn.node(), 64 + path.len(), move || {
+                let result = nn.replicas(&path);
+                net.send(nn.node(), from, 64, move || match result {
+                    Ok(replicas) => done(Ok(DfsFile::new(inner, path, replicas))),
+                    Err(e) => done(Err(e)),
+                });
             });
-        });
     }
 
     /// Reads the whole file (all records, in append order) from the
     /// longest live replica; `done` receives the records.
     pub fn read(&self, path: &str, done: impl FnOnce(crate::Result<Vec<Bytes>>) + 'static) {
-        read_attempt(Rc::clone(&self.inner), path.to_owned(), READ_RETRIES, Box::new(done));
+        read_attempt(
+            Rc::clone(&self.inner),
+            path.to_owned(),
+            READ_RETRIES,
+            Box::new(done),
+        );
     }
 
     /// Lists paths with the given prefix; `done` receives them in order.
@@ -178,8 +189,48 @@ impl DfsClient {
     pub fn delete(&self, path: &str) {
         let nn = Rc::clone(&self.inner.nn);
         let path = path.to_owned();
-        self.inner.net.send(self.inner.from, nn.node(), 64 + path.len(), move || {
-            nn.delete_file(&path);
+        self.inner
+            .net
+            .send(self.inner.from, nn.node(), 64 + path.len(), move || {
+                nn.delete_file(&path);
+            });
+    }
+
+    /// Deletes a file and confirms completion: `done` runs once the
+    /// namenode has removed the file from its namespace, with `true` if
+    /// the file existed. Compaction uses this to verify that obsolete
+    /// store files are really gone rather than firing and forgetting.
+    pub fn delete_with_callback(&self, path: &str, done: impl FnOnce(bool) + 'static) {
+        let nn = Rc::clone(&self.inner.nn);
+        let net = Rc::clone(&self.inner.net);
+        let from = self.inner.from;
+        let path = path.to_owned();
+        self.inner
+            .net
+            .send(from, nn.node(), 64 + path.len(), move || {
+                let existed = nn.delete_file(&path);
+                net.send(nn.node(), from, 32, move || done(existed));
+            });
+    }
+
+    /// Atomically renames `from_path` to `to_path` at the namenode;
+    /// `done` receives the outcome. Readers see either the old or the new
+    /// name, never both and never neither.
+    pub fn rename(
+        &self,
+        from_path: &str,
+        to_path: &str,
+        done: impl FnOnce(crate::Result<()>) + 'static,
+    ) {
+        let nn = Rc::clone(&self.inner.nn);
+        let net = Rc::clone(&self.inner.net);
+        let from = self.inner.from;
+        let from_path = from_path.to_owned();
+        let to_path = to_path.to_owned();
+        let size = 64 + from_path.len() + to_path.len();
+        self.inner.net.send(from, nn.node(), size, move || {
+            let result = nn.rename_file(&from_path, &to_path);
+            net.send(nn.node(), from, 32, move || done(result));
         });
     }
 
@@ -225,7 +276,10 @@ impl DfsFile {
     pub fn append(&self, record: Bytes, done: impl FnOnce(crate::Result<()>) + 'static) {
         {
             let mut st = self.state.borrow_mut();
-            st.queue.push_back(PendingAppend { record, done: Box::new(done) });
+            st.queue.push_back(PendingAppend {
+                record,
+                done: Box::new(done),
+            });
         }
         pump(Rc::clone(&self.client), Rc::clone(&self.state));
     }
@@ -252,7 +306,13 @@ fn pump(client: Rc<ClientInner>, state: Rc<RefCell<FileState>>) {
         }
     };
     if let Some(p) = next {
-        attempt_append(client, state, p.record, Rc::new(RefCell::new(HashSet::new())), p.done);
+        attempt_append(
+            client,
+            state,
+            p.record,
+            Rc::new(RefCell::new(HashSet::new())),
+            p.done,
+        );
     }
 }
 
@@ -279,8 +339,12 @@ fn attempt_append(
 ) {
     let (path, targets) = {
         let st = state.borrow();
-        let pending: Vec<usize> =
-            st.replicas.iter().copied().filter(|r| !acks.borrow().contains(r)).collect();
+        let pending: Vec<usize> = st
+            .replicas
+            .iter()
+            .copied()
+            .filter(|r| !acks.borrow().contains(r))
+            .collect();
         (st.path.clone(), pending)
     };
     if targets.is_empty() {
@@ -352,7 +416,12 @@ fn attempt_append(
                 state.borrow_mut().replicas = live.clone();
                 let done = done_cell.borrow_mut().take().expect("done consumed once");
                 if live.is_empty() {
-                    finish_append(client3, state, done, Err(DfsError::ReplicationFailed(path3)));
+                    finish_append(
+                        client3,
+                        state,
+                        done,
+                        Err(DfsError::ReplicationFailed(path3)),
+                    );
                 } else if live.iter().all(|r| acks.borrow().contains(r)) {
                     finish_append(client3, state, done, Ok(()));
                 } else {
@@ -397,9 +466,11 @@ fn retry_or_fail(
         return;
     }
     let client2 = Rc::clone(&client);
-    client.sim.schedule_in(SimDuration::from_millis(20), move || {
-        read_attempt(client2, path, retries_left - 1, done);
-    });
+    client
+        .sim
+        .schedule_in(SimDuration::from_millis(20), move || {
+            read_attempt(client2, path, retries_left - 1, done);
+        });
 }
 
 fn fetch_longest(
@@ -428,7 +499,11 @@ fn fetch_longest(
             }
             decided.set(true);
             let done = done_cell.borrow_mut().take().expect("done consumed once");
-            let best = counts.borrow().iter().max_by_key(|(_, c)| *c).map(|(i, _)| *i);
+            let best = counts
+                .borrow()
+                .iter()
+                .max_by_key(|(_, c)| *c)
+                .map(|(i, _)| *i);
             match best {
                 None => retry_or_fail(Rc::clone(&client), path.clone(), retries_left, done),
                 Some(idx) => {
@@ -443,17 +518,19 @@ fn fetch_longest(
                     // chosen replica dies mid-read.
                     let got = Rc::new(Cell::new(false));
                     let got2 = Rc::clone(&got);
-                    let done_cell2: Rc<RefCell<Option<Box<dyn FnOnce(crate::Result<Vec<Bytes>>)>>>> =
-                        Rc::new(RefCell::new(Some(done)));
+                    let done_cell2: Rc<
+                        RefCell<Option<Box<dyn FnOnce(crate::Result<Vec<Bytes>>)>>>,
+                    > = Rc::new(RefCell::new(Some(done)));
                     let done_cell3 = Rc::clone(&done_cell2);
                     client.net.send(from, dn_node, 64, move || {
                         let net2 = Rc::clone(&net);
                         let path3 = path2.clone();
                         dn.read(&path2, move |data| {
-                            let size = 64 + data
-                                .as_ref()
-                                .map(|d| d.iter().map(Bytes::len).sum::<usize>())
-                                .unwrap_or(0);
+                            let size = 64
+                                + data
+                                    .as_ref()
+                                    .map(|d| d.iter().map(Bytes::len).sum::<usize>())
+                                    .unwrap_or(0);
                             net2.send(dn_node, from, size, move || {
                                 if got2.get() {
                                     return;
@@ -502,5 +579,7 @@ fn fetch_longest(
     }
     // If some replicas die before answering, decide with what arrived.
     let decide3 = Rc::clone(&decide);
-    client.sim.schedule_in(SimDuration::from_millis(50), move || decide3());
+    client
+        .sim
+        .schedule_in(SimDuration::from_millis(50), move || decide3());
 }

@@ -61,9 +61,14 @@ impl DataNode {
     /// buffered disk write completes (the datanode-side ack point).
     pub fn append(self: &Rc<Self>, path: &str, record: Bytes, done: impl FnOnce() + 'static) {
         self.appends.set(self.appends.get() + 1);
-        self.bytes_stored.set(self.bytes_stored.get() + record.len() as u64);
+        self.bytes_stored
+            .set(self.bytes_stored.get() + record.len() as u64);
         let len = record.len();
-        self.files.borrow_mut().entry(path.to_owned()).or_default().push(record);
+        self.files
+            .borrow_mut()
+            .entry(path.to_owned())
+            .or_default()
+            .push(record);
         self.disk.write(len, done);
     }
 
@@ -81,7 +86,10 @@ impl DataNode {
     /// with `None` if the replica is absent.
     pub fn read(self: &Rc<Self>, path: &str, done: impl FnOnce(Option<Vec<Bytes>>) + 'static) {
         let data = self.files.borrow().get(path).cloned();
-        let size: usize = data.as_ref().map(|d| d.iter().map(Bytes::len).sum()).unwrap_or(0);
+        let size: usize = data
+            .as_ref()
+            .map(|d| d.iter().map(Bytes::len).sum())
+            .unwrap_or(0);
         self.disk.read(size.max(1), move || done(data));
     }
 
@@ -95,6 +103,15 @@ impl DataNode {
     /// Drops the local replica of `path`.
     pub fn delete_replica(&self, path: &str) {
         self.files.borrow_mut().remove(path);
+    }
+
+    /// Re-keys the local replica of `from` to `to` (a metadata-only move,
+    /// like an HDFS rename: no data is copied). No-op if `from` is absent.
+    pub fn rename_replica(&self, from: &str, to: &str) {
+        let mut files = self.files.borrow_mut();
+        if let Some(records) = files.remove(from) {
+            files.insert(to.to_owned(), records);
+        }
     }
 
     /// Total bytes ever stored (appends + installed replicas).

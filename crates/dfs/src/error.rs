@@ -35,9 +35,18 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert_eq!(DfsError::NotFound("/a".into()).to_string(), "file not found: /a");
-        assert_eq!(DfsError::AlreadyExists("/a".into()).to_string(), "file already exists: /a");
-        assert_eq!(DfsError::Unavailable("/a".into()).to_string(), "no live replica for: /a");
+        assert_eq!(
+            DfsError::NotFound("/a".into()).to_string(),
+            "file not found: /a"
+        );
+        assert_eq!(
+            DfsError::AlreadyExists("/a".into()).to_string(),
+            "file already exists: /a"
+        );
+        assert_eq!(
+            DfsError::Unavailable("/a".into()).to_string(),
+            "no live replica for: /a"
+        );
         assert_eq!(
             DfsError::ReplicationFailed("/a".into()).to_string(),
             "append could not be replicated: /a"

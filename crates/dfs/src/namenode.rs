@@ -72,7 +72,10 @@ impl NameNode {
         datanodes: Vec<Rc<DataNode>>,
         cfg: NameNodeConfig,
     ) -> Rc<NameNode> {
-        assert!(!datanodes.is_empty(), "a filesystem needs at least one datanode");
+        assert!(
+            !datanodes.is_empty(),
+            "a filesystem needs at least one datanode"
+        );
         assert!(
             datanodes.len() >= cfg.replication,
             "replication factor {} exceeds datanode count {}",
@@ -136,7 +139,13 @@ impl NameNode {
         for &idx in &replicas {
             self.datanodes[idx].create_replica(path);
         }
-        files.insert(path.to_owned(), FileMeta { replicas: replicas.clone(), rereplicating: false });
+        files.insert(
+            path.to_owned(),
+            FileMeta {
+                replicas: replicas.clone(),
+                rereplicating: false,
+            },
+        );
         Ok(replicas)
     }
 
@@ -176,7 +185,10 @@ impl NameNode {
     /// [`DfsError::NotFound`] if the file does not exist.
     pub fn live_replicas(&self, path: &str) -> crate::Result<Vec<usize>> {
         let all = self.replicas(path)?;
-        Ok(all.into_iter().filter(|&i| self.net.is_alive(self.datanodes[i].node())).collect())
+        Ok(all
+            .into_iter()
+            .filter(|&i| self.net.is_alive(self.datanodes[i].node()))
+            .collect())
     }
 
     /// Whether the file exists.
@@ -195,15 +207,51 @@ impl NameNode {
     }
 
     /// Removes the file's metadata and asks replicas to drop their data.
-    pub fn delete_file(&self, path: &str) {
+    /// Returns whether the file existed (deleting a missing file is a
+    /// no-op, not an error).
+    pub fn delete_file(&self, path: &str) -> bool {
         let meta = self.files.borrow_mut().remove(path);
-        if let Some(meta) = meta {
-            for idx in meta.replicas {
-                let dn = Rc::clone(&self.datanodes[idx]);
-                let path = path.to_owned();
-                self.net.send(self.node, dn.node(), 64, move || dn.delete_replica(&path));
+        match meta {
+            Some(meta) => {
+                for idx in meta.replicas {
+                    let dn = Rc::clone(&self.datanodes[idx]);
+                    let path = path.to_owned();
+                    self.net
+                        .send(self.node, dn.node(), 64, move || dn.delete_replica(&path));
+                }
+                true
             }
+            None => false,
         }
+    }
+
+    /// Atomically renames `from` to `to` in the namespace (the HDFS-style
+    /// metadata rename compaction relies on to promote a finished file
+    /// from its temporary name). Replica datanodes re-key their local
+    /// data via (asynchronous) messages; reads route through the
+    /// namespace entry, which switches atomically here.
+    ///
+    /// # Errors
+    ///
+    /// [`DfsError::NotFound`] if `from` does not exist,
+    /// [`DfsError::AlreadyExists`] if `to` does.
+    pub fn rename_file(&self, from: &str, to: &str) -> crate::Result<()> {
+        let mut files = self.files.borrow_mut();
+        if files.contains_key(to) {
+            return Err(DfsError::AlreadyExists(to.to_owned()));
+        }
+        let Some(meta) = files.remove(from) else {
+            return Err(DfsError::NotFound(from.to_owned()));
+        };
+        for &idx in &meta.replicas {
+            let dn = Rc::clone(&self.datanodes[idx]);
+            let (from, to) = (from.to_owned(), to.to_owned());
+            self.net.send(self.node, dn.node(), 64, move || {
+                dn.rename_replica(&from, &to)
+            });
+        }
+        files.insert(to.to_owned(), meta);
+        Ok(())
     }
 
     /// One pass of the re-replication sweep: for each under-replicated
@@ -262,7 +310,21 @@ impl NameNode {
             let net2 = Rc::clone(&net);
             let path2 = path.clone();
             src_dn.read(&path, move |data| {
-                let Some(records) = data else { return };
+                let Some(records) = data else {
+                    // The source replica vanished under us (e.g. the file
+                    // was deleted or renamed mid-copy). Clear the
+                    // in-progress flag so a later sweep can retry;
+                    // leaving it set would wedge re-replication of this
+                    // path forever.
+                    net2.send(src_node, nn_node, 64, move || {
+                        if let Some(nn) = weak_nn.upgrade() {
+                            if let Some(meta) = nn.files.borrow_mut().get_mut(&path2) {
+                                meta.rereplicating = false;
+                            }
+                        }
+                    });
+                    return;
+                };
                 let size: usize = records.iter().map(bytes::Bytes::len).sum();
                 let dst_node = dst_dn.node();
                 let path3 = path2.clone();
@@ -331,7 +393,10 @@ mod tests {
     fn duplicate_create_rejected() {
         let (_sim, _net, nn) = cluster(2, 2);
         nn.create_file("/a").unwrap();
-        assert_eq!(nn.create_file("/a"), Err(DfsError::AlreadyExists("/a".into())));
+        assert_eq!(
+            nn.create_file("/a"),
+            Err(DfsError::AlreadyExists("/a".into()))
+        );
     }
 
     #[test]
@@ -341,7 +406,10 @@ mod tests {
         net.crash(nn.datanode(replicas[0]).node());
         let live = nn.live_replicas("/a").unwrap();
         assert_eq!(live, vec![replicas[1]]);
-        assert_eq!(nn.live_replicas("/nope"), Err(DfsError::NotFound("/nope".into())));
+        assert_eq!(
+            nn.live_replicas("/nope"),
+            Err(DfsError::NotFound("/nope".into()))
+        );
     }
 
     #[test]
@@ -367,13 +435,17 @@ mod tests {
         let replicas = nn.create_file("/a").unwrap();
         // Seed some data on the replicas.
         for &idx in &replicas {
-            nn.datanode(idx).install_replica("/a", vec![bytes::Bytes::from_static(b"data")]);
+            nn.datanode(idx)
+                .install_replica("/a", vec![bytes::Bytes::from_static(b"data")]);
         }
         let spare: usize = (0..3).find(|i| !replicas.contains(i)).unwrap();
         net.crash(nn.datanode(replicas[0]).node());
         sim.run_until(SimTime::from_secs(5));
         let now = nn.replicas("/a").unwrap();
-        assert!(now.contains(&spare), "spare {spare} should hold a replica, have {now:?}");
+        assert!(
+            now.contains(&spare),
+            "spare {spare} should hold a replica, have {now:?}"
+        );
         assert_eq!(nn.datanode(spare).record_count("/a"), 1);
         let live = nn.live_replicas("/a").unwrap();
         assert_eq!(live.len(), 2);

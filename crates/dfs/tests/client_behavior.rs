@@ -19,7 +19,13 @@ fn fixture(n_dn: usize, repl: usize) -> Fixture {
     let sim = Sim::new(1234);
     let net = Network::new(&sim, LatencyConfig::lan_100mbps());
     let dns: Vec<Rc<DataNode>> = (0..n_dn)
-        .map(|i| DataNode::new(&sim, net.add_node(&format!("dn{i}")), DiskConfig::server_hdd()))
+        .map(|i| {
+            DataNode::new(
+                &sim,
+                net.add_node(&format!("dn{i}")),
+                DiskConfig::server_hdd(),
+            )
+        })
         .collect();
     let nn_node = net.add_node("namenode");
     let cfg = NameNodeConfig {
@@ -30,14 +36,21 @@ fn fixture(n_dn: usize, repl: usize) -> Fixture {
     let nn = NameNode::new(&sim, &net, nn_node, dns, cfg);
     let writer_node = net.add_node("writer");
     let dfs = DfsClient::new(&sim, &net, &nn, writer_node);
-    Fixture { sim, net, nn, dfs, writer_node }
+    Fixture {
+        sim,
+        net,
+        nn,
+        dfs,
+        writer_node,
+    }
 }
 
 /// Creates a file and returns the handle, running the sim as needed.
 fn create_file(fx: &Fixture, path: &str) -> DfsFile {
     let slot: Rc<RefCell<Option<DfsFile>>> = Rc::new(RefCell::new(None));
     let s = slot.clone();
-    fx.dfs.create(path, move |f| *s.borrow_mut() = Some(f.expect("create")));
+    fx.dfs
+        .create(path, move |f| *s.borrow_mut() = Some(f.expect("create")));
     fx.sim.run_for(SimDuration::from_millis(50));
     let f = slot.borrow_mut().take().expect("file created");
     f
@@ -97,7 +110,11 @@ fn acked_appends_survive_writer_crash() {
     let s = slot.clone();
     reader.read("/wal/s1", move |r| *s.borrow_mut() = Some(r));
     fx.sim.run_for(SimDuration::from_secs(1));
-    let data = slot.borrow_mut().take().unwrap().expect("read after writer crash");
+    let data = slot
+        .borrow_mut()
+        .take()
+        .unwrap()
+        .expect("read after writer crash");
     assert_eq!(data.len(), 10);
 }
 
@@ -130,7 +147,9 @@ fn append_fails_when_all_replicas_dead() {
     }
     let result: Rc<RefCell<Option<Result<(), DfsError>>>> = Rc::new(RefCell::new(None));
     let r2 = result.clone();
-    file.append(Bytes::from_static(b"x"), move |r| *r2.borrow_mut() = Some(r));
+    file.append(Bytes::from_static(b"x"), move |r| {
+        *r2.borrow_mut() = Some(r)
+    });
     fx.sim.run_for(SimDuration::from_secs(2));
     assert_eq!(
         result.borrow_mut().take(),
@@ -194,7 +213,8 @@ fn open_append_continues_existing_file() {
 
     let slot: Rc<RefCell<Option<DfsFile>>> = Rc::new(RefCell::new(None));
     let s = slot.clone();
-    fx.dfs.open_append("/f", move |f| *s.borrow_mut() = Some(f.expect("open")));
+    fx.dfs
+        .open_append("/f", move |f| *s.borrow_mut() = Some(f.expect("open")));
     fx.sim.run_for(SimDuration::from_millis(50));
     let reopened = slot.borrow_mut().take().unwrap();
     reopened.append(Bytes::from_static(b"b"), |r| {
@@ -202,7 +222,10 @@ fn open_append_continues_existing_file() {
     });
     fx.sim.run_for(SimDuration::from_secs(1));
     let data = read_all(&fx, "/f").expect("read");
-    assert_eq!(data, vec![Bytes::from_static(b"a"), Bytes::from_static(b"b")]);
+    assert_eq!(
+        data,
+        vec![Bytes::from_static(b"a"), Bytes::from_static(b"b")]
+    );
 }
 
 #[test]
@@ -210,9 +233,13 @@ fn open_append_missing_file_errors() {
     let fx = fixture(2, 2);
     let got: Rc<RefCell<Option<Result<(), DfsError>>>> = Rc::new(RefCell::new(None));
     let g = got.clone();
-    fx.dfs.open_append("/ghost", move |f| *g.borrow_mut() = Some(f.map(|_| ())));
+    fx.dfs
+        .open_append("/ghost", move |f| *g.borrow_mut() = Some(f.map(|_| ())));
     fx.sim.run_for(SimDuration::from_secs(1));
-    assert_eq!(got.borrow_mut().take(), Some(Err(DfsError::NotFound("/ghost".into()))));
+    assert_eq!(
+        got.borrow_mut().take(),
+        Some(Err(DfsError::NotFound("/ghost".into())))
+    );
 }
 
 #[test]
@@ -225,7 +252,10 @@ fn list_via_client() {
     let g = got.clone();
     fx.dfs.list("/wal/", move |names| *g.borrow_mut() = names);
     fx.sim.run_for(SimDuration::from_secs(1));
-    assert_eq!(*got.borrow(), vec!["/wal/a".to_owned(), "/wal/b".to_owned()]);
+    assert_eq!(
+        *got.borrow(),
+        vec!["/wal/a".to_owned(), "/wal/b".to_owned()]
+    );
 }
 
 #[test]
@@ -267,9 +297,21 @@ fn deterministic_across_seeds() {
         let sim = Sim::new(seed);
         let net = Network::new(&sim, LatencyConfig::lan_100mbps());
         let dns: Vec<Rc<DataNode>> = (0..3)
-            .map(|i| DataNode::new(&sim, net.add_node(&format!("dn{i}")), DiskConfig::server_hdd()))
+            .map(|i| {
+                DataNode::new(
+                    &sim,
+                    net.add_node(&format!("dn{i}")),
+                    DiskConfig::server_hdd(),
+                )
+            })
             .collect();
-        let nn = NameNode::new(&sim, &net, net.add_node("nn"), dns, NameNodeConfig::default());
+        let nn = NameNode::new(
+            &sim,
+            &net,
+            net.add_node("nn"),
+            dns,
+            NameNodeConfig::default(),
+        );
         let dfs = DfsClient::new(&sim, &net, &nn, net.add_node("w"));
         let file: Rc<RefCell<Option<DfsFile>>> = Rc::new(RefCell::new(None));
         let f2 = file.clone();
@@ -280,12 +322,98 @@ fn deterministic_across_seeds() {
         for i in 0..50 {
             let la = last_ack.clone();
             let s = sim.clone();
-            handle.append(Bytes::from(vec![i as u8; 100]), move |_| la.set(s.now().nanos()));
+            handle.append(Bytes::from(vec![i as u8; 100]), move |_| {
+                la.set(s.now().nanos())
+            });
         }
         sim.run_until(SimTime::from_secs(5));
-        (net.messages_sent(), net.messages_delivered(), last_ack.get())
+        (
+            net.messages_sent(),
+            net.messages_delivered(),
+            last_ack.get(),
+        )
     };
     assert_eq!(run(77), run(77));
     // Different seeds draw different jitter, so ack timing must differ.
-    assert_ne!(run(77).2, run(78).2, "different seeds should differ in timing");
+    assert_ne!(
+        run(77).2,
+        run(78).2,
+        "different seeds should differ in timing"
+    );
+}
+
+#[test]
+fn rename_promotes_atomically_and_preserves_data() {
+    let fx = fixture(3, 2);
+    let file = create_file(&fx, "/store/r1/.tmp-000001");
+    let acked = Rc::new(Cell::new(false));
+    let a2 = acked.clone();
+    file.append(Bytes::from_static(b"merged"), move |r| {
+        r.expect("append");
+        a2.set(true);
+    });
+    fx.sim.run_for(SimDuration::from_secs(1));
+    assert!(acked.get());
+
+    let renamed = Rc::new(Cell::new(false));
+    let r2 = renamed.clone();
+    fx.dfs
+        .rename("/store/r1/.tmp-000001", "/store/r1/000001c", move |r| {
+            r.expect("rename");
+            r2.set(true);
+        });
+    fx.sim.run_for(SimDuration::from_secs(1));
+    assert!(renamed.get());
+
+    // Old name gone, new name serves the same records.
+    assert!(!fx.nn.exists("/store/r1/.tmp-000001"));
+    assert!(fx.nn.exists("/store/r1/000001c"));
+    assert_eq!(
+        read_all(&fx, "/store/r1/000001c").expect("read"),
+        vec![Bytes::from_static(b"merged")]
+    );
+    assert!(matches!(
+        read_all(&fx, "/store/r1/.tmp-000001"),
+        Err(DfsError::NotFound(_))
+    ));
+    let _ = fx.writer_node;
+}
+
+#[test]
+fn rename_rejects_missing_source_and_taken_target() {
+    let fx = fixture(2, 2);
+    create_file(&fx, "/a");
+    create_file(&fx, "/b");
+    let results: Rc<RefCell<Vec<Result<(), DfsError>>>> = Rc::new(RefCell::new(Vec::new()));
+    let (r1, r2) = (results.clone(), results.clone());
+    fx.dfs
+        .rename("/missing", "/c", move |r| r1.borrow_mut().push(r));
+    fx.dfs.rename("/a", "/b", move |r| r2.borrow_mut().push(r));
+    fx.sim.run_for(SimDuration::from_secs(1));
+    let results = results.borrow();
+    assert!(matches!(results[0], Err(DfsError::NotFound(_))));
+    assert!(matches!(results[1], Err(DfsError::AlreadyExists(_))));
+    // Both files untouched.
+    assert!(fx.nn.exists("/a") && fx.nn.exists("/b"));
+}
+
+#[test]
+fn delete_with_callback_confirms_and_is_idempotent() {
+    let fx = fixture(2, 2);
+    create_file(&fx, "/doomed");
+    let outcomes: Rc<RefCell<Vec<bool>>> = Rc::new(RefCell::new(Vec::new()));
+    let o1 = outcomes.clone();
+    fx.dfs
+        .delete_with_callback("/doomed", move |existed| o1.borrow_mut().push(existed));
+    fx.sim.run_for(SimDuration::from_secs(1));
+    let o2 = outcomes.clone();
+    fx.dfs
+        .delete_with_callback("/doomed", move |existed| o2.borrow_mut().push(existed));
+    fx.sim.run_for(SimDuration::from_secs(1));
+    assert_eq!(&*outcomes.borrow(), &[true, false]);
+    assert!(!fx.nn.exists("/doomed"));
+    // Replicas dropped at the datanodes too.
+    for i in 0..fx.nn.datanode_count() {
+        assert!(!fx.nn.datanode(i).has_replica("/doomed"));
+    }
 }

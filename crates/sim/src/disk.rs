@@ -110,7 +110,8 @@ impl Disk {
     /// into the device cache (not yet durable — call [`Disk::sync`]).
     pub fn write(self: &Rc<Self>, bytes: usize, done: impl FnOnce() + 'static) {
         self.writes.set(self.writes.get() + 1);
-        self.bytes_written.set(self.bytes_written.get() + bytes as u64);
+        self.bytes_written
+            .set(self.bytes_written.get() + bytes as u64);
         let kb = (bytes as u64).div_ceil(1024);
         let end = self.occupy(self.cfg.op_latency + self.cfg.write_per_kb * kb);
         self.sim.schedule_at(end, done);
@@ -171,7 +172,10 @@ mod tests {
         }
         sim.run_until(SimTime::from_secs(1));
         let log = log.borrow();
-        assert_eq!(log.iter().map(|(i, _)| *i).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(
+            log.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
         // Each write starts after the previous one finishes.
         assert!(log[1].1 > log[0].1);
         assert!(log[2].1 > log[1].1);
@@ -193,7 +197,10 @@ mod tests {
         disk.sync(1024, move || t3.set(s3.now()));
         sim.run_until(SimTime::from_secs(2));
         let sync_lat = ts.get() - base;
-        assert!(sync_lat > write_lat * 10, "sync {sync_lat} vs write {write_lat}");
+        assert!(
+            sync_lat > write_lat * 10,
+            "sync {sync_lat} vs write {write_lat}"
+        );
     }
 
     #[test]

@@ -111,7 +111,11 @@ impl Sim {
         let at = at.nanos().max(self.inner.now.get());
         let seq = self.inner.seq.get();
         self.inner.seq.set(seq + 1);
-        self.inner.queue.borrow_mut().push(Slot { at, seq, f: Box::new(f) });
+        self.inner.queue.borrow_mut().push(Slot {
+            at,
+            seq,
+            f: Box::new(f),
+        });
     }
 
     /// Runs every event scheduled at or before `t`, then advances the clock

@@ -43,6 +43,36 @@ impl Counter {
     }
 }
 
+/// A shared last-value gauge (e.g. a current queue depth or the current
+/// read-amplification factor). Unlike [`Counter`] it can move down.
+#[derive(Clone, Default)]
+pub struct Gauge {
+    v: Rc<Cell<u64>>,
+}
+
+impl fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gauge({})", self.get())
+    }
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the current value.
+    pub fn set(&self, v: u64) {
+        self.v.set(v);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.v.get()
+    }
+}
+
 const SUB_BITS: u32 = 5;
 const SUB_COUNT: u64 = 1 << SUB_BITS;
 
@@ -249,7 +279,10 @@ impl TimeSeries {
     /// Panics if `window` is zero.
     pub fn new(window: SimDuration) -> TimeSeries {
         assert!(!window.is_zero(), "window must be non-zero");
-        TimeSeries { window, data: Rc::new(RefCell::new(Vec::new())) }
+        TimeSeries {
+            window,
+            data: Rc::new(RefCell::new(Vec::new())),
+        }
     }
 
     /// Records an event at `now` with associated `value` (e.g. a response
@@ -259,7 +292,12 @@ impl TimeSeries {
         let mut data = self.data.borrow_mut();
         while data.len() <= idx {
             let start = SimTime::from_nanos(data.len() as u64 * self.window.nanos());
-            data.push(Window { start, count: 0, sum: 0, max: 0 });
+            data.push(Window {
+                start,
+                count: 0,
+                sum: 0,
+                max: 0,
+            });
         }
         let w = &mut data[idx];
         w.count += 1;
@@ -286,7 +324,12 @@ impl TimeSeries {
         let needed = (until.nanos() / self.window.nanos()) as usize;
         while out.len() < needed {
             let start = SimTime::from_nanos(out.len() as u64 * self.window.nanos());
-            out.push(Window { start, count: 0, sum: 0, max: 0 });
+            out.push(Window {
+                start,
+                count: 0,
+                sum: 0,
+                max: 0,
+            });
         }
         out
     }
@@ -302,7 +345,10 @@ mod tests {
             let lb = bucket_lower_bound(bucket_index(v));
             assert!(lb <= v, "lower bound {lb} above value {v}");
             // Relative error bounded by bucket width: < 1/32.
-            assert!((v - lb) as f64 <= (v as f64 / 32.0).max(1.0), "v={v} lb={lb}");
+            assert!(
+                (v - lb) as f64 <= (v as f64 / 32.0).max(1.0),
+                "v={v} lb={lb}"
+            );
         }
     }
 
@@ -360,6 +406,17 @@ mod tests {
         c.inc();
         c2.add(4);
         assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways_and_shares_state() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0);
+        let g2 = g.clone();
+        g.set(10);
+        assert_eq!(g2.get(), 10);
+        g2.set(3);
+        assert_eq!(g.get(), 3);
     }
 
     #[test]

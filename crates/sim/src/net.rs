@@ -150,7 +150,10 @@ impl Network {
     pub fn add_node(&self, name: &str) -> NodeId {
         let mut st = self.state.borrow_mut();
         let id = NodeId(st.nodes.len() as u32);
-        st.nodes.push(NodeMeta { name: name.to_owned(), alive: true });
+        st.nodes.push(NodeMeta {
+            name: name.to_owned(),
+            alive: true,
+        });
         id
     }
 
@@ -201,7 +204,13 @@ impl Network {
     /// at send time, the pair is partitioned at send or delivery time, or
     /// the receiver is dead at delivery time. Delivery is FIFO per
     /// (from, to) pair.
-    pub fn send(self: &Rc<Self>, from: NodeId, to: NodeId, bytes: usize, deliver: impl FnOnce() + 'static) {
+    pub fn send(
+        self: &Rc<Self>,
+        from: NodeId,
+        to: NodeId,
+        bytes: usize,
+        deliver: impl FnOnce() + 'static,
+    ) {
         self.sent.set(self.sent.get() + 1);
         {
             let st = self.state.borrow();

@@ -85,7 +85,10 @@ impl ServiceQueue {
     /// Submits work requiring `service` CPU time; `run` executes when the
     /// work *completes* (queueing delay + service time after submission).
     pub fn submit(self: &Rc<Self>, service: SimDuration, run: impl FnOnce() + 'static) {
-        let job = Job { service, run: Box::new(run) };
+        let job = Job {
+            service,
+            run: Box::new(run),
+        };
         if self.busy.get() < self.cores {
             self.start(job);
         } else {
@@ -155,7 +158,9 @@ mod tests {
         let log: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
         for i in 0..5u32 {
             let log = log.clone();
-            cpu.submit(SimDuration::from_millis(1), move || log.borrow_mut().push(i));
+            cpu.submit(SimDuration::from_millis(1), move || {
+                log.borrow_mut().push(i)
+            });
         }
         sim.run_until(SimTime::from_secs(1));
         assert_eq!(*log.borrow(), vec![0, 1, 2, 3, 4]);

@@ -100,7 +100,10 @@ impl SimDuration {
     ///
     /// Panics if `s` is negative or not finite.
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s.is_finite() && s >= 0.0, "duration must be finite and non-negative");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "duration must be finite and non-negative"
+        );
         SimDuration((s * 1e9) as u64)
     }
 
@@ -125,7 +128,10 @@ impl SimDuration {
     ///
     /// Panics if `x` is negative or not finite.
     pub fn mul_f64(self, x: f64) -> Self {
-        assert!(x.is_finite() && x >= 0.0, "scale must be finite and non-negative");
+        assert!(
+            x.is_finite() && x >= 0.0,
+            "scale must be finite and non-negative"
+        );
         SimDuration((self.0 as f64 * x) as u64)
     }
 

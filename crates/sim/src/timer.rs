@@ -21,7 +21,9 @@ pub struct TimerHandle {
 
 impl fmt::Debug for TimerHandle {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("TimerHandle").field("cancelled", &self.cancelled.get()).finish()
+        f.debug_struct("TimerHandle")
+            .field("cancelled", &self.cancelled.get())
+            .finish()
     }
 }
 
@@ -109,7 +111,9 @@ mod tests {
         let sim = Sim::new(1);
         let n = Rc::new(Cell::new(0u32));
         let n2 = n.clone();
-        every(&sim, SimDuration::from_millis(100), move || n2.set(n2.get() + 1));
+        every(&sim, SimDuration::from_millis(100), move || {
+            n2.set(n2.get() + 1)
+        });
         sim.run_until(SimTime::from_secs(1));
         assert_eq!(n.get(), 10);
     }
@@ -119,7 +123,9 @@ mod tests {
         let sim = Sim::new(1);
         let n = Rc::new(Cell::new(0u32));
         let n2 = n.clone();
-        let t = every(&sim, SimDuration::from_millis(100), move || n2.set(n2.get() + 1));
+        let t = every(&sim, SimDuration::from_millis(100), move || {
+            n2.set(n2.get() + 1)
+        });
         sim.run_until(SimTime::from_millis(350));
         t.cancel();
         assert!(t.is_cancelled());
@@ -152,12 +158,17 @@ mod tests {
         let (f2, s2) = (first.clone(), sim.clone());
         let fired = Rc::new(Cell::new(false));
         let fi = fired.clone();
-        every_from(&sim, SimDuration::from_millis(7), SimDuration::from_millis(100), move || {
-            if !fi.get() {
-                f2.set(s2.now());
-                fi.set(true);
-            }
-        });
+        every_from(
+            &sim,
+            SimDuration::from_millis(7),
+            SimDuration::from_millis(100),
+            move || {
+                if !fi.get() {
+                    f2.set(s2.now());
+                    fi.set(true);
+                }
+            },
+        );
         sim.run_until(SimTime::from_secs(1));
         assert_eq!(first.get(), SimTime::ZERO + SimDuration::from_millis(7));
     }

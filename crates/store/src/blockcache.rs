@@ -131,7 +131,8 @@ impl BlockCache {
 
     /// Pure residency check, with no recency or statistics side effects.
     pub fn contains(&self, region: RegionId, row: &[u8]) -> bool {
-        self.map.contains_key(&(region, Bytes::copy_from_slice(row)))
+        self.map
+            .contains_key(&(region, Bytes::copy_from_slice(row)))
     }
 
     /// Inserts a block (after a miss fetched it), evicting the least
@@ -154,11 +155,19 @@ impl BlockCache {
         }
         let idx = match self.free.pop() {
             Some(i) => {
-                self.entries[i] = Entry { key: key.clone(), prev: NIL, next: NIL };
+                self.entries[i] = Entry {
+                    key: key.clone(),
+                    prev: NIL,
+                    next: NIL,
+                };
                 i
             }
             None => {
-                self.entries.push(Entry { key: key.clone(), prev: NIL, next: NIL });
+                self.entries.push(Entry {
+                    key: key.clone(),
+                    prev: NIL,
+                    next: NIL,
+                });
                 self.entries.len() - 1
             }
         };
@@ -169,8 +178,12 @@ impl BlockCache {
     /// Drops every cached block of `region` (used when a region moves away
     /// from this server).
     pub fn evict_region(&mut self, region: RegionId) {
-        let doomed: Vec<Key> =
-            self.map.keys().filter(|(r, _)| *r == region).cloned().collect();
+        let doomed: Vec<Key> = self
+            .map
+            .keys()
+            .filter(|(r, _)| *r == region)
+            .cloned()
+            .collect();
         for key in doomed {
             if let Some(idx) = self.map.remove(&key) {
                 self.detach(idx);
@@ -314,7 +327,9 @@ mod tests {
         let r = RegionId(0);
         let mut x: u64 = 12345;
         for _ in 0..5000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let key = b(&format!("k{}", x % 120));
             if x.is_multiple_of(3) {
                 let hit = c.access(r, &key);

@@ -114,7 +114,14 @@ impl StoreClient {
         snapshot: Timestamp,
         done: impl FnOnce(Option<VersionedValue>) + 'static,
     ) {
-        get_attempt(Rc::clone(&self.inner), row, column, snapshot, 0, Box::new(done));
+        get_attempt(
+            Rc::clone(&self.inner),
+            row,
+            column,
+            snapshot,
+            0,
+            Box::new(done),
+        );
     }
 
     /// Flushes one transaction's mutations for one region to its hosting
@@ -130,7 +137,16 @@ impl StoreClient {
         replay: bool,
         done: impl FnOnce() + 'static,
     ) {
-        put_attempt(Rc::clone(&self.inner), region, ts, mutations, floor, replay, 0, Box::new(done));
+        put_attempt(
+            Rc::clone(&self.inner),
+            region,
+            ts,
+            mutations,
+            floor,
+            replay,
+            0,
+            Box::new(done),
+        );
     }
 
     /// Scans `[start, end)` at `snapshot` within the region containing
@@ -143,7 +159,15 @@ impl StoreClient {
         limit: usize,
         done: impl FnOnce(Vec<(Bytes, Bytes, VersionedValue)>) + 'static,
     ) {
-        scan_attempt(Rc::clone(&self.inner), start, end, snapshot, limit, 0, Box::new(done));
+        scan_attempt(
+            Rc::clone(&self.inner),
+            start,
+            end,
+            snapshot,
+            limit,
+            0,
+            Box::new(done),
+        );
     }
 
     /// Splits a write-set by destination region using the cached map
@@ -152,7 +176,9 @@ impl StoreClient {
         let map = self.inner.map.borrow();
         let mut out: BTreeMap<RegionId, Vec<Mutation>> = BTreeMap::new();
         for m in &ws.mutations {
-            out.entry(map.region_for(&m.row)).or_default().push(m.clone());
+            out.entry(map.region_for(&m.row))
+                .or_default()
+                .push(m.clone());
         }
         out
     }
@@ -247,35 +273,40 @@ fn get_attempt(
         let settled = Rc::clone(&settled);
         let done_cell = Rc::clone(&done_cell);
         let (row2, col2) = (row.clone(), column.clone());
-        inner.net.clone().send(from, server_node, 64 + row.len() + column.len(), move || {
-            let server2 = Rc::clone(&server);
-            let net_back = Rc::clone(&net_back);
-            server2.handle_get(row2.clone(), col2.clone(), snapshot, move |result| {
-                net_back.send(server_node, from, 96, move || {
-                    if settled.get() {
-                        return;
-                    }
-                    settled.set(true);
-                    let done = done_cell.borrow_mut().take().expect("settled guards");
-                    match result {
-                        Ok(v) => {
-                            inner.gets_ok.inc();
-                            done(v);
+        inner.net.clone().send(
+            from,
+            server_node,
+            64 + row.len() + column.len(),
+            move || {
+                let server2 = Rc::clone(&server);
+                let net_back = Rc::clone(&net_back);
+                server2.handle_get(row2.clone(), col2.clone(), snapshot, move |result| {
+                    net_back.send(server_node, from, 96, move || {
+                        if settled.get() {
+                            return;
                         }
-                        Err(_) => {
-                            // NotServing / unavailable: refresh and retry.
-                            inner.retries.inc();
-                            refresh_map(&inner);
-                            let wait = backoff(&inner, attempt);
-                            let inner2 = Rc::clone(&inner);
-                            inner.sim.schedule_in(wait, move || {
-                                get_attempt(inner2, row2, col2, snapshot, attempt + 1, done)
-                            });
+                        settled.set(true);
+                        let done = done_cell.borrow_mut().take().expect("settled guards");
+                        match result {
+                            Ok(v) => {
+                                inner.gets_ok.inc();
+                                done(v);
+                            }
+                            Err(_) => {
+                                // NotServing / unavailable: refresh and retry.
+                                inner.retries.inc();
+                                refresh_map(&inner);
+                                let wait = backoff(&inner, attempt);
+                                let inner2 = Rc::clone(&inner);
+                                inner.sim.schedule_in(wait, move || {
+                                    get_attempt(inner2, row2, col2, snapshot, attempt + 1, done)
+                                });
+                            }
                         }
-                    }
+                    });
                 });
-            });
-        });
+            },
+        );
     }
     let inner2 = Rc::clone(&inner);
     inner.sim.schedule_in(inner.cfg.request_timeout, move || {
@@ -308,14 +339,27 @@ fn put_attempt(
     if !inner.net.is_alive(inner.from) {
         return; // the client process is dead; drop the retry chain
     }
-    let server = inner.map.borrow().server_for(region).and_then(|s| inner.dir.get(s));
+    let server = inner
+        .map
+        .borrow()
+        .server_for(region)
+        .and_then(|s| inner.dir.get(s));
     let Some(server) = server else {
         refresh_map(&inner);
         let wait = backoff(&inner, attempt);
         let inner2 = Rc::clone(&inner);
         inner.retries.inc();
         inner.sim.schedule_in(wait, move || {
-            put_attempt(inner2, region, ts, mutations, floor, replay, attempt + 1, done)
+            put_attempt(
+                inner2,
+                region,
+                ts,
+                mutations,
+                floor,
+                replay,
+                attempt + 1,
+                done,
+            )
         });
         return;
     };
@@ -381,7 +425,16 @@ fn put_attempt(
         let wait = backoff(&inner2, attempt);
         let inner3 = Rc::clone(&inner2);
         inner2.sim.schedule_in(wait, move || {
-            put_attempt(inner3, region, ts, mutations, floor, replay, attempt + 1, done)
+            put_attempt(
+                inner3,
+                region,
+                ts,
+                mutations,
+                floor,
+                replay,
+                attempt + 1,
+                done,
+            )
         });
     });
 }
@@ -425,28 +478,42 @@ fn scan_attempt(
         inner.net.clone().send(from, server_node, 96, move || {
             let net_back = Rc::clone(&net_back);
             let server2 = Rc::clone(&server);
-            server2.handle_scan(start2.clone(), end2.clone(), snapshot, limit, move |result| {
-                let size = 64 + result.as_ref().map(|v| v.len() * 64).unwrap_or(0);
-                net_back.send(server_node, from, size, move || {
-                    if settled.get() {
-                        return;
-                    }
-                    settled.set(true);
-                    let done = done_cell.borrow_mut().take().expect("settled guards");
-                    match result {
-                        Ok(v) => done(v),
-                        Err(_) => {
-                            inner.retries.inc();
-                            refresh_map(&inner);
-                            let wait = backoff(&inner, attempt);
-                            let inner2 = Rc::clone(&inner);
-                            inner.sim.schedule_in(wait, move || {
-                                scan_attempt(inner2, start2, end2, snapshot, limit, attempt + 1, done)
-                            });
+            server2.handle_scan(
+                start2.clone(),
+                end2.clone(),
+                snapshot,
+                limit,
+                move |result| {
+                    let size = 64 + result.as_ref().map(|v| v.len() * 64).unwrap_or(0);
+                    net_back.send(server_node, from, size, move || {
+                        if settled.get() {
+                            return;
                         }
-                    }
-                });
-            });
+                        settled.set(true);
+                        let done = done_cell.borrow_mut().take().expect("settled guards");
+                        match result {
+                            Ok(v) => done(v),
+                            Err(_) => {
+                                inner.retries.inc();
+                                refresh_map(&inner);
+                                let wait = backoff(&inner, attempt);
+                                let inner2 = Rc::clone(&inner);
+                                inner.sim.schedule_in(wait, move || {
+                                    scan_attempt(
+                                        inner2,
+                                        start2,
+                                        end2,
+                                        snapshot,
+                                        limit,
+                                        attempt + 1,
+                                        done,
+                                    )
+                                });
+                            }
+                        }
+                    });
+                },
+            );
         });
     }
     let inner2 = Rc::clone(&inner);

@@ -90,7 +90,10 @@ impl<'a> Decoder<'a> {
 
     fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], DecodeError> {
         if self.pos + n > self.buf.len() {
-            return Err(DecodeError { what, offset: self.pos });
+            return Err(DecodeError {
+                what,
+                offset: self.pos,
+            });
         }
         let s = &self.buf[self.pos..self.pos + n];
         self.pos += n;
@@ -154,7 +157,12 @@ pub fn decode_mutation(dec: &mut Decoder<'_>) -> Result<Mutation, DecodeError> {
     let kind = match dec.get_u8()? {
         TAG_PUT => MutationKind::Put(dec.get_bytes()?),
         TAG_DELETE => MutationKind::Delete,
-        _ => return Err(DecodeError { what: "mutation tag", offset: 0 }),
+        _ => {
+            return Err(DecodeError {
+                what: "mutation tag",
+                offset: 0,
+            })
+        }
     };
     Ok(Mutation { row, column, kind })
 }
@@ -174,7 +182,11 @@ pub struct WalRecord {
 impl WalRecord {
     /// Approximate wire size.
     pub fn wire_size(&self) -> usize {
-        24 + self.mutations.iter().map(Mutation::wire_size).sum::<usize>()
+        24 + self
+            .mutations
+            .iter()
+            .map(Mutation::wire_size)
+            .sum::<usize>()
     }
 }
 
@@ -206,7 +218,11 @@ pub fn decode_wal_batch(buf: &[u8]) -> Result<Vec<WalRecord>, DecodeError> {
         for _ in 0..m {
             mutations.push(decode_mutation(&mut dec)?);
         }
-        out.push(WalRecord { region, ts, mutations });
+        out.push(WalRecord {
+            region,
+            ts,
+            mutations,
+        });
     }
     Ok(out)
 }
@@ -225,7 +241,11 @@ mod tests {
                     Mutation::delete("row2", "f1"),
                 ],
             },
-            WalRecord { region: RegionId(2), ts: Timestamp(43), mutations: vec![] },
+            WalRecord {
+                region: RegionId(2),
+                ts: Timestamp(43),
+                mutations: vec![],
+            },
         ]
     }
 

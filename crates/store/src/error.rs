@@ -40,9 +40,17 @@ mod tests {
 
     #[test]
     fn display() {
-        assert_eq!(StoreError::NotServing(RegionId(3)).to_string(), "region r3 is not being served");
+        assert_eq!(
+            StoreError::NotServing(RegionId(3)).to_string(),
+            "region r3 is not being served"
+        );
         assert_eq!(StoreError::TimedOut.to_string(), "request timed out");
-        assert_eq!(StoreError::RegionUnknown.to_string(), "no region covers the requested row");
-        assert!(StoreError::Unavailable("/f".into()).to_string().contains("/f"));
+        assert_eq!(
+            StoreError::RegionUnknown.to_string(),
+            "no region covers the requested row"
+        );
+        assert!(StoreError::Unavailable("/f".into())
+            .to_string()
+            .contains("/f"));
     }
 }

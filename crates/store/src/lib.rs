@@ -23,6 +23,32 @@
 //! The transactional layers live above: `cumulo-txn` (transaction manager)
 //! and `cumulo-core` (the failure-recovery middleware, the paper's
 //! contribution).
+//!
+//! # The LSM lifecycle
+//!
+//! A cell's value travels through the classic log-structured-merge
+//! stages, each handing durability or serving duty to the next:
+//!
+//! 1. **WAL append** — every mutation is first buffered into the server's
+//!    write-ahead log ([`Wal`]); in synchronous mode the ack waits for
+//!    the filesystem, in the paper's asynchronous mode it does not.
+//! 2. **Memstore apply** — the mutation lands in the region's in-memory,
+//!    MVCC-versioned [`MemStore`] and is immediately readable.
+//! 3. **Flush** — when a memstore exceeds its size threshold, its
+//!    contents are snapshotted and written to the distributed filesystem
+//!    as a sorted, immutable **store file** ([`StoreFileData`]); the WAL
+//!    entries it covers become dead weight and recovered-edits files are
+//!    deleted.
+//! 4. **Compaction** — flushes accumulate store files, and every read
+//!    must consult all of them (*read amplification*). The background
+//!    [`compaction`] stage merges a size-tiered candidate set back into
+//!    one file, crash-safely (temp-name write, atomic rename, then input
+//!    retirement).
+//! 5. **MVCC garbage collection** — during the merge, versions shadowed
+//!    at or below the transaction manager's *oldest active snapshot* are
+//!    dropped, and a major compaction also purges tombstones that no
+//!    longer shadow anything. Disk usage and read cost stay proportional
+//!    to live data, not to write history.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -30,6 +56,7 @@
 mod blockcache;
 mod client;
 pub mod codec;
+pub mod compaction;
 mod error;
 mod hooks;
 mod master;
@@ -43,12 +70,13 @@ mod wal;
 pub use blockcache::BlockCache;
 pub use client::{StoreClient, StoreClientConfig};
 pub use codec::WalRecord;
+pub use compaction::{CompactionConfig, CompactionStats};
 pub use error::StoreError;
 pub use hooks::{NoopHooks, RecoveryHooks};
 pub use master::{Master, MasterConfig, ServerDirectory};
 pub use memstore::{MemStore, VersionedValue};
 pub use region::{RegionDescriptor, RegionMap};
 pub use server::{RegionServer, RegionServerConfig};
-pub use sstable::{StoreFileData, StoreFileRegistry};
+pub use sstable::{StoreFileData, StoreFileEntry, StoreFileRegistry};
 pub use types::{ClientId, Mutation, MutationKind, RegionId, ServerId, Timestamp, WriteSet};
 pub use wal::{split_wal, Wal, WalSyncMode};

@@ -24,7 +24,9 @@ pub struct ServerDirectory {
 
 impl fmt::Debug for ServerDirectory {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("ServerDirectory").field("servers", &self.servers.borrow().len()).finish()
+        f.debug_struct("ServerDirectory")
+            .field("servers", &self.servers.borrow().len())
+            .finish()
     }
 }
 
@@ -51,7 +53,12 @@ impl ServerDirectory {
 
     /// Ids of servers whose process is currently alive.
     pub fn live_ids(&self) -> Vec<ServerId> {
-        self.servers.borrow().iter().filter(|(_, s)| s.is_alive()).map(|(id, _)| *id).collect()
+        self.servers
+            .borrow()
+            .iter()
+            .filter(|(_, s)| s.is_alive())
+            .map(|(id, _)| *id)
+            .collect()
     }
 }
 
@@ -64,7 +71,9 @@ pub struct MasterConfig {
 
 impl Default for MasterConfig {
     fn default() -> Self {
-        MasterConfig { assign_retry_interval: SimDuration::from_secs(1) }
+        MasterConfig {
+            assign_retry_interval: SimDuration::from_secs(1),
+        }
     }
 }
 
@@ -174,10 +183,12 @@ impl Master {
     /// servers and opens them (cluster bootstrap).
     pub fn bootstrap(self: &Rc<Self>, map: RegionMap) {
         *self.region_map.borrow_mut() = map;
-        let descs: Vec<RegionDescriptor> =
-            self.region_map.borrow().regions().to_vec();
+        let descs: Vec<RegionDescriptor> = self.region_map.borrow().regions().to_vec();
         let servers = self.dir.ids();
-        assert!(!servers.is_empty(), "bootstrap requires at least one registered server");
+        assert!(
+            !servers.is_empty(),
+            "bootstrap requires at least one registered server"
+        );
         for (i, desc) in descs.into_iter().enumerate() {
             let target = servers[i % servers.len()];
             self.region_map.borrow_mut().assign(desc.id, target);
@@ -293,7 +304,9 @@ impl Master {
             live.first().map(|(_, id)| *id)
         };
         let Some(target) = target else {
-            self.unplaced.borrow_mut().push((region, Vec::new(), failed));
+            self.unplaced
+                .borrow_mut()
+                .push((region, Vec::new(), failed));
             return;
         };
         let desc = self
@@ -311,13 +324,14 @@ impl Master {
         // Resolve the region's store files and recovered-edits files from
         // the filesystem namespace (the equivalent of listing the
         // region's HDFS directories).
-        dfs.clone().list(&format!("/store/{region}/"), move |paths| {
-            dfs.list(&format!("/recovered/{region}/"), move |edits| {
-                net.send(master_node, node, 512, move || {
-                    server.open_region(desc, paths, edits, failed);
+        dfs.clone()
+            .list(&format!("/store/{region}/"), move |paths| {
+                dfs.list(&format!("/recovered/{region}/"), move |edits| {
+                    net.send(master_node, node, 512, move || {
+                        server.open_region(desc, paths, edits, failed);
+                    });
                 });
             });
-        });
     }
 
     fn retry_unplaced(self: &Rc<Self>) {

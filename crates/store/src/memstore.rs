@@ -24,7 +24,11 @@ struct VersionKey {
 
 impl VersionKey {
     fn new(row: Bytes, column: Bytes, ts: Timestamp) -> VersionKey {
-        VersionKey { row, column, inv_ts: !ts.0 }
+        VersionKey {
+            row,
+            column,
+            inv_ts: !ts.0,
+        }
     }
 
     fn ts(&self) -> Timestamp {
@@ -90,7 +94,13 @@ impl MemStore {
     }
 
     /// Applies a [`MutationKind`] at the given version.
-    pub fn apply_mutation(&mut self, row: Bytes, column: Bytes, ts: Timestamp, kind: &MutationKind) {
+    pub fn apply_mutation(
+        &mut self,
+        row: Bytes,
+        column: Bytes,
+        ts: Timestamp,
+        kind: &MutationKind,
+    ) {
         let value = match kind {
             MutationKind::Put(v) => Some(v.clone()),
             MutationKind::Delete => None,
@@ -109,7 +119,10 @@ impl MemStore {
         );
         let (key, value) = self.cells.range(start..).next()?;
         if key.row == row && key.column == column {
-            Some(VersionedValue { ts: key.ts(), value: value.clone() })
+            Some(VersionedValue {
+                ts: key.ts(),
+                value: value.clone(),
+            })
         } else {
             None
         }
@@ -118,7 +131,9 @@ impl MemStore {
     /// Iterates all versions in (row, column, descending ts) order, as
     /// `(row, column, ts, value)` — the flush path and scans use this.
     pub fn iter(&self) -> impl Iterator<Item = (&Bytes, &Bytes, Timestamp, &Option<Bytes>)> + '_ {
-        self.cells.iter().map(|(k, v)| (&k.row, &k.column, k.ts(), v))
+        self.cells
+            .iter()
+            .map(|(k, v)| (&k.row, &k.column, k.ts(), v))
     }
 
     /// Latest visible value per cell for rows in `[start, end)` at
@@ -149,7 +164,14 @@ impl MemStore {
                     continue;
                 }
             }
-            out.push((row.clone(), col.clone(), VersionedValue { ts, value: value.clone() }));
+            out.push((
+                row.clone(),
+                col.clone(),
+                VersionedValue {
+                    ts,
+                    value: value.clone(),
+                },
+            ));
         }
         out
     }
@@ -180,7 +202,10 @@ impl MemStore {
     pub fn take(&mut self) -> MemStore {
         let cells = std::mem::take(&mut self.cells);
         let bytes = std::mem::replace(&mut self.approx_bytes, 0);
-        MemStore { cells, approx_bytes: bytes }
+        MemStore {
+            cells,
+            approx_bytes: bytes,
+        }
     }
 }
 
@@ -199,9 +224,18 @@ mod tests {
         ms.apply(b("r"), b("c"), Timestamp(20), Some(b("v20")));
         ms.apply(b("r"), b("c"), Timestamp(30), Some(b("v30")));
         assert_eq!(ms.get(b"r", b"c", Timestamp(5)), None);
-        assert_eq!(ms.get(b"r", b"c", Timestamp(10)).unwrap().value, Some(b("v10")));
-        assert_eq!(ms.get(b"r", b"c", Timestamp(25)).unwrap().value, Some(b("v20")));
-        assert_eq!(ms.get(b"r", b"c", Timestamp::MAX).unwrap().value, Some(b("v30")));
+        assert_eq!(
+            ms.get(b"r", b"c", Timestamp(10)).unwrap().value,
+            Some(b("v10"))
+        );
+        assert_eq!(
+            ms.get(b"r", b"c", Timestamp(25)).unwrap().value,
+            Some(b("v20"))
+        );
+        assert_eq!(
+            ms.get(b"r", b"c", Timestamp::MAX).unwrap().value,
+            Some(b("v30"))
+        );
     }
 
     #[test]
@@ -225,7 +259,10 @@ mod tests {
         ms.apply(b("r"), b("c"), Timestamp(10), Some(b("v"))); // replay
         assert_eq!(ms.len(), len1);
         assert_eq!(ms.approx_bytes(), size1);
-        assert_eq!(ms.get(b"r", b"c", Timestamp(10)).unwrap().value, Some(b("v")));
+        assert_eq!(
+            ms.get(b"r", b"c", Timestamp(10)).unwrap().value,
+            Some(b("v"))
+        );
     }
 
     #[test]
@@ -234,9 +271,18 @@ mod tests {
         ms.apply(b("a"), b("c1"), Timestamp(10), Some(b("x")));
         ms.apply(b("a"), b("c2"), Timestamp(11), Some(b("y")));
         ms.apply(b("b"), b("c1"), Timestamp(12), Some(b("z")));
-        assert_eq!(ms.get(b"a", b"c1", Timestamp::MAX).unwrap().value, Some(b("x")));
-        assert_eq!(ms.get(b"a", b"c2", Timestamp::MAX).unwrap().value, Some(b("y")));
-        assert_eq!(ms.get(b"b", b"c1", Timestamp::MAX).unwrap().value, Some(b("z")));
+        assert_eq!(
+            ms.get(b"a", b"c1", Timestamp::MAX).unwrap().value,
+            Some(b("x"))
+        );
+        assert_eq!(
+            ms.get(b"a", b"c2", Timestamp::MAX).unwrap().value,
+            Some(b("y"))
+        );
+        assert_eq!(
+            ms.get(b"b", b"c1", Timestamp::MAX).unwrap().value,
+            Some(b("z"))
+        );
         assert_eq!(ms.get(b"b", b"c2", Timestamp::MAX), None);
     }
 
@@ -246,7 +292,10 @@ mod tests {
         ms.apply(b("a"), b("c"), Timestamp(1), Some(b("old")));
         ms.apply(b("a"), b("c"), Timestamp(2), Some(b("new")));
         ms.apply(b("b"), b("c"), Timestamp(1), Some(b("b1")));
-        let entries: Vec<_> = ms.iter().map(|(r, c, ts, _)| (r.clone(), c.clone(), ts)).collect();
+        let entries: Vec<_> = ms
+            .iter()
+            .map(|(r, c, ts, _)| (r.clone(), c.clone(), ts))
+            .collect();
         assert_eq!(
             entries,
             vec![
@@ -286,7 +335,12 @@ mod tests {
     fn approx_bytes_grows_with_data() {
         let mut ms = MemStore::new();
         assert_eq!(ms.approx_bytes(), 0);
-        ms.apply(b("row"), b("col"), Timestamp(1), Some(Bytes::from(vec![0u8; 1000])));
+        ms.apply(
+            b("row"),
+            b("col"),
+            Timestamp(1),
+            Some(Bytes::from(vec![0u8; 1000])),
+        );
         assert!(ms.approx_bytes() >= 1000);
         ms.clear();
         assert_eq!(ms.approx_bytes(), 0);

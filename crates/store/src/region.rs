@@ -46,7 +46,12 @@ pub struct RegionMap {
 
 impl fmt::Display for RegionMap {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "RegionMap(epoch {} regions {})", self.epoch, self.regions.len())?;
+        write!(
+            f,
+            "RegionMap(epoch {} regions {})",
+            self.epoch,
+            self.regions.len()
+        )?;
         Ok(())
     }
 }
@@ -72,8 +77,16 @@ impl RegionMap {
             });
             start = split.clone();
         }
-        regions.push(RegionDescriptor { id: RegionId(splits.len() as u32), start, end: None });
-        RegionMap { regions, assignments: HashMap::new(), epoch: 0 }
+        regions.push(RegionDescriptor {
+            id: RegionId(splits.len() as u32),
+            start,
+            end: None,
+        });
+        RegionMap {
+            regions,
+            assignments: HashMap::new(),
+            epoch: 0,
+        }
     }
 
     /// Builds `n` regions splitting the space of zero-padded decimal keys
@@ -199,8 +212,11 @@ mod tests {
         for i in 0..100u64 {
             let key = format!("user{i:012}");
             let region = map.region_for(key.as_bytes());
-            let covering: Vec<_> =
-                map.regions().iter().filter(|r| r.contains(key.as_bytes())).collect();
+            let covering: Vec<_> = map
+                .regions()
+                .iter()
+                .filter(|r| r.contains(key.as_bytes()))
+                .collect();
             assert_eq!(covering.len(), 1, "key {key} covered by {covering:?}");
             assert_eq!(covering[0].id, region);
         }
@@ -227,8 +243,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "strictly increasing")]
     fn unsorted_splits_panic() {
-        let _ =
-            RegionMap::from_split_points(&[Bytes::from_static(b"m"), Bytes::from_static(b"a")]);
+        let _ = RegionMap::from_split_points(&[Bytes::from_static(b"m"), Bytes::from_static(b"a")]);
     }
 
     #[test]

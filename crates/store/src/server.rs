@@ -4,6 +4,7 @@
 
 use crate::blockcache::BlockCache;
 use crate::codec::WalRecord;
+use crate::compaction::{self, CompactionConfig, CompactionStats, GcWatermark};
 use crate::error::StoreError;
 use crate::hooks::{NoopHooks, RecoveryHooks};
 use crate::memstore::{MemStore, VersionedValue};
@@ -60,6 +61,12 @@ pub struct RegionServerConfig {
     pub coord_heartbeat_interval: SimDuration,
     /// Coordination session timeout (failure-detection latency).
     pub coord_session_timeout: SimDuration,
+    /// Extra handler occupancy per store file consulted *beyond the
+    /// first* on gets and scans — the read-amplification cost that
+    /// background compaction exists to bound.
+    pub storefile_read_service: SimDuration,
+    /// Background compaction knobs.
+    pub compaction: CompactionConfig,
 }
 
 impl Default for RegionServerConfig {
@@ -81,6 +88,8 @@ impl Default for RegionServerConfig {
             block_cache_capacity: 700_000,
             coord_heartbeat_interval: SimDuration::from_millis(500),
             coord_session_timeout: SimDuration::from_millis(1800),
+            storefile_read_service: SimDuration::from_micros(120),
+            compaction: CompactionConfig::default(),
         }
     }
 }
@@ -96,6 +105,7 @@ struct RegionState {
     recovered_paths: Vec<String>,
     online: bool,
     flush_in_progress: bool,
+    compaction_in_progress: bool,
 }
 
 /// One region server process. Shared via `Rc`; all requests arrive as
@@ -119,6 +129,15 @@ pub struct RegionServer {
     gets: Cell<u64>,
     puts: Cell<u64>,
     not_serving: Cell<u64>,
+    compaction_stats: CompactionStats,
+    /// Coordination handle (set by [`RegionServer::start`]); compaction
+    /// uses it as a fencing check before destroying retired files.
+    coord: RefCell<Option<CoordClient>>,
+    /// Supplies the MVCC garbage-collection watermark (the transaction
+    /// manager's oldest active snapshot). `None` — e.g. a vanilla cluster
+    /// without the transactional tier — degrades to watermark zero:
+    /// compaction still merges files but garbage-collects nothing.
+    gc_watermark: RefCell<Option<Rc<dyn Fn() -> GcWatermark>>>,
     self_weak: RefCell<Weak<RegionServer>>,
 }
 
@@ -167,6 +186,9 @@ impl RegionServer {
             gets: Cell::new(0),
             puts: Cell::new(0),
             not_serving: Cell::new(0),
+            compaction_stats: CompactionStats::default(),
+            coord: RefCell::new(None),
+            gc_watermark: RefCell::new(None),
             self_weak: RefCell::new(Weak::new()),
         });
         *server.self_weak.borrow_mut() = Rc::downgrade(&server);
@@ -176,6 +198,7 @@ impl RegionServer {
     /// Starts background tasks: the liveness session with the coordination
     /// service, the async WAL sync timer and the memstore flush checker.
     pub fn start(self: &Rc<Self>, coord: &CoordClient) {
+        *self.coord.borrow_mut() = Some(coord.clone());
         // Liveness: ephemeral znode kept alive by heartbeat touches.
         let id = self.id;
         let coord2 = coord.clone();
@@ -228,6 +251,25 @@ impl RegionServer {
             },
         );
         self.timers.borrow_mut().push(timer);
+
+        // Background compaction checks. The phase is fixed (no RNG
+        // jitter): drawing from the shared simulation RNG here would
+        // shift the random stream of every run that merely *enables*
+        // compaction, perturbing previously calibrated schedules.
+        if self.cfg.compaction.enabled {
+            let weak = Rc::downgrade(self);
+            let timer = every_from(
+                &self.sim,
+                self.cfg.compaction.check_interval,
+                self.cfg.compaction.check_interval,
+                move || {
+                    if let Some(server) = weak.upgrade() {
+                        server.check_compactions();
+                    }
+                },
+            );
+            self.timers.borrow_mut().push(timer);
+        }
     }
 
     /// This server's id.
@@ -256,6 +298,28 @@ impl RegionServer {
         &self.wal
     }
 
+    /// Installs the source of the MVCC garbage-collection watermark
+    /// (typically the transaction manager's oldest active snapshot).
+    /// Without one, compaction merges files but drops no versions.
+    pub fn set_gc_watermark_source(&self, source: Rc<dyn Fn() -> GcWatermark>) {
+        *self.gc_watermark.borrow_mut() = Some(source);
+    }
+
+    /// Compaction observability: counters and the read-amplification
+    /// gauge (shared handles; clone freely).
+    pub fn compaction_stats(&self) -> &CompactionStats {
+        &self.compaction_stats
+    }
+
+    /// Whether `region` currently has a compaction in flight.
+    pub fn compaction_in_progress(&self, region: RegionId) -> bool {
+        self.regions
+            .borrow()
+            .get(&region)
+            .map(|st| st.compaction_in_progress)
+            .unwrap_or(false)
+    }
+
     /// Crash-stop failure: the process dies, the network drops its
     /// traffic, timers stop, the coordination session expires on its own.
     /// In-memory state (memstores, WAL buffer) is lost.
@@ -277,7 +341,11 @@ impl RegionServer {
 
     /// Whether `region` is hosted here and online.
     pub fn region_online(&self, region: RegionId) -> bool {
-        self.regions.borrow().get(&region).map(|r| r.online).unwrap_or(false)
+        self.regions
+            .borrow()
+            .get(&region)
+            .map(|r| r.online)
+            .unwrap_or(false)
     }
 
     /// Block-cache hit rate so far (Fig. 3's warm-up indicator).
@@ -353,15 +421,26 @@ impl RegionServer {
             }
         };
         // Hit/miss decided up front; it determines handler occupancy.
-        let in_memstore = {
+        let (in_memstore, consulted_files) = {
             let regions = self.regions.borrow();
             let st = &regions[&region_id];
-            st.memstore.get(&row, &column, snapshot).is_some()
+            let files = st.storefiles.len() + usize::from(st.flushing.is_some());
+            (st.memstore.get(&row, &column, snapshot).is_some(), files)
         };
         let hit = in_memstore || self.cache.borrow_mut().access(region_id, &row);
+        // Read amplification: every store file beyond the first costs
+        // extra handler time (each must be consulted for the newest
+        // visible version). Compaction exists to bound this term.
+        let amplification =
+            self.cfg.storefile_read_service * consulted_files.saturating_sub(1) as u64;
         let service = self.cfg.base_service
             + self.cfg.read_service
-            + if hit { SimDuration::ZERO } else { self.cfg.block_fetch_penalty };
+            + amplification
+            + if hit {
+                SimDuration::ZERO
+            } else {
+                self.cfg.block_fetch_penalty
+            };
         let this = Rc::clone(self);
         self.handlers.submit(service, move || {
             if !this.alive.get() {
@@ -484,9 +563,15 @@ impl RegionServer {
                 reply(Err(StoreError::NotServing(region)));
                 return;
             }
-            let seq = this.wal.append(WalRecord { region, ts, mutations });
+            let seq = this.wal.append(WalRecord {
+                region,
+                ts,
+                mutations,
+            });
             this.puts.set(this.puts.get() + 1);
-            this.hooks.borrow().on_write_set_applied(this.id, region, ts, seq, floor);
+            this.hooks
+                .borrow()
+                .on_write_set_applied(this.id, region, ts, seq, floor);
             match this.cfg.wal_mode {
                 WalSyncMode::Sync => this.wal.sync_upto(seq, move || reply(Ok(()))),
                 WalSyncMode::Async => reply(Ok(())),
@@ -521,7 +606,16 @@ impl RegionServer {
                 }
             }
         };
-        let service = self.cfg.base_service + self.cfg.read_service * 3;
+        let consulted_files = {
+            let regions = self.regions.borrow();
+            regions
+                .get(&region_id)
+                .map(|st| st.storefiles.len() + usize::from(st.flushing.is_some()))
+                .unwrap_or(0)
+        };
+        let service = self.cfg.base_service
+            + self.cfg.read_service * 3
+            + self.cfg.storefile_read_service * consulted_files.saturating_sub(1) as u64;
         let this = Rc::clone(self);
         self.handlers.submit(service, move || {
             if !this.alive.get() {
@@ -587,8 +681,15 @@ impl RegionServer {
             return;
         }
         let region = desc.id;
-        let storefiles: Vec<Rc<StoreFileData>> =
-            storefile_paths.iter().filter_map(|p| self.registry.get(p)).collect();
+        // Skip in-flight compaction temporaries (a crashed server's
+        // half-written merge output): the retired inputs are only deleted
+        // after the merged file is renamed into its final name, so the
+        // remaining files always cover all data.
+        let storefiles: Vec<Rc<StoreFileData>> = storefile_paths
+            .iter()
+            .filter(|p| !compaction::is_tmp_path(p))
+            .filter_map(|p| self.registry.get(p))
+            .collect();
         self.regions.borrow_mut().insert(
             region,
             RegionState {
@@ -599,8 +700,10 @@ impl RegionServer {
                 recovered_paths: recovered_paths.clone(),
                 online: false,
                 flush_in_progress: false,
+                compaction_in_progress: false,
             },
         );
+        self.update_read_amplification();
         self.replay_recovered_edits(region, recovered_paths, 0, failed);
     }
 
@@ -629,7 +732,9 @@ impl RegionServer {
                     let mut edit_count = 0u64;
                     {
                         let mut regions = this.regions.borrow_mut();
-                        let Some(st) = regions.get_mut(&region) else { return };
+                        let Some(st) = regions.get_mut(&region) else {
+                            return;
+                        };
                         for batch in &batches {
                             if let Ok(records) = crate::codec::decode_wal_batch(batch) {
                                 for rec in records {
@@ -656,9 +761,10 @@ impl RegionServer {
                 }
                 Err(_) => {
                     let retry = Rc::clone(&this);
-                    this.sim.schedule_in(SimDuration::from_millis(200), move || {
-                        retry.replay_recovered_edits(region, paths, idx, failed);
-                    });
+                    this.sim
+                        .schedule_in(SimDuration::from_millis(200), move || {
+                            retry.replay_recovered_edits(region, paths, idx, failed);
+                        });
                 }
             }
         });
@@ -699,7 +805,7 @@ impl RegionServer {
         if !self.alive.get() {
             return;
         }
-        let candidates: Vec<RegionId> = self
+        let mut candidates: Vec<RegionId> = self
             .regions
             .borrow()
             .iter()
@@ -710,6 +816,9 @@ impl RegionServer {
             })
             .map(|(id, _)| *id)
             .collect();
+        // HashMap iteration order varies per process; flush in region
+        // order so runs with the same seed stay byte-identical.
+        candidates.sort_unstable();
         for region in candidates {
             self.flush_region(region);
         }
@@ -720,7 +829,9 @@ impl RegionServer {
     pub fn flush_region(self: &Rc<Self>, region: RegionId) {
         let path = {
             let mut regions = self.regions.borrow_mut();
-            let Some(st) = regions.get_mut(&region) else { return };
+            let Some(st) = regions.get_mut(&region) else {
+                return;
+            };
             if st.flush_in_progress || st.memstore.is_empty() {
                 return;
             }
@@ -733,7 +844,11 @@ impl RegionServer {
             let mut regions = self.regions.borrow_mut();
             let st = regions.get_mut(&region).expect("checked above");
             let snapshot = st.memstore.take();
-            let data = Rc::new(StoreFileData::from_memstore(region, path.clone(), &snapshot));
+            let data = Rc::new(StoreFileData::from_memstore(
+                region,
+                path.clone(),
+                &snapshot,
+            ));
             st.flushing = Some(Rc::clone(&data));
             data
         };
@@ -766,6 +881,7 @@ impl RegionServer {
                         None => Vec::new(),
                     }
                 };
+                server.update_read_amplification();
                 // The flushed store file now covers the recovered edits;
                 // their files can be garbage-collected.
                 for path in recovered {
@@ -775,14 +891,288 @@ impl RegionServer {
         });
     }
 
+    // ------------------------------------------------------------------
+    // Background compaction (see `crate::compaction` for the policy, the
+    // merge and the crash-safety argument)
+    // ------------------------------------------------------------------
+
+    fn check_compactions(self: &Rc<Self>) {
+        if !self.alive.get() {
+            return;
+        }
+        let cfg = self.cfg.compaction;
+        // One candidate region per tick: compaction competes with
+        // foreground traffic for handler slots, so pace it.
+        let picked = {
+            let regions = self.regions.borrow();
+            regions
+                .iter()
+                .filter(|(_, st)| {
+                    st.online && !st.compaction_in_progress && st.storefiles.len() >= cfg.min_files
+                })
+                .max_by_key(|(id, st)| (st.storefiles.len(), std::cmp::Reverse(id.0)))
+                .and_then(|(id, st)| {
+                    let sizes: Vec<usize> =
+                        st.storefiles.iter().map(|sf| sf.total_bytes()).collect();
+                    compaction::pick_candidates(&sizes, &cfg).map(|idxs| {
+                        let paths: Vec<String> = idxs
+                            .iter()
+                            .map(|&i| st.storefiles[i].path().to_owned())
+                            .collect();
+                        let entries: u64 =
+                            idxs.iter().map(|&i| st.storefiles[i].len() as u64).sum();
+                        (*id, paths, entries)
+                    })
+                })
+        };
+        let Some((region, input_paths, total_entries)) = picked else {
+            return;
+        };
+        {
+            let mut regions = self.regions.borrow_mut();
+            let Some(st) = regions.get_mut(&region) else {
+                return;
+            };
+            st.compaction_in_progress = true;
+        }
+        self.compaction_stats.started.inc();
+        let service = self.cfg.base_service + cfg.merge_service_per_entry * total_entries.max(1);
+        let this = Rc::clone(self);
+        self.submit_background(service, move || this.run_compaction(region, input_paths));
+    }
+
+    /// Clears the in-flight flag so a failed attempt can be retried by a
+    /// later check.
+    fn abort_compaction(&self, region: RegionId) {
+        if let Some(st) = self.regions.borrow_mut().get_mut(&region) {
+            st.compaction_in_progress = false;
+        }
+    }
+
+    /// The merge + write phase, running on a handler slot. The input set
+    /// was chosen when the work was queued; it is re-validated here
+    /// because flushes (or a region reopen) may have run in between.
+    fn run_compaction(self: &Rc<Self>, region: RegionId, input_paths: Vec<String>) {
+        if !self.alive.get() {
+            return;
+        }
+        let n = self.storefile_counter.get();
+        self.storefile_counter.set(n + 1);
+        let tmp_path = format!(
+            "/store/{region}/{}{:06}-{}",
+            compaction::TMP_PREFIX,
+            n,
+            self.id
+        );
+        let final_path = format!("/store/{region}/{:06}c-{}", n, self.id);
+
+        let merged = {
+            let regions = self.regions.borrow();
+            let Some(st) = regions.get(&region) else {
+                return; // region moved away; nothing to clean up
+            };
+            let inputs: Vec<Rc<StoreFileData>> = st
+                .storefiles
+                .iter()
+                .filter(|sf| input_paths.iter().any(|p| p == sf.path()))
+                .cloned()
+                .collect();
+            if inputs.len() != input_paths.len() {
+                drop(regions);
+                self.abort_compaction(region);
+                return;
+            }
+            // Tombstones may only be purged when this merge sees every
+            // file of the region (nothing left for them to shadow) — and
+            // even then, replayed recovered edits can park *older*
+            // versions in the memstore, so a guard checks for those.
+            let major = inputs.len() == st.storefiles.len() && st.flushing.is_none();
+            let watermark = self
+                .gc_watermark
+                .borrow()
+                .as_ref()
+                .map(|source| source())
+                .unwrap_or(GcWatermark::ZERO);
+            let guard = |row: &[u8], col: &[u8], ts: Timestamp| -> bool {
+                if ts == Timestamp::ZERO {
+                    return false;
+                }
+                let below = Timestamp(ts.0 - 1);
+                st.memstore.get(row, col, below).is_some()
+                    || st
+                        .flushing
+                        .as_ref()
+                        .and_then(|f| f.get(row, col, below))
+                        .is_some()
+            };
+            compaction::merge_store_files(
+                region,
+                final_path.clone(),
+                &inputs,
+                watermark,
+                major,
+                &guard,
+            )
+        };
+        self.compaction_stats
+            .versions_dropped
+            .add(merged.versions_dropped);
+
+        // Everything was garbage (e.g. a fully deleted key range): no
+        // output file to write, just retire the inputs.
+        if merged.output.is_empty() {
+            self.finish_compaction(region, input_paths, None);
+            return;
+        }
+
+        let output = Rc::new(merged.output);
+        let encoded = output.encode();
+        let weak = Rc::downgrade(self);
+        let tmp2 = tmp_path.clone();
+        self.dfs.create(&tmp_path, move |file| {
+            let Some(server) = weak.upgrade() else { return };
+            let Ok(file) = file else {
+                server.abort_compaction(region);
+                return;
+            };
+            let weak = weak.clone();
+            file.append(encoded, move |result| {
+                let Some(server) = weak.upgrade() else { return };
+                if !server.alive.get() {
+                    return;
+                }
+                if result.is_err() {
+                    // Filesystem unavailable: give up this attempt; the
+                    // temp file is ignorable garbage by construction.
+                    server.abort_compaction(region);
+                    return;
+                }
+                // Durable under the temp name: promote it atomically.
+                let weak = weak.clone();
+                let output2 = Rc::clone(&output);
+                let tmp3 = tmp2.clone();
+                server
+                    .dfs
+                    .clone()
+                    .rename(&tmp2, &final_path, move |renamed| {
+                        let Some(server) = weak.upgrade() else { return };
+                        if !server.alive.get() {
+                            return;
+                        }
+                        if renamed.is_err() {
+                            server.dfs.delete(&tmp3);
+                            server.abort_compaction(region);
+                            return;
+                        }
+                        server.registry.insert(Rc::clone(&output2));
+                        server.finish_compaction(region, input_paths, Some(output2));
+                    });
+            });
+        });
+    }
+
+    /// Atomically swaps the merged file in for its inputs, invalidates
+    /// the region's cached blocks (compaction rewrote them), updates the
+    /// metrics and retires the obsolete files from registry + filesystem.
+    fn finish_compaction(
+        self: &Rc<Self>,
+        region: RegionId,
+        input_paths: Vec<String>,
+        output: Option<Rc<StoreFileData>>,
+    ) {
+        let bytes = output.as_ref().map(|o| o.total_bytes() as u64).unwrap_or(0);
+        {
+            let mut regions = self.regions.borrow_mut();
+            let Some(st) = regions.get_mut(&region) else {
+                // The region moved away mid-compaction. Leave the inputs
+                // alone — the new host is reading them; the merged file
+                // is a harmless (read-equivalent) duplicate that a later
+                // compaction there will fold in.
+                return;
+            };
+            st.storefiles
+                .retain(|sf| !input_paths.iter().any(|p| p == sf.path()));
+            if let Some(output) = output {
+                st.storefiles.push(output);
+            }
+            st.compaction_in_progress = false;
+        }
+        // The inputs' blocks died with them; drop the region's cached
+        // rows so the cache refills from the merged file's blocks.
+        self.cache.borrow_mut().evict_region(region);
+        self.compaction_stats.completed.inc();
+        self.compaction_stats.bytes_rewritten.add(bytes);
+        self.compaction_stats
+            .files_retired
+            .add(input_paths.len() as u64);
+        self.update_read_amplification();
+        // Fencing: retiring the inputs is the one destructive step, and a
+        // server partitioned from the coordination service may already
+        // have been failed over — the new host still reads these files.
+        // Confirm our liveness znode exists before destroying anything; a
+        // partitioned server's query never comes back (the network drops
+        // it), so the files survive for the rightful host. If the fence
+        // wrongly holds the files (znode raced away), they merely leak —
+        // reads stay correct because the merged file is read-equivalent
+        // to the inputs.
+        let coord = self.coord.borrow().clone();
+        match coord {
+            Some(coord) => {
+                let weak = Rc::downgrade(self);
+                coord.get_data(&format!("/live/servers/{}", self.id), move |znode| {
+                    let Some(server) = weak.upgrade() else { return };
+                    if znode.is_some() && server.alive.get() {
+                        server.retire_compacted_inputs(input_paths);
+                    }
+                });
+            }
+            // No coordination service (standalone server, unit tests):
+            // there is no failover to fence against.
+            None => self.retire_compacted_inputs(input_paths),
+        }
+    }
+
+    fn retire_compacted_inputs(&self, input_paths: Vec<String>) {
+        for path in input_paths {
+            self.registry.remove(&path);
+            let stats = self.compaction_stats.clone();
+            self.dfs.delete_with_callback(&path, move |existed| {
+                if existed {
+                    stats.deletes_confirmed.inc();
+                }
+            });
+        }
+    }
+
+    fn update_read_amplification(&self) {
+        let max_files = self
+            .regions
+            .borrow()
+            .values()
+            .map(|st| st.storefiles.len() + usize::from(st.flushing.is_some()))
+            .max()
+            .unwrap_or(0);
+        self.compaction_stats
+            .read_amplification
+            .set(max_files as u64);
+    }
+
     /// Approximate bytes buffered in `region`'s memstore.
     pub fn memstore_bytes(&self, region: RegionId) -> usize {
-        self.regions.borrow().get(&region).map(|st| st.memstore.approx_bytes()).unwrap_or(0)
+        self.regions
+            .borrow()
+            .get(&region)
+            .map(|st| st.memstore.approx_bytes())
+            .unwrap_or(0)
     }
 
     /// Number of store files backing `region` on this server.
     pub fn storefile_count(&self, region: RegionId) -> usize {
-        self.regions.borrow().get(&region).map(|st| st.storefiles.len()).unwrap_or(0)
+        self.regions
+            .borrow()
+            .get(&region)
+            .map(|st| st.storefiles.len())
+            .unwrap_or(0)
     }
 
     /// Directly injects a store file into a hosted region (bulk load).

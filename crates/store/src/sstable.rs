@@ -46,16 +46,59 @@ impl fmt::Debug for StoreFileData {
     }
 }
 
+/// One versioned cell as stored in a file: `(row, column, ts, value)`,
+/// with `None` marking a delete tombstone.
+pub type StoreFileEntry = (Bytes, Bytes, Timestamp, Option<Bytes>);
+
 impl StoreFileData {
     /// Builds a store file from a (snapshot) memstore.
-    pub fn from_memstore(region: RegionId, path: impl Into<String>, ms: &MemStore) -> StoreFileData {
-        let entries: Vec<_> =
-            ms.iter().map(|(r, c, ts, v)| (r.clone(), c.clone(), ts, v.clone())).collect();
+    pub fn from_memstore(
+        region: RegionId,
+        path: impl Into<String>,
+        ms: &MemStore,
+    ) -> StoreFileData {
+        let entries: Vec<_> = ms
+            .iter()
+            .map(|(r, c, ts, v)| (r.clone(), c.clone(), ts, v.clone()))
+            .collect();
+        StoreFileData::from_sorted_entries(region, path, entries)
+    }
+
+    /// Builds a store file from entries already in `(row, column,
+    /// descending ts)` order — the compaction merge path.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts the required ordering.
+    pub fn from_sorted_entries(
+        region: RegionId,
+        path: impl Into<String>,
+        entries: Vec<StoreFileEntry>,
+    ) -> StoreFileData {
+        debug_assert!(
+            entries.windows(2).all(|w| {
+                let a = (&w[0].0, &w[0].1, !w[0].2 .0);
+                let b = (&w[1].0, &w[1].1, !w[1].2 .0);
+                a < b
+            }),
+            "entries must be strictly sorted by (row, column, descending ts)"
+        );
         let total_bytes = entries
             .iter()
             .map(|(r, c, _, v)| r.len() + c.len() + v.as_ref().map(Bytes::len).unwrap_or(0) + 24)
             .sum();
-        StoreFileData { region, path: path.into(), entries, total_bytes }
+        StoreFileData {
+            region,
+            path: path.into(),
+            entries,
+            total_bytes,
+        }
+    }
+
+    /// Iterates all stored versions in `(row, column, descending ts)`
+    /// order (the order scans and the compaction merge consume).
+    pub fn entries(&self) -> impl Iterator<Item = &StoreFileEntry> + '_ {
+        self.entries.iter()
     }
 
     /// The region this file belongs to.
@@ -87,12 +130,15 @@ impl StoreFileData {
     pub fn get(&self, row: &[u8], column: &[u8], snapshot: Timestamp) -> Option<VersionedValue> {
         // First entry with key >= (row, column, inv(snapshot)) in the
         // (row, col, desc-ts) order.
-        let idx = self.entries.partition_point(|(r, c, ts, _)| {
-            (&r[..], &c[..], !ts.0) < (row, column, !snapshot.0)
-        });
+        let idx = self
+            .entries
+            .partition_point(|(r, c, ts, _)| (&r[..], &c[..], !ts.0) < (row, column, !snapshot.0));
         let (r, c, ts, v) = self.entries.get(idx)?;
         if r == row && c == column {
-            Some(VersionedValue { ts: *ts, value: v.clone() })
+            Some(VersionedValue {
+                ts: *ts,
+                value: v.clone(),
+            })
         } else {
             None
         }
@@ -120,7 +166,14 @@ impl StoreFileData {
                     continue;
                 }
             }
-            out.push((r.clone(), c.clone(), VersionedValue { ts: *ts, value: v.clone() }));
+            out.push((
+                r.clone(),
+                c.clone(),
+                VersionedValue {
+                    ts: *ts,
+                    value: v.clone(),
+                },
+            ));
         }
         out
     }
@@ -135,7 +188,11 @@ impl StoreFileData {
                 Some(v) => MutationKind::Put(v.clone()),
                 None => MutationKind::Delete,
             };
-            let m = Mutation { row: r.clone(), column: c.clone(), kind };
+            let m = Mutation {
+                row: r.clone(),
+                column: c.clone(),
+                kind,
+            };
             encode_mutation(&mut enc, &m);
             enc.put_u64(ts.0);
         }
@@ -164,7 +221,12 @@ impl StoreFileData {
                 m.row.len() + m.column.len() + v.as_ref().map(Bytes::len).unwrap_or(0) + 24;
             entries.push((m.row, m.column, ts, v));
         }
-        Ok(StoreFileData { region, path: path.into(), entries, total_bytes })
+        Ok(StoreFileData {
+            region,
+            path: path.into(),
+            entries,
+            total_bytes,
+        })
     }
 }
 
@@ -177,7 +239,9 @@ pub struct StoreFileRegistry {
 
 impl fmt::Debug for StoreFileRegistry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("StoreFileRegistry").field("files", &self.files.borrow().len()).finish()
+        f.debug_struct("StoreFileRegistry")
+            .field("files", &self.files.borrow().len())
+            .finish()
     }
 }
 
@@ -195,6 +259,13 @@ impl StoreFileRegistry {
     /// Looks up a file by path.
     pub fn get(&self, path: &str) -> Option<Rc<StoreFileData>> {
         self.files.borrow().get(path).cloned()
+    }
+
+    /// Unregisters a file (when compaction retires it), returning whether
+    /// it was present. Existing readers holding the `Rc` are unaffected;
+    /// the path just stops resolving for new opens.
+    pub fn remove(&self, path: &str) -> bool {
+        self.files.borrow_mut().remove(path).is_some()
     }
 
     /// Number of registered files.
@@ -229,12 +300,24 @@ mod tests {
     fn get_respects_snapshot() {
         let sf = sample();
         assert_eq!(sf.get(b"a", b"c", Timestamp(9)), None);
-        assert_eq!(sf.get(b"a", b"c", Timestamp(10)).unwrap().value, Some(b("a10")));
-        assert_eq!(sf.get(b"a", b"c", Timestamp(19)).unwrap().value, Some(b("a10")));
-        assert_eq!(sf.get(b"a", b"c", Timestamp(20)).unwrap().value, Some(b("a20")));
+        assert_eq!(
+            sf.get(b"a", b"c", Timestamp(10)).unwrap().value,
+            Some(b("a10"))
+        );
+        assert_eq!(
+            sf.get(b"a", b"c", Timestamp(19)).unwrap().value,
+            Some(b("a10"))
+        );
+        assert_eq!(
+            sf.get(b"a", b"c", Timestamp(20)).unwrap().value,
+            Some(b("a20"))
+        );
         assert_eq!(sf.get(b"b", b"c", Timestamp(20)).unwrap().value, None); // tombstone
         assert_eq!(sf.get(b"zz", b"c", Timestamp(20)), None);
-        assert_eq!(sf.get(b"c", b"d", Timestamp(5)).unwrap().value, Some(b("c5")));
+        assert_eq!(
+            sf.get(b"c", b"d", Timestamp(5)).unwrap().value,
+            Some(b("c5"))
+        );
     }
 
     #[test]
@@ -244,8 +327,14 @@ mod tests {
         let back = StoreFileData::decode("/store/r1/0", &encoded).expect("decode");
         assert_eq!(back.region(), RegionId(1));
         assert_eq!(back.len(), sf.len());
-        assert_eq!(back.get(b"a", b"c", Timestamp(20)), sf.get(b"a", b"c", Timestamp(20)));
-        assert_eq!(back.get(b"b", b"c", Timestamp(20)), sf.get(b"b", b"c", Timestamp(20)));
+        assert_eq!(
+            back.get(b"a", b"c", Timestamp(20)),
+            sf.get(b"a", b"c", Timestamp(20))
+        );
+        assert_eq!(
+            back.get(b"b", b"c", Timestamp(20)),
+            sf.get(b"b", b"c", Timestamp(20))
+        );
         assert!(StoreFileData::decode("/x", &encoded[..3]).is_err());
     }
 
@@ -270,6 +359,35 @@ mod tests {
         let got = reg.get("/store/r1/0").expect("registered");
         assert_eq!(got.len(), sf.len());
         assert!(reg.get("/other").is_none());
+    }
+
+    #[test]
+    fn registry_remove_unregisters() {
+        let reg = StoreFileRegistry::new();
+        let sf = Rc::new(sample());
+        reg.insert(Rc::clone(&sf));
+        assert!(!reg.remove("/not-there"));
+        assert!(reg.remove("/store/r1/0"));
+        assert!(reg.get("/store/r1/0").is_none());
+        assert!(reg.is_empty());
+        // The held Rc still reads fine after removal.
+        assert_eq!(
+            sf.get(b"a", b"c", Timestamp(20)).unwrap().value,
+            Some(b("a20"))
+        );
+    }
+
+    #[test]
+    fn from_sorted_entries_matches_memstore_build() {
+        let via_ms = sample();
+        let entries: Vec<_> = via_ms.entries().cloned().collect();
+        let direct = StoreFileData::from_sorted_entries(RegionId(1), "/store/r1/0", entries);
+        assert_eq!(direct.len(), via_ms.len());
+        assert_eq!(direct.total_bytes(), via_ms.total_bytes());
+        assert_eq!(
+            direct.get(b"a", b"c", Timestamp(20)),
+            via_ms.get(b"a", b"c", Timestamp(20))
+        );
     }
 
     #[test]

@@ -106,13 +106,25 @@ pub struct Mutation {
 
 impl Mutation {
     /// Creates a put mutation.
-    pub fn put(row: impl Into<Bytes>, column: impl Into<Bytes>, value: impl Into<Bytes>) -> Mutation {
-        Mutation { row: row.into(), column: column.into(), kind: MutationKind::Put(value.into()) }
+    pub fn put(
+        row: impl Into<Bytes>,
+        column: impl Into<Bytes>,
+        value: impl Into<Bytes>,
+    ) -> Mutation {
+        Mutation {
+            row: row.into(),
+            column: column.into(),
+            kind: MutationKind::Put(value.into()),
+        }
     }
 
     /// Creates a delete mutation.
     pub fn delete(row: impl Into<Bytes>, column: impl Into<Bytes>) -> Mutation {
-        Mutation { row: row.into(), column: column.into(), kind: MutationKind::Delete }
+        Mutation {
+            row: row.into(),
+            column: column.into(),
+            kind: MutationKind::Delete,
+        }
     }
 
     /// Approximate wire size in bytes.
@@ -143,8 +155,10 @@ impl WriteSet {
     /// write within a transaction wins, as both end up with the same
     /// version anyway).
     pub fn push(&mut self, m: Mutation) {
-        if let Some(existing) =
-            self.mutations.iter_mut().find(|e| e.row == m.row && e.column == m.column)
+        if let Some(existing) = self
+            .mutations
+            .iter_mut()
+            .find(|e| e.row == m.row && e.column == m.column)
         {
             *existing = m;
         } else {
@@ -174,7 +188,11 @@ impl WriteSet {
 
     /// Approximate wire size in bytes.
     pub fn wire_size(&self) -> usize {
-        16 + self.mutations.iter().map(Mutation::wire_size).sum::<usize>()
+        16 + self
+            .mutations
+            .iter()
+            .map(Mutation::wire_size)
+            .sum::<usize>()
     }
 }
 
@@ -223,8 +241,14 @@ mod tests {
         ws.push(Mutation::put("r1", "b", "v2"));
         ws.push(Mutation::put("r1", "a", "v3"));
         assert_eq!(ws.len(), 2);
-        assert_eq!(ws.get(b"r1", b"a"), Some(&MutationKind::Put(Bytes::from_static(b"v3"))));
-        assert_eq!(ws.get(b"r1", b"b"), Some(&MutationKind::Put(Bytes::from_static(b"v2"))));
+        assert_eq!(
+            ws.get(b"r1", b"a"),
+            Some(&MutationKind::Put(Bytes::from_static(b"v3")))
+        );
+        assert_eq!(
+            ws.get(b"r1", b"b"),
+            Some(&MutationKind::Put(Bytes::from_static(b"v2")))
+        );
         assert_eq!(ws.get(b"r1", b"zz"), None);
     }
 
@@ -239,8 +263,9 @@ mod tests {
 
     #[test]
     fn write_set_collects_from_iterator() {
-        let ws: WriteSet =
-            vec![Mutation::put("a", "c", "1"), Mutation::put("b", "c", "2")].into_iter().collect();
+        let ws: WriteSet = vec![Mutation::put("a", "c", "1"), Mutation::put("b", "c", "2")]
+            .into_iter()
+            .collect();
         assert_eq!(ws.len(), 2);
         let mut ws2 = WriteSet::new();
         ws2.extend(vec![Mutation::put("a", "c", "1")]);

@@ -192,7 +192,12 @@ impl Wal {
             let batch = std::mem::take(&mut inner.buffer);
             let bytes = std::mem::replace(&mut inner.buffer_bytes, 0);
             let batch_hi = inner.next_seq - 1;
-            (inner.file.clone().expect("checked above"), batch, batch_hi, bytes)
+            (
+                inner.file.clone().expect("checked above"),
+                batch,
+                batch_hi,
+                bytes,
+            )
         };
         let encoded = encode_wal_batch(&batch);
         let this = self.clone();
@@ -216,13 +221,14 @@ impl Wal {
                     inner.sync_inflight = false;
                     inner.buffer_bytes += bytes;
                     let mut requeued = batch;
-                    requeued.extend(inner.buffer.drain(..));
+                    requeued.append(&mut inner.buffer);
                     inner.buffer = requeued;
                 }
                 let retry = this.clone();
-                this.sim.schedule_in(SimDuration::from_millis(100), move || {
-                    retry.maybe_start_sync();
-                });
+                this.sim
+                    .schedule_in(SimDuration::from_millis(100), move || {
+                        retry.maybe_start_sync();
+                    });
             }
         });
     }
@@ -292,9 +298,21 @@ mod tests {
         let sim = Sim::new(5);
         let net = Network::new(&sim, LatencyConfig::lan_100mbps());
         let dns: Vec<Rc<DataNode>> = (0..2)
-            .map(|i| DataNode::new(&sim, net.add_node(&format!("dn{i}")), DiskConfig::server_hdd()))
+            .map(|i| {
+                DataNode::new(
+                    &sim,
+                    net.add_node(&format!("dn{i}")),
+                    DiskConfig::server_hdd(),
+                )
+            })
             .collect();
-        let nn = NameNode::new(&sim, &net, net.add_node("nn"), dns, NameNodeConfig::default());
+        let nn = NameNode::new(
+            &sim,
+            &net,
+            net.add_node("nn"),
+            dns,
+            NameNodeConfig::default(),
+        );
         let server = net.add_node("rs");
         let dfs = DfsClient::new(&sim, &net, &nn, server);
         (sim, net, dfs, server)
@@ -377,7 +395,11 @@ mod tests {
         sim.run_until(SimTime::from_secs(2));
         // 100 records, but at most a couple of DFS appends (one batch was
         // cut when the first sync started, the rest ride the next batch).
-        assert!(wal.sync_count() <= 3, "expected batched syncs, got {}", wal.sync_count());
+        assert!(
+            wal.sync_count() <= 3,
+            "expected batched syncs, got {}",
+            wal.sync_count()
+        );
         assert_eq!(wal.synced_seq(), 100);
     }
 
@@ -402,7 +424,11 @@ mod tests {
         split_wal(&reader, "/wal/rs0", move |m| *g.borrow_mut() = Some(m));
         sim.run_until(SimTime::from_secs(2));
         let grouped = got.borrow_mut().take().unwrap();
-        assert_eq!(grouped[&RegionId(0)].len(), 2, "only the synced prefix survives");
+        assert_eq!(
+            grouped[&RegionId(0)].len(),
+            2,
+            "only the synced prefix survives"
+        );
     }
 
     #[test]

@@ -35,9 +35,17 @@ fn build(seed: u64, n_servers: usize, n_regions: usize, wal_mode: WalSyncMode) -
     for i in 0..n_servers {
         let node = net.add_node(&format!("rs{i}-machine"));
         server_nodes.push(node);
-        dns.push(DataNode::new(&sim, net.add_node(&format!("dn{i}")), DiskConfig::server_hdd()));
+        dns.push(DataNode::new(
+            &sim,
+            net.add_node(&format!("dn{i}")),
+            DiskConfig::server_hdd(),
+        ));
     }
-    dns.push(DataNode::new(&sim, net.add_node("dn-spare"), DiskConfig::server_hdd()));
+    dns.push(DataNode::new(
+        &sim,
+        net.add_node("dn-spare"),
+        DiskConfig::server_hdd(),
+    ));
     let nn_node = net.add_node("namenode");
     let nn = NameNode::new(&sim, &net, nn_node, dns, NameNodeConfig::default());
 
@@ -48,7 +56,10 @@ fn build(seed: u64, n_servers: usize, n_regions: usize, wal_mode: WalSyncMode) -
     let mut servers = Vec::new();
     for (i, node) in server_nodes.iter().enumerate() {
         let dfs = DfsClient::new(&sim, &net, &nn, *node);
-        let cfg = RegionServerConfig { wal_mode, ..RegionServerConfig::default() };
+        let cfg = RegionServerConfig {
+            wal_mode,
+            ..RegionServerConfig::default()
+        };
         let server = RegionServer::new(
             &sim,
             &net,
@@ -67,7 +78,14 @@ fn build(seed: u64, n_servers: usize, n_regions: usize, wal_mode: WalSyncMode) -
     // Master.
     let master_node = net.add_node("master");
     let master_dfs = DfsClient::new(&sim, &net, &nn, master_node);
-    let master = Master::new(&sim, &net, master_node, MasterConfig::default(), master_dfs, Rc::clone(&dir));
+    let master = Master::new(
+        &sim,
+        &net,
+        master_node,
+        MasterConfig::default(),
+        master_dfs,
+        Rc::clone(&dir),
+    );
     let master_coord = CoordClient::new(&sim, &net, &coord_svc, master_node);
     master.start(&master_coord);
     master.bootstrap(RegionMap::split_decimal_keyspace("user", 1000, n_regions));
@@ -75,10 +93,23 @@ fn build(seed: u64, n_servers: usize, n_regions: usize, wal_mode: WalSyncMode) -
 
     // Client.
     let client_node = net.add_node("client");
-    let client =
-        StoreClient::new(&sim, &net, client_node, &master, &dir, StoreClientConfig::default());
+    let client = StoreClient::new(
+        &sim,
+        &net,
+        client_node,
+        &master,
+        &dir,
+        StoreClientConfig::default(),
+    );
 
-    Cluster { sim, net, master, dir, servers, client }
+    Cluster {
+        sim,
+        net,
+        master,
+        dir,
+        servers,
+        client,
+    }
 }
 
 fn key(i: u64) -> Bytes {
@@ -89,8 +120,13 @@ fn key(i: u64) -> Bytes {
 fn write_rows(c: &Cluster, base_ts: u64, n: u64) {
     for i in 0..n {
         let ts = Timestamp(base_ts + i);
-        let ws: WriteSet =
-            vec![Mutation::put(key(i), "f0", format!("value-{}", base_ts + i))].into_iter().collect();
+        let ws: WriteSet = vec![Mutation::put(
+            key(i),
+            "f0",
+            format!("value-{}", base_ts + i),
+        )]
+        .into_iter()
+        .collect();
         for (region, muts) in c.client.group_write_set(&ws) {
             c.client.multi_put(region, ts, muts, None, false, || {});
         }
@@ -101,9 +137,14 @@ fn write_rows(c: &Cluster, base_ts: u64, n: u64) {
 fn read_row(c: &Cluster, i: u64, snapshot: u64) -> Option<(Timestamp, Option<Bytes>)> {
     let out: Rc<RefCell<Option<Option<(Timestamp, Option<Bytes>)>>>> = Rc::new(RefCell::new(None));
     let o = out.clone();
-    c.client.get(key(i), Bytes::from_static(b"f0"), Timestamp(snapshot), move |v| {
-        *o.borrow_mut() = Some(v.map(|vv| (vv.ts, vv.value)));
-    });
+    c.client.get(
+        key(i),
+        Bytes::from_static(b"f0"),
+        Timestamp(snapshot),
+        move |v| {
+            *o.borrow_mut() = Some(v.map(|vv| (vv.ts, vv.value)));
+        },
+    );
     c.sim.run_for(SimDuration::from_secs(5));
     let result = out.borrow_mut().take();
     result.expect("get completed")
@@ -129,7 +170,7 @@ fn snapshot_isolation_versions() {
     let c = build(2, 2, 4, WalSyncMode::Async);
     write_rows(&c, 1, 5); // version ts=1..5
     write_rows(&c, 100, 5); // overwrite rows 0..5 at ts=100..104
-    // Old snapshot sees old values.
+                            // Old snapshot sees old values.
     let old = read_row(&c, 0, 50).unwrap();
     assert_eq!(old.1, Some(Bytes::from_static(b"value-1")));
     let new = read_row(&c, 0, 200).unwrap();
@@ -158,14 +199,21 @@ fn server_failover_reassigns_regions_and_recovers_synced_data() {
     assert_eq!(c.master.failover_count(), 1);
     let survivor = Rc::clone(&c.servers[1]);
     for r in &victim_regions {
-        assert!(survivor.region_online(*r), "region {r} should be online on the survivor");
+        assert!(
+            survivor.region_online(*r),
+            "region {r} should be online on the survivor"
+        );
     }
 
     // All rows readable, including those that only lived in the victim's
     // memstore + synced WAL.
     for i in 0..40 {
         let got = read_row(&c, i, 1000);
-        assert_eq!(got.unwrap().1, Some(Bytes::from(format!("value-{}", 1 + i))), "row {i}");
+        assert_eq!(
+            got.unwrap().1,
+            Some(Bytes::from(format!("value-{}", 1 + i))),
+            "row {i}"
+        );
     }
 }
 
@@ -177,13 +225,16 @@ fn unsynced_wal_tail_is_lost_without_transactional_recovery() {
     // Use a huge WAL sync interval by rebuilding servers? Simpler: write
     // and crash immediately, before the 50ms background sync fires.
     let c = &mut cfg_cluster;
-    let ws: WriteSet = vec![Mutation::put(key(0), "f0", "doomed")].into_iter().collect();
+    let ws: WriteSet = vec![Mutation::put(key(0), "f0", "doomed")]
+        .into_iter()
+        .collect();
     let acked = Rc::new(RefCell::new(false));
     for (region, muts) in c.client.group_write_set(&ws) {
         let a = acked.clone();
-        c.client.multi_put(region, Timestamp(7), muts, None, false, move || {
-            *a.borrow_mut() = true;
-        });
+        c.client
+            .multi_put(region, Timestamp(7), muts, None, false, move || {
+                *a.borrow_mut() = true;
+            });
     }
     // Run just long enough for the ack but not the WAL sync.
     c.sim.run_for(SimDuration::from_millis(8));
@@ -196,7 +247,10 @@ fn unsynced_wal_tail_is_lost_without_transactional_recovery() {
     c.sim.run_for(SimDuration::from_secs(8));
     assert!(*acked.borrow(), "write was acknowledged before the crash");
     let got = read_row(c, 0, 1000);
-    assert_eq!(got, None, "acked-but-unsynced write must be lost in plain async mode");
+    assert_eq!(
+        got, None,
+        "acked-but-unsynced write must be lost in plain async mode"
+    );
 }
 
 #[test]
@@ -204,13 +258,16 @@ fn sync_mode_survives_immediate_crash() {
     // Same scenario as above but with synchronous WAL persistence: the
     // ack implies durability, so the value must survive.
     let c = build(6, 2, 2, WalSyncMode::Sync);
-    let ws: WriteSet = vec![Mutation::put(key(0), "f0", "durable")].into_iter().collect();
+    let ws: WriteSet = vec![Mutation::put(key(0), "f0", "durable")]
+        .into_iter()
+        .collect();
     let acked = Rc::new(RefCell::new(false));
     for (region, muts) in c.client.group_write_set(&ws) {
         let a = acked.clone();
-        c.client.multi_put(region, Timestamp(7), muts, None, false, move || {
-            *a.borrow_mut() = true;
-        });
+        c.client
+            .multi_put(region, Timestamp(7), muts, None, false, move || {
+                *a.borrow_mut() = true;
+            });
     }
     c.sim.run_for(SimDuration::from_millis(100));
     assert!(*acked.borrow());
@@ -237,7 +294,11 @@ fn memstore_flush_to_storefile_keeps_data_readable() {
     assert_eq!(server.storefile_count(region), 1);
     for i in 0..30 {
         let got = read_row(&c, i, 1000);
-        assert_eq!(got.unwrap().1, Some(Bytes::from(format!("value-{}", 1 + i))), "row {i}");
+        assert_eq!(
+            got.unwrap().1,
+            Some(Bytes::from(format!("value-{}", 1 + i))),
+            "row {i}"
+        );
     }
 }
 
@@ -256,7 +317,10 @@ fn reads_before_region_online_retry_until_served() {
         })
         .expect("victim hosts some row");
     let got = read_row(&c, row, 1000); // read_row runs 5s, enough for recovery
-    assert_eq!(got.unwrap().1, Some(Bytes::from(format!("value-{}", 1 + row))));
+    assert_eq!(
+        got.unwrap().1,
+        Some(Bytes::from(format!("value-{}", 1 + row)))
+    );
     assert!(c.client.retry_count() > 0, "client must have retried");
 }
 
@@ -272,7 +336,10 @@ fn scan_merges_memstore_and_storefiles() {
     let out: Rc<RefCell<Option<Vec<(Bytes, Bytes, cumulo_store::VersionedValue)>>>> =
         Rc::new(RefCell::new(None));
     let o = out.clone();
-    c.client.scan(key(0), None, Timestamp(1000), 100, move |hits| *o.borrow_mut() = Some(hits));
+    c.client
+        .scan(key(0), None, Timestamp(1000), 100, move |hits| {
+            *o.borrow_mut() = Some(hits)
+        });
     c.sim.run_for(SimDuration::from_secs(2));
     let hits = out.borrow_mut().take().expect("scan completed");
     assert_eq!(hits.len(), 10);
@@ -298,7 +365,10 @@ fn cache_warms_with_reads() {
         read_row(&c, i, 1000);
     }
     let warm_rate = server.cache_hit_rate();
-    assert!(warm_rate > cold_rate, "hit rate should improve: {cold_rate} -> {warm_rate}");
+    assert!(
+        warm_rate > cold_rate,
+        "hit rate should improve: {cold_rate} -> {warm_rate}"
+    );
 }
 
 #[test]
@@ -311,7 +381,12 @@ fn concurrent_failures_leave_no_region_unassigned_forever() {
     let survivor = Rc::clone(&c.servers[2]);
     let map = c.master.snapshot_map();
     for r in map.regions() {
-        assert_eq!(map.server_for(r.id), Some(survivor.id()), "region {} placement", r.id);
+        assert_eq!(
+            map.server_for(r.id),
+            Some(survivor.id()),
+            "region {} placement",
+            r.id
+        );
         assert!(survivor.region_online(r.id), "region {} online", r.id);
     }
     let _ = c.net;

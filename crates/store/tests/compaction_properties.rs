@@ -1,0 +1,191 @@
+//! Property-based tests of the compaction merge: a compacted file set
+//! must answer every get and scan identically to the uncompacted files,
+//! for every snapshot at or above the GC watermark.
+
+use bytes::Bytes;
+use cumulo_store::compaction::{merge_store_files, pick_candidates, CompactionConfig, GcWatermark};
+use cumulo_store::{MemStore, RegionId, StoreFileData, Timestamp};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+const MAX_TS: u64 = 60;
+
+/// One write: (row id, column id, ts, value — None = tombstone), plus
+/// which of the input files it lands in.
+type ArbWrite = ((u8, u8, u64, Option<u8>), u8);
+
+fn row(r: u8) -> Bytes {
+    Bytes::from(format!("row{:02}", r % 12))
+}
+
+fn col(c: u8) -> Bytes {
+    Bytes::from(format!("c{}", c % 3))
+}
+
+/// Builds `n_files` store files from the writes (dropping duplicate
+/// versions of the same cell, which cannot occur in a real history).
+fn build_files(writes: &[ArbWrite], n_files: usize) -> Vec<Rc<StoreFileData>> {
+    let mut seen: HashMap<(Bytes, Bytes, u64), usize> = HashMap::new();
+    let mut stores: Vec<MemStore> = (0..n_files).map(|_| MemStore::new()).collect();
+    for ((r, c, ts, v), file) in writes {
+        let ts = ts % MAX_TS + 1;
+        let key = (row(*r), col(*c), ts);
+        let file = (*file as usize) % n_files;
+        // The same version may legitimately appear in several files
+        // (post-crash overlap) but always with the same value.
+        let canonical = *seen
+            .entry(key.clone())
+            .or_insert_with(|| v.map(|x| x as usize).unwrap_or(usize::MAX));
+        let value = (canonical != usize::MAX).then(|| Bytes::from(format!("v{canonical}")));
+        stores[file].apply(key.0, key.1, Timestamp(ts), value);
+    }
+    stores
+        .into_iter()
+        .enumerate()
+        .map(|(i, ms)| {
+            Rc::new(StoreFileData::from_memstore(
+                RegionId(0),
+                format!("/f{i}"),
+                &ms,
+            ))
+        })
+        .collect()
+}
+
+/// The value a reader at `snap` sees for a cell across a file set
+/// (newest version wins; tombstones read as "no value").
+fn folded_get(files: &[Rc<StoreFileData>], r: u8, c: u8, snap: u64) -> Option<Bytes> {
+    files
+        .iter()
+        .filter_map(|sf| sf.get(&row(r), &col(c), Timestamp(snap)))
+        .max_by_key(|vv| vv.ts)
+        .and_then(|vv| vv.value)
+}
+
+/// The visible (row, col) -> value map a scan at `snap` produces across a
+/// file set.
+fn folded_scan(files: &[Rc<StoreFileData>], snap: u64) -> HashMap<(Bytes, Bytes), Bytes> {
+    let mut merged: HashMap<(Bytes, Bytes), (Timestamp, Option<Bytes>)> = HashMap::new();
+    for sf in files {
+        for (r, c, vv) in sf.scan(b"", None, Timestamp(snap)) {
+            match merged.get(&(r.clone(), c.clone())) {
+                Some((ts, _)) if *ts >= vv.ts => {}
+                _ => {
+                    merged.insert((r, c), (vv.ts, vv.value));
+                }
+            }
+        }
+    }
+    merged
+        .into_iter()
+        .filter_map(|(k, (_, v))| v.map(|v| (k, v)))
+        .collect()
+}
+
+proptest! {
+    /// Merge equivalence: for any write history split across files, any
+    /// watermark and any purge mode, the merged file answers every get
+    /// identically to the uncompacted set at every snapshot >= watermark
+    /// (and at *every* snapshot when the watermark is zero).
+    #[test]
+    fn merged_file_is_read_equivalent(
+        writes in prop::collection::vec(
+            ((any::<u8>(), any::<u8>(), 0u64..60, prop::option::of(0u8..4)), any::<u8>()),
+            1..120
+        ),
+        n_files in 2usize..5,
+        watermark in 0u64..80,
+        purge in any::<bool>(),
+    ) {
+        let files = build_files(&writes, n_files);
+        let merged = merge_store_files(
+            RegionId(0),
+            "/merged",
+            &files,
+            GcWatermark::at(Timestamp(watermark)),
+            purge,
+            &|_, _, _| false,
+        );
+        let out = [Rc::new(merged.output)];
+        let lo = if watermark == 0 { 0 } else { watermark };
+        for snap in [lo, lo + 1, lo + 7, MAX_TS / 2, MAX_TS, MAX_TS + 20] {
+            if snap < lo {
+                continue;
+            }
+            for r in 0..12u8 {
+                for c in 0..3u8 {
+                    let want = folded_get(&files, r, c, snap);
+                    let got = folded_get(&out, r, c, snap);
+                    prop_assert_eq!(
+                        &got, &want,
+                        "get({}, {}) @ snap {} watermark {} purge {}",
+                        r, c, snap, watermark, purge
+                    );
+                }
+            }
+            prop_assert_eq!(folded_scan(&out, snap), folded_scan(&files, snap));
+        }
+        // GC must never *invent* data: the merged file is no larger.
+        let input_versions: usize = files.iter().map(|f| f.len()).sum();
+        prop_assert!(out[0].len() + merged.versions_dropped as usize == input_versions);
+    }
+
+    /// An encode/decode round trip of a merged file changes nothing (the
+    /// DFS write path preserves merge results exactly).
+    #[test]
+    fn merged_file_survives_codec_roundtrip(
+        writes in prop::collection::vec(
+            ((any::<u8>(), any::<u8>(), 0u64..60, prop::option::of(0u8..4)), any::<u8>()),
+            1..60
+        ),
+        watermark in 0u64..80,
+    ) {
+        let files = build_files(&writes, 3);
+        let merged = merge_store_files(
+            RegionId(0), "/m", &files, GcWatermark::at(Timestamp(watermark)), false, &|_, _, _| false,
+        ).output;
+        let back = StoreFileData::decode("/m", &merged.encode()).unwrap();
+        prop_assert_eq!(back.len(), merged.len());
+        for r in 0..12u8 {
+            for c in 0..3u8 {
+                for snap in [watermark, watermark + 5, MAX_TS + 20] {
+                    prop_assert_eq!(
+                        back.get(&row(r), &col(c), Timestamp(snap)),
+                        merged.get(&row(r), &col(c), Timestamp(snap))
+                    );
+                }
+            }
+        }
+    }
+
+    /// The size-tiered picker always returns a mergeable set (>= 2 files,
+    /// within bounds, no duplicates) once the threshold is crossed, and
+    /// never picks below it.
+    #[test]
+    fn candidate_picker_is_sound(
+        sizes in prop::collection::vec(1usize..1_000_000, 0..20),
+        min_files in 2usize..6,
+        max_files in 6usize..12,
+        tier_ratio in 1u32..10,
+    ) {
+        let cfg = CompactionConfig {
+            min_files,
+            max_files,
+            tier_ratio: tier_ratio as f64,
+            ..CompactionConfig::default()
+        };
+        match pick_candidates(&sizes, &cfg) {
+            None => prop_assert!(sizes.len() < min_files.max(2)),
+            Some(picked) => {
+                prop_assert!(picked.len() >= 2);
+                prop_assert!(picked.len() <= max_files);
+                prop_assert!(picked.iter().all(|&i| i < sizes.len()));
+                let mut dedup = picked.clone();
+                dedup.sort_unstable();
+                dedup.dedup();
+                prop_assert_eq!(dedup.len(), picked.len(), "duplicate candidate indices");
+            }
+        }
+    }
+}

@@ -52,7 +52,12 @@ impl ConflictChecker {
     /// Returns `true` and records `commit_ts` as the last writer of every
     /// cell in `ws` if no cell was written by a transaction that committed
     /// after `start_ts`; returns `false` (recording nothing) otherwise.
-    pub fn check_and_record(&self, ws: &WriteSet, start_ts: Timestamp, commit_ts: Timestamp) -> bool {
+    pub fn check_and_record(
+        &self,
+        ws: &WriteSet,
+        start_ts: Timestamp,
+        commit_ts: Timestamp,
+    ) -> bool {
         let mut map = self.last_writer.borrow_mut();
         for m in &ws.mutations {
             if let Some(&last) = map.get(&(m.row.clone(), m.column.clone())) {
@@ -85,7 +90,10 @@ mod tests {
     use cumulo_store::Mutation;
 
     fn ws(cells: &[(&str, &str)]) -> WriteSet {
-        cells.iter().map(|(r, c)| Mutation::put(r.to_string(), c.to_string(), "v")).collect()
+        cells
+            .iter()
+            .map(|(r, c)| Mutation::put(r.to_string(), c.to_string(), "v"))
+            .collect()
     }
 
     #[test]

@@ -121,7 +121,10 @@ impl RecoveryLog {
     /// be reported committed to the client.
     pub fn append(&self, record: LogRecord, done: impl FnOnce() + 'static) {
         self.appends.set(self.appends.get() + 1);
-        self.pending.borrow_mut().push(Pending { record, done: Box::new(done) });
+        self.pending.borrow_mut().push(Pending {
+            record,
+            done: Box::new(done),
+        });
         if self.pending.borrow().len() >= self.cfg.max_batch {
             self.maybe_flush();
         }
@@ -158,7 +161,11 @@ impl RecoveryLog {
     /// All durable records with timestamp strictly greater than `ts`, in
     /// timestamp order. (`fetchlogs(T_P(s))` of Algorithm 4.)
     pub fn fetch_after(&self, ts: Timestamp) -> Vec<LogRecord> {
-        self.records.borrow().range(ts.next()..).map(|(_, r)| r.clone()).collect()
+        self.records
+            .borrow()
+            .range(ts.next()..)
+            .map(|(_, r)| r.clone())
+            .collect()
     }
 
     /// Durable records of `client` with timestamp strictly greater than
@@ -182,7 +189,8 @@ impl RecoveryLog {
         self.truncated_below.set(ts);
         let mut records = self.records.borrow_mut();
         let keep = records.split_off(&ts);
-        self.truncated_records.set(self.truncated_records.get() + records.len() as u64);
+        self.truncated_records
+            .set(self.truncated_records.get() + records.len() as u64);
         *records = keep;
     }
 
@@ -232,7 +240,9 @@ mod tests {
         LogRecord {
             ts: Timestamp(ts),
             client: ClientId(client),
-            write_set: vec![Mutation::put(format!("r{ts}"), "c", "v")].into_iter().collect(),
+            write_set: vec![Mutation::put(format!("r{ts}"), "c", "v")]
+                .into_iter()
+                .collect(),
         }
     }
 
@@ -259,7 +269,11 @@ mod tests {
             log.append(record(i, 0), || {});
         }
         sim.run_for(SimDuration::from_millis(100));
-        assert!(log.batch_count() <= 3, "50 appends should ride few batches: {}", log.batch_count());
+        assert!(
+            log.batch_count() <= 3,
+            "50 appends should ride few batches: {}",
+            log.batch_count()
+        );
         assert_eq!(log.append_count(), 50);
     }
 
@@ -272,11 +286,17 @@ mod tests {
         }
         sim.run_for(SimDuration::from_millis(50));
         let after3 = log.fetch_after(Timestamp(3));
-        assert_eq!(after3.iter().map(|r| r.ts.0).collect::<Vec<_>>(), vec![5, 7, 9]);
+        assert_eq!(
+            after3.iter().map(|r| r.ts.0).collect::<Vec<_>>(),
+            vec![5, 7, 9]
+        );
         // Strictly greater: ts=3 itself is excluded, and ts=0 returns all.
         assert_eq!(log.fetch_after(Timestamp::ZERO).len(), 5);
         let c1 = log.fetch_client_after(ClientId(1), Timestamp::ZERO);
-        assert_eq!(c1.iter().map(|r| r.ts.0).collect::<Vec<_>>(), vec![1, 3, 5, 7, 9]);
+        assert_eq!(
+            c1.iter().map(|r| r.ts.0).collect::<Vec<_>>(),
+            vec![1, 3, 5, 7, 9]
+        );
         let c0 = log.fetch_client_after(ClientId(0), Timestamp::ZERO);
         assert!(c0.is_empty());
     }
@@ -290,7 +310,11 @@ mod tests {
         }
         sim.run_for(SimDuration::from_millis(50));
         log.truncate_below(Timestamp(5));
-        assert_eq!(log.oldest_ts(), Some(Timestamp(5)), "ts == threshold is retained");
+        assert_eq!(
+            log.oldest_ts(),
+            Some(Timestamp(5)),
+            "ts == threshold is retained"
+        );
         assert_eq!(log.len(), 6);
         assert_eq!(log.truncated_count(), 4);
         // Lower threshold is a no-op.
@@ -313,7 +337,11 @@ mod tests {
             log.append(record(i, 0), move || a.set(a.get() + 1));
         }
         sim.run_for(SimDuration::from_millis(100));
-        assert_eq!(acked.get(), 64, "max_batch must trigger the flush without the timer");
+        assert_eq!(
+            acked.get(),
+            64,
+            "max_batch must trigger the flush without the timer"
+        );
     }
 
     #[test]

@@ -137,7 +137,12 @@ impl TransactionManager {
         let id = TxnId(self.next_txn.get());
         self.next_txn.set(id.0 + 1);
         let start_ts = self.watermark.get();
-        self.active.borrow_mut().insert(id, ActiveTxn { client, start_ts });
+        // Pin the read snapshot so MVCC garbage collection (store-file
+        // compaction) never drops a version this transaction can observe.
+        self.oracle.pin_snapshot(start_ts);
+        self.active
+            .borrow_mut()
+            .insert(id, ActiveTxn { client, start_ts });
         (id, start_ts)
     }
 
@@ -154,6 +159,7 @@ impl TransactionManager {
             reply(CommitOutcome::UnknownTxn);
             return;
         };
+        self.oracle.unpin_snapshot(info.start_ts);
         // Read-only transactions commit without logging or flushing.
         if write_set.is_empty() {
             self.commits.set(self.commits.get() + 1);
@@ -164,7 +170,9 @@ impl TransactionManager {
         }
         let commit_ts = self.oracle.next_ts();
         if self.cfg.conflict_detection
-            && !self.conflicts.check_and_record(&write_set, info.start_ts, commit_ts)
+            && !self
+                .conflicts
+                .check_and_record(&write_set, info.start_ts, commit_ts)
         {
             self.aborts.set(self.aborts.get() + 1);
             self.conflict_aborts.set(self.conflict_aborts.get() + 1);
@@ -172,7 +180,11 @@ impl TransactionManager {
             return;
         }
         self.pending_flush.borrow_mut().insert(commit_ts);
-        let record = LogRecord { ts: commit_ts, client: info.client, write_set };
+        let record = LogRecord {
+            ts: commit_ts,
+            client: info.client,
+            write_set,
+        };
         let this = Rc::clone(self);
         self.log.append(record, move || {
             this.commits.set(this.commits.get() + 1);
@@ -180,10 +192,29 @@ impl TransactionManager {
         });
     }
 
+    /// Client-failure notification (from the recovery manager): aborts
+    /// every transaction the dead client still had open, releasing their
+    /// pinned snapshots so the MVCC garbage-collection watermark can keep
+    /// advancing. Returns how many transactions were reaped.
+    pub fn handle_client_failed(&self, client: ClientId) -> usize {
+        let doomed: Vec<TxnId> = self
+            .active
+            .borrow()
+            .iter()
+            .filter(|(_, info)| info.client == client)
+            .map(|(id, _)| *id)
+            .collect();
+        for txn in &doomed {
+            self.handle_abort(*txn);
+        }
+        doomed.len()
+    }
+
     /// Abort request: the buffered write-set is simply discarded (§2.2:
     /// "it is not stored in the recovery log nor flushed").
     pub fn handle_abort(&self, txn: TxnId) {
-        if self.active.borrow_mut().remove(&txn).is_some() {
+        if let Some(info) = self.active.borrow_mut().remove(&txn) {
+            self.oracle.unpin_snapshot(info.start_ts);
             self.aborts.set(self.aborts.get() + 1);
         }
     }
@@ -208,6 +239,21 @@ impl TransactionManager {
     /// The current flush watermark (read snapshot for new transactions).
     pub fn watermark(&self) -> Timestamp {
         self.watermark.get()
+    }
+
+    /// The oldest snapshot any reader can currently observe — the safe
+    /// watermark for MVCC garbage collection.
+    ///
+    /// Every running transaction pins its read snapshot in the oracle;
+    /// the oldest pin bounds what current readers see, and the flush
+    /// watermark bounds what *future* transactions will read at (new
+    /// snapshots are handed out at the watermark, which only advances).
+    /// Store-file compaction may therefore drop any version shadowed at
+    /// or below this timestamp.
+    pub fn oldest_active_snapshot(&self) -> Timestamp {
+        self.oracle
+            .oldest_pinned()
+            .unwrap_or_else(|| self.watermark.get())
     }
 
     /// The most recently assigned commit timestamp.
@@ -249,7 +295,9 @@ mod tests {
     }
 
     fn ws(row: &str) -> WriteSet {
-        vec![Mutation::put(row.to_string(), "c", "v")].into_iter().collect()
+        vec![Mutation::put(row.to_string(), "c", "v")]
+            .into_iter()
+            .collect()
     }
 
     #[test]
@@ -264,7 +312,10 @@ mod tests {
                 other => panic!("unexpected outcome {other:?}"),
             });
         }
-        assert!(out.borrow().is_empty(), "commit acks wait for the group commit");
+        assert!(
+            out.borrow().is_empty(),
+            "commit acks wait for the group commit"
+        );
         sim.run_for(SimDuration::from_millis(100));
         let tss = out.borrow().clone();
         assert_eq!(tss.len(), 5);
@@ -367,9 +418,53 @@ mod tests {
     }
 
     #[test]
+    fn client_failure_reaps_open_txns_and_their_pins() {
+        let (_sim, tm) = tm();
+        let (_a, snap) = tm.handle_begin(ClientId(7));
+        let (_b, _) = tm.handle_begin(ClientId(7));
+        let (_c, _) = tm.handle_begin(ClientId(8));
+        assert_eq!(tm.active_count(), 3);
+        assert_eq!(tm.oldest_active_snapshot(), snap);
+        assert_eq!(tm.handle_client_failed(ClientId(7)), 2);
+        assert_eq!(tm.active_count(), 1, "only the live client's txn remains");
+        assert_eq!(tm.abort_count(), 2);
+        // Reaping twice is a no-op.
+        assert_eq!(tm.handle_client_failed(ClientId(7)), 0);
+    }
+
+    #[test]
+    fn oldest_active_snapshot_tracks_pins_and_watermark() {
+        let (sim, tm) = tm();
+        // No active transactions: GC watermark follows the flush watermark.
+        assert_eq!(tm.oldest_active_snapshot(), tm.watermark());
+        let (a, snap_a) = tm.handle_begin(ClientId(0));
+        assert_eq!(tm.oldest_active_snapshot(), snap_a);
+        // Commit a write so the flush watermark can move past snap_a.
+        let (b, _) = tm.handle_begin(ClientId(1));
+        let ts_cell: Rc<RefCell<Option<Timestamp>>> = Rc::new(RefCell::new(None));
+        let t = ts_cell.clone();
+        tm.handle_commit(b, ws("r"), move |o| {
+            if let CommitOutcome::Committed(ts) = o {
+                *t.borrow_mut() = Some(ts);
+            }
+        });
+        sim.run_for(SimDuration::from_millis(50));
+        let ts = ts_cell.borrow().expect("committed");
+        tm.handle_flush_complete(ts);
+        assert!(tm.watermark() > snap_a);
+        // `a` still pins the old snapshot.
+        assert_eq!(tm.oldest_active_snapshot(), snap_a);
+        tm.handle_abort(a);
+        assert_eq!(tm.oldest_active_snapshot(), tm.watermark());
+    }
+
+    #[test]
     fn conflict_detection_can_be_disabled() {
         let sim = Sim::new(3);
-        let cfg = TxnManagerConfig { conflict_detection: false, ..TxnManagerConfig::default() };
+        let cfg = TxnManagerConfig {
+            conflict_detection: false,
+            ..TxnManagerConfig::default()
+        };
         let tm = TransactionManager::new(&sim, NodeId(0), cfg);
         let (a, _) = tm.handle_begin(ClientId(0));
         let (b, _) = tm.handle_begin(ClientId(1));

@@ -1,14 +1,23 @@
 //! The commit-timestamp oracle.
 
 use cumulo_store::Timestamp;
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
 use std::fmt;
 
-/// Hands out strictly increasing commit timestamps.
+/// Hands out strictly increasing commit timestamps and tracks the set of
+/// snapshots readers currently hold.
 ///
 /// The paper's recovery protocol relies on this monotonicity: "we assume
 /// that commit timestamps are monotonically increasing and that the commit
 /// timestamp determines the serialization order" (§2.2).
+///
+/// Snapshot *pinning* supports MVCC garbage collection: every running
+/// transaction pins its read snapshot for its lifetime, and
+/// [`TimestampOracle::oldest_pinned`] reports the oldest such snapshot.
+/// Store-file compaction may drop any version that is shadowed at or
+/// below that watermark, because no current — and, since snapshots are
+/// handed out monotonically, no future — reader can observe it.
 ///
 /// # Example
 ///
@@ -20,9 +29,17 @@ use std::fmt;
 /// let b = oracle.next_ts();
 /// assert!(b > a);
 /// assert_eq!(oracle.last_assigned(), b);
+///
+/// oracle.pin_snapshot(a);
+/// oracle.pin_snapshot(b);
+/// assert_eq!(oracle.oldest_pinned(), Some(a));
+/// oracle.unpin_snapshot(a);
+/// assert_eq!(oracle.oldest_pinned(), Some(b));
 /// ```
 pub struct TimestampOracle {
     next: Cell<u64>,
+    /// Multiset of pinned snapshots: snapshot -> pin count.
+    pinned: RefCell<BTreeMap<u64, usize>>,
 }
 
 impl fmt::Debug for TimestampOracle {
@@ -41,7 +58,10 @@ impl TimestampOracle {
     /// Creates an oracle whose first timestamp is 1 (0 is reserved as the
     /// "before everything" threshold value).
     pub fn new() -> TimestampOracle {
-        TimestampOracle { next: Cell::new(1) }
+        TimestampOracle {
+            next: Cell::new(1),
+            pinned: RefCell::new(BTreeMap::new()),
+        }
     }
 
     /// Assigns and returns the next commit timestamp.
@@ -54,6 +74,39 @@ impl TimestampOracle {
     /// The most recently assigned timestamp ([`Timestamp::ZERO`] if none).
     pub fn last_assigned(&self) -> Timestamp {
         Timestamp(self.next.get() - 1)
+    }
+
+    /// Records that a reader holds `snapshot` (counted: pin twice, unpin
+    /// twice).
+    pub fn pin_snapshot(&self, snapshot: Timestamp) {
+        *self.pinned.borrow_mut().entry(snapshot.0).or_insert(0) += 1;
+    }
+
+    /// Releases one pin of `snapshot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snapshot` is not currently pinned (a pin/unpin pairing
+    /// bug in the caller).
+    pub fn unpin_snapshot(&self, snapshot: Timestamp) {
+        let mut pinned = self.pinned.borrow_mut();
+        let count = pinned
+            .get_mut(&snapshot.0)
+            .expect("unpin of a snapshot that is not pinned");
+        *count -= 1;
+        if *count == 0 {
+            pinned.remove(&snapshot.0);
+        }
+    }
+
+    /// The oldest snapshot any reader currently holds, if any.
+    pub fn oldest_pinned(&self) -> Option<Timestamp> {
+        self.pinned.borrow().keys().next().map(|ts| Timestamp(*ts))
+    }
+
+    /// Number of currently pinned snapshots (counting multiplicity).
+    pub fn pinned_count(&self) -> usize {
+        self.pinned.borrow().values().sum()
     }
 }
 
@@ -77,5 +130,34 @@ mod tests {
     fn fresh_oracle_reports_zero() {
         let o = TimestampOracle::new();
         assert_eq!(o.last_assigned(), Timestamp::ZERO);
+        assert_eq!(o.oldest_pinned(), None);
+        assert_eq!(o.pinned_count(), 0);
+    }
+
+    #[test]
+    fn pinning_is_counted_and_ordered() {
+        let o = TimestampOracle::new();
+        o.pin_snapshot(Timestamp(7));
+        o.pin_snapshot(Timestamp(3));
+        o.pin_snapshot(Timestamp(3));
+        assert_eq!(o.oldest_pinned(), Some(Timestamp(3)));
+        assert_eq!(o.pinned_count(), 3);
+        o.unpin_snapshot(Timestamp(3));
+        assert_eq!(
+            o.oldest_pinned(),
+            Some(Timestamp(3)),
+            "one pin of 3 remains"
+        );
+        o.unpin_snapshot(Timestamp(3));
+        assert_eq!(o.oldest_pinned(), Some(Timestamp(7)));
+        o.unpin_snapshot(Timestamp(7));
+        assert_eq!(o.oldest_pinned(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "not pinned")]
+    fn unbalanced_unpin_panics() {
+        let o = TimestampOracle::new();
+        o.unpin_snapshot(Timestamp(1));
     }
 }

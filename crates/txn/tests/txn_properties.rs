@@ -3,15 +3,17 @@
 use cumulo_sim::{NodeId, Sim, SimDuration};
 use cumulo_store::{ClientId, Mutation, Timestamp, WriteSet};
 use cumulo_txn::{
-    CommitOutcome, ConflictChecker, LogRecord, RecoveryLog, RecoveryLogConfig,
-    TransactionManager, TxnManagerConfig,
+    CommitOutcome, ConflictChecker, LogRecord, RecoveryLog, RecoveryLogConfig, TransactionManager,
+    TxnManagerConfig,
 };
 use proptest::prelude::*;
 use std::cell::RefCell;
 use std::rc::Rc;
 
 fn ws(rows: &[u16]) -> WriteSet {
-    rows.iter().map(|r| Mutation::put(format!("row{r}"), "c", "v")).collect()
+    rows.iter()
+        .map(|r| Mutation::put(format!("row{r}"), "c", "v"))
+        .collect()
 }
 
 proptest! {
@@ -122,7 +124,10 @@ fn commit_acks_are_ordered_and_durable() {
             if let CommitOutcome::Committed(ts) = o {
                 // Durability check: the record must already be fetchable.
                 assert!(
-                    tm2.log().fetch_after(Timestamp(ts.0 - 1)).iter().any(|r| r.ts == ts),
+                    tm2.log()
+                        .fetch_after(Timestamp(ts.0 - 1))
+                        .iter()
+                        .any(|r| r.ts == ts),
                     "ack before log durability"
                 );
                 acks2.borrow_mut().push((ts.0, i));
@@ -136,5 +141,8 @@ fn commit_acks_are_ordered_and_durable() {
     sim.run_for(SimDuration::from_secs(1));
     let acks = acks.borrow();
     assert_eq!(acks.len(), 50);
-    assert!(acks.windows(2).all(|w| w[0].0 < w[1].0), "acks out of timestamp order");
+    assert!(
+        acks.windows(2).all(|w| w[0].0 < w[1].0),
+        "acks out of timestamp order"
+    );
 }

@@ -112,14 +112,18 @@ impl Driver {
         let now = self.inner.sim.now();
         self.inner.measure_from.set(now + warmup);
         self.inner.stop_at.set(now + duration);
-        let interval_ns = self.inner.workload.target_tps.map(|tps| {
-            (self.inner.workload.threads as f64 / tps * 1e9) as u64
-        });
+        let interval_ns = self
+            .inner
+            .workload
+            .target_tps
+            .map(|tps| (self.inner.workload.threads as f64 / tps * 1e9) as u64);
         for t in 0..self.inner.workload.threads {
             let inner = Rc::clone(&self.inner);
             // Stagger thread phases so arrivals are not synchronized.
             let first = match interval_ns {
-                Some(iv) => SimDuration::from_nanos(iv * t as u64 / self.inner.workload.threads as u64),
+                Some(iv) => {
+                    SimDuration::from_nanos(iv * t as u64 / self.inner.workload.threads as u64)
+                }
                 None => SimDuration::from_nanos(self.inner.sim.gen_range(0, 1_000_000)),
             };
             let arrival = now + first;
@@ -132,7 +136,12 @@ impl Driver {
     /// Runs the full experiment synchronously: `start` + drive the
     /// simulation until `duration` (plus drain time) elapses; returns the
     /// report over the measured interval.
-    pub fn run(&self, cluster: &Cluster, warmup: SimDuration, duration: SimDuration) -> DriverReport {
+    pub fn run(
+        &self,
+        cluster: &Cluster,
+        warmup: SimDuration,
+        duration: SimDuration,
+    ) -> DriverReport {
         self.start(warmup, duration);
         cluster.run_for(duration + SimDuration::from_secs(2));
         self.report()
@@ -146,7 +155,10 @@ impl Driver {
     /// Windowed series (window start, committed count, mean RT ns, max RT
     /// ns) padded to the stop instant — the Fig. 3 timeline data.
     pub fn windows(&self) -> Vec<Window> {
-        self.inner.stats.series.windows_until(self.inner.stop_at.get())
+        self.inner
+            .stats
+            .series
+            .windows_until(self.inner.stop_at.get())
     }
 
     /// The measurement window length.
@@ -196,7 +208,16 @@ fn start_txn(inner: Rc<DriverInner>, thread: usize, arrival: SimTime, interval_n
     let client2 = client.clone();
     inner.in_flight.inc();
     client.begin(move |txn| {
-        run_op(inner2, client2, txn, 0, started, thread, arrival, interval_ns);
+        run_op(
+            inner2,
+            client2,
+            txn,
+            0,
+            started,
+            thread,
+            arrival,
+            interval_ns,
+        );
     });
 }
 
@@ -226,7 +247,16 @@ fn run_op(
         let inner2 = Rc::clone(&inner);
         let client2 = client.clone();
         client.get(txn, key, field, move |_| {
-            run_op(inner2, client2, txn, op + 1, started, thread, arrival, interval_ns);
+            run_op(
+                inner2,
+                client2,
+                txn,
+                op + 1,
+                started,
+                thread,
+                arrival,
+                interval_ns,
+            );
         });
     } else if inner.sim.gen_f64() < inner.workload.rmw_ratio {
         // Read-modify-write (YCSB-F): read the cell, write a derived value.
@@ -244,12 +274,30 @@ fn run_op(
                 }
             }
             client2.put(txn, key2, field2, value);
-            run_op(inner2, client2, txn, op + 1, started, thread, arrival, interval_ns);
+            run_op(
+                inner2,
+                client2,
+                txn,
+                op + 1,
+                started,
+                thread,
+                arrival,
+                interval_ns,
+            );
         });
     } else {
         let value: Vec<u8> = vec![0x62; inner.workload.field_len];
         client.put(txn, key, field, value);
-        run_op(inner, client, txn, op + 1, started, thread, arrival, interval_ns);
+        run_op(
+            inner,
+            client,
+            txn,
+            op + 1,
+            started,
+            thread,
+            arrival,
+            interval_ns,
+        );
     }
 }
 

@@ -54,7 +54,14 @@ impl Zipfian {
         let zeta2 = Self::zeta(2, theta);
         let alpha = 1.0 / (1.0 - theta);
         let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
-        Zipfian { n, theta, alpha, zetan, eta, zeta2 }
+        Zipfian {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2,
+        }
     }
 
     fn zeta(n: u64, theta: f64) -> f64 {
@@ -62,10 +69,12 @@ impl Zipfian {
         if n <= 1_000_000 {
             (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
         } else {
-            let head: f64 = (1..=1_000_000u64).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+            let head: f64 = (1..=1_000_000u64)
+                .map(|i| 1.0 / (i as f64).powf(theta))
+                .sum();
             // Integral approximation of the tail.
-            let tail = ((n as f64).powf(1.0 - theta) - 1_000_000f64.powf(1.0 - theta))
-                / (1.0 - theta);
+            let tail =
+                ((n as f64).powf(1.0 - theta) - 1_000_000f64.powf(1.0 - theta)) / (1.0 - theta);
             head + tail
         }
     }
@@ -106,7 +115,9 @@ pub struct ScrambledZipfian {
 impl ScrambledZipfian {
     /// Creates a scrambled zipfian generator over `[0, n)`.
     pub fn new(n: u64) -> ScrambledZipfian {
-        ScrambledZipfian { inner: Zipfian::new(n, Zipfian::DEFAULT_THETA) }
+        ScrambledZipfian {
+            inner: Zipfian::new(n, Zipfian::DEFAULT_THETA),
+        }
     }
 
     /// Draws the next key.
@@ -135,10 +146,17 @@ impl HotSpot {
     /// operation fraction is not in `[0, 1]`.
     pub fn new(n: u64, hot_set_fraction: f64, hot_fraction: f64) -> HotSpot {
         assert!(n > 0, "empty key space");
-        assert!(hot_set_fraction > 0.0 && hot_set_fraction <= 1.0, "bad set fraction");
+        assert!(
+            hot_set_fraction > 0.0 && hot_set_fraction <= 1.0,
+            "bad set fraction"
+        );
         assert!((0.0..=1.0).contains(&hot_fraction), "bad op fraction");
         let hot_keys = ((n as f64 * hot_set_fraction) as u64).max(1);
-        HotSpot { n, hot_keys, hot_fraction }
+        HotSpot {
+            n,
+            hot_keys,
+            hot_fraction,
+        }
     }
 
     /// Draws the next key.
@@ -169,13 +187,16 @@ mod tests {
     fn uniform_covers_range() {
         let sim = Sim::new(1);
         let g = Uniform::new(100);
-        let mut seen = vec![false; 100];
+        let mut seen = [false; 100];
         for _ in 0..10_000 {
             let k = g.next_key(&sim);
             assert!(k < 100);
             seen[k as usize] = true;
         }
-        assert!(seen.iter().filter(|s| **s).count() > 95, "uniform should cover the space");
+        assert!(
+            seen.iter().filter(|s| **s).count() > 95,
+            "uniform should cover the space"
+        );
     }
 
     #[test]

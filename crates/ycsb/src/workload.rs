@@ -77,8 +77,14 @@ impl Workload {
         assert!(self.record_count > 0, "no records");
         assert!(!self.fields.is_empty(), "no fields");
         assert!(self.ops_per_txn > 0, "no operations");
-        assert!((0.0..=1.0).contains(&self.read_ratio), "read ratio out of range");
-        assert!((0.0..=1.0).contains(&self.rmw_ratio), "rmw ratio out of range");
+        assert!(
+            (0.0..=1.0).contains(&self.read_ratio),
+            "read ratio out of range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.rmw_ratio),
+            "rmw ratio out of range"
+        );
         assert!(self.threads > 0, "no threads");
     }
 }
@@ -101,6 +107,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "read ratio")]
     fn bad_ratio_panics() {
-        Workload { read_ratio: 1.5, ..Workload::default() }.validate();
+        Workload {
+            read_ratio: 1.5,
+            ..Workload::default()
+        }
+        .validate();
     }
 }

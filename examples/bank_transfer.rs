@@ -21,7 +21,8 @@ fn account(i: u64) -> String {
 }
 
 fn parse_balance(v: Option<bytes::Bytes>) -> i64 {
-    v.map(|b| String::from_utf8_lossy(&b).parse().unwrap_or(0)).unwrap_or(INITIAL)
+    v.map(|b| String::from_utf8_lossy(&b).parse().unwrap_or(0))
+        .unwrap_or(INITIAL)
 }
 
 /// One transfer: read both balances, move a random amount, commit.
@@ -40,7 +41,12 @@ fn transfer(cluster: &Cluster, client: TransactionalClient, done: Rc<Cell<u32>>)
             let done3 = done2.clone();
             c2.get(txn, account(to), "balance", move |v_to| {
                 let bal_to = parse_balance(v_to);
-                c3.put(txn, account(from), "balance", (bal_from - amount).to_string());
+                c3.put(
+                    txn,
+                    account(from),
+                    "balance",
+                    (bal_from - amount).to_string(),
+                );
                 c3.put(txn, account(to), "balance", (bal_to + amount).to_string());
                 let done4 = done3.clone();
                 c3.commit(txn, move |r| {
@@ -80,7 +86,10 @@ fn main() {
             cluster.crash_server(0);
         }
         if round == 70 {
-            println!("t={}: crashing client c3 (transfers may be mid-flush)", cluster.now());
+            println!(
+                "t={}: crashing client c3 (transfers may be mid-flush)",
+                cluster.now()
+            );
             cluster.crash_client(3);
         }
     }
@@ -102,7 +111,10 @@ fn main() {
         *audited.borrow_mut() += 1;
     }
     let expected = ACCOUNTS as i64 * INITIAL;
-    println!("audited {} accounts: total = {total}, expected = {expected}", audited.borrow());
+    println!(
+        "audited {} accounts: total = {total}, expected = {expected}",
+        audited.borrow()
+    );
     assert_eq!(total, expected, "money was created or destroyed!");
     println!("invariant holds: transfers were atomic through every failure");
 }

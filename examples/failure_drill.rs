@@ -86,7 +86,11 @@ fn main() {
     // Verify everything committed is alive.
     for i in 0..60 {
         let v = cluster.read_cell(key(i * 150), "f0", SimDuration::from_secs(10));
-        assert_eq!(v.as_deref(), Some(format!("v{i}").as_bytes()), "row {i} lost");
+        assert_eq!(
+            v.as_deref(),
+            Some(format!("v{i}").as_bytes()),
+            "row {i} lost"
+        );
     }
     let fresh = cluster.read_cell(key(9_999), "f0", SimDuration::from_secs(10));
     assert_eq!(fresh.as_deref(), Some(&b"fresh"[..]));

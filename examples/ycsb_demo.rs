@@ -30,7 +30,11 @@ fn main() {
     };
     let driver = Driver::new(&cluster, workload);
     println!("running 30 s at an offered 150 tps with 25 threads…");
-    let report = driver.run(&cluster, SimDuration::from_secs(2), SimDuration::from_secs(30));
+    let report = driver.run(
+        &cluster,
+        SimDuration::from_secs(2),
+        SimDuration::from_secs(30),
+    );
 
     println!("\n  t(s)   tps   mean(ms)");
     for w in driver.windows() {

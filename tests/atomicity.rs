@@ -16,7 +16,8 @@ fn account(i: u64) -> String {
 }
 
 fn parse(v: Option<bytes::Bytes>) -> i64 {
-    v.map(|b| String::from_utf8_lossy(&b).parse().unwrap_or(0)).unwrap_or(INITIAL)
+    v.map(|b| String::from_utf8_lossy(&b).parse().unwrap_or(0))
+        .unwrap_or(INITIAL)
 }
 
 fn transfer(cluster: &Cluster, client: TransactionalClient, committed: Rc<Cell<u32>>) {
@@ -76,13 +77,21 @@ fn transfers_conserve_total_balance_through_failures() {
         }
     }
     cluster.run_for(SimDuration::from_secs(25));
-    assert!(committed.get() > 100, "enough transfers committed: {}", committed.get());
+    assert!(
+        committed.get() > 100,
+        "enough transfers committed: {}",
+        committed.get()
+    );
 
     let mut total = 0i64;
     for i in 0..ACCOUNTS {
         total += parse(cluster.read_cell(account(i), "bal", SimDuration::from_secs(10)));
     }
-    assert_eq!(total, ACCOUNTS as i64 * INITIAL, "atomicity violated: money not conserved");
+    assert_eq!(
+        total,
+        ACCOUNTS as i64 * INITIAL,
+        "atomicity violated: money not conserved"
+    );
 }
 
 /// A reader transaction must never observe one half of a two-row

@@ -42,8 +42,7 @@ fn chaos_run(seed: u64) {
             if !client.is_alive() {
                 continue;
             }
-            let rows: Vec<u64> =
-                (0..3).map(|_| cluster.sim.gen_range(0, ROWS)).collect();
+            let rows: Vec<u64> = (0..3).map(|_| cluster.sim.gen_range(0, ROWS)).collect();
             let val = format!("s{seed}r{round}c{ci}");
             let acked2 = acked.clone();
             let c2 = client.clone();
@@ -95,8 +94,7 @@ fn chaos_run(seed: u64) {
             }
             4..=6 => {
                 // Crash a random live client (keep at least two).
-                let live: Vec<usize> =
-                    (0..6).filter(|i| cluster.clients[*i].is_alive()).collect();
+                let live: Vec<usize> = (0..6).filter(|i| cluster.clients[*i].is_alive()).collect();
                 if live.len() > 2 {
                     let victim = live[cluster.sim.gen_range(0, live.len() as u64) as usize];
                     cluster.crash_client(victim);
@@ -118,13 +116,20 @@ fn chaos_run(seed: u64) {
     }
     // Converge: recoveries, replays, flush retries all drain.
     cluster.run_for(SimDuration::from_secs(40));
-    assert!(cluster.all_regions_online(), "seed {seed}: regions failed to converge");
+    assert!(
+        cluster.all_regions_online(),
+        "seed {seed}: regions failed to converge"
+    );
 
     // Verify every acked row. A row may legitimately hold a *newer* acked
     // value than the one we recorded (ack ordering vs timestamp ordering),
     // so check the value is from the acked set for that row with ts >= ours.
     let acked = acked.borrow();
-    assert!(acked.len() > 100, "seed {seed}: too few acked rows ({})", acked.len());
+    assert!(
+        acked.len() > 100,
+        "seed {seed}: too few acked rows ({})",
+        acked.len()
+    );
     for (row, (_, val)) in acked.iter() {
         let got = cluster.read_cell(key(*row), "f0", SimDuration::from_secs(10));
         let got = got.unwrap_or_else(|| panic!("seed {seed}: acked row {row} missing"));
@@ -136,6 +141,123 @@ fn chaos_run(seed: u64) {
             "seed {seed}: row {row} holds '{got}' but newest acked was '{val}'"
         );
     }
+}
+
+/// Crashes a server while a compaction is in flight and verifies
+/// recovery: no acked write is lost or stale, regions converge, and the
+/// half-finished compaction leaves at worst ignorable temp files (the
+/// surviving file set stays read-equivalent).
+fn compaction_crash_run(seed: u64) {
+    let mut cfg = ClusterConfig {
+        seed,
+        clients: 6,
+        servers: 3,
+        regions: 6,
+        key_count: ROWS,
+        heartbeat_interval: SimDuration::from_millis(500),
+        compaction_threshold: 3,
+        ..ClusterConfig::default()
+    };
+    // Aggressive flush + compaction cadence so compactions are frequent
+    // enough to crash into one.
+    cfg.server_cfg.memstore_flush_bytes = 16 << 10;
+    cfg.server_cfg.flush_check_interval = SimDuration::from_millis(400);
+    cfg.server_cfg.compaction.check_interval = SimDuration::from_millis(700);
+    let cluster = Cluster::build(cfg);
+
+    let acked: Rc<RefCell<HashMap<u64, (u64, String)>>> = Rc::new(RefCell::new(HashMap::new()));
+    let mut crashed = false;
+    for round in 0..110u64 {
+        for ci in 0..cluster.clients.len() {
+            let client = cluster.client(ci).clone();
+            if !client.is_alive() {
+                continue;
+            }
+            let rows: Vec<u64> = (0..3).map(|_| cluster.sim.gen_range(0, ROWS)).collect();
+            let val = format!("s{seed}r{round}c{ci}{:#>120}", "");
+            let acked2 = acked.clone();
+            let c2 = client.clone();
+            let rows2 = rows.clone();
+            let val2 = val.clone();
+            client.begin(move |txn| {
+                for r in &rows2 {
+                    c2.put(txn, key(*r), "f0", val2.clone());
+                }
+                let rows3 = rows2.clone();
+                let val3 = val2.clone();
+                c2.commit(txn, move |result| {
+                    if let CommitResult::Committed(ts) = result {
+                        let mut map = acked2.borrow_mut();
+                        for r in &rows3 {
+                            match map.get(r) {
+                                Some((old_ts, _)) if *old_ts > ts.0 => {}
+                                _ => {
+                                    map.insert(*r, (ts.0, val3.clone()));
+                                }
+                            }
+                        }
+                    }
+                });
+            });
+        }
+        // Fine-grained steps so the (short) in-flight compaction window
+        // can be caught: crash the first server seen mid-compaction.
+        for _ in 0..15 {
+            cluster.run_for(SimDuration::from_millis(20));
+            if !crashed && round > 20 {
+                let victim = (0..3).find(|&i| {
+                    let s = &cluster.servers[i];
+                    s.is_alive()
+                        && s.hosted_regions()
+                            .iter()
+                            .any(|r| s.compaction_in_progress(*r))
+                });
+                if let Some(victim) = victim {
+                    cluster.crash_server(victim);
+                    crashed = true;
+                }
+            }
+        }
+    }
+    assert!(
+        crashed,
+        "seed {seed}: no compaction was ever in flight; tune the cadence"
+    );
+    cluster.run_for(SimDuration::from_secs(40));
+    assert!(
+        cluster.all_regions_online(),
+        "seed {seed}: regions failed to converge"
+    );
+    assert!(
+        cluster.total_compactions() > 0,
+        "seed {seed}: compaction never completed anywhere"
+    );
+
+    let acked = acked.borrow();
+    assert!(
+        acked.len() > 100,
+        "seed {seed}: too few acked rows ({})",
+        acked.len()
+    );
+    for (row, (_, val)) in acked.iter() {
+        let got = cluster.read_cell(key(*row), "f0", SimDuration::from_secs(10));
+        let got = got.unwrap_or_else(|| panic!("seed {seed}: acked row {row} missing"));
+        let got = String::from_utf8_lossy(&got).into_owned();
+        assert_eq!(
+            &got, val,
+            "seed {seed}: row {row} holds a lost or duplicated version after the crash"
+        );
+    }
+}
+
+#[test]
+fn chaos_compaction_crash_seed_1() {
+    compaction_crash_run(7101);
+}
+
+#[test]
+fn chaos_compaction_crash_seed_2() {
+    compaction_crash_run(7102);
 }
 
 #[test]

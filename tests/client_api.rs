@@ -60,7 +60,10 @@ fn aborted_transaction_leaves_no_trace() {
         cl.abort(txn);
     });
     settle(&c);
-    assert_eq!(c.read_cell("user000000000007", "f0", SimDuration::from_secs(5)), None);
+    assert_eq!(
+        c.read_cell("user000000000007", "f0", SimDuration::from_secs(5)),
+        None
+    );
     assert_eq!(c.client(0).aborted_count(), 1);
     assert_eq!(c.tm.log().len(), 0, "aborts are never logged");
 }
@@ -103,7 +106,8 @@ fn snapshot_reads_ignore_later_commits() {
     settle(&c);
     // A fresh transaction sees v2.
     assert_eq!(
-        c.read_cell("user000000000005", "f0", SimDuration::from_secs(5)).as_deref(),
+        c.read_cell("user000000000005", "f0", SimDuration::from_secs(5))
+            .as_deref(),
         Some(&b"v2"[..])
     );
 }
@@ -131,16 +135,27 @@ fn transactional_scan_merges_buffered_writes() {
         cl.put(txn, "user000000000013", "f0", "new");
         let r3 = r2.clone();
         let cl2 = cl.clone();
-        cl.scan(txn, "user000000000010", Some("user000000000014".into()), 100, move |hits| {
-            *r3.borrow_mut() =
-                Some(hits.into_iter().map(|(r, _, v)| (r.to_vec(), v.to_vec())).collect());
-            cl2.abort(txn);
-        });
+        cl.scan(
+            txn,
+            "user000000000010",
+            Some("user000000000014".into()),
+            100,
+            move |hits| {
+                *r3.borrow_mut() = Some(
+                    hits.into_iter()
+                        .map(|(r, _, v)| (r.to_vec(), v.to_vec()))
+                        .collect(),
+                );
+                cl2.abort(txn);
+            },
+        );
     });
     settle(&c);
     let hits = results.borrow_mut().take().expect("scan completed");
-    let rows: Vec<String> =
-        hits.iter().map(|(r, _)| String::from_utf8_lossy(r).into_owned()).collect();
+    let rows: Vec<String> = hits
+        .iter()
+        .map(|(r, _)| String::from_utf8_lossy(r).into_owned())
+        .collect();
     assert_eq!(
         rows,
         vec!["user000000000010", "user000000000011", "user000000000013"],
@@ -160,7 +175,12 @@ fn multiple_concurrent_transactions_per_client() {
         let cl = client.clone();
         let done = committed.clone();
         client.begin(move |txn| {
-            cl.put(txn, format!("user{:012}", i * 37 % 1000), "f0", format!("c{i}"));
+            cl.put(
+                txn,
+                format!("user{:012}", i * 37 % 1000),
+                "f0",
+                format!("c{i}"),
+            );
             cl.commit(txn, move |r| {
                 if matches!(r, CommitResult::Committed(_)) {
                     done.set(done.get() + 1);
@@ -188,7 +208,10 @@ fn read_only_transactions_commit_without_flushing() {
         });
     });
     settle(&c);
-    assert!(matches!(*outcome.borrow(), Some(CommitResult::Committed(_))));
+    assert!(matches!(
+        *outcome.borrow(),
+        Some(CommitResult::Committed(_))
+    ));
     assert_eq!(c.client(0).flushed_count(), 0, "nothing to flush");
     assert_eq!(c.tm.log().len(), 0, "read-only commits are not logged");
 }

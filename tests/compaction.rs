@@ -1,0 +1,174 @@
+//! End-to-end background-compaction tests: under a write-heavy YCSB-style
+//! load with an aggressive flush threshold, regions accumulate store
+//! files, the background compactor merges them down with MVCC garbage
+//! collection, and reads stay correct throughout.
+
+use cumulo_core::{Cluster, ClusterConfig, CommitResult};
+use cumulo_sim::SimDuration;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+const ROWS: u64 = 2_000;
+
+fn key(i: u64) -> String {
+    format!("user{i:012}")
+}
+
+/// A cluster tuned so flushes (and therefore compactions) happen within
+/// seconds instead of after gigabytes.
+fn compaction_cluster(seed: u64, compaction: bool) -> Cluster {
+    let mut cfg = ClusterConfig {
+        seed,
+        clients: 6,
+        servers: 2,
+        regions: 4,
+        key_count: ROWS,
+        compaction,
+        compaction_threshold: 3,
+        ..ClusterConfig::default()
+    };
+    cfg.server_cfg.memstore_flush_bytes = 24 << 10; // 24 KiB
+    cfg.server_cfg.flush_check_interval = SimDuration::from_millis(500);
+    cfg.server_cfg.compaction.check_interval = SimDuration::from_millis(900);
+    Cluster::build(cfg)
+}
+
+/// Drives `rounds` of write-heavy load, tracking the newest acked value
+/// per row, and returns the tracking map.
+fn write_load(cluster: &Cluster, rounds: u64) -> Rc<RefCell<HashMap<u64, (u64, String)>>> {
+    let acked: Rc<RefCell<HashMap<u64, (u64, String)>>> = Rc::new(RefCell::new(HashMap::new()));
+    for round in 0..rounds {
+        for ci in 0..cluster.clients.len() {
+            let client = cluster.client(ci).clone();
+            if !client.is_alive() {
+                continue;
+            }
+            let rows: Vec<u64> = (0..4).map(|_| cluster.sim.gen_range(0, ROWS)).collect();
+            // Padded values so memstores hit the flush threshold quickly.
+            let val = format!("r{round}c{ci}{:=>150}", "");
+            let acked2 = acked.clone();
+            let c2 = client.clone();
+            let rows2 = rows.clone();
+            client.begin(move |txn| {
+                for r in &rows2 {
+                    c2.put(txn, key(*r), "f0", format!("{val}-{r:04}"));
+                }
+                let c3 = c2.clone();
+                let rows3 = rows2.clone();
+                let val2 = val.clone();
+                c3.clone().commit(txn, move |result| {
+                    if let CommitResult::Committed(ts) = result {
+                        let mut map = acked2.borrow_mut();
+                        for r in &rows3 {
+                            match map.get(r) {
+                                Some((old_ts, _)) if *old_ts > ts.0 => {}
+                                _ => {
+                                    map.insert(*r, (ts.0, format!("{val2}-{r:04}")));
+                                }
+                            }
+                        }
+                    }
+                });
+            });
+        }
+        cluster.run_for(SimDuration::from_millis(250));
+    }
+    acked
+}
+
+fn verify_acked(cluster: &Cluster, acked: &HashMap<u64, (u64, String)>) {
+    for (row, (_, val)) in acked.iter() {
+        let got = cluster.read_cell(key(*row), "f0", SimDuration::from_secs(10));
+        let got = got.unwrap_or_else(|| panic!("acked row {row} missing"));
+        let got = String::from_utf8_lossy(&got).into_owned();
+        assert_eq!(&got, val, "row {row} lost its newest acked value");
+    }
+}
+
+/// The headline scenario: a write-heavy load accumulates store files,
+/// background compaction merges them to fewer files with obsolete MVCC
+/// versions dropped, and every acked write stays readable with its newest
+/// value. Temp files never leak into the final namespace.
+#[test]
+fn write_heavy_load_is_compacted_in_the_background() {
+    let cluster = compaction_cluster(71, true);
+    cluster.load_rows(ROWS, &["f0"], 64, true);
+    let acked = write_load(&cluster, 120);
+    // Let in-flight flushes and compactions drain.
+    cluster.run_for(SimDuration::from_secs(15));
+
+    let compactions = cluster.total_compactions();
+    assert!(
+        compactions >= 3,
+        "expected several compactions, saw {compactions}"
+    );
+    let dropped: u64 = cluster
+        .servers
+        .iter()
+        .map(|s| s.compaction_stats().versions_dropped.get())
+        .sum();
+    assert!(
+        dropped > 0,
+        "MVCC GC dropped nothing despite heavy overwrites"
+    );
+    let confirmed: u64 = cluster
+        .servers
+        .iter()
+        .map(|s| s.compaction_stats().deletes_confirmed.get())
+        .sum();
+    assert!(confirmed > 0, "no obsolete-file deletion was confirmed");
+    let amp = cluster.max_read_amplification();
+    assert!(
+        amp <= 6,
+        "read amplification unbounded: {amp} store files on one region"
+    );
+
+    // The filesystem namespace holds no temp files and only files the
+    // registry can resolve (no dangling retired paths).
+    let paths: Rc<RefCell<Option<Vec<String>>>> = Rc::new(RefCell::new(None));
+    let p2 = paths.clone();
+    let dfs = cumulo_dfs_probe(&cluster);
+    dfs.list("/store/", move |names| *p2.borrow_mut() = Some(names));
+    cluster.run_for(SimDuration::from_secs(1));
+    let paths = paths.borrow_mut().take().expect("list completed");
+    assert!(
+        !paths
+            .iter()
+            .any(|p| cumulo_store::compaction::is_tmp_path(p)),
+        "temp compaction files leaked: {paths:?}"
+    );
+
+    verify_acked(&cluster, &acked.borrow());
+}
+
+/// Same load and seed, compaction on vs off: every acked write reads
+/// back correctly either way (compaction is invisible to correctness),
+/// and the compacted cluster ends with measurably fewer store files.
+#[test]
+fn compaction_is_read_invisible_and_reduces_files() {
+    let run = |compaction: bool| {
+        let cluster = compaction_cluster(72, compaction);
+        cluster.load_rows(ROWS, &["f0"], 64, true);
+        let acked = write_load(&cluster, 90);
+        cluster.run_for(SimDuration::from_secs(15));
+        verify_acked(&cluster, &acked.borrow());
+        cluster.max_read_amplification()
+    };
+    let amp_on = run(true);
+    let amp_off = run(false);
+    assert!(
+        amp_on < amp_off,
+        "compaction should reduce store files: {amp_on} (on) vs {amp_off} (off)"
+    );
+    assert!(
+        amp_off >= 4,
+        "the uncompacted run never accumulated files; test is too weak"
+    );
+}
+
+/// Helper: a DFS client bound to a fresh probe node.
+fn cumulo_dfs_probe(cluster: &Cluster) -> cumulo_dfs::DfsClient {
+    let node = cluster.net.add_node("dfs-probe");
+    cumulo_dfs::DfsClient::new(&cluster.sim, &cluster.net, &cluster.namenode, node)
+}

@@ -20,7 +20,12 @@ fn run_scenario(seed: u64) -> (u64, u64, u64, u64) {
         let client = cluster.client((i % 4) as usize).clone();
         let c2 = client.clone();
         client.begin(move |txn| {
-            c2.put(txn, format!("user{:012}", (i * 131) % 5_000), "f0", format!("v{i}"));
+            c2.put(
+                txn,
+                format!("user{:012}", (i * 131) % 5_000),
+                "f0",
+                format!("v{i}"),
+            );
             c2.commit(txn, |_| {});
         });
         cluster.run_for(SimDuration::from_millis(100));
@@ -85,7 +90,11 @@ fn recovered_edits_files_are_garbage_collected_after_flush() {
     );
     // Data still present, now from store files.
     for i in 0..20u64 {
-        let v = cluster.read_cell(format!("user{:012}", i * 43), "f0", SimDuration::from_secs(10));
+        let v = cluster.read_cell(
+            format!("user{:012}", i * 43),
+            "f0",
+            SimDuration::from_secs(10),
+        );
         assert_eq!(v.as_deref(), Some(format!("v{i}").as_bytes()));
     }
 }
@@ -174,14 +183,22 @@ fn flush_during_outage_waits_and_completes() {
     assert!(matches!(*done.borrow(), Some(CommitResult::Committed(_))));
     // Flush must eventually complete through the failover.
     cluster.run_for(SimDuration::from_secs(15));
-    assert_eq!(cluster.client(0).flushed_count(), 1, "flush completes after recovery");
+    assert_eq!(
+        cluster.client(0).flushed_count(),
+        1,
+        "flush completes after recovery"
+    );
     assert_eq!(cluster.client(0).pending_flushes(), 0);
     assert_eq!(
-        cluster.read_cell("user000000000001", "f0", SimDuration::from_secs(10)).as_deref(),
+        cluster
+            .read_cell("user000000000001", "f0", SimDuration::from_secs(10))
+            .as_deref(),
         Some(&b"low"[..])
     );
     assert_eq!(
-        cluster.read_cell("user000000000900", "f0", SimDuration::from_secs(10)).as_deref(),
+        cluster
+            .read_cell("user000000000900", "f0", SimDuration::from_secs(10))
+            .as_deref(),
         Some(&b"high"[..])
     );
 }

@@ -42,17 +42,28 @@ fn partitioned_client_is_recovered_and_self_terminates() {
         });
     });
     cluster.run_for(SimDuration::from_secs(1));
-    assert!(matches!(*committed.borrow(), Some(CommitResult::Committed(_))));
+    assert!(matches!(
+        *committed.borrow(),
+        Some(CommitResult::Committed(_))
+    ));
 
     // Session expiry triggers client recovery; the write is replayed.
     cluster.run_for(SimDuration::from_secs(15));
-    assert!(cluster.rm.client_recovery_count() >= 1, "partition must look like a crash");
+    assert!(
+        cluster.rm.client_recovery_count() >= 1,
+        "partition must look like a crash"
+    );
     assert_eq!(
-        cluster.read_cell("user000000000099", "f0", SimDuration::from_secs(10)).as_deref(),
+        cluster
+            .read_cell("user000000000099", "f0", SimDuration::from_secs(10))
+            .as_deref(),
         Some(&b"stranded"[..])
     );
     // And the client noticed the silence and terminated itself.
-    assert!(!cluster.client(0).is_alive(), "partitioned client must self-terminate");
+    assert!(
+        !cluster.client(0).is_alive(),
+        "partitioned client must self-terminate"
+    );
 }
 
 #[test]
@@ -72,8 +83,15 @@ fn healed_partition_before_timeout_causes_no_recovery() {
     cluster.run_for(SimDuration::from_secs(1));
     cluster.net.heal(client.node(), coord_node);
     cluster.run_for(SimDuration::from_secs(10));
-    assert_eq!(cluster.rm.client_recovery_count(), 0, "no spurious recovery");
-    assert!(cluster.client(0).is_alive(), "client survives a healed partition");
+    assert_eq!(
+        cluster.rm.client_recovery_count(),
+        0,
+        "no spurious recovery"
+    );
+    assert!(
+        cluster.client(0).is_alive(),
+        "client survives a healed partition"
+    );
 
     // The client still works.
     let ok: Rc<RefCell<Option<CommitResult>>> = Rc::new(RefCell::new(None));
@@ -114,9 +132,16 @@ fn partitioned_server_is_failed_over_like_a_crash() {
     let coord_node = cluster.coord.node();
     cluster.net.partition(server_node, coord_node);
     cluster.run_for(SimDuration::from_secs(15));
-    assert!(cluster.master.failover_count() >= 1, "partition must trigger failover");
+    assert!(
+        cluster.master.failover_count() >= 1,
+        "partition must trigger failover"
+    );
     for i in 0..10u64 {
-        let v = cluster.read_cell(format!("user{:012}", i * 97), "f0", SimDuration::from_secs(10));
+        let v = cluster.read_cell(
+            format!("user{:012}", i * 97),
+            "f0",
+            SimDuration::from_secs(10),
+        );
         assert_eq!(v.as_deref(), Some(format!("p{i}").as_bytes()), "row {i}");
     }
 }

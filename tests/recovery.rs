@@ -29,8 +29,10 @@ fn run_txn(cluster: &Cluster, client_idx: usize, writes: &[(u64, &str, &str)]) -
     let client = cluster.client(client_idx).clone();
     let outcome: Rc<RefCell<Option<CommitResult>>> = Rc::new(RefCell::new(None));
     let o = outcome.clone();
-    let writes: Vec<(String, String, String)> =
-        writes.iter().map(|(k, c, v)| (key(*k), c.to_string(), v.to_string())).collect();
+    let writes: Vec<(String, String, String)> = writes
+        .iter()
+        .map(|(k, c, v)| (key(*k), c.to_string(), v.to_string()))
+        .collect();
     let c2 = client.clone();
     client.begin(move |txn| {
         for (row, col, val) in &writes {
@@ -56,11 +58,15 @@ fn committed_data_is_readable() {
     run_txn(&cluster, 0, &[(1, "f0", "v1"), (7000, "f0", "v2")]);
     cluster.run_for(SimDuration::from_secs(1));
     assert_eq!(
-        cluster.read_cell(key(1), "f0", SimDuration::from_secs(10)).as_deref(),
+        cluster
+            .read_cell(key(1), "f0", SimDuration::from_secs(10))
+            .as_deref(),
         Some(&b"v1"[..])
     );
     assert_eq!(
-        cluster.read_cell(key(7000), "f0", SimDuration::from_secs(10)).as_deref(),
+        cluster
+            .read_cell(key(7000), "f0", SimDuration::from_secs(10))
+            .as_deref(),
         Some(&b"v2"[..])
     );
 }
@@ -86,19 +92,33 @@ fn client_crash_mid_flush_is_replayed_by_recovery_manager() {
         });
     });
     cluster.run_for(SimDuration::from_secs(1));
-    assert!(committed.borrow().is_some(), "commit must have succeeded before the crash");
-    assert_eq!(cluster.client(0).flushed_count(), 0, "crash preceded the flush");
+    assert!(
+        committed.borrow().is_some(),
+        "commit must have succeeded before the crash"
+    );
+    assert_eq!(
+        cluster.client(0).flushed_count(),
+        0,
+        "crash preceded the flush"
+    );
 
     // Heartbeats stop; the session expires; the recovery manager replays
     // from the transaction manager's log.
     cluster.run_for(SimDuration::from_secs(15));
-    assert!(cluster.rm.client_recovery_count() >= 1, "client recovery must have run");
+    assert!(
+        cluster.rm.client_recovery_count() >= 1,
+        "client recovery must have run"
+    );
     assert_eq!(
-        cluster.read_cell(key(42), "f0", SimDuration::from_secs(10)).as_deref(),
+        cluster
+            .read_cell(key(42), "f0", SimDuration::from_secs(10))
+            .as_deref(),
         Some(&b"precious"[..])
     );
     assert_eq!(
-        cluster.read_cell(key(9000), "f0", SimDuration::from_secs(10)).as_deref(),
+        cluster
+            .read_cell(key(9000), "f0", SimDuration::from_secs(10))
+            .as_deref(),
         Some(&b"precious2"[..])
     );
 }
@@ -119,14 +139,21 @@ fn server_crash_with_unsynced_wal_loses_nothing() {
     // buffers that sync only on the (1 s) tracker heartbeat.
     let mut expected = Vec::new();
     for i in 0..30u64 {
-        run_txn(&cluster, (i % 3) as usize, &[(i * 300, "f0", &format!("val{i}"))]);
+        run_txn(
+            &cluster,
+            (i % 3) as usize,
+            &[(i * 300, "f0", &format!("val{i}"))],
+        );
         expected.push((i * 300, format!("val{i}")));
     }
     // Crash one server quickly — some WAL entries are not yet durable.
     cluster.crash_server(0);
     cluster.run_for(SimDuration::from_secs(15));
     assert!(cluster.all_regions_online(), "failover must complete");
-    assert!(cluster.rm.region_recovery_count() >= 1, "transactional recovery must have run");
+    assert!(
+        cluster.rm.region_recovery_count() >= 1,
+        "transactional recovery must have run"
+    );
     for (k, v) in expected {
         let got = cluster.read_cell(key(k), "f0", SimDuration::from_secs(10));
         assert_eq!(got.as_deref(), Some(v.as_bytes()), "row {k} lost");
@@ -155,7 +182,9 @@ fn processing_continues_on_surviving_server_during_recovery() {
     assert!(ts > 0);
     cluster.run_for(SimDuration::from_secs(10));
     assert_eq!(
-        cluster.read_cell(key(k), "f0", SimDuration::from_secs(10)).as_deref(),
+        cluster
+            .read_cell(key(k), "f0", SimDuration::from_secs(10))
+            .as_deref(),
         Some(&b"during-recovery"[..])
     );
 }
@@ -172,7 +201,11 @@ fn cascading_server_failures_preserve_all_commits() {
     });
     let mut expected = Vec::new();
     for i in 0..40u64 {
-        run_txn(&cluster, (i % 3) as usize, &[(i * 200, "f0", &format!("v{i}"))]);
+        run_txn(
+            &cluster,
+            (i % 3) as usize,
+            &[(i * 200, "f0", &format!("v{i}"))],
+        );
         expected.push((i * 200, format!("v{i}")));
     }
     // First failure; then, while its regions are still being recovered,
@@ -181,10 +214,17 @@ fn cascading_server_failures_preserve_all_commits() {
     cluster.run_for(SimDuration::from_millis(2500)); // mid-recovery
     cluster.crash_server(1);
     cluster.run_for(SimDuration::from_secs(25));
-    assert!(cluster.all_regions_online(), "all regions must land on the survivor");
+    assert!(
+        cluster.all_regions_online(),
+        "all regions must land on the survivor"
+    );
     for (k, v) in expected {
         let got = cluster.read_cell(key(k), "f0", SimDuration::from_secs(10));
-        assert_eq!(got.as_deref(), Some(v.as_bytes()), "row {k} lost in cascade");
+        assert_eq!(
+            got.as_deref(),
+            Some(v.as_bytes()),
+            "row {k} lost in cascade"
+        );
     }
 }
 
@@ -193,7 +233,11 @@ fn recovery_manager_crash_delays_but_does_not_lose_recovery() {
     let cluster = small_cluster(7);
     let mut expected = Vec::new();
     for i in 0..20u64 {
-        run_txn(&cluster, (i % 3) as usize, &[(i * 400, "f0", &format!("v{i}"))]);
+        run_txn(
+            &cluster,
+            (i % 3) as usize,
+            &[(i * 400, "f0", &format!("v{i}"))],
+        );
         expected.push((i * 400, format!("v{i}")));
     }
     // Kill the recovery manager first, then a region server.
@@ -202,15 +246,25 @@ fn recovery_manager_crash_delays_but_does_not_lose_recovery() {
     cluster.run_for(SimDuration::from_secs(10));
     // HBase-internal failover happened, but the regions stay gated
     // waiting for transactional recovery.
-    assert!(!cluster.all_regions_online(), "regions must wait for the recovery manager");
+    assert!(
+        !cluster.all_regions_online(),
+        "regions must wait for the recovery manager"
+    );
     // Transaction processing on the survivor continues meanwhile (reads
     // of its keys, new commits) — checked implicitly by restart below.
     cluster.restart_recovery_manager();
     cluster.run_for(SimDuration::from_secs(15));
-    assert!(cluster.all_regions_online(), "recovery resumes after restart");
+    assert!(
+        cluster.all_regions_online(),
+        "recovery resumes after restart"
+    );
     for (k, v) in expected {
         let got = cluster.read_cell(key(k), "f0", SimDuration::from_secs(10));
-        assert_eq!(got.as_deref(), Some(v.as_bytes()), "row {k} lost across RM restart");
+        assert_eq!(
+            got.as_deref(),
+            Some(v.as_bytes()),
+            "row {k} lost across RM restart"
+        );
     }
 }
 
@@ -233,7 +287,9 @@ fn client_crash_while_recovery_manager_down_is_recovered_on_restart() {
     cluster.run_for(SimDuration::from_secs(15));
     assert!(cluster.rm.client_recovery_count() >= 1);
     assert_eq!(
-        cluster.read_cell(key(77), "f0", SimDuration::from_secs(10)).as_deref(),
+        cluster
+            .read_cell(key(77), "f0", SimDuration::from_secs(10))
+            .as_deref(),
         Some(&b"orphan"[..])
     );
 }
@@ -251,7 +307,10 @@ fn thresholds_advance_and_log_truncates() {
     assert!(t_f.0 > 0, "T_F must advance");
     assert!(t_p.0 > 0, "T_P must advance");
     assert!(t_p <= t_f, "T_P ≤ T_F invariant");
-    assert!(cluster.rm.truncation_count() > 0, "checkpoints must truncate");
+    assert!(
+        cluster.rm.truncation_count() > 0,
+        "checkpoints must truncate"
+    );
     assert!(
         cluster.tm.log().truncated_below().0 > 0,
         "the log must actually shrink ({} records left)",
@@ -268,7 +327,11 @@ fn thresholds_advance_and_log_truncates() {
     cluster.run_for(SimDuration::from_secs(15));
     for (k, v) in expected {
         let got = cluster.read_cell(key(k), "f1", SimDuration::from_secs(10));
-        assert_eq!(got.as_deref(), Some(v.as_bytes()), "row {k} lost after truncation");
+        assert_eq!(
+            got.as_deref(),
+            Some(v.as_bytes()),
+            "row {k} lost after truncation"
+        );
     }
 }
 
@@ -307,11 +370,17 @@ fn synchronous_mode_survives_instant_server_crash() {
         let map = cluster.master.snapshot_map();
         map.server_for(map.region_for(key(123).as_bytes())).unwrap()
     };
-    let idx = cluster.servers.iter().position(|s| s.id() == hosting).unwrap();
+    let idx = cluster
+        .servers
+        .iter()
+        .position(|s| s.id() == hosting)
+        .unwrap();
     cluster.crash_server(idx);
     cluster.run_for(SimDuration::from_secs(15));
     assert_eq!(
-        cluster.read_cell(key(123), "f0", SimDuration::from_secs(10)).as_deref(),
+        cluster
+            .read_cell(key(123), "f0", SimDuration::from_secs(10))
+            .as_deref(),
         Some(&b"sync-durable"[..])
     );
 }

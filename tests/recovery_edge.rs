@@ -62,11 +62,15 @@ fn server_failure_during_client_recovery() {
     assert!(cluster.rm.client_recovery_count() >= 1);
     assert!(cluster.all_regions_online());
     assert_eq!(
-        cluster.read_cell(key(100), "f0", SimDuration::from_secs(10)).as_deref(),
+        cluster
+            .read_cell(key(100), "f0", SimDuration::from_secs(10))
+            .as_deref(),
         Some(&b"victim-data"[..])
     );
     assert_eq!(
-        cluster.read_cell(key(4000), "f0", SimDuration::from_secs(10)).as_deref(),
+        cluster
+            .read_cell(key(4000), "f0", SimDuration::from_secs(10))
+            .as_deref(),
         Some(&b"victim-data2"[..])
     );
 }
@@ -151,7 +155,10 @@ fn flapping_recovery_manager_still_converges() {
         cluster.restart_recovery_manager();
     }
     cluster.run_for(SimDuration::from_secs(20));
-    assert!(cluster.all_regions_online(), "recovery must converge despite RM flapping");
+    assert!(
+        cluster.all_regions_online(),
+        "recovery must converge despite RM flapping"
+    );
     for (k, v) in expected {
         let got = cluster.read_cell(key(k), "f0", SimDuration::from_secs(10));
         assert_eq!(got.as_deref(), Some(v.as_bytes()), "row {k}");

@@ -37,7 +37,11 @@ fn rate_limited_driver_hits_its_target() {
         "offered 60 tps, measured {:.1}",
         report.throughput_tps
     );
-    assert!(report.mean_ms > 1.0 && report.mean_ms < 100.0, "mean {} ms", report.mean_ms);
+    assert!(
+        report.mean_ms > 1.0 && report.mean_ms < 100.0,
+        "mean {} ms",
+        report.mean_ms
+    );
     assert!(report.p99_ms >= report.p95_ms && report.p95_ms >= report.mean_ms / 2.0);
 }
 
@@ -105,14 +109,22 @@ fn throughput_dips_and_recovers_around_a_server_crash() {
     let rate = |i: usize| windows[i].rate(SimDuration::from_secs(2));
     // Steady before the crash (windows 5..14 ≈ t=10..28).
     for i in 5..14 {
-        assert!(rate(i) > 120.0, "window {i} should be steady, got {:.1}", rate(i));
+        assert!(
+            rate(i) > 120.0,
+            "window {i} should be steady, got {:.1}",
+            rate(i)
+        );
     }
     // A clear dip around the crash (t=30..36 → windows 15..18).
     let dip = (15..19).map(rate).fold(f64::MAX, f64::min);
     assert!(dip < 110.0, "expected a throughput dip, got min {:.1}", dip);
     // Recovered by t>=46 (window 23+).
     for i in 23..28 {
-        assert!(rate(i) > 120.0, "window {i} should have recovered, got {:.1}", rate(i));
+        assert!(
+            rate(i) > 120.0,
+            "window {i} should have recovered, got {:.1}",
+            rate(i)
+        );
     }
     // Nothing stuck: all regions online at the end.
     assert!(c.all_regions_online());

@@ -1,0 +1,221 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Runs each benchmark closure for a small fixed sample and prints the
+//! mean wall-clock time per iteration. There is no statistical analysis,
+//! warm-up calibration or HTML report — just enough to compile and run
+//! the workspace's `#[bench]`-style targets and compare numbers by eye.
+
+use std::time::{Duration, Instant};
+
+/// How a batched input's size relates to the measurement (accepted for
+/// API compatibility; the subset treats all variants identically).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch upstream.
+    SmallInput,
+    /// Large inputs: few per batch upstream.
+    LargeInput,
+    /// One input per iteration upstream.
+    PerIteration,
+}
+
+/// Prevents the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The per-benchmark timing driver passed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    /// Filled by the iteration methods: (total time, iterations).
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine`, running it repeatedly.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let iters = self.calibrate(|| {
+            black_box(routine());
+        });
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.result = Some((start.elapsed(), iters));
+    }
+
+    /// Times `routine` on fresh inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let iters = {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            let once = start.elapsed().max(Duration::from_nanos(1));
+            self.target_iters(once)
+        };
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.result = Some((total, iters));
+    }
+
+    fn calibrate(&self, mut once: impl FnMut()) -> u64 {
+        let start = Instant::now();
+        once();
+        let elapsed = start.elapsed().max(Duration::from_nanos(1));
+        self.target_iters(elapsed)
+    }
+
+    /// Picks an iteration count aiming for ~100ms of measurement, capped
+    /// by the sample size for slow benchmarks.
+    fn target_iters(&self, once: Duration) -> u64 {
+        let budget = Duration::from_millis(100);
+        let by_time = (budget.as_nanos() / once.as_nanos().max(1)).max(1) as u64;
+        by_time.min(self.sample_size as u64 * 10).max(1)
+    }
+}
+
+fn report(name: &str, total: Duration, iters: u64) {
+    let per = total.as_nanos() as f64 / iters as f64;
+    let (value, unit) = if per >= 1e9 {
+        (per / 1e9, "s")
+    } else if per >= 1e6 {
+        (per / 1e6, "ms")
+    } else if per >= 1e3 {
+        (per / 1e3, "µs")
+    } else {
+        (per, "ns")
+    };
+    println!("{name:<50} time: {value:>10.3} {unit}/iter ({iters} iters)");
+}
+
+/// The benchmark registry driver (a minimal `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: &str,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Criterion {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            result: None,
+        };
+        f(&mut b);
+        match b.result {
+            Some((total, iters)) => report(name, total, iters),
+            None => println!("{name:<50} (no measurement recorded)"),
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_owned(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample size for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            result: None,
+        };
+        f(&mut b);
+        let full = format!("{}/{}", self.name, name);
+        match b.result {
+            Some((total, iters)) => report(&full, total, iters),
+            None => println!("{full:<50} (no measurement recorded)"),
+        }
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function that runs the listed targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` to run the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8; 16],
+                |v| {
+                    runs += 1;
+                    v.len()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        assert!(runs > 0);
+        let mut g = c.benchmark_group("group");
+        g.sample_size(2)
+            .bench_function("inner", |b| b.iter(|| black_box(2 * 2)));
+        g.finish();
+    }
+}
