@@ -1,0 +1,145 @@
+//! Bloom-filtered point-get microbench: consulted files per get and read
+//! latency on a deep store-file stack, with filters off versus on.
+//!
+//! Compaction is held off while a write-heavy phase with an aggressive
+//! flush threshold piles store files onto every region — the worst case
+//! for read amplification. A read-only phase then measures point gets
+//! twice over the *identical* file stack: once with bloom probing
+//! disabled (key-range pruning only, the baseline) and once enabled,
+//! using the servers' runtime filter switch. Filter verification is on,
+//! so any false negative — a filter wrongly excluding a file that holds
+//! the key — is counted and fails the run.
+//!
+//! Run: `cargo run --release -p cumulo-bench --bin point_get`
+//! (`CUMULO_QUICK=1` for a scaled-down smoke run).
+
+use cumulo_bench::run_measurement;
+use cumulo_core::{Cluster, ClusterConfig};
+use cumulo_sim::SimDuration;
+use cumulo_ycsb::Workload;
+
+fn main() {
+    let quick = std::env::var("CUMULO_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    // A key space large relative to the write volume: each row collects
+    // only a few versions, so any one key lives in a few of the many
+    // store files — the regime bloom filters exist for. (A tiny, heavily
+    // over-written key space would put every key in almost every file
+    // and no membership filter could prune anything.)
+    let rows: u64 = if quick { 20_000 } else { 100_000 };
+    let write_secs = if quick { 20 } else { 60 };
+    let read_secs = if quick { 10 } else { 20 };
+
+    let mut cfg = ClusterConfig {
+        seed: 4242,
+        servers: 2,
+        clients: 24,
+        regions: 4,
+        key_count: rows,
+        // Hold compaction off so the file stack only deepens: this bench
+        // isolates what filters buy *between* compactions.
+        compaction: false,
+        ..ClusterConfig::default()
+    };
+    // Flush every ~128 KiB so the stack reaches ≥15 files per region
+    // within the simulated write phase.
+    cfg.server_cfg.memstore_flush_bytes = 128 << 10;
+    cfg.server_cfg.flush_check_interval = SimDuration::from_millis(500);
+    cfg.server_cfg.verify_filters = true;
+    let cluster = Cluster::build(cfg);
+    cluster.load_rows(rows, &["f0"], 100, true);
+
+    // Phase 1: write-heavy load accumulates store files.
+    let write_workload = Workload {
+        record_count: rows,
+        threads: 24,
+        ops_per_txn: 10,
+        read_ratio: 0.1,
+        window: SimDuration::from_secs(5),
+        ..Workload::default()
+    };
+    run_measurement(
+        &cluster,
+        write_workload,
+        SimDuration::from_secs(2),
+        SimDuration::from_secs(write_secs),
+    );
+    // Drain in-flight flushes so both read phases see the same stack.
+    cluster.run_for(SimDuration::from_secs(20));
+    let stack = cluster.max_read_amplification();
+    eprintln!("[point_get] file stack after write phase: {stack} store files (compaction off)");
+
+    // Phase 2: the same read-only workload over the identical file
+    // stack, filters off then on.
+    println!(
+        "mode,store_files_max,consulted_per_get,probes_per_get,false_positive_rate,\
+         false_negatives,throughput_tps,mean_ms,p95_ms,p99_ms,committed"
+    );
+    let mut consulted = [0.0f64; 2];
+    let mut means = [0.0f64; 2];
+    for (i, filters) in [false, true].into_iter().enumerate() {
+        cluster.set_bloom_filters(filters);
+        let before = cluster.filter_totals();
+        let read_workload = Workload {
+            record_count: rows,
+            threads: 24,
+            ops_per_txn: 10,
+            read_ratio: 1.0,
+            window: SimDuration::from_secs(5),
+            ..Workload::default()
+        };
+        let (_d, r) = run_measurement(
+            &cluster,
+            read_workload,
+            SimDuration::from_secs(2),
+            SimDuration::from_secs(read_secs),
+        );
+        let t = cluster.filter_totals().since(&before);
+        let label = if filters { "filters_on" } else { "filters_off" };
+        let probes_per_get = if t.gets_served == 0 {
+            0.0
+        } else {
+            t.probes as f64 / t.gets_served as f64
+        };
+        consulted[i] = t.consulted_per_get();
+        means[i] = r.mean_ms;
+        println!(
+            "{label},{stack},{:.3},{:.3},{:.5},{},{:.1},{:.2},{:.2},{:.2},{}",
+            t.consulted_per_get(),
+            probes_per_get,
+            t.false_positive_rate(),
+            t.false_negatives,
+            r.throughput_tps,
+            r.mean_ms,
+            r.p95_ms,
+            r.p99_ms,
+            r.committed,
+        );
+        eprintln!(
+            "[point_get] {label:>11}: {:5.2} files/get, {:5.2} probes/get, fp rate {:.3}%, \
+             {} false negatives, {:6.1} tps, mean {:5.2} ms, p99 {:5.2} ms",
+            t.consulted_per_get(),
+            probes_per_get,
+            t.false_positive_rate() * 100.0,
+            t.false_negatives,
+            r.throughput_tps,
+            r.mean_ms,
+            r.p99_ms,
+        );
+        assert_eq!(
+            t.false_negatives, 0,
+            "bloom filter produced a false negative"
+        );
+    }
+    if consulted[0] > 0.0 {
+        let cut = 100.0 * (1.0 - consulted[1] / consulted[0]);
+        eprintln!(
+            "[point_get] filters cut consulted files/get by {cut:.1}% \
+             ({:.2} -> {:.2}) and mean latency {:.2} ms -> {:.2} ms",
+            consulted[0], consulted[1], means[0], means[1],
+        );
+    } else {
+        eprintln!("[point_get] baseline consulted no store files; nothing for filters to cut");
+    }
+}

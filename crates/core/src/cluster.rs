@@ -547,4 +547,93 @@ impl Cluster {
             .max()
             .unwrap_or(0)
     }
+
+    /// Cluster-wide snapshot of the point-get filter statistics, summed
+    /// across all region servers (see `cumulo_store::FilterStats`).
+    pub fn filter_totals(&self) -> FilterTotals {
+        let mut t = FilterTotals::default();
+        for s in &self.servers {
+            let fs = s.filter_stats();
+            t.probes += fs.probes.get();
+            t.range_skips += fs.range_skips.get();
+            t.filter_skips += fs.filter_skips.get();
+            t.false_positives += fs.false_positives.get();
+            t.false_negatives += fs.false_negatives.get();
+            t.files_consulted += fs.files_consulted.get();
+            t.filter_bytes += fs.filter_bytes.get();
+            t.gets_served += s.gets_served();
+        }
+        t
+    }
+
+    /// Toggles bloom probing on point gets on every region server (the
+    /// benchmarks' A/B switch; the store-file stacks are unaffected).
+    pub fn set_bloom_filters(&self, enabled: bool) {
+        for s in &self.servers {
+            s.set_bloom_filters(enabled);
+        }
+    }
+}
+
+/// Cluster-wide sums of the per-server point-get filter statistics.
+///
+/// Counters only ever grow, so the difference of two snapshots
+/// ([`FilterTotals::since`]) isolates one measurement phase.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct FilterTotals {
+    /// Bloom-filter probes performed.
+    pub probes: u64,
+    /// Files excluded by key-range pruning.
+    pub range_skips: u64,
+    /// Files excluded by a negative bloom probe.
+    pub filter_skips: u64,
+    /// Consulted files that did not hold the key (filter false positives).
+    pub false_positives: u64,
+    /// Wrong filter exclusions (requires `verify_filters`; must be zero).
+    pub false_negatives: u64,
+    /// Store files consulted by point gets.
+    pub files_consulted: u64,
+    /// Point gets served.
+    pub gets_served: u64,
+    /// Current filter-metadata bytes across all servers (a gauge, not a
+    /// counter — `since` keeps the later snapshot's value).
+    pub filter_bytes: u64,
+}
+
+impl FilterTotals {
+    /// The counter deltas accumulated after `earlier` was taken.
+    pub fn since(&self, earlier: &FilterTotals) -> FilterTotals {
+        FilterTotals {
+            probes: self.probes - earlier.probes,
+            range_skips: self.range_skips - earlier.range_skips,
+            filter_skips: self.filter_skips - earlier.filter_skips,
+            false_positives: self.false_positives - earlier.false_positives,
+            false_negatives: self.false_negatives - earlier.false_negatives,
+            files_consulted: self.files_consulted - earlier.files_consulted,
+            gets_served: self.gets_served - earlier.gets_served,
+            filter_bytes: self.filter_bytes,
+        }
+    }
+
+    /// Mean store files consulted per point get (0 if no gets).
+    pub fn consulted_per_get(&self) -> f64 {
+        if self.gets_served == 0 {
+            0.0
+        } else {
+            self.files_consulted as f64 / self.gets_served as f64
+        }
+    }
+
+    /// Fraction of filter *negatives-or-false-positives* that were false
+    /// positives: `fp / (fp + true negatives)`, the standard bloom
+    /// false-positive rate (0 if the filter never answered for an absent
+    /// key).
+    pub fn false_positive_rate(&self) -> f64 {
+        let denominator = self.false_positives + self.filter_skips;
+        if denominator == 0 {
+            0.0
+        } else {
+            self.false_positives as f64 / denominator as f64
+        }
+    }
 }

@@ -9,6 +9,13 @@
 //!
 //! Keys are `(region, row)` pairs: we model cache residency at row
 //! granularity, which is what decides hit-or-miss service time.
+//!
+//! The hot read path hits [`BlockCache::access`] once per get, so the
+//! index is a two-level `HashMap<RegionId, HashMap<Bytes, usize>>` into
+//! the intrusive LRU list: hit-path lookups are O(1) *and*
+//! allocation-free (the inner map is queried by `&[u8]`, no owned key is
+//! built for a probe), and evicting a region on a move or compaction
+//! walks only that region's entries instead of the whole cache.
 
 use crate::types::RegionId;
 use bytes::Bytes;
@@ -44,7 +51,10 @@ struct Entry {
 /// ```
 pub struct BlockCache {
     capacity: usize,
-    map: HashMap<Key, usize>,
+    /// Per-region index into `entries`; the inner map is queried by
+    /// borrowed `&[u8]` rows so the hit path never allocates.
+    map: HashMap<RegionId, HashMap<Bytes, usize>>,
+    len: usize,
     entries: Vec<Entry>,
     free: Vec<usize>,
     head: usize, // most recently used
@@ -57,7 +67,7 @@ pub struct BlockCache {
 impl fmt::Debug for BlockCache {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("BlockCache")
-            .field("len", &self.map.len())
+            .field("len", &self.len)
             .field("capacity", &self.capacity)
             .field("hits", &self.hits)
             .field("misses", &self.misses)
@@ -77,6 +87,7 @@ impl BlockCache {
         BlockCache {
             capacity,
             map: HashMap::new(),
+            len: 0,
             entries: Vec::new(),
             free: Vec::new(),
             head: NIL,
@@ -115,10 +126,14 @@ impl BlockCache {
 
     /// Checks residency *and records the access*: a hit refreshes the
     /// entry's recency, a miss bumps the miss counter. This is the method
-    /// the read path uses.
+    /// the read path uses — one O(1) borrowed lookup, no allocation.
     pub fn access(&mut self, region: RegionId, row: &[u8]) -> bool {
-        let key = (region, Bytes::copy_from_slice(row));
-        if let Some(&idx) = self.map.get(&key) {
+        let hit = self
+            .map
+            .get(&region)
+            .and_then(|rows| rows.get(row))
+            .copied();
+        if let Some(idx) = hit {
             self.hits += 1;
             self.detach(idx);
             self.attach_front(idx);
@@ -132,27 +147,43 @@ impl BlockCache {
     /// Pure residency check, with no recency or statistics side effects.
     pub fn contains(&self, region: RegionId, row: &[u8]) -> bool {
         self.map
-            .contains_key(&(region, Bytes::copy_from_slice(row)))
+            .get(&region)
+            .map(|rows| rows.contains_key(row))
+            .unwrap_or(false)
+    }
+
+    /// Removes `key` from the index, dropping its region's inner map when
+    /// it empties (a region that moved away should not pin an entry).
+    fn unindex(&mut self, key: &Key) -> Option<usize> {
+        let rows = self.map.get_mut(&key.0)?;
+        let idx = rows.remove(&key.1);
+        if idx.is_some() {
+            self.len -= 1;
+            if rows.is_empty() {
+                self.map.remove(&key.0);
+            }
+        }
+        idx
     }
 
     /// Inserts a block (after a miss fetched it), evicting the least
     /// recently used block if full.
     pub fn insert(&mut self, region: RegionId, row: Bytes) {
-        let key = (region, row);
-        if let Some(&idx) = self.map.get(&key) {
+        if let Some(&idx) = self.map.get(&region).and_then(|rows| rows.get(&row)) {
             self.detach(idx);
             self.attach_front(idx);
             return;
         }
-        if self.map.len() >= self.capacity {
+        if self.len >= self.capacity {
             let victim = self.tail;
             debug_assert_ne!(victim, NIL);
             self.detach(victim);
             let vkey = self.entries[victim].key.clone();
-            self.map.remove(&vkey);
+            self.unindex(&vkey);
             self.free.push(victim);
             self.evictions += 1;
         }
+        let key = (region, row);
         let idx = match self.free.pop() {
             Some(i) => {
                 self.entries[i] = Entry {
@@ -171,35 +202,39 @@ impl BlockCache {
                 self.entries.len() - 1
             }
         };
-        self.map.insert(key, idx);
+        self.map.entry(region).or_default().insert(key.1, idx);
+        self.len += 1;
         self.attach_front(idx);
     }
 
     /// Drops every cached block of `region` (used when a region moves away
-    /// from this server).
+    /// from this server or a compaction rewrites its blocks). O(blocks of
+    /// `region`), not O(cache).
     pub fn evict_region(&mut self, region: RegionId) {
-        let doomed: Vec<Key> = self
-            .map
-            .keys()
-            .filter(|(r, _)| *r == region)
-            .cloned()
-            .collect();
-        for key in doomed {
-            if let Some(idx) = self.map.remove(&key) {
-                self.detach(idx);
-                self.free.push(idx);
-            }
+        let Some(rows) = self.map.remove(&region) else {
+            return;
+        };
+        self.len -= rows.len();
+        // Slot indices are internal, but free-list order decides which
+        // slot a future insert reuses — keep it independent of HashMap
+        // iteration order so identical runs stay byte-identical in every
+        // observable detail (the repo's determinism invariant).
+        let mut doomed: Vec<usize> = rows.into_values().collect();
+        doomed.sort_unstable();
+        for idx in doomed {
+            self.detach(idx);
+            self.free.push(idx);
         }
     }
 
     /// Blocks currently cached.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.len
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.len == 0
     }
 
     /// Total recorded hits.

@@ -49,6 +49,24 @@
 //! merged file *and* the inputs; that duplication is read-equivalent
 //! because the merged file contains exactly the surviving versions of its
 //! inputs.
+//!
+//! ## Compaction and the read-path service model
+//!
+//! A point get pays, per region, one `storefile_read_service` term for
+//! every store file it *consults* beyond the first. Which files those are
+//! is decided by per-file metadata (see `sstable.rs`): key-range pruning
+//! excludes files whose min/max row range misses the key for free, and a
+//! per-file bloom filter over `(row, column)` pairs excludes most of the
+//! rest at a small `filter_probe_service` cost each. Compaction interacts
+//! with that model in two ways: it bounds the *file count* (and with it
+//! the number of probes a get pays), and its merge output is rebuilt with
+//! fresh range and filter metadata via
+//! [`StoreFileData::from_sorted_entries`] — dropping the inputs' filters
+//! and creating one sized for the surviving entries, which
+//! [`CompactionStats::filter_bytes_dropped`] and
+//! [`CompactionStats::filter_bytes_created`] make observable. Scans
+//! cannot use per-key filters; for them only range pruning and the file
+//! count bound apply.
 
 use crate::sstable::{StoreFileData, StoreFileEntry};
 use crate::types::{RegionId, Timestamp};
@@ -152,6 +170,12 @@ pub struct CompactionStats {
     pub files_retired: Counter,
     /// Obsolete-file deletions confirmed by the filesystem.
     pub deletes_confirmed: Counter,
+    /// Bytes of bloom-filter metadata retired with the input files —
+    /// together with `filter_bytes_created`, the filter overhead a
+    /// compaction churns.
+    pub filter_bytes_dropped: Counter,
+    /// Bytes of bloom-filter metadata built for merged output files.
+    pub filter_bytes_created: Counter,
     /// Current worst-case read amplification: the largest store-file
     /// count across the server's hosted regions.
     pub read_amplification: Gauge,

@@ -36,9 +36,13 @@
 //!    MVCC-versioned [`MemStore`] and is immediately readable.
 //! 3. **Flush** — when a memstore exceeds its size threshold, its
 //!    contents are snapshotted and written to the distributed filesystem
-//!    as a sorted, immutable **store file** ([`StoreFileData`]); the WAL
-//!    entries it covers become dead weight and recovered-edits files are
-//!    deleted.
+//!    as a sorted, immutable **store file** ([`StoreFileData`]) carrying
+//!    min/max row-key range metadata and a deterministic per-file
+//!    [`bloom`] filter over its `(row, column)` pairs; the WAL entries it
+//!    covers become dead weight and recovered-edits files are deleted.
+//!    Point gets consult only files whose range covers the key *and*
+//!    whose filter matches ([`FilterStats`] counts probes, skips and
+//!    false positives); scans prune by range only.
 //! 4. **Compaction** — flushes accumulate store files, and every read
 //!    must consult all of them (*read amplification*). The background
 //!    [`compaction`] stage merges a size-tiered candidate set back into
@@ -54,6 +58,7 @@
 #![warn(rust_2018_idioms)]
 
 mod blockcache;
+pub mod bloom;
 mod client;
 pub mod codec;
 pub mod compaction;
@@ -76,7 +81,7 @@ pub use hooks::{NoopHooks, RecoveryHooks};
 pub use master::{Master, MasterConfig, ServerDirectory};
 pub use memstore::{MemStore, VersionedValue};
 pub use region::{RegionDescriptor, RegionMap};
-pub use server::{RegionServer, RegionServerConfig};
+pub use server::{FilterStats, RegionServer, RegionServerConfig};
 pub use sstable::{StoreFileData, StoreFileEntry, StoreFileRegistry};
 pub use types::{ClientId, Mutation, MutationKind, RegionId, ServerId, Timestamp, WriteSet};
 pub use wal::{split_wal, Wal, WalSyncMode};

@@ -15,6 +15,7 @@ use crate::wal::{Wal, WalSyncMode};
 use bytes::Bytes;
 use cumulo_coord::CoordClient;
 use cumulo_dfs::DfsClient;
+use cumulo_sim::metrics::{Counter, Gauge};
 use cumulo_sim::{every_from, Network, NodeId, ServiceQueue, Sim, SimDuration, TimerHandle};
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
@@ -63,8 +64,24 @@ pub struct RegionServerConfig {
     pub coord_session_timeout: SimDuration,
     /// Extra handler occupancy per store file consulted *beyond the
     /// first* on gets and scans — the read-amplification cost that
-    /// background compaction exists to bound.
+    /// background compaction exists to bound. Point gets consult only
+    /// files that survive key-range pruning and a bloom-filter probe;
+    /// scans consult every file whose row range overlaps theirs.
     pub storefile_read_service: SimDuration,
+    /// Handler occupancy per bloom-filter probe on a point get: filters
+    /// are not free, they trade a small fixed cost per range-covering
+    /// file for the much larger `storefile_read_service` of consulting
+    /// files that cannot contain the key.
+    pub filter_probe_service: SimDuration,
+    /// Whether point gets use the per-file bloom filters (key-range
+    /// pruning is always on — it is a free metadata comparison). Mostly
+    /// an A/B switch for benchmarks; see [`RegionServer::set_bloom_filters`].
+    pub bloom_filters: bool,
+    /// Measurement-only cross-check: when a filter excludes a file, also
+    /// run the exact membership check and count a false negative if the
+    /// filter was wrong (it never should be). Costs host time, not
+    /// simulated service time; enable in tests and benches.
+    pub verify_filters: bool,
     /// Background compaction knobs.
     pub compaction: CompactionConfig,
 }
@@ -89,9 +106,43 @@ impl Default for RegionServerConfig {
             coord_heartbeat_interval: SimDuration::from_millis(500),
             coord_session_timeout: SimDuration::from_millis(1800),
             storefile_read_service: SimDuration::from_micros(120),
+            filter_probe_service: SimDuration::from_micros(2),
+            bloom_filters: true,
+            verify_filters: false,
             compaction: CompactionConfig::default(),
         }
     }
+}
+
+/// Shared observability for the bloom-filtered point-get read path (all
+/// handles clone cheaply and share state, like [`CompactionStats`]).
+///
+/// Probes, skips and consultations are recorded where the read actually
+/// executes, so the counters describe real behavior, not the up-front
+/// cost estimate. Scans are not metered here (they use range pruning
+/// only).
+#[derive(Clone, Default, Debug)]
+pub struct FilterStats {
+    /// Bloom-filter probes performed (one per range-covering file per
+    /// point get, while filters are enabled).
+    pub probes: Counter,
+    /// Files excluded from a point get by key-range pruning.
+    pub range_skips: Counter,
+    /// Files excluded from a point get by a negative bloom probe.
+    pub filter_skips: Counter,
+    /// Consulted files that turned out not to hold the key at all — the
+    /// filter's false positives (measurable because the registry holds
+    /// real bytes, so the exact membership check is cheap).
+    pub false_positives: Counter,
+    /// Filter exclusions that were wrong (requires
+    /// `RegionServerConfig::verify_filters`). Must stay zero: a false
+    /// negative would silently lose a committed version from reads.
+    pub false_negatives: Counter,
+    /// Store files actually consulted by point gets.
+    pub files_consulted: Counter,
+    /// Current bytes of bloom-filter metadata across the server's hosted
+    /// store files (including flushing snapshots).
+    pub filter_bytes: Gauge,
 }
 
 struct RegionState {
@@ -130,6 +181,10 @@ pub struct RegionServer {
     puts: Cell<u64>,
     not_serving: Cell<u64>,
     compaction_stats: CompactionStats,
+    filter_stats: FilterStats,
+    /// Runtime master switch for bloom probes (initialized from
+    /// [`RegionServerConfig::bloom_filters`]).
+    bloom_enabled: Cell<bool>,
     /// Coordination handle (set by [`RegionServer::start`]); compaction
     /// uses it as a fencing check before destroying retired files.
     coord: RefCell<Option<CoordClient>>,
@@ -187,6 +242,8 @@ impl RegionServer {
             puts: Cell::new(0),
             not_serving: Cell::new(0),
             compaction_stats: CompactionStats::default(),
+            filter_stats: FilterStats::default(),
+            bloom_enabled: Cell::new(cfg.bloom_filters),
             coord: RefCell::new(None),
             gc_watermark: RefCell::new(None),
             self_weak: RefCell::new(Weak::new()),
@@ -311,6 +368,26 @@ impl RegionServer {
         &self.compaction_stats
     }
 
+    /// Point-get filter observability: probes, skips, false positives
+    /// and the current filter-metadata footprint (shared handles; clone
+    /// freely).
+    pub fn filter_stats(&self) -> &FilterStats {
+        &self.filter_stats
+    }
+
+    /// Enables or disables bloom probing on point gets at runtime (the
+    /// benchmarks' A/B switch — the store-file stack stays identical
+    /// across the toggle, unlike rebuilding a cluster with a different
+    /// config).
+    pub fn set_bloom_filters(&self, enabled: bool) {
+        self.bloom_enabled.set(enabled);
+    }
+
+    /// Whether bloom probing on point gets is currently enabled.
+    pub fn bloom_filters_enabled(&self) -> bool {
+        self.bloom_enabled.get()
+    }
+
     /// Whether `region` currently has a compaction in flight.
     pub fn compaction_in_progress(&self, region: RegionId) -> bool {
         self.regions
@@ -420,19 +497,43 @@ impl RegionServer {
                 }
             }
         };
-        // Hit/miss decided up front; it determines handler occupancy.
-        let (in_memstore, consulted_files) = {
+        // Hit/miss and the consulted-file plan are decided up front; they
+        // determine handler occupancy. Key-range pruning is free, each
+        // bloom probe on a range-covering file costs
+        // `filter_probe_service`, and only files the filter cannot
+        // exclude charge the `storefile_read_service` amplification term.
+        let (in_memstore, probes, consulted_files) = {
             let regions = self.regions.borrow();
             let st = &regions[&region_id];
-            let files = st.storefiles.len() + usize::from(st.flushing.is_some());
-            (st.memstore.get(&row, &column, snapshot).is_some(), files)
+            let bloom = self.bloom_enabled.get();
+            let mut probes = 0u64;
+            let mut consulted = 0usize;
+            for sf in st.flushing.iter().chain(st.storefiles.iter()) {
+                if !sf.row_in_range(&row) {
+                    continue;
+                }
+                if bloom {
+                    probes += 1;
+                    if !sf.filter_may_contain(&row, &column) {
+                        continue;
+                    }
+                }
+                consulted += 1;
+            }
+            (
+                st.memstore.get(&row, &column, snapshot).is_some(),
+                probes,
+                consulted,
+            )
         };
         let hit = in_memstore || self.cache.borrow_mut().access(region_id, &row);
-        // Read amplification: every store file beyond the first costs
-        // extra handler time (each must be consulted for the newest
-        // visible version). Compaction exists to bound this term.
-        let amplification =
-            self.cfg.storefile_read_service * consulted_files.saturating_sub(1) as u64;
+        // Read amplification: every *consulted* store file beyond the
+        // first costs extra handler time. Compaction bounds the file
+        // count; range pruning and bloom filters bound how many of those
+        // files a point get actually consults.
+        let amplification = self.cfg.storefile_read_service
+            * consulted_files.saturating_sub(1) as u64
+            + self.cfg.filter_probe_service * probes;
         let service = self.cfg.base_service
             + self.cfg.read_service
             + amplification
@@ -470,19 +571,53 @@ impl RegionServer {
             return Err(StoreError::NotServing(region_id));
         }
         let mut best = st.memstore.get(row, column, snapshot);
-        let mut consider = |candidate: Option<VersionedValue>| {
-            if let Some(c) = candidate {
+        let bloom = self.bloom_enabled.get();
+        let stats = &self.filter_stats;
+        // Range pruning + bloom probe, shared by the flushing snapshot
+        // and the durable store files. Returns whether the file must be
+        // consulted; records the probe/skip statistics.
+        let prune = |sf: &StoreFileData| -> bool {
+            if !sf.row_in_range(row) {
+                stats.range_skips.inc();
+                return false;
+            }
+            if bloom {
+                stats.probes.inc();
+                if !sf.filter_may_contain(row, column) {
+                    stats.filter_skips.inc();
+                    if self.cfg.verify_filters && sf.contains_key(row, column) {
+                        stats.false_negatives.inc();
+                    }
+                    return false;
+                }
+            }
+            true
+        };
+        let consider = |best: &mut Option<VersionedValue>, sf: &StoreFileData| {
+            stats.files_consulted.inc();
+            if bloom && !sf.contains_key(row, column) {
+                stats.false_positives.inc();
+            }
+            if let Some(c) = sf.get(row, column, snapshot) {
                 if best.as_ref().map(|b| c.ts > b.ts).unwrap_or(true) {
-                    best = Some(c);
+                    *best = Some(c);
                 }
             }
         };
+        // The flushing snapshot is served from memory while its DFS write
+        // is in flight, so it gets no replica-liveness check.
         if let Some(fl) = &st.flushing {
-            consider(fl.get(row, column, snapshot));
+            if prune(fl) {
+                consider(&mut best, fl);
+            }
         }
         for sf in &st.storefiles {
-            // Honesty check: a store file is only readable while at least
-            // one filesystem replica survives.
+            if !prune(sf) {
+                continue;
+            }
+            // Honesty check: a consulted store file is only readable
+            // while at least one filesystem replica survives (pruned
+            // files are not touched, so their replicas need not be).
             let live = self
                 .dfs
                 .namenode()
@@ -492,7 +627,7 @@ impl RegionServer {
             if !live {
                 return Err(StoreError::Unavailable(sf.path().to_owned()));
             }
-            consider(sf.get(row, column, snapshot));
+            consider(&mut best, sf);
         }
         Ok(best)
     }
@@ -606,11 +741,20 @@ impl RegionServer {
                 }
             }
         };
+        // Scans touch many rows, so per-(row, column) bloom filters
+        // cannot exclude a file for them — key-range pruning only: a
+        // file is consulted iff its row range overlaps [start, end).
         let consulted_files = {
             let regions = self.regions.borrow();
             regions
                 .get(&region_id)
-                .map(|st| st.storefiles.len() + usize::from(st.flushing.is_some()))
+                .map(|st| {
+                    st.flushing
+                        .iter()
+                        .chain(st.storefiles.iter())
+                        .filter(|sf| sf.range_overlaps(&start, end.as_deref()))
+                        .count()
+                })
                 .unwrap_or(0)
         };
         let service = self.cfg.base_service
@@ -640,10 +784,15 @@ impl RegionServer {
                 }
             };
             for sf in &st.storefiles {
+                if !sf.range_overlaps(&start, end.as_deref()) {
+                    continue;
+                }
                 absorb(sf.scan(&start, end.as_deref(), snapshot));
             }
             if let Some(fl) = &st.flushing {
-                absorb(fl.scan(&start, end.as_deref(), snapshot));
+                if fl.range_overlaps(&start, end.as_deref()) {
+                    absorb(fl.scan(&start, end.as_deref(), snapshot));
+                }
             }
             absorb(st.memstore.scan(&start, end.as_deref(), snapshot));
             let mut out: Vec<(Bytes, Bytes, VersionedValue)> = merged
@@ -703,7 +852,7 @@ impl RegionServer {
                 compaction_in_progress: false,
             },
         );
-        self.update_read_amplification();
+        self.update_file_metrics();
         self.replay_recovered_edits(region, recovered_paths, 0, failed);
     }
 
@@ -852,6 +1001,9 @@ impl RegionServer {
             st.flushing = Some(Rc::clone(&data));
             data
         };
+        // The flushing snapshot is immediately part of the readable file
+        // stack; refresh the gauges now, not only when the DFS write acks.
+        self.update_file_metrics();
         let weak = Rc::downgrade(self);
         let registry = Rc::clone(&self.registry);
         let data2 = Rc::clone(&data);
@@ -881,7 +1033,7 @@ impl RegionServer {
                         None => Vec::new(),
                     }
                 };
-                server.update_read_amplification();
+                server.update_file_metrics();
                 // The flushed store file now covers the recovered edits;
                 // their files can be garbage-collected.
                 for path in recovered {
@@ -1081,6 +1233,11 @@ impl RegionServer {
         output: Option<Rc<StoreFileData>>,
     ) {
         let bytes = output.as_ref().map(|o| o.total_bytes() as u64).unwrap_or(0);
+        let filter_created = output
+            .as_ref()
+            .map(|o| o.filter_bytes() as u64)
+            .unwrap_or(0);
+        let mut filter_dropped = 0u64;
         {
             let mut regions = self.regions.borrow_mut();
             let Some(st) = regions.get_mut(&region) else {
@@ -1090,8 +1247,13 @@ impl RegionServer {
                 // compaction there will fold in.
                 return;
             };
-            st.storefiles
-                .retain(|sf| !input_paths.iter().any(|p| p == sf.path()));
+            st.storefiles.retain(|sf| {
+                let retired = input_paths.iter().any(|p| p == sf.path());
+                if retired {
+                    filter_dropped += sf.filter_bytes() as u64;
+                }
+                !retired
+            });
             if let Some(output) = output {
                 st.storefiles.push(output);
             }
@@ -1105,7 +1267,13 @@ impl RegionServer {
         self.compaction_stats
             .files_retired
             .add(input_paths.len() as u64);
-        self.update_read_amplification();
+        self.compaction_stats
+            .filter_bytes_dropped
+            .add(filter_dropped);
+        self.compaction_stats
+            .filter_bytes_created
+            .add(filter_created);
+        self.update_file_metrics();
         // Fencing: retiring the inputs is the one destructive step, and a
         // server partitioned from the coordination service may already
         // have been failed over — the new host still reads these files.
@@ -1144,10 +1312,11 @@ impl RegionServer {
         }
     }
 
-    fn update_read_amplification(&self) {
-        let max_files = self
-            .regions
-            .borrow()
+    /// Refreshes the gauges derived from the current file sets: the
+    /// worst-case read amplification and the filter-metadata footprint.
+    fn update_file_metrics(&self) {
+        let regions = self.regions.borrow();
+        let max_files = regions
             .values()
             .map(|st| st.storefiles.len() + usize::from(st.flushing.is_some()))
             .max()
@@ -1155,6 +1324,12 @@ impl RegionServer {
         self.compaction_stats
             .read_amplification
             .set(max_files as u64);
+        let filter_bytes: usize = regions
+            .values()
+            .flat_map(|st| st.flushing.iter().chain(st.storefiles.iter()))
+            .map(|sf| sf.filter_bytes())
+            .sum();
+        self.filter_stats.filter_bytes.set(filter_bytes as u64);
     }
 
     /// Approximate bytes buffered in `region`'s memstore.
@@ -1181,6 +1356,7 @@ impl RegionServer {
         if let Some(st) = self.regions.borrow_mut().get_mut(&region) {
             st.storefiles.push(data);
         }
+        self.update_file_metrics();
     }
 
     /// Pre-warms the block cache with the given rows (the paper warms the

@@ -5,6 +5,31 @@
 //! into the distributed filesystem. Readers locate the newest version ≤
 //! their snapshot with binary search.
 //!
+//! ## Read-path service model
+//!
+//! Between compactions a region accumulates store files, and the newest
+//! visible version of a cell can live in any of them. What a point get
+//! *pays* for, in handler service time, is governed by per-file metadata
+//! built here at flush time (and rebuilt by compaction for merge
+//! outputs):
+//!
+//! * **Key-range pruning** — every file records its min/max row key
+//!   ([`StoreFileData::key_range`]). A file whose range does not cover
+//!   the requested row costs *nothing*: the range check is an in-memory
+//!   metadata comparison.
+//! * **Bloom-filter probe** — files whose range covers the row are probed
+//!   against a per-file [`BloomFilter`] over `(row, column)` pairs. Each
+//!   probe costs a small `filter_probe_service` term (filters are not
+//!   free), and a negative probe definitively excludes the file.
+//! * **Consultation** — only files the filter cannot exclude are
+//!   consulted, each charging the `storefile_read_service`
+//!   read-amplification term (beyond the first consulted file). A
+//!   consulted file that turns out not to hold the key at all is a
+//!   *false positive*, surfaced through the server's `FilterStats`.
+//!
+//! Scans use key-range pruning only: a scan touches many rows, so a
+//! per-`(row, column)` filter cannot exclude a file for it.
+//!
 //! ## Simulation note: the registry
 //!
 //! In HBase, any region server can read any store file block from HDFS. We
@@ -17,6 +42,7 @@
 //! Liveness stays honest too: the read path checks that at least one
 //! replica datanode of the file is alive before serving from the registry.
 
+use crate::bloom::BloomFilter;
 use crate::codec::{decode_mutation, encode_mutation, DecodeError, Decoder, Encoder};
 use crate::memstore::{MemStore, VersionedValue};
 use crate::types::{Mutation, MutationKind, RegionId, Timestamp};
@@ -33,6 +59,11 @@ pub struct StoreFileData {
     /// Sorted by (row, column, descending ts) — same order as a memstore.
     entries: Vec<(Bytes, Bytes, Timestamp, Option<Bytes>)>,
     total_bytes: usize,
+    /// Min/max row key stored (`None` for an empty file); the read path's
+    /// free range-pruning check.
+    key_range: Option<(Bytes, Bytes)>,
+    /// Membership filter over the file's distinct `(row, column)` pairs.
+    bloom: BloomFilter,
 }
 
 impl fmt::Debug for StoreFileData {
@@ -42,6 +73,7 @@ impl fmt::Debug for StoreFileData {
             .field("path", &self.path)
             .field("entries", &self.entries.len())
             .field("bytes", &self.total_bytes)
+            .field("filter_bytes", &self.bloom.approx_bytes())
             .finish()
     }
 }
@@ -49,6 +81,26 @@ impl fmt::Debug for StoreFileData {
 /// One versioned cell as stored in a file: `(row, column, ts, value)`,
 /// with `None` marking a delete tombstone.
 pub type StoreFileEntry = (Bytes, Bytes, Timestamp, Option<Bytes>);
+
+/// Min/max row key over sorted entries (`None` when empty).
+fn key_range_of(entries: &[StoreFileEntry]) -> Option<(Bytes, Bytes)> {
+    match (entries.first(), entries.last()) {
+        (Some((min, ..)), Some((max, ..))) => Some((min.clone(), max.clone())),
+        _ => None,
+    }
+}
+
+/// Builds the file's bloom filter over its distinct `(row, column)`
+/// pairs. Entries are sorted, so distinct pairs are adjacent.
+fn build_bloom(entries: &[StoreFileEntry]) -> BloomFilter {
+    let mut last: Option<(&Bytes, &Bytes)> = None;
+    let distinct = entries.iter().filter(move |(r, c, ..)| {
+        let fresh = last != Some((r, c));
+        last = Some((r, c));
+        fresh
+    });
+    BloomFilter::build(distinct.map(|(r, c, ..)| (&r[..], &c[..])))
+}
 
 impl StoreFileData {
     /// Builds a store file from a (snapshot) memstore.
@@ -87,11 +139,14 @@ impl StoreFileData {
             .iter()
             .map(|(r, c, _, v)| r.len() + c.len() + v.as_ref().map(Bytes::len).unwrap_or(0) + 24)
             .sum();
+        let bloom = build_bloom(&entries);
         StoreFileData {
             region,
             path: path.into(),
-            entries,
+            key_range: key_range_of(&entries),
             total_bytes,
+            bloom,
+            entries,
         }
     }
 
@@ -124,6 +179,50 @@ impl StoreFileData {
     /// Approximate on-disk size in bytes.
     pub fn total_bytes(&self) -> usize {
         self.total_bytes
+    }
+
+    /// The min/max row key stored, or `None` for an empty file.
+    pub fn key_range(&self) -> Option<(&[u8], &[u8])> {
+        self.key_range.as_ref().map(|(a, b)| (&a[..], &b[..]))
+    }
+
+    /// Whether `row` falls inside the file's min/max row range — the free
+    /// pruning check the read path applies before any filter probe.
+    pub fn row_in_range(&self, row: &[u8]) -> bool {
+        match &self.key_range {
+            Some((min, max)) => &min[..] <= row && row <= &max[..],
+            None => false,
+        }
+    }
+
+    /// Whether the file's row range intersects the scan range
+    /// `[start, end)`.
+    pub fn range_overlaps(&self, start: &[u8], end: Option<&[u8]>) -> bool {
+        match &self.key_range {
+            Some((min, max)) => &max[..] >= start && end.map(|e| &min[..] < e).unwrap_or(true),
+            None => false,
+        }
+    }
+
+    /// Probes the file's bloom filter for `(row, column)`. `false` is
+    /// definitive; `true` may be a false positive.
+    pub fn filter_may_contain(&self, row: &[u8], column: &[u8]) -> bool {
+        self.bloom.may_contain(row, column)
+    }
+
+    /// Exact membership check: whether *any* version of `(row, column)`
+    /// is stored, regardless of snapshot. Used to classify filter
+    /// outcomes (false positives / negatives), not to serve reads.
+    pub fn contains_key(&self, row: &[u8], column: &[u8]) -> bool {
+        let idx = self
+            .entries
+            .partition_point(|(r, c, ..)| (&r[..], &c[..]) < (row, column));
+        matches!(self.entries.get(idx), Some((r, c, ..)) if r == row && c == column)
+    }
+
+    /// Bytes of filter metadata (the bloom bit array) this file carries.
+    pub fn filter_bytes(&self) -> usize {
+        self.bloom.approx_bytes()
     }
 
     /// The newest version of `(row, column)` at or before `snapshot`.
@@ -196,6 +295,10 @@ impl StoreFileData {
             encode_mutation(&mut enc, &m);
             enc.put_u64(ts.0);
         }
+        // Filter metadata trails the entries so the deterministic bloom
+        // bits survive the DFS round trip (the row range is derivable
+        // from the sorted entries and is not encoded).
+        self.bloom.encode(&mut enc);
         enc.finish()
     }
 
@@ -221,11 +324,14 @@ impl StoreFileData {
                 m.row.len() + m.column.len() + v.as_ref().map(Bytes::len).unwrap_or(0) + 24;
             entries.push((m.row, m.column, ts, v));
         }
+        let bloom = BloomFilter::decode(&mut dec)?;
         Ok(StoreFileData {
             region,
             path: path.into(),
-            entries,
+            key_range: key_range_of(&entries),
             total_bytes,
+            bloom,
+            entries,
         })
     }
 }
@@ -388,6 +494,43 @@ mod tests {
             direct.get(b"a", b"c", Timestamp(20)),
             via_ms.get(b"a", b"c", Timestamp(20))
         );
+    }
+
+    #[test]
+    fn range_and_filter_metadata() {
+        let sf = sample();
+        assert_eq!(sf.key_range(), Some((b"a".as_ref(), b"c".as_ref())));
+        assert!(sf.row_in_range(b"a"));
+        assert!(sf.row_in_range(b"b"));
+        assert!(!sf.row_in_range(b"0"));
+        assert!(!sf.row_in_range(b"d"));
+        assert!(sf.range_overlaps(b"b", Some(b"z")));
+        assert!(sf.range_overlaps(b"", None));
+        assert!(!sf.range_overlaps(b"d", None));
+        assert!(!sf.range_overlaps(b"", Some(b"a")));
+        // Inserted pairs always match; the tombstoned cell too.
+        assert!(sf.filter_may_contain(b"a", b"c"));
+        assert!(sf.filter_may_contain(b"b", b"c"));
+        assert!(sf.filter_may_contain(b"c", b"d"));
+        assert!(sf.contains_key(b"a", b"c"));
+        assert!(sf.contains_key(b"b", b"c"));
+        assert!(!sf.contains_key(b"a", b"d"));
+        assert!(!sf.contains_key(b"zz", b"c"));
+        assert!(sf.filter_bytes() > 0);
+    }
+
+    #[test]
+    fn decode_preserves_filter_metadata() {
+        let sf = sample();
+        let back = StoreFileData::decode("/store/r1/0", &sf.encode()).expect("decode");
+        assert_eq!(back.key_range(), sf.key_range());
+        assert_eq!(back.filter_bytes(), sf.filter_bytes());
+        for (r, c, ..) in sf.entries() {
+            assert!(back.filter_may_contain(r, c), "no false negatives");
+        }
+        // The trailing filter section is covered by truncation checks too.
+        let encoded = sf.encode();
+        assert!(StoreFileData::decode("/x", &encoded[..encoded.len() - 2]).is_err());
     }
 
     #[test]
