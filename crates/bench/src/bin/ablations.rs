@@ -1,4 +1,4 @@
-//! Ablations of the design choices DESIGN.md calls out:
+//! Ablations of the design choices ARCHITECTURE.md calls out:
 //!
 //! (a) tracking on/off — runtime overhead of the checkpointing
 //!     thresholds, and the recovery-replay volume each implies;

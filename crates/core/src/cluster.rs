@@ -17,9 +17,9 @@ use cumulo_coord::{CoordClient, CoordService};
 use cumulo_dfs::{DataNode, DfsClient, NameNode, NameNodeConfig};
 use cumulo_sim::{DiskConfig, LatencyConfig, Network, Sim, SimDuration, SimTime};
 use cumulo_store::{
-    ClientId, Master, MasterConfig, MemStore, RegionMap, RegionServer, RegionServerConfig,
-    ServerDirectory, ServerId, StoreClient, StoreClientConfig, StoreFileData, StoreFileRegistry,
-    Timestamp, WalSyncMode,
+    ClientId, CompactionPolicyKind, Master, MasterConfig, MemStore, RegionMap, RegionServer,
+    RegionServerConfig, ServerDirectory, ServerId, StoreClient, StoreClientConfig, StoreFileData,
+    StoreFileRegistry, Timestamp, WalSyncMode,
 };
 use cumulo_txn::{TransactionManager, TxnManagerConfig};
 use std::cell::RefCell;
@@ -60,6 +60,10 @@ pub struct ClusterConfig {
     /// Store-file count that makes a region a compaction candidate
     /// (overrides `server_cfg.compaction.min_files`).
     pub compaction_threshold: usize,
+    /// Which compaction policy the servers run (overrides
+    /// `server_cfg.compaction.policy`; switchable at runtime via
+    /// [`Cluster::set_compaction_policy`]).
+    pub compaction_policy: CompactionPolicyKind,
     /// Network latency model.
     pub latency: LatencyConfig,
     /// Region-server knobs (`wal_mode` is overridden by `persistence`;
@@ -93,6 +97,7 @@ impl Default for ClusterConfig {
             truncation: true,
             compaction: true,
             compaction_threshold: 4,
+            compaction_policy: CompactionPolicyKind::SizeTiered,
             latency: LatencyConfig::lan_100mbps(),
             server_cfg: RegionServerConfig::default(),
             store_client_cfg: StoreClientConfig::default(),
@@ -198,6 +203,7 @@ impl Cluster {
         };
         server_cfg.compaction.enabled = cfg.compaction;
         server_cfg.compaction.min_files = cfg.compaction_threshold;
+        server_cfg.compaction.policy = cfg.compaction_policy;
         if cfg.tracking && cfg.persistence == PersistenceMode::Asynchronous {
             // Paper-faithful: with the middleware installed, the WAL is
             // synced by the tracker heartbeat (Algorithm 3), not by a
@@ -571,6 +577,96 @@ impl Cluster {
     pub fn set_bloom_filters(&self, enabled: bool) {
         for s in &self.servers {
             s.set_bloom_filters(enabled);
+        }
+    }
+
+    /// Switches the compaction policy on every region server at runtime
+    /// (the benches' A/B switch, like [`Cluster::set_bloom_filters`]).
+    /// Safe mid-flight: in-progress merges finish under their planned
+    /// placement, and the next candidacy check decides under the new
+    /// policy over the current file stacks.
+    pub fn set_compaction_policy(&self, kind: CompactionPolicyKind) {
+        for s in &self.servers {
+            s.set_compaction_policy(kind);
+        }
+    }
+
+    /// Cluster-wide snapshot of the compaction statistics, summed across
+    /// all region servers (see `cumulo_store::CompactionStats`).
+    pub fn compaction_totals(&self) -> CompactionTotals {
+        let mut t = CompactionTotals::default();
+        for s in &self.servers {
+            let cs = s.compaction_stats();
+            t.started += cs.started.get();
+            t.completed += cs.completed.get();
+            t.bytes_rewritten += cs.bytes_rewritten.get();
+            t.versions_dropped += cs.versions_dropped.get();
+            t.files_retired += cs.files_retired.get();
+            t.deferred += cs.deferred.get();
+            t.forced += cs.forced.get();
+            t.flush_stalls += cs.flush_stalls.get();
+            t.stall_ns += cs.stall_ns.get();
+        }
+        t
+    }
+
+    /// Per-level `(file count, bytes)` summed across all region servers,
+    /// indexed by LSM level (slot 0 holds everything under size-tiered).
+    pub fn level_profile(&self) -> Vec<(u64, u64)> {
+        let mut out: Vec<(u64, u64)> = Vec::new();
+        for s in &self.servers {
+            for (level, (files, bytes)) in s.level_profile().into_iter().enumerate() {
+                if out.len() <= level {
+                    out.resize(level + 1, (0, 0));
+                }
+                out[level].0 += files;
+                out[level].1 += bytes;
+            }
+        }
+        out
+    }
+}
+
+/// Cluster-wide sums of the per-server compaction statistics.
+///
+/// Counters only ever grow, so the difference of two snapshots
+/// ([`CompactionTotals::since`]) isolates one measurement phase — the
+/// same pattern as [`FilterTotals`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CompactionTotals {
+    /// Compactions started.
+    pub started: u64,
+    /// Compactions that swapped their merged outputs in.
+    pub completed: u64,
+    /// Bytes written into merged output files.
+    pub bytes_rewritten: u64,
+    /// MVCC versions garbage-collected.
+    pub versions_dropped: u64,
+    /// Input files retired.
+    pub files_retired: u64,
+    /// Due merges deferred by the backpressure scheduler.
+    pub deferred: u64,
+    /// Deferred merges forced through after the deficit bank filled.
+    pub forced: u64,
+    /// Memstore flushes stalled by the file-count hard limit.
+    pub flush_stalls: u64,
+    /// Simulated nanoseconds flush work spent stalled.
+    pub stall_ns: u64,
+}
+
+impl CompactionTotals {
+    /// The counter deltas accumulated after `earlier` was taken.
+    pub fn since(&self, earlier: &CompactionTotals) -> CompactionTotals {
+        CompactionTotals {
+            started: self.started - earlier.started,
+            completed: self.completed - earlier.completed,
+            bytes_rewritten: self.bytes_rewritten - earlier.bytes_rewritten,
+            versions_dropped: self.versions_dropped - earlier.versions_dropped,
+            files_retired: self.files_retired - earlier.files_retired,
+            deferred: self.deferred - earlier.deferred,
+            forced: self.forced - earlier.forced,
+            flush_stalls: self.flush_stalls - earlier.flush_stalls,
+            stall_ns: self.stall_ns - earlier.stall_ns,
         }
     }
 }

@@ -9,6 +9,16 @@
 //! flushes. When the heads of both queues match, that transaction is the
 //! earliest tracked commit and its flush has completed, so `T_F(c)`
 //! advances to it.
+//!
+//! The invariant is load-bearing for recovery: client-failure replay
+//! fetches only log records *above* the published `T_F(c)`, so a
+//! threshold that overclaims hides a half-flushed commit from replay
+//! forever. The tracker therefore never advances past an unflushed
+//! commit, and the only shortcut — re-seeding an *idle* tracker at a
+//! newer timestamp ([`FlushTracker::with_threshold`]) — is the caller's
+//! to justify: `cumulo-core`'s client does it only with no commit in
+//! flight (see the `txn_client` module docs and ARCHITECTURE.md,
+//! "Protocol refinements").
 
 use cumulo_store::Timestamp;
 use std::cmp::Reverse;

@@ -46,7 +46,7 @@ pub fn pending_recovery(s: ServerId) -> String {
 }
 
 /// Persistent node recording the replay floor of an in-progress region
-/// recovery (survives recovery-manager restarts; see DESIGN.md note 4).
+/// recovery (survives recovery-manager restarts; see ARCHITECTURE.md, server failure).
 pub fn region_floor(r: RegionId) -> String {
     format!("/recovery/floor/{r}")
 }

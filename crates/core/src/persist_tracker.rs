@@ -14,8 +14,8 @@
 //! participants. The heartbeat first persists everything received (drains
 //! `PQ` by syncing the WAL), then advances.
 //!
-//! Two refinements close races the paper leaves implicit (DESIGN.md,
-//! protocol notes 3–4):
+//! Two refinements close races the paper leaves implicit (ARCHITECTURE.md,
+//! "Protocol refinements"):
 //!
 //! * **floors** — a replayed update carries the failed server's
 //!   `T_P(s_failed)`; `T_P` drops to that floor immediately and cannot
@@ -23,6 +23,13 @@
 //! * **entry bound** — `T_P` never advances past an unsynced entry's own
 //!   timestamp, so a `T_F` that was computed *after* a flush ack cannot
 //!   overclaim an entry still sitting in the WAL buffer.
+//!
+//! The invariant is load-bearing twice over: server-failure recovery
+//! replays only the log suffix *above* the failed server's `T_P(s)`
+//! (anything below must already be in its durable WAL, i.e. in the
+//! recovered-edits files), and the recovery manager truncates the log
+//! below the global `T_P` — an overclaim would therefore both skip a
+//! needed replay *and* destroy the record that could have fixed it.
 
 use cumulo_store::Timestamp;
 use std::collections::BTreeMap;

@@ -11,6 +11,22 @@
 //! below `T_P`, and — because its only state is the thresholds, which
 //! live in the coordination service — can crash and be restarted without
 //! stopping transaction processing.
+//!
+//! ## Watermark invariants relied on here
+//!
+//! The replay bounds are only correct because the publishers maintain
+//! their local invariants (see ARCHITECTURE.md for the full protocol):
+//!
+//! * client recovery replays `(T_F(c), ∞)` — sound because every local
+//!   commit ≤ `T_F(c)` is fully flushed ([`crate::FlushTracker`]);
+//! * server recovery replays `(T_P(s_f), ∞)` per region — sound because
+//!   every commit ≤ `T_P(s_f)` involving `s_f` is durable in its WAL on
+//!   the filesystem ([`crate::PersistTracker`]), i.e. covered by the
+//!   recovered-edits replay;
+//! * log truncation below `T_P = min_s T_P(s)` destroys only records
+//!   every participant has persisted — and the store's compaction
+//!   tombstone purge is in turn fenced by the truncation point, so a
+//!   replay can never resurrect a purged-over version.
 
 use crate::paths;
 use crate::recovery_client::RecoveryClient;
@@ -70,7 +86,7 @@ pub struct RecoveryManager {
     /// their regions have been recovered).
     servers: RefCell<BTreeMap<ServerId, Timestamp>>,
     /// Virtual registrations pinning `T_F` during client recoveries (the
-    /// recovery client acts as a tracked client; DESIGN.md note 2).
+    /// recovery client acts as a tracked client; ARCHITECTURE.md, client failure).
     pins: RefCell<BTreeMap<u64, Timestamp>>,
     next_pin: Cell<u64>,
     /// In-progress region recoveries (also pin `T_P` via their floors).
@@ -516,7 +532,7 @@ impl RecoveryManager {
             },
         );
         // Combine with a persisted floor from an interrupted earlier
-        // recovery of this region (cascading failure, DESIGN.md note 4),
+        // recovery of this region (cascading failure; ARCHITECTURE.md, server failure),
         // persist the effective floor, then start the replay. The second
         // read is a write barrier: the floor znode is durable at the
         // coordination service before any replay is sent.

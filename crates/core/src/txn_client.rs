@@ -8,6 +8,28 @@
 //! client runs Algorithm 1: it tracks commit/flush completion in its
 //! [`FlushTracker`] and heartbeats its threshold `T_F(c)` to the recovery
 //! manager through the coordination service.
+//!
+//! ## The threshold invariant this module maintains
+//!
+//! Everything client-failure recovery replays is bounded below by the
+//! published `T_F(c)`, so the invariant *every local transaction with
+//! commit ts ≤ `T_F(c)` is fully flushed* must hold at every publication
+//! instant — an overclaim is permanent data loss waiting for a crash.
+//! Three rules enforce it here:
+//!
+//! * `T_F(c)` only advances through the [`FlushTracker`], i.e. in local
+//!   commit order and only past transactions whose *every* participant
+//!   region acked the flush;
+//! * a crash between the two acks of a multi-region flush leaves
+//!   `T_F(c)` below that transaction, so recovery replays the full
+//!   write-set (idempotent for the already-acked leg);
+//! * the idle-threshold shortcut (adopting the manager's newest
+//!   assigned timestamp to stop an idle client from pinning log
+//!   truncation) is gated on having **no commit in flight**: the
+//!   manager assigns timestamps at request receipt but acks after the
+//!   log force, so the answer to an idle query can overtake one's own
+//!   commit ack and smuggle an unflushed local commit into the
+//!   threshold (see ARCHITECTURE.md, "Protocol refinements").
 
 use crate::flush_tracker::FlushTracker;
 use crate::paths;
@@ -102,6 +124,15 @@ struct TcInner {
     alive: Cell<bool>,
     closed: Cell<bool>,
     timers: RefCell<Vec<TimerHandle>>,
+    /// Commit requests sent to the transaction manager whose outcome has
+    /// not come back yet. While non-zero, the idle-threshold advancement
+    /// must not run: the manager may already have *assigned* a commit
+    /// timestamp to one of these (it advances its oracle on request
+    /// receipt, but acks only after the log force), so adopting its
+    /// "latest assigned" timestamp would overclaim an unflushed local
+    /// commit — and a crash mid-flush would then escape recovery replay,
+    /// leaving a half-applied write-set.
+    commits_in_flight: Cell<usize>,
     committed: Counter,
     aborted: Counter,
     flushed: Counter,
@@ -156,6 +187,7 @@ impl TransactionalClient {
                 alive: Cell::new(true),
                 closed: Cell::new(false),
                 timers: RefCell::new(Vec::new()),
+                commits_in_flight: Cell::new(0),
                 committed: Counter::new(),
                 aborted: Counter::new(),
                 flushed: Counter::new(),
@@ -394,11 +426,17 @@ impl TransactionalClient {
         let net = Rc::clone(&self.inner.net);
         let node = self.inner.node;
         let size = 64 + ws.wire_size();
+        self.inner
+            .commits_in_flight
+            .set(self.inner.commits_in_flight.get() + 1);
         self.inner.net.send(node, tm.node(), size, move || {
             let ws2 = ws.clone();
             let tm2 = Rc::clone(&tm);
             tm.handle_commit(txn, ws, move |outcome| {
                 net.send(tm2.node(), node, 48, move || {
+                    inner
+                        .commits_in_flight
+                        .set(inner.commits_in_flight.get() - 1);
                     if !inner.alive.get() {
                         // Client died while the commit was in flight: if it
                         // committed, the recovery manager replays it.
@@ -535,10 +573,23 @@ fn heartbeat(inner: &Rc<TcInner>) {
     // local invariant (all its transactions are flushed). Advancing to
     // the transaction manager's latest assigned timestamp keeps an idle
     // client from pinning the global T_F (and with it, log truncation)
-    // forever. FIFO ordering makes this safe: any commit of ours that the
-    // manager processed before answering has already been delivered to
-    // us, so the tracker cannot be idle if a lower commit is in flight.
-    if inner.cfg.tracking && inner.tracker.borrow_mut().is_idle() {
+    // forever.
+    //
+    // Network FIFO alone does NOT make this safe: the manager assigns a
+    // commit timestamp when the commit *request* arrives but acks only
+    // after the log force, so its answer to a later idle query can carry
+    // — and overtake the ack of — one of our own in-flight commits.
+    // Adopting that timestamp would overclaim an unflushed local commit;
+    // a crash mid-flush would then escape recovery replay, losing part
+    // of a committed write-set (the half-applied race in
+    // `tests/atomicity.rs`). Hence the `commits_in_flight` guard, checked
+    // both before asking and before adopting: with no local commit in
+    // flight, every timestamp the manager ever assigned to us has been
+    // acked to us, so the idle tracker really does cover them all.
+    if inner.cfg.tracking
+        && inner.commits_in_flight.get() == 0
+        && inner.tracker.borrow_mut().is_idle()
+    {
         let inner2 = Rc::clone(inner);
         let tm = Rc::clone(&inner.tm);
         inner.net.send(inner.node, tm.node(), 48, move || {
@@ -547,6 +598,9 @@ fn heartbeat(inner: &Rc<TcInner>) {
             let node = inner2.node;
             net.send(tm.node(), node, 48, move || {
                 if !inner2.alive.get() {
+                    return;
+                }
+                if inner2.commits_in_flight.get() > 0 {
                     return;
                 }
                 let mut tracker = inner2.tracker.borrow_mut();

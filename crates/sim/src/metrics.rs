@@ -73,6 +73,52 @@ impl Gauge {
     }
 }
 
+/// A shared vector of gauges indexed by a small integer (e.g. LSM level):
+/// each slot is a last-value gauge, and the whole vector is replaced
+/// atomically by the producer. Like [`Gauge`], clones share state.
+#[derive(Clone, Default)]
+pub struct GaugeVec {
+    v: Rc<RefCell<Vec<u64>>>,
+}
+
+impl fmt::Debug for GaugeVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "GaugeVec({:?})", self.v.borrow())
+    }
+}
+
+impl GaugeVec {
+    /// Creates an empty gauge vector.
+    pub fn new() -> GaugeVec {
+        GaugeVec::default()
+    }
+
+    /// Replaces the whole vector with `values`.
+    pub fn set_all(&self, values: Vec<u64>) {
+        *self.v.borrow_mut() = values;
+    }
+
+    /// Value at slot `i` (0 when the slot does not exist).
+    pub fn get(&self, i: usize) -> u64 {
+        self.v.borrow().get(i).copied().unwrap_or(0)
+    }
+
+    /// Number of populated slots.
+    pub fn len(&self) -> usize {
+        self.v.borrow().len()
+    }
+
+    /// Whether no slot is populated.
+    pub fn is_empty(&self) -> bool {
+        self.v.borrow().is_empty()
+    }
+
+    /// A copy of all slots.
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.v.borrow().clone()
+    }
+}
+
 const SUB_BITS: u32 = 5;
 const SUB_COUNT: u64 = 1 << SUB_BITS;
 
@@ -406,6 +452,20 @@ mod tests {
         c.inc();
         c2.add(4);
         assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn gauge_vec_shares_state_and_defaults_to_zero() {
+        let g = GaugeVec::new();
+        assert!(g.is_empty());
+        assert_eq!(g.get(3), 0);
+        let g2 = g.clone();
+        g.set_all(vec![5, 0, 7]);
+        assert_eq!(g2.len(), 3);
+        assert_eq!(g2.get(0), 5);
+        assert_eq!(g2.get(2), 7);
+        assert_eq!(g2.get(9), 0);
+        assert_eq!(g2.snapshot(), vec![5, 0, 7]);
     }
 
     #[test]

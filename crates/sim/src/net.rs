@@ -4,7 +4,7 @@
 //! FIFO per-pair ordering models TCP connections. The recovery protocol in
 //! `cumulo-core` relies on it: a client must observe its own commit
 //! timestamps in monotonic order or its flushed-threshold `T_F(c)` could
-//! overclaim (see DESIGN.md, "Protocol notes").
+//! overclaim (see ARCHITECTURE.md, "Protocol refinements").
 
 use crate::kernel::Sim;
 use crate::time::{SimDuration, SimTime};

@@ -136,6 +136,14 @@ impl ServiceQueue {
         self.max_queue.get()
     }
 
+    /// Total busy core-nanoseconds charged since creation (service time is
+    /// charged when a job *starts*). Two snapshots of this bracket a
+    /// window; their difference over `cores × elapsed` is the windowed
+    /// utilization — what the compaction backpressure scheduler samples.
+    pub fn busy_nanos(&self) -> u64 {
+        self.busy_ns.get()
+    }
+
     /// Fraction of capacity consumed since creation (can exceed 1.0 only
     /// transiently due to in-flight accounting; ~1.0 means saturated).
     pub fn utilization(&self, now: SimTime) -> f64 {

@@ -45,14 +45,45 @@
 //!    false positives); scans prune by range only.
 //! 4. **Compaction** — flushes accumulate store files, and every read
 //!    must consult all of them (*read amplification*). The background
-//!    [`compaction`] stage merges a size-tiered candidate set back into
-//!    one file, crash-safely (temp-name write, atomic rename, then input
-//!    retirement).
+//!    [`compaction`] stage merges a policy-chosen candidate set back
+//!    down, crash-safely (temp-name writes, atomic renames, then input
+//!    retirement). Two [`CompactionPolicy`] implementations ship:
+//!    size-tiered (merge similar sizes, overlapping files) and leveled
+//!    (L0 flush tier + key-range-disjoint deeper levels).
 //! 5. **MVCC garbage collection** — during the merge, versions shadowed
 //!    at or below the transaction manager's *oldest active snapshot* are
 //!    dropped, and a major compaction also purges tombstones that no
 //!    longer shadow anything. Disk usage and read cost stay proportional
 //!    to live data, not to write history.
+//!
+//! # Compaction tuning
+//!
+//! All knobs live on [`CompactionConfig`] (per cluster via
+//! `cumulo-core`'s `ClusterConfig`, switchable at runtime through
+//! `RegionServer::set_compaction_policy` / `Cluster`'s mirror):
+//!
+//! * **Policy choice** ([`CompactionPolicyKind`]): pick *size-tiered*
+//!   for write-heavy workloads where rewrite cost dominates and point
+//!   reads are covered by bloom filters; pick *leveled* when scans
+//!   matter (filters cannot prune for them — only the disjoint layout
+//!   bounds overlap) or when a hard files-consulted-per-get bound
+//!   (≈ level count) is worth extra write amplification. The
+//!   `policy_compare` bench measures the trade on this very codebase.
+//! * **Thresholds**: `min_files` is the size-tiered candidacy floor and
+//!   the leveled L0→L1 trigger; `level_base_bytes` × `level_ratio^(L-1)`
+//!   budgets level `L`; `level_file_bytes` sizes the disjoint run files
+//!   (smaller files → finer-grained future merges, more of them).
+//! * **Backpressure** (`backpressure`, on by default): the deficit
+//!   scheduler defers due merges while windowed handler utilization
+//!   exceeds `utilization_threshold`, forcing them after
+//!   `max_deferrals` ticks; past `stall_file_limit` (total files for
+//!   size-tiered, L0 files for leveled) memstore flushes stall. Lower
+//!   the threshold to favor foreground p99 in bursty workloads; raise
+//!   `max_deferrals` only with filters on, since deferral grows the
+//!   consulted-file count for overwritten keys.
+//! * **Pacing**: `check_interval` bounds merge admission to one region
+//!   per server per tick; `merge_service_per_entry` is the modeled CPU
+//!   a merge charges against the shared handler slots.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -75,7 +106,10 @@ mod wal;
 pub use blockcache::BlockCache;
 pub use client::{StoreClient, StoreClientConfig};
 pub use codec::WalRecord;
-pub use compaction::{CompactionConfig, CompactionStats};
+pub use compaction::{
+    CompactionConfig, CompactionPolicy, CompactionPolicyKind, CompactionStats, LeveledPolicy,
+    SizeTieredPolicy,
+};
 pub use error::StoreError;
 pub use hooks::{NoopHooks, RecoveryHooks};
 pub use master::{Master, MasterConfig, ServerDirectory};

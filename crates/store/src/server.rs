@@ -4,7 +4,10 @@
 
 use crate::blockcache::BlockCache;
 use crate::codec::WalRecord;
-use crate::compaction::{self, CompactionConfig, CompactionStats, GcWatermark};
+use crate::compaction::{
+    self, CompactionConfig, CompactionJob, CompactionPolicy, CompactionPolicyKind, CompactionStats,
+    FileMeta, GcWatermark, StallSignal,
+};
 use crate::error::StoreError;
 use crate::hooks::{NoopHooks, RecoveryHooks};
 use crate::memstore::{MemStore, VersionedValue};
@@ -151,12 +154,62 @@ struct RegionState {
     /// Snapshot currently being flushed (still readable).
     flushing: Option<Rc<StoreFileData>>,
     storefiles: Vec<Rc<StoreFileData>>,
+    /// LSM level per store-file path; paths absent from the map are
+    /// level 0 (flush outputs, bulk loads, files adopted at open — only
+    /// compaction outputs placed below L0 need an entry).
+    file_levels: HashMap<String, u32>,
     /// Recovered-edits files replayed into the memstore at open; deleted
     /// once a flush makes their contents durable in a store file.
     recovered_paths: Vec<String>,
     online: bool,
     flush_in_progress: bool,
     compaction_in_progress: bool,
+}
+
+impl RegionState {
+    /// The LSM level of the file at `path` (level 0 unless a compaction
+    /// placed it deeper).
+    fn level_of(&self, path: &str) -> u32 {
+        self.file_levels.get(path).copied().unwrap_or(0)
+    }
+
+    /// The flush-stall check's cheap file-count summary (runs every
+    /// flush tick, so no per-file metadata is materialized).
+    fn stall_signal(&self) -> StallSignal {
+        StallSignal {
+            total_files: self.storefiles.len(),
+            l0_files: self
+                .storefiles
+                .iter()
+                .filter(|sf| self.level_of(sf.path()) == 0)
+                .count(),
+        }
+    }
+
+    /// The policy's view of this region's durable file stack (the
+    /// flushing snapshot is excluded — it is not compactable yet).
+    fn file_metas(&self) -> Vec<FileMeta> {
+        self.storefiles
+            .iter()
+            .map(|sf| FileMeta {
+                path: sf.path().to_owned(),
+                bytes: sf.total_bytes(),
+                entries: sf.len(),
+                level: self.level_of(sf.path()),
+                key_range: sf
+                    .key_range()
+                    .map(|(a, z)| (Bytes::copy_from_slice(a), Bytes::copy_from_slice(z))),
+            })
+            .collect()
+    }
+}
+
+/// A compaction the policy planned, resolved to paths so it survives the
+/// gap between the candidacy check and the handler slot becoming free.
+struct PlannedCompaction {
+    input_paths: Vec<String>,
+    output_level: u32,
+    max_output_bytes: Option<usize>,
 }
 
 /// One region server process. Shared via `Rc`; all requests arrive as
@@ -185,6 +238,25 @@ pub struct RegionServer {
     /// Runtime master switch for bloom probes (initialized from
     /// [`RegionServerConfig::bloom_filters`]).
     bloom_enabled: Cell<bool>,
+    /// The active compaction policy (initialized from
+    /// [`CompactionConfig::policy`]; swappable at runtime).
+    policy: RefCell<Rc<dyn CompactionPolicy>>,
+    /// Backpressure deficit bank: one token accrues per check tick that
+    /// defers a due merge; at `max_deferrals` the merge runs regardless.
+    compaction_deficit: Cell<u32>,
+    /// Handler busy-ns at the last compaction check (windowed
+    /// utilization sampling).
+    sched_busy_ns: Cell<u64>,
+    /// Sim-instant of the last compaction check, in nanoseconds.
+    sched_checked_ns: Cell<u64>,
+    /// Total service-ns this server itself submitted as background work
+    /// (merges, recovery tracking). Subtracted from the utilization
+    /// sample so the scheduler measures *foreground* pressure — one
+    /// admitted large merge must not make the next windows read as
+    /// saturated and defer merges out of genuinely idle gaps.
+    background_ns: Cell<u64>,
+    /// `background_ns` at the last compaction check.
+    sched_background_ns: Cell<u64>,
     /// Coordination handle (set by [`RegionServer::start`]); compaction
     /// uses it as a fencing check before destroying retired files.
     coord: RefCell<Option<CoordClient>>,
@@ -244,6 +316,12 @@ impl RegionServer {
             compaction_stats: CompactionStats::default(),
             filter_stats: FilterStats::default(),
             bloom_enabled: Cell::new(cfg.bloom_filters),
+            policy: RefCell::new(compaction::policy_for(cfg.compaction.policy)),
+            compaction_deficit: Cell::new(0),
+            sched_busy_ns: Cell::new(0),
+            sched_checked_ns: Cell::new(sim.now().nanos()),
+            background_ns: Cell::new(0),
+            sched_background_ns: Cell::new(0),
             coord: RefCell::new(None),
             gc_watermark: RefCell::new(None),
             self_weak: RefCell::new(Weak::new()),
@@ -388,6 +466,32 @@ impl RegionServer {
         self.bloom_enabled.get()
     }
 
+    /// Switches the compaction policy at runtime (the benches' A/B
+    /// switch, like [`RegionServer::set_bloom_filters`]). Policies are
+    /// stateless over the current file stack, so the switch simply
+    /// changes what the next candidacy check decides; in-flight merges
+    /// finish under their already-planned placement. Files a previous
+    /// policy placed on deeper levels keep their level — the size-tiered
+    /// policy ignores levels, and a switch back to leveled resumes from
+    /// the recorded ones.
+    pub fn set_compaction_policy(&self, kind: CompactionPolicyKind) {
+        *self.policy.borrow_mut() = compaction::policy_for(kind);
+    }
+
+    /// The compaction policy currently deciding candidacy.
+    pub fn compaction_policy(&self) -> CompactionPolicyKind {
+        self.policy.borrow().kind()
+    }
+
+    /// Per-level `(file count, bytes)` across this server's hosted
+    /// regions, indexed by LSM level (slot 0 includes flushing
+    /// snapshots). Size-tiered keeps everything in slot 0.
+    pub fn level_profile(&self) -> Vec<(u64, u64)> {
+        let files = self.compaction_stats.level_files.snapshot();
+        let bytes = self.compaction_stats.level_bytes.snapshot();
+        files.into_iter().zip(bytes).collect()
+    }
+
     /// Whether `region` currently has a compaction in flight.
     pub fn compaction_in_progress(&self, region: RegionId) -> bool {
         self.regions
@@ -458,6 +562,11 @@ impl RegionServer {
         if !self.alive.get() {
             return;
         }
+        // Attributed as background for the utilization sample (charged
+        // at submit while the queue charges at start — close enough for
+        // a scheduling signal, and always in the same direction).
+        self.background_ns
+            .set(self.background_ns.get() + service.nanos());
         let this = Rc::clone(self);
         self.handlers.submit(service, move || {
             if this.alive.get() {
@@ -846,6 +955,11 @@ impl RegionServer {
                 memstore: MemStore::new(),
                 flushing: None,
                 storefiles,
+                // Adopted files all start at level 0: a failed-over
+                // server does not know its predecessor's level layout,
+                // and L0 is the only level that tolerates overlapping
+                // ranges. The leveled policy re-sorts them down.
+                file_levels: HashMap::new(),
                 recovered_paths: recovered_paths.clone(),
                 online: false,
                 flush_in_progress: false,
@@ -954,20 +1068,42 @@ impl RegionServer {
         if !self.alive.get() {
             return;
         }
-        let mut candidates: Vec<RegionId> = self
-            .regions
-            .borrow()
-            .iter()
-            .filter(|(_, st)| {
-                st.online
-                    && !st.flush_in_progress
-                    && st.memstore.approx_bytes() >= self.cfg.memstore_flush_bytes
-            })
-            .map(|(id, _)| *id)
-            .collect();
-        // HashMap iteration order varies per process; flush in region
-        // order so runs with the same seed stay byte-identical.
-        candidates.sort_unstable();
+        let ccfg = self.cfg.compaction;
+        let policy = Rc::clone(&*self.policy.borrow());
+        let mut candidates: Vec<RegionId> = Vec::new();
+        {
+            let regions = self.regions.borrow();
+            let mut due: Vec<(&RegionId, &RegionState)> = regions
+                .iter()
+                .filter(|(_, st)| {
+                    st.online
+                        && !st.flush_in_progress
+                        && st.memstore.approx_bytes() >= self.cfg.memstore_flush_bytes
+                })
+                .collect();
+            // HashMap iteration order varies per process; flush in region
+            // order so runs with the same seed stay byte-identical.
+            due.sort_unstable_by_key(|(id, _)| **id);
+            for (id, st) in due {
+                // Flush stall (hard backpressure): past the file-count
+                // limit a flush would only deepen the unmerged backlog,
+                // so the memstore keeps absorbing writes until
+                // compaction catches up. Only meaningful while
+                // compaction runs — without it the backlog would never
+                // drain and the stall would hold forever.
+                if ccfg.enabled
+                    && ccfg.backpressure
+                    && policy.flush_should_stall(st.stall_signal(), &ccfg)
+                {
+                    self.compaction_stats.flush_stalls.inc();
+                    self.compaction_stats
+                        .stall_ns
+                        .add(self.cfg.flush_check_interval.nanos());
+                    continue;
+                }
+                candidates.push(*id);
+            }
+        }
         for region in candidates {
             self.flush_region(region);
         }
@@ -1048,38 +1184,90 @@ impl RegionServer {
     // merge and the crash-safety argument)
     // ------------------------------------------------------------------
 
+    /// Foreground handler utilization over the window since the last
+    /// compaction check (the deficit scheduler's admission signal).
+    /// Work this server itself submitted as background (merges, recovery
+    /// tracking) is subtracted out, so an admitted merge does not make
+    /// the following windows read as foreground saturation.
+    fn sample_utilization(&self) -> f64 {
+        let now_ns = self.sim.now().nanos();
+        let busy_ns = self.handlers.busy_nanos();
+        let background_ns = self.background_ns.get();
+        let elapsed = now_ns.saturating_sub(self.sched_checked_ns.get());
+        let busy_delta = busy_ns.saturating_sub(self.sched_busy_ns.get());
+        let background_delta = background_ns.saturating_sub(self.sched_background_ns.get());
+        self.sched_checked_ns.set(now_ns);
+        self.sched_busy_ns.set(busy_ns);
+        self.sched_background_ns.set(background_ns);
+        if elapsed == 0 {
+            return 0.0;
+        }
+        let foreground = busy_delta.saturating_sub(background_delta);
+        foreground as f64 / (elapsed as f64 * self.cfg.handlers as f64)
+    }
+
     fn check_compactions(self: &Rc<Self>) {
         if !self.alive.get() {
             return;
         }
         let cfg = self.cfg.compaction;
+        let utilization = self.sample_utilization();
+        let policy = Rc::clone(&*self.policy.borrow());
         // One candidate region per tick: compaction competes with
-        // foreground traffic for handler slots, so pace it.
+        // foreground traffic for handler slots, so pace it. The policy
+        // decides per region whether a merge is due; the deepest file
+        // backlog wins (regions in sorted order for determinism).
         let picked = {
             let regions = self.regions.borrow();
-            regions
-                .iter()
-                .filter(|(_, st)| {
-                    st.online && !st.compaction_in_progress && st.storefiles.len() >= cfg.min_files
-                })
-                .max_by_key(|(id, st)| (st.storefiles.len(), std::cmp::Reverse(id.0)))
-                .and_then(|(id, st)| {
-                    let sizes: Vec<usize> =
-                        st.storefiles.iter().map(|sf| sf.total_bytes()).collect();
-                    compaction::pick_candidates(&sizes, &cfg).map(|idxs| {
-                        let paths: Vec<String> = idxs
-                            .iter()
-                            .map(|&i| st.storefiles[i].path().to_owned())
-                            .collect();
-                        let entries: u64 =
-                            idxs.iter().map(|&i| st.storefiles[i].len() as u64).sum();
-                        (*id, paths, entries)
-                    })
-                })
+            let mut ordered: Vec<(&RegionId, &RegionState)> = regions.iter().collect();
+            ordered.sort_unstable_by_key(|(id, _)| **id);
+            let mut best: Option<(usize, RegionId, PlannedCompaction, u64)> = None;
+            for (id, st) in ordered {
+                if !st.online || st.compaction_in_progress {
+                    continue;
+                }
+                let metas = st.file_metas();
+                let Some(CompactionJob {
+                    inputs,
+                    output_level,
+                    max_output_bytes,
+                }) = policy.pick(&metas, &cfg)
+                else {
+                    continue;
+                };
+                let entries: u64 = inputs.iter().map(|&i| metas[i].entries as u64).sum();
+                let plan = PlannedCompaction {
+                    input_paths: inputs.iter().map(|&i| metas[i].path.clone()).collect(),
+                    output_level,
+                    max_output_bytes,
+                };
+                let depth = st.storefiles.len();
+                if best.as_ref().map(|(d, ..)| depth > *d).unwrap_or(true) {
+                    best = Some((depth, *id, plan, entries));
+                }
+            }
+            best
         };
-        let Some((region, input_paths, total_entries)) = picked else {
+        let Some((_, region, plan, total_entries)) = picked else {
+            // Nothing due: the deficit bank only accrues against real
+            // deferred work.
+            self.compaction_deficit.set(0);
             return;
         };
+        // Soft backpressure: while the foreground is saturated, a due
+        // merge waits — but each deferral banks a deficit token, and a
+        // full bank forces the merge so read amplification cannot grow
+        // without bound under sustained overload.
+        if cfg.backpressure && utilization > cfg.utilization_threshold {
+            if self.compaction_deficit.get() < cfg.max_deferrals {
+                self.compaction_deficit
+                    .set(self.compaction_deficit.get() + 1);
+                self.compaction_stats.deferred.inc();
+                return;
+            }
+            self.compaction_stats.forced.inc();
+        }
+        self.compaction_deficit.set(0);
         {
             let mut regions = self.regions.borrow_mut();
             let Some(st) = regions.get_mut(&region) else {
@@ -1090,7 +1278,7 @@ impl RegionServer {
         self.compaction_stats.started.inc();
         let service = self.cfg.base_service + cfg.merge_service_per_entry * total_entries.max(1);
         let this = Rc::clone(self);
-        self.submit_background(service, move || this.run_compaction(region, input_paths));
+        self.submit_background(service, move || this.run_compaction(region, plan));
     }
 
     /// Clears the in-flight flag so a failed attempt can be retried by a
@@ -1101,23 +1289,13 @@ impl RegionServer {
         }
     }
 
-    /// The merge + write phase, running on a handler slot. The input set
-    /// was chosen when the work was queued; it is re-validated here
-    /// because flushes (or a region reopen) may have run in between.
-    fn run_compaction(self: &Rc<Self>, region: RegionId, input_paths: Vec<String>) {
+    /// The merge phase, running on a handler slot. The input set was
+    /// chosen when the work was queued; it is re-validated here because
+    /// flushes (or a region reopen) may have run in between.
+    fn run_compaction(self: &Rc<Self>, region: RegionId, plan: PlannedCompaction) {
         if !self.alive.get() {
             return;
         }
-        let n = self.storefile_counter.get();
-        self.storefile_counter.set(n + 1);
-        let tmp_path = format!(
-            "/store/{region}/{}{:06}-{}",
-            compaction::TMP_PREFIX,
-            n,
-            self.id
-        );
-        let final_path = format!("/store/{region}/{:06}c-{}", n, self.id);
-
         let merged = {
             let regions = self.regions.borrow();
             let Some(st) = regions.get(&region) else {
@@ -1126,10 +1304,10 @@ impl RegionServer {
             let inputs: Vec<Rc<StoreFileData>> = st
                 .storefiles
                 .iter()
-                .filter(|sf| input_paths.iter().any(|p| p == sf.path()))
+                .filter(|sf| plan.input_paths.iter().any(|p| p == sf.path()))
                 .cloned()
                 .collect();
-            if inputs.len() != input_paths.len() {
+            if inputs.len() != plan.input_paths.len() {
                 drop(regions);
                 self.abort_compaction(region);
                 return;
@@ -1157,13 +1335,23 @@ impl RegionServer {
                         .and_then(|f| f.get(row, col, below))
                         .is_some()
             };
-            compaction::merge_store_files(
+            // Output names draw from the same counter flushes use, one
+            // per partition, in partition order — deterministic.
+            let counter = &self.storefile_counter;
+            let server_id = self.id;
+            let path_for = |_: usize| {
+                let n = counter.get();
+                counter.set(n + 1);
+                format!("/store/{region}/{:06}c-{}", n, server_id)
+            };
+            compaction::merge_store_files_partitioned(
                 region,
-                final_path.clone(),
+                &path_for,
                 &inputs,
                 watermark,
                 major,
                 &guard,
+                plan.max_output_bytes,
             )
         };
         self.compaction_stats
@@ -1172,21 +1360,46 @@ impl RegionServer {
 
         // Everything was garbage (e.g. a fully deleted key range): no
         // output file to write, just retire the inputs.
-        if merged.output.is_empty() {
-            self.finish_compaction(region, input_paths, None);
+        if merged.outputs.is_empty() {
+            self.finish_compaction(region, plan.input_paths, Vec::new(), plan.output_level);
             return;
         }
 
-        let output = Rc::new(merged.output);
-        let encoded = output.encode();
+        let outputs: Rc<Vec<Rc<StoreFileData>>> =
+            Rc::new(merged.outputs.into_iter().map(Rc::new).collect());
+        self.write_compaction_outputs(region, plan.input_paths, outputs, plan.output_level, 0);
+    }
+
+    /// Writes output partition `idx` to the filesystem under its temp
+    /// name, then recurses to the next; once all are durable, the rename
+    /// phase promotes them. A crash mid-way leaves only ignorable `.tmp-`
+    /// files — the inputs still cover all data.
+    fn write_compaction_outputs(
+        self: &Rc<Self>,
+        region: RegionId,
+        input_paths: Vec<String>,
+        outputs: Rc<Vec<Rc<StoreFileData>>>,
+        level: u32,
+        idx: usize,
+    ) {
+        if !self.alive.get() {
+            return;
+        }
+        if idx == outputs.len() {
+            self.rename_compaction_outputs(region, input_paths, outputs, level, 0);
+            return;
+        }
+        let data = Rc::clone(&outputs[idx]);
+        let tmp = compaction::tmp_name(data.path());
         let weak = Rc::downgrade(self);
-        let tmp2 = tmp_path.clone();
-        self.dfs.create(&tmp_path, move |file| {
+        let outputs2 = Rc::clone(&outputs);
+        self.dfs.create(&tmp, move |file| {
             let Some(server) = weak.upgrade() else { return };
             let Ok(file) = file else {
-                server.abort_compaction(region);
+                server.abort_compaction_cleanup(region, &outputs2, 0, idx + 1);
                 return;
             };
+            let encoded = data.encode();
             let weak = weak.clone();
             file.append(encoded, move |result| {
                 let Some(server) = weak.upgrade() else { return };
@@ -1195,55 +1408,91 @@ impl RegionServer {
                 }
                 if result.is_err() {
                     // Filesystem unavailable: give up this attempt; the
-                    // temp file is ignorable garbage by construction.
-                    server.abort_compaction(region);
+                    // temp files are ignorable garbage by construction.
+                    server.abort_compaction_cleanup(region, &outputs2, 0, idx + 1);
                     return;
                 }
-                // Durable under the temp name: promote it atomically.
-                let weak = weak.clone();
-                let output2 = Rc::clone(&output);
-                let tmp3 = tmp2.clone();
-                server
-                    .dfs
-                    .clone()
-                    .rename(&tmp2, &final_path, move |renamed| {
-                        let Some(server) = weak.upgrade() else { return };
-                        if !server.alive.get() {
-                            return;
-                        }
-                        if renamed.is_err() {
-                            server.dfs.delete(&tmp3);
-                            server.abort_compaction(region);
-                            return;
-                        }
-                        server.registry.insert(Rc::clone(&output2));
-                        server.finish_compaction(region, input_paths, Some(output2));
-                    });
+                server.write_compaction_outputs(region, input_paths, outputs2, level, idx + 1);
             });
         });
     }
 
-    /// Atomically swaps the merged file in for its inputs, invalidates
-    /// the region's cached blocks (compaction rewrote them), updates the
-    /// metrics and retires the obsolete files from registry + filesystem.
+    /// Promotes durable temp files into their final names one by one,
+    /// registering each, then swaps the full output run in. If a rename
+    /// fails, the already-promoted prefix stays behind as registered but
+    /// unreferenced files — read-equivalent duplicates of the inputs
+    /// (which are *not* retired on this path), exactly the crash window
+    /// the recovery path already tolerates.
+    fn rename_compaction_outputs(
+        self: &Rc<Self>,
+        region: RegionId,
+        input_paths: Vec<String>,
+        outputs: Rc<Vec<Rc<StoreFileData>>>,
+        level: u32,
+        idx: usize,
+    ) {
+        if !self.alive.get() {
+            return;
+        }
+        if idx == outputs.len() {
+            let outputs = (*outputs).clone();
+            self.finish_compaction(region, input_paths, outputs, level);
+            return;
+        }
+        let data = Rc::clone(&outputs[idx]);
+        let tmp = compaction::tmp_name(data.path());
+        let final_path = data.path().to_owned();
+        let weak = Rc::downgrade(self);
+        let outputs2 = Rc::clone(&outputs);
+        self.dfs.clone().rename(&tmp, &final_path, move |renamed| {
+            let Some(server) = weak.upgrade() else { return };
+            if !server.alive.get() {
+                return;
+            }
+            if renamed.is_err() {
+                server.abort_compaction_cleanup(region, &outputs2, idx, outputs2.len());
+                return;
+            }
+            server.registry.insert(Rc::clone(&data));
+            server.rename_compaction_outputs(region, input_paths, outputs2, level, idx + 1);
+        });
+    }
+
+    /// Deletes the temp files of output partitions `[lo, hi)` (best
+    /// effort) and clears the in-flight flag so a later check retries.
+    fn abort_compaction_cleanup(
+        &self,
+        region: RegionId,
+        outputs: &Rc<Vec<Rc<StoreFileData>>>,
+        lo: usize,
+        hi: usize,
+    ) {
+        for data in &outputs[lo..hi.min(outputs.len())] {
+            self.dfs.delete(&compaction::tmp_name(data.path()));
+        }
+        self.abort_compaction(region);
+    }
+
+    /// Atomically swaps the merged output run in for its inputs,
+    /// invalidates the region's cached blocks (compaction rewrote them),
+    /// records the outputs' level, updates the metrics and retires the
+    /// obsolete files from registry + filesystem.
     fn finish_compaction(
         self: &Rc<Self>,
         region: RegionId,
         input_paths: Vec<String>,
-        output: Option<Rc<StoreFileData>>,
+        outputs: Vec<Rc<StoreFileData>>,
+        level: u32,
     ) {
-        let bytes = output.as_ref().map(|o| o.total_bytes() as u64).unwrap_or(0);
-        let filter_created = output
-            .as_ref()
-            .map(|o| o.filter_bytes() as u64)
-            .unwrap_or(0);
+        let bytes: u64 = outputs.iter().map(|o| o.total_bytes() as u64).sum();
+        let filter_created: u64 = outputs.iter().map(|o| o.filter_bytes() as u64).sum();
         let mut filter_dropped = 0u64;
         {
             let mut regions = self.regions.borrow_mut();
             let Some(st) = regions.get_mut(&region) else {
                 // The region moved away mid-compaction. Leave the inputs
-                // alone — the new host is reading them; the merged file
-                // is a harmless (read-equivalent) duplicate that a later
+                // alone — the new host is reading them; the merged files
+                // are harmless (read-equivalent) duplicates that a later
                 // compaction there will fold in.
                 return;
             };
@@ -1254,7 +1503,13 @@ impl RegionServer {
                 }
                 !retired
             });
-            if let Some(output) = output {
+            for p in &input_paths {
+                st.file_levels.remove(p);
+            }
+            for output in outputs {
+                if level > 0 {
+                    st.file_levels.insert(output.path().to_owned(), level);
+                }
                 st.storefiles.push(output);
             }
             st.compaction_in_progress = false;
@@ -1313,7 +1568,9 @@ impl RegionServer {
     }
 
     /// Refreshes the gauges derived from the current file sets: the
-    /// worst-case read amplification and the filter-metadata footprint.
+    /// worst-case read amplification, the filter-metadata footprint and
+    /// the per-level file/byte profile. (Order-independent reductions
+    /// over the region map, so HashMap iteration order is harmless.)
     fn update_file_metrics(&self) {
         let regions = self.regions.borrow();
         let max_files = regions
@@ -1330,6 +1587,26 @@ impl RegionServer {
             .map(|sf| sf.filter_bytes())
             .sum();
         self.filter_stats.filter_bytes.set(filter_bytes as u64);
+        let mut level_files: Vec<u64> = Vec::new();
+        let mut level_bytes: Vec<u64> = Vec::new();
+        let mut bump = |level: usize, bytes: u64| {
+            if level_files.len() <= level {
+                level_files.resize(level + 1, 0);
+                level_bytes.resize(level + 1, 0);
+            }
+            level_files[level] += 1;
+            level_bytes[level] += bytes;
+        };
+        for st in regions.values() {
+            if let Some(fl) = &st.flushing {
+                bump(0, fl.total_bytes() as u64);
+            }
+            for sf in &st.storefiles {
+                bump(st.level_of(sf.path()) as usize, sf.total_bytes() as u64);
+            }
+        }
+        self.compaction_stats.level_files.set_all(level_files);
+        self.compaction_stats.level_bytes.set_all(level_bytes);
     }
 
     /// Approximate bytes buffered in `region`'s memstore.

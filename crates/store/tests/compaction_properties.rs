@@ -1,9 +1,14 @@
 //! Property-based tests of the compaction merge: a compacted file set
 //! must answer every get and scan identically to the uncompacted files,
-//! for every snapshot at or above the GC watermark.
+//! for every snapshot at or above the GC watermark — whatever policy
+//! shaped the merges (one size-tiered rewrite, or a leveled pipeline of
+//! partitioned merges).
 
 use bytes::Bytes;
-use cumulo_store::compaction::{merge_store_files, pick_candidates, CompactionConfig, GcWatermark};
+use cumulo_store::compaction::{
+    merge_store_files, merge_store_files_partitioned, pick_candidates, CompactionConfig,
+    CompactionPolicy, FileMeta, GcWatermark, LeveledPolicy,
+};
 use cumulo_store::{MemStore, RegionId, StoreFileData, Timestamp};
 use proptest::prelude::*;
 use std::collections::HashMap;
@@ -156,6 +161,162 @@ proptest! {
                     );
                 }
             }
+        }
+    }
+
+    /// Partitioned merges are read-equivalent to the single-file merge of
+    /// the same inputs at the same watermark, drop exactly the same
+    /// versions, and split only at row boundaries (pairwise-disjoint
+    /// ascending row ranges).
+    #[test]
+    fn partitioned_merge_is_read_equivalent_and_disjoint(
+        writes in prop::collection::vec(
+            ((any::<u8>(), any::<u8>(), 0u64..60, prop::option::of(0u8..4)), any::<u8>()),
+            1..120
+        ),
+        n_files in 2usize..5,
+        watermark in 0u64..80,
+        max_bytes in 16usize..2_000,
+    ) {
+        let files = build_files(&writes, n_files);
+        let single = merge_store_files(
+            RegionId(0), "/m", &files,
+            GcWatermark::at(Timestamp(watermark)), false, &|_, _, _| false,
+        );
+        let parts = merge_store_files_partitioned(
+            RegionId(0), &|i| format!("/p{i}"), &files,
+            GcWatermark::at(Timestamp(watermark)), false, &|_, _, _| false,
+            Some(max_bytes),
+        );
+        prop_assert_eq!(parts.versions_dropped, single.versions_dropped);
+        let total: usize = parts.outputs.iter().map(StoreFileData::len).sum();
+        prop_assert_eq!(total, single.output.len());
+        for w in parts.outputs.windows(2) {
+            let (_, amax) = w[0].key_range().expect("merge outputs are non-empty");
+            let (bmin, _) = w[1].key_range().expect("merge outputs are non-empty");
+            prop_assert!(amax < bmin, "partition row ranges must be disjoint and ascending");
+        }
+        let out: Vec<Rc<StoreFileData>> = parts.outputs.into_iter().map(Rc::new).collect();
+        let lo = watermark;
+        for snap in [lo, lo + 3, MAX_TS, MAX_TS + 20] {
+            if snap < lo {
+                continue; // below the watermark GC legitimately diverges
+            }
+            for r in 0..12u8 {
+                for c in 0..3u8 {
+                    prop_assert_eq!(
+                        folded_get(&out, r, c, snap),
+                        folded_get(&files, r, c, snap),
+                        "get({}, {}) @ snap {}", r, c, snap
+                    );
+                }
+            }
+            prop_assert_eq!(folded_scan(&out, snap), folded_scan(&files, snap));
+        }
+    }
+
+    /// Policy equivalence: running the *leveled pipeline* to quiescence
+    /// (repeatedly asking [`LeveledPolicy`] for a job and applying its
+    /// partitioned merge) exposes exactly the same visible versions as
+    /// one size-tiered merge-everything pass at the same GC watermark.
+    #[test]
+    fn leveled_pipeline_matches_size_tiered_visibility(
+        writes in prop::collection::vec(
+            ((any::<u8>(), any::<u8>(), 0u64..60, prop::option::of(0u8..4)), any::<u8>()),
+            1..120
+        ),
+        n_files in 2usize..6,
+        watermark in 0u64..80,
+    ) {
+        let cfg = CompactionConfig {
+            min_files: 2,
+            // Tiny budgets so the pipeline exercises multi-level pushes.
+            level_base_bytes: 600,
+            level_ratio: 3.0,
+            level_file_bytes: 300,
+            ..CompactionConfig::default()
+        };
+        let gc = GcWatermark::at(Timestamp(watermark));
+        let original = build_files(&writes, n_files);
+
+        // The size-tiered reference: one merge over everything.
+        let tiered = merge_store_files(
+            RegionId(0), "/tiered", &original, gc, false, &|_, _, _| false,
+        );
+        let tiered_out = [Rc::new(tiered.output)];
+
+        // The leveled pipeline: run jobs until the policy is idle.
+        let mut files: Vec<(Rc<StoreFileData>, u32)> =
+            original.iter().map(|f| (Rc::clone(f), 0)).collect();
+        for round in 0..64 {
+            let metas: Vec<FileMeta> = files
+                .iter()
+                .map(|(sf, level)| FileMeta {
+                    path: sf.path().to_owned(),
+                    bytes: sf.total_bytes(),
+                    entries: sf.len(),
+                    level: *level,
+                    key_range: sf
+                        .key_range()
+                        .map(|(a, z)| (Bytes::copy_from_slice(a), Bytes::copy_from_slice(z))),
+                })
+                .collect();
+            let Some(job) = LeveledPolicy.pick(&metas, &cfg) else { break };
+            let inputs: Vec<Rc<StoreFileData>> =
+                job.inputs.iter().map(|&i| Rc::clone(&files[i].0)).collect();
+            let merged = merge_store_files_partitioned(
+                RegionId(0),
+                &|i| format!("/lvl{round}-{i}"),
+                &inputs, gc, false, &|_, _, _| false,
+                job.max_output_bytes,
+            );
+            let mut keep: Vec<(Rc<StoreFileData>, u32)> = Vec::new();
+            for (i, f) in files.into_iter().enumerate() {
+                if !job.inputs.contains(&i) {
+                    keep.push(f);
+                }
+            }
+            keep.extend(
+                merged.outputs.into_iter().map(|sf| (Rc::new(sf), job.output_level)),
+            );
+            files = keep;
+        }
+        // The leveled invariant the read bound rests on: files on the
+        // same level >= 1 are pairwise range-disjoint at quiescence.
+        for (i, (a, la)) in files.iter().enumerate() {
+            for (b, lb) in files.iter().skip(i + 1) {
+                if *la != *lb || *la == 0 {
+                    continue;
+                }
+                if let (Some((amin, amax)), Some((bmin, bmax))) = (a.key_range(), b.key_range()) {
+                    prop_assert!(
+                        amax < bmin || bmax < amin,
+                        "level {} files overlap: {:?}..{:?} vs {:?}..{:?}",
+                        la, amin, amax, bmin, bmax
+                    );
+                }
+            }
+        }
+        let leveled_out: Vec<Rc<StoreFileData>> =
+            files.into_iter().map(|(sf, _)| sf).collect();
+
+        for snap in [watermark, watermark + 5, MAX_TS, MAX_TS + 20] {
+            if snap < watermark {
+                continue; // below the watermark GC legitimately diverges
+            }
+            for r in 0..12u8 {
+                for c in 0..3u8 {
+                    prop_assert_eq!(
+                        folded_get(&leveled_out, r, c, snap),
+                        folded_get(&tiered_out, r, c, snap),
+                        "get({}, {}) @ snap {} diverged between policies", r, c, snap
+                    );
+                }
+            }
+            prop_assert_eq!(
+                folded_scan(&leveled_out, snap),
+                folded_scan(&tiered_out, snap)
+            );
         }
     }
 

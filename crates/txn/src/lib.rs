@@ -22,7 +22,7 @@
 //!   control exists;
 //! * a **flush watermark** assigning read snapshots under which every
 //!   committed transaction is fully flushed, so reads never observe a
-//!   partially flushed commit (DESIGN.md, protocol note 5).
+//!   partially flushed commit (ARCHITECTURE.md, protocol refinements).
 //!
 //! Per §4.1 the log has "access to its own high performance stable
 //! storage"; the manager itself is assumed reliable (its replication is

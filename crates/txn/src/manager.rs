@@ -114,7 +114,16 @@ impl TransactionManager {
         let weak: Weak<TransactionManager> = Rc::downgrade(&tm);
         let timer = every(sim, cfg.prune_interval, move || {
             if let Some(tm) = weak.upgrade() {
-                tm.conflicts.prune_below(tm.watermark.get());
+                // Prune at the oldest *pinned* snapshot, not the flush
+                // watermark: the watermark advances past still-running
+                // transactions, and a transaction that began before it
+                // moved (e.g. stalled behind a crashed region) must still
+                // find the conflict records of everything committed after
+                // its start snapshot. Pruning those records early lets
+                // such a straggler commit a write-write conflict — a lost
+                // update that breaks atomicity invariants downstream
+                // (found by `tests/atomicity.rs`'s shifted-RNG probe).
+                tm.conflicts.prune_below(tm.oldest_active_snapshot());
             }
         });
         tm.timers.borrow_mut().push(timer);
@@ -322,6 +331,62 @@ mod tests {
         assert!(tss.windows(2).all(|w| w[0] < w[1]));
         assert_eq!(tm.commit_count(), 5);
         assert_eq!(tm.log().len(), 5);
+    }
+
+    /// Regression: the conflict table must survive pruning for as long
+    /// as any *running* transaction could still conflict with it. The
+    /// watermark advances past open transactions (their start snapshots
+    /// stay pinned below it), so pruning at the watermark let a straggler
+    /// — e.g. one stalled behind a crashed region — commit a write-write
+    /// conflict as a lost update. Pruning is bounded by the oldest pinned
+    /// snapshot instead.
+    #[test]
+    fn prune_spares_conflicts_of_open_stragglers() {
+        let (sim, tm) = tm();
+        // The straggler begins first: its snapshot pins the epoch.
+        let (straggler, start) = tm.handle_begin(ClientId(0));
+        // A rival commits and fully flushes a write to the same cell.
+        let (rival, _) = tm.handle_begin(ClientId(1));
+        let committed: Rc<RefCell<Option<Timestamp>>> = Rc::new(RefCell::new(None));
+        let c2 = committed.clone();
+        tm.handle_commit(rival, ws("contested"), move |o| match o {
+            CommitOutcome::Committed(ts) => *c2.borrow_mut() = Some(ts),
+            other => panic!("unexpected outcome {other:?}"),
+        });
+        sim.run_for(SimDuration::from_millis(100));
+        let rival_ts = committed.borrow().expect("rival committed");
+        tm.handle_flush_complete(rival_ts);
+        // A later commit on an unrelated cell flushes too, pushing the
+        // watermark strictly past the rival's record.
+        let (later, _) = tm.handle_begin(ClientId(2));
+        let committed_later: Rc<RefCell<Option<Timestamp>>> = Rc::new(RefCell::new(None));
+        let c3 = committed_later.clone();
+        tm.handle_commit(later, ws("unrelated"), move |o| match o {
+            CommitOutcome::Committed(ts) => *c3.borrow_mut() = Some(ts),
+            other => panic!("unexpected outcome {other:?}"),
+        });
+        sim.run_for(SimDuration::from_millis(100));
+        let later_ts = committed_later.borrow().expect("later committed");
+        tm.handle_flush_complete(later_ts);
+        assert!(
+            tm.watermark() > rival_ts,
+            "the watermark moved past the rival's conflict record"
+        );
+        assert!(start < rival_ts, "the straggler's snapshot is older");
+        // Let the prune timer fire (well past prune_interval).
+        sim.run_for(SimDuration::from_secs(25));
+        // The straggler now writes the contested cell: must conflict.
+        let out: Rc<RefCell<Option<CommitOutcome>>> = Rc::new(RefCell::new(None));
+        let o2 = out.clone();
+        tm.handle_commit(straggler, ws("contested"), move |o| {
+            *o2.borrow_mut() = Some(o);
+        });
+        sim.run_for(SimDuration::from_millis(100));
+        assert_eq!(
+            out.borrow().clone(),
+            Some(CommitOutcome::Conflict),
+            "straggler's lost-update commit must abort"
+        );
     }
 
     #[test]

@@ -126,8 +126,8 @@ impl Driver {
                 }
                 None => SimDuration::from_nanos(self.inner.sim.gen_range(0, 1_000_000)),
             };
-            let arrival = now + first;
-            self.inner.sim.schedule_in(first, move || {
+            let arrival = align_to_burst(&self.inner.workload, now + first);
+            self.inner.sim.schedule_in(arrival - now, move || {
                 start_txn(inner, t, arrival, interval_ns);
             });
         }
@@ -187,6 +187,22 @@ impl Driver {
     }
 }
 
+/// Pushes an arrival landing in the duty cycle's off-window to the next
+/// cycle start (identity when bursts are disabled). Cycles are anchored
+/// at t=0, so every thread agrees on the window boundaries.
+fn align_to_burst(w: &Workload, t: SimTime) -> SimTime {
+    if w.burst_on.is_zero() {
+        return t;
+    }
+    let cycle = (w.burst_on + w.burst_off).nanos().max(1);
+    let phase = t.nanos() % cycle;
+    if phase < w.burst_on.nanos() {
+        t
+    } else {
+        SimTime::from_nanos(t.nanos() - phase + cycle)
+    }
+}
+
 fn pick_key(inner: &DriverInner) -> u64 {
     match inner.workload.distribution {
         KeyDistribution::Uniform => inner.uniform.next_key(&inner.sim),
@@ -237,6 +253,41 @@ fn run_op(
         client.commit(txn, move |result| {
             finish_txn(inner2, result, started, thread, arrival, interval_ns);
         });
+        return;
+    }
+    // The scan draw only happens when scans are configured, so workloads
+    // without them replay byte-identically against pre-existing seeds.
+    let is_scan =
+        inner.workload.scan_ratio > 0.0 && inner.sim.gen_f64() < inner.workload.scan_ratio;
+    if is_scan {
+        let start_id = pick_key(&inner);
+        let len = inner.workload.scan_len.max(1) as u64;
+        let start = inner.workload.key(start_id);
+        let end = inner.workload.key(
+            start_id
+                .saturating_add(len)
+                .min(inner.workload.record_count),
+        );
+        let inner2 = Rc::clone(&inner);
+        let client2 = client.clone();
+        client.scan(
+            txn,
+            start,
+            Some(bytes::Bytes::from(end)),
+            len as usize,
+            move |_| {
+                run_op(
+                    inner2,
+                    client2,
+                    txn,
+                    op + 1,
+                    started,
+                    thread,
+                    arrival,
+                    interval_ns,
+                );
+            },
+        );
         return;
     }
     let key = inner.workload.key(pick_key(&inner));
@@ -334,6 +385,7 @@ fn finish_txn(
         }
         None => now,
     };
+    let next_arrival = align_to_burst(&inner.workload, next_arrival);
     let delay = next_arrival - now;
     let inner2 = Rc::clone(&inner);
     inner.sim.schedule_in(delay, move || {

@@ -33,6 +33,13 @@ pub struct Workload {
     /// (YCSB workload F style): the client reads the cell, then writes a
     /// derived value within the same transaction.
     pub rmw_ratio: f64,
+    /// Fraction of operations performed as short range scans (YCSB
+    /// workload E style), decided before the read/update split. While
+    /// zero (the default) the driver draws nothing extra from the
+    /// simulation RNG, so existing seeds replay identically.
+    pub scan_ratio: f64,
+    /// Rows per scan operation.
+    pub scan_len: usize,
     /// Key distribution.
     pub distribution: KeyDistribution,
     /// Number of simulated client threads (paper: 50).
@@ -40,6 +47,15 @@ pub struct Workload {
     /// Offered load in transactions/second; `None` = closed loop at full
     /// speed (each thread starts its next transaction immediately).
     pub target_tps: Option<f64>,
+    /// On-window of a bursty duty cycle: while non-zero, threads only
+    /// *start* transactions during the first `burst_on` of every
+    /// `burst_on + burst_off` period (arrivals landing in the off-window
+    /// are pushed to the next cycle start). Zero (the default) disables
+    /// the duty cycle. Deterministic — no extra RNG draws.
+    pub burst_on: SimDuration,
+    /// Off-window of the duty cycle (only meaningful with a non-zero
+    /// `burst_on`).
+    pub burst_off: SimDuration,
     /// Measurement window for the time series.
     pub window: SimDuration,
 }
@@ -54,9 +70,13 @@ impl Default for Workload {
             ops_per_txn: 10,
             read_ratio: 0.5,
             rmw_ratio: 0.0,
+            scan_ratio: 0.0,
+            scan_len: 20,
             distribution: KeyDistribution::Uniform,
             threads: 50,
             target_tps: None,
+            burst_on: SimDuration::ZERO,
+            burst_off: SimDuration::ZERO,
             window: SimDuration::from_secs(5),
         }
     }
@@ -84,6 +104,18 @@ impl Workload {
         assert!(
             (0.0..=1.0).contains(&self.rmw_ratio),
             "rmw ratio out of range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.scan_ratio),
+            "scan ratio out of range"
+        );
+        assert!(
+            self.scan_ratio == 0.0 || self.scan_len > 0,
+            "scans need a positive length"
+        );
+        assert!(
+            self.burst_on.is_zero() == self.burst_off.is_zero(),
+            "burst_on and burst_off must both be set (or both zero)"
         );
         assert!(self.threads > 0, "no threads");
     }

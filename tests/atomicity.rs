@@ -48,24 +48,16 @@ fn transfer(cluster: &Cluster, client: TransactionalClient, committed: Rc<Cell<u
     });
 }
 
-/// Runs transfers with a mid-run server crash and client crash, then
-/// audits that the total balance is conserved.
-#[test]
-fn transfers_conserve_total_balance_through_failures() {
-    let cluster = Cluster::build(ClusterConfig {
-        seed: 31,
-        clients: 6,
-        servers: 3,
-        regions: 6,
-        key_count: ACCOUNTS,
-        ..ClusterConfig::default()
-    });
+/// The shared schedule of the conservation tests: 60 rounds of
+/// transfers with a server crash at round 20 and a client crash at
+/// round 40, then a full-balance audit.
+fn run_transfer_schedule(cluster: &Cluster) {
     let committed = Rc::new(Cell::new(0u32));
     for round in 0..60 {
         for i in 0..cluster.clients.len() {
             let client = cluster.client(i).clone();
             if client.is_alive() {
-                transfer(&cluster, client, committed.clone());
+                transfer(cluster, client, committed.clone());
             }
         }
         cluster.run_for(SimDuration::from_millis(400));
@@ -92,6 +84,52 @@ fn transfers_conserve_total_balance_through_failures() {
         ACCOUNTS as i64 * INITIAL,
         "atomicity violated: money not conserved"
     );
+}
+
+fn conservation_cluster() -> Cluster {
+    Cluster::build(ClusterConfig {
+        seed: 31,
+        clients: 6,
+        servers: 3,
+        regions: 6,
+        key_count: ACCOUNTS,
+        ..ClusterConfig::default()
+    })
+}
+
+/// Runs transfers with a mid-run server crash and client crash, then
+/// audits that the total balance is conserved.
+#[test]
+fn transfers_conserve_total_balance_through_failures() {
+    run_transfer_schedule(&conservation_cluster());
+}
+
+/// Regression probe for the RNG-shift seed race (ROADMAP "Open items"):
+/// the same schedule as
+/// [`transfers_conserve_total_balance_through_failures`], but with the
+/// simulation's RNG stream shifted by a few extra draws — what any
+/// innocent new jittered timer at server start would do.
+///
+/// Before the fix, shifted schedules lost or invented exactly one
+/// transfer amount (a half-applied-looking write-set): the shift made a
+/// transaction straddle the round-20 server crash with its start
+/// snapshot pinned *below* the flush watermark, and the transaction
+/// manager's conflict table was pruned at the watermark — so the
+/// straggler's write-write conflict with a transaction committed after
+/// its snapshot went undetected and its commit silently overwrote the
+/// rival's leg (a lost update). The fix prunes the conflict table at the
+/// oldest *pinned* snapshot instead (`cumulo-txn`'s manager); two draws
+/// at seed 31 was a deterministic reproduction.
+#[test]
+fn transfers_conserve_total_balance_with_shifted_rng() {
+    for shift in [1u32, 2, 3] {
+        let cluster = conservation_cluster();
+        // Extra draws that shift every subsequent gen_range/gen_f64.
+        for _ in 0..shift {
+            let _ = cluster.sim.jitter(SimDuration::from_secs(1), 0.5);
+        }
+        run_transfer_schedule(&cluster);
+    }
 }
 
 /// A reader transaction must never observe one half of a two-row

@@ -222,7 +222,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// Length specifications accepted by [`vec`].
+    /// Length specifications accepted by [`vec()`](fn@vec).
     pub trait SizeRange {
         /// The half-open `[lo, hi)` length range.
         fn bounds(&self) -> Range<usize>;
@@ -246,7 +246,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`](fn@vec).
     pub struct VecStrategy<S> {
         element: S,
         len: Range<usize>,
