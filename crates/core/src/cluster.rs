@@ -57,13 +57,22 @@ pub struct ClusterConfig {
     /// Whether background store-file compaction runs (overrides
     /// `server_cfg.compaction.enabled`).
     pub compaction: bool,
-    /// Store-file count that makes a region a compaction candidate
-    /// (overrides `server_cfg.compaction.min_files`).
+    /// Store-file count that makes a region a size-tiered compaction
+    /// candidate (overrides `server_cfg.compaction.min_files`). The
+    /// leveled policy's L0 trigger is deliberately *not* driven by this
+    /// knob — set `server_cfg.compaction.l0_trigger_files` for that.
     pub compaction_threshold: usize,
     /// Which compaction policy the servers run (overrides
     /// `server_cfg.compaction.policy`; switchable at runtime via
     /// [`Cluster::set_compaction_policy`]).
     pub compaction_policy: CompactionPolicyKind,
+    /// Whether online region splits run (overrides
+    /// `server_cfg.split.enabled`). Off by default so calibrated
+    /// experiments that predate splits keep their schedules.
+    pub splits: bool,
+    /// Durable store-file bytes at which a region splits (overrides
+    /// `server_cfg.split.threshold_bytes`).
+    pub split_threshold_bytes: usize,
     /// Network latency model.
     pub latency: LatencyConfig,
     /// Region-server knobs (`wal_mode` is overridden by `persistence`;
@@ -98,6 +107,8 @@ impl Default for ClusterConfig {
             compaction: true,
             compaction_threshold: 4,
             compaction_policy: CompactionPolicyKind::SizeTiered,
+            splits: false,
+            split_threshold_bytes: 256 << 20,
             latency: LatencyConfig::lan_100mbps(),
             server_cfg: RegionServerConfig::default(),
             store_client_cfg: StoreClientConfig::default(),
@@ -204,6 +215,8 @@ impl Cluster {
         server_cfg.compaction.enabled = cfg.compaction;
         server_cfg.compaction.min_files = cfg.compaction_threshold;
         server_cfg.compaction.policy = cfg.compaction_policy;
+        server_cfg.split.enabled = cfg.splits;
+        server_cfg.split.threshold_bytes = cfg.split_threshold_bytes;
         if cfg.tracking && cfg.persistence == PersistenceMode::Asynchronous {
             // Paper-faithful: with the middleware installed, the WAL is
             // synced by the tracker heartbeat (Algorithm 3), not by a
@@ -255,6 +268,7 @@ impl Cluster {
             Rc::clone(&dir),
         );
         let master_coord = CoordClient::new(&sim, &net, &coord, master_node);
+        master.set_registry(Rc::clone(&registry));
         master.start(&master_coord);
 
         // Recovery manager + recovery client on their own node.
@@ -610,6 +624,99 @@ impl Cluster {
         t
     }
 
+    /// Cluster-wide snapshot of the online-split statistics: per-server
+    /// counters summed, master-side intent/apply/rollback counters
+    /// attached (see `cumulo_store::SplitStats`).
+    pub fn split_totals(&self) -> SplitTotals {
+        let mut t = SplitTotals::default();
+        for s in &self.servers {
+            let ss = s.split_stats();
+            t.considered += ss.considered.get();
+            t.intents_requested += ss.intents_requested.get();
+            t.executing += ss.executing.get();
+            t.completed += ss.completed.get();
+            t.server_aborted += ss.aborted.get();
+        }
+        t.intents_persisted = self.master.split_intents_persisted();
+        t.applied = self.master.splits_applied();
+        t.rolled_back = self.master.splits_rolled_back();
+        t
+    }
+
+    /// Splits applied to the region map so far.
+    pub fn total_splits(&self) -> u64 {
+        self.master.splits_applied()
+    }
+
+    /// Asserts the region map still partitions the key space: regions
+    /// sorted by start, contiguous, non-overlapping, covering
+    /// `(-inf, +inf)` — the invariant every split must preserve. Also
+    /// checks that no two *online* hosted regions cover the same row
+    /// range (a parent and its daughters must never be served at once).
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a diagnostic) when the invariant is violated; used by
+    /// the split test suites after every crash schedule.
+    pub fn assert_region_partition(&self) {
+        let map = self.master.snapshot_map();
+        let regions = map.regions();
+        assert!(!regions.is_empty(), "region map is empty");
+        assert!(
+            regions[0].start.is_empty(),
+            "first region must start at -inf"
+        );
+        assert!(
+            regions[regions.len() - 1].end.is_none(),
+            "last region must end at +inf"
+        );
+        for w in regions.windows(2) {
+            assert_eq!(
+                w[0].end.as_ref(),
+                Some(&w[1].start),
+                "gap or overlap between {:?} and {:?}",
+                w[0],
+                w[1]
+            );
+        }
+        // No two online hosted regions may cover the same key anywhere
+        // in the cluster (parent + daughter simultaneously online would
+        // show up here).
+        let mut online: Vec<(cumulo_store::RegionDescriptor, ServerId)> = Vec::new();
+        for s in &self.servers {
+            if !s.is_alive() {
+                // A crashed process's in-memory region states are moot:
+                // the network drops all traffic to it.
+                continue;
+            }
+            for r in s.hosted_regions() {
+                if !s.region_online(r) {
+                    continue;
+                }
+                if let Some(desc) = s.region_descriptor(r) {
+                    online.push((desc, s.id()));
+                }
+            }
+        }
+        for (i, (a, sa)) in online.iter().enumerate() {
+            for (b, sb) in online.iter().skip(i + 1) {
+                let disjoint = a
+                    .end
+                    .as_ref()
+                    .map(|e| e[..] <= b.start[..])
+                    .unwrap_or(false)
+                    || b.end
+                        .as_ref()
+                        .map(|e| e[..] <= a.start[..])
+                        .unwrap_or(false);
+                assert!(
+                    disjoint,
+                    "regions {a:?} (on {sa}) and {b:?} (on {sb}) are both online and overlap"
+                );
+            }
+        }
+    }
+
     /// Per-level `(file count, bytes)` summed across all region servers,
     /// indexed by LSM level (slot 0 holds everything under size-tiered).
     pub fn level_profile(&self) -> Vec<(u64, u64)> {
@@ -625,6 +732,28 @@ impl Cluster {
         }
         out
     }
+}
+
+/// Cluster-wide sums of the online-split statistics (server counters
+/// plus the master's intent bookkeeping).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct SplitTotals {
+    /// Split candidacies accepted by servers.
+    pub considered: u64,
+    /// Intent requests sent to the master.
+    pub intents_requested: u64,
+    /// Intents whose execution reached reference building.
+    pub executing: u64,
+    /// Splits flipped on a server (parent replaced by daughters).
+    pub completed: u64,
+    /// Granted intents abandoned server-side.
+    pub server_aborted: u64,
+    /// Intents the master made durable.
+    pub intents_persisted: u64,
+    /// Splits applied to the region map.
+    pub applied: u64,
+    /// Intents rolled back at the master (failover or abort).
+    pub rolled_back: u64,
 }
 
 /// Cluster-wide sums of the per-server compaction statistics.

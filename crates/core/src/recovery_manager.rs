@@ -579,7 +579,12 @@ impl RecoveryManager {
         }
         // Fetch everything committed after the floor, then filter each
         // write-set down to the updates that fall in the region
-        // (Algorithm 4's per-update region check).
+        // (Algorithm 4's per-update region check). The filter runs on
+        // the *recovering server's descriptor* for the region, not on
+        // the recovery client's cached region map: after an online
+        // split, the cached map can still show the parent and would
+        // silently filter every daughter-bound update away.
+        let desc = server.region_descriptor(region);
         let tm = Rc::clone(&self.tm);
         let net = Rc::clone(&self.net);
         let node = self.node;
@@ -591,6 +596,10 @@ impl RecoveryManager {
                 if !this.alive.get() {
                     return;
                 }
+                let in_region = |row: &[u8]| match &desc {
+                    Some(d) => d.contains(row),
+                    None => this.rc.region_for(row) == region,
+                };
                 let items: Vec<(Timestamp, Vec<Mutation>)> = records
                     .into_iter()
                     .filter_map(|r| {
@@ -598,7 +607,7 @@ impl RecoveryManager {
                             .write_set
                             .mutations
                             .iter()
-                            .filter(|m| this.rc.region_for(&m.row) == region)
+                            .filter(|m| in_region(&m.row))
                             .cloned()
                             .collect();
                         if muts.is_empty() {

@@ -119,6 +119,61 @@ impl GaugeVec {
     }
 }
 
+/// A shared map of last-value gauges keyed by a sparse integer id (e.g. a
+/// region id): each key holds an independent gauge, and snapshots come
+/// back sorted by key so consumers stay deterministic. Like [`Gauge`],
+/// clones share state.
+#[derive(Clone, Default)]
+pub struct GaugeMap {
+    v: Rc<RefCell<std::collections::HashMap<u64, u64>>>,
+}
+
+impl fmt::Debug for GaugeMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "GaugeMap({} keys)", self.v.borrow().len())
+    }
+}
+
+impl GaugeMap {
+    /// Creates an empty gauge map.
+    pub fn new() -> GaugeMap {
+        GaugeMap::default()
+    }
+
+    /// Sets the gauge for `key`.
+    pub fn set(&self, key: u64, value: u64) {
+        self.v.borrow_mut().insert(key, value);
+    }
+
+    /// Adds to the gauge for `key` (starting from 0 when absent).
+    pub fn add(&self, key: u64, delta: u64) {
+        *self.v.borrow_mut().entry(key).or_insert(0) += delta;
+    }
+
+    /// Removes `key`'s gauge (e.g. the region moved away).
+    pub fn remove(&self, key: u64) {
+        self.v.borrow_mut().remove(&key);
+    }
+
+    /// The gauge for `key` (0 when absent).
+    pub fn get(&self, key: u64) -> u64 {
+        self.v.borrow().get(&key).copied().unwrap_or(0)
+    }
+
+    /// Sum over all keys (an order-independent reduction, so the
+    /// underlying map's iteration order is harmless).
+    pub fn total(&self) -> u64 {
+        self.v.borrow().values().sum()
+    }
+
+    /// All `(key, value)` pairs, sorted by key for determinism.
+    pub fn snapshot(&self) -> Vec<(u64, u64)> {
+        let mut out: Vec<(u64, u64)> = self.v.borrow().iter().map(|(k, v)| (*k, *v)).collect();
+        out.sort_unstable();
+        out
+    }
+}
+
 const SUB_BITS: u32 = 5;
 const SUB_COUNT: u64 = 1 << SUB_BITS;
 

@@ -170,8 +170,11 @@ impl StoreClient {
         );
     }
 
-    /// Splits a write-set by destination region using the cached map
-    /// (boundaries are static, so staleness cannot misroute).
+    /// Splits a write-set by destination region using the cached map.
+    /// Boundaries can change under us (online splits), but a stale
+    /// grouping self-heals: the server answers `WrongRegion` for a
+    /// split-away region id and [`StoreClient::multi_put`] re-groups by
+    /// the refreshed map before retrying.
     pub fn group_write_set(&self, ws: &WriteSet) -> BTreeMap<RegionId, Vec<Mutation>> {
         let map = self.inner.map.borrow();
         let mut out: BTreeMap<RegionId, Vec<Mutation>> = BTreeMap::new();
@@ -338,6 +341,55 @@ fn put_attempt(
 ) {
     if !inner.net.is_alive(inner.from) {
         return; // the client process is dead; drop the retry chain
+    }
+    // The addressed region id may have been split away since the batch
+    // was grouped (the server answers `WrongRegion` and a map refresh
+    // landed): re-group the mutations by the current boundaries and fan
+    // the batch out to the daughters, completing `done` once all parts
+    // are acknowledged. Mutation replay stays idempotent (same commit
+    // timestamp), so a partial earlier delivery is harmless.
+    let must_regroup = {
+        let map = inner.map.borrow();
+        // An empty map just means the client pre-dates bootstrap; the
+        // ordinary refresh-and-retry path below handles that.
+        !map.regions().is_empty() && map.descriptor(region).is_none()
+    };
+    if must_regroup {
+        let groups: BTreeMap<RegionId, Vec<Mutation>> = {
+            let map = inner.map.borrow();
+            let mut g: BTreeMap<RegionId, Vec<Mutation>> = BTreeMap::new();
+            for m in mutations {
+                g.entry(map.region_for(&m.row)).or_default().push(m);
+            }
+            g
+        };
+        if groups.is_empty() {
+            done();
+            return;
+        }
+        let pending = Rc::new(Cell::new(groups.len()));
+        let done_cell: Rc<RefCell<Option<Box<dyn FnOnce()>>>> = Rc::new(RefCell::new(Some(done)));
+        for (sub_region, muts) in groups {
+            let pending2 = Rc::clone(&pending);
+            let done_cell2 = Rc::clone(&done_cell);
+            put_attempt(
+                Rc::clone(&inner),
+                sub_region,
+                ts,
+                muts,
+                floor,
+                replay,
+                attempt,
+                Box::new(move || {
+                    pending2.set(pending2.get() - 1);
+                    if pending2.get() == 0 {
+                        let done = done_cell2.borrow_mut().take().expect("single completion");
+                        done();
+                    }
+                }),
+            );
+        }
+        return;
     }
     let server = inner
         .map

@@ -193,10 +193,13 @@ pub struct CompactionConfig {
     pub enabled: bool,
     /// Which candidate-selection/output-placement policy runs.
     pub policy: CompactionPolicyKind,
-    /// Store-file count at which a region becomes a compaction candidate
-    /// (for the leveled policy: the L0 file count that triggers the
-    /// L0 → L1 merge).
+    /// Store-file count at which a region becomes a size-tiered
+    /// compaction candidate.
     pub min_files: usize,
+    /// Leveled policy: the L0 file count that triggers the L0 → L1 merge.
+    /// Decoupled from the size-tiered `min_files` so tuning one policy's
+    /// candidacy floor does not silently retune the other's.
+    pub l0_trigger_files: usize,
     /// Most files merged by one size-tiered compaction (the leveled L0
     /// merge ignores this: L0 files overlap and must merge together).
     pub max_files: usize,
@@ -244,6 +247,7 @@ impl Default for CompactionConfig {
             enabled: true,
             policy: CompactionPolicyKind::SizeTiered,
             min_files: 4,
+            l0_trigger_files: 4,
             max_files: 10,
             tier_ratio: 3.0,
             check_interval: SimDuration::from_secs(2),
@@ -514,7 +518,7 @@ impl CompactionPolicy for LeveledPolicy {
         // inside the closure of the combined span — the merge output
         // covers the whole span, so an L1 file left out of it would end
         // up overlapped by the output run.
-        if l0.len() >= cfg.min_files.max(2) {
+        if l0.len() >= cfg.l0_trigger_files.max(2) {
             let mut inputs = l0.clone();
             inputs.extend(Self::span_closure(files, &l0, 1));
             return Some(CompactionJob {
@@ -933,7 +937,7 @@ mod tests {
     #[test]
     fn leveled_l0_merge_takes_all_l0_plus_overlapping_l1() {
         let cfg = CompactionConfig {
-            min_files: 2,
+            l0_trigger_files: 2,
             ..CompactionConfig::default()
         };
         let files = vec![
@@ -1015,7 +1019,7 @@ mod tests {
     #[test]
     fn leveled_merge_absorbs_same_level_files_inside_the_span() {
         let cfg = CompactionConfig {
-            min_files: 2,
+            l0_trigger_files: 2,
             ..CompactionConfig::default()
         };
         // L0 spans [a,c] and [t,z]; G=[m,p] overlaps neither L0 file but

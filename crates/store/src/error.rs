@@ -13,6 +13,12 @@ pub enum StoreError {
     NotServing(RegionId),
     /// No region containing the requested row is known to the server.
     RegionUnknown,
+    /// The addressed region id no longer exists on this server, but a
+    /// *different* hosted region covers the request's rows — the region
+    /// map changed under the client (an online split). The client must
+    /// refresh its map and re-group the request by the new boundaries;
+    /// retrying with the same region id can never succeed.
+    WrongRegion(RegionId),
     /// Data could not be served because no live filesystem replica holds
     /// the needed store file.
     Unavailable(String),
@@ -26,6 +32,9 @@ impl fmt::Display for StoreError {
         match self {
             StoreError::NotServing(r) => write!(f, "region {r} is not being served"),
             StoreError::RegionUnknown => write!(f, "no region covers the requested row"),
+            StoreError::WrongRegion(r) => {
+                write!(f, "region {r} was replaced by a split; refresh the map")
+            }
             StoreError::Unavailable(p) => write!(f, "store file unavailable: {p}"),
             StoreError::TimedOut => write!(f, "request timed out"),
         }

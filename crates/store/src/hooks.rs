@@ -10,8 +10,36 @@
 
 use crate::server::RegionServer;
 use crate::types::{RegionId, ServerId, Timestamp};
+use bytes::Bytes;
+use cumulo_sim::NodeId;
 use std::fmt;
 use std::rc::Rc;
+
+/// The master-side coordination surface an online region split needs: the
+/// region server proposes a split, the master allocates daughter ids and
+/// persists the split intent, and the server reports completion (or
+/// abandonment). The `Master` implements this; servers hold it as a trait
+/// object so `server.rs` does not depend on `master.rs`. All calls are
+/// made *at the master's node* — callers send themselves there through
+/// the simulated network first (see [`SplitCoordinator::node`]).
+pub trait SplitCoordinator {
+    /// The node the coordinator runs on (the RPC destination).
+    fn node(&self) -> NodeId;
+
+    /// A server asks to split `region` (which it hosts) at `split_key`.
+    /// The master validates, persists a [`crate::SplitIntent`], and — once
+    /// the intent is durable — tells the server to execute.
+    fn request_split(&self, server: ServerId, region: RegionId, split_key: Bytes);
+
+    /// The server finished the local flip: daughters are online in its
+    /// memory, the parent is gone. The master applies the split to the
+    /// region map and retires the intent.
+    fn split_completed(&self, server: ServerId, parent: RegionId);
+
+    /// The server abandoned an intent it was granted (e.g. the reference
+    /// marker writes failed); the master rolls the intent back.
+    fn split_aborted(&self, server: ServerId, parent: RegionId);
+}
 
 /// Callbacks from the store into the recovery middleware.
 pub trait RecoveryHooks {
@@ -45,6 +73,14 @@ pub trait RecoveryHooks {
         wal_seq: u64,
         floor: Option<Timestamp>,
     );
+
+    /// The master applied an online split: `parent` was replaced in the
+    /// region map by `bottom`/`top`. Purely informational for the
+    /// middleware (per-region recovery state is keyed by region id and
+    /// daughter ids are fresh); the default does nothing.
+    fn on_region_split(&self, parent: RegionId, bottom: RegionId, top: RegionId) {
+        let _ = (parent, bottom, top);
+    }
 }
 
 /// Hooks for a cluster without the recovery middleware: regions go online

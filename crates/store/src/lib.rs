@@ -4,7 +4,10 @@
 //! middleware interacts with (§2.1):
 //!
 //! * a table partitioned into **regions** (contiguous key ranges), each
-//!   hosted by one **region server**;
+//!   hosted by one **region server** — with **online splits**: a hot
+//!   region is atomically replaced by two daughters whose store-file
+//!   sets are O(metadata) reference half-files over the parent's files
+//!   (see ARCHITECTURE.md, "Online region splits");
 //! * per-region in-memory **memstores** holding recent updates, flushed in
 //!   batches to immutable **store files** in the distributed filesystem;
 //! * a per-server **write-ahead log** whose synchronous flush can be
@@ -111,11 +114,11 @@ pub use compaction::{
     SizeTieredPolicy,
 };
 pub use error::StoreError;
-pub use hooks::{NoopHooks, RecoveryHooks};
+pub use hooks::{NoopHooks, RecoveryHooks, SplitCoordinator};
 pub use master::{Master, MasterConfig, ServerDirectory};
 pub use memstore::{MemStore, VersionedValue};
-pub use region::{RegionDescriptor, RegionMap};
-pub use server::{FilterStats, RegionServer, RegionServerConfig};
+pub use region::{RegionDescriptor, RegionMap, SplitIntent};
+pub use server::{FilterStats, RegionServer, RegionServerConfig, SplitConfig, SplitStats};
 pub use sstable::{StoreFileData, StoreFileEntry, StoreFileRegistry};
 pub use types::{ClientId, Mutation, MutationKind, RegionId, ServerId, Timestamp, WriteSet};
 pub use wal::{split_wal, Wal, WalSyncMode};

@@ -1,11 +1,14 @@
 //! The master: region assignment, server-failure detection via the
 //! coordination service, WAL splitting and region reassignment.
 
-use crate::hooks::{NoopHooks, RecoveryHooks};
-use crate::region::{RegionDescriptor, RegionMap};
+use crate::codec::WalRecord;
+use crate::hooks::{NoopHooks, RecoveryHooks, SplitCoordinator};
+use crate::region::{RegionDescriptor, RegionMap, SplitIntent};
 use crate::server::RegionServer;
-use crate::types::{RegionId, ServerId};
+use crate::sstable::StoreFileRegistry;
+use crate::types::{Mutation, RegionId, ServerId};
 use crate::wal::split_wal;
+use bytes::Bytes;
 use cumulo_coord::CoordClient;
 use cumulo_dfs::DfsClient;
 use cumulo_sim::{every, Network, NodeId, Sim, SimDuration, TimerHandle};
@@ -93,6 +96,21 @@ pub struct Master {
     unplaced: RefCell<Vec<(RegionId, Vec<crate::codec::WalRecord>, Option<ServerId>)>>,
     edits_counter: Cell<u64>,
     failovers: Cell<u64>,
+    /// The next region id to hand out to a split daughter (ids are never
+    /// reused, so a cached id always means the same key range).
+    next_region_id: Cell<u32>,
+    /// Split intents granted and durable but not yet completed, keyed by
+    /// parent region. The master's authoritative in-flight set; the DFS
+    /// record at `/split/{parent}` mirrors it for a real deployment's
+    /// master restart.
+    split_intents: RefCell<HashMap<RegionId, SplitIntent>>,
+    intents_persisted: Cell<u64>,
+    splits_applied: Cell<u64>,
+    splits_rolled_back: Cell<u64>,
+    /// The shared store-file registry (installed by the cluster wiring);
+    /// intent rollback purges a crashed split's orphaned reference
+    /// registrations through it so backing-ref counts cannot leak.
+    registry: RefCell<Option<Rc<StoreFileRegistry>>>,
     timers: RefCell<Vec<TimerHandle>>,
     self_weak: RefCell<Weak<Master>>,
 }
@@ -130,6 +148,12 @@ impl Master {
             unplaced: RefCell::new(Vec::new()),
             edits_counter: Cell::new(0),
             failovers: Cell::new(0),
+            next_region_id: Cell::new(0),
+            split_intents: RefCell::new(HashMap::new()),
+            intents_persisted: Cell::new(0),
+            splits_applied: Cell::new(0),
+            splits_rolled_back: Cell::new(0),
+            registry: RefCell::new(None),
             timers: RefCell::new(Vec::new()),
             self_weak: RefCell::new(Weak::new()),
         });
@@ -180,9 +204,18 @@ impl Master {
     }
 
     /// Assigns every region of `map` round-robin across the registered
-    /// servers and opens them (cluster bootstrap).
+    /// servers and opens them (cluster bootstrap). Also wires every
+    /// registered server's split coordination back to this master and
+    /// seeds the daughter-id allocator above the map's largest id.
     pub fn bootstrap(self: &Rc<Self>, map: RegionMap) {
+        self.next_region_id
+            .set(map.max_region_id().map(|r| r.0 + 1).unwrap_or(0));
         *self.region_map.borrow_mut() = map;
+        for id in self.dir.ids() {
+            if let Some(server) = self.dir.get(id) {
+                server.set_split_coordinator(Rc::clone(self) as Rc<dyn SplitCoordinator>);
+            }
+        }
         let descs: Vec<RegionDescriptor> = self.region_map.borrow().regions().to_vec();
         let servers = self.dir.ids();
         assert!(
@@ -226,6 +259,21 @@ impl Master {
         }
         self.failovers.set(self.failovers.get() + 1);
         let regions = self.region_map.borrow().regions_of(failed);
+        // Roll back any split intent granted to the failed server. This
+        // is always safe before the map flip: clients can only address
+        // region ids the map has shown them, so no write was ever
+        // acknowledged under a daughter id — the parent's WAL and store
+        // files still cover everything, and the daughters' orphaned
+        // reference markers are deleted below. (Once `split_completed`
+        // has flipped the map, the intent is gone and the daughters
+        // recover here like any other region.)
+        let intents: Vec<SplitIntent> = {
+            let mut pending = self.split_intents.borrow_mut();
+            regions.iter().filter_map(|r| pending.remove(r)).collect()
+        };
+        for intent in intents {
+            self.rollback_intent(intent);
+        }
         {
             let mut map = self.region_map.borrow_mut();
             for r in &regions {
@@ -237,13 +285,88 @@ impl Master {
             return;
         }
         let weak = Rc::downgrade(self);
-        split_wal(&self.dfs, &format!("/wal/{failed}"), move |mut grouped| {
+        split_wal(&self.dfs, &format!("/wal/{failed}"), move |grouped| {
             let Some(master) = weak.upgrade() else { return };
+            // WAL records written before an online split are tagged with
+            // the parent region id, which may no longer exist — re-route
+            // every record against the current map before replay.
+            let mut remapped = master.remap_wal_groups(grouped);
             for region in regions {
-                let records = grouped.remove(&region).unwrap_or_default();
+                let records = remapped.remove(&region).unwrap_or_default();
                 master.place_region(region, records, Some(failed));
             }
         });
+    }
+
+    /// Rolls a durable-but-uncompleted split intent back: the intent
+    /// record and the daughters' orphaned reference markers are deleted;
+    /// the region map was never touched.
+    fn rollback_intent(&self, intent: SplitIntent) {
+        self.splits_rolled_back
+            .set(self.splits_rolled_back.get() + 1);
+        self.dfs.delete(&format!("/split/{}", intent.parent));
+        for daughter in [intent.bottom, intent.top] {
+            // The dead server may have registered reference half-files
+            // before crashing; purge them so the parent's physical files
+            // do not carry inflated backing counts forever (which would
+            // make them undeletable after a later successful split).
+            if let Some(registry) = self.registry.borrow().as_ref() {
+                registry.purge_references_under(&format!("/store/{daughter}/"));
+            }
+            let dfs = self.dfs.clone();
+            self.dfs
+                .clone()
+                .list(&format!("/store/{daughter}/"), move |paths| {
+                    for p in paths {
+                        dfs.delete(&p);
+                    }
+                });
+        }
+    }
+
+    /// Installs the shared store-file registry (cluster wiring) so split
+    /// rollbacks can purge a crashed server's orphaned reference
+    /// registrations. Without one, rollbacks only clean the filesystem.
+    pub fn set_registry(&self, registry: Rc<StoreFileRegistry>) {
+        *self.registry.borrow_mut() = Some(registry);
+    }
+
+    /// Re-groups a failed server's WAL records by the *current* region
+    /// map: records tagged with a since-split parent id are partitioned
+    /// at the daughter boundary (a record whose region still exists
+    /// passes through untouched). Source groups are visited in sorted
+    /// region order so the recovered-edits encoding stays byte-identical
+    /// across processes.
+    fn remap_wal_groups(
+        &self,
+        grouped: HashMap<RegionId, Vec<WalRecord>>,
+    ) -> BTreeMap<RegionId, Vec<WalRecord>> {
+        let map = self.region_map.borrow();
+        let mut source: Vec<(RegionId, Vec<WalRecord>)> = grouped.into_iter().collect();
+        source.sort_by_key(|(id, _)| *id);
+        let mut out: BTreeMap<RegionId, Vec<WalRecord>> = BTreeMap::new();
+        for (_, records) in source {
+            for rec in records {
+                if map.descriptor(rec.region).is_some() {
+                    // Region ids are never reused, so a live id still
+                    // means the same key range: the record stands.
+                    out.entry(rec.region).or_default().push(rec);
+                    continue;
+                }
+                let mut per: BTreeMap<RegionId, Vec<Mutation>> = BTreeMap::new();
+                for m in rec.mutations {
+                    per.entry(map.region_for(&m.row)).or_default().push(m);
+                }
+                for (region, mutations) in per {
+                    out.entry(region).or_default().push(WalRecord {
+                        region,
+                        ts: rec.ts,
+                        mutations,
+                    });
+                }
+            }
+        }
+        out
     }
 
     /// Places a region on the live server hosting the fewest regions;
@@ -291,16 +414,37 @@ impl Master {
 
     /// Second placement phase: recovered edits (if any) are durable in the
     /// filesystem; choose a host and open the region there.
+    ///
+    /// Placement is *load-aware*: the least-loaded live server wins,
+    /// where load is the cumulative foreground service time its assigned
+    /// regions have charged (ties broken by server id, so placement is
+    /// deterministic). Region counts are a poor proxy under skew — one
+    /// hot region outweighs many cold ones, and it is exactly the hot
+    /// parent's daughters this most often places.
     fn place_region_with_edits(self: &Rc<Self>, region: RegionId, failed: Option<ServerId>) {
+        // Each already-assigned region also charges a nominal cost:
+        // service loads only move when traffic does, so without this a
+        // whole failed server's region set would dogpile onto whichever
+        // target momentarily reads least loaded — consecutive placements
+        // must see their own weight.
+        const ASSIGNED_REGION_COST_NS: u64 = 50_000_000;
         let target = {
             let map = self.region_map.borrow();
-            let mut live: Vec<(usize, ServerId)> = self
+            let mut live: Vec<(u64, ServerId)> = self
                 .dir
                 .live_ids()
                 .into_iter()
-                .map(|id| (map.regions_of(id).len(), id))
+                .map(|id| {
+                    let load = self
+                        .dir
+                        .get(id)
+                        .map(|s| s.service_load_ns())
+                        .unwrap_or(u64::MAX);
+                    let assigned = map.regions_of(id).len() as u64;
+                    (load.saturating_add(assigned * ASSIGNED_REGION_COST_NS), id)
+                })
                 .collect();
-            live.sort();
+            live.sort_unstable();
             live.first().map(|(_, id)| *id)
         };
         let Some(target) = target else {
@@ -345,6 +489,179 @@ impl Master {
     pub fn get_assignments(&self) -> (u64, HashMap<RegionId, ServerId>) {
         let map = self.region_map.borrow();
         (map.epoch(), map.assignments().clone())
+    }
+
+    // ------------------------------------------------------------------
+    // Online region splits (master side; see `SplitCoordinator`)
+    // ------------------------------------------------------------------
+
+    /// Split intents made durable in the filesystem.
+    pub fn split_intents_persisted(&self) -> u64 {
+        self.intents_persisted.get()
+    }
+
+    /// Splits applied to the region map.
+    pub fn splits_applied(&self) -> u64 {
+        self.splits_applied.get()
+    }
+
+    /// Split intents rolled back (server failed mid-split, marker writes
+    /// failed, or the intent could not be persisted).
+    pub fn splits_rolled_back(&self) -> u64 {
+        self.splits_rolled_back.get()
+    }
+
+    /// Whether a split intent is currently outstanding for `region`.
+    pub fn split_intent_outstanding(&self, region: RegionId) -> bool {
+        self.split_intents.borrow().contains_key(&region)
+    }
+
+    /// Validates a server's split request; on success persists the
+    /// intent and, once durable, tells the server to execute.
+    fn handle_split_request(self: &Rc<Self>, server: ServerId, region: RegionId, split_key: Bytes) {
+        let valid = {
+            let map = self.region_map.borrow();
+            let assigned_here = map.server_for(region) == Some(server);
+            let inside = map
+                .descriptor(region)
+                .map(|d| {
+                    split_key[..] > d.start[..]
+                        && d.end.as_ref().map(|e| &split_key < e).unwrap_or(true)
+                })
+                .unwrap_or(false);
+            assigned_here
+                && inside
+                && !self.handled_failures.borrow().contains(&server)
+                && !self.split_intents.borrow().contains_key(&region)
+        };
+        if !valid {
+            self.deny_split(server, region);
+            return;
+        }
+        let bottom = RegionId(self.next_region_id.get());
+        let top = RegionId(self.next_region_id.get() + 1);
+        self.next_region_id.set(self.next_region_id.get() + 2);
+        let intent = SplitIntent {
+            parent: region,
+            split_key: split_key.clone(),
+            bottom,
+            top,
+            server,
+        };
+        // Record in memory first so a racing second request is denied;
+        // the DFS record is written before the server may execute — the
+        // durability point the crash-window analysis hinges on.
+        self.split_intents
+            .borrow_mut()
+            .insert(region, intent.clone());
+        let encoded = intent.encode();
+        let weak = Rc::downgrade(self);
+        self.dfs.create(&format!("/split/{region}"), move |file| {
+            let Some(master) = weak.upgrade() else { return };
+            let Ok(file) = file else {
+                // Create can fail with AlreadyExists when an earlier
+                // attempt's append died half-way and left the file
+                // behind; delete it so the region is not permanently
+                // split-blocked, then deny (the server re-requests).
+                master.dfs.delete(&format!("/split/{region}"));
+                master.split_intents.borrow_mut().remove(&region);
+                master.deny_split(server, region);
+                return;
+            };
+            let weak = weak.clone();
+            file.append(encoded, move |result| {
+                let Some(master) = weak.upgrade() else { return };
+                if result.is_err() {
+                    // The created-but-unwritten intent file would block
+                    // every future split of this region (AlreadyExists).
+                    master.dfs.delete(&format!("/split/{region}"));
+                    master.split_intents.borrow_mut().remove(&region);
+                    master.deny_split(server, region);
+                    return;
+                }
+                master
+                    .intents_persisted
+                    .set(master.intents_persisted.get() + 1);
+                // The server may have died while the intent was being
+                // written; its failover already rolled the intent back.
+                if !master.split_intents.borrow().contains_key(&region) {
+                    return;
+                }
+                let Some(target) = master.dir.get(server) else {
+                    return;
+                };
+                let node = target.node();
+                master.net.send(master.node, node, 96, move || {
+                    target.execute_split(region, split_key, bottom, top);
+                });
+            });
+        });
+    }
+
+    fn deny_split(&self, server: ServerId, region: RegionId) {
+        let Some(target) = self.dir.get(server) else {
+            return;
+        };
+        let node = target.node();
+        self.net.send(self.node, node, 48, move || {
+            target.split_request_denied(region);
+        });
+    }
+}
+
+impl SplitCoordinator for Master {
+    fn node(&self) -> NodeId {
+        self.node
+    }
+
+    fn request_split(&self, server: ServerId, region: RegionId, split_key: Bytes) {
+        if let Some(master) = self.self_weak.borrow().upgrade() {
+            master.handle_split_request(server, region, split_key);
+        }
+    }
+
+    fn split_completed(&self, server: ServerId, parent: RegionId) {
+        // A failover that raced ahead has already rolled the intent back
+        // (and this message came from a now-dead server): ignore.
+        let intent = {
+            let intents = self.split_intents.borrow();
+            match intents.get(&parent) {
+                Some(i) if i.server == server => Some(i.clone()),
+                _ => None,
+            }
+        };
+        let Some(intent) = intent else { return };
+        if self.handled_failures.borrow().contains(&server) {
+            return;
+        }
+        let applied = self.region_map.borrow_mut().apply_split(
+            parent,
+            &intent.split_key,
+            intent.bottom,
+            intent.top,
+        );
+        if !applied {
+            return;
+        }
+        self.split_intents.borrow_mut().remove(&parent);
+        self.splits_applied.set(self.splits_applied.get() + 1);
+        self.dfs.delete(&format!("/split/{parent}"));
+        self.hooks
+            .borrow()
+            .on_region_split(parent, intent.bottom, intent.top);
+    }
+
+    fn split_aborted(&self, server: ServerId, parent: RegionId) {
+        let intent = {
+            let mut intents = self.split_intents.borrow_mut();
+            match intents.get(&parent) {
+                Some(i) if i.server == server => intents.remove(&parent),
+                _ => None,
+            }
+        };
+        if let Some(intent) = intent {
+            self.rollback_intent(intent);
+        }
     }
 }
 

@@ -2,14 +2,74 @@
 //!
 //! A table is partitioned into regions, each a contiguous, sorted key
 //! range; every region is hosted by exactly one region server at a time
-//! (§2.1 of the paper). Boundaries are fixed for the lifetime of a cluster
-//! (online splits are out of the paper's scope); only *assignments* change,
-//! when the master reassigns regions of a failed server.
+//! (§2.1 of the paper). The paper itself treats the boundaries as fixed
+//! (online splits are out of its scope), but this implementation goes
+//! further: the map is epoch-versioned and *mutable* — an online region
+//! split ([`RegionMap::apply_split`]) atomically replaces a hot parent
+//! region with two daughters, and clients that route with a stale map get
+//! a `WrongRegion` error telling them to refresh and re-group (see
+//! ARCHITECTURE.md, "Online region splits"). [`RegionMap::from_split_points`]
+//! remains the bootstrap path. Region ids are never reused, so a cached id
+//! always means the same key range.
 
+use crate::codec::{DecodeError, Decoder, Encoder};
 use crate::types::{RegionId, ServerId};
 use bytes::Bytes;
 use std::collections::HashMap;
 use std::fmt;
+
+/// The durable record of an in-flight online split, persisted by the
+/// master (at `/split/{parent}` in the filesystem) *before* the hosting
+/// server is told to execute. Failover of a server with an intent
+/// outstanding consults it to either roll the split back (daughters never
+/// went live in the map — always safe, because clients cannot address
+/// daughter ids the map has never shown them) or, once the map flip
+/// happened, recover the daughters directly. Parent and daughters are
+/// never served simultaneously.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SplitIntent {
+    /// The region being split.
+    pub parent: RegionId,
+    /// The daughter boundary: bottom gets `[start, split_key)`, top gets
+    /// `[split_key, end)`.
+    pub split_key: Bytes,
+    /// The bottom daughter's id.
+    pub bottom: RegionId,
+    /// The top daughter's id.
+    pub top: RegionId,
+    /// The server executing the split.
+    pub server: ServerId,
+}
+
+impl SplitIntent {
+    /// Serializes the intent for its filesystem record.
+    pub fn encode(&self) -> Bytes {
+        let mut enc = Encoder::new();
+        enc.put_u32(self.parent.0);
+        enc.put_bytes(&self.split_key);
+        enc.put_u32(self.bottom.0);
+        enc.put_u32(self.top.0);
+        enc.put_u32(self.server.0);
+        enc.finish()
+    }
+
+    /// Parses an intent record previously produced by
+    /// [`SplitIntent::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on truncated or corrupt input.
+    pub fn decode(buf: &[u8]) -> Result<SplitIntent, DecodeError> {
+        let mut dec = Decoder::new(buf);
+        Ok(SplitIntent {
+            parent: RegionId(dec.get_u32()?),
+            split_key: dec.get_bytes()?,
+            bottom: RegionId(dec.get_u32()?),
+            top: RegionId(dec.get_u32()?),
+            server: ServerId(dec.get_u32()?),
+        })
+    }
+}
 
 /// A region's identity and key range `[start, end)`.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -170,6 +230,56 @@ impl RegionMap {
         out
     }
 
+    /// Applies an online split: the `parent` descriptor is atomically
+    /// replaced by two daughters partitioning its range at `split_key`
+    /// (`bottom` = `[start, split_key)`, `top` = `[split_key, end)`), the
+    /// parent's assignment (if any) carries over to both daughters, and
+    /// the epoch bumps so caches detect the change. Returns `false` (and
+    /// changes nothing) when `parent` is not in the map or `split_key`
+    /// does not fall strictly inside its range.
+    pub fn apply_split(
+        &mut self,
+        parent: RegionId,
+        split_key: &Bytes,
+        bottom: RegionId,
+        top: RegionId,
+    ) -> bool {
+        let Some(idx) = self.regions.iter().position(|r| r.id == parent) else {
+            return false;
+        };
+        let desc = self.regions[idx].clone();
+        let inside = split_key[..] > desc.start[..]
+            && desc.end.as_ref().map(|e| split_key < e).unwrap_or(true);
+        if !inside {
+            return false;
+        }
+        self.regions[idx] = RegionDescriptor {
+            id: bottom,
+            start: desc.start,
+            end: Some(split_key.clone()),
+        };
+        self.regions.insert(
+            idx + 1,
+            RegionDescriptor {
+                id: top,
+                start: split_key.clone(),
+                end: desc.end,
+            },
+        );
+        if let Some(server) = self.assignments.remove(&parent) {
+            self.assignments.insert(bottom, server);
+            self.assignments.insert(top, server);
+        }
+        self.epoch += 1;
+        true
+    }
+
+    /// The largest region id in the map (`None` when empty) — the master
+    /// allocates daughter ids above it, never reusing an id.
+    pub fn max_region_id(&self) -> Option<RegionId> {
+        self.regions.iter().map(|r| r.id).max()
+    }
+
     /// The staleness epoch (bumped on every assignment change).
     pub fn epoch(&self) -> u64 {
         self.epoch
@@ -244,6 +354,67 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn unsorted_splits_panic() {
         let _ = RegionMap::from_split_points(&[Bytes::from_static(b"m"), Bytes::from_static(b"a")]);
+    }
+
+    #[test]
+    fn apply_split_replaces_parent_and_partitions_range() {
+        let mut map = RegionMap::split_decimal_keyspace("user", 100, 2);
+        map.assign(RegionId(0), ServerId(7));
+        let epoch = map.epoch();
+        let key = Bytes::from_static(b"user000000000020");
+        assert!(map.apply_split(RegionId(0), &key, RegionId(2), RegionId(3)));
+        assert!(map.epoch() > epoch);
+        assert!(map.descriptor(RegionId(0)).is_none(), "parent retired");
+        assert_eq!(map.region_for(b"user000000000019"), RegionId(2));
+        assert_eq!(map.region_for(b"user000000000020"), RegionId(3));
+        assert_eq!(map.region_for(b"user000000000049"), RegionId(3));
+        assert_eq!(map.region_for(b"user000000000050"), RegionId(1));
+        // The parent's assignment carried over to both daughters.
+        assert_eq!(map.server_for(RegionId(2)), Some(ServerId(7)));
+        assert_eq!(map.server_for(RegionId(3)), Some(ServerId(7)));
+        assert_eq!(map.server_for(RegionId(0)), None);
+        // The map still partitions the key space.
+        for i in 0..100u64 {
+            let key = format!("user{i:012}");
+            let covering = map
+                .regions()
+                .iter()
+                .filter(|r| r.contains(key.as_bytes()))
+                .count();
+            assert_eq!(covering, 1, "key {key}");
+        }
+        assert_eq!(map.max_region_id(), Some(RegionId(3)));
+    }
+
+    #[test]
+    fn apply_split_rejects_bad_keys_and_unknown_parents() {
+        let mut map = RegionMap::split_decimal_keyspace("user", 100, 2);
+        let epoch = map.epoch();
+        // Key at the region start: bottom daughter would be empty.
+        let start = Bytes::from_static(b"");
+        assert!(!map.apply_split(RegionId(0), &start, RegionId(2), RegionId(3)));
+        // Key outside the region.
+        let outside = Bytes::from_static(b"user000000000090");
+        assert!(!map.apply_split(RegionId(0), &outside, RegionId(2), RegionId(3)));
+        // Unknown parent.
+        let key = Bytes::from_static(b"user000000000020");
+        assert!(!map.apply_split(RegionId(9), &key, RegionId(2), RegionId(3)));
+        assert_eq!(map.epoch(), epoch, "failed splits must not bump the epoch");
+        assert_eq!(map.regions().len(), 2);
+    }
+
+    #[test]
+    fn split_intent_roundtrip() {
+        let intent = SplitIntent {
+            parent: RegionId(4),
+            split_key: Bytes::from_static(b"user000000000033"),
+            bottom: RegionId(10),
+            top: RegionId(11),
+            server: ServerId(1),
+        };
+        let back = SplitIntent::decode(&intent.encode()).expect("decode");
+        assert_eq!(back, intent);
+        assert!(SplitIntent::decode(&intent.encode()[..3]).is_err());
     }
 
     #[test]

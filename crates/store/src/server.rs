@@ -9,7 +9,7 @@ use crate::compaction::{
     FileMeta, GcWatermark, StallSignal,
 };
 use crate::error::StoreError;
-use crate::hooks::{NoopHooks, RecoveryHooks};
+use crate::hooks::{NoopHooks, RecoveryHooks, SplitCoordinator};
 use crate::memstore::{MemStore, VersionedValue};
 use crate::region::RegionDescriptor;
 use crate::sstable::{StoreFileData, StoreFileRegistry};
@@ -18,7 +18,7 @@ use crate::wal::{Wal, WalSyncMode};
 use bytes::Bytes;
 use cumulo_coord::CoordClient;
 use cumulo_dfs::DfsClient;
-use cumulo_sim::metrics::{Counter, Gauge};
+use cumulo_sim::metrics::{Counter, Gauge, GaugeMap};
 use cumulo_sim::{every_from, Network, NodeId, ServiceQueue, Sim, SimDuration, TimerHandle};
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
@@ -87,6 +87,54 @@ pub struct RegionServerConfig {
     pub verify_filters: bool,
     /// Background compaction knobs.
     pub compaction: CompactionConfig,
+    /// Online region-split knobs.
+    pub split: SplitConfig,
+}
+
+/// Online region-split tuning knobs.
+#[derive(Copy, Clone, Debug)]
+pub struct SplitConfig {
+    /// Master switch. Off by default: splits add master RPCs and map
+    /// epochs, and calibrated experiments that predate them should not
+    /// shift. The hotspot workloads and the split test suites enable it.
+    pub enabled: bool,
+    /// Durable store-file bytes (excluding the flushing snapshot) at
+    /// which a hosted region becomes a split candidate.
+    pub threshold_bytes: usize,
+    /// How often regions are checked for split candidacy. The timer runs
+    /// at a fixed phase — no RNG jitter (see the compaction timer note).
+    pub check_interval: SimDuration,
+}
+
+impl Default for SplitConfig {
+    fn default() -> Self {
+        SplitConfig {
+            enabled: false,
+            threshold_bytes: 256 << 20,
+            check_interval: SimDuration::from_secs(2),
+        }
+    }
+}
+
+/// Shared observability for online region splits (all handles clone
+/// cheaply and share state, like [`CompactionStats`]).
+#[derive(Clone, Default, Debug)]
+pub struct SplitStats {
+    /// Split candidacies accepted (a pending split was set up).
+    pub considered: Counter,
+    /// Split-intent requests sent to the master.
+    pub intents_requested: Counter,
+    /// Intents whose execution reached the reference-building phase.
+    pub executing: Counter,
+    /// Splits flipped: the parent was atomically replaced by daughters.
+    pub completed: Counter,
+    /// Granted intents abandoned server-side (reference marker writes
+    /// failed); master-side rollbacks are counted at the master.
+    pub aborted: Counter,
+    /// Cumulative foreground service nanoseconds charged per hosted
+    /// region — the master's load-aware placement signal and the
+    /// per-region load gauge the split threshold reasoning builds on.
+    pub region_load: GaugeMap,
 }
 
 impl Default for RegionServerConfig {
@@ -113,6 +161,7 @@ impl Default for RegionServerConfig {
             bloom_filters: true,
             verify_filters: false,
             compaction: CompactionConfig::default(),
+            split: SplitConfig::default(),
         }
     }
 }
@@ -164,6 +213,10 @@ struct RegionState {
     online: bool,
     flush_in_progress: bool,
     compaction_in_progress: bool,
+    /// A split of this region is pending or executing: flush checks and
+    /// new compactions skip it so the file set stays stable until the
+    /// flip (requests keep being served normally throughout).
+    splitting: bool,
 }
 
 impl RegionState {
@@ -210,6 +263,54 @@ struct PlannedCompaction {
     input_paths: Vec<String>,
     output_level: u32,
     max_output_bytes: Option<usize>,
+}
+
+/// The server-local state machine of one in-flight split (one at a time
+/// per server — splits are rare, metadata-only events).
+struct PendingSplit {
+    region: RegionId,
+    split_key: Bytes,
+    /// Whether the pre-split flush round has been issued.
+    flush_issued: bool,
+    /// Whether the intent request has been sent to the master.
+    intent_sent: bool,
+}
+
+/// Everything a granted split carries between the reference-building
+/// phase, the marker writes and the flip.
+struct SplitWork {
+    region: RegionId,
+    split_key: Bytes,
+    bottom: RegionId,
+    top: RegionId,
+    parent_desc: RegionDescriptor,
+    /// Daughter reference files with the level inherited from their
+    /// parent file (levels ≥ 1 stay pairwise disjoint after clipping).
+    bottom_files: Vec<(Rc<StoreFileData>, u32)>,
+    top_files: Vec<(Rc<StoreFileData>, u32)>,
+    /// `(marker path, marker content)` per reference, written to the
+    /// filesystem before the flip so a failover can list the daughters'
+    /// file sets.
+    markers: Vec<(String, Bytes)>,
+}
+
+/// The durable content of a reference marker file: which physical file
+/// backs the reference and the clip range. (The simulation resolves
+/// references through the shared registry; the marker's bytes exist so
+/// the daughter directory listing — what a failover reads — is honest.)
+fn encode_ref_marker(r: &StoreFileData) -> Bytes {
+    let mut enc = crate::codec::Encoder::new();
+    enc.put_bytes(r.backing_path().as_bytes());
+    enc.put_u32(r.region().0);
+    match r.key_range() {
+        Some((min, max)) => {
+            enc.put_u8(1);
+            enc.put_bytes(min);
+            enc.put_bytes(max);
+        }
+        None => enc.put_u8(0),
+    }
+    enc.finish()
 }
 
 /// One region server process. Shared via `Rc`; all requests arrive as
@@ -260,6 +361,12 @@ pub struct RegionServer {
     /// Coordination handle (set by [`RegionServer::start`]); compaction
     /// uses it as a fencing check before destroying retired files.
     coord: RefCell<Option<CoordClient>>,
+    /// The master-side split coordination surface (installed by the
+    /// cluster wiring; splits are inert without it).
+    split_coord: RefCell<Option<Rc<dyn SplitCoordinator>>>,
+    /// The in-flight split, if any.
+    pending_split: RefCell<Option<PendingSplit>>,
+    split_stats: SplitStats,
     /// Supplies the MVCC garbage-collection watermark (the transaction
     /// manager's oldest active snapshot). `None` — e.g. a vanilla cluster
     /// without the transactional tier — degrades to watermark zero:
@@ -323,6 +430,9 @@ impl RegionServer {
             background_ns: Cell::new(0),
             sched_background_ns: Cell::new(0),
             coord: RefCell::new(None),
+            split_coord: RefCell::new(None),
+            pending_split: RefCell::new(None),
+            split_stats: SplitStats::default(),
             gc_watermark: RefCell::new(None),
             self_weak: RefCell::new(Weak::new()),
         });
@@ -405,6 +515,23 @@ impl RegionServer {
             );
             self.timers.borrow_mut().push(timer);
         }
+
+        // Online split checks. Fixed phase, no RNG jitter, for the same
+        // determinism reason as the compaction timer.
+        if self.cfg.split.enabled {
+            let weak = Rc::downgrade(self);
+            let timer = every_from(
+                &self.sim,
+                self.cfg.split.check_interval,
+                self.cfg.split.check_interval,
+                move || {
+                    if let Some(server) = weak.upgrade() {
+                        server.check_splits();
+                    }
+                },
+            );
+            self.timers.borrow_mut().push(timer);
+        }
     }
 
     /// This server's id.
@@ -451,6 +578,43 @@ impl RegionServer {
     /// freely).
     pub fn filter_stats(&self) -> &FilterStats {
         &self.filter_stats
+    }
+
+    /// Split observability: candidacies, intents, completions and the
+    /// per-region load gauges (shared handles; clone freely).
+    pub fn split_stats(&self) -> &SplitStats {
+        &self.split_stats
+    }
+
+    /// Installs the master's split coordination surface (cluster wiring;
+    /// without one, split candidacy checks never fire an intent).
+    pub fn set_split_coordinator(&self, coord: Rc<dyn SplitCoordinator>) {
+        *self.split_coord.borrow_mut() = Some(coord);
+    }
+
+    /// Cumulative foreground service nanoseconds across this server's
+    /// hosted regions — the master's load-aware placement signal.
+    pub fn service_load_ns(&self) -> u64 {
+        self.split_stats.region_load.total()
+    }
+
+    /// Cumulative foreground service nanoseconds charged to `region`.
+    pub fn region_load_ns(&self, region: RegionId) -> u64 {
+        self.split_stats.region_load.get(region.0 as u64)
+    }
+
+    /// The descriptor of a hosted region (recovery replay filters
+    /// write-sets by the *descriptor's* key range, not by a possibly
+    /// stale region map — after an online split the two can disagree).
+    pub fn region_descriptor(&self, region: RegionId) -> Option<RegionDescriptor> {
+        self.regions.borrow().get(&region).map(|st| st.desc.clone())
+    }
+
+    /// Attributes foreground service time to the region that pays it.
+    fn charge_region_load(&self, region: RegionId, service: SimDuration) {
+        self.split_stats
+            .region_load
+            .add(region.0 as u64, service.nanos());
     }
 
     /// Enables or disables bloom probing on point gets at runtime (the
@@ -651,6 +815,7 @@ impl RegionServer {
             } else {
                 self.cfg.block_fetch_penalty
             };
+        self.charge_region_load(region_id, service);
         let this = Rc::clone(self);
         self.handlers.submit(service, move || {
             if !this.alive.get() {
@@ -727,10 +892,12 @@ impl RegionServer {
             // Honesty check: a consulted store file is only readable
             // while at least one filesystem replica survives (pruned
             // files are not touched, so their replicas need not be).
+            // Reference half-files check the *backing* parent file —
+            // that is where the bytes physically live.
             let live = self
                 .dfs
                 .namenode()
-                .live_replicas(sf.path())
+                .live_replicas(sf.backing_path())
                 .map(|l| !l.is_empty())
                 .unwrap_or(false);
             if !live {
@@ -765,7 +932,20 @@ impl RegionServer {
             match regions.get(&region) {
                 None => {
                     self.not_serving.set(self.not_serving.get() + 1);
-                    reply(Err(StoreError::NotServing(region)));
+                    // The region id is unknown here — if a *different*
+                    // hosted region covers the batch's rows, the map
+                    // changed under the client (an online split replaced
+                    // the id); retrying the same id can never succeed, so
+                    // tell the client to refresh and re-group.
+                    let covered = mutations
+                        .first()
+                        .map(|m| regions.values().any(|st| st.desc.contains(&m.row)))
+                        .unwrap_or(false);
+                    reply(Err(if covered {
+                        StoreError::WrongRegion(region)
+                    } else {
+                        StoreError::NotServing(region)
+                    }));
                     return;
                 }
                 Some(st) if !st.online && !replay => {
@@ -781,6 +961,7 @@ impl RegionServer {
         if self.cfg.wal_mode == WalSyncMode::Sync {
             service += self.cfg.sync_mode_handler_hold;
         }
+        self.charge_region_load(region, service);
         let this = Rc::clone(self);
         self.handlers.submit(service, move || {
             if !this.alive.get() {
@@ -869,6 +1050,7 @@ impl RegionServer {
         let service = self.cfg.base_service
             + self.cfg.read_service * 3
             + self.cfg.storefile_read_service * consulted_files.saturating_sub(1) as u64;
+        self.charge_region_load(region_id, service);
         let this = Rc::clone(self);
         self.handlers.submit(service, move || {
             if !this.alive.get() {
@@ -964,6 +1146,7 @@ impl RegionServer {
                 online: false,
                 flush_in_progress: false,
                 compaction_in_progress: false,
+                splitting: false,
             },
         );
         self.update_file_metrics();
@@ -1078,6 +1261,10 @@ impl RegionServer {
                 .filter(|(_, st)| {
                     st.online
                         && !st.flush_in_progress
+                        // A splitting region's file set must stay stable
+                        // between reference creation and the flip; its
+                        // memstore leftovers move to the daughters.
+                        && !st.splitting
                         && st.memstore.approx_bytes() >= self.cfg.memstore_flush_bytes
                 })
                 .collect();
@@ -1223,7 +1410,7 @@ impl RegionServer {
             ordered.sort_unstable_by_key(|(id, _)| **id);
             let mut best: Option<(usize, RegionId, PlannedCompaction, u64)> = None;
             for (id, st) in ordered {
-                if !st.online || st.compaction_in_progress {
+                if !st.online || st.compaction_in_progress || st.splitting {
                     continue;
                 }
                 let metas = st.file_metas();
@@ -1557,13 +1744,509 @@ impl RegionServer {
 
     fn retire_compacted_inputs(&self, input_paths: Vec<String>) {
         for path in input_paths {
+            let data = self.registry.get(&path);
             self.registry.remove(&path);
-            let stats = self.compaction_stats.clone();
-            self.dfs.delete_with_callback(&path, move |existed| {
-                if existed {
-                    stats.deletes_confirmed.inc();
+            let backing = data
+                .as_ref()
+                .filter(|d| d.is_reference())
+                .map(|d| d.backing_path().to_owned());
+            match backing {
+                // A split reference half-file: delete its marker file and
+                // release the hold on the parent's physical file; when
+                // the sibling daughter's reference is gone too, the
+                // parent file itself finally dies — "the first major
+                // compaction per daughter rewrites the references and
+                // drops the parent files".
+                Some(backing) => {
+                    self.dfs.delete(&path);
+                    if self.registry.release_backing_ref(&backing) {
+                        self.registry.remove(&backing);
+                        let stats = self.compaction_stats.clone();
+                        self.dfs.delete_with_callback(&backing, move |existed| {
+                            if existed {
+                                stats.deletes_confirmed.inc();
+                            }
+                        });
+                    }
                 }
+                None => {
+                    let stats = self.compaction_stats.clone();
+                    self.dfs.delete_with_callback(&path, move |existed| {
+                        if existed {
+                            stats.deletes_confirmed.inc();
+                        }
+                    });
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Online region splits (see ARCHITECTURE.md, "Online region splits":
+    // candidate → flush → intent → reference markers → atomic flip)
+    // ------------------------------------------------------------------
+
+    /// The split candidacy check (fixed-phase timer). One split runs at a
+    /// time per server; a pending split is advanced before any new
+    /// candidate is considered.
+    fn check_splits(self: &Rc<Self>) {
+        if !self.alive.get() {
+            return;
+        }
+        if self.pending_split.borrow().is_some() {
+            self.advance_pending_split();
+            return;
+        }
+        if self.split_coord.borrow().is_none() {
+            return; // no master wiring — splits are inert
+        }
+        // Deepest store-file backlog first, ids as the deterministic
+        // tie-break (same discipline as the compaction scheduler).
+        let picked = {
+            let regions = self.regions.borrow();
+            let mut ordered: Vec<(&RegionId, &RegionState)> = regions.iter().collect();
+            ordered.sort_unstable_by_key(|(id, _)| **id);
+            let mut best: Option<(usize, RegionId, Bytes)> = None;
+            for (id, st) in ordered {
+                if !st.online || st.splitting || !st.recovered_paths.is_empty() {
+                    continue;
+                }
+                let bytes: usize = st.storefiles.iter().map(|sf| sf.total_bytes()).sum();
+                if bytes < self.cfg.split.threshold_bytes {
+                    continue;
+                }
+                // Midpoint from file metadata: the largest store file's
+                // middle row (HBase's midkey heuristic), valid only if it
+                // falls strictly inside the region — both daughters must
+                // be non-empty key ranges.
+                let largest = st
+                    .storefiles
+                    .iter()
+                    .max_by(|a, b| (a.total_bytes(), a.path()).cmp(&(b.total_bytes(), b.path())));
+                let Some(key) = largest.and_then(|sf| sf.mid_row()) else {
+                    continue;
+                };
+                let inside = key[..] > st.desc.start[..]
+                    && st.desc.end.as_ref().map(|e| &key < e).unwrap_or(true);
+                if !inside {
+                    continue;
+                }
+                if best.as_ref().map(|(b, ..)| bytes > *b).unwrap_or(true) {
+                    best = Some((bytes, *id, key));
+                }
+            }
+            best
+        };
+        let Some((_, region, split_key)) = picked else {
+            return;
+        };
+        if let Some(st) = self.regions.borrow_mut().get_mut(&region) {
+            st.splitting = true;
+        }
+        self.split_stats.considered.inc();
+        *self.pending_split.borrow_mut() = Some(PendingSplit {
+            region,
+            split_key,
+            flush_issued: false,
+            intent_sent: false,
+        });
+        self.advance_pending_split();
+    }
+
+    /// Drives a pending split forward: flush the parent's memstore once,
+    /// then ask the master for a durable split intent. Anything the
+    /// memstore absorbs after the flush moves to the daughters at the
+    /// flip, so the parent keeps serving throughout.
+    fn advance_pending_split(self: &Rc<Self>) {
+        let (region, split_key, flush_issued, intent_sent) = {
+            let p = self.pending_split.borrow();
+            let Some(p) = p.as_ref() else { return };
+            (p.region, p.split_key.clone(), p.flush_issued, p.intent_sent)
+        };
+        if intent_sent {
+            return; // waiting for the master's execute / denial
+        }
+        let (gone, flush_busy, memstore_dirty) = {
+            let regions = self.regions.borrow();
+            match regions.get(&region) {
+                Some(st) => (
+                    false,
+                    st.flush_in_progress || st.flushing.is_some(),
+                    !st.memstore.is_empty(),
+                ),
+                None => (true, false, false),
+            }
+        };
+        if gone {
+            self.clear_pending_split(region);
+            return;
+        }
+        if flush_busy {
+            return; // next check tick
+        }
+        if memstore_dirty && !flush_issued {
+            if let Some(p) = self.pending_split.borrow_mut().as_mut() {
+                p.flush_issued = true;
+            }
+            self.flush_region(region);
+            return;
+        }
+        if let Some(p) = self.pending_split.borrow_mut().as_mut() {
+            p.intent_sent = true;
+        }
+        let Some(coord) = self.split_coord.borrow().clone() else {
+            self.clear_pending_split(region);
+            return;
+        };
+        self.split_stats.intents_requested.inc();
+        let id = self.id;
+        let net = Rc::clone(&self.net);
+        net.send(self.node, coord.node(), 96 + split_key.len(), move || {
+            coord.request_split(id, region, split_key)
+        });
+    }
+
+    /// Drops the pending split and clears the region's `splitting` flag
+    /// (denial, abandonment or a vanished region).
+    fn clear_pending_split(&self, region: RegionId) {
+        self.pending_split.borrow_mut().take();
+        if let Some(st) = self.regions.borrow_mut().get_mut(&region) {
+            st.splitting = false;
+        }
+    }
+
+    /// Master RPC: the split request was rejected (stale assignment, an
+    /// intent already in flight, or an invalid key). The region resumes
+    /// normal flush/compaction scheduling.
+    pub fn split_request_denied(&self, region: RegionId) {
+        if !self.alive.get() {
+            return;
+        }
+        let matches = self
+            .pending_split
+            .borrow()
+            .as_ref()
+            .map(|p| p.region == region)
+            .unwrap_or(false);
+        if matches {
+            self.split_stats.aborted.inc();
+            self.clear_pending_split(region);
+        }
+    }
+
+    /// Master RPC: the split intent is durable — execute. Builds the
+    /// daughters' reference half-files over the parent's store files,
+    /// makes their marker files durable in the filesystem (so a failover
+    /// can resolve the daughters' file sets), then flips atomically.
+    pub fn execute_split(
+        self: &Rc<Self>,
+        region: RegionId,
+        split_key: Bytes,
+        bottom: RegionId,
+        top: RegionId,
+    ) {
+        if !self.alive.get() {
+            return;
+        }
+        let matches = self
+            .pending_split
+            .borrow()
+            .as_ref()
+            .map(|p| p.region == region && p.split_key == split_key)
+            .unwrap_or(false);
+        if !matches {
+            // We no longer recognize this intent (e.g. abandoned); tell
+            // the master to roll it back rather than leaving it dangling.
+            self.notify_split_aborted(region);
+            return;
+        }
+        // A compaction admitted before the split became pending may still
+        // be in flight; the file set must be quiescent before references
+        // are cut over it. Retry shortly (fixed delay, no RNG).
+        let busy = {
+            let regions = self.regions.borrow();
+            regions
+                .get(&region)
+                .map(|st| {
+                    st.compaction_in_progress || st.flush_in_progress || st.flushing.is_some()
+                })
+                .unwrap_or(false)
+        };
+        if busy {
+            let this = Rc::clone(self);
+            self.sim
+                .schedule_in(SimDuration::from_millis(200), move || {
+                    this.execute_split(region, split_key, bottom, top)
+                });
+            return;
+        }
+        self.split_stats.executing.inc();
+        let (desc, parents): (RegionDescriptor, Vec<(Rc<StoreFileData>, u32)>) = {
+            let regions = self.regions.borrow();
+            let Some(st) = regions.get(&region) else {
+                drop(regions);
+                self.notify_split_aborted(region);
+                self.clear_pending_split(region);
+                return;
+            };
+            (
+                st.desc.clone(),
+                st.storefiles
+                    .iter()
+                    .map(|sf| (Rc::clone(sf), st.level_of(sf.path())))
+                    .collect(),
+            )
+        };
+        let mut bottom_files: Vec<(Rc<StoreFileData>, u32)> = Vec::new();
+        let mut top_files: Vec<(Rc<StoreFileData>, u32)> = Vec::new();
+        let mut markers: Vec<(String, Bytes)> = Vec::new();
+        for (sf, level) in &parents {
+            let base = sf.path().rsplit('/').next().unwrap_or("file").to_owned();
+            let clips = [
+                (bottom, &desc.start[..], Some(&split_key[..])),
+                (top, &split_key[..], desc.end.as_deref()),
+            ];
+            for (daughter, lo, hi) in clips {
+                let path = format!("/store/{daughter}/ref-{base}");
+                if let Some(r) = StoreFileData::reference(sf, daughter, path, lo, hi) {
+                    let r = Rc::new(r);
+                    // The parent's physical file must outlive this
+                    // reference; the registry tracks the hold.
+                    self.registry.add_backing_ref(r.backing_path());
+                    self.registry.insert(Rc::clone(&r));
+                    markers.push((r.path().to_owned(), encode_ref_marker(&r)));
+                    if daughter == bottom {
+                        bottom_files.push((r, *level));
+                    } else {
+                        top_files.push((r, *level));
+                    }
+                }
+            }
+        }
+        let work = Rc::new(SplitWork {
+            region,
+            split_key,
+            bottom,
+            top,
+            parent_desc: desc,
+            bottom_files,
+            top_files,
+            markers,
+        });
+        self.write_split_markers(work, 0);
+    }
+
+    /// Writes reference marker file `idx` to the filesystem, then
+    /// recurses; once all are durable the flip runs. A crash mid-way
+    /// leaves only orphaned markers under daughter directories the region
+    /// map never learns about — the master's failover rolls the intent
+    /// back and recovers the parent from its untouched files.
+    fn write_split_markers(self: &Rc<Self>, work: Rc<SplitWork>, idx: usize) {
+        if !self.alive.get() {
+            return;
+        }
+        if idx == work.markers.len() {
+            self.finish_split(&work);
+            return;
+        }
+        let (path, content) = work.markers[idx].clone();
+        let weak = Rc::downgrade(self);
+        self.dfs.create(&path, move |file| {
+            let Some(server) = weak.upgrade() else { return };
+            let Ok(file) = file else {
+                server.abort_granted_split(&work);
+                return;
+            };
+            let weak = weak.clone();
+            file.append(content, move |result| {
+                let Some(server) = weak.upgrade() else { return };
+                if !server.alive.get() {
+                    return;
+                }
+                if result.is_err() {
+                    server.abort_granted_split(&work);
+                    return;
+                }
+                server.write_split_markers(work, idx + 1);
             });
+        });
+    }
+
+    /// Server-side rollback of a granted intent (marker writes failed):
+    /// unregister the references, release the backing holds (the parent
+    /// region still owns its physical files, so nothing is deleted),
+    /// best-effort delete the markers, and tell the master.
+    fn abort_granted_split(self: &Rc<Self>, work: &SplitWork) {
+        for (sf, _) in work.bottom_files.iter().chain(work.top_files.iter()) {
+            self.registry.remove(sf.path());
+            let _ = self.registry.release_backing_ref(sf.backing_path());
+        }
+        for (path, _) in &work.markers {
+            self.dfs.delete(path);
+        }
+        self.split_stats.aborted.inc();
+        self.clear_pending_split(work.region);
+        self.notify_split_aborted(work.region);
+    }
+
+    fn notify_split_aborted(&self, region: RegionId) {
+        let Some(coord) = self.split_coord.borrow().clone() else {
+            return;
+        };
+        let id = self.id;
+        self.net.send(self.node, coord.node(), 48, move || {
+            coord.split_aborted(id, region)
+        });
+    }
+
+    /// The atomic flip: in one event, the parent region state is removed
+    /// and both daughters appear online — reference files as their store
+    /// stacks, the parent's leftover memstore partitioned between them at
+    /// the split key. At no instant are parent and daughters both
+    /// servable. The master is then told to apply the map change.
+    fn finish_split(self: &Rc<Self>, work: &SplitWork) {
+        if !self.alive.get() {
+            return;
+        }
+        let superseded = {
+            let mut regions = self.regions.borrow_mut();
+            let Some(parent) = regions.remove(&work.region) else {
+                drop(regions);
+                self.abort_granted_split(work);
+                return;
+            };
+            // Leftover memstore entries (absorbed since the pre-split
+            // flush; all covered by WAL records the failover remaps by
+            // row) move to the owning daughter.
+            let mut ms_bottom = MemStore::new();
+            let mut ms_top = MemStore::new();
+            for (r, c, ts, v) in parent.memstore.iter() {
+                if r[..] < work.split_key[..] {
+                    ms_bottom.apply(r.clone(), c.clone(), ts, v.clone());
+                } else {
+                    ms_top.apply(r.clone(), c.clone(), ts, v.clone());
+                }
+            }
+            // A parent file that is itself a reference (the parent was a
+            // daughter of an earlier split) is superseded: the new
+            // references back directly onto the physical file and hold
+            // their own counts. Its retirement is destructive (registry
+            // and filesystem deletes), so it runs *after* the flip,
+            // behind the same coordination fence as compaction input
+            // retirement — a zombie server must not delete files its
+            // failover successor is reading.
+            let superseded: Vec<Rc<StoreFileData>> = parent
+                .storefiles
+                .iter()
+                .filter(|sf| sf.is_reference())
+                .cloned()
+                .collect();
+            let mk_state =
+                |desc: RegionDescriptor, files: &[(Rc<StoreFileData>, u32)], memstore: MemStore| {
+                    RegionState {
+                        desc,
+                        memstore,
+                        flushing: None,
+                        storefiles: files.iter().map(|(f, _)| Rc::clone(f)).collect(),
+                        file_levels: files
+                            .iter()
+                            .filter(|(_, l)| *l > 0)
+                            .map(|(f, l)| (f.path().to_owned(), *l))
+                            .collect(),
+                        recovered_paths: Vec::new(),
+                        online: true,
+                        flush_in_progress: false,
+                        compaction_in_progress: false,
+                        splitting: false,
+                    }
+                };
+            regions.insert(
+                work.bottom,
+                mk_state(
+                    RegionDescriptor {
+                        id: work.bottom,
+                        start: work.parent_desc.start.clone(),
+                        end: Some(work.split_key.clone()),
+                    },
+                    &work.bottom_files,
+                    ms_bottom,
+                ),
+            );
+            regions.insert(
+                work.top,
+                mk_state(
+                    RegionDescriptor {
+                        id: work.top,
+                        start: work.split_key.clone(),
+                        end: work.parent_desc.end.clone(),
+                    },
+                    &work.top_files,
+                    ms_top,
+                ),
+            );
+            superseded
+        };
+        // The parent's cached blocks belong to a region that no longer
+        // exists; daughters refill under their own ids.
+        self.cache.borrow_mut().evict_region(work.region);
+        // The parent's accumulated load history moves to the daughters
+        // (half each) — the placement signal must not read a server that
+        // just split its hottest region as suddenly idle.
+        let parent_load = self.split_stats.region_load.get(work.region.0 as u64);
+        self.split_stats.region_load.remove(work.region.0 as u64);
+        self.split_stats
+            .region_load
+            .add(work.bottom.0 as u64, parent_load / 2);
+        self.split_stats
+            .region_load
+            .add(work.top.0 as u64, parent_load - parent_load / 2);
+        self.pending_split.borrow_mut().take();
+        self.split_stats.completed.inc();
+        self.update_file_metrics();
+        if !superseded.is_empty() {
+            self.retire_superseded_references(superseded);
+        }
+        if let Some(coord) = self.split_coord.borrow().clone() {
+            let id = self.id;
+            let region = work.region;
+            self.net.send(self.node, coord.node(), 64, move || {
+                coord.split_completed(id, region)
+            });
+        }
+    }
+
+    /// Destroys intermediate reference files superseded by a re-split,
+    /// releasing (and possibly destroying) their backing holds — behind
+    /// the same liveness fence as [`RegionServer::retire_compacted_inputs`]:
+    /// a server partitioned from the coordination service may already
+    /// have been failed over, and its successor reads exactly these
+    /// files. A wrongly held fence merely leaks them (reads stay correct).
+    fn retire_superseded_references(self: &Rc<Self>, refs: Vec<Rc<StoreFileData>>) {
+        let retire = |server: &RegionServer, refs: Vec<Rc<StoreFileData>>| {
+            for sf in refs {
+                server.registry.remove(sf.path());
+                server.dfs.delete(sf.path());
+                let backing = sf.backing_path().to_owned();
+                if server.registry.release_backing_ref(&backing) {
+                    server.registry.remove(&backing);
+                    server.dfs.delete(&backing);
+                }
+            }
+        };
+        let coord = self.coord.borrow().clone();
+        match coord {
+            Some(coord) => {
+                let weak = Rc::downgrade(self);
+                coord.get_data(&format!("/live/servers/{}", self.id), move |znode| {
+                    let Some(server) = weak.upgrade() else { return };
+                    if znode.is_some() && server.alive.get() {
+                        retire(&server, refs);
+                    }
+                });
+            }
+            // No coordination service (standalone server, unit tests):
+            // there is no failover to fence against.
+            None => retire(self, refs),
         }
     }
 

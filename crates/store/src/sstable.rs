@@ -52,18 +52,34 @@ use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 
-/// One sorted immutable store file's contents.
+/// One sorted immutable store file's contents — either a *physical* file
+/// (a flush or compaction output, owning its entries) or a *reference
+/// half-file* created by an online region split, which shares the parent
+/// file's entry array and clips it to the daughter's key range (see
+/// [`StoreFileData::reference`]).
 pub struct StoreFileData {
     region: RegionId,
     path: String,
     /// Sorted by (row, column, descending ts) — same order as a memstore.
-    entries: Vec<(Bytes, Bytes, Timestamp, Option<Bytes>)>,
+    /// Shared (`Rc`) so a split's reference half-files are O(metadata):
+    /// they alias the parent's array and narrow `[lo, hi)`.
+    entries: Rc<Vec<(Bytes, Bytes, Timestamp, Option<Bytes>)>>,
+    /// Visible slice bounds into `entries` (`0..len` for physical files).
+    lo: usize,
+    hi: usize,
     total_bytes: usize,
     /// Min/max row key stored (`None` for an empty file); the read path's
     /// free range-pruning check.
     key_range: Option<(Bytes, Bytes)>,
     /// Membership filter over the file's distinct `(row, column)` pairs.
-    bloom: BloomFilter,
+    /// Reference files share the parent's filter (it may answer `true`
+    /// for keys clipped into the sibling daughter — an ordinary false
+    /// positive).
+    bloom: Rc<BloomFilter>,
+    /// For a reference half-file: the DFS path of the parent file that
+    /// physically holds the bytes (replica-liveness checks target it, and
+    /// it may only be deleted once every reference is rewritten).
+    backing: Option<String>,
 }
 
 impl fmt::Debug for StoreFileData {
@@ -140,20 +156,103 @@ impl StoreFileData {
             .map(|(r, c, _, v)| r.len() + c.len() + v.as_ref().map(Bytes::len).unwrap_or(0) + 24)
             .sum();
         let bloom = build_bloom(&entries);
+        let hi = entries.len();
         StoreFileData {
             region,
             path: path.into(),
             key_range: key_range_of(&entries),
+            lo: 0,
+            hi,
             total_bytes,
-            bloom,
-            entries,
+            bloom: Rc::new(bloom),
+            entries: Rc::new(entries),
+            backing: None,
         }
+    }
+
+    /// Builds a reference half-file over `parent` for an online region
+    /// split: the result aliases the parent's entry array clipped to rows
+    /// in `[start, end)` (two `partition_point` calls — O(log n), no data
+    /// copy) and shares the parent's bloom filter. The reference's
+    /// [`StoreFileData::backing_path`] names the parent file, whose
+    /// replicas actually hold the bytes; the parent file must outlive
+    /// every reference (the daughter's first compaction covering the
+    /// reference rewrites it into a physical file).
+    ///
+    /// Returns `None` when no row of the parent falls inside the range
+    /// (nothing to reference).
+    pub fn reference(
+        parent: &Rc<StoreFileData>,
+        region: RegionId,
+        path: impl Into<String>,
+        start: &[u8],
+        end: Option<&[u8]>,
+    ) -> Option<StoreFileData> {
+        let all = &parent.entries[..];
+        // Clip within the parent's own visible window (a reference over a
+        // reference composes — daughters can split again).
+        let lo = parent.lo + all[parent.lo..parent.hi].partition_point(|(r, ..)| &r[..] < start);
+        let hi = match end {
+            Some(end) => {
+                parent.lo + all[parent.lo..parent.hi].partition_point(|(r, ..)| &r[..] < end)
+            }
+            None => parent.hi,
+        };
+        if lo >= hi {
+            return None;
+        }
+        let slice = &all[lo..hi];
+        let total_bytes = slice
+            .iter()
+            .map(|(r, c, _, v)| r.len() + c.len() + v.as_ref().map(Bytes::len).unwrap_or(0) + 24)
+            .sum();
+        Some(StoreFileData {
+            region,
+            path: path.into(),
+            key_range: key_range_of(slice),
+            lo,
+            hi,
+            total_bytes,
+            bloom: Rc::clone(&parent.bloom),
+            entries: Rc::clone(&parent.entries),
+            backing: Some(
+                parent
+                    .backing
+                    .clone()
+                    .unwrap_or_else(|| parent.path.clone()),
+            ),
+        })
+    }
+
+    /// The visible entry slice (the whole array for physical files, the
+    /// clipped window for reference half-files).
+    fn slice(&self) -> &[StoreFileEntry] {
+        &self.entries[self.lo..self.hi]
     }
 
     /// Iterates all stored versions in `(row, column, descending ts)`
     /// order (the order scans and the compaction merge consume).
     pub fn entries(&self) -> impl Iterator<Item = &StoreFileEntry> + '_ {
-        self.entries.iter()
+        self.slice().iter()
+    }
+
+    /// Whether this is a reference half-file over another file's bytes.
+    pub fn is_reference(&self) -> bool {
+        self.backing.is_some()
+    }
+
+    /// The DFS path whose replicas physically hold this file's bytes: the
+    /// parent file for a reference half-file, the file itself otherwise.
+    pub fn backing_path(&self) -> &str {
+        self.backing.as_deref().unwrap_or(&self.path)
+    }
+
+    /// The row key of the middle visible entry — the split-point heuristic
+    /// (HBase picks the largest store file's index midkey the same way).
+    /// `None` for an empty file.
+    pub fn mid_row(&self) -> Option<Bytes> {
+        let slice = self.slice();
+        slice.get(slice.len() / 2).map(|(r, ..)| r.clone())
     }
 
     /// The region this file belongs to.
@@ -168,12 +267,12 @@ impl StoreFileData {
 
     /// Number of stored versions.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.hi - self.lo
     }
 
     /// Whether the file stores nothing.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.lo == self.hi
     }
 
     /// Approximate on-disk size in bytes.
@@ -214,10 +313,9 @@ impl StoreFileData {
     /// is stored, regardless of snapshot. Used to classify filter
     /// outcomes (false positives / negatives), not to serve reads.
     pub fn contains_key(&self, row: &[u8], column: &[u8]) -> bool {
-        let idx = self
-            .entries
-            .partition_point(|(r, c, ..)| (&r[..], &c[..]) < (row, column));
-        matches!(self.entries.get(idx), Some((r, c, ..)) if r == row && c == column)
+        let slice = self.slice();
+        let idx = slice.partition_point(|(r, c, ..)| (&r[..], &c[..]) < (row, column));
+        matches!(slice.get(idx), Some((r, c, ..)) if r == row && c == column)
     }
 
     /// Bytes of filter metadata (the bloom bit array) this file carries.
@@ -229,10 +327,10 @@ impl StoreFileData {
     pub fn get(&self, row: &[u8], column: &[u8], snapshot: Timestamp) -> Option<VersionedValue> {
         // First entry with key >= (row, column, inv(snapshot)) in the
         // (row, col, desc-ts) order.
-        let idx = self
-            .entries
+        let slice = self.slice();
+        let idx = slice
             .partition_point(|(r, c, ts, _)| (&r[..], &c[..], !ts.0) < (row, column, !snapshot.0));
-        let (r, c, ts, v) = self.entries.get(idx)?;
+        let (r, c, ts, v) = slice.get(idx)?;
         if r == row && c == column {
             Some(VersionedValue {
                 ts: *ts,
@@ -251,7 +349,7 @@ impl StoreFileData {
         snapshot: Timestamp,
     ) -> Vec<(Bytes, Bytes, VersionedValue)> {
         let mut out: Vec<(Bytes, Bytes, VersionedValue)> = Vec::new();
-        for (r, c, ts, v) in &self.entries {
+        for (r, c, ts, v) in self.slice() {
             if *ts > snapshot || &r[..] < start {
                 continue;
             }
@@ -281,8 +379,8 @@ impl StoreFileData {
     pub fn encode(&self) -> Bytes {
         let mut enc = Encoder::new();
         enc.put_u32(self.region.0);
-        enc.put_u32(self.entries.len() as u32);
-        for (r, c, ts, v) in &self.entries {
+        enc.put_u32(self.len() as u32);
+        for (r, c, ts, v) in self.slice() {
             let kind = match v {
                 Some(v) => MutationKind::Put(v.clone()),
                 None => MutationKind::Delete,
@@ -325,22 +423,34 @@ impl StoreFileData {
             entries.push((m.row, m.column, ts, v));
         }
         let bloom = BloomFilter::decode(&mut dec)?;
+        let hi = entries.len();
         Ok(StoreFileData {
             region,
             path: path.into(),
             key_range: key_range_of(&entries),
+            lo: 0,
+            hi,
             total_bytes,
-            bloom,
-            entries,
+            bloom: Rc::new(bloom),
+            entries: Rc::new(entries),
+            backing: None,
         })
     }
 }
 
 /// Cluster-wide map from store-file path to parsed contents (see the
 /// module docs for why this exists).
+///
+/// The registry also tracks how many split reference half-files point at
+/// each physical parent file ([`StoreFileRegistry::add_backing_ref`]): a
+/// parent file may only be deleted once the last daughter reference to it
+/// has been compacted away, and that count is cluster-level metadata (both
+/// daughters may have failed over to different servers by then).
 #[derive(Default)]
 pub struct StoreFileRegistry {
     files: RefCell<HashMap<String, Rc<StoreFileData>>>,
+    /// Outstanding reference half-files per backing (parent) file path.
+    backing_refs: RefCell<HashMap<String, u32>>,
 }
 
 impl fmt::Debug for StoreFileRegistry {
@@ -372,6 +482,66 @@ impl StoreFileRegistry {
     /// the path just stops resolving for new opens.
     pub fn remove(&self, path: &str) -> bool {
         self.files.borrow_mut().remove(path).is_some()
+    }
+
+    /// Records one more reference half-file over the physical file at
+    /// `backing` (called when a split creates a daughter reference).
+    pub fn add_backing_ref(&self, backing: &str) {
+        *self
+            .backing_refs
+            .borrow_mut()
+            .entry(backing.to_owned())
+            .or_insert(0) += 1;
+    }
+
+    /// Releases one reference over `backing`; returns `true` when that
+    /// was the last one (the physical file may now be deleted).
+    pub fn release_backing_ref(&self, backing: &str) -> bool {
+        let mut refs = self.backing_refs.borrow_mut();
+        match refs.get_mut(backing) {
+            Some(n) if *n > 1 => {
+                *n -= 1;
+                false
+            }
+            Some(_) => {
+                refs.remove(backing);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Outstanding reference half-files over `backing`.
+    pub fn backing_ref_count(&self, backing: &str) -> u32 {
+        self.backing_refs
+            .borrow()
+            .get(backing)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Unregisters every *reference* half-file whose path starts with
+    /// `prefix` (a rolled-back split daughter's directory), releasing
+    /// each one's hold on its backing file, and returns how many were
+    /// purged. The backing physical files themselves are left alone —
+    /// the parent region, recovered elsewhere, still serves them. Without
+    /// this cleanup a crash mid-split would leak inflated backing counts
+    /// and the parent's files could never be deleted after a later
+    /// successful split.
+    pub fn purge_references_under(&self, prefix: &str) -> usize {
+        let mut victims: Vec<(String, String)> = self
+            .files
+            .borrow()
+            .iter()
+            .filter(|(p, d)| p.starts_with(prefix) && d.is_reference())
+            .map(|(p, d)| (p.clone(), d.backing_path().to_owned()))
+            .collect();
+        victims.sort();
+        for (path, backing) in &victims {
+            self.files.borrow_mut().remove(path);
+            let _ = self.release_backing_ref(backing);
+        }
+        victims.len()
     }
 
     /// Number of registered files.

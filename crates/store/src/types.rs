@@ -36,6 +36,11 @@ impl fmt::Display for ClientId {
 }
 
 /// Identifier of a region (a contiguous key range of the table).
+///
+/// Region ids are never reused: an online split retires the parent's id
+/// and allocates two fresh daughter ids above every id ever issued, so a
+/// cached id always denotes the same key range (a stale cache can be
+/// *incomplete*, never *wrong* about boundaries).
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RegionId(pub u32);
 

@@ -230,6 +230,7 @@ proptest! {
     ) {
         let cfg = CompactionConfig {
             min_files: 2,
+            l0_trigger_files: 2,
             // Tiny budgets so the pipeline exercises multi-level pushes.
             level_base_bytes: 600,
             level_ratio: 3.0,

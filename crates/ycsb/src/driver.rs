@@ -88,7 +88,11 @@ impl Driver {
         };
         let uniform = Uniform::new(workload.record_count);
         let zipf = ScrambledZipfian::new(workload.record_count);
-        let hotspot = HotSpot::new(workload.record_count, 0.01, 0.9);
+        let hotspot = HotSpot::new(
+            workload.record_count,
+            workload.hotspot_keys_fraction,
+            workload.hotspot_ops_fraction,
+        );
         Driver {
             inner: Rc::new(DriverInner {
                 sim: cluster.sim.clone(),

@@ -42,6 +42,14 @@ pub struct Workload {
     pub scan_len: usize,
     /// Key distribution.
     pub distribution: KeyDistribution,
+    /// [`KeyDistribution::HotSpot`] only: the fraction of the key space
+    /// forming the hot set. Shrink it (with the default region layout)
+    /// to concentrate the hot set inside one region — the split-trigger
+    /// workload.
+    pub hotspot_keys_fraction: f64,
+    /// [`KeyDistribution::HotSpot`] only: the fraction of operations
+    /// that land in the hot set.
+    pub hotspot_ops_fraction: f64,
     /// Number of simulated client threads (paper: 50).
     pub threads: usize,
     /// Offered load in transactions/second; `None` = closed loop at full
@@ -73,6 +81,8 @@ impl Default for Workload {
             scan_ratio: 0.0,
             scan_len: 20,
             distribution: KeyDistribution::Uniform,
+            hotspot_keys_fraction: 0.01,
+            hotspot_ops_fraction: 0.9,
             threads: 50,
             target_tps: None,
             burst_on: SimDuration::ZERO,
@@ -112,6 +122,14 @@ impl Workload {
         assert!(
             self.scan_ratio == 0.0 || self.scan_len > 0,
             "scans need a positive length"
+        );
+        assert!(
+            self.hotspot_keys_fraction > 0.0 && self.hotspot_keys_fraction <= 1.0,
+            "hotspot key fraction out of range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.hotspot_ops_fraction),
+            "hotspot ops fraction out of range"
         );
         assert!(
             self.burst_on.is_zero() == self.burst_off.is_zero(),

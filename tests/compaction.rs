@@ -190,6 +190,7 @@ fn policy_cluster(seed: u64, policy: CompactionPolicyKind) -> Cluster {
     cfg.server_cfg.memstore_flush_bytes = 24 << 10;
     cfg.server_cfg.flush_check_interval = SimDuration::from_millis(500);
     cfg.server_cfg.compaction.check_interval = SimDuration::from_millis(900);
+    cfg.server_cfg.compaction.l0_trigger_files = 3;
     cfg.server_cfg.compaction.level_base_bytes = 48 << 10;
     cfg.server_cfg.compaction.level_file_bytes = 24 << 10;
     cfg.server_cfg.compaction.level_ratio = 4.0;
