@@ -24,7 +24,7 @@
 //! byte-identical across runs of the same build (determinism probe — CI
 //! runs it twice and diffs).
 
-use cumulo_core::{Cluster, ClusterConfig, CommitResult, TransactionalClient};
+use cumulo_core::{Cluster, ClusterConfig, TransactionalClient};
 use cumulo_sim::{Sim, SimDuration};
 use cumulo_ycsb::{KeyDistribution, Workload};
 use std::cell::{Cell, RefCell};
@@ -184,15 +184,16 @@ fn run_stream_txn(audit: Rc<Audit>, idx: usize, stride: usize) {
     }
     let client = audit.clients[idx % audit.clients.len()].clone();
     let writes = audit.stream[idx].clone();
-    let c2 = client.clone();
     client.begin(move |txn| {
+        let txn = txn.expect("audit clients never crash");
         for (key, tag) in &writes {
-            c2.put(txn, format!("user{key:012}"), "f0", format!("w{tag}"));
+            txn.put(format!("user{key:012}"), "f0", format!("w{tag}"))
+                .expect("txn is active");
         }
         let audit2 = Rc::clone(&audit);
-        c2.commit(txn, move |result| {
+        txn.commit(move |result| {
             audit2.finished.set(audit2.finished.get() + 1);
-            if let CommitResult::Committed(ts) = result {
+            if let Ok(ts) = result {
                 audit2.committed.set(audit2.committed.get() + 1);
                 let mut m = audit2.mirror.borrow_mut();
                 for (key, tag) in &writes {

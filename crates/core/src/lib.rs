@@ -10,7 +10,11 @@
 //!
 //! * [`TransactionalClient`] — the extended key-value client: deferred
 //!   updates, commit through the transaction manager, post-commit flush,
-//!   and Algorithm 1's flushed-threshold tracking ([`FlushTracker`]);
+//!   and Algorithm 1's flushed-threshold tracking ([`FlushTracker`]).
+//!   Applications drive it through first-class [`Transaction`] handles
+//!   with typed [`TxnError`]s, a batched `multi_get` read path (one
+//!   store RPC per region), and the conflict-retrying
+//!   [`TransactionalClient::run`] combinator under a [`RetryPolicy`];
 //! * [`ServerTracker`] — Algorithm 3's server-side runtime: heartbeat-
 //!   driven WAL persistence and persisted-threshold tracking
 //!   ([`PersistTracker`]);
@@ -26,7 +30,8 @@
 //! # Quickstart
 //!
 //! ```
-//! use cumulo_core::{Cluster, ClusterConfig, CommitResult};
+//! use cumulo_core::{Cluster, ClusterConfig, TxnError};
+//! use cumulo_store::Timestamp;
 //! use cumulo_sim::SimDuration;
 //! use std::{cell::RefCell, rc::Rc};
 //!
@@ -36,15 +41,16 @@
 //!     ..ClusterConfig::default()
 //! });
 //! let client = cluster.client(0).clone();
-//! let outcome: Rc<RefCell<Option<CommitResult>>> = Rc::new(RefCell::new(None));
+//! let outcome: Rc<RefCell<Option<Result<Timestamp, TxnError>>>> =
+//!     Rc::new(RefCell::new(None));
 //! let o = outcome.clone();
-//! let c2 = client.clone();
 //! client.begin(move |txn| {
-//!     c2.put(txn, "user000000000001", "f0", "hello");
-//!     c2.commit(txn, move |r| *o.borrow_mut() = Some(r));
+//!     let txn = txn.expect("client is live");
+//!     txn.put("user000000000001", "f0", "hello").unwrap();
+//!     txn.commit(move |r| *o.borrow_mut() = Some(r));
 //! });
 //! cluster.run_for(SimDuration::from_secs(1));
-//! assert!(matches!(*outcome.borrow(), Some(CommitResult::Committed(_))));
+//! assert!(matches!(*outcome.borrow(), Some(Ok(_))));
 //! // The committed value is readable (and will survive a server crash).
 //! let v = cluster.read_cell("user000000000001", "f0", SimDuration::from_secs(5));
 //! assert_eq!(v.as_deref(), Some(&b"hello"[..]));
@@ -70,4 +76,12 @@ pub use persist_tracker::PersistTracker;
 pub use recovery_client::RecoveryClient;
 pub use recovery_manager::{RecoveryManager, RecoveryManagerConfig};
 pub use server_tracker::{ServerTracker, ServerTrackerConfig};
-pub use txn_client::{CommitResult, PersistenceMode, TransactionalClient, TxnClientConfig};
+pub use txn_client::{
+    PersistenceMode, RetryPolicy, RunFinish, Transaction, TransactionalClient, TxnClientConfig,
+    TxnError,
+};
+
+// Re-exported so client-facing code can name commit timestamps and
+// transaction ids without depending on the lower crates directly.
+pub use cumulo_store::Timestamp;
+pub use cumulo_txn::TxnId;

@@ -1,13 +1,29 @@
 //! The transactional key-value client: the paper's extended HBase client.
 //!
-//! Provides `begin` / `get` / `put` / `delete` / `commit` / `abort` with
-//! the deferred-update model of §2.2: writes buffer locally in the
-//! transaction's write-set; at commit the write-set goes to the
+//! Provides a first-class [`Transaction`] handle API: [`TransactionalClient::begin`]
+//! hands the application a [`Transaction`] whose methods (`get` /
+//! `multi_get` / `scan` / `put` / `delete` / `commit` / `abort`) deliver
+//! `Result<_, TxnError>` — misuse (commit-twice, an operation after
+//! commit, an operation on a crashed or shut-down client) yields a typed
+//! error instead of a panic. [`TransactionalClient::run`] re-executes a
+//! transaction body under a [`RetryPolicy`] when commit hits a
+//! write-write conflict; every retry is a **new** transaction with a
+//! fresh snapshot and commit timestamp, never a replay of the old one
+//! (so the `T_F(c)` threshold invariant below is untouched by retries).
+//!
+//! Writes follow the deferred-update model of §2.2: they buffer locally
+//! in the transaction's write-set; at commit the write-set goes to the
 //! transaction manager, which makes it durable in its recovery log; only
 //! *after* commit is the write-set flushed to the store servers. The
 //! client runs Algorithm 1: it tracks commit/flush completion in its
 //! [`FlushTracker`] and heartbeats its threshold `T_F(c)` to the recovery
 //! manager through the coordination service.
+//!
+//! Reads are served at the transaction's snapshot. [`Transaction::get`]
+//! fetches one cell per store round trip; [`Transaction::multi_get`]
+//! answers cells the transaction itself wrote locally and fans the rest
+//! out as **one store RPC per region** (the batched read path mirroring
+//! the write path's per-region write-set grouping).
 //!
 //! ## The threshold invariant this module maintains
 //!
@@ -41,6 +57,7 @@ use cumulo_store::{ClientId, Mutation, MutationKind, StoreClient, Timestamp, Wri
 use cumulo_txn::{CommitOutcome, TransactionManager, TxnId};
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
+use std::error::Error;
 use std::fmt;
 use std::rc::Rc;
 
@@ -59,45 +76,105 @@ pub enum PersistenceMode {
     Synchronous,
 }
 
-/// The application-visible outcome of a commit request.
+/// Why a transactional operation failed.
+///
+/// Every public method of [`Transaction`] and [`TransactionalClient`]
+/// reports failure through this type — none of them panic on misuse.
+/// Only [`TxnError::Conflict`] is transient (a fresh transaction can
+/// succeed; [`TransactionalClient::run`] retries it automatically); the
+/// other variants describe a handle or client that can no longer make
+/// progress.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
-pub enum CommitResult {
-    /// Committed (durable in the transaction manager's log) with this
-    /// commit timestamp.
-    Committed(Timestamp),
-    /// Aborted (write-write conflict or unknown transaction).
-    Aborted,
+pub enum TxnError {
+    /// The transaction manager aborted the commit because of a
+    /// write-write conflict with a concurrently committed transaction.
+    /// Retrying the *body* in a fresh transaction (new snapshot, new
+    /// commit timestamp — see [`TransactionalClient::run`]) may succeed;
+    /// replaying the same write-set must never happen.
+    Conflict,
+    /// The handle does not refer to an active transaction of this
+    /// client: it was already committed or aborted (commit-twice and
+    /// op-after-commit land here), or the transaction manager lost it.
+    UnknownTxn,
+    /// The client was shut down ([`TransactionalClient::shutdown`]); no
+    /// new transaction can begin.
+    ClientClosed,
+    /// The client process crashed ([`TransactionalClient::crash`]) or
+    /// terminated itself after losing its coordination session; the
+    /// recovery manager takes over its unflushed commits.
+    ClientDead,
 }
 
-/// Transactional-client tuning knobs.
-#[derive(Copy, Clone, Debug)]
-pub struct TxnClientConfig {
-    /// Heartbeat period (threshold publication + liveness touch). The
-    /// paper varies this from 50 ms to 10 s in Fig. 2b.
-    pub heartbeat_interval: SimDuration,
-    /// Coordination session timeout (client-failure detection latency).
-    pub session_timeout: SimDuration,
-    /// Sync vs async persistence (Fig. 2a).
-    pub persistence: PersistenceMode,
-    /// Whether threshold tracking runs at all (ablation: without it, the
-    /// recovery manager must replay from the beginning of the log).
-    pub tracking: bool,
-    /// Pending-commit count above which the client raises an alert
-    /// (§3.2's stuck-region detector).
-    pub alert_pending_threshold: usize,
-}
-
-impl Default for TxnClientConfig {
-    fn default() -> Self {
-        TxnClientConfig {
-            heartbeat_interval: SimDuration::from_secs(1),
-            session_timeout: SimDuration::from_secs(3),
-            persistence: PersistenceMode::Asynchronous,
-            tracking: true,
-            alert_pending_threshold: 1_000,
+impl fmt::Display for TxnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxnError::Conflict => write!(f, "write-write conflict; retry in a new transaction"),
+            TxnError::UnknownTxn => write!(f, "not an active transaction (already finished?)"),
+            TxnError::ClientClosed => write!(f, "client was shut down"),
+            TxnError::ClientDead => write!(f, "client process is dead"),
         }
     }
 }
+
+impl Error for TxnError {}
+
+/// Bounded, **deterministic** retry schedule for
+/// [`TransactionalClient::run`].
+///
+/// The backoff sequence is a fixed geometric ramp —
+/// `initial_backoff * multiplier^retry`, capped at `max_backoff` — with
+/// deliberately **no jitter**: drawing from the shared simulation RNG
+/// here would shift the random stream of every run that merely uses the
+/// retry combinator, perturbing calibrated schedules (the ROADMAP
+/// determinism invariant). Concurrent conflicting retries still spread
+/// out because every network message they send draws its own latency
+/// jitter.
+#[derive(Copy, Clone, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (1 = no retry; 0 is treated
+    /// as 1 — the body always runs at least once).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub initial_backoff: SimDuration,
+    /// Geometric growth factor applied per retry (1 = constant backoff).
+    pub multiplier: u32,
+    /// Upper bound on any single backoff.
+    pub max_backoff: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            initial_backoff: SimDuration::from_millis(10),
+            multiplier: 2,
+            max_backoff: SimDuration::from_millis(200),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (the body runs exactly once).
+    pub fn no_retry() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The fixed backoff before retry number `retry` (0-based): the
+    /// geometric ramp capped at `max_backoff`. Deterministic — no RNG.
+    pub fn backoff_for(&self, retry: u32) -> SimDuration {
+        let factor = self.multiplier.max(1).saturating_pow(retry.min(16));
+        (self.initial_backoff * factor as u64).min(self.max_backoff)
+    }
+}
+
+/// The continuation a [`TransactionalClient::run`] body calls when it
+/// has issued all its operations: `Ok(())` asks the combinator to
+/// commit, `Err(e)` aborts the attempt and propagates (or retries, for
+/// [`TxnError::Conflict`]).
+pub type RunFinish = Box<dyn FnOnce(Result<(), TxnError>)>;
 
 struct ActiveTxn {
     start_ts: Timestamp,
@@ -137,6 +214,37 @@ struct TcInner {
     aborted: Counter,
     flushed: Counter,
     alerts: Counter,
+    conflict_retries: Counter,
+}
+
+/// Transactional-client tuning knobs.
+#[derive(Copy, Clone, Debug)]
+pub struct TxnClientConfig {
+    /// Heartbeat period (threshold publication + liveness touch). The
+    /// paper varies this from 50 ms to 10 s in Fig. 2b.
+    pub heartbeat_interval: SimDuration,
+    /// Coordination session timeout (client-failure detection latency).
+    pub session_timeout: SimDuration,
+    /// Sync vs async persistence (Fig. 2a).
+    pub persistence: PersistenceMode,
+    /// Whether threshold tracking runs at all (ablation: without it, the
+    /// recovery manager must replay from the beginning of the log).
+    pub tracking: bool,
+    /// Pending-commit count above which the client raises an alert
+    /// (§3.2's stuck-region detector).
+    pub alert_pending_threshold: usize,
+}
+
+impl Default for TxnClientConfig {
+    fn default() -> Self {
+        TxnClientConfig {
+            heartbeat_interval: SimDuration::from_secs(1),
+            session_timeout: SimDuration::from_secs(3),
+            persistence: PersistenceMode::Asynchronous,
+            tracking: true,
+            alert_pending_threshold: 1_000,
+        }
+    }
 }
 
 /// A transactional client process. Cheap to clone (shared identity).
@@ -153,6 +261,343 @@ impl fmt::Debug for TransactionalClient {
             .field("committed", &self.inner.committed.get())
             .field("t_f", &self.inner.tracker.borrow().t_f())
             .finish()
+    }
+}
+
+/// A handle to one in-flight transaction of a [`TransactionalClient`].
+///
+/// Cheap to clone; all clones refer to the same transaction. The handle
+/// stays valid across `commit`/`abort`, but any operation issued after
+/// the transaction finished reports [`TxnError::UnknownTxn`] (and after
+/// the owning client crashed or shut down, [`TxnError::ClientDead`] /
+/// [`TxnError::ClientClosed`]) — misuse never panics.
+#[derive(Clone)]
+pub struct Transaction {
+    inner: Rc<TcInner>,
+    id: TxnId,
+}
+
+impl fmt::Debug for Transaction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Transaction")
+            .field("id", &self.id)
+            .field("client", &self.inner.id)
+            .finish()
+    }
+}
+
+impl Transaction {
+    /// The transaction manager's id for this transaction.
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    /// The owning client's id.
+    pub fn client_id(&self) -> ClientId {
+        self.inner.id
+    }
+
+    /// The lifecycle error an operation on this handle must report right
+    /// now, if any (`None` = the transaction is active and usable).
+    fn state_err(&self) -> Option<TxnError> {
+        if !self.inner.alive.get() {
+            return Some(TxnError::ClientDead);
+        }
+        if !self.inner.active.borrow().contains_key(&self.id) {
+            return Some(TxnError::UnknownTxn);
+        }
+        None
+    }
+
+    /// Delivers `err` through `done` on the next simulation step (all
+    /// callback-taking methods complete asynchronously, success or not).
+    fn fail<T: 'static>(&self, err: TxnError, done: impl FnOnce(Result<T, TxnError>) + 'static) {
+        self.inner
+            .sim
+            .schedule_in(SimDuration::ZERO, move || done(Err(err)));
+    }
+
+    /// Transactional read: the transaction's own buffered writes win
+    /// (read-your-own-writes); otherwise the newest version at the
+    /// transaction's snapshot is fetched from the store. Tombstones and
+    /// missing cells both read as `Ok(None)`.
+    pub fn get(
+        &self,
+        row: impl Into<Bytes>,
+        column: impl Into<Bytes>,
+        done: impl FnOnce(Result<Option<Bytes>, TxnError>) + 'static,
+    ) {
+        if let Some(e) = self.state_err() {
+            self.fail(e, done);
+            return;
+        }
+        let row = row.into();
+        let column = column.into();
+        let start_ts = {
+            let active = self.inner.active.borrow();
+            let at = &active[&self.id];
+            if let Some(kind) = at.write_set.get(&row, &column) {
+                let value = match kind {
+                    MutationKind::Put(v) => Some(v.clone()),
+                    MutationKind::Delete => None,
+                };
+                let sim = self.inner.sim.clone();
+                sim.schedule_in(SimDuration::ZERO, move || done(Ok(value)));
+                return;
+            }
+            at.start_ts
+        };
+        self.inner.store.get(row, column, start_ts, move |vv| {
+            done(Ok(vv.and_then(|v| v.value)));
+        });
+    }
+
+    /// Batched transactional read: like [`Transaction::get`] for every
+    /// `(row, column)` in `cells`, but cells this transaction already
+    /// wrote are answered locally from the write-set and the remainder
+    /// travel as **one store RPC per region** (the store client groups
+    /// them by its cached region map, each region server serves its
+    /// whole batch in a single message round trip). Results arrive in
+    /// input order and are byte-identical to issuing the same `get`s
+    /// sequentially at the same snapshot.
+    pub fn multi_get(
+        &self,
+        cells: Vec<(Bytes, Bytes)>,
+        done: impl FnOnce(Result<Vec<Option<Bytes>>, TxnError>) + 'static,
+    ) {
+        if let Some(e) = self.state_err() {
+            self.fail(e, done);
+            return;
+        }
+        let (start_ts, local, misses) = {
+            let active = self.inner.active.borrow();
+            let at = &active[&self.id];
+            let mut local: Vec<Option<Option<Bytes>>> = Vec::with_capacity(cells.len());
+            let mut misses: Vec<(usize, Bytes, Bytes)> = Vec::new();
+            for (i, (row, column)) in cells.iter().enumerate() {
+                match at.write_set.get(row, column) {
+                    Some(MutationKind::Put(v)) => local.push(Some(Some(v.clone()))),
+                    Some(MutationKind::Delete) => local.push(Some(None)),
+                    None => {
+                        local.push(None);
+                        misses.push((i, row.clone(), column.clone()));
+                    }
+                }
+            }
+            (at.start_ts, local, misses)
+        };
+        if misses.is_empty() {
+            let out: Vec<Option<Bytes>> =
+                local.into_iter().map(|v| v.expect("all local")).collect();
+            self.inner
+                .sim
+                .schedule_in(SimDuration::ZERO, move || done(Ok(out)));
+            return;
+        }
+        let fetch: Vec<(Bytes, Bytes)> = misses
+            .iter()
+            .map(|(_, r, c)| (r.clone(), c.clone()))
+            .collect();
+        self.inner.store.multi_get(fetch, start_ts, move |values| {
+            debug_assert_eq!(values.len(), misses.len());
+            let mut out = local;
+            for ((i, _, _), vv) in misses.into_iter().zip(values) {
+                out[i] = Some(vv.and_then(|v| v.value));
+            }
+            done(Ok(out
+                .into_iter()
+                .map(|v| v.expect("filled by store batch"))
+                .collect()));
+        });
+    }
+
+    /// Transactional range scan over `[start, end)` at the transaction's
+    /// snapshot, returning up to `limit` cells merged with the
+    /// transaction's own buffered writes (which win per cell; buffered
+    /// deletes hide cells).
+    ///
+    /// The store is asked for `limit` *plus the number of buffered
+    /// deletes in range* hits: a buffered delete can hide a store row
+    /// post-merge, and without the over-fetch a scan could return fewer
+    /// than `limit` rows even though more qualify.
+    pub fn scan(
+        &self,
+        start: impl Into<Bytes>,
+        end: Option<Bytes>,
+        limit: usize,
+        done: impl FnOnce(Result<Vec<(Bytes, Bytes, Bytes)>, TxnError>) + 'static,
+    ) {
+        if let Some(e) = self.state_err() {
+            self.fail(e, done);
+            return;
+        }
+        let start = start.into();
+        let (start_ts, own): (Timestamp, Vec<Mutation>) = {
+            let active = self.inner.active.borrow();
+            let at = &active[&self.id];
+            let end_ref = end.clone();
+            let own = at
+                .write_set
+                .mutations
+                .iter()
+                .filter(|m| m.row >= start && end_ref.as_ref().map(|e| m.row < *e).unwrap_or(true))
+                .cloned()
+                .collect();
+            (at.start_ts, own)
+        };
+        let buffered_deletes = own
+            .iter()
+            .filter(|m| matches!(m.kind, MutationKind::Delete))
+            .count();
+        let fetch_limit = limit.saturating_add(buffered_deletes);
+        self.inner
+            .store
+            .scan(start, end, start_ts, fetch_limit, move |hits| {
+                // Merge: buffered writes overwrite store results per cell.
+                let mut merged: Vec<(Bytes, Bytes, Bytes)> = hits
+                    .into_iter()
+                    .filter_map(|(r, c, vv)| vv.value.map(|v| (r, c, v)))
+                    .collect();
+                for m in own {
+                    merged.retain(|(r, c, _)| !(r == &m.row && c == &m.column));
+                    if let MutationKind::Put(v) = &m.kind {
+                        merged.push((m.row.clone(), m.column.clone(), v.clone()));
+                    }
+                }
+                merged.sort();
+                merged.truncate(limit);
+                done(Ok(merged));
+            });
+    }
+
+    /// Buffers a put in the transaction's write-set (deferred updates:
+    /// nothing reaches the store before commit).
+    pub fn put(
+        &self,
+        row: impl Into<Bytes>,
+        column: impl Into<Bytes>,
+        value: impl Into<Bytes>,
+    ) -> Result<(), TxnError> {
+        if let Some(e) = self.state_err() {
+            return Err(e);
+        }
+        let mut active = self.inner.active.borrow_mut();
+        let at = active.get_mut(&self.id).expect("checked by state_err");
+        at.write_set
+            .push(Mutation::put(row.into(), column.into(), value.into()));
+        Ok(())
+    }
+
+    /// Buffers a delete in the transaction's write-set.
+    pub fn delete(&self, row: impl Into<Bytes>, column: impl Into<Bytes>) -> Result<(), TxnError> {
+        if let Some(e) = self.state_err() {
+            return Err(e);
+        }
+        let mut active = self.inner.active.borrow_mut();
+        let at = active.get_mut(&self.id).expect("checked by state_err");
+        at.write_set
+            .push(Mutation::delete(row.into(), column.into()));
+        Ok(())
+    }
+
+    /// Commits the transaction (§2.2's termination phase): the write-set
+    /// goes to the transaction manager; on success the commit timestamp
+    /// is delivered and tracked in `FQ`, and the write-set is flushed to
+    /// the store — before the ack in [`PersistenceMode::Synchronous`],
+    /// after it in [`PersistenceMode::Asynchronous`].
+    ///
+    /// A second commit (or a commit after abort) reports
+    /// [`TxnError::UnknownTxn`]; a conflict-aborted commit reports
+    /// [`TxnError::Conflict`].
+    pub fn commit(&self, done: impl FnOnce(Result<Timestamp, TxnError>) + 'static) {
+        if let Some(e) = self.state_err() {
+            self.fail(e, done);
+            return;
+        }
+        let at = self
+            .inner
+            .active
+            .borrow_mut()
+            .remove(&self.id)
+            .expect("checked by state_err");
+        let txn = self.id;
+        let ws = at.write_set;
+        let inner = Rc::clone(&self.inner);
+        let tm = Rc::clone(&self.inner.tm);
+        let net = Rc::clone(&self.inner.net);
+        let node = self.inner.node;
+        let size = 64 + ws.wire_size();
+        self.inner
+            .commits_in_flight
+            .set(self.inner.commits_in_flight.get() + 1);
+        self.inner.net.send(node, tm.node(), size, move || {
+            let ws2 = ws.clone();
+            let tm2 = Rc::clone(&tm);
+            tm.handle_commit(txn, ws, move |outcome| {
+                net.send(tm2.node(), node, 48, move || {
+                    inner
+                        .commits_in_flight
+                        .set(inner.commits_in_flight.get() - 1);
+                    if !inner.alive.get() {
+                        // Client died while the commit was in flight: if it
+                        // committed, the recovery manager replays it.
+                        return;
+                    }
+                    match outcome {
+                        CommitOutcome::Committed(ts) => {
+                            inner.committed.inc();
+                            if ws2.is_empty() {
+                                done(Ok(ts));
+                                return;
+                            }
+                            inner.tracker.borrow_mut().on_committed(ts);
+                            match inner.cfg.persistence {
+                                PersistenceMode::Asynchronous => {
+                                    done(Ok(ts));
+                                    flush_write_set(inner, ts, ws2, None);
+                                }
+                                PersistenceMode::Synchronous => {
+                                    flush_write_set(
+                                        inner,
+                                        ts,
+                                        ws2,
+                                        Some(Box::new(move || done(Ok(ts)))),
+                                    );
+                                }
+                            }
+                        }
+                        CommitOutcome::Conflict => {
+                            inner.aborted.inc();
+                            done(Err(TxnError::Conflict));
+                        }
+                        CommitOutcome::UnknownTxn => {
+                            inner.aborted.inc();
+                            done(Err(TxnError::UnknownTxn));
+                        }
+                    }
+                });
+            });
+        });
+    }
+
+    /// Aborts the transaction: the buffered write-set is discarded
+    /// locally and the transaction manager is informed. Idempotent — an
+    /// abort after commit/abort (or on a dead client) is a no-op.
+    pub fn abort(&self) {
+        if !self.inner.alive.get() {
+            return;
+        }
+        if self.inner.active.borrow_mut().remove(&self.id).is_none() {
+            return;
+        }
+        self.inner.aborted.inc();
+        let tm = Rc::clone(&self.inner.tm);
+        let txn = self.id;
+        self.inner
+            .net
+            .send(self.inner.node, tm.node(), 48, move || {
+                tm.handle_abort(txn);
+            });
     }
 }
 
@@ -192,6 +637,7 @@ impl TransactionalClient {
                 aborted: Counter::new(),
                 flushed: Counter::new(),
                 alerts: Counter::new(),
+                conflict_retries: Counter::new(),
             }),
         }
     }
@@ -257,14 +703,22 @@ impl TransactionalClient {
         self.inner.alive.get()
     }
 
-    /// Begins a transaction; `done` receives its id (reads are served at
-    /// the transaction's snapshot, the flush watermark).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the client was shut down.
-    pub fn begin(&self, done: impl FnOnce(TxnId) + 'static) {
-        assert!(!self.inner.closed.get(), "client was shut down");
+    /// Begins a transaction; `done` receives its [`Transaction`] handle
+    /// (reads are served at the transaction's snapshot, the flush
+    /// watermark) — or [`TxnError::ClientClosed`] /
+    /// [`TxnError::ClientDead`] when the client can no longer begin one.
+    /// Never panics.
+    pub fn begin(&self, done: impl FnOnce(Result<Transaction, TxnError>) + 'static) {
+        if self.inner.closed.get() {
+            let sim = self.inner.sim.clone();
+            sim.schedule_in(SimDuration::ZERO, move || done(Err(TxnError::ClientClosed)));
+            return;
+        }
+        if !self.inner.alive.get() {
+            let sim = self.inner.sim.clone();
+            sim.schedule_in(SimDuration::ZERO, move || done(Err(TxnError::ClientDead)));
+            return;
+        }
         let inner = Rc::clone(&self.inner);
         let tm = Rc::clone(&self.inner.tm);
         let net = Rc::clone(&self.inner.net);
@@ -282,218 +736,51 @@ impl TransactionalClient {
                         write_set: WriteSet::new(),
                     },
                 );
-                done(txn);
+                done(Ok(Transaction { inner, id: txn }));
             });
         });
     }
 
-    /// Transactional read: the transaction's own buffered writes win
-    /// (read-your-own-writes); otherwise the newest version at the
-    /// transaction's snapshot is fetched from the store. Tombstones and
-    /// missing cells both read as `None`.
+    /// Runs `body` in a transaction and commits it, retrying the *whole
+    /// body* in a **new** transaction (fresh snapshot, fresh commit
+    /// timestamp — never a replay of the old write-set, so the `T_F(c)`
+    /// invariant is untouched) when the commit reports
+    /// [`TxnError::Conflict`], under the bounded deterministic backoff
+    /// of `policy`.
     ///
-    /// # Panics
-    ///
-    /// Panics if `txn` is not an active transaction of this client.
-    pub fn get(
+    /// `body` receives the attempt's [`Transaction`] and a [`RunFinish`]
+    /// continuation it must call exactly once when all its operations
+    /// are issued: `Ok(())` commits, `Err(e)` aborts the attempt and
+    /// propagates `e` (retrying if it is a conflict). `done` fires once
+    /// with the final outcome: the commit timestamp, or the error that
+    /// ended the attempts ([`TxnError::Conflict`] if retries ran out).
+    pub fn run(
         &self,
-        txn: TxnId,
-        row: impl Into<Bytes>,
-        column: impl Into<Bytes>,
-        done: impl FnOnce(Option<Bytes>) + 'static,
+        policy: RetryPolicy,
+        body: impl Fn(Transaction, RunFinish) + 'static,
+        done: impl FnOnce(Result<Timestamp, TxnError>) + 'static,
     ) {
-        let row = row.into();
-        let column = column.into();
-        let start_ts = {
-            let active = self.inner.active.borrow();
-            let at = active.get(&txn).expect("get on unknown transaction");
-            if let Some(kind) = at.write_set.get(&row, &column) {
-                let value = match kind {
-                    MutationKind::Put(v) => Some(v.clone()),
-                    MutationKind::Delete => None,
-                };
-                let sim = self.inner.sim.clone();
-                sim.schedule_in(SimDuration::ZERO, move || done(value));
-                return;
-            }
-            at.start_ts
+        // No public client API panics on misuse: a zero attempt budget
+        // degrades to "run once, never retry".
+        let policy = RetryPolicy {
+            max_attempts: policy.max_attempts.max(1),
+            ..policy
         };
-        self.inner.store.get(row, column, start_ts, move |vv| {
-            done(vv.and_then(|v| v.value));
-        });
-    }
-
-    /// Transactional range scan over `[start, end)` at the transaction's
-    /// snapshot, returning up to `limit` cells merged with the
-    /// transaction's own buffered writes (which win per cell; buffered
-    /// deletes hide cells).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `txn` is not an active transaction of this client.
-    pub fn scan(
-        &self,
-        txn: TxnId,
-        start: impl Into<Bytes>,
-        end: Option<Bytes>,
-        limit: usize,
-        done: impl FnOnce(Vec<(Bytes, Bytes, Bytes)>) + 'static,
-    ) {
-        let start = start.into();
-        let (start_ts, own): (Timestamp, Vec<Mutation>) = {
-            let active = self.inner.active.borrow();
-            let at = active.get(&txn).expect("scan on unknown transaction");
-            let end_ref = end.clone();
-            let own = at
-                .write_set
-                .mutations
-                .iter()
-                .filter(|m| m.row >= start && end_ref.as_ref().map(|e| m.row < *e).unwrap_or(true))
-                .cloned()
-                .collect();
-            (at.start_ts, own)
-        };
-        self.inner
-            .store
-            .scan(start, end, start_ts, limit, move |hits| {
-                // Merge: buffered writes overwrite store results per cell.
-                let mut merged: Vec<(Bytes, Bytes, Bytes)> = hits
-                    .into_iter()
-                    .filter_map(|(r, c, vv)| vv.value.map(|v| (r, c, v)))
-                    .collect();
-                for m in own {
-                    merged.retain(|(r, c, _)| !(r == &m.row && c == &m.column));
-                    if let MutationKind::Put(v) = &m.kind {
-                        merged.push((m.row.clone(), m.column.clone(), v.clone()));
-                    }
-                }
-                merged.sort();
-                merged.truncate(limit);
-                done(merged);
-            });
-    }
-
-    /// Buffers a put in the transaction's write-set (deferred updates:
-    /// nothing reaches the store before commit).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `txn` is not an active transaction of this client.
-    pub fn put(
-        &self,
-        txn: TxnId,
-        row: impl Into<Bytes>,
-        column: impl Into<Bytes>,
-        value: impl Into<Bytes>,
-    ) {
-        let mut active = self.inner.active.borrow_mut();
-        let at = active.get_mut(&txn).expect("put on unknown transaction");
-        at.write_set
-            .push(Mutation::put(row.into(), column.into(), value.into()));
-    }
-
-    /// Buffers a delete in the transaction's write-set.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `txn` is not an active transaction of this client.
-    pub fn delete(&self, txn: TxnId, row: impl Into<Bytes>, column: impl Into<Bytes>) {
-        let mut active = self.inner.active.borrow_mut();
-        let at = active.get_mut(&txn).expect("delete on unknown transaction");
-        at.write_set
-            .push(Mutation::delete(row.into(), column.into()));
-    }
-
-    /// Commits the transaction (§2.2's termination phase): the write-set
-    /// goes to the transaction manager; on success the commit timestamp
-    /// is tracked in `FQ` and the write-set is flushed to the store —
-    /// before the ack in [`PersistenceMode::Synchronous`], after it in
-    /// [`PersistenceMode::Asynchronous`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if `txn` is not an active transaction of this client.
-    pub fn commit(&self, txn: TxnId, done: impl FnOnce(CommitResult) + 'static) {
-        let at = self
-            .inner
-            .active
-            .borrow_mut()
-            .remove(&txn)
-            .expect("commit on unknown transaction");
-        let ws = at.write_set;
-        let inner = Rc::clone(&self.inner);
-        let tm = Rc::clone(&self.inner.tm);
-        let net = Rc::clone(&self.inner.net);
-        let node = self.inner.node;
-        let size = 64 + ws.wire_size();
-        self.inner
-            .commits_in_flight
-            .set(self.inner.commits_in_flight.get() + 1);
-        self.inner.net.send(node, tm.node(), size, move || {
-            let ws2 = ws.clone();
-            let tm2 = Rc::clone(&tm);
-            tm.handle_commit(txn, ws, move |outcome| {
-                net.send(tm2.node(), node, 48, move || {
-                    inner
-                        .commits_in_flight
-                        .set(inner.commits_in_flight.get() - 1);
-                    if !inner.alive.get() {
-                        // Client died while the commit was in flight: if it
-                        // committed, the recovery manager replays it.
-                        return;
-                    }
-                    match outcome {
-                        CommitOutcome::Committed(ts) => {
-                            inner.committed.inc();
-                            if ws2.is_empty() {
-                                done(CommitResult::Committed(ts));
-                                return;
-                            }
-                            inner.tracker.borrow_mut().on_committed(ts);
-                            match inner.cfg.persistence {
-                                PersistenceMode::Asynchronous => {
-                                    done(CommitResult::Committed(ts));
-                                    flush_write_set(inner, ts, ws2, None);
-                                }
-                                PersistenceMode::Synchronous => {
-                                    flush_write_set(
-                                        inner,
-                                        ts,
-                                        ws2,
-                                        Some(Box::new(move || done(CommitResult::Committed(ts)))),
-                                    );
-                                }
-                            }
-                        }
-                        CommitOutcome::Conflict | CommitOutcome::UnknownTxn => {
-                            inner.aborted.inc();
-                            done(CommitResult::Aborted);
-                        }
-                    }
-                });
-            });
-        });
-    }
-
-    /// Aborts the transaction: the buffered write-set is discarded
-    /// locally and the transaction manager is informed.
-    pub fn abort(&self, txn: TxnId) {
-        if self.inner.active.borrow_mut().remove(&txn).is_none() {
-            return;
-        }
-        self.inner.aborted.inc();
-        let tm = Rc::clone(&self.inner.tm);
-        self.inner
-            .net
-            .send(self.inner.node, tm.node(), 48, move || {
-                tm.handle_abort(txn);
-            });
+        run_attempt(
+            Rc::clone(&self.inner),
+            policy,
+            Rc::new(body),
+            0,
+            Box::new(done),
+        );
     }
 
     /// Clean shutdown (Algorithm 1 "On shutdown"): waits until every
     /// tracked commit has flushed, sends a final pre-shutdown heartbeat,
     /// removes the threshold znode and closes the session — so the
     /// recovery manager unregisters this client without running recovery.
+    /// Transactions already begun may still finish; new
+    /// [`TransactionalClient::begin`]s report [`TxnError::ClientClosed`].
     pub fn shutdown(&self) {
         self.inner.closed.set(true);
         try_finish_shutdown(Rc::clone(&self.inner));
@@ -536,9 +823,83 @@ impl TransactionalClient {
         self.inner.alerts.get()
     }
 
+    /// Conflicted attempts re-executed by [`TransactionalClient::run`].
+    pub fn conflict_retry_count(&self) -> u64 {
+        self.inner.conflict_retries.get()
+    }
+
     /// Commits whose flush is still outstanding.
     pub fn pending_flushes(&self) -> usize {
         self.inner.tracker.borrow().pending()
+    }
+
+    /// The underlying store client (round-trip counters and region-map
+    /// helpers for benchmarks and tests; transactional reads/writes must
+    /// go through [`Transaction`]).
+    pub fn store_client(&self) -> &StoreClient {
+        &self.inner.store
+    }
+}
+
+type RunBody = Rc<dyn Fn(Transaction, RunFinish)>;
+type RunDone = Box<dyn FnOnce(Result<Timestamp, TxnError>)>;
+
+fn run_attempt(
+    inner: Rc<TcInner>,
+    policy: RetryPolicy,
+    body: RunBody,
+    attempt: u32,
+    done: RunDone,
+) {
+    let client = TransactionalClient {
+        inner: Rc::clone(&inner),
+    };
+    client.begin(move |res| {
+        let txn = match res {
+            Ok(txn) => txn,
+            Err(e) => {
+                done(Err(e));
+                return;
+            }
+        };
+        let txn2 = txn.clone();
+        let body2 = Rc::clone(&body);
+        (body)(
+            txn,
+            Box::new(move |r| match r {
+                Ok(()) => {
+                    let txn3 = txn2.clone();
+                    txn2.commit(move |outcome| {
+                        settle_attempt(outcome, txn3.inner.clone(), policy, body2, attempt, done);
+                    });
+                }
+                Err(e) => {
+                    txn2.abort();
+                    settle_attempt(Err(e), txn2.inner.clone(), policy, body2, attempt, done);
+                }
+            }),
+        );
+    });
+}
+
+fn settle_attempt(
+    outcome: Result<Timestamp, TxnError>,
+    inner: Rc<TcInner>,
+    policy: RetryPolicy,
+    body: RunBody,
+    attempt: u32,
+    done: RunDone,
+) {
+    match outcome {
+        Err(TxnError::Conflict) if attempt + 1 < policy.max_attempts => {
+            inner.conflict_retries.inc();
+            let wait = policy.backoff_for(attempt);
+            let sim = inner.sim.clone();
+            sim.schedule_in(wait, move || {
+                run_attempt(inner, policy, body, attempt + 1, done);
+            });
+        }
+        other => done(other),
     }
 }
 

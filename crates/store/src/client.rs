@@ -4,9 +4,10 @@
 //! The paper removes the client's retry and timeout limits so that an
 //! interrupted flush keeps retrying until the affected region comes back
 //! online (§3.2): "we work around this by removing the retry and timeout
-//! limits so that the client keeps retrying until it succeeds." Both
-//! [`StoreClient::get`] and [`StoreClient::multi_put`] therefore retry
-//! forever; their callbacks fire exactly once, on success.
+//! limits so that the client keeps retrying until it succeeds."
+//! [`StoreClient::get`], [`StoreClient::multi_get`] and
+//! [`StoreClient::multi_put`] therefore retry forever; their callbacks
+//! fire exactly once, on success.
 
 use crate::master::{Master, ServerDirectory};
 use crate::memstore::VersionedValue;
@@ -54,6 +55,8 @@ struct Inner {
     retries: Counter,
     gets_ok: Counter,
     puts_ok: Counter,
+    multi_get_rpcs: Counter,
+    multi_gets_ok: Counter,
 }
 
 /// A client-side handle to the distributed store. Cheap to clone.
@@ -95,6 +98,8 @@ impl StoreClient {
                 retries: Counter::new(),
                 gets_ok: Counter::new(),
                 puts_ok: Counter::new(),
+                multi_get_rpcs: Counter::new(),
+                multi_gets_ok: Counter::new(),
             }),
         }
     }
@@ -147,6 +152,54 @@ impl StoreClient {
             0,
             Box::new(done),
         );
+    }
+
+    /// Batched point read: fetches the newest version of every
+    /// `(row, column)` in `cells` visible at `snapshot`, issuing **one
+    /// RPC per region** (cells are grouped by the cached region map,
+    /// mirroring [`StoreClient::group_write_set`] on the write path).
+    /// Results are returned in input order; each entry is exactly what
+    /// [`StoreClient::get`] would have returned for that cell. Groups
+    /// retry independently (with location refresh and re-grouping after
+    /// an online split) until every cell is served; `done` fires exactly
+    /// once, on success of the whole batch.
+    pub fn multi_get(
+        &self,
+        cells: Vec<(Bytes, Bytes)>,
+        snapshot: Timestamp,
+        done: impl FnOnce(Vec<Option<VersionedValue>>) + 'static,
+    ) {
+        let n = cells.len();
+        if n == 0 {
+            let sim = self.inner.sim.clone();
+            sim.schedule_in(SimDuration::ZERO, move || done(Vec::new()));
+            return;
+        }
+        let ctx = Rc::new(MultiGetCtx {
+            results: RefCell::new(vec![None; n]),
+            remaining: Cell::new(n),
+            done: RefCell::new(Some(Box::new(done))),
+        });
+        let groups: BTreeMap<RegionId, Vec<(usize, Bytes, Bytes)>> = {
+            let map = self.inner.map.borrow();
+            let mut g: BTreeMap<RegionId, Vec<(usize, Bytes, Bytes)>> = BTreeMap::new();
+            for (i, (row, column)) in cells.into_iter().enumerate() {
+                g.entry(map.region_for(&row))
+                    .or_default()
+                    .push((i, row, column));
+            }
+            g
+        };
+        for (region, group) in groups {
+            multi_get_attempt(
+                Rc::clone(&self.inner),
+                region,
+                group,
+                snapshot,
+                0,
+                Rc::clone(&ctx),
+            );
+        }
     }
 
     /// Scans `[start, end)` at `snapshot` within the region containing
@@ -206,6 +259,19 @@ impl StoreClient {
     /// Successful gets.
     pub fn gets_ok(&self) -> u64 {
         self.inner.gets_ok.get()
+    }
+
+    /// Batched-read RPCs issued to region servers (one per region per
+    /// [`StoreClient::multi_get`] in the failure-free case; retries and
+    /// post-split re-groups add more). The acceptance counter for "N
+    /// cells spanning R regions cost exactly R round trips".
+    pub fn multi_get_rpcs(&self) -> u64 {
+        self.inner.multi_get_rpcs.get()
+    }
+
+    /// Per-region batched-read RPCs answered successfully.
+    pub fn multi_gets_ok(&self) -> u64 {
+        self.inner.multi_gets_ok.get()
     }
 
     /// Acknowledged multi-puts.
@@ -489,6 +555,164 @@ fn put_attempt(
             )
         });
     });
+}
+
+/// Shared completion state of one [`StoreClient::multi_get`]: per-region
+/// groups fill `results` independently; the last cell served fires
+/// `done`.
+struct MultiGetCtx {
+    results: RefCell<Vec<Option<VersionedValue>>>,
+    remaining: Cell<usize>,
+    done: RefCell<Option<Box<dyn FnOnce(Vec<Option<VersionedValue>>)>>>,
+}
+
+fn multi_get_attempt(
+    inner: Rc<Inner>,
+    region: RegionId,
+    group: Vec<(usize, Bytes, Bytes)>,
+    snapshot: Timestamp,
+    attempt: u32,
+    ctx: Rc<MultiGetCtx>,
+) {
+    if !inner.net.is_alive(inner.from) {
+        return; // the client process is dead; drop the retry chain
+    }
+    // The addressed region id may have been split away since the batch
+    // was grouped: re-group this group's cells by the current boundaries
+    // and fan out to the daughters (same self-healing as `put_attempt`).
+    let must_regroup = {
+        let map = inner.map.borrow();
+        !map.regions().is_empty() && map.descriptor(region).is_none()
+    };
+    if must_regroup {
+        let groups: BTreeMap<RegionId, Vec<(usize, Bytes, Bytes)>> = {
+            let map = inner.map.borrow();
+            let mut g: BTreeMap<RegionId, Vec<(usize, Bytes, Bytes)>> = BTreeMap::new();
+            for (i, row, column) in group {
+                g.entry(map.region_for(&row))
+                    .or_default()
+                    .push((i, row, column));
+            }
+            g
+        };
+        for (sub_region, sub) in groups {
+            multi_get_attempt(
+                Rc::clone(&inner),
+                sub_region,
+                sub,
+                snapshot,
+                attempt,
+                Rc::clone(&ctx),
+            );
+        }
+        return;
+    }
+    let server = inner
+        .map
+        .borrow()
+        .server_for(region)
+        .and_then(|s| inner.dir.get(s));
+    let Some(server) = server else {
+        refresh_map(&inner);
+        let wait = backoff(&inner, attempt);
+        let inner2 = Rc::clone(&inner);
+        inner.retries.inc();
+        inner.sim.schedule_in(wait, move || {
+            multi_get_attempt(inner2, region, group, snapshot, attempt + 1, ctx)
+        });
+        return;
+    };
+    let settled = Rc::new(Cell::new(false));
+    let server_node = server.node();
+    let from = inner.from;
+    let net_back = Rc::clone(&inner.net);
+    let size = 64
+        + group
+            .iter()
+            .map(|(_, r, c)| 8 + r.len() + c.len())
+            .sum::<usize>();
+    inner.multi_get_rpcs.inc();
+    {
+        let inner = Rc::clone(&inner);
+        let settled = Rc::clone(&settled);
+        let ctx = Rc::clone(&ctx);
+        let group2 = group.clone();
+        inner.net.clone().send(from, server_node, size, move || {
+            let net_back = Rc::clone(&net_back);
+            let server2 = Rc::clone(&server);
+            let cells: Vec<(Bytes, Bytes)> = group2
+                .iter()
+                .map(|(_, r, c)| (r.clone(), c.clone()))
+                .collect();
+            let group3 = group2.clone();
+            server2.handle_multi_get(region, cells, snapshot, move |result| {
+                let size = 48 + result.as_ref().map(|v| v.len() * 64).unwrap_or(0);
+                net_back.send(server_node, from, size, move || {
+                    if settled.get() {
+                        return;
+                    }
+                    settled.set(true);
+                    match result {
+                        Ok(values) => {
+                            inner.multi_gets_ok.inc();
+                            complete_multi_get_group(&ctx, &group3, values);
+                        }
+                        Err(_) => {
+                            inner.retries.inc();
+                            refresh_map(&inner);
+                            let wait = backoff(&inner, attempt);
+                            let inner2 = Rc::clone(&inner);
+                            inner.sim.schedule_in(wait, move || {
+                                multi_get_attempt(
+                                    inner2,
+                                    region,
+                                    group3,
+                                    snapshot,
+                                    attempt + 1,
+                                    ctx,
+                                )
+                            });
+                        }
+                    }
+                });
+            });
+        });
+    }
+    let inner2 = Rc::clone(&inner);
+    inner.sim.schedule_in(inner.cfg.request_timeout, move || {
+        if settled.get() {
+            return;
+        }
+        settled.set(true);
+        inner2.retries.inc();
+        refresh_map(&inner2);
+        let wait = backoff(&inner2, attempt);
+        let inner3 = Rc::clone(&inner2);
+        inner2.sim.schedule_in(wait, move || {
+            multi_get_attempt(inner3, region, group, snapshot, attempt + 1, ctx)
+        });
+    });
+}
+
+/// Writes one served group's values into the batch result (input order)
+/// and fires the batch completion when the last cell lands.
+fn complete_multi_get_group(
+    ctx: &Rc<MultiGetCtx>,
+    group: &[(usize, Bytes, Bytes)],
+    values: Vec<Option<VersionedValue>>,
+) {
+    debug_assert_eq!(group.len(), values.len());
+    {
+        let mut results = ctx.results.borrow_mut();
+        for ((i, _, _), vv) in group.iter().zip(values) {
+            results[*i] = vv;
+        }
+    }
+    ctx.remaining.set(ctx.remaining.get() - group.len());
+    if ctx.remaining.get() == 0 {
+        let done = ctx.done.borrow_mut().take().expect("single completion");
+        done(std::mem::take(&mut *ctx.results.borrow_mut()));
+    }
 }
 
 #[allow(clippy::too_many_arguments)]

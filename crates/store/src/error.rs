@@ -17,7 +17,9 @@ pub enum StoreError {
     /// *different* hosted region covers the request's rows — the region
     /// map changed under the client (an online split). The client must
     /// refresh its map and re-group the request by the new boundaries;
-    /// retrying with the same region id can never succeed.
+    /// retrying with the same region id can never succeed. Both
+    /// region-addressed batch paths (`multi_put` flushes and `multi_get`
+    /// batched reads) self-heal this way.
     WrongRegion(RegionId),
     /// Data could not be served because no live filesystem replica holds
     /// the needed store file.

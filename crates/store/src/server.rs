@@ -332,6 +332,7 @@ pub struct RegionServer {
     timers: RefCell<Vec<TimerHandle>>,
     storefile_counter: Cell<u64>,
     gets: Cell<u64>,
+    multi_gets: Cell<u64>,
     puts: Cell<u64>,
     not_serving: Cell<u64>,
     compaction_stats: CompactionStats,
@@ -418,6 +419,7 @@ impl RegionServer {
             timers: RefCell::new(Vec::new()),
             storefile_counter: Cell::new(0),
             gets: Cell::new(0),
+            multi_gets: Cell::new(0),
             puts: Cell::new(0),
             not_serving: Cell::new(0),
             compaction_stats: CompactionStats::default(),
@@ -698,9 +700,16 @@ impl RegionServer {
         self.cache.borrow().hit_rate()
     }
 
-    /// Number of gets served.
+    /// Number of gets served (batched reads count one per cell, so the
+    /// per-get filter statistics stay comparable across both paths).
     pub fn gets_served(&self) -> u64 {
         self.gets.get()
+    }
+
+    /// Number of batched-read requests ([`RegionServer::handle_multi_get`]
+    /// messages) served.
+    pub fn multi_gets_served(&self) -> u64 {
+        self.multi_gets.get()
     }
 
     /// Number of write batches applied.
@@ -906,6 +915,126 @@ impl RegionServer {
             consider(&mut best, sf);
         }
         Ok(best)
+    }
+
+    /// Serves a batch of point reads for one region in a single message
+    /// round trip (the batched half of the client's `multi_get`).
+    ///
+    /// The whole batch occupies one handler slot for the *sum* of its
+    /// per-cell service: each cell charges the same read service, range
+    /// pruning (free), bloom probes (`filter_probe_service` each) and
+    /// per-consulted-file `storefile_read_service` amplification it
+    /// would have paid as a lone [`RegionServer::handle_get`] — the
+    /// saving is round trips and per-request base cost, not a discount
+    /// on the read work itself. Per-cell [`FilterStats`] accounting is
+    /// identical to the single-get path.
+    ///
+    /// Addressing is by region id (like [`RegionServer::handle_multi_put`]):
+    /// region ids are never reused, so every row grouped under `region`
+    /// by any map epoch lies inside its descriptor. A batch for a
+    /// split-away id gets [`StoreError::WrongRegion`] when another hosted
+    /// region covers its rows, so the client re-groups by its refreshed
+    /// map and retries.
+    pub fn handle_multi_get(
+        self: &Rc<Self>,
+        region: RegionId,
+        cells: Vec<(Bytes, Bytes)>,
+        snapshot: Timestamp,
+        reply: impl FnOnce(Result<Vec<Option<VersionedValue>>, StoreError>) + 'static,
+    ) {
+        if !self.alive.get() {
+            return;
+        }
+        {
+            let regions = self.regions.borrow();
+            match regions.get(&region) {
+                None => {
+                    self.not_serving.set(self.not_serving.get() + 1);
+                    let covered = cells
+                        .first()
+                        .map(|(row, _)| regions.values().any(|st| st.desc.contains(row)))
+                        .unwrap_or(false);
+                    reply(Err(if covered {
+                        StoreError::WrongRegion(region)
+                    } else {
+                        StoreError::NotServing(region)
+                    }));
+                    return;
+                }
+                Some(st) if !st.online => {
+                    self.not_serving.set(self.not_serving.get() + 1);
+                    reply(Err(StoreError::NotServing(region)));
+                    return;
+                }
+                Some(_) => {}
+            }
+        }
+        // Per-cell consulted-file plan and cache hit/miss, decided up
+        // front exactly like `handle_get`; the batch's handler occupancy
+        // is the sum of its cells'.
+        let mut service = self.cfg.base_service;
+        let mut misses: Vec<Bytes> = Vec::new();
+        {
+            let regions = self.regions.borrow();
+            let st = &regions[&region];
+            let bloom = self.bloom_enabled.get();
+            let mut cache = self.cache.borrow_mut();
+            for (row, column) in &cells {
+                let mut probes = 0u64;
+                let mut consulted = 0usize;
+                for sf in st.flushing.iter().chain(st.storefiles.iter()) {
+                    if !sf.row_in_range(row) {
+                        continue;
+                    }
+                    if bloom {
+                        probes += 1;
+                        if !sf.filter_may_contain(row, column) {
+                            continue;
+                        }
+                    }
+                    consulted += 1;
+                }
+                // A row already planned as a miss earlier in this batch
+                // is fetched once for the whole batch: later cells on it
+                // ride the same block, like sequential gets would hit
+                // the cache the first miss populated.
+                let hit = st.memstore.get(row, column, snapshot).is_some()
+                    || misses.contains(row)
+                    || cache.access(region, row);
+                service += self.cfg.read_service
+                    + self.cfg.storefile_read_service * consulted.saturating_sub(1) as u64
+                    + self.cfg.filter_probe_service * probes;
+                if !hit {
+                    service += self.cfg.block_fetch_penalty;
+                    misses.push(row.clone());
+                }
+            }
+        }
+        self.charge_region_load(region, service);
+        let this = Rc::clone(self);
+        self.handlers.submit(service, move || {
+            if !this.alive.get() {
+                return;
+            }
+            let mut out: Vec<Option<VersionedValue>> = Vec::with_capacity(cells.len());
+            for (row, column) in &cells {
+                match this.lookup(region, row, column, snapshot) {
+                    Ok(v) => out.push(v),
+                    Err(e) => {
+                        // A partially readable stack fails the whole
+                        // batch (same retry the lone get would take).
+                        reply(Err(e));
+                        return;
+                    }
+                }
+            }
+            for row in misses {
+                this.cache.borrow_mut().insert(region, row);
+            }
+            this.gets.set(this.gets.get() + cells.len() as u64);
+            this.multi_gets.set(this.multi_gets.get() + 1);
+            reply(Ok(out));
+        });
     }
 
     /// Applies one transaction's mutations for one region (the flush of a

@@ -3,10 +3,10 @@
 
 use crate::generators::{HotSpot, ScrambledZipfian, Uniform};
 use crate::workload::{KeyDistribution, Workload};
-use cumulo_core::{Cluster, CommitResult, TransactionalClient};
+use bytes::Bytes;
+use cumulo_core::{Cluster, Timestamp, Transaction, TransactionalClient, TxnError};
 use cumulo_sim::metrics::{Counter, Histogram, TimeSeries, Window};
 use cumulo_sim::{Sim, SimDuration, SimTime};
-use cumulo_txn::TxnId;
 use std::cell::Cell;
 use std::fmt;
 use std::rc::Rc;
@@ -225,27 +225,19 @@ fn start_txn(inner: Rc<DriverInner>, thread: usize, arrival: SimTime, interval_n
     }
     let started = inner.sim.now();
     let inner2 = Rc::clone(&inner);
-    let client2 = client.clone();
     inner.in_flight.inc();
     client.begin(move |txn| {
-        run_op(
-            inner2,
-            client2,
-            txn,
-            0,
-            started,
-            thread,
-            arrival,
-            interval_ns,
-        );
+        // A client that closed or died between the liveness check and
+        // the begin ack simply retires this thread (as a crash does).
+        let Ok(txn) = txn else { return };
+        run_op(inner2, txn, 0, started, thread, arrival, interval_ns);
     });
 }
 
 #[allow(clippy::too_many_arguments)]
 fn run_op(
     inner: Rc<DriverInner>,
-    client: TransactionalClient,
-    txn: TxnId,
+    txn: Transaction,
     op: usize,
     started: SimTime,
     thread: usize,
@@ -254,13 +246,20 @@ fn run_op(
 ) {
     if op >= inner.workload.ops_per_txn {
         let inner2 = Rc::clone(&inner);
-        client.commit(txn, move |result| {
+        txn.commit(move |result| {
             finish_txn(inner2, result, started, thread, arrival, interval_ns);
         });
         return;
     }
-    // The scan draw only happens when scans are configured, so workloads
-    // without them replay byte-identically against pre-existing seeds.
+    // The batched and scan draws only happen when those ops are
+    // configured, so workloads without them replay byte-identically
+    // against pre-existing seeds.
+    let is_mget = inner.workload.multi_get_ratio > 0.0
+        && inner.sim.gen_f64() < inner.workload.multi_get_ratio;
+    if is_mget {
+        run_multi_get_op(inner, txn, op, started, thread, arrival, interval_ns);
+        return;
+    }
     let is_scan =
         inner.workload.scan_ratio > 0.0 && inner.sim.gen_f64() < inner.workload.scan_ratio;
     if is_scan {
@@ -273,25 +272,17 @@ fn run_op(
                 .min(inner.workload.record_count),
         );
         let inner2 = Rc::clone(&inner);
-        let client2 = client.clone();
-        client.scan(
-            txn,
-            start,
-            Some(bytes::Bytes::from(end)),
-            len as usize,
-            move |_| {
-                run_op(
-                    inner2,
-                    client2,
-                    txn,
-                    op + 1,
-                    started,
-                    thread,
-                    arrival,
-                    interval_ns,
-                );
-            },
-        );
+        let txn2 = txn.clone();
+        txn.scan(start, Some(Bytes::from(end)), len as usize, move |r| {
+            // A dead/finished transaction retires the thread (the next
+            // arrival is scheduled by finish_txn only after a commit
+            // outcome; a crashed client's thread simply ends, as it did
+            // when its callbacks were dropped with the process).
+            if r.is_err() {
+                return;
+            }
+            run_op(inner2, txn2, op + 1, started, thread, arrival, interval_ns);
+        });
         return;
     }
     let key = inner.workload.key(pick_key(&inner));
@@ -300,54 +291,80 @@ fn run_op(
     let is_read = inner.sim.gen_f64() < inner.workload.read_ratio;
     if is_read {
         let inner2 = Rc::clone(&inner);
-        let client2 = client.clone();
-        client.get(txn, key, field, move |_| {
-            run_op(
-                inner2,
-                client2,
-                txn,
-                op + 1,
-                started,
-                thread,
-                arrival,
-                interval_ns,
-            );
+        let txn2 = txn.clone();
+        txn.get(key, field, move |r| {
+            if r.is_err() {
+                return;
+            }
+            run_op(inner2, txn2, op + 1, started, thread, arrival, interval_ns);
         });
     } else if inner.sim.gen_f64() < inner.workload.rmw_ratio {
         // Read-modify-write (YCSB-F): read the cell, write a derived value.
         let inner2 = Rc::clone(&inner);
-        let client2 = client.clone();
+        let txn2 = txn.clone();
         let key2 = key.clone();
         let field2 = field.clone();
-        client.get(txn, key, field, move |old| {
-            let mut value: Vec<u8> = vec![0x62; inner2.workload.field_len];
-            if let Some(old) = old {
-                let n = old.len().min(value.len());
-                value[..n].copy_from_slice(&old[..n]);
-                if let Some(b) = value.first_mut() {
-                    *b = b.wrapping_add(1);
-                }
+        txn.get(key, field, move |old| {
+            let Ok(old) = old else { return };
+            let value = derived_value(inner2.workload.field_len, old.as_deref());
+            if txn2.put(key2, field2, value).is_err() {
+                return;
             }
-            client2.put(txn, key2, field2, value);
-            run_op(
-                inner2,
-                client2,
-                txn,
-                op + 1,
-                started,
-                thread,
-                arrival,
-                interval_ns,
-            );
+            run_op(inner2, txn2, op + 1, started, thread, arrival, interval_ns);
         });
     } else {
         let value: Vec<u8> = vec![0x62; inner.workload.field_len];
-        client.put(txn, key, field, value);
-        run_op(
+        if txn.put(key, field, value).is_err() {
+            return;
+        }
+        run_op(inner, txn, op + 1, started, thread, arrival, interval_ns);
+    }
+}
+
+/// The batched read-modify-write op: `multi_get_batch` cells are drawn
+/// up front, read in one `multi_get` (or as sequential `get`s when
+/// `multi_get_batched` is off — same draws, so the A/B comparison runs
+/// identical logical transactions), and each is rewritten with a value
+/// derived from what was read.
+#[allow(clippy::too_many_arguments)]
+fn run_multi_get_op(
+    inner: Rc<DriverInner>,
+    txn: Transaction,
+    op: usize,
+    started: SimTime,
+    thread: usize,
+    arrival: SimTime,
+    interval_ns: Option<u64>,
+) {
+    let batch = inner.workload.multi_get_batch.max(1);
+    let mut cells: Vec<(Bytes, Bytes)> = Vec::with_capacity(batch);
+    for _ in 0..batch {
+        let key = inner.workload.key(pick_key(&inner));
+        let field_idx = inner.sim.gen_range(0, inner.workload.fields.len() as u64) as usize;
+        let field = inner.workload.fields[field_idx].clone();
+        cells.push((Bytes::from(key), Bytes::from(field)));
+    }
+    if inner.workload.multi_get_batched {
+        let inner2 = Rc::clone(&inner);
+        let txn2 = txn.clone();
+        let cells2 = cells.clone();
+        txn.multi_get(cells, move |values| {
+            let Ok(values) = values else { return };
+            for ((row, column), old) in cells2.into_iter().zip(values) {
+                let value = derived_value(inner2.workload.field_len, old.as_deref());
+                if txn2.put(row, column, value).is_err() {
+                    return;
+                }
+            }
+            run_op(inner2, txn2, op + 1, started, thread, arrival, interval_ns);
+        });
+    } else {
+        collect_sequential(
             inner,
-            client,
             txn,
-            op + 1,
+            cells,
+            Vec::new(),
+            op,
             started,
             thread,
             arrival,
@@ -356,24 +373,92 @@ fn run_op(
     }
 }
 
-fn finish_txn(
+/// The unbatched control: reads the batch's cells one `get` (one store
+/// round trip) at a time, then applies the same derived writes.
+#[allow(clippy::too_many_arguments)]
+fn collect_sequential(
     inner: Rc<DriverInner>,
-    result: CommitResult,
+    txn: Transaction,
+    mut cells: Vec<(Bytes, Bytes)>,
+    mut read: Vec<(Bytes, Bytes, Option<Bytes>)>,
+    op: usize,
     started: SimTime,
     thread: usize,
     arrival: SimTime,
     interval_ns: Option<u64>,
 ) {
+    if read.len() == cells.len() {
+        for (row, column, old) in read {
+            let value = derived_value(inner.workload.field_len, old.as_deref());
+            if txn.put(row, column, value).is_err() {
+                return;
+            }
+        }
+        run_op(inner, txn, op + 1, started, thread, arrival, interval_ns);
+        return;
+    }
+    let (row, column) = cells[read.len()].clone();
+    let txn2 = txn.clone();
+    let (row2, column2) = (row.clone(), column.clone());
+    txn.get(row, column, move |old| {
+        let Ok(old) = old else { return };
+        read.push((row2, column2, old));
+        collect_sequential(
+            inner,
+            txn2,
+            std::mem::take(&mut cells),
+            read,
+            op,
+            started,
+            thread,
+            arrival,
+            interval_ns,
+        );
+    });
+}
+
+/// The read-modify-write derived value: the old bytes (if any) with the
+/// first byte bumped, padded/truncated to `field_len`.
+fn derived_value(field_len: usize, old: Option<&[u8]>) -> Vec<u8> {
+    let mut value: Vec<u8> = vec![0x62; field_len];
+    if let Some(old) = old {
+        let n = old.len().min(value.len());
+        value[..n].copy_from_slice(&old[..n]);
+        if let Some(b) = value.first_mut() {
+            *b = b.wrapping_add(1);
+        }
+    }
+    value
+}
+
+fn finish_txn(
+    inner: Rc<DriverInner>,
+    result: Result<Timestamp, TxnError>,
+    started: SimTime,
+    thread: usize,
+    arrival: SimTime,
+    interval_ns: Option<u64>,
+) {
+    // A dead or closed client retires the thread without touching the
+    // stats: a crash-killed transaction is not a workload abort (pre-
+    // handle-API behavior, where the commit callback died with the
+    // process).
+    if matches!(
+        result,
+        Err(TxnError::ClientDead) | Err(TxnError::ClientClosed)
+    ) {
+        return;
+    }
     let now = inner.sim.now();
     if now >= inner.measure_from.get() && now < inner.stop_at.get() {
         match result {
-            CommitResult::Committed(_) => {
+            Ok(_) => {
                 let rt = (now - started).nanos();
                 inner.stats.committed.inc();
                 inner.stats.response_ns.record(rt);
                 inner.stats.series.record(now, rt);
             }
-            CommitResult::Aborted => inner.stats.aborted.inc(),
+            Err(_) => inner.stats.aborted.inc(),
         }
     }
     // Next arrival: rate-limited threads follow their schedule without

@@ -7,9 +7,8 @@
 //!
 //! Run: `cargo run --release --example bank_transfer`
 
-use cumulo_core::{Cluster, ClusterConfig, CommitResult, TransactionalClient};
+use cumulo_core::{Cluster, ClusterConfig, RetryPolicy, TransactionalClient};
 use cumulo_sim::SimDuration;
-use cumulo_txn::TxnId;
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
@@ -25,38 +24,45 @@ fn parse_balance(v: Option<bytes::Bytes>) -> i64 {
         .unwrap_or(INITIAL)
 }
 
-/// One transfer: read both balances, move a random amount, commit.
+/// One transfer: read both balances, move a random amount, commit —
+/// retried in a fresh transaction on write-write conflict via the
+/// `run` combinator (each attempt re-reads the balances, so the money
+/// arithmetic is always against a current snapshot).
 fn transfer(cluster: &Cluster, client: TransactionalClient, done: Rc<Cell<u32>>) {
     let sim = cluster.sim.clone();
     let from = sim.gen_range(0, ACCOUNTS);
     let to = (from + 1 + sim.gen_range(0, ACCOUNTS - 1)) % ACCOUNTS;
     let amount = sim.gen_range(1, 50) as i64;
-    let c = client.clone();
-    client.begin(move |txn: TxnId| {
-        let c2 = c.clone();
-        let done2 = done.clone();
-        c.get(txn, account(from), "balance", move |v_from| {
-            let bal_from = parse_balance(v_from);
-            let c3 = c2.clone();
-            let done3 = done2.clone();
-            c2.get(txn, account(to), "balance", move |v_to| {
-                let bal_to = parse_balance(v_to);
-                c3.put(
-                    txn,
-                    account(from),
-                    "balance",
-                    (bal_from - amount).to_string(),
-                );
-                c3.put(txn, account(to), "balance", (bal_to + amount).to_string());
-                let done4 = done3.clone();
-                c3.commit(txn, move |r| {
-                    if matches!(r, CommitResult::Committed(_)) {
-                        done4.set(done4.get() + 1);
-                    }
+    client.run(
+        RetryPolicy::default(),
+        move |txn, finish| {
+            let txn2 = txn.clone();
+            txn.get(account(from), "balance", move |v_from| {
+                let bal_from = match v_from {
+                    Ok(v) => parse_balance(v),
+                    Err(e) => return finish(Err(e)),
+                };
+                let txn3 = txn2.clone();
+                txn2.get(account(to), "balance", move |v_to| {
+                    let bal_to = match v_to {
+                        Ok(v) => parse_balance(v),
+                        Err(e) => return finish(Err(e)),
+                    };
+                    let wrote = txn3
+                        .put(account(from), "balance", (bal_from - amount).to_string())
+                        .and_then(|()| {
+                            txn3.put(account(to), "balance", (bal_to + amount).to_string())
+                        });
+                    finish(wrote);
                 });
             });
-        });
-    });
+        },
+        move |r| {
+            if r.is_ok() {
+                done.set(done.get() + 1);
+            }
+        },
+    );
 }
 
 fn main() {

@@ -4,7 +4,7 @@
 //!
 //! Run: `cargo run --release --example failure_drill`
 
-use cumulo_core::{Cluster, ClusterConfig, CommitResult};
+use cumulo_core::{Cluster, ClusterConfig, Timestamp, TxnError};
 use cumulo_sim::SimDuration;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -15,13 +15,13 @@ fn key(i: u64) -> String {
 
 fn commit_row(cluster: &Cluster, client_idx: usize, row: u64, val: &str) {
     let client = cluster.client(client_idx).clone();
-    let c = client.clone();
     let val = val.to_string();
-    let ok: Rc<RefCell<Option<CommitResult>>> = Rc::new(RefCell::new(None));
+    let ok: Rc<RefCell<Option<Result<Timestamp, TxnError>>>> = Rc::new(RefCell::new(None));
     let o = ok.clone();
     client.begin(move |txn| {
-        c.put(txn, key(row), "f0", val.clone());
-        c.commit(txn, move |r| *o.borrow_mut() = Some(r));
+        let txn = txn.expect("client is live");
+        txn.put(key(row), "f0", val.clone()).unwrap();
+        txn.commit(move |r| *o.borrow_mut() = Some(r));
     });
     while ok.borrow().is_none() {
         cluster.run_for(SimDuration::from_millis(10));

@@ -3,7 +3,7 @@
 //!
 //! Run: `cargo run --release --example quickstart`
 
-use cumulo_core::{Cluster, ClusterConfig, CommitResult};
+use cumulo_core::{Cluster, ClusterConfig, Timestamp, TxnError};
 use cumulo_sim::SimDuration;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -20,17 +20,17 @@ fn main() {
 
     // One transaction, two rows on (likely) different servers.
     let client = cluster.client(0).clone();
-    let outcome: Rc<RefCell<Option<CommitResult>>> = Rc::new(RefCell::new(None));
+    let outcome: Rc<RefCell<Option<Result<Timestamp, TxnError>>>> = Rc::new(RefCell::new(None));
     let o = outcome.clone();
-    let c = client.clone();
     client.begin(move |txn| {
-        c.put(txn, "user000000000042", "f0", "hello");
-        c.put(txn, "user000000007500", "f0", "world");
-        c.commit(txn, move |r| *o.borrow_mut() = Some(r));
+        let txn = txn.expect("client is live");
+        txn.put("user000000000042", "f0", "hello").unwrap();
+        txn.put("user000000007500", "f0", "world").unwrap();
+        txn.commit(move |r| *o.borrow_mut() = Some(r));
     });
     cluster.run_for(SimDuration::from_secs(1));
     match outcome.borrow().as_ref() {
-        Some(CommitResult::Committed(ts)) => println!("committed at timestamp {ts}"),
+        Some(Ok(ts)) => println!("committed at timestamp {ts}"),
         other => panic!("commit failed: {other:?}"),
     }
 

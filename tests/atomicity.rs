@@ -2,9 +2,8 @@
 //! spanning regions and servers must be all-or-nothing in every snapshot
 //! a reader can observe — through crashes, recoveries and replays.
 
-use cumulo_core::{Cluster, ClusterConfig, CommitResult, TransactionalClient};
+use cumulo_core::{Cluster, ClusterConfig, TransactionalClient};
 use cumulo_sim::SimDuration;
-use cumulo_txn::TxnId;
 use std::cell::Cell;
 use std::rc::Rc;
 
@@ -25,21 +24,23 @@ fn transfer(cluster: &Cluster, client: TransactionalClient, committed: Rc<Cell<u
     let from = sim.gen_range(0, ACCOUNTS);
     let to = (from + 1 + sim.gen_range(0, ACCOUNTS - 1)) % ACCOUNTS;
     let amount = sim.gen_range(1, 20) as i64;
-    let c = client.clone();
-    client.begin(move |txn: TxnId| {
-        let c2 = c.clone();
+    client.begin(move |txn| {
+        let Ok(txn) = txn else { return };
         let committed2 = committed.clone();
-        c.get(txn, account(from), "bal", move |vf| {
+        let txn2 = txn.clone();
+        txn.get(account(from), "bal", move |vf| {
+            let Ok(vf) = vf else { return };
             let bf = parse(vf);
-            let c3 = c2.clone();
             let committed3 = committed2.clone();
-            c2.get(txn, account(to), "bal", move |vt| {
+            let txn3 = txn2.clone();
+            txn2.get(account(to), "bal", move |vt| {
+                let Ok(vt) = vt else { return };
                 let bt = parse(vt);
-                c3.put(txn, account(from), "bal", (bf - amount).to_string());
-                c3.put(txn, account(to), "bal", (bt + amount).to_string());
+                let _ = txn3.put(account(from), "bal", (bf - amount).to_string());
+                let _ = txn3.put(account(to), "bal", (bt + amount).to_string());
                 let committed4 = committed3.clone();
-                c3.commit(txn, move |r| {
-                    if matches!(r, CommitResult::Committed(_)) {
+                txn3.commit(move |r| {
+                    if r.is_ok() {
                         committed4.set(committed4.get() + 1);
                     }
                 });
@@ -148,26 +149,19 @@ fn readers_never_observe_partial_write_sets() {
     // Writer: repeatedly writes (a, b) with matching values v, v.
     let writer = cluster.client(0).clone();
     let gen = Rc::new(Cell::new(0u64));
-    fn write_pair(cluster: &Cluster, writer: TransactionalClient, gen: Rc<Cell<u64>>) {
+    fn write_pair(writer: TransactionalClient, gen: Rc<Cell<u64>>) {
         if !writer.is_alive() {
             return;
         }
         let v = gen.get() + 1;
         gen.set(v);
-        let w = writer.clone();
-        let sim = cluster.sim.clone();
-        let cluster_tick = move |w2: TransactionalClient, g2: Rc<Cell<u64>>| (w2, g2);
-        let (w_next, g_next) = cluster_tick(writer.clone(), gen.clone());
         writer.begin(move |txn| {
+            let Ok(txn) = txn else { return };
             // Rows in different regions (12 and 800 of 1000 split 4 ways).
-            w.put(txn, "user000000000012", "pair", v.to_string());
-            w.put(txn, "user000000000800", "pair", v.to_string());
-            w.commit(txn, move |_| {
-                let _ = (&w_next, &g_next);
-            });
+            let _ = txn.put("user000000000012", "pair", v.to_string());
+            let _ = txn.put("user000000000800", "pair", v.to_string());
+            txn.commit(|_| {});
         });
-        let sim2 = sim.clone();
-        let _ = sim2;
     }
     // Reader checks the pair matches in every snapshot it gets.
     let violations = Rc::new(Cell::new(0u32));
@@ -175,24 +169,26 @@ fn readers_never_observe_partial_write_sets() {
         if !reader.is_alive() {
             return;
         }
-        let r = reader.clone();
         reader.begin(move |txn| {
-            let r2 = r.clone();
+            let Ok(txn) = txn else { return };
             let violations2 = violations.clone();
-            r.get(txn, "user000000000012", "pair", move |a| {
-                let r3 = r2.clone();
+            let txn2 = txn.clone();
+            txn.get("user000000000012", "pair", move |a| {
+                let Ok(a) = a else { return };
                 let violations3 = violations2.clone();
-                r2.get(txn, "user000000000800", "pair", move |b| {
+                let txn3 = txn2.clone();
+                txn2.get("user000000000800", "pair", move |b| {
+                    let Ok(b) = b else { return };
                     if a != b {
                         violations3.set(violations3.get() + 1);
                     }
-                    r3.commit(txn, |_| {});
+                    txn3.commit(|_| {});
                 });
             });
         });
     }
     for _ in 0..200 {
-        write_pair(&cluster, writer.clone(), gen.clone());
+        write_pair(writer.clone(), gen.clone());
         read_pair(cluster.client(1).clone(), violations.clone());
         read_pair(cluster.client(2).clone(), violations.clone());
         cluster.run_for(SimDuration::from_millis(25));
@@ -222,27 +218,29 @@ fn recovery_does_not_expose_partial_write_sets() {
         if writer.is_alive() {
             let v = round + 1;
             wrote = v;
-            let w = writer.clone();
             writer.begin(move |txn| {
-                w.put(txn, "user000000000012", "pair", v.to_string());
-                w.put(txn, "user000000000800", "pair", v.to_string());
-                w.commit(txn, |_| {});
+                let Ok(txn) = txn else { return };
+                let _ = txn.put("user000000000012", "pair", v.to_string());
+                let _ = txn.put("user000000000800", "pair", v.to_string());
+                txn.commit(|_| {});
             });
         }
         // Reader on another client.
         let reader = cluster.client(1).clone();
         let violations2 = violations.clone();
-        let r = reader.clone();
         reader.begin(move |txn| {
-            let r2 = r.clone();
+            let Ok(txn) = txn else { return };
             let v3 = violations2.clone();
-            r.get(txn, "user000000000012", "pair", move |a| {
-                let r3 = r2.clone();
-                r2.get(txn, "user000000000800", "pair", move |b| {
+            let txn2 = txn.clone();
+            txn.get("user000000000012", "pair", move |a| {
+                let Ok(a) = a else { return };
+                let txn3 = txn2.clone();
+                txn2.get("user000000000800", "pair", move |b| {
+                    let Ok(b) = b else { return };
                     if a != b {
                         v3.set(v3.get() + 1);
                     }
-                    r3.commit(txn, |_| {});
+                    txn3.commit(|_| {});
                 });
             });
         });

@@ -6,7 +6,7 @@
 //! Every schedule is derived deterministically from the seed, so a failure
 //! here is exactly reproducible.
 
-use cumulo_core::{Cluster, ClusterConfig, CommitResult};
+use cumulo_core::{Cluster, ClusterConfig};
 use cumulo_sim::SimDuration;
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -45,17 +45,17 @@ fn chaos_run(seed: u64) {
             let rows: Vec<u64> = (0..3).map(|_| cluster.sim.gen_range(0, ROWS)).collect();
             let val = format!("s{seed}r{round}c{ci}");
             let acked2 = acked.clone();
-            let c2 = client.clone();
             let rows2 = rows.clone();
             let val2 = val.clone();
             client.begin(move |txn| {
+                let Ok(txn) = txn else { return };
                 for r in &rows2 {
-                    c2.put(txn, key(*r), "f0", val2.clone());
+                    let _ = txn.put(key(*r), "f0", val2.clone());
                 }
                 let rows3 = rows2.clone();
                 let val3 = val2.clone();
-                c2.commit(txn, move |result| {
-                    if let CommitResult::Committed(ts) = result {
+                txn.commit(move |result| {
+                    if let Ok(ts) = result {
                         let mut map = acked2.borrow_mut();
                         for r in &rows3 {
                             match map.get(r) {
@@ -176,17 +176,17 @@ fn compaction_crash_run(seed: u64) {
             let rows: Vec<u64> = (0..3).map(|_| cluster.sim.gen_range(0, ROWS)).collect();
             let val = format!("s{seed}r{round}c{ci}{:#>120}", "");
             let acked2 = acked.clone();
-            let c2 = client.clone();
             let rows2 = rows.clone();
             let val2 = val.clone();
             client.begin(move |txn| {
+                let Ok(txn) = txn else { return };
                 for r in &rows2 {
-                    c2.put(txn, key(*r), "f0", val2.clone());
+                    let _ = txn.put(key(*r), "f0", val2.clone());
                 }
                 let rows3 = rows2.clone();
                 let val3 = val2.clone();
-                c2.commit(txn, move |result| {
-                    if let CommitResult::Committed(ts) = result {
+                txn.commit(move |result| {
+                    if let Ok(ts) = result {
                         let mut map = acked2.borrow_mut();
                         for r in &rows3 {
                             match map.get(r) {

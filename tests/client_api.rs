@@ -1,7 +1,9 @@
 //! Behavioural tests of the transactional client API: read-your-writes,
-//! snapshots, deletes, aborts, scans, and the queue-size alert.
+//! snapshots, deletes, aborts, scans, the queue-size alert — and the
+//! typed-error misuse contract (commit-twice, op-after-commit,
+//! op-after-crash must return `TxnError`s, never panic).
 
-use cumulo_core::{Cluster, ClusterConfig, CommitResult};
+use cumulo_core::{Cluster, ClusterConfig, Transaction, TxnError};
 use cumulo_sim::SimDuration;
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
@@ -27,19 +29,19 @@ fn read_your_own_writes_and_deletes() {
     let client = c.client(0).clone();
     let observed: Rc<RefCell<Vec<Option<Vec<u8>>>>> = Rc::new(RefCell::new(Vec::new()));
     let o = observed.clone();
-    let cl = client.clone();
     client.begin(move |txn| {
-        cl.put(txn, "user000000000001", "f0", "mine");
-        let cl2 = cl.clone();
+        let txn = txn.expect("begin");
+        txn.put("user000000000001", "f0", "mine").unwrap();
+        let txn2 = txn.clone();
         let o2 = o.clone();
-        cl.get(txn, "user000000000001", "f0", move |v| {
-            o2.borrow_mut().push(v.map(|b| b.to_vec()));
-            cl2.delete(txn, "user000000000001", "f0");
-            let cl3 = cl2.clone();
+        txn.get("user000000000001", "f0", move |v| {
+            o2.borrow_mut().push(v.unwrap().map(|b| b.to_vec()));
+            txn2.delete("user000000000001", "f0").unwrap();
+            let txn3 = txn2.clone();
             let o3 = o2.clone();
-            cl2.get(txn, "user000000000001", "f0", move |v| {
-                o3.borrow_mut().push(v.map(|b| b.to_vec()));
-                cl3.commit(txn, |_| {});
+            txn2.get("user000000000001", "f0", move |v| {
+                o3.borrow_mut().push(v.unwrap().map(|b| b.to_vec()));
+                txn3.commit(|_| {});
             });
         });
     });
@@ -54,10 +56,10 @@ fn read_your_own_writes_and_deletes() {
 fn aborted_transaction_leaves_no_trace() {
     let c = cluster(62);
     let client = c.client(0).clone();
-    let cl = client.clone();
     client.begin(move |txn| {
-        cl.put(txn, "user000000000007", "f0", "ghost");
-        cl.abort(txn);
+        let txn = txn.expect("begin");
+        txn.put("user000000000007", "f0", "ghost").unwrap();
+        txn.abort();
     });
     settle(&c);
     assert_eq!(
@@ -73,36 +75,36 @@ fn snapshot_reads_ignore_later_commits() {
     let c = cluster(63);
     let writer = c.client(0).clone();
     // Commit v1.
-    let w = writer.clone();
     writer.begin(move |txn| {
-        w.put(txn, "user000000000005", "f0", "v1");
-        w.commit(txn, |_| {});
+        let txn = txn.expect("begin");
+        txn.put("user000000000005", "f0", "v1").unwrap();
+        txn.commit(|_| {});
     });
     settle(&c);
     // Open a reader transaction now (snapshot pins here)…
     let reader = c.client(1).clone();
-    let txn_cell: Rc<Cell<Option<cumulo_txn::TxnId>>> = Rc::new(Cell::new(None));
+    let txn_cell: Rc<RefCell<Option<Transaction>>> = Rc::new(RefCell::new(None));
     let t2 = txn_cell.clone();
-    reader.begin(move |txn| t2.set(Some(txn)));
+    reader.begin(move |txn| *t2.borrow_mut() = Some(txn.expect("begin")));
     settle(&c);
-    let reader_txn = txn_cell.get().expect("began");
+    let reader_txn = txn_cell.borrow_mut().take().expect("began");
     // …then commit v2 from the writer.
-    let w2 = writer.clone();
     writer.begin(move |txn| {
-        w2.put(txn, "user000000000005", "f0", "v2");
-        w2.commit(txn, |_| {});
+        let txn = txn.expect("begin");
+        txn.put("user000000000005", "f0", "v2").unwrap();
+        txn.commit(|_| {});
     });
     settle(&c);
     // The reader still sees v1.
     let got: Rc<RefCell<Option<Option<Vec<u8>>>>> = Rc::new(RefCell::new(None));
     let g = got.clone();
-    reader.get(reader_txn, "user000000000005", "f0", move |v| {
-        *g.borrow_mut() = Some(v.map(|b| b.to_vec()));
+    reader_txn.get("user000000000005", "f0", move |v| {
+        *g.borrow_mut() = Some(v.unwrap().map(|b| b.to_vec()));
     });
     settle(&c);
     let out = got.borrow_mut().take().expect("read done");
     assert_eq!(out.as_deref(), Some(&b"v1"[..]), "snapshot isolation");
-    reader.commit(reader_txn, |_| {});
+    reader_txn.commit(|_| {});
     settle(&c);
     // A fresh transaction sees v2.
     assert_eq!(
@@ -117,36 +119,38 @@ fn transactional_scan_merges_buffered_writes() {
     let c = cluster(64);
     let client = c.client(0).clone();
     // Commit three rows.
-    let cl = client.clone();
     client.begin(move |txn| {
+        let txn = txn.expect("begin");
         for i in [10u64, 11, 12] {
-            cl.put(txn, format!("user{i:012}"), "f0", format!("base{i}"));
+            txn.put(format!("user{i:012}"), "f0", format!("base{i}"))
+                .unwrap();
         }
-        cl.commit(txn, |_| {});
+        txn.commit(|_| {});
     });
     settle(&c);
     // New txn: overwrite one, delete one, add one — scan must reflect it.
     let results: Rc<RefCell<Option<Vec<(Vec<u8>, Vec<u8>)>>>> = Rc::new(RefCell::new(None));
     let r2 = results.clone();
-    let cl = client.clone();
-    client.begin(move |txn| {
-        cl.put(txn, "user000000000011", "f0", "patched");
-        cl.delete(txn, "user000000000012", "f0");
-        cl.put(txn, "user000000000013", "f0", "new");
+    let client2 = c.client(0).clone();
+    client2.begin(move |txn| {
+        let txn = txn.expect("begin");
+        txn.put("user000000000011", "f0", "patched").unwrap();
+        txn.delete("user000000000012", "f0").unwrap();
+        txn.put("user000000000013", "f0", "new").unwrap();
         let r3 = r2.clone();
-        let cl2 = cl.clone();
-        cl.scan(
-            txn,
+        let txn2 = txn.clone();
+        txn.scan(
             "user000000000010",
             Some("user000000000014".into()),
             100,
             move |hits| {
                 *r3.borrow_mut() = Some(
-                    hits.into_iter()
+                    hits.unwrap()
+                        .into_iter()
                         .map(|(r, _, v)| (r.to_vec(), v.to_vec()))
                         .collect(),
                 );
-                cl2.abort(txn);
+                txn2.abort();
             },
         );
     });
@@ -164,6 +168,70 @@ fn transactional_scan_merges_buffered_writes() {
     assert_eq!(hits[1].1, b"patched".to_vec());
 }
 
+/// Regression for the scan under-fill bug: the store used to be asked
+/// for exactly `limit` hits, and buffered deletes then hid cells
+/// post-merge — so a scan could return fewer than `limit` rows even
+/// though more qualified. The client now over-fetches by the number of
+/// buffered deletes in range.
+#[test]
+fn scan_fills_its_limit_despite_buffered_deletes() {
+    let c = cluster(68);
+    let client = c.client(0).clone();
+    // Commit six rows 20..=25.
+    client.begin(move |txn| {
+        let txn = txn.expect("begin");
+        for i in 20u64..=25 {
+            txn.put(format!("user{i:012}"), "f0", format!("v{i}"))
+                .unwrap();
+        }
+        txn.commit(|_| {});
+    });
+    settle(&c);
+    // New txn: buffer deletes of the two *lowest* rows in range, then
+    // scan with a limit that more remaining rows than the store's
+    // truncated answer would satisfy.
+    let results: Rc<RefCell<Option<Vec<Vec<u8>>>>> = Rc::new(RefCell::new(None));
+    let r2 = results.clone();
+    let client2 = c.client(0).clone();
+    client2.begin(move |txn| {
+        let txn = txn.expect("begin");
+        txn.delete("user000000000020", "f0").unwrap();
+        txn.delete("user000000000021", "f0").unwrap();
+        let r3 = r2.clone();
+        let txn2 = txn.clone();
+        txn.scan(
+            "user000000000020",
+            Some("user000000000026".into()),
+            4,
+            move |hits| {
+                *r3.borrow_mut() = Some(
+                    hits.unwrap()
+                        .into_iter()
+                        .map(|(r, _, _)| r.to_vec())
+                        .collect(),
+                );
+                txn2.abort();
+            },
+        );
+    });
+    settle(&c);
+    let rows = results.borrow_mut().take().expect("scan completed");
+    let rows: Vec<String> = rows
+        .iter()
+        .map(|r| String::from_utf8_lossy(r).into_owned())
+        .collect();
+    assert_eq!(
+        rows,
+        vec![
+            "user000000000022",
+            "user000000000023",
+            "user000000000024",
+            "user000000000025",
+        ],
+        "the scan must fill its limit past the deleted rows"
+    );
+}
+
 #[test]
 fn multiple_concurrent_transactions_per_client() {
     // The paper: "a client can execute multiple transactions
@@ -172,17 +240,13 @@ fn multiple_concurrent_transactions_per_client() {
     let client = c.client(0).clone();
     let committed = Rc::new(Cell::new(0u32));
     for i in 0..20u64 {
-        let cl = client.clone();
         let done = committed.clone();
         client.begin(move |txn| {
-            cl.put(
-                txn,
-                format!("user{:012}", i * 37 % 1000),
-                "f0",
-                format!("c{i}"),
-            );
-            cl.commit(txn, move |r| {
-                if matches!(r, CommitResult::Committed(_)) {
+            let txn = txn.expect("begin");
+            txn.put(format!("user{:012}", i * 37 % 1000), "f0", format!("c{i}"))
+                .unwrap();
+            txn.commit(move |r| {
+                if r.is_ok() {
                     done.set(done.get() + 1);
                 }
             });
@@ -197,21 +261,18 @@ fn multiple_concurrent_transactions_per_client() {
 fn read_only_transactions_commit_without_flushing() {
     let c = cluster(66);
     let client = c.client(0).clone();
-    let cl = client.clone();
-    let outcome: Rc<RefCell<Option<CommitResult>>> = Rc::new(RefCell::new(None));
+    let outcome: Rc<Cell<Option<bool>>> = Rc::new(Cell::new(None));
     let o = outcome.clone();
     client.begin(move |txn| {
-        let cl2 = cl.clone();
+        let txn = txn.expect("begin");
+        let txn2 = txn.clone();
         let o2 = o.clone();
-        cl.get(txn, "user000000000001", "f0", move |_| {
-            cl2.commit(txn, move |r| *o2.borrow_mut() = Some(r));
+        txn.get("user000000000001", "f0", move |_| {
+            txn2.commit(move |r| o2.set(Some(r.is_ok())));
         });
     });
     settle(&c);
-    assert!(matches!(
-        *outcome.borrow(),
-        Some(CommitResult::Committed(_))
-    ));
+    assert_eq!(outcome.get(), Some(true));
     assert_eq!(c.client(0).flushed_count(), 0, "nothing to flush");
     assert_eq!(c.tm.log().len(), 0, "read-only commits are not logged");
 }
@@ -238,10 +299,10 @@ fn queue_size_alert_fires_when_flushes_stall() {
     c.crash_server(1);
     let client = c.client(0).clone();
     for i in 0..25u64 {
-        let cl = client.clone();
         client.begin(move |txn| {
-            cl.put(txn, format!("user{i:012}"), "f0", "stuck");
-            cl.commit(txn, |_| {});
+            let txn = txn.expect("begin");
+            txn.put(format!("user{i:012}"), "f0", "stuck").unwrap();
+            txn.commit(|_| {});
         });
     }
     c.run_for(SimDuration::from_secs(10));
@@ -251,4 +312,133 @@ fn queue_size_alert_fires_when_flushes_stall() {
     );
     // T_F cannot advance past the stuck commits.
     assert!(c.client(0).t_f().0 < c.tm.last_commit_ts().0);
+}
+
+// ---------------------------------------------------------------------
+// Misuse: typed errors instead of panics
+// ---------------------------------------------------------------------
+
+/// Captures the transaction handle and drives the cluster until it
+/// arrives.
+fn begin_txn(c: &Cluster, client_idx: usize) -> Transaction {
+    let slot: Rc<RefCell<Option<Transaction>>> = Rc::new(RefCell::new(None));
+    let s2 = slot.clone();
+    c.client(client_idx)
+        .begin(move |txn| *s2.borrow_mut() = Some(txn.expect("begin on live client")));
+    settle(c);
+    let txn = slot.borrow_mut().take().expect("begin completed");
+    txn
+}
+
+#[test]
+fn commit_twice_reports_unknown_txn() {
+    let c = cluster(71);
+    let txn = begin_txn(&c, 0);
+    txn.put("user000000000001", "f0", "once").unwrap();
+    let first: Rc<Cell<Option<bool>>> = Rc::new(Cell::new(None));
+    let f2 = first.clone();
+    txn.commit(move |r| f2.set(Some(r.is_ok())));
+    settle(&c);
+    assert_eq!(first.get(), Some(true), "first commit succeeds");
+    let second: Rc<Cell<Option<Result<(), TxnError>>>> = Rc::new(Cell::new(None));
+    let s2 = second.clone();
+    txn.commit(move |r| s2.set(Some(r.map(|_| ()))));
+    settle(&c);
+    assert_eq!(
+        second.get(),
+        Some(Err(TxnError::UnknownTxn)),
+        "commit-twice must be a typed error, not a panic"
+    );
+    assert_eq!(c.client(0).committed_count(), 1);
+}
+
+#[test]
+fn operations_after_commit_report_unknown_txn() {
+    let c = cluster(72);
+    let txn = begin_txn(&c, 0);
+    txn.commit(|_| {});
+    settle(&c);
+    // Writes fail synchronously.
+    assert_eq!(
+        txn.put("user000000000001", "f0", "late"),
+        Err(TxnError::UnknownTxn)
+    );
+    assert_eq!(
+        txn.delete("user000000000001", "f0"),
+        Err(TxnError::UnknownTxn)
+    );
+    // Reads and scans deliver the error through their callbacks.
+    let got: Rc<Cell<Option<Result<(), TxnError>>>> = Rc::new(Cell::new(None));
+    let g = got.clone();
+    txn.get("user000000000001", "f0", move |r| {
+        g.set(Some(r.map(|_| ())))
+    });
+    settle(&c);
+    assert_eq!(got.get(), Some(Err(TxnError::UnknownTxn)));
+    let got = Rc::new(Cell::new(None));
+    let g = got.clone();
+    txn.multi_get(vec![("user000000000001".into(), "f0".into())], move |r| {
+        g.set(Some(r.map(|_| ())))
+    });
+    settle(&c);
+    assert_eq!(got.get(), Some(Err(TxnError::UnknownTxn)));
+    let got = Rc::new(Cell::new(None));
+    let g = got.clone();
+    txn.scan("user000000000000", None, 10, move |r| {
+        g.set(Some(r.map(|_| ())))
+    });
+    settle(&c);
+    assert_eq!(got.get(), Some(Err(TxnError::UnknownTxn)));
+    // Abort after commit is an explicit no-op.
+    txn.abort();
+    settle(&c);
+    assert_eq!(c.client(0).committed_count(), 1);
+    assert_eq!(c.client(0).aborted_count(), 0);
+}
+
+#[test]
+fn operations_after_client_crash_report_client_dead() {
+    let c = cluster(73);
+    let txn = begin_txn(&c, 0);
+    txn.put("user000000000002", "f0", "doomed").unwrap();
+    c.crash_client(0);
+    assert_eq!(
+        txn.put("user000000000002", "f0", "zombie"),
+        Err(TxnError::ClientDead)
+    );
+    let got: Rc<Cell<Option<Result<(), TxnError>>>> = Rc::new(Cell::new(None));
+    let g = got.clone();
+    txn.get("user000000000002", "f0", move |r| {
+        g.set(Some(r.map(|_| ())))
+    });
+    settle(&c);
+    assert_eq!(got.get(), Some(Err(TxnError::ClientDead)));
+    let got: Rc<Cell<Option<Result<(), TxnError>>>> = Rc::new(Cell::new(None));
+    let g = got.clone();
+    txn.commit(move |r| g.set(Some(r.map(|_| ()))));
+    settle(&c);
+    assert_eq!(got.get(), Some(Err(TxnError::ClientDead)));
+    // begin on a crashed client is also a typed error.
+    let got: Rc<Cell<Option<TxnError>>> = Rc::new(Cell::new(None));
+    let g = got.clone();
+    c.client(0).begin(move |r| g.set(r.err()));
+    settle(&c);
+    assert_eq!(got.get(), Some(TxnError::ClientDead));
+}
+
+#[test]
+fn begin_after_shutdown_reports_client_closed() {
+    let c = cluster(74);
+    c.client(0).shutdown();
+    c.run_for(SimDuration::from_secs(3));
+    let got: Rc<Cell<Option<TxnError>>> = Rc::new(Cell::new(None));
+    let g = got.clone();
+    c.client(0).begin(move |r| g.set(r.err()));
+    settle(&c);
+    assert_eq!(got.get(), Some(TxnError::ClientClosed));
+    assert_eq!(
+        c.rm.client_recovery_count(),
+        0,
+        "clean shutdown runs no recovery"
+    );
 }

@@ -2,7 +2,7 @@
 //! experiment in this repository) and housekeeping behaviours: recovered-
 //! edits garbage collection and memstore flushes during recovery.
 
-use cumulo_core::{Cluster, ClusterConfig, CommitResult};
+use cumulo_core::{Cluster, ClusterConfig, Timestamp, TxnError};
 use cumulo_sim::SimDuration;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -18,15 +18,14 @@ fn run_scenario(seed: u64) -> (u64, u64, u64, u64) {
     });
     for i in 0..30u64 {
         let client = cluster.client((i % 4) as usize).clone();
-        let c2 = client.clone();
         client.begin(move |txn| {
-            c2.put(
-                txn,
+            let Ok(txn) = txn else { return };
+            let _ = txn.put(
                 format!("user{:012}", (i * 131) % 5_000),
                 "f0",
                 format!("v{i}"),
             );
-            c2.commit(txn, |_| {});
+            txn.commit(|_| {});
         });
         cluster.run_for(SimDuration::from_millis(100));
     }
@@ -62,10 +61,10 @@ fn recovered_edits_files_are_garbage_collected_after_flush() {
     // Commit rows, crash a server so recovered-edits files get written.
     for i in 0..20u64 {
         let client = cluster.client((i % 2) as usize).clone();
-        let c2 = client.clone();
         client.begin(move |txn| {
-            c2.put(txn, format!("user{:012}", i * 43), "f0", format!("v{i}"));
-            c2.commit(txn, |_| {});
+            let Ok(txn) = txn else { return };
+            let _ = txn.put(format!("user{:012}", i * 43), "f0", format!("v{i}"));
+            txn.commit(|_| {});
         });
     }
     cluster.run_for(SimDuration::from_secs(3));
@@ -117,11 +116,11 @@ fn log_stays_bounded_under_continuous_load() {
     for burst in 0..12 {
         for i in 0..20u64 {
             let client = cluster.client((i % 4) as usize).clone();
-            let c2 = client.clone();
             let row = (burst * 20 + i) * 7 % 5_000;
             client.begin(move |txn| {
-                c2.put(txn, format!("user{row:012}"), "f0", "x");
-                c2.commit(txn, |_| {});
+                let Ok(txn) = txn else { return };
+                let _ = txn.put(format!("user{row:012}"), "f0", "x");
+                txn.commit(|_| {});
             });
         }
         cluster.run_for(SimDuration::from_secs(4));
@@ -137,7 +136,7 @@ fn log_stays_bounded_under_continuous_load() {
 }
 
 #[test]
-fn commit_after_shutdown_panics() {
+fn begin_after_shutdown_is_a_typed_error_not_a_panic() {
     let cluster = Cluster::build(ClusterConfig {
         seed: 95,
         clients: 1,
@@ -149,10 +148,11 @@ fn commit_after_shutdown_panics() {
     let client = cluster.client(0).clone();
     client.shutdown();
     cluster.run_for(SimDuration::from_secs(2));
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        client.begin(|_| {});
-    }));
-    assert!(result.is_err(), "begin after shutdown must panic");
+    let got: Rc<RefCell<Option<TxnError>>> = Rc::new(RefCell::new(None));
+    let g = got.clone();
+    client.begin(move |r| *g.borrow_mut() = r.err());
+    cluster.run_for(SimDuration::from_secs(1));
+    assert_eq!(*got.borrow(), Some(TxnError::ClientClosed));
 }
 
 #[test]
@@ -170,17 +170,17 @@ fn flush_during_outage_waits_and_completes() {
     });
     cluster.crash_server(0); // crash FIRST: region offline at flush time
     let client = cluster.client(0).clone();
-    let done: Rc<RefCell<Option<CommitResult>>> = Rc::new(RefCell::new(None));
+    let done: Rc<RefCell<Option<Result<Timestamp, TxnError>>>> = Rc::new(RefCell::new(None));
     let d = done.clone();
-    let c2 = client.clone();
     client.begin(move |txn| {
+        let txn = txn.expect("begin on live client");
         // Write rows in both halves of the key space (one offline).
-        c2.put(txn, "user000000000001", "f0", "low");
-        c2.put(txn, "user000000000900", "f0", "high");
-        c2.commit(txn, move |r| *d.borrow_mut() = Some(r));
+        txn.put("user000000000001", "f0", "low").unwrap();
+        txn.put("user000000000900", "f0", "high").unwrap();
+        txn.commit(move |r| *d.borrow_mut() = Some(r));
     });
     cluster.run_for(SimDuration::from_secs(2));
-    assert!(matches!(*done.borrow(), Some(CommitResult::Committed(_))));
+    assert!(matches!(*done.borrow(), Some(Ok(_))));
     // Flush must eventually complete through the failover.
     cluster.run_for(SimDuration::from_secs(15));
     assert_eq!(

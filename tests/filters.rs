@@ -4,7 +4,7 @@
 //! at runtime over the identical store-file stack), and the verifying
 //! read path must observe zero filter false negatives.
 
-use cumulo_core::{Cluster, ClusterConfig, CommitResult};
+use cumulo_core::{Cluster, ClusterConfig};
 use cumulo_sim::SimDuration;
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -50,17 +50,16 @@ fn write_load(cluster: &Cluster, rounds: u64) -> Rc<RefCell<HashMap<u64, (u64, S
             // Padded values so memstores hit the flush threshold quickly.
             let val = format!("r{round}c{ci}{:=>120}", "");
             let acked2 = acked.clone();
-            let c2 = client.clone();
             let rows2 = rows.clone();
             client.begin(move |txn| {
+                let Ok(txn) = txn else { return };
                 for r in &rows2 {
-                    c2.put(txn, key(*r), "f0", format!("{val}-{r:04}"));
+                    let _ = txn.put(key(*r), "f0", format!("{val}-{r:04}"));
                 }
-                let c3 = c2.clone();
                 let rows3 = rows2.clone();
                 let val2 = val.clone();
-                c3.clone().commit(txn, move |result| {
-                    if let CommitResult::Committed(ts) = result {
+                txn.commit(move |result| {
+                    if let Ok(ts) = result {
                         let mut map = acked2.borrow_mut();
                         for r in &rows3 {
                             match map.get(r) {

@@ -3,7 +3,7 @@
 //! recovery) and the client terminates itself once it realizes it cannot
 //! reach the coordination service.
 
-use cumulo_core::{Cluster, ClusterConfig, CommitResult};
+use cumulo_core::{Cluster, ClusterConfig, Timestamp, TxnError};
 use cumulo_sim::SimDuration;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -23,15 +23,15 @@ fn partitioned_client_is_recovered_and_self_terminates() {
     // Commit, then partition the client from the coordination service
     // *and* the store the instant the commit is acknowledged (so the
     // flush cannot complete).
-    let committed: Rc<RefCell<Option<CommitResult>>> = Rc::new(RefCell::new(None));
+    let committed: Rc<RefCell<Option<Result<Timestamp, TxnError>>>> = Rc::new(RefCell::new(None));
     let co = committed.clone();
-    let c2 = client.clone();
     let net = cluster.net.clone();
     let client_node = client.node();
     let all_nodes: Vec<_> = (0..40).map(cumulo_sim::NodeId).collect();
     client.begin(move |txn| {
-        c2.put(txn, "user000000000099", "f0", "stranded");
-        c2.commit(txn, move |r| {
+        let txn = txn.expect("begin on live client");
+        txn.put("user000000000099", "f0", "stranded").unwrap();
+        txn.commit(move |r| {
             *co.borrow_mut() = Some(r);
             // Total partition: cut the client off from everyone.
             for n in &all_nodes {
@@ -42,10 +42,7 @@ fn partitioned_client_is_recovered_and_self_terminates() {
         });
     });
     cluster.run_for(SimDuration::from_secs(1));
-    assert!(matches!(
-        *committed.borrow(),
-        Some(CommitResult::Committed(_))
-    ));
+    assert!(matches!(*committed.borrow(), Some(Ok(_))));
 
     // Session expiry triggers client recovery; the write is replayed.
     cluster.run_for(SimDuration::from_secs(15));
@@ -94,15 +91,15 @@ fn healed_partition_before_timeout_causes_no_recovery() {
     );
 
     // The client still works.
-    let ok: Rc<RefCell<Option<CommitResult>>> = Rc::new(RefCell::new(None));
+    let ok: Rc<RefCell<Option<Result<Timestamp, TxnError>>>> = Rc::new(RefCell::new(None));
     let o = ok.clone();
-    let c2 = client.clone();
     client.begin(move |txn| {
-        c2.put(txn, "user000000000005", "f0", "fine");
-        c2.commit(txn, move |r| *o.borrow_mut() = Some(r));
+        let txn = txn.expect("begin on live client");
+        txn.put("user000000000005", "f0", "fine").unwrap();
+        txn.commit(move |r| *o.borrow_mut() = Some(r));
     });
     cluster.run_for(SimDuration::from_secs(2));
-    assert!(matches!(*ok.borrow(), Some(CommitResult::Committed(_))));
+    assert!(matches!(*ok.borrow(), Some(Ok(_))));
 }
 
 #[test]
@@ -118,10 +115,11 @@ fn partitioned_server_is_failed_over_like_a_crash() {
     // Commit some data first.
     let client = cluster.client(0).clone();
     for i in 0..10u64 {
-        let c2 = client.clone();
         client.begin(move |txn| {
-            c2.put(txn, format!("user{:012}", i * 97), "f0", format!("p{i}"));
-            c2.commit(txn, |_| {});
+            let txn = txn.expect("begin on live client");
+            txn.put(format!("user{:012}", i * 97), "f0", format!("p{i}"))
+                .unwrap();
+            txn.commit(|_| {});
         });
     }
     cluster.run_for(SimDuration::from_secs(2));

@@ -3,7 +3,7 @@
 //! cascading or recovery-manager failures, and recovery does not stop
 //! processing on surviving servers.
 
-use cumulo_core::{Cluster, ClusterConfig, CommitResult, PersistenceMode};
+use cumulo_core::{Cluster, ClusterConfig, PersistenceMode, Timestamp, TxnError};
 use cumulo_sim::SimDuration;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -27,18 +27,18 @@ fn small_cluster(seed: u64) -> Cluster {
 /// returns the commit timestamp (panics on abort).
 fn run_txn(cluster: &Cluster, client_idx: usize, writes: &[(u64, &str, &str)]) -> u64 {
     let client = cluster.client(client_idx).clone();
-    let outcome: Rc<RefCell<Option<CommitResult>>> = Rc::new(RefCell::new(None));
+    let outcome: Rc<RefCell<Option<Result<Timestamp, TxnError>>>> = Rc::new(RefCell::new(None));
     let o = outcome.clone();
     let writes: Vec<(String, String, String)> = writes
         .iter()
         .map(|(k, c, v)| (key(*k), c.to_string(), v.to_string()))
         .collect();
-    let c2 = client.clone();
     client.begin(move |txn| {
+        let txn = txn.expect("begin on live client");
         for (row, col, val) in &writes {
-            c2.put(txn, row.clone(), col.clone(), val.clone());
+            txn.put(row.clone(), col.clone(), val.clone()).unwrap();
         }
-        c2.commit(txn, move |r| *o.borrow_mut() = Some(r));
+        txn.commit(move |r| *o.borrow_mut() = Some(r));
     });
     let deadline = cluster.now() + SimDuration::from_secs(30);
     while outcome.borrow().is_none() {
@@ -47,8 +47,8 @@ fn run_txn(cluster: &Cluster, client_idx: usize, writes: &[(u64, &str, &str)]) -
     }
     let r = outcome.borrow_mut().take().unwrap();
     match r {
-        CommitResult::Committed(ts) => ts.0,
-        CommitResult::Aborted => panic!("unexpected abort"),
+        Ok(ts) => ts.0,
+        Err(e) => panic!("unexpected abort: {e}"),
     }
 }
 
@@ -79,13 +79,13 @@ fn client_crash_mid_flush_is_replayed_by_recovery_manager() {
     let co = committed.clone();
     // Crash the client the instant the commit is acknowledged — before
     // the write-set flush can reach any server (async mode acks first).
-    let c2 = client.clone();
     let c3 = client.clone();
     client.begin(move |txn| {
-        c2.put(txn, key(42), "f0", "precious");
-        c2.put(txn, key(9000), "f0", "precious2"); // second region
-        c2.commit(txn, move |r| {
-            if let CommitResult::Committed(ts) = r {
+        let txn = txn.expect("begin on live client");
+        txn.put(key(42), "f0", "precious").unwrap();
+        txn.put(key(9000), "f0", "precious2").unwrap(); // second region
+        txn.commit(move |r| {
+            if let Ok(ts) = r {
                 *co.borrow_mut() = Some(ts.0);
                 c3.crash();
             }
@@ -273,12 +273,12 @@ fn client_crash_while_recovery_manager_down_is_recovered_on_restart() {
     let cluster = small_cluster(8);
     let client = cluster.client(0).clone();
     cluster.crash_recovery_manager();
-    let c2 = client.clone();
     let c3 = client.clone();
     client.begin(move |txn| {
-        c2.put(txn, key(77), "f0", "orphan");
-        c2.commit(txn, move |r| {
-            assert!(matches!(r, CommitResult::Committed(_)));
+        let txn = txn.expect("begin on live client");
+        txn.put(key(77), "f0", "orphan").unwrap();
+        txn.commit(move |r| {
+            assert!(r.is_ok());
             c3.crash(); // dies with the write-set unflushed, RM down
         });
     });
@@ -410,17 +410,13 @@ fn randomized_crash_schedule_loses_no_acknowledged_commit() {
                 let acked2 = acked.clone();
                 let row = key(i * 97 % 10_000);
                 let val = format!("s{seed}-v{i}");
-                let c2 = client.clone();
                 client.begin(move |txn| {
-                    let row2 = row.clone();
+                    let Ok(txn) = txn else { return };
                     let val2 = val.clone();
-                    c2.put(txn, row.clone(), "f0", val.clone());
-                    let c3 = c2.clone();
-                    let _ = c3;
-                    c2.commit(txn, move |r| {
-                        if matches!(r, CommitResult::Committed(_)) {
+                    let _ = txn.put(row.clone(), "f0", val.clone());
+                    txn.commit(move |r| {
+                        if r.is_ok() {
                             acked2.borrow_mut().push((i, val2.clone()));
-                            let _ = &row2;
                         }
                     });
                 });

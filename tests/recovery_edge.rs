@@ -1,7 +1,7 @@
 //! Edge-case recovery scenarios: overlapping failures, no-op recoveries,
 //! a flapping recovery manager, and the no-tracking ablation path.
 
-use cumulo_core::{Cluster, ClusterConfig, CommitResult};
+use cumulo_core::{Cluster, ClusterConfig, Timestamp, TxnError};
 use cumulo_sim::SimDuration;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -12,23 +12,23 @@ fn key(i: u64) -> String {
 
 fn commit_row(cluster: &Cluster, client_idx: usize, row: u64, val: &str) -> u64 {
     let client = cluster.client(client_idx).clone();
-    let c = client.clone();
     let val = val.to_string();
-    let done: Rc<RefCell<Option<CommitResult>>> = Rc::new(RefCell::new(None));
+    let done: Rc<RefCell<Option<Result<Timestamp, TxnError>>>> = Rc::new(RefCell::new(None));
     let d = done.clone();
     client.begin(move |txn| {
-        c.put(txn, key(row), "f0", val.clone());
-        c.commit(txn, move |r| *d.borrow_mut() = Some(r));
+        let txn = txn.expect("begin on live client");
+        txn.put(key(row), "f0", val.clone()).unwrap();
+        txn.commit(move |r| *d.borrow_mut() = Some(r));
     });
     let deadline = cluster.now() + SimDuration::from_secs(30);
     while done.borrow().is_none() {
         cluster.run_for(SimDuration::from_millis(20));
         assert!(cluster.now() < deadline, "commit stalled");
     }
-    let result = done.borrow_mut().take().unwrap();
-    match result {
-        CommitResult::Committed(ts) => ts.0,
-        CommitResult::Aborted => panic!("abort"),
+    let r = done.borrow_mut().take().unwrap();
+    match r {
+        Ok(ts) => ts.0,
+        Err(e) => panic!("abort: {e}"),
     }
 }
 
@@ -44,13 +44,13 @@ fn server_failure_during_client_recovery() {
     });
     // Client 0 commits and dies instantly (flush never happens).
     let client = cluster.client(0).clone();
-    let c2 = client.clone();
     let c3 = client.clone();
     client.begin(move |txn| {
-        c2.put(txn, key(100), "f0", "victim-data");
-        c2.put(txn, key(4000), "f0", "victim-data2");
-        c2.commit(txn, move |r| {
-            assert!(matches!(r, CommitResult::Committed(_)));
+        let txn = txn.expect("begin on live client");
+        txn.put(key(100), "f0", "victim-data").unwrap();
+        txn.put(key(4000), "f0", "victim-data2").unwrap();
+        txn.commit(move |r| {
+            assert!(r.is_ok());
             c3.crash();
         });
     });

@@ -18,7 +18,7 @@
 //! daughters never both online), and the region map still partitions the
 //! key space.
 
-use cumulo_core::{Cluster, ClusterConfig, CommitResult, TransactionalClient};
+use cumulo_core::{Cluster, ClusterConfig, TransactionalClient};
 use cumulo_sim::SimDuration;
 use std::cell::Cell;
 use std::rc::Rc;
@@ -63,21 +63,23 @@ fn transfer(cluster: &Cluster, client: TransactionalClient, committed: Rc<Cell<u
     let from = sim.gen_range(0, ACCOUNTS);
     let to = (from + 1 + sim.gen_range(0, ACCOUNTS - 1)) % ACCOUNTS;
     let amount = sim.gen_range(1, 20) as i64;
-    let c = client.clone();
     client.begin(move |txn| {
-        let c2 = c.clone();
+        let Ok(txn) = txn else { return };
         let committed2 = committed.clone();
-        c.get(txn, account(from), "bal", move |vf| {
+        let txn2 = txn.clone();
+        txn.get(account(from), "bal", move |vf| {
+            let Ok(vf) = vf else { return };
             let bf = parse(vf);
-            let c3 = c2.clone();
             let committed3 = committed2.clone();
-            c2.get(txn, account(to), "bal", move |vt| {
+            let txn3 = txn2.clone();
+            txn2.get(account(to), "bal", move |vt| {
+                let Ok(vt) = vt else { return };
                 let bt = parse(vt);
-                c3.put(txn, account(from), "bal", (bf - amount).to_string());
-                c3.put(txn, account(to), "bal", (bt + amount).to_string());
+                let _ = txn3.put(account(from), "bal", (bf - amount).to_string());
+                let _ = txn3.put(account(to), "bal", (bt + amount).to_string());
                 let committed4 = committed3.clone();
-                c3.commit(txn, move |r| {
-                    if matches!(r, CommitResult::Committed(_)) {
+                txn3.commit(move |r| {
+                    if r.is_ok() {
                         committed4.set(committed4.get() + 1);
                     }
                 });
@@ -92,15 +94,14 @@ fn transfer(cluster: &Cluster, client: TransactionalClient, committed: Rc<Cell<u
 fn filler(cluster: &Cluster, client: TransactionalClient, round: u64) {
     let sim = cluster.sim.clone();
     let key = sim.gen_range(0, HOT);
-    let c = client.clone();
     client.begin(move |txn| {
-        c.put(
-            txn,
+        let Ok(txn) = txn else { return };
+        let _ = txn.put(
             account(key),
             "pad",
             format!("{round:_<512}"), // 512 bytes of padding
         );
-        c.commit(txn, |_| {});
+        txn.commit(|_| {});
     });
 }
 
