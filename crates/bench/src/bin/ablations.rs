@@ -11,6 +11,7 @@
 //!
 //! Run: `cargo run --release -p cumulo-bench --bin ablations`
 
+use cumulo_bench::report::{kv, report_fields, timeline_json, BenchArgs, BenchReport};
 use cumulo_bench::{paper_workload, run_measurement, Scale};
 use cumulo_core::{Cluster, ClusterConfig, PersistenceMode};
 use cumulo_sim::SimDuration;
@@ -35,7 +36,10 @@ fn build(seed: u64, rows: u64, tracking: bool, replication: usize, hb_ms: u64) -
 }
 
 fn main() {
+    let args = BenchArgs::parse();
     let scale = Scale::from_env();
+    let mut rep = BenchReport::new("ablations");
+    rep.config("rows", scale.rows);
 
     // (a) Tracking on/off: normal-processing overhead + replay volume.
     println!("# ablation_a: tracking overhead and replay volume");
@@ -60,6 +64,13 @@ fn main() {
             cluster.tm.log().len(),
             replayed
         );
+        let mut fields = vec![kv("ablation", "a"), kv("tracking", tracking)];
+        fields.extend(report_fields(&r));
+        fields.extend([
+            kv("log_len_after", cluster.tm.log().len()),
+            kv("replayed_portions", replayed),
+        ]);
+        rep.phase(fields);
     }
 
     // (b) Replication factor.
@@ -77,6 +88,9 @@ fn main() {
             "[ablation b] repl={repl}: {:.1} tps, mean {:.2} ms",
             r.throughput_tps, r.mean_ms
         );
+        let mut fields = vec![kv("ablation", "b"), kv("replication", repl)];
+        fields.extend(report_fields(&r));
+        rep.phase(fields);
     }
 
     // (c) Heartbeat interval vs recovery replay volume.
@@ -94,6 +108,12 @@ fn main() {
         let ok = cluster.all_regions_online();
         println!("{hb},{replayed},{ok}");
         eprintln!("[ablation c] hb={hb} ms: replayed {replayed} portions, recovered={ok}");
+        rep.phase(vec![
+            kv("ablation", "c"),
+            kv("heartbeat_ms", hb),
+            kv("replayed_portions", replayed),
+            kv("recovery_complete", ok),
+        ]);
     }
 
     // (d) Client-failure recovery timeline.
@@ -125,5 +145,19 @@ fn main() {
                 w.mean() as f64 / 1e6
             );
         }
+        rep.phase(vec![
+            kv("ablation", "d"),
+            kv("client_recoveries", cluster.rm.client_recovery_count()),
+            kv(
+                "client_txns_replayed",
+                cluster.rm.recovery_client().client_txns_replayed(),
+            ),
+            (
+                "timeline".to_owned(),
+                timeline_json(&driver.windows(), SimDuration::from_secs(5)),
+            ),
+        ]);
+        rep.cluster("ablation_d", &cluster);
     }
+    rep.write(&args);
 }

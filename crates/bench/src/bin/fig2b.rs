@@ -12,13 +12,17 @@
 //!
 //! Run: `cargo run --release -p cumulo-bench --bin fig2b`
 
+use cumulo_bench::report::{kv, print_timeline, report_fields, BenchArgs, BenchReport};
 use cumulo_bench::{paper_workload, run_measurement, standard_cluster, Scale};
 use cumulo_core::PersistenceMode;
 use cumulo_sim::SimDuration;
 
 fn main() {
+    let args = BenchArgs::parse();
     let scale = Scale::from_env();
     let intervals_ms = [50u64, 100, 250, 500, 1_000, 2_000, 5_000, 10_000];
+    let mut rep = BenchReport::new("fig2b");
+    rep.config("rows", scale.rows);
     println!("heartbeat_ms,throughput_tps,mean_ms,p95_ms,p99_ms,committed");
     for &hb in &intervals_ms {
         let cluster = standard_cluster(
@@ -29,7 +33,7 @@ fn main() {
             scale.rows,
         );
         let workload = paper_workload(scale.rows, 50, None);
-        let (_driver, r) = run_measurement(&cluster, workload, scale.warmup, scale.measure);
+        let (driver, r) = run_measurement(&cluster, workload, scale.warmup, scale.measure);
         println!(
             "{hb},{:.1},{:.2},{:.2},{:.2},{}",
             r.throughput_tps, r.mean_ms, r.p95_ms, r.p99_ms, r.committed
@@ -38,5 +42,12 @@ fn main() {
             "[fig2b] hb={hb:6} ms -> {:7.1} tps, mean {:6.2} ms, p95 {:6.2} ms, p99 {:6.2} ms",
             r.throughput_tps, r.mean_ms, r.p95_ms, r.p99_ms
         );
+        if args.timeline {
+            print_timeline(&format!("hb{hb}"), &driver.windows(), driver.window());
+        }
+        let mut fields = vec![kv("heartbeat_ms", hb)];
+        fields.extend(report_fields(&r));
+        rep.phase(fields);
     }
+    rep.write(&args);
 }

@@ -23,17 +23,25 @@
 //! byte-identical across runs of the same build (determinism probe — CI
 //! runs it twice and diffs).
 
+use cumulo_bench::report::{
+    kv, print_timeline, report_fields, timeline_json, BenchArgs, BenchReport,
+};
 use cumulo_bench::run_measurement;
 use cumulo_core::{Cluster, ClusterConfig};
 use cumulo_sim::SimDuration;
 use cumulo_ycsb::Workload;
 
 fn main() {
+    let args = BenchArgs::parse();
     let quick = std::env::var("CUMULO_QUICK")
         .map(|v| v == "1")
         .unwrap_or(false);
     let rows: u64 = if quick { 20_000 } else { 100_000 };
     let measure_secs = if quick { 12 } else { 45 };
+    let mut rep = BenchReport::new("multi_get_bench");
+    rep.config("rows", rows);
+    rep.config("measure_secs", measure_secs as u64);
+    rep.config("quick", quick);
 
     println!(
         "mode,committed,aborted,throughput_tps,mean_ms,p95_ms,p99_ms,\
@@ -67,7 +75,7 @@ fn main() {
             ..Workload::default()
         };
         let round_trips_before = store_round_trips(&cluster);
-        let (_d, r) = run_measurement(
+        let (driver, r) = run_measurement(
             &cluster,
             workload,
             SimDuration::from_secs(2),
@@ -75,6 +83,9 @@ fn main() {
         );
         let round_trips = store_round_trips(&cluster) - round_trips_before;
         let label = if batched { "batched" } else { "unbatched" };
+        if args.timeline {
+            print_timeline(label, &driver.windows(), driver.window());
+        }
         let per_txn = if r.committed == 0 {
             0.0
         } else {
@@ -92,6 +103,18 @@ fn main() {
              {round_trips} read round trips ({per_txn:.2}/txn)",
             r.throughput_tps, r.mean_ms, r.p99_ms,
         );
+        let mut fields = vec![kv("mode", label)];
+        fields.extend(report_fields(&r));
+        fields.extend([
+            kv("round_trips", round_trips),
+            kv("round_trips_per_txn", per_txn),
+            (
+                "timeline".to_owned(),
+                timeline_json(&driver.windows(), driver.window()),
+            ),
+        ]);
+        rep.phase(fields);
+        rep.cluster(label, &cluster);
     }
     assert!(
         trips[1] < trips[0],
@@ -104,6 +127,7 @@ fn main() {
          p99 {:.2} ms -> {:.2} ms",
         trips[0], trips[1], tps[0], tps[1], p99[0], p99[1],
     );
+    rep.write(&args);
 }
 
 /// Read round trips issued by the cluster's transactional clients: lone

@@ -13,12 +13,14 @@
 //! Run: `cargo run --release -p cumulo-bench --bin point_get`
 //! (`CUMULO_QUICK=1` for a scaled-down smoke run).
 
+use cumulo_bench::report::{kv, print_timeline, report_fields, BenchArgs, BenchReport};
 use cumulo_bench::run_measurement;
 use cumulo_core::{Cluster, ClusterConfig};
 use cumulo_sim::SimDuration;
 use cumulo_ycsb::Workload;
 
 fn main() {
+    let args = BenchArgs::parse();
     let quick = std::env::var("CUMULO_QUICK")
         .map(|v| v == "1")
         .unwrap_or(false);
@@ -69,6 +71,11 @@ fn main() {
     cluster.run_for(SimDuration::from_secs(20));
     let stack = cluster.max_read_amplification();
     eprintln!("[point_get] file stack after write phase: {stack} store files (compaction off)");
+    let mut rep = BenchReport::new("point_get");
+    rep.config("rows", rows);
+    rep.config("write_secs", write_secs as u64);
+    rep.config("read_secs", read_secs as u64);
+    rep.config("store_files_max", stack);
 
     // Phase 2: the same read-only workload over the identical file
     // stack, filters off then on.
@@ -89,7 +96,7 @@ fn main() {
             window: SimDuration::from_secs(5),
             ..Workload::default()
         };
-        let (_d, r) = run_measurement(
+        let (driver, r) = run_measurement(
             &cluster,
             read_workload,
             SimDuration::from_secs(2),
@@ -97,6 +104,9 @@ fn main() {
         );
         let t = cluster.filter_totals().since(&before);
         let label = if filters { "filters_on" } else { "filters_off" };
+        if args.timeline {
+            print_timeline(label, &driver.windows(), driver.window());
+        }
         let probes_per_get = if t.gets_served == 0 {
             0.0
         } else {
@@ -127,11 +137,22 @@ fn main() {
             r.mean_ms,
             r.p99_ms,
         );
+        let mut fields = vec![kv("mode", label)];
+        fields.extend(report_fields(&r));
+        fields.extend([
+            kv("consulted_per_get", t.consulted_per_get()),
+            kv("probes_per_get", probes_per_get),
+            kv("false_positive_rate", t.false_positive_rate()),
+            kv("false_negatives", t.false_negatives),
+        ]);
+        rep.phase(fields);
         assert_eq!(
             t.false_negatives, 0,
             "bloom filter produced a false negative"
         );
     }
+    rep.cluster("point_get", &cluster);
+    rep.write(&args);
     if consulted[0] > 0.0 {
         let cut = 100.0 * (1.0 - consulted[1] / consulted[0]);
         eprintln!(

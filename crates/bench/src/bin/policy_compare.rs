@@ -22,17 +22,23 @@
 //! (`CUMULO_QUICK=1` for a scaled-down smoke run). CSV on stdout is
 //! byte-identical across runs of the same build (determinism probe).
 
+use cumulo_bench::report::{kv, print_timeline, report_fields, BenchArgs, BenchReport};
 use cumulo_core::{Cluster, ClusterConfig, CompactionTotals, FilterTotals};
 use cumulo_sim::SimDuration;
 use cumulo_store::CompactionPolicyKind;
 use cumulo_ycsb::Workload;
 
 fn main() {
+    let args = BenchArgs::parse();
     let quick = std::env::var("CUMULO_QUICK")
         .map(|v| v == "1")
         .unwrap_or(false);
     let rows: u64 = if quick { 5_000 } else { 20_000 };
     let phase_secs = if quick { 25 } else { 60 };
+    let mut rep = BenchReport::new("policy_compare");
+    rep.config("rows", rows);
+    rep.config("phase_secs", phase_secs as u64);
+    rep.config("quick", quick);
 
     println!(
         "phase,policy,store_files_max,levels,throughput_tps,mean_ms,p95_ms,p99_ms,\
@@ -80,8 +86,16 @@ fn main() {
             window: SimDuration::from_secs(5),
             ..Workload::default()
         };
-        let (report, totals, filters) = measure(&cluster, write, phase_secs);
-        emit("write_heavy", label, &cluster, &report, &totals, &filters);
+        let (report, totals, filters) = measure(&cluster, write, phase_secs, "write_heavy", &args);
+        emit(
+            "write_heavy",
+            label,
+            &cluster,
+            &report,
+            &totals,
+            &filters,
+            &mut rep,
+        );
 
         // Phase 2: balanced mix over the standing backlog.
         let mixed = Workload {
@@ -92,8 +106,10 @@ fn main() {
             window: SimDuration::from_secs(5),
             ..Workload::default()
         };
-        let (report, totals, filters) = measure(&cluster, mixed, phase_secs / 2);
-        emit("mixed", label, &cluster, &report, &totals, &filters);
+        let (report, totals, filters) = measure(&cluster, mixed, phase_secs / 2, "mixed", &args);
+        emit(
+            "mixed", label, &cluster, &report, &totals, &filters, &mut rep,
+        );
 
         // Phase 3: scan-heavy with continued writes — filters could not
         // help scans anyway; the disjoint layout is the only bound.
@@ -107,8 +123,18 @@ fn main() {
             window: SimDuration::from_secs(5),
             ..Workload::default()
         };
-        let (report, totals, filters) = measure(&cluster, scans, phase_secs / 2);
-        emit("scan_heavy", label, &cluster, &report, &totals, &filters);
+        let (report, totals, filters) =
+            measure(&cluster, scans, phase_secs / 2, "scan_heavy", &args);
+        emit(
+            "scan_heavy",
+            label,
+            &cluster,
+            &report,
+            &totals,
+            &filters,
+            &mut rep,
+        );
+        rep.cluster(label, &cluster);
     }
 
     // Backpressure A/B: expensive merges + a bursty foreground (2 s of
@@ -154,9 +180,14 @@ fn main() {
             window: SimDuration::from_secs(5),
             ..Workload::default()
         };
-        let (report, totals, filters) = measure(&cluster, storm, phase_secs);
-        emit("storm", label, &cluster, &report, &totals, &filters);
+        let (report, totals, filters) = measure(&cluster, storm, phase_secs, label, &args);
+        emit(
+            "storm", label, &cluster, &report, &totals, &filters, &mut rep,
+        );
+        rep.cluster(&format!("storm_{label}"), &cluster);
     }
+
+    rep.write(&args);
 }
 
 /// Runs one measured workload phase and returns the report plus the
@@ -165,6 +196,8 @@ fn measure(
     cluster: &Cluster,
     workload: Workload,
     secs: u64,
+    tag: &str,
+    args: &BenchArgs,
 ) -> (cumulo_ycsb::DriverReport, CompactionTotals, FilterTotals) {
     let comp0 = cluster.compaction_totals();
     let filt0 = cluster.filter_totals();
@@ -174,6 +207,9 @@ fn measure(
         SimDuration::from_secs(2),
         SimDuration::from_secs(2 + secs),
     );
+    if args.timeline {
+        print_timeline(tag, &driver.windows(), driver.window());
+    }
     (
         report,
         cluster.compaction_totals().since(&comp0),
@@ -181,6 +217,7 @@ fn measure(
     )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn emit(
     phase: &str,
     policy: &str,
@@ -188,7 +225,20 @@ fn emit(
     r: &cumulo_ycsb::DriverReport,
     c: &CompactionTotals,
     f: &FilterTotals,
+    rep: &mut BenchReport,
 ) {
+    let mut fields = vec![kv("phase", phase), kv("policy", policy)];
+    fields.extend(report_fields(r));
+    fields.extend([
+        kv("store_files_max", cluster.max_read_amplification()),
+        kv("consulted_per_get", f.consulted_per_get()),
+        kv("compactions", c.completed),
+        kv("deferred", c.deferred),
+        kv("forced", c.forced),
+        kv("flush_stalls", c.flush_stalls),
+        kv("stall_ms", c.stall_ns as f64 / 1e6),
+    ]);
+    rep.phase(fields);
     let levels: Vec<String> = cluster
         .level_profile()
         .iter()

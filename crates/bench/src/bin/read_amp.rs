@@ -11,6 +11,7 @@
 //! Run: `cargo run --release -p cumulo-bench --bin read_amp`
 //! (`CUMULO_QUICK=1` for a scaled-down smoke run).
 
+use cumulo_bench::report::{kv, report_fields, BenchArgs, BenchReport};
 use cumulo_bench::run_measurement;
 use cumulo_core::{Cluster, ClusterConfig};
 use cumulo_sim::SimDuration;
@@ -22,11 +23,15 @@ struct Phase {
 }
 
 fn main() {
+    let args = BenchArgs::parse();
     let quick = std::env::var("CUMULO_QUICK")
         .map(|v| v == "1")
         .unwrap_or(false);
     let rows: u64 = if quick { 5_000 } else { 20_000 };
     let write_secs = if quick { 20 } else { 60 };
+    let mut rep = BenchReport::new("read_amp");
+    rep.config("rows", rows);
+    rep.config("write_secs", write_secs as u64);
     let phases = [
         Phase {
             label: "compaction_off",
@@ -74,7 +79,7 @@ fn main() {
         );
         // Drain flushes and (if enabled) compactions.
         cluster.run_for(SimDuration::from_secs(20));
-        report(&cluster, phase, "write", &w);
+        report(&cluster, phase, "write", &w, &mut rep);
 
         // Phase 2: read-only measurement against the accumulated files.
         let read_workload = Workload {
@@ -91,16 +96,28 @@ fn main() {
             SimDuration::from_secs(2),
             SimDuration::from_secs(if quick { 10 } else { 20 }),
         );
-        report(&cluster, phase, "read", &r);
+        report(&cluster, phase, "read", &r, &mut rep);
+        rep.cluster(phase.label, &cluster);
     }
+    rep.write(&args);
 }
 
-fn report(cluster: &Cluster, phase: &Phase, stage: &str, r: &cumulo_ycsb::DriverReport) {
-    let dropped: u64 = cluster
-        .servers
-        .iter()
-        .map(|s| s.compaction_stats().versions_dropped.get())
-        .sum();
+fn report(
+    cluster: &Cluster,
+    phase: &Phase,
+    stage: &str,
+    r: &cumulo_ycsb::DriverReport,
+    rep: &mut BenchReport,
+) {
+    let dropped: u64 = cluster.metrics.sum("store.compaction.versions_dropped");
+    let mut fields = vec![kv("mode", phase.label), kv("stage", stage)];
+    fields.extend(report_fields(r));
+    fields.extend([
+        kv("store_files_max", cluster.max_read_amplification()),
+        kv("compactions", cluster.total_compactions()),
+        kv("versions_dropped", dropped),
+    ]);
+    rep.phase(fields);
     println!(
         "{},{stage},{},{:.1},{:.2},{:.2},{:.2},{},{},{}",
         phase.label,

@@ -24,6 +24,7 @@
 //! byte-identical across runs of the same build (determinism probe — CI
 //! runs it twice and diffs).
 
+use cumulo_bench::report::{kv, print_timeline, report_fields, BenchArgs, BenchReport};
 use cumulo_core::{Cluster, ClusterConfig, TransactionalClient};
 use cumulo_sim::{Sim, SimDuration};
 use cumulo_ycsb::{KeyDistribution, Workload};
@@ -52,12 +53,17 @@ fn split_cluster(seed: u64, splits: bool, rows: u64) -> Cluster {
 }
 
 fn main() {
+    let args = BenchArgs::parse();
     let quick = std::env::var("CUMULO_QUICK")
         .map(|v| v == "1")
         .unwrap_or(false);
     let rows: u64 = if quick { 4_000 } else { 20_000 };
     let phase_secs = if quick { 25 } else { 90 };
     let audit_txns: u64 = if quick { 900 } else { 6_000 };
+    let mut rep = BenchReport::new("split_bench");
+    rep.config("rows", rows);
+    rep.config("phase_secs", phase_secs as u64);
+    rep.config("audit_txns", audit_txns);
 
     println!(
         "phase,splits_enabled,splits_applied,rolled_back,regions,throughput_tps,mean_ms,\
@@ -107,6 +113,18 @@ fn main() {
          {:.1} tps, p99 {:.2} ms",
         totals.applied, totals.rolled_back, report.throughput_tps, report.p99_ms
     );
+    if args.timeline {
+        print_timeline("hotspot", &driver.windows(), driver.window());
+    }
+    let mut fields = vec![kv("phase", "hotspot"), kv("splits_enabled", true)];
+    fields.extend(report_fields(&report));
+    fields.extend([
+        kv("splits_applied", totals.applied),
+        kv("rolled_back", totals.rolled_back),
+        kv("regions", regions),
+    ]);
+    rep.phase(fields);
+    rep.cluster("hotspot", &cluster);
     assert!(
         totals.applied >= 2,
         "hotspot workload must trigger at least 2 online splits, saw {}",
@@ -130,7 +148,16 @@ fn main() {
         if splits {
             assert!(applied >= 2, "audit run must also split, saw {applied}");
         }
+        rep.phase(vec![
+            kv("phase", format!("divergence_{label}")),
+            kv("splits_enabled", splits),
+            kv("splits_applied", applied),
+            kv("committed", committed),
+            kv("divergent_cells", divergent),
+            kv("cells_audited", audited),
+        ]);
     }
+    rep.write(&args);
 }
 
 /// Generates the deterministic op stream (4 blind puts per transaction;

@@ -8,6 +8,8 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod report;
+
 use cumulo_core::{Cluster, ClusterConfig, PersistenceMode};
 use cumulo_sim::SimDuration;
 use cumulo_ycsb::{Driver, Workload};

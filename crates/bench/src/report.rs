@@ -1,0 +1,326 @@
+//! Machine-readable bench snapshots: `--emit-json PATH` support and the
+//! human-readable `--timeline` dump.
+//!
+//! Every bench binary accepts
+//!
+//! * `--emit-json PATH` — write a `BENCH_<bin>.json` snapshot (workload
+//!   config, per-phase latency percentiles, the cluster's full metric
+//!   snapshot, failure-event counts and journal occupancy) to `PATH`;
+//! * `--timeline` — print a Fig. 3-style per-window
+//!   throughput/latency timeline to stderr (binaries that keep a
+//!   [`cumulo_ycsb::Driver`] alive also embed it in the JSON).
+//!
+//! The JSON is rendered by hand with insertion-ordered object keys and
+//! fixed-precision float formatting, so two runs of the same seed emit
+//! **byte-identical** files — CI double-runs `policy_compare
+//! --emit-json` and diffs the outputs as a determinism probe. Nothing
+//! here reads the wall clock or the simulation RNG; stdout (the CSV
+//! contract) is never touched.
+
+use cumulo_core::Cluster;
+use cumulo_sim::metrics::Window;
+use cumulo_sim::SimDuration;
+use cumulo_ycsb::DriverReport;
+
+/// Shared command-line arguments of the bench binaries.
+#[derive(Clone, Debug, Default)]
+pub struct BenchArgs {
+    /// Destination of the JSON snapshot (`--emit-json PATH`).
+    pub emit_json: Option<String>,
+    /// Print per-window timelines to stderr (`--timeline`).
+    pub timeline: bool,
+}
+
+impl BenchArgs {
+    /// Parses the process arguments. Unknown arguments are ignored so
+    /// the binaries stay forward-compatible with harness wrappers.
+    pub fn parse() -> BenchArgs {
+        let mut out = BenchArgs::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--emit-json" => out.emit_json = args.next(),
+                "--timeline" => out.timeline = true,
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+/// A JSON value with deterministic rendering: object keys keep
+/// insertion order and floats render with fixed precision.
+#[derive(Clone, Debug)]
+pub enum Json {
+    /// Unsigned integer.
+    U64(u64),
+    /// Float, rendered as `{:.4}`.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String (escaped on render).
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::U64(v)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::U64(v as u64)
+    }
+}
+impl From<u32> for Json {
+    fn from(v: u32) -> Json {
+        Json::U64(u64::from(v))
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::F64(v)
+    }
+}
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_owned())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+
+impl Json {
+    /// Renders the value as pretty-printed JSON (2-space indent, `\n`
+    /// line ends, trailing newline at the top level).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::U64(v) => out.push_str(&v.to_string()),
+            Json::F64(v) => {
+                if v.is_finite() {
+                    out.push_str(&format!("{v:.4}"));
+                } else {
+                    // JSON has no NaN/Inf; null keeps the file parseable
+                    // (and deterministic) if a rate divides by zero.
+                    out.push_str("null");
+                }
+            }
+            Json::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        '\r' => out.push_str("\\r"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    Json::Str(k.clone()).write(out, indent + 1);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Builds one `(key, value)` JSON object field.
+pub fn kv(key: &str, value: impl Into<Json>) -> (String, Json) {
+    (key.to_owned(), value.into())
+}
+
+/// The standard latency/throughput fields of a completed measurement.
+pub fn report_fields(r: &DriverReport) -> Vec<(String, Json)> {
+    vec![
+        kv("committed", r.committed),
+        kv("aborted", r.aborted),
+        kv("throughput_tps", r.throughput_tps),
+        kv("mean_ms", r.mean_ms),
+        kv("p95_ms", r.p95_ms),
+        kv("p99_ms", r.p99_ms),
+    ]
+}
+
+/// Per-window timeline (the Fig. 3 shape) as a JSON array of
+/// `{time_s, tps, mean_ms, max_ms}` rows.
+pub fn timeline_json(windows: &[Window], window: SimDuration) -> Json {
+    Json::Arr(
+        windows
+            .iter()
+            .map(|w| {
+                Json::Obj(vec![
+                    kv("time_s", w.start.as_secs_f64()),
+                    kv("tps", w.rate(window)),
+                    kv("mean_ms", w.mean() as f64 / 1e6),
+                    kv("max_ms", w.max as f64 / 1e6),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Prints a human-readable per-window timeline to stderr (mirrors the
+/// Fig. 3 plots; stdout stays reserved for the CSV contract).
+pub fn print_timeline(tag: &str, windows: &[Window], window: SimDuration) {
+    eprintln!(
+        "[{tag}] timeline ({} windows of {:?}):",
+        windows.len(),
+        window
+    );
+    for w in windows {
+        eprintln!(
+            "[{tag}]   t={:6.0}s {:8.1} tps  mean {:8.2} ms  max {:8.2} ms  ({} txns)",
+            w.start.as_secs_f64(),
+            w.rate(window),
+            w.mean() as f64 / 1e6,
+            w.max as f64 / 1e6,
+            w.count,
+        );
+    }
+}
+
+/// Accumulates one bench run's machine-readable snapshot and writes it
+/// on request (see the module docs).
+pub struct BenchReport {
+    bin: String,
+    config: Vec<(String, Json)>,
+    phases: Vec<Json>,
+    clusters: Vec<(String, Json)>,
+}
+
+impl BenchReport {
+    /// Starts a snapshot for the named binary.
+    pub fn new(bin: &str) -> BenchReport {
+        BenchReport {
+            bin: bin.to_owned(),
+            config: Vec::new(),
+            phases: Vec::new(),
+            clusters: Vec::new(),
+        }
+    }
+
+    /// Records one workload-configuration field.
+    pub fn config(&mut self, key: &str, value: impl Into<Json>) {
+        self.config.push(kv(key, value));
+    }
+
+    /// Appends one measured phase (arbitrary fields; use
+    /// [`report_fields`] for the standard latency block).
+    pub fn phase(&mut self, fields: Vec<(String, Json)>) {
+        self.phases.push(Json::Obj(fields));
+    }
+
+    /// Captures a cluster's full observability state under `label`: the
+    /// registry snapshot (fully sorted key→value map), the failure-event
+    /// counts and both journals' occupancy.
+    pub fn cluster(&mut self, label: &str, cluster: &Cluster) {
+        let snapshot = cluster.metrics.snapshot();
+        let metrics = Json::Obj(
+            snapshot
+                .entries()
+                .map(|(k, v)| (k.to_owned(), Json::U64(v)))
+                .collect(),
+        );
+        let events = Json::Obj(
+            cluster
+                .events
+                .counts()
+                .into_iter()
+                .map(|(k, v)| (k.to_owned(), Json::U64(v)))
+                .collect(),
+        );
+        let journals = Json::Obj(vec![
+            kv("trace_recorded", cluster.trace.total_recorded()),
+            kv("trace_retained", cluster.trace.len()),
+            kv("trace_dropped", cluster.trace.dropped()),
+            kv("events_recorded", cluster.events.total_recorded()),
+            kv("events_retained", cluster.events.len()),
+        ]);
+        self.clusters.push((
+            label.to_owned(),
+            Json::Obj(vec![
+                ("metrics".to_owned(), metrics),
+                ("events".to_owned(), events),
+                ("journals".to_owned(), journals),
+            ]),
+        ));
+    }
+
+    /// Renders the complete snapshot.
+    pub fn to_json(&self) -> String {
+        Json::Obj(vec![
+            kv("bench", self.bin.as_str()),
+            ("config".to_owned(), Json::Obj(self.config.clone())),
+            ("phases".to_owned(), Json::Arr(self.phases.clone())),
+            ("clusters".to_owned(), Json::Obj(self.clusters.clone())),
+        ])
+        .render()
+    }
+
+    /// Writes the snapshot to `--emit-json PATH` if one was given.
+    /// Panics on I/O failure — a bench that silently drops its artifact
+    /// would poison the perf trajectory.
+    pub fn write(&self, args: &BenchArgs) {
+        let Some(path) = &args.emit_json else { return };
+        std::fs::write(path, self.to_json()).unwrap_or_else(|e| panic!("--emit-json {path}: {e}"));
+        eprintln!("[{}] wrote JSON snapshot to {path}", self.bin);
+    }
+}

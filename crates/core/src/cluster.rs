@@ -15,7 +15,9 @@ use crate::txn_client::{PersistenceMode, TransactionalClient, TxnClientConfig};
 use bytes::Bytes;
 use cumulo_coord::{CoordClient, CoordService};
 use cumulo_dfs::{DataNode, DfsClient, NameNode, NameNodeConfig};
-use cumulo_sim::{DiskConfig, LatencyConfig, Network, Sim, SimDuration, SimTime};
+use cumulo_sim::{
+    DiskConfig, Journal, LatencyConfig, MetricsRegistry, Network, Sim, SimDuration, SimTime,
+};
 use cumulo_store::{
     ClientId, CompactionPolicyKind, Master, MasterConfig, MemStore, RegionMap, RegionServer,
     RegionServerConfig, ServerDirectory, ServerId, StoreClient, StoreClientConfig, StoreFileData,
@@ -147,6 +149,20 @@ pub struct Cluster {
     pub server_trackers: Vec<Rc<ServerTracker>>,
     /// Transactional clients, by index.
     pub clients: Vec<TransactionalClient>,
+    /// The cluster-wide metrics registry: every component's counters and
+    /// gauges are registered here under stable names and labels, so one
+    /// [`MetricsRegistry::snapshot`] captures the whole deployment. The
+    /// aggregate views ([`Cluster::filter_totals`],
+    /// [`Cluster::compaction_totals`], …) are thin queries over it.
+    pub metrics: MetricsRegistry,
+    /// Trace journal: per-RPC service spans (`rpc.*`) and
+    /// per-transaction lifecycle spans (`txn.*`), in deterministic
+    /// simulation order. Ring-buffered; evicted records stay counted.
+    pub trace: Journal,
+    /// Failure-event journal: recovery-protocol transitions (failover,
+    /// threshold advancement, split intent/flip/rollback, compaction and
+    /// flush backpressure) that chaos tests assert sequences over.
+    pub events: Journal,
     probe: StoreClient,
     cfg: ClusterConfig,
 }
@@ -172,6 +188,13 @@ impl Cluster {
     pub fn build(cfg: ClusterConfig) -> Cluster {
         let sim = Sim::new(cfg.seed);
         let net = Network::new(&sim, cfg.latency);
+
+        // Observability: one registry + two journals shared by every
+        // component. Pure recording — nothing here draws from the RNG or
+        // schedules events, so enabling it cannot perturb a run.
+        let metrics = MetricsRegistry::new();
+        let trace = Journal::new(65_536);
+        let events = Journal::new(16_384);
 
         // Coordination service.
         let coord_node = net.add_node("coord");
@@ -251,6 +274,8 @@ impl Cluster {
                     purge_floor: horizon.min(tm_for_gc.log().truncated_below()),
                 }
             }));
+            server.set_journals(trace.clone(), events.clone());
+            server.register_metrics(&metrics);
             server.start(&server_coord);
             dir.register(Rc::clone(&server));
             servers.push(server);
@@ -269,6 +294,8 @@ impl Cluster {
         );
         let master_coord = CoordClient::new(&sim, &net, &coord, master_node);
         master.set_registry(Rc::clone(&registry));
+        master.set_events_journal(events.clone());
+        master.register_metrics(&metrics);
         master.start(&master_coord);
 
         // Recovery manager + recovery client on their own node.
@@ -282,6 +309,8 @@ impl Cluster {
             ..cfg.rm_cfg
         };
         let rm = RecoveryManager::new(&sim, &net, rm_node, rm_coord, &tm, rc, rm_cfg);
+        rm.set_events_journal(events.clone());
+        rm.register_metrics(&metrics);
         rm.start();
 
         // Hook bridge + per-server trackers.
@@ -354,6 +383,8 @@ impl Cluster {
                 coord_client,
                 client_cfg,
             );
+            client.set_trace_journal(trace.clone());
+            client.register_metrics(&metrics);
             client.start();
             clients.push(client);
         }
@@ -378,6 +409,9 @@ impl Cluster {
             servers,
             server_trackers,
             clients,
+            metrics,
+            trace,
+            events,
             probe,
             cfg,
         }
@@ -534,56 +568,45 @@ impl Cluster {
         })
     }
 
-    /// Total transactions committed across all clients.
+    /// Total transactions committed across all clients (a registry view
+    /// over `txn.committed`).
     pub fn total_committed(&self) -> u64 {
-        self.clients
-            .iter()
-            .map(TransactionalClient::committed_count)
-            .sum()
+        self.metrics.sum("txn.committed")
     }
 
-    /// Total transactions aborted across all clients.
+    /// Total transactions aborted across all clients (a registry view
+    /// over `txn.aborted`).
     pub fn total_aborted(&self) -> u64 {
-        self.clients
-            .iter()
-            .map(TransactionalClient::aborted_count)
-            .sum()
+        self.metrics.sum("txn.aborted")
     }
 
-    /// Background compactions completed across all servers.
+    /// Background compactions completed across all servers (a registry
+    /// view over `store.compaction.completed`).
     pub fn total_compactions(&self) -> u64 {
-        self.servers
-            .iter()
-            .map(|s| s.compaction_stats().completed.get())
-            .sum()
+        self.metrics.sum("store.compaction.completed")
     }
 
     /// Worst-case read amplification right now: the largest store-file
-    /// count backing any region on any server.
+    /// count backing any region on any server (a registry view over the
+    /// `store.read_amplification` gauges).
     pub fn max_read_amplification(&self) -> u64 {
-        self.servers
-            .iter()
-            .map(|s| s.compaction_stats().read_amplification.get())
-            .max()
-            .unwrap_or(0)
+        self.metrics.max("store.read_amplification")
     }
 
     /// Cluster-wide snapshot of the point-get filter statistics, summed
-    /// across all region servers (see `cumulo_store::FilterStats`).
+    /// across all region servers — a view over the registry's
+    /// `store.filter.*` metrics (see `cumulo_store::FilterStats`).
     pub fn filter_totals(&self) -> FilterTotals {
-        let mut t = FilterTotals::default();
-        for s in &self.servers {
-            let fs = s.filter_stats();
-            t.probes += fs.probes.get();
-            t.range_skips += fs.range_skips.get();
-            t.filter_skips += fs.filter_skips.get();
-            t.false_positives += fs.false_positives.get();
-            t.false_negatives += fs.false_negatives.get();
-            t.files_consulted += fs.files_consulted.get();
-            t.filter_bytes += fs.filter_bytes.get();
-            t.gets_served += s.gets_served();
+        FilterTotals {
+            probes: self.metrics.sum("store.filter.probes"),
+            range_skips: self.metrics.sum("store.filter.range_skips"),
+            filter_skips: self.metrics.sum("store.filter.filter_skips"),
+            false_positives: self.metrics.sum("store.filter.false_positives"),
+            false_negatives: self.metrics.sum("store.filter.false_negatives"),
+            files_consulted: self.metrics.sum("store.filter.files_consulted"),
+            gets_served: self.metrics.sum("store.gets"),
+            filter_bytes: self.metrics.sum("store.filter.bytes"),
         }
-        t
     }
 
     /// Toggles bloom probing on point gets on every region server (the
@@ -606,41 +629,36 @@ impl Cluster {
     }
 
     /// Cluster-wide snapshot of the compaction statistics, summed across
-    /// all region servers (see `cumulo_store::CompactionStats`).
+    /// all region servers — a view over the registry's
+    /// `store.compaction.*` metrics (see `cumulo_store::CompactionStats`).
     pub fn compaction_totals(&self) -> CompactionTotals {
-        let mut t = CompactionTotals::default();
-        for s in &self.servers {
-            let cs = s.compaction_stats();
-            t.started += cs.started.get();
-            t.completed += cs.completed.get();
-            t.bytes_rewritten += cs.bytes_rewritten.get();
-            t.versions_dropped += cs.versions_dropped.get();
-            t.files_retired += cs.files_retired.get();
-            t.deferred += cs.deferred.get();
-            t.forced += cs.forced.get();
-            t.flush_stalls += cs.flush_stalls.get();
-            t.stall_ns += cs.stall_ns.get();
+        CompactionTotals {
+            started: self.metrics.sum("store.compaction.started"),
+            completed: self.metrics.sum("store.compaction.completed"),
+            bytes_rewritten: self.metrics.sum("store.compaction.bytes_rewritten"),
+            versions_dropped: self.metrics.sum("store.compaction.versions_dropped"),
+            files_retired: self.metrics.sum("store.compaction.files_retired"),
+            deferred: self.metrics.sum("store.compaction.deferred"),
+            forced: self.metrics.sum("store.compaction.forced"),
+            flush_stalls: self.metrics.sum("store.compaction.flush_stalls"),
+            stall_ns: self.metrics.sum("store.compaction.stall_ns"),
         }
-        t
     }
 
     /// Cluster-wide snapshot of the online-split statistics: per-server
     /// counters summed, master-side intent/apply/rollback counters
     /// attached (see `cumulo_store::SplitStats`).
     pub fn split_totals(&self) -> SplitTotals {
-        let mut t = SplitTotals::default();
-        for s in &self.servers {
-            let ss = s.split_stats();
-            t.considered += ss.considered.get();
-            t.intents_requested += ss.intents_requested.get();
-            t.executing += ss.executing.get();
-            t.completed += ss.completed.get();
-            t.server_aborted += ss.aborted.get();
+        SplitTotals {
+            considered: self.metrics.sum("store.split.considered"),
+            intents_requested: self.metrics.sum("store.split.intents_requested"),
+            executing: self.metrics.sum("store.split.executing"),
+            completed: self.metrics.sum("store.split.completed"),
+            server_aborted: self.metrics.sum("store.split.aborted"),
+            intents_persisted: self.metrics.sum("master.split.intents_persisted"),
+            applied: self.metrics.sum("master.split.applied"),
+            rolled_back: self.metrics.sum("master.split.rolled_back"),
         }
-        t.intents_persisted = self.master.split_intents_persisted();
-        t.applied = self.master.splits_applied();
-        t.rolled_back = self.master.splits_rolled_back();
-        t
     }
 
     /// Splits applied to the region map so far.
@@ -718,19 +736,21 @@ impl Cluster {
     }
 
     /// Per-level `(file count, bytes)` summed across all region servers,
-    /// indexed by LSM level (slot 0 holds everything under size-tiered).
+    /// indexed by LSM level (slot 0 holds everything under size-tiered) —
+    /// a view over the registry's `store.level.files`/`store.level.bytes`
+    /// gauge vectors.
     pub fn level_profile(&self) -> Vec<(u64, u64)> {
-        let mut out: Vec<(u64, u64)> = Vec::new();
-        for s in &self.servers {
-            for (level, (files, bytes)) in s.level_profile().into_iter().enumerate() {
-                if out.len() <= level {
-                    out.resize(level + 1, (0, 0));
-                }
-                out[level].0 += files;
-                out[level].1 += bytes;
-            }
-        }
-        out
+        let files = self.metrics.sum_vec("store.level.files");
+        let bytes = self.metrics.sum_vec("store.level.bytes");
+        let levels = files.len().max(bytes.len());
+        (0..levels)
+            .map(|i| {
+                (
+                    files.get(i).copied().unwrap_or(0),
+                    bytes.get(i).copied().unwrap_or(0),
+                )
+            })
+            .collect()
     }
 }
 

@@ -31,7 +31,8 @@
 use crate::paths;
 use crate::recovery_client::RecoveryClient;
 use cumulo_coord::{CoordClient, WatchEvent};
-use cumulo_sim::metrics::Counter;
+use cumulo_sim::metrics::{Counter, MetricsRegistry};
+use cumulo_sim::trace::Journal;
 use cumulo_sim::{every, Network, NodeId, Sim, SimDuration, TimerHandle};
 use cumulo_store::{ClientId, Mutation, RegionId, RegionServer, ServerId, Timestamp};
 use cumulo_txn::TransactionManager;
@@ -102,6 +103,9 @@ pub struct RecoveryManager {
     client_recoveries: Counter,
     region_recoveries: Counter,
     truncations: Counter,
+    /// Failure-event journal (shared cluster journal; disabled until the
+    /// cluster wiring installs one).
+    events: RefCell<Journal>,
     self_weak: RefCell<Weak<RecoveryManager>>,
 }
 
@@ -153,6 +157,7 @@ impl RecoveryManager {
             client_recoveries: Counter::new(),
             region_recoveries: Counter::new(),
             truncations: Counter::new(),
+            events: RefCell::new(Journal::disabled()),
             self_weak: RefCell::new(Weak::new()),
         });
         *rm.self_weak.borrow_mut() = Rc::downgrade(&rm);
@@ -281,6 +286,20 @@ impl RecoveryManager {
         &self.rc
     }
 
+    /// Installs the cluster-shared failure-event journal (disabled until
+    /// then).
+    pub fn set_events_journal(&self, events: Journal) {
+        *self.events.borrow_mut() = events;
+    }
+
+    /// Adopts the manager's counters into `registry` under `rm.*` keys.
+    /// Cluster wiring; call once.
+    pub fn register_metrics(&self, registry: &MetricsRegistry) {
+        registry.register_counter("rm.client_recoveries", &[], &self.client_recoveries);
+        registry.register_counter("rm.region_recoveries", &[], &self.region_recoveries);
+        registry.register_counter("rm.truncations", &[], &self.truncations);
+    }
+
     // ------------------------------------------------------------------
     // Registration and thresholds
     // ------------------------------------------------------------------
@@ -381,6 +400,9 @@ impl RecoveryManager {
         let Some(min) = min else { return };
         if min > self.t_f.get() {
             self.t_f.set(min);
+            self.events
+                .borrow()
+                .record(self.sim.now(), "threshold.tf", || format!("t_f={}", min.0));
             self.coord.set_data(paths::TF_PATH, paths::encode_ts(min));
         }
     }
@@ -397,6 +419,9 @@ impl RecoveryManager {
         let Some(min) = min else { return };
         if min > self.t_p.get() {
             self.t_p.set(min);
+            self.events
+                .borrow()
+                .record(self.sim.now(), "threshold.tp", || format!("t_p={}", min.0));
             self.coord.set_data(paths::TP_PATH, paths::encode_ts(min));
         }
     }
@@ -408,6 +433,11 @@ impl RecoveryManager {
         if self.cfg.truncation && t_p > self.last_truncated.get() {
             self.last_truncated.set(t_p);
             self.truncations.inc();
+            self.events
+                .borrow()
+                .record(self.sim.now(), "log.truncate", || {
+                    format!("below={}", t_p.0)
+                });
             let tm = Rc::clone(&self.tm);
             self.net.send(self.node, tm.node(), 48, move || {
                 tm.log().truncate_below(t_p);
@@ -421,6 +451,11 @@ impl RecoveryManager {
 
     fn recover_client(self: &Rc<Self>, c: ClientId, t_f_r: Timestamp) {
         self.client_recoveries.inc();
+        self.events
+            .borrow()
+            .record(self.sim.now(), "client.recover", || {
+                format!("client={c} t_f_r={}", t_f_r.0)
+            });
         // Pin the global T_F at the dead client's threshold: the recovery
         // client now vouches for the interrupted flushes.
         let pin = self.next_pin.get();
@@ -652,6 +687,11 @@ impl RecoveryManager {
             }
         };
         self.region_recoveries.inc();
+        self.events
+            .borrow()
+            .record(self.sim.now(), "region.recovered", || {
+                format!("region={region} server={} failed={failed}", server.id())
+            });
         self.coord.delete(&paths::region_floor(region));
         // Let the region declare itself online (runs at the server).
         if let Some(cb) = online.borrow_mut().take() {

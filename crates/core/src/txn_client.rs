@@ -51,7 +51,8 @@ use crate::flush_tracker::FlushTracker;
 use crate::paths;
 use bytes::Bytes;
 use cumulo_coord::{CoordClient, SessionId};
-use cumulo_sim::metrics::Counter;
+use cumulo_sim::metrics::{Counter, MetricsRegistry};
+use cumulo_sim::trace::Journal;
 use cumulo_sim::{every_from, Network, NodeId, Sim, SimDuration, TimerHandle};
 use cumulo_store::{ClientId, Mutation, MutationKind, StoreClient, Timestamp, WriteSet};
 use cumulo_txn::{CommitOutcome, TransactionManager, TxnId};
@@ -210,6 +211,10 @@ struct TcInner {
     /// commit — and a crash mid-flush would then escape recovery replay,
     /// leaving a half-applied write-set.
     commits_in_flight: Cell<usize>,
+    /// Transaction-lifecycle trace spans (begin / commit / abort /
+    /// retry), recorded at event-execution time so the journal order is
+    /// deterministic. Disabled until the cluster wires a real journal.
+    trace: RefCell<Journal>,
     committed: Counter,
     aborted: Counter,
     flushed: Counter,
@@ -546,6 +551,18 @@ impl Transaction {
                     match outcome {
                         CommitOutcome::Committed(ts) => {
                             inner.committed.inc();
+                            inner
+                                .trace
+                                .borrow()
+                                .record(inner.sim.now(), "txn.commit", || {
+                                    format!(
+                                        "client={} txn={} ts={} writes={}",
+                                        inner.id,
+                                        txn.0,
+                                        ts,
+                                        ws2.mutations.len()
+                                    )
+                                });
                             if ws2.is_empty() {
                                 done(Ok(ts));
                                 return;
@@ -568,10 +585,22 @@ impl Transaction {
                         }
                         CommitOutcome::Conflict => {
                             inner.aborted.inc();
+                            inner
+                                .trace
+                                .borrow()
+                                .record(inner.sim.now(), "txn.abort", || {
+                                    format!("client={} txn={} cause=conflict", inner.id, txn.0)
+                                });
                             done(Err(TxnError::Conflict));
                         }
                         CommitOutcome::UnknownTxn => {
                             inner.aborted.inc();
+                            inner
+                                .trace
+                                .borrow()
+                                .record(inner.sim.now(), "txn.abort", || {
+                                    format!("client={} txn={} cause=unknown", inner.id, txn.0)
+                                });
                             done(Err(TxnError::UnknownTxn));
                         }
                     }
@@ -591,6 +620,12 @@ impl Transaction {
             return;
         }
         self.inner.aborted.inc();
+        self.inner
+            .trace
+            .borrow()
+            .record(self.inner.sim.now(), "txn.abort", || {
+                format!("client={} txn={} cause=user", self.inner.id, self.id.0)
+            });
         let tm = Rc::clone(&self.inner.tm);
         let txn = self.id;
         self.inner
@@ -633,6 +668,7 @@ impl TransactionalClient {
                 closed: Cell::new(false),
                 timers: RefCell::new(Vec::new()),
                 commits_in_flight: Cell::new(0),
+                trace: RefCell::new(Journal::disabled()),
                 committed: Counter::new(),
                 aborted: Counter::new(),
                 flushed: Counter::new(),
@@ -693,6 +729,25 @@ impl TransactionalClient {
         self.inner.id
     }
 
+    /// Installs the trace journal that transaction-lifecycle spans
+    /// (`txn.begin` / `txn.commit` / `txn.abort` / `txn.retry`) are
+    /// recorded into. Until called, spans go to a disabled journal.
+    pub fn set_trace_journal(&self, trace: Journal) {
+        *self.inner.trace.borrow_mut() = trace;
+    }
+
+    /// Registers this client's transaction counters with `registry`
+    /// under `txn.*{client=<id>}`.
+    pub fn register_metrics(&self, registry: &MetricsRegistry) {
+        let cid = self.inner.id.to_string();
+        let labels: &[(&str, &str)] = &[("client", cid.as_str())];
+        registry.register_counter("txn.committed", labels, &self.inner.committed);
+        registry.register_counter("txn.aborted", labels, &self.inner.aborted);
+        registry.register_counter("txn.flushed", labels, &self.inner.flushed);
+        registry.register_counter("txn.alerts", labels, &self.inner.alerts);
+        registry.register_counter("txn.conflict_retries", labels, &self.inner.conflict_retries);
+    }
+
     /// The node the client runs on.
     pub fn node(&self) -> NodeId {
         self.inner.node
@@ -736,6 +791,12 @@ impl TransactionalClient {
                         write_set: WriteSet::new(),
                     },
                 );
+                inner
+                    .trace
+                    .borrow()
+                    .record(inner.sim.now(), "txn.begin", || {
+                        format!("client={} txn={} snapshot={}", inner.id, txn.0, start_ts)
+                    });
                 done(Ok(Transaction { inner, id: txn }));
             });
         });
@@ -893,6 +954,12 @@ fn settle_attempt(
     match outcome {
         Err(TxnError::Conflict) if attempt + 1 < policy.max_attempts => {
             inner.conflict_retries.inc();
+            inner
+                .trace
+                .borrow()
+                .record(inner.sim.now(), "txn.retry", || {
+                    format!("client={} attempt={}", inner.id, attempt + 1)
+                });
             let wait = policy.backoff_for(attempt);
             let sim = inner.sim.clone();
             sim.schedule_in(wait, move || {

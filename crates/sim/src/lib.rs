@@ -41,10 +41,13 @@ mod net;
 mod service;
 mod time;
 mod timer;
+pub mod trace;
 
 pub use disk::{Disk, DiskConfig};
 pub use kernel::Sim;
+pub use metrics::{MetricsRegistry, MetricsSnapshot};
 pub use net::{LatencyConfig, Network, NodeId};
 pub use service::ServiceQueue;
 pub use time::{SimDuration, SimTime};
 pub use timer::{every, every_from, TimerHandle};
+pub use trace::{Journal, JournalEntry};

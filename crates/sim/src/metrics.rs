@@ -1,11 +1,17 @@
-//! Measurement utilities: shared counters, HDR-style latency histograms and
-//! windowed time series.
+//! Measurement utilities: shared counters, HDR-style latency histograms,
+//! windowed time series and the cluster-wide [`MetricsRegistry`].
 //!
 //! The benchmark harness uses [`Histogram`] for response-time percentiles
 //! (Fig. 2a/2b) and [`TimeSeries`] for the failure-timeline plots (Fig. 3).
+//! Every long-lived counter or gauge in the cluster also registers into a
+//! [`MetricsRegistry`] under a `name{label=value,...}` key, and
+//! [`MetricsRegistry::snapshot`] renders the whole cluster state as one
+//! fully sorted, deterministic key→value map (the backbone of the
+//! `BENCH_*.json` exporters and of `Cluster`'s aggregate views).
 
 use crate::time::{SimDuration, SimTime};
 use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::rc::Rc;
 
@@ -436,6 +442,367 @@ impl TimeSeries {
     }
 }
 
+/// The metric handle kinds a registry entry can hold.
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Vec {
+        v: GaugeVec,
+        /// Label name attached to each slot index (e.g. `level`).
+        slot_label: String,
+    },
+    Map {
+        m: GaugeMap,
+        /// Label name attached to each map key (e.g. `region`).
+        key_label: String,
+    },
+    Histogram(Histogram),
+}
+
+struct Registered {
+    name: String,
+    labels: Vec<(String, String)>,
+    metric: Metric,
+}
+
+/// Renders `name{k=v,...}` with labels sorted by label name; bare `name`
+/// when there are no labels.
+fn render_key(name: &str, labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return name.to_owned();
+    }
+    let mut sorted: Vec<&(String, String)> = labels.iter().collect();
+    sorted.sort();
+    let body: Vec<String> = sorted.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    format!("{name}{{{}}}", body.join(","))
+}
+
+/// One rendered snapshot entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct SnapEntry {
+    value: u64,
+    /// Monotonic entries (counters, histogram sample counts) subtract in
+    /// [`MetricsSnapshot::diff`]; level entries (gauges, quantiles) keep
+    /// the later value.
+    monotonic: bool,
+}
+
+/// A point-in-time rendering of a [`MetricsRegistry`]: a fully sorted
+/// `key → value` map. Keys are `name{label=value,...}` strings; values
+/// are plain `u64`s, so the map serializes deterministically.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    entries: BTreeMap<String, SnapEntry>,
+}
+
+impl MetricsSnapshot {
+    /// Value under the exact rendered key, if present.
+    pub fn get(&self, key: &str) -> Option<u64> {
+        self.entries.get(key).map(|e| e.value)
+    }
+
+    /// All `(key, value)` pairs in sorted key order.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.entries.iter().map(|(k, e)| (k.as_str(), e.value))
+    }
+
+    /// Number of rendered entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the snapshot holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The change since `earlier`: monotonic entries (counters,
+    /// histogram counts) subtract saturating; level entries (gauges,
+    /// quantiles) keep this snapshot's value. Keys absent from `earlier`
+    /// count from zero; keys only in `earlier` are dropped.
+    pub fn diff(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let entries = self
+            .entries
+            .iter()
+            .map(|(k, e)| {
+                let value = if e.monotonic {
+                    let before = earlier.get(k).unwrap_or(0);
+                    e.value.saturating_sub(before)
+                } else {
+                    e.value
+                };
+                (
+                    k.clone(),
+                    SnapEntry {
+                        value,
+                        monotonic: e.monotonic,
+                    },
+                )
+            })
+            .collect();
+        MetricsSnapshot { entries }
+    }
+
+    /// Renders one `key value` line per entry, sorted by key — two runs
+    /// of the same seed produce byte-identical output.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (k, e) in &self.entries {
+            out.push_str(&format!("{k} {}\n", e.value));
+        }
+        out
+    }
+}
+
+/// A cluster-wide registry of named, labeled metrics.
+///
+/// Handles ([`Counter`], [`Gauge`], [`GaugeVec`], [`GaugeMap`],
+/// [`Histogram`]) either register at construction (`registry.counter(...)`)
+/// or are adopted after the fact (`registry.register_counter(...)`) —
+/// adoption lets subsystem stats structs keep their `Default`
+/// constructors. Registering the same `name{labels}` twice panics.
+///
+/// The registry is an `Rc`-shared handle like the metrics themselves;
+/// registration and snapshotting never draw from the simulation RNG and
+/// never schedule events, so observing a cluster cannot perturb it.
+///
+/// # Example
+///
+/// ```
+/// use cumulo_sim::metrics::MetricsRegistry;
+///
+/// let reg = MetricsRegistry::new();
+/// let gets0 = reg.counter("store.gets", &[("server", "0")]);
+/// let gets1 = reg.counter("store.gets", &[("server", "1")]);
+/// gets0.add(3);
+/// gets1.add(4);
+/// assert_eq!(reg.sum("store.gets"), 7);
+/// let snap = reg.snapshot();
+/// assert_eq!(snap.get("store.gets{server=0}"), Some(3));
+/// ```
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Rc<RefCell<Vec<Registered>>>,
+}
+
+impl fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MetricsRegistry({} metrics)", self.inner.borrow().len())
+    }
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    fn push(&self, name: &str, labels: &[(&str, &str)], metric: Metric) {
+        let labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+            .collect();
+        let key = render_key(name, &labels);
+        let mut inner = self.inner.borrow_mut();
+        assert!(
+            !inner.iter().any(|r| render_key(&r.name, &r.labels) == key),
+            "metric {key} registered twice"
+        );
+        inner.push(Registered {
+            name: name.to_owned(),
+            labels,
+            metric,
+        });
+    }
+
+    /// Creates and registers a [`Counter`].
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let c = Counter::new();
+        self.register_counter(name, labels, &c);
+        c
+    }
+
+    /// Creates and registers a [`Gauge`].
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let g = Gauge::new();
+        self.register_gauge(name, labels, &g);
+        g
+    }
+
+    /// Creates and registers a [`Histogram`].
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        let h = Histogram::new();
+        self.register_histogram(name, labels, &h);
+        h
+    }
+
+    /// Adopts an existing [`Counter`] under `name{labels}`.
+    pub fn register_counter(&self, name: &str, labels: &[(&str, &str)], c: &Counter) {
+        self.push(name, labels, Metric::Counter(c.clone()));
+    }
+
+    /// Adopts an existing [`Gauge`] under `name{labels}`.
+    pub fn register_gauge(&self, name: &str, labels: &[(&str, &str)], g: &Gauge) {
+        self.push(name, labels, Metric::Gauge(g.clone()));
+    }
+
+    /// Adopts an existing [`Histogram`] under `name{labels}`. The
+    /// snapshot renders `.count` (monotonic), `.mean`, `.p50`, `.p95`,
+    /// `.p99` and `.max` sub-entries.
+    pub fn register_histogram(&self, name: &str, labels: &[(&str, &str)], h: &Histogram) {
+        self.push(name, labels, Metric::Histogram(h.clone()));
+    }
+
+    /// Adopts an existing [`GaugeVec`]; each slot `i` renders with an
+    /// extra `slot_label=i` label (e.g. `level=2`).
+    pub fn register_vec(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        slot_label: &str,
+        v: &GaugeVec,
+    ) {
+        self.push(
+            name,
+            labels,
+            Metric::Vec {
+                v: v.clone(),
+                slot_label: slot_label.to_owned(),
+            },
+        );
+    }
+
+    /// Adopts an existing [`GaugeMap`]; each key `k` renders with an
+    /// extra `key_label=k` label (e.g. `region=7`).
+    pub fn register_map(&self, name: &str, labels: &[(&str, &str)], key_label: &str, m: &GaugeMap) {
+        self.push(
+            name,
+            labels,
+            Metric::Map {
+                m: m.clone(),
+                key_label: key_label.to_owned(),
+            },
+        );
+    }
+
+    /// Number of registered metrics (label sets count individually).
+    pub fn len(&self) -> usize {
+        self.inner.borrow().len()
+    }
+
+    /// Whether nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().is_empty()
+    }
+
+    /// Sum of all [`Counter`]/[`Gauge`] values registered under `name`
+    /// (across every label set). [`GaugeMap`]s contribute their totals.
+    pub fn sum(&self, name: &str) -> u64 {
+        self.inner
+            .borrow()
+            .iter()
+            .filter(|r| r.name == name)
+            .map(|r| match &r.metric {
+                Metric::Counter(c) => c.get(),
+                Metric::Gauge(g) => g.get(),
+                Metric::Map { m, .. } => m.total(),
+                Metric::Vec { v, .. } => v.snapshot().iter().sum(),
+                Metric::Histogram(h) => h.count(),
+            })
+            .sum()
+    }
+
+    /// Maximum [`Counter`]/[`Gauge`] value registered under `name` (0
+    /// when none is).
+    pub fn max(&self, name: &str) -> u64 {
+        self.inner
+            .borrow()
+            .iter()
+            .filter(|r| r.name == name)
+            .map(|r| match &r.metric {
+                Metric::Counter(c) => c.get(),
+                Metric::Gauge(g) => g.get(),
+                Metric::Map { m, .. } => m.snapshot().iter().map(|(_, v)| *v).max().unwrap_or(0),
+                Metric::Vec { v, .. } => v.snapshot().into_iter().max().unwrap_or(0),
+                Metric::Histogram(h) => h.max(),
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Element-wise sum of every [`GaugeVec`] registered under `name`,
+    /// sized to the longest vector.
+    pub fn sum_vec(&self, name: &str) -> Vec<u64> {
+        let mut out: Vec<u64> = Vec::new();
+        for r in self.inner.borrow().iter().filter(|r| r.name == name) {
+            if let Metric::Vec { v, .. } = &r.metric {
+                let snap = v.snapshot();
+                if out.len() < snap.len() {
+                    out.resize(snap.len(), 0);
+                }
+                for (i, val) in snap.into_iter().enumerate() {
+                    out[i] += val;
+                }
+            }
+        }
+        out
+    }
+
+    /// Key-wise sum of every [`GaugeMap`] registered under `name`,
+    /// sorted by key.
+    pub fn sum_map(&self, name: &str) -> Vec<(u64, u64)> {
+        let mut merged: BTreeMap<u64, u64> = BTreeMap::new();
+        for r in self.inner.borrow().iter().filter(|r| r.name == name) {
+            if let Metric::Map { m, .. } = &r.metric {
+                for (k, v) in m.snapshot() {
+                    *merged.entry(k).or_insert(0) += v;
+                }
+            }
+        }
+        merged.into_iter().collect()
+    }
+
+    /// Renders every registered metric into a fully sorted
+    /// [`MetricsSnapshot`].
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut entries: BTreeMap<String, SnapEntry> = BTreeMap::new();
+        let mut put = |key: String, value: u64, monotonic: bool| {
+            entries.insert(key, SnapEntry { value, monotonic });
+        };
+        for r in self.inner.borrow().iter() {
+            match &r.metric {
+                Metric::Counter(c) => put(render_key(&r.name, &r.labels), c.get(), true),
+                Metric::Gauge(g) => put(render_key(&r.name, &r.labels), g.get(), false),
+                Metric::Vec { v, slot_label } => {
+                    for (i, val) in v.snapshot().into_iter().enumerate() {
+                        let mut labels = r.labels.clone();
+                        labels.push((slot_label.clone(), i.to_string()));
+                        put(render_key(&r.name, &labels), val, false);
+                    }
+                }
+                Metric::Map { m, key_label } => {
+                    for (k, val) in m.snapshot() {
+                        let mut labels = r.labels.clone();
+                        labels.push((key_label.clone(), k.to_string()));
+                        put(render_key(&r.name, &labels), val, false);
+                    }
+                }
+                Metric::Histogram(h) => {
+                    let sub = |suffix: &str| render_key(&format!("{}.{suffix}", r.name), &r.labels);
+                    put(sub("count"), h.count(), true);
+                    put(sub("mean"), h.mean(), false);
+                    put(sub("p50"), h.quantile(0.5), false);
+                    put(sub("p95"), h.quantile(0.95), false);
+                    put(sub("p99"), h.quantile(0.99), false);
+                    put(sub("max"), h.max(), false);
+                }
+            }
+        }
+        MetricsSnapshot { entries }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -557,5 +924,93 @@ mod tests {
         let ws = ts.windows_until(SimTime::from_secs(5));
         assert_eq!(ws.len(), 5);
         assert!(ws[4].count == 0);
+    }
+
+    #[test]
+    fn registry_sums_and_snapshots_sorted() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("store.gets", &[("server", "1")]);
+        let b = reg.counter("store.gets", &[("server", "0")]);
+        let g = reg.gauge("store.depth", &[("server", "0")]);
+        a.add(5);
+        b.add(2);
+        g.set(9);
+        assert_eq!(reg.sum("store.gets"), 7);
+        assert_eq!(reg.max("store.gets"), 5);
+        assert_eq!(reg.sum("absent"), 0);
+        let snap = reg.snapshot();
+        let keys: Vec<&str> = snap.entries().map(|(k, _)| k).collect();
+        assert_eq!(
+            keys,
+            vec![
+                "store.depth{server=0}",
+                "store.gets{server=0}",
+                "store.gets{server=1}"
+            ]
+        );
+        assert_eq!(snap.get("store.gets{server=1}"), Some(5));
+    }
+
+    #[test]
+    fn registry_adopts_existing_handles() {
+        let reg = MetricsRegistry::new();
+        let c = Counter::new();
+        c.add(3);
+        reg.register_counter("x", &[], &c);
+        c.inc();
+        assert_eq!(reg.sum("x"), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn registry_rejects_duplicate_keys() {
+        let reg = MetricsRegistry::new();
+        reg.counter("dup", &[("server", "0")]);
+        reg.counter("dup", &[("server", "0")]);
+    }
+
+    #[test]
+    fn registry_vec_and_map_render_with_extra_label() {
+        let reg = MetricsRegistry::new();
+        let v = GaugeVec::new();
+        v.set_all(vec![4, 0, 2]);
+        reg.register_vec("store.level.files", &[("server", "0")], "level", &v);
+        let m = GaugeMap::new();
+        m.set(12, 100);
+        m.set(3, 50);
+        reg.register_map("store.region.load", &[("server", "0")], "region", &m);
+        let snap = reg.snapshot();
+        assert_eq!(snap.get("store.level.files{level=2,server=0}"), Some(2));
+        assert_eq!(snap.get("store.region.load{region=3,server=0}"), Some(50));
+        assert_eq!(reg.sum_vec("store.level.files"), vec![4, 0, 2]);
+        assert_eq!(reg.sum_map("store.region.load"), vec![(3, 50), (12, 100)]);
+    }
+
+    #[test]
+    fn snapshot_diff_subtracts_monotonic_keeps_level() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("c", &[]);
+        let g = reg.gauge("g", &[]);
+        c.add(10);
+        g.set(7);
+        let before = reg.snapshot();
+        c.add(5);
+        g.set(3);
+        let d = reg.snapshot().diff(&before);
+        assert_eq!(d.get("c"), Some(5));
+        assert_eq!(d.get("g"), Some(3));
+    }
+
+    #[test]
+    fn histogram_renders_sub_entries() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("rt", &[("client", "2")]);
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.get("rt.count{client=2}"), Some(100));
+        assert!(snap.get("rt.p99{client=2}").unwrap() >= 90);
+        assert_eq!(snap.get("rt.max{client=2}"), Some(100));
     }
 }

@@ -1,0 +1,259 @@
+//! Bounded, deterministic in-memory journals for trace spans and
+//! failure events.
+//!
+//! A [`Journal`] is an append-only ring buffer of timestamped records.
+//! Two instances back the cluster's observability layer: a *trace
+//! journal* holding per-transaction lifecycle spans and per-RPC
+//! service-time breakdowns, and a *failure-event journal* holding
+//! recovery-protocol transitions (crash, failover, WAL replay,
+//! threshold advancement, split and compaction state changes).
+//!
+//! Determinism rules (see ARCHITECTURE.md, "Observability"):
+//!
+//! * entries are timestamped in **sim-time only** — no wall clock;
+//! * recording never draws from the simulation RNG and never schedules
+//!   events, so an enabled journal cannot perturb an execution;
+//! * every accessor returns entries in `(time, seq)` order, where `seq`
+//!   is the global record order — two runs of the same seed produce
+//!   byte-identical [`Journal::dump`] output;
+//! * the ring-buffer cap bounds memory: the oldest entries are evicted
+//!   first, but the per-kind [`Journal::counts`] keep counting evicted
+//!   records, so aggregate assertions survive long runs.
+//!
+//! Handles are cheap to clone (`Rc`-shared) and single-threaded, like
+//! the rest of the simulation.
+
+use crate::time::SimTime;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::rc::Rc;
+
+/// One journal record: a sim-timestamped, kind-tagged detail line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JournalEntry {
+    /// Simulation time at which the record was appended.
+    pub time: SimTime,
+    /// Global append order (monotonic across all kinds); breaks ties
+    /// between records appended in the same simulation instant.
+    pub seq: u64,
+    /// Record kind, e.g. `"rpc.get"` or `"split.applied"` — a static
+    /// taxonomy so per-kind counting needs no allocation.
+    pub kind: &'static str,
+    /// Free-form `key=value` detail (deterministic content only).
+    pub detail: String,
+}
+
+struct JournalInner {
+    entries: VecDeque<JournalEntry>,
+    counts: BTreeMap<&'static str, u64>,
+    next_seq: u64,
+    dropped: u64,
+    cap: usize,
+    enabled: bool,
+}
+
+/// A bounded, deterministic event journal (see the module docs).
+#[derive(Clone)]
+pub struct Journal {
+    inner: Rc<RefCell<JournalInner>>,
+}
+
+impl Journal {
+    /// Creates an enabled journal retaining at most `cap` entries
+    /// (oldest evicted first; per-kind counts keep counting).
+    pub fn new(cap: usize) -> Journal {
+        Journal {
+            inner: Rc::new(RefCell::new(JournalInner {
+                entries: VecDeque::new(),
+                counts: BTreeMap::new(),
+                next_seq: 0,
+                dropped: 0,
+                cap,
+                enabled: true,
+            })),
+        }
+    }
+
+    /// Creates a disabled journal: [`Journal::record`] is a no-op.
+    /// Components default to one of these until the cluster harness
+    /// installs its shared enabled instances.
+    pub fn disabled() -> Journal {
+        let j = Journal::new(0);
+        j.inner.borrow_mut().enabled = false;
+        j
+    }
+
+    /// Whether records are being kept. Callers may use this to skip
+    /// expensive detail computation, though [`Journal::record`] already
+    /// takes the detail lazily.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.borrow().enabled
+    }
+
+    /// Appends one record. `detail` is only invoked when the journal is
+    /// enabled, so a disabled journal costs one refcell borrow.
+    pub fn record(&self, now: SimTime, kind: &'static str, detail: impl FnOnce() -> String) {
+        let mut inner = self.inner.borrow_mut();
+        if !inner.enabled {
+            return;
+        }
+        *inner.counts.entry(kind).or_insert(0) += 1;
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.cap == 0 {
+            // Counts-only journal: nothing retained.
+            inner.dropped += 1;
+            return;
+        }
+        if inner.entries.len() == inner.cap {
+            inner.entries.pop_front();
+            inner.dropped += 1;
+        }
+        inner.entries.push_back(JournalEntry {
+            time: now,
+            seq,
+            kind,
+            detail: detail(),
+        });
+    }
+
+    /// Number of entries currently retained (≤ the cap).
+    pub fn len(&self) -> usize {
+        self.inner.borrow().entries.len()
+    }
+
+    /// True when no entries are retained.
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().entries.is_empty()
+    }
+
+    /// Entries evicted by the ring-buffer cap so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.borrow().dropped
+    }
+
+    /// Total records ever appended (retained + evicted).
+    pub fn total_recorded(&self) -> u64 {
+        self.inner.borrow().next_seq
+    }
+
+    /// Records appended under `kind`, including evicted ones.
+    pub fn count(&self, kind: &str) -> u64 {
+        self.inner.borrow().counts.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Per-kind record counts, sorted by kind. Includes evicted records.
+    pub fn counts(&self) -> Vec<(&'static str, u64)> {
+        self.inner
+            .borrow()
+            .counts
+            .iter()
+            .map(|(k, v)| (*k, *v))
+            .collect()
+    }
+
+    /// A copy of the retained entries in `(time, seq)` order.
+    pub fn entries(&self) -> Vec<JournalEntry> {
+        let mut v: Vec<JournalEntry> = self.inner.borrow().entries.iter().cloned().collect();
+        v.sort_by_key(|e| (e.time, e.seq));
+        v
+    }
+
+    /// Removes and returns the retained entries in `(time, seq)` order.
+    /// Per-kind counts and the total are unaffected.
+    pub fn drain_sorted(&self) -> Vec<JournalEntry> {
+        let mut v: Vec<JournalEntry> = self.inner.borrow_mut().entries.drain(..).collect();
+        v.sort_by_key(|e| (e.time, e.seq));
+        v
+    }
+
+    /// Renders the retained entries as one line per record —
+    /// `<nanos> <kind> <detail>` — in `(time, seq)` order. Two runs of
+    /// the same seed produce byte-identical dumps (the journal
+    /// determinism probe in the test suite diffs exactly this).
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for e in self.entries() {
+            out.push_str(&format!("{} {} {}\n", e.time.nanos(), e.kind, e.detail));
+        }
+        out
+    }
+
+    /// Drops all retained entries and resets the per-kind counts, the
+    /// drop counter and the sequence numbering.
+    pub fn clear(&self) {
+        let mut inner = self.inner.borrow_mut();
+        inner.entries.clear();
+        inner.counts.clear();
+        inner.next_seq = 0;
+        inner.dropped = 0;
+    }
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("Journal")
+            .field("enabled", &inner.enabled)
+            .field("len", &inner.entries.len())
+            .field("total", &inner.next_seq)
+            .field("dropped", &inner.dropped)
+            .field("cap", &inner.cap)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn records_and_dumps_in_order() {
+        let j = Journal::new(16);
+        j.record(t(5), "b", || "x=1".into());
+        j.record(t(5), "a", || "x=2".into());
+        j.record(t(9), "b", || "x=3".into());
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.count("b"), 2);
+        assert_eq!(j.dump(), "5 b x=1\n5 a x=2\n9 b x=3\n");
+    }
+
+    #[test]
+    fn ring_cap_evicts_oldest_but_counts_survive() {
+        let j = Journal::new(2);
+        for i in 0..5u64 {
+            j.record(t(i), "k", move || format!("i={i}"));
+        }
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.dropped(), 3);
+        assert_eq!(j.count("k"), 5);
+        assert_eq!(j.total_recorded(), 5);
+        let e = j.entries();
+        assert_eq!(e[0].detail, "i=3");
+        assert_eq!(e[1].detail, "i=4");
+    }
+
+    #[test]
+    fn disabled_journal_is_inert_and_lazy() {
+        let j = Journal::disabled();
+        j.record(t(1), "k", || panic!("detail must not be built"));
+        assert_eq!(j.len(), 0);
+        assert_eq!(j.count("k"), 0);
+        assert!(!j.is_enabled());
+    }
+
+    #[test]
+    fn drain_empties_entries_only() {
+        let j = Journal::new(8);
+        j.record(t(1), "k", || "a".into());
+        j.record(t(2), "k", || "b".into());
+        let drained = j.drain_sorted();
+        assert_eq!(drained.len(), 2);
+        assert!(j.is_empty());
+        assert_eq!(j.count("k"), 2);
+    }
+}

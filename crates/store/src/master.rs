@@ -11,6 +11,8 @@ use crate::wal::split_wal;
 use bytes::Bytes;
 use cumulo_coord::CoordClient;
 use cumulo_dfs::DfsClient;
+use cumulo_sim::metrics::{Counter, MetricsRegistry};
+use cumulo_sim::trace::Journal;
 use cumulo_sim::{every, Network, NodeId, Sim, SimDuration, TimerHandle};
 use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -95,7 +97,10 @@ pub struct Master {
     /// their pending recovered edits and failed-server attribution.
     unplaced: RefCell<Vec<(RegionId, Vec<crate::codec::WalRecord>, Option<ServerId>)>>,
     edits_counter: Cell<u64>,
-    failovers: Cell<u64>,
+    failovers: Counter,
+    /// Failure-event journal (shared cluster journal; disabled until the
+    /// cluster wiring installs one via [`Master::set_events_journal`]).
+    events: RefCell<Journal>,
     /// The next region id to hand out to a split daughter (ids are never
     /// reused, so a cached id always means the same key range).
     next_region_id: Cell<u32>,
@@ -104,9 +109,9 @@ pub struct Master {
     /// record at `/split/{parent}` mirrors it for a real deployment's
     /// master restart.
     split_intents: RefCell<HashMap<RegionId, SplitIntent>>,
-    intents_persisted: Cell<u64>,
-    splits_applied: Cell<u64>,
-    splits_rolled_back: Cell<u64>,
+    intents_persisted: Counter,
+    splits_applied: Counter,
+    splits_rolled_back: Counter,
     /// The shared store-file registry (installed by the cluster wiring);
     /// intent rollback purges a crashed split's orphaned reference
     /// registrations through it so backing-ref counts cannot leak.
@@ -147,12 +152,13 @@ impl Master {
             handled_failures: RefCell::new(HashSet::new()),
             unplaced: RefCell::new(Vec::new()),
             edits_counter: Cell::new(0),
-            failovers: Cell::new(0),
+            failovers: Counter::new(),
+            events: RefCell::new(Journal::disabled()),
             next_region_id: Cell::new(0),
             split_intents: RefCell::new(HashMap::new()),
-            intents_persisted: Cell::new(0),
-            splits_applied: Cell::new(0),
-            splits_rolled_back: Cell::new(0),
+            intents_persisted: Counter::new(),
+            splits_applied: Counter::new(),
+            splits_rolled_back: Counter::new(),
             registry: RefCell::new(None),
             timers: RefCell::new(Vec::new()),
             self_weak: RefCell::new(Weak::new()),
@@ -248,6 +254,25 @@ impl Master {
         self.failovers.get()
     }
 
+    /// Installs the cluster-shared failure-event journal (disabled until
+    /// then; standalone masters and unit tests record nothing).
+    pub fn set_events_journal(&self, events: Journal) {
+        *self.events.borrow_mut() = events;
+    }
+
+    /// Adopts the master's counters into `registry` under `master.*`
+    /// keys. Cluster wiring; call once.
+    pub fn register_metrics(&self, registry: &MetricsRegistry) {
+        registry.register_counter("master.failovers", &[], &self.failovers);
+        registry.register_counter(
+            "master.split.intents_persisted",
+            &[],
+            &self.intents_persisted,
+        );
+        registry.register_counter("master.split.applied", &[], &self.splits_applied);
+        registry.register_counter("master.split.rolled_back", &[], &self.splits_rolled_back);
+    }
+
     /// Handles a detected server failure: marks its regions offline,
     /// notifies the recovery hooks, splits the failed server's WAL and
     /// reassigns each region with its recovered edits (§2.1 + §3.2).
@@ -257,8 +282,13 @@ impl Master {
         if !self.handled_failures.borrow_mut().insert(failed) {
             return;
         }
-        self.failovers.set(self.failovers.get() + 1);
+        self.failovers.inc();
         let regions = self.region_map.borrow().regions_of(failed);
+        self.events
+            .borrow()
+            .record(self.sim.now(), "server.failover", || {
+                format!("server={failed} regions={}", regions.len())
+            });
         // Roll back any split intent granted to the failed server. This
         // is always safe before the map flip: clients can only address
         // region ids the map has shown them, so no write was ever
@@ -302,8 +332,12 @@ impl Master {
     /// record and the daughters' orphaned reference markers are deleted;
     /// the region map was never touched.
     fn rollback_intent(&self, intent: SplitIntent) {
-        self.splits_rolled_back
-            .set(self.splits_rolled_back.get() + 1);
+        self.splits_rolled_back.inc();
+        self.events
+            .borrow()
+            .record(self.sim.now(), "split.rollback", || {
+                format!("region={} server={}", intent.parent, intent.server)
+            });
         self.dfs.delete(&format!("/split/{}", intent.parent));
         for daughter in [intent.bottom, intent.top] {
             // The dead server may have registered reference half-files
@@ -460,6 +494,11 @@ impl Master {
             .expect("region exists in the map")
             .clone();
         self.region_map.borrow_mut().assign(region, target);
+        self.events
+            .borrow()
+            .record(self.sim.now(), "region.assign", || {
+                format!("region={region} server={target}")
+            });
         let server = self.dir.get(target).expect("registered");
         let node = server.node();
         let dfs = self.dfs.clone();
@@ -579,9 +618,13 @@ impl Master {
                     master.deny_split(server, region);
                     return;
                 }
+                master.intents_persisted.inc();
                 master
-                    .intents_persisted
-                    .set(master.intents_persisted.get() + 1);
+                    .events
+                    .borrow()
+                    .record(master.sim.now(), "split.persisted", || {
+                        format!("region={region} server={server} bottom={bottom} top={top}")
+                    });
                 // The server may have died while the intent was being
                 // written; its failover already rolled the intent back.
                 if !master.split_intents.borrow().contains_key(&region) {
@@ -644,7 +687,15 @@ impl SplitCoordinator for Master {
             return;
         }
         self.split_intents.borrow_mut().remove(&parent);
-        self.splits_applied.set(self.splits_applied.get() + 1);
+        self.splits_applied.inc();
+        self.events
+            .borrow()
+            .record(self.sim.now(), "split.applied", || {
+                format!(
+                    "region={parent} bottom={} top={}",
+                    intent.bottom, intent.top
+                )
+            });
         self.dfs.delete(&format!("/split/{parent}"));
         self.hooks
             .borrow()

@@ -18,7 +18,8 @@ use crate::wal::{Wal, WalSyncMode};
 use bytes::Bytes;
 use cumulo_coord::CoordClient;
 use cumulo_dfs::DfsClient;
-use cumulo_sim::metrics::{Counter, Gauge, GaugeMap};
+use cumulo_sim::metrics::{Counter, Gauge, GaugeMap, MetricsRegistry};
+use cumulo_sim::trace::Journal;
 use cumulo_sim::{every_from, Network, NodeId, ServiceQueue, Sim, SimDuration, TimerHandle};
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
@@ -331,10 +332,17 @@ pub struct RegionServer {
     alive: Cell<bool>,
     timers: RefCell<Vec<TimerHandle>>,
     storefile_counter: Cell<u64>,
-    gets: Cell<u64>,
-    multi_gets: Cell<u64>,
-    puts: Cell<u64>,
-    not_serving: Cell<u64>,
+    gets: Counter,
+    multi_gets: Counter,
+    puts: Counter,
+    not_serving: Counter,
+    /// Per-RPC trace journal (queue wait + service breakdown per request;
+    /// [`Journal::disabled`] until the cluster wiring installs a shared
+    /// one via [`RegionServer::set_journals`]).
+    trace: RefCell<Journal>,
+    /// Failure-event journal: flush stalls, compaction lifecycle, split
+    /// protocol transitions (shared with the cluster like `trace`).
+    events: RefCell<Journal>,
     compaction_stats: CompactionStats,
     filter_stats: FilterStats,
     /// Runtime master switch for bloom probes (initialized from
@@ -418,10 +426,12 @@ impl RegionServer {
             alive: Cell::new(true),
             timers: RefCell::new(Vec::new()),
             storefile_counter: Cell::new(0),
-            gets: Cell::new(0),
-            multi_gets: Cell::new(0),
-            puts: Cell::new(0),
-            not_serving: Cell::new(0),
+            gets: Counter::new(),
+            multi_gets: Counter::new(),
+            puts: Counter::new(),
+            not_serving: Counter::new(),
+            trace: RefCell::new(Journal::disabled()),
+            events: RefCell::new(Journal::disabled()),
             compaction_stats: CompactionStats::default(),
             filter_stats: FilterStats::default(),
             bloom_enabled: Cell::new(cfg.bloom_filters),
@@ -592,6 +602,66 @@ impl RegionServer {
     /// without one, split candidacy checks never fire an intent).
     pub fn set_split_coordinator(&self, coord: Rc<dyn SplitCoordinator>) {
         *self.split_coord.borrow_mut() = Some(coord);
+    }
+
+    /// Installs the cluster-shared trace and failure-event journals.
+    /// Until called, both are [`Journal::disabled`] and recording is a
+    /// no-op (standalone servers, unit tests).
+    pub fn set_journals(&self, trace: Journal, events: Journal) {
+        *self.trace.borrow_mut() = trace;
+        *self.events.borrow_mut() = events;
+    }
+
+    /// Adopts this server's metric handles into `registry` under
+    /// `store.*{server=<id>}` keys: request counters, the filter and
+    /// compaction statistics (per-level profiles under a `level=` slot
+    /// label) and the split statistics (per-region load under a
+    /// `region=` key label). Cluster wiring; call once per server.
+    pub fn register_metrics(&self, registry: &MetricsRegistry) {
+        let sid = self.id.to_string();
+        let labels: &[(&str, &str)] = &[("server", sid.as_str())];
+        let c = |name: &str, counter: &Counter| registry.register_counter(name, labels, counter);
+        c("store.gets", &self.gets);
+        c("store.multi_gets", &self.multi_gets);
+        c("store.puts", &self.puts);
+        c("store.not_serving", &self.not_serving);
+        let f = &self.filter_stats;
+        c("store.filter.probes", &f.probes);
+        c("store.filter.range_skips", &f.range_skips);
+        c("store.filter.filter_skips", &f.filter_skips);
+        c("store.filter.false_positives", &f.false_positives);
+        c("store.filter.false_negatives", &f.false_negatives);
+        c("store.filter.files_consulted", &f.files_consulted);
+        registry.register_gauge("store.filter.bytes", labels, &f.filter_bytes);
+        let k = &self.compaction_stats;
+        c("store.compaction.started", &k.started);
+        c("store.compaction.completed", &k.completed);
+        c("store.compaction.bytes_rewritten", &k.bytes_rewritten);
+        c("store.compaction.versions_dropped", &k.versions_dropped);
+        c("store.compaction.files_retired", &k.files_retired);
+        c("store.compaction.deletes_confirmed", &k.deletes_confirmed);
+        c(
+            "store.compaction.filter_bytes_dropped",
+            &k.filter_bytes_dropped,
+        );
+        c(
+            "store.compaction.filter_bytes_created",
+            &k.filter_bytes_created,
+        );
+        c("store.compaction.deferred", &k.deferred);
+        c("store.compaction.forced", &k.forced);
+        c("store.compaction.flush_stalls", &k.flush_stalls);
+        c("store.compaction.stall_ns", &k.stall_ns);
+        registry.register_gauge("store.read_amplification", labels, &k.read_amplification);
+        registry.register_vec("store.level.files", labels, "level", &k.level_files);
+        registry.register_vec("store.level.bytes", labels, "level", &k.level_bytes);
+        let s = &self.split_stats;
+        c("store.split.considered", &s.considered);
+        c("store.split.intents_requested", &s.intents_requested);
+        c("store.split.executing", &s.executing);
+        c("store.split.completed", &s.completed);
+        c("store.split.aborted", &s.aborted);
+        registry.register_map("store.region.load_ns", labels, "region", &s.region_load);
     }
 
     /// Cumulative foreground service nanoseconds across this server's
@@ -768,12 +838,12 @@ impl RegionServer {
             match regions.values().find(|st| st.desc.contains(&row)) {
                 Some(st) if st.online => st.desc.id,
                 Some(st) => {
-                    self.not_serving.set(self.not_serving.get() + 1);
+                    self.not_serving.inc();
                     reply(Err(StoreError::NotServing(st.desc.id)));
                     return;
                 }
                 None => {
-                    self.not_serving.set(self.not_serving.get() + 1);
+                    self.not_serving.inc();
                     reply(Err(StoreError::RegionUnknown));
                     return;
                 }
@@ -825,6 +895,7 @@ impl RegionServer {
                 self.cfg.block_fetch_penalty
             };
         self.charge_region_load(region_id, service);
+        let submitted = self.sim.now();
         let this = Rc::clone(self);
         self.handlers.submit(service, move || {
             if !this.alive.get() {
@@ -834,7 +905,23 @@ impl RegionServer {
             if !hit {
                 this.cache.borrow_mut().insert(region_id, row.clone());
             }
-            this.gets.set(this.gets.get() + 1);
+            this.gets.inc();
+            // Span: queue wait is everything between submission and
+            // completion that was not this request's own service.
+            let now = this.sim.now();
+            let queue_ns = (now.nanos() - submitted.nanos()).saturating_sub(service.nanos());
+            this.trace.borrow().record(now, "rpc.get", || {
+                format!(
+                    "server={} region={} queue_ns={} service_ns={} files={} probes={} hit={}",
+                    this.id,
+                    region_id,
+                    queue_ns,
+                    service.nanos(),
+                    consulted_files,
+                    probes,
+                    hit
+                )
+            });
             reply(result);
         });
     }
@@ -949,7 +1036,7 @@ impl RegionServer {
             let regions = self.regions.borrow();
             match regions.get(&region) {
                 None => {
-                    self.not_serving.set(self.not_serving.get() + 1);
+                    self.not_serving.inc();
                     let covered = cells
                         .first()
                         .map(|(row, _)| regions.values().any(|st| st.desc.contains(row)))
@@ -962,7 +1049,7 @@ impl RegionServer {
                     return;
                 }
                 Some(st) if !st.online => {
-                    self.not_serving.set(self.not_serving.get() + 1);
+                    self.not_serving.inc();
                     reply(Err(StoreError::NotServing(region)));
                     return;
                 }
@@ -1011,6 +1098,7 @@ impl RegionServer {
             }
         }
         self.charge_region_load(region, service);
+        let submitted = self.sim.now();
         let this = Rc::clone(self);
         self.handlers.submit(service, move || {
             if !this.alive.get() {
@@ -1028,11 +1116,25 @@ impl RegionServer {
                     }
                 }
             }
+            let miss_count = misses.len();
             for row in misses {
                 this.cache.borrow_mut().insert(region, row);
             }
-            this.gets.set(this.gets.get() + cells.len() as u64);
-            this.multi_gets.set(this.multi_gets.get() + 1);
+            this.gets.add(cells.len() as u64);
+            this.multi_gets.inc();
+            let now = this.sim.now();
+            let queue_ns = (now.nanos() - submitted.nanos()).saturating_sub(service.nanos());
+            this.trace.borrow().record(now, "rpc.multi_get", || {
+                format!(
+                    "server={} region={} cells={} queue_ns={} service_ns={} misses={}",
+                    this.id,
+                    region,
+                    cells.len(),
+                    queue_ns,
+                    service.nanos(),
+                    miss_count
+                )
+            });
             reply(Ok(out));
         });
     }
@@ -1060,7 +1162,7 @@ impl RegionServer {
             let regions = self.regions.borrow();
             match regions.get(&region) {
                 None => {
-                    self.not_serving.set(self.not_serving.get() + 1);
+                    self.not_serving.inc();
                     // The region id is unknown here — if a *different*
                     // hosted region covers the batch's rows, the map
                     // changed under the client (an online split replaced
@@ -1078,7 +1180,7 @@ impl RegionServer {
                     return;
                 }
                 Some(st) if !st.online && !replay => {
-                    self.not_serving.set(self.not_serving.get() + 1);
+                    self.not_serving.inc();
                     reply(Err(StoreError::NotServing(region)));
                     return;
                 }
@@ -1091,6 +1193,7 @@ impl RegionServer {
             service += self.cfg.sync_mode_handler_hold;
         }
         self.charge_region_load(region, service);
+        let submitted = self.sim.now();
         let this = Rc::clone(self);
         self.handlers.submit(service, move || {
             if !this.alive.get() {
@@ -1117,12 +1220,26 @@ impl RegionServer {
                 reply(Err(StoreError::NotServing(region)));
                 return;
             }
+            let n_mutations = mutations.len();
             let seq = this.wal.append(WalRecord {
                 region,
                 ts,
                 mutations,
             });
-            this.puts.set(this.puts.get() + 1);
+            this.puts.inc();
+            let now = this.sim.now();
+            let queue_ns = (now.nanos() - submitted.nanos()).saturating_sub(service.nanos());
+            this.trace.borrow().record(now, "rpc.put", || {
+                format!(
+                    "server={} region={} mutations={} queue_ns={} service_ns={} replay={}",
+                    this.id,
+                    region,
+                    n_mutations,
+                    queue_ns,
+                    service.nanos(),
+                    replay
+                )
+            });
             this.hooks
                 .borrow()
                 .on_write_set_applied(this.id, region, ts, seq, floor);
@@ -1180,6 +1297,7 @@ impl RegionServer {
             + self.cfg.read_service * 3
             + self.cfg.storefile_read_service * consulted_files.saturating_sub(1) as u64;
         self.charge_region_load(region_id, service);
+        let submitted = self.sim.now();
         let this = Rc::clone(self);
         self.handlers.submit(service, move || {
             if !this.alive.get() {
@@ -1222,6 +1340,19 @@ impl RegionServer {
                 .collect();
             out.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
             out.truncate(limit);
+            let now = this.sim.now();
+            let queue_ns = (now.nanos() - submitted.nanos()).saturating_sub(service.nanos());
+            this.trace.borrow().record(now, "rpc.scan", || {
+                format!(
+                    "server={} region={} files={} queue_ns={} service_ns={} returned={}",
+                    this.id,
+                    region_id,
+                    consulted_files,
+                    queue_ns,
+                    service.nanos(),
+                    out.len()
+                )
+            });
             reply(Ok(out));
         });
     }
@@ -1301,6 +1432,7 @@ impl RegionServer {
         }
         let this = Rc::clone(self);
         let path = paths[idx].clone();
+        let span_path = path.clone();
         self.dfs.read(&path, move |data| {
             match data {
                 Ok(batches) => {
@@ -1326,6 +1458,14 @@ impl RegionServer {
                             }
                         }
                     }
+                    this.events
+                        .borrow()
+                        .record(this.sim.now(), "region.replay", || {
+                            format!(
+                                "server={} region={} path={span_path} edits={edit_count}",
+                                this.id, region
+                            )
+                        });
                     // Replaying edits costs handler time.
                     let service = this.cfg.base_service
                         + this.cfg.write_service_per_mutation * edit_count.max(1) / 2;
@@ -1369,6 +1509,11 @@ impl RegionServer {
     pub fn mark_region_online(&self, region: RegionId) {
         if let Some(st) = self.regions.borrow_mut().get_mut(&region) {
             st.online = true;
+            self.events
+                .borrow()
+                .record(self.sim.now(), "region.online", || {
+                    format!("server={} region={}", self.id, region)
+                });
         }
     }
 
@@ -1415,6 +1560,16 @@ impl RegionServer {
                     self.compaction_stats
                         .stall_ns
                         .add(self.cfg.flush_check_interval.nanos());
+                    self.events
+                        .borrow()
+                        .record(self.sim.now(), "flush.stall", || {
+                            format!(
+                                "server={} region={} files={}",
+                                self.id,
+                                id,
+                                st.stall_signal().total_files
+                            )
+                        });
                     continue;
                 }
                 candidates.push(*id);
@@ -1579,9 +1734,24 @@ impl RegionServer {
                 self.compaction_deficit
                     .set(self.compaction_deficit.get() + 1);
                 self.compaction_stats.deferred.inc();
+                self.events
+                    .borrow()
+                    .record(self.sim.now(), "compaction.defer", || {
+                        format!(
+                            "server={} region={} deficit={}",
+                            self.id,
+                            region,
+                            self.compaction_deficit.get()
+                        )
+                    });
                 return;
             }
             self.compaction_stats.forced.inc();
+            self.events
+                .borrow()
+                .record(self.sim.now(), "compaction.force", || {
+                    format!("server={} region={}", self.id, region)
+                });
         }
         self.compaction_deficit.set(0);
         {
@@ -1592,6 +1762,17 @@ impl RegionServer {
             st.compaction_in_progress = true;
         }
         self.compaction_stats.started.inc();
+        self.events
+            .borrow()
+            .record(self.sim.now(), "compaction.start", || {
+                format!(
+                    "server={} region={} inputs={} level={}",
+                    self.id,
+                    region,
+                    plan.input_paths.len(),
+                    plan.output_level
+                )
+            });
         let service = self.cfg.base_service + cfg.merge_service_per_entry * total_entries.max(1);
         let this = Rc::clone(self);
         self.submit_background(service, move || this.run_compaction(region, plan));
@@ -1844,6 +2025,17 @@ impl RegionServer {
         self.compaction_stats
             .filter_bytes_created
             .add(filter_created);
+        self.events
+            .borrow()
+            .record(self.sim.now(), "compaction.finish", || {
+                format!(
+                    "server={} region={} retired={} bytes={}",
+                    self.id,
+                    region,
+                    input_paths.len(),
+                    bytes
+                )
+            });
         self.update_file_metrics();
         // Fencing: retiring the inputs is the one destructive step, and a
         // server partitioned from the coordination service may already
@@ -1973,6 +2165,11 @@ impl RegionServer {
             st.splitting = true;
         }
         self.split_stats.considered.inc();
+        self.events
+            .borrow()
+            .record(self.sim.now(), "split.consider", || {
+                format!("server={} region={}", self.id, region)
+            });
         *self.pending_split.borrow_mut() = Some(PendingSplit {
             region,
             split_key,
@@ -2028,6 +2225,11 @@ impl RegionServer {
             return;
         };
         self.split_stats.intents_requested.inc();
+        self.events
+            .borrow()
+            .record(self.sim.now(), "split.intent", || {
+                format!("server={} region={}", self.id, region)
+            });
         let id = self.id;
         let net = Rc::clone(&self.net);
         net.send(self.node, coord.node(), 96 + split_key.len(), move || {
@@ -2059,6 +2261,11 @@ impl RegionServer {
             .unwrap_or(false);
         if matches {
             self.split_stats.aborted.inc();
+            self.events
+                .borrow()
+                .record(self.sim.now(), "split.denied", || {
+                    format!("server={} region={}", self.id, region)
+                });
             self.clear_pending_split(region);
         }
     }
@@ -2110,6 +2317,14 @@ impl RegionServer {
             return;
         }
         self.split_stats.executing.inc();
+        self.events
+            .borrow()
+            .record(self.sim.now(), "split.execute", || {
+                format!(
+                    "server={} region={} bottom={} top={}",
+                    self.id, region, bottom, top
+                )
+            });
         let (desc, parents): (RegionDescriptor, Vec<(Rc<StoreFileData>, u32)>) = {
             let regions = self.regions.borrow();
             let Some(st) = regions.get(&region) else {
@@ -2214,6 +2429,11 @@ impl RegionServer {
             self.dfs.delete(path);
         }
         self.split_stats.aborted.inc();
+        self.events
+            .borrow()
+            .record(self.sim.now(), "split.abort", || {
+                format!("server={} region={}", self.id, work.region)
+            });
         self.clear_pending_split(work.region);
         self.notify_split_aborted(work.region);
     }
@@ -2331,6 +2551,14 @@ impl RegionServer {
             .add(work.top.0 as u64, parent_load - parent_load / 2);
         self.pending_split.borrow_mut().take();
         self.split_stats.completed.inc();
+        self.events
+            .borrow()
+            .record(self.sim.now(), "split.flip", || {
+                format!(
+                    "server={} region={} bottom={} top={}",
+                    self.id, work.region, work.bottom, work.top
+                )
+            });
         self.update_file_metrics();
         if !superseded.is_empty() {
             self.retire_superseded_references(superseded);

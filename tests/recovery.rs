@@ -147,6 +147,9 @@ fn server_crash_with_unsynced_wal_loses_nothing() {
         expected.push((i * 300, format!("val{i}")));
     }
     // Crash one server quickly — some WAL entries are not yet durable.
+    // Everything after this sequence number in the failure-event journal
+    // is the recovery protocol reacting to the crash.
+    let crash_seq = cluster.events.total_recorded();
     cluster.crash_server(0);
     cluster.run_for(SimDuration::from_secs(15));
     assert!(cluster.all_regions_online(), "failover must complete");
@@ -158,6 +161,66 @@ fn server_crash_with_unsynced_wal_loses_nothing() {
         let got = cluster.read_cell(key(k), "f0", SimDuration::from_secs(10));
         assert_eq!(got.as_deref(), Some(v.as_bytes()), "row {k} lost");
     }
+
+    // One more commit after recovery, so the forward threshold has a
+    // reason to advance past everything the crash forced to be replayed.
+    run_txn(&cluster, 0, &[(31 * 300, "f0", "post")]);
+    cluster.run_for(SimDuration::from_secs(3));
+
+    // The failure-event journal must tell the recovery story in protocol
+    // order: crash detection/failover, region reassignment, log replay
+    // onto the new hosts (transactional recovery), regions coming back
+    // online, and finally the global thresholds advancing past it all.
+    let after: Vec<_> = cluster
+        .events
+        .entries()
+        .into_iter()
+        .filter(|e| e.seq >= crash_seq)
+        .collect();
+    let first = |kind: &str| {
+        after
+            .iter()
+            .find(|e| e.kind == kind)
+            .unwrap_or_else(|| panic!("{kind} event must be journaled"))
+    };
+    let failover = first("server.failover");
+    assert!(
+        failover.detail.contains("server=rs0"),
+        "failover must name the crashed server: {}",
+        failover.detail
+    );
+    let assign = first("region.assign");
+    assert!(
+        assign.seq > failover.seq,
+        "reassignment must follow failover"
+    );
+    let recovered = first("region.recovered");
+    assert!(
+        recovered.seq > assign.seq,
+        "log replay must follow reassignment"
+    );
+    let online: Vec<_> = after.iter().filter(|e| e.kind == "region.online").collect();
+    assert!(!online.is_empty(), "recovered regions must come online");
+    assert!(
+        online.iter().all(|e| e.seq > failover.seq),
+        "regions come online only after failover"
+    );
+    assert!(
+        online.iter().any(|e| e.seq > recovered.seq),
+        "a recovered region comes online after its replay"
+    );
+    assert!(
+        after
+            .iter()
+            .any(|e| e.kind == "threshold.tf" && e.seq > recovered.seq),
+        "T_F must advance past the recovery"
+    );
+    assert!(
+        after
+            .iter()
+            .any(|e| e.kind == "threshold.tp" && e.seq > recovered.seq),
+        "T_P must advance past the recovery"
+    );
 }
 
 #[test]
