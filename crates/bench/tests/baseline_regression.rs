@@ -1,0 +1,45 @@
+//! Replication-off output baselines: with `region_replication` at its
+//! default of 1, the replication subsystem must be completely inert —
+//! no extra messages, no extra RNG draws, no timer phase shifts. The
+//! strongest cheap probe of that is byte-identity of the calibrated
+//! bench CSVs against baselines captured before the replication
+//! subsystem existed: a single stray `net.send` or reordered HashMap
+//! iteration anywhere near the scheduling path shifts the jitter stream
+//! and diverges every number downstream.
+
+use std::process::Command;
+
+fn run_quick(bin: &str) -> String {
+    let out = Command::new(bin)
+        .env("CUMULO_QUICK", "1")
+        .output()
+        .unwrap_or_else(|e| panic!("spawn {bin}: {e}"));
+    assert!(
+        out.status.success(),
+        "{bin} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("CSV output is UTF-8")
+}
+
+#[test]
+fn policy_compare_csv_matches_pre_replication_baseline() {
+    let got = run_quick(env!("CARGO_BIN_EXE_policy_compare"));
+    let want = include_str!("baselines/policy_compare_quick.csv");
+    assert_eq!(
+        got, want,
+        "policy_compare CSV diverged from the replication-off baseline: \
+         something perturbed the default-path event or RNG stream"
+    );
+}
+
+#[test]
+fn split_bench_csv_matches_pre_replication_baseline() {
+    let got = run_quick(env!("CARGO_BIN_EXE_split_bench"));
+    let want = include_str!("baselines/split_bench_quick.csv");
+    assert_eq!(
+        got, want,
+        "split_bench CSV diverged from the replication-off baseline: \
+         something perturbed the default-path event or RNG stream"
+    );
+}

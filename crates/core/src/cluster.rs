@@ -72,6 +72,13 @@ pub struct ClusterConfig {
     /// `server_cfg.split.enabled`). Off by default so calibrated
     /// experiments that predate splits keep their schedules.
     pub splits: bool,
+    /// Copies of each *region* (primary + backups): 2 means one backup
+    /// shadow per region with promotion-based failover. 1 (the default)
+    /// disables region replication entirely — zero extra messages, so
+    /// calibrated experiments keep byte-identical schedules. Distinct
+    /// from [`ClusterConfig::replication`], the *filesystem* block
+    /// replication factor.
+    pub region_replication: usize,
     /// Durable store-file bytes at which a region splits (overrides
     /// `server_cfg.split.threshold_bytes`).
     pub split_threshold_bytes: usize,
@@ -110,6 +117,7 @@ impl Default for ClusterConfig {
             compaction_threshold: 4,
             compaction_policy: CompactionPolicyKind::SizeTiered,
             splits: false,
+            region_replication: 1,
             split_threshold_bytes: 256 << 20,
             latency: LatencyConfig::lan_100mbps(),
             server_cfg: RegionServerConfig::default(),
@@ -240,6 +248,7 @@ impl Cluster {
         server_cfg.compaction.policy = cfg.compaction_policy;
         server_cfg.split.enabled = cfg.splits;
         server_cfg.split.threshold_bytes = cfg.split_threshold_bytes;
+        server_cfg.replication.enabled = cfg.region_replication > 1;
         if cfg.tracking && cfg.persistence == PersistenceMode::Asynchronous {
             // Paper-faithful: with the middleware installed, the WAL is
             // synced by the tracker heartbeat (Algorithm 3), not by a
@@ -331,6 +340,7 @@ impl Cluster {
         master.set_hooks(hooks.clone() as Rc<dyn cumulo_store::RecoveryHooks>);
 
         // Table bootstrap.
+        master.set_replication_factor(cfg.region_replication);
         master.bootstrap(RegionMap::split_decimal_keyspace(
             &cfg.key_prefix,
             cfg.key_count,

@@ -80,6 +80,7 @@ impl RecoveryHooks for MiddlewareHooks {
         server: Rc<RegionServer>,
         region: RegionId,
         failed: ServerId,
+        promoted: bool,
         online: Box<dyn FnOnce()>,
     ) {
         // The retry loop stops only when the region actually goes online
@@ -98,6 +99,7 @@ impl RecoveryHooks for MiddlewareHooks {
             server,
             region,
             failed,
+            promoted,
             shared,
             acked,
         );
@@ -157,6 +159,7 @@ fn notify_region_recovered(
     server: Rc<RegionServer>,
     region: RegionId,
     failed: ServerId,
+    promoted: bool,
     online: Rc<RefCell<Option<Box<dyn FnOnce()>>>>,
     acked: Rc<Cell<bool>>,
 ) {
@@ -171,11 +174,13 @@ fn notify_region_recovered(
             if !rm2.is_alive() {
                 return;
             }
-            rm2.handle_region_recovered(server2, region, failed, online2);
+            rm2.handle_region_recovered(server2, region, failed, promoted, online2);
         });
     }
     let sim2 = sim.clone();
     sim.schedule_in(NOTIFY_RETRY, move || {
-        notify_region_recovered(sim2, net, rm, server, region, failed, online, acked);
+        notify_region_recovered(
+            sim2, net, rm, server, region, failed, promoted, online, acked,
+        );
     });
 }

@@ -70,6 +70,11 @@ struct RegionTask {
     /// Deferred online declarations (shared with the hook's retry loop).
     online: Rc<RefCell<Option<Box<dyn FnOnce()>>>>,
     floor: Timestamp,
+    /// True when the region arrived via replica promotion rather than a
+    /// WAL split: the same floor/replay machinery runs (the replay is
+    /// idempotent), but the recovery is counted and journaled as a
+    /// promotion epoch.
+    promoted: bool,
 }
 
 /// The recovery manager. Shared via `Rc`.
@@ -102,6 +107,7 @@ pub struct RecoveryManager {
     timers: RefCell<Vec<TimerHandle>>,
     client_recoveries: Counter,
     region_recoveries: Counter,
+    promotion_recoveries: Counter,
     truncations: Counter,
     /// Failure-event journal (shared cluster journal; disabled until the
     /// cluster wiring installs one).
@@ -156,6 +162,7 @@ impl RecoveryManager {
             timers: RefCell::new(Vec::new()),
             client_recoveries: Counter::new(),
             region_recoveries: Counter::new(),
+            promotion_recoveries: Counter::new(),
             truncations: Counter::new(),
             events: RefCell::new(Journal::disabled()),
             self_weak: RefCell::new(Weak::new()),
@@ -297,6 +304,7 @@ impl RecoveryManager {
     pub fn register_metrics(&self, registry: &MetricsRegistry) {
         registry.register_counter("rm.client_recoveries", &[], &self.client_recoveries);
         registry.register_counter("rm.region_recoveries", &[], &self.region_recoveries);
+        registry.register_counter("rm.promotion_recoveries", &[], &self.promotion_recoveries);
         registry.register_counter("rm.truncations", &[], &self.truncations);
     }
 
@@ -526,6 +534,7 @@ impl RecoveryManager {
         server: Rc<RegionServer>,
         region: RegionId,
         failed: ServerId,
+        promoted: bool,
         online: Rc<RefCell<Option<Box<dyn FnOnce()>>>>,
     ) {
         if !self.alive.get() || !server.is_alive() {
@@ -564,6 +573,7 @@ impl RecoveryManager {
                 target: server.id(),
                 online: Rc::clone(&online),
                 floor: t_p_r,
+                promoted,
             },
         );
         // Combine with a persisted floor from an interrupted earlier
@@ -676,21 +686,33 @@ impl RecoveryManager {
         if !self.alive.get() {
             return;
         }
-        let online = {
+        let (online, promoted) = {
             let mut tasks = self.region_tasks.borrow_mut();
             match tasks.get(&region) {
                 Some(task) if task.generation == generation => {
                     let task = tasks.remove(&region).expect("present");
-                    task.online
+                    (task.online, task.promoted)
                 }
                 _ => return, // superseded
             }
         };
         self.region_recoveries.inc();
+        if promoted {
+            self.promotion_recoveries.inc();
+        }
+        // The `promoted` marker only appears on promotion epochs so the
+        // replay-path event text stays byte-identical to earlier releases.
         self.events
             .borrow()
             .record(self.sim.now(), "region.recovered", || {
-                format!("region={region} server={} failed={failed}", server.id())
+                if promoted {
+                    format!(
+                        "region={region} server={} failed={failed} promoted=true",
+                        server.id()
+                    )
+                } else {
+                    format!("region={region} server={} failed={failed}", server.id())
+                }
             });
         self.coord.delete(&paths::region_floor(region));
         // Let the region declare itself online (runs at the server).

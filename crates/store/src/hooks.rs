@@ -53,11 +53,16 @@ pub trait RecoveryHooks {
     /// invoked. (Paper §3.2: the region "waits for a response from our
     /// recovery manager before proceeding to actually declare the region
     /// online".)
+    /// `promoted` is true when the region arrived via replica promotion
+    /// rather than WAL-split placement: recovery still replays the
+    /// transaction-log suffix above the persisted floor (idempotently),
+    /// but there is no recovered-edits file to wait for.
     fn on_region_recovered(
         &self,
         server: Rc<RegionServer>,
         region: RegionId,
         failed: ServerId,
+        promoted: bool,
         online: Box<dyn FnOnce()>,
     );
 
@@ -83,6 +88,38 @@ pub trait RecoveryHooks {
     }
 }
 
+/// The master-side coordination surface region replication needs beyond
+/// [`SplitCoordinator`]: lane sync-state reports. A primary must not
+/// release write gates for an out-of-sync lane until the master has
+/// acknowledged the report — the master is the promotion arbiter, so its
+/// ack is what makes un-gating sound (the backup is now ineligible). All
+/// calls are made *at the master's node*; callers send themselves there
+/// through the simulated network first.
+pub trait ReplicationCoordinator {
+    /// The node the coordinator runs on (the RPC destination).
+    fn node(&self) -> NodeId;
+
+    /// `backup`'s lane for `region` (replica-group `epoch`) fell out of
+    /// sync (gap, backlog overflow, or ack timeout). The master records
+    /// the ineligibility and invokes `done(false)`; only then may the
+    /// primary release gates held for that lane. When the report's epoch
+    /// is older than the currently established group (the reporter is a
+    /// stale ex-primary, e.g. resurfacing from a healed partition after a
+    /// promotion), the master answers `done(true)` instead: the reporter
+    /// must fence itself rather than un-gate.
+    fn replica_unsynced(
+        &self,
+        region: RegionId,
+        epoch: u64,
+        backup: ServerId,
+        done: Box<dyn FnOnce(bool)>,
+    );
+
+    /// `backup`'s lane for `region` completed a full-state sync and is
+    /// eligible for promotion again.
+    fn replica_synced(&self, region: RegionId, epoch: u64, backup: ServerId);
+}
+
 /// Hooks for a cluster without the recovery middleware: regions go online
 /// immediately after internal recovery, nothing is tracked.
 #[derive(Default)]
@@ -102,6 +139,7 @@ impl RecoveryHooks for NoopHooks {
         _server: Rc<RegionServer>,
         _region: RegionId,
         _failed: ServerId,
+        _promoted: bool,
         online: Box<dyn FnOnce()>,
     ) {
         online();

@@ -114,11 +114,14 @@ pub use compaction::{
     SizeTieredPolicy,
 };
 pub use error::StoreError;
-pub use hooks::{NoopHooks, RecoveryHooks, SplitCoordinator};
+pub use hooks::{NoopHooks, RecoveryHooks, ReplicationCoordinator, SplitCoordinator};
 pub use master::{Master, MasterConfig, ServerDirectory};
 pub use memstore::{MemStore, VersionedValue};
 pub use region::{RegionDescriptor, RegionMap, SplitIntent};
-pub use server::{FilterStats, RegionServer, RegionServerConfig, SplitConfig, SplitStats};
+pub use server::{
+    FilterStats, MemstoreSnapshot, RegionServer, RegionServerConfig, ReplAck, ReplicationConfig,
+    ReplicationStats, SplitConfig, SplitStats,
+};
 pub use sstable::{StoreFileData, StoreFileEntry, StoreFileRegistry};
 pub use types::{ClientId, Mutation, MutationKind, RegionId, ServerId, Timestamp, WriteSet};
 pub use wal::{split_wal, Wal, WalSyncMode};

@@ -2,7 +2,7 @@
 //! coordination service, WAL splitting and region reassignment.
 
 use crate::codec::WalRecord;
-use crate::hooks::{NoopHooks, RecoveryHooks, SplitCoordinator};
+use crate::hooks::{NoopHooks, RecoveryHooks, ReplicationCoordinator, SplitCoordinator};
 use crate::region::{RegionDescriptor, RegionMap, SplitIntent};
 use crate::server::RegionServer;
 use crate::sstable::StoreFileRegistry;
@@ -82,6 +82,25 @@ impl Default for MasterConfig {
     }
 }
 
+/// Per-region state of an in-flight failover of a *replicated* region:
+/// the promotion probe and the WAL-split records race, and the region is
+/// resolved once both the probe concluded and (on fallback) the records
+/// arrived.
+struct PendingRecovery {
+    failed: ServerId,
+    /// Recovered WAL records, once `split_wal` delivered them (discarded
+    /// when the region was promoted — every acknowledged write is already
+    /// present at the promoted replica, and the recovery manager replays
+    /// the transaction-log suffix on top).
+    records: Option<Vec<WalRecord>>,
+    probe_done: bool,
+    promoted: bool,
+    /// Probe replies collected so far: (backup, shadow epoch,
+    /// applied-through seq, synced).
+    replies: Vec<(ServerId, u64, u64, bool)>,
+    expected: usize,
+}
+
 /// The cluster master. Shared via `Rc`.
 pub struct Master {
     sim: Sim,
@@ -118,6 +137,22 @@ pub struct Master {
     registry: RefCell<Option<Rc<StoreFileRegistry>>>,
     timers: RefCell<Vec<TimerHandle>>,
     self_weak: RefCell<Weak<Master>>,
+    /// Copies of each region hosted on `replication_factor - 1` backup
+    /// servers; 1 (the default) disables replication entirely — no
+    /// replica bookkeeping, no extra messages, byte-identical schedules.
+    replication_factor: Cell<usize>,
+    /// Replica-group epoch last established per region (a probe reply
+    /// claiming sync under any other epoch is not trusted).
+    repl_epochs: RefCell<HashMap<RegionId, u64>>,
+    /// Lanes reported out of sync by their primary, keyed
+    /// `(region, epoch, backup)`: ineligible for promotion. Recording
+    /// this *before* acking the report is what lets the primary release
+    /// its write gates soundly.
+    repl_ineligible: RefCell<HashSet<(RegionId, u64, ServerId)>>,
+    /// Failovers of replicated regions resolved in flight.
+    pending_recoveries: RefCell<HashMap<RegionId, PendingRecovery>>,
+    repl_promotions: Counter,
+    repl_fallback_replays: Counter,
 }
 
 impl fmt::Debug for Master {
@@ -162,6 +197,12 @@ impl Master {
             registry: RefCell::new(None),
             timers: RefCell::new(Vec::new()),
             self_weak: RefCell::new(Weak::new()),
+            replication_factor: Cell::new(1),
+            repl_epochs: RefCell::new(HashMap::new()),
+            repl_ineligible: RefCell::new(HashSet::new()),
+            pending_recoveries: RefCell::new(HashMap::new()),
+            repl_promotions: Counter::new(),
+            repl_fallback_replays: Counter::new(),
         });
         *master.self_weak.borrow_mut() = Rc::downgrade(&master);
         master
@@ -228,14 +269,42 @@ impl Master {
             !servers.is_empty(),
             "bootstrap requires at least one registered server"
         );
+        let rf = self.replication_factor.get();
+        if rf > 1 {
+            for id in &servers {
+                if let Some(server) = self.dir.get(*id) {
+                    server.set_replication_coordinator(
+                        Rc::clone(self) as Rc<dyn ReplicationCoordinator>
+                    );
+                }
+            }
+        }
+        let mut assigned: Vec<(RegionId, ServerId)> = Vec::new();
         for (i, desc) in descs.into_iter().enumerate() {
             let target = servers[i % servers.len()];
             self.region_map.borrow_mut().assign(desc.id, target);
+            assigned.push((desc.id, target));
             let server = self.dir.get(target).expect("registered");
             let node = server.node();
             self.net.send(self.node, node, 256, move || {
                 server.open_region(desc, Vec::new(), Vec::new(), None);
             });
+        }
+        if rf > 1 && servers.len() > 1 {
+            // Backups round-robin after the primary so load spreads and
+            // no region replicates onto its own primary.
+            for (i, (region, primary)) in assigned.iter().enumerate() {
+                let want = (rf - 1).min(servers.len() - 1);
+                let replicas: Vec<ServerId> = (1..=want)
+                    .map(|k| servers[(i + k) % servers.len()])
+                    .filter(|s| s != primary)
+                    .collect();
+                self.region_map.borrow_mut().set_replicas(*region, replicas);
+            }
+            let regions: Vec<RegionId> = assigned.iter().map(|(r, _)| *r).collect();
+            for region in regions {
+                self.establish_group(region);
+            }
         }
     }
 
@@ -271,6 +340,12 @@ impl Master {
         );
         registry.register_counter("master.split.applied", &[], &self.splits_applied);
         registry.register_counter("master.split.rolled_back", &[], &self.splits_rolled_back);
+        registry.register_counter("master.repl.promotions", &[], &self.repl_promotions);
+        registry.register_counter(
+            "master.repl.fallback_replays",
+            &[],
+            &self.repl_fallback_replays,
+        );
     }
 
     /// Handles a detected server failure: marks its regions offline,
@@ -310,9 +385,23 @@ impl Master {
                 map.unassign(*r);
             }
         }
+        if self.replication_factor.get() > 1 {
+            self.scrub_backup_roles(failed);
+        }
         self.hooks.borrow().on_server_failed(failed, &regions);
         if regions.is_empty() {
             return;
+        }
+        // Replicated regions race a promotion probe against the WAL
+        // split; unreplicated regions (always, when replication is off)
+        // go straight to replay-based placement.
+        let replicated: Vec<RegionId> = regions
+            .iter()
+            .copied()
+            .filter(|r| !self.region_map.borrow().replicas_of(*r).is_empty())
+            .collect();
+        for region in &replicated {
+            self.begin_promotion_probe(*region, failed);
         }
         let weak = Rc::downgrade(self);
         split_wal(&self.dfs, &format!("/wal/{failed}"), move |grouped| {
@@ -323,7 +412,11 @@ impl Master {
             let mut remapped = master.remap_wal_groups(grouped);
             for region in regions {
                 let records = remapped.remove(&region).unwrap_or_default();
-                master.place_region(region, records, Some(failed));
+                if replicated.contains(&region) {
+                    master.recovery_records_ready(region, records);
+                } else {
+                    master.place_region(region, records, Some(failed));
+                }
             }
         });
     }
@@ -515,6 +608,23 @@ impl Master {
                     });
                 });
             });
+        // A replicated region placed via the replay fallback gets its
+        // group rebuilt around the new primary.
+        if self.replication_factor.get() > 1
+            && !self.region_map.borrow().replicas_of(region).is_empty()
+        {
+            let mut replicas: Vec<ServerId> = self
+                .region_map
+                .borrow()
+                .replicas_of(region)
+                .iter()
+                .copied()
+                .filter(|s| *s != target && Some(*s) != failed)
+                .collect();
+            self.fill_replicas(region, target, &mut replicas);
+            self.region_map.borrow_mut().set_replicas(region, replicas);
+            self.establish_group(region);
+        }
     }
 
     fn retry_unplaced(self: &Rc<Self>) {
@@ -650,6 +760,345 @@ impl Master {
             target.split_request_denied(region);
         });
     }
+
+    // ------------------------------------------------------------------
+    // Region replication (master side; see `ReplicationCoordinator`)
+    // ------------------------------------------------------------------
+
+    /// Sets the number of copies each region is hosted on (1 = primary
+    /// only, replication disabled). Call before [`Master::bootstrap`].
+    pub fn set_replication_factor(&self, factor: usize) {
+        self.replication_factor.set(factor.max(1));
+    }
+
+    /// Promotions of a caught-up replica in place of a WAL replay.
+    pub fn promotions(&self) -> u64 {
+        self.repl_promotions.get()
+    }
+
+    /// Failovers of replicated regions that had to fall back to a full
+    /// WAL replay (no eligible replica survived).
+    pub fn fallback_replays(&self) -> u64 {
+        self.repl_fallback_replays.get()
+    }
+
+    /// (Re)establishes `region`'s replica group from the current map:
+    /// backups get shadows opened, the primary gets the lane set, and the
+    /// map epoch at this instant becomes the group's fencing epoch.
+    fn establish_group(self: &Rc<Self>, region: RegionId) {
+        if self.replication_factor.get() <= 1 {
+            return;
+        }
+        let (primary, replicas, epoch, desc) = {
+            let map = self.region_map.borrow();
+            (
+                map.server_for(region),
+                map.replicas_of(region).to_vec(),
+                map.epoch(),
+                map.descriptor(region).cloned(),
+            )
+        };
+        let (Some(primary), Some(desc)) = (primary, desc) else {
+            return;
+        };
+        let Some(pserver) = self.dir.get(primary) else {
+            return;
+        };
+        if !pserver.is_alive() || replicas.is_empty() {
+            return;
+        }
+        self.repl_epochs.borrow_mut().insert(region, epoch);
+        self.repl_ineligible
+            .borrow_mut()
+            .retain(|(r, e, _)| *r != region || *e >= epoch);
+        let backups: Vec<(ServerId, NodeId, Weak<RegionServer>)> = replicas
+            .iter()
+            .filter_map(|id| {
+                self.dir
+                    .get(*id)
+                    .map(|s| (*id, s.node(), Rc::downgrade(&s)))
+            })
+            .collect();
+        for id in &replicas {
+            let Some(bserver) = self.dir.get(*id) else {
+                continue;
+            };
+            if !bserver.is_alive() {
+                continue;
+            }
+            let bnode = bserver.node();
+            let desc = desc.clone();
+            self.net.send(self.node, bnode, 128, move || {
+                bserver.open_shadow(region, desc, epoch);
+            });
+        }
+        self.events
+            .borrow()
+            .record(self.sim.now(), "replication.establish", || {
+                format!(
+                    "region={region} primary={primary} epoch={epoch} backups={}",
+                    replicas.len()
+                )
+            });
+        let pnode = pserver.node();
+        self.net.send(self.node, pnode, 128, move || {
+            pserver.establish_replica_group(region, epoch, backups);
+        });
+    }
+
+    /// Tops `replicas` back up to `replication_factor - 1` live servers
+    /// distinct from `primary`, rotating candidates by region id so
+    /// repairs spread deterministically.
+    fn fill_replicas(&self, region: RegionId, primary: ServerId, replicas: &mut Vec<ServerId>) {
+        let want = self.replication_factor.get().saturating_sub(1);
+        replicas.retain(|s| self.dir.get(*s).map(|h| h.is_alive()).unwrap_or(false));
+        if replicas.len() >= want {
+            replicas.truncate(want);
+            return;
+        }
+        let candidates: Vec<ServerId> = self
+            .dir
+            .live_ids()
+            .into_iter()
+            .filter(|s| *s != primary && !replicas.contains(s))
+            .collect();
+        for k in 0..candidates.len() {
+            if replicas.len() >= want {
+                break;
+            }
+            let c = candidates[(region.0 as usize + k) % candidates.len()];
+            if !replicas.contains(&c) {
+                replicas.push(c);
+            }
+        }
+    }
+
+    /// `failed` was a *backup* for some regions: shrink those replica
+    /// sets, repair them with deterministic replacements, and re-establish
+    /// the groups so the primaries stop gating on the dead lane.
+    fn scrub_backup_roles(self: &Rc<Self>, failed: ServerId) {
+        let hosts = self.region_map.borrow().replica_hosts(failed);
+        for region in hosts {
+            let primary = self.region_map.borrow().server_for(region);
+            let mut replicas: Vec<ServerId> = self
+                .region_map
+                .borrow()
+                .replicas_of(region)
+                .iter()
+                .copied()
+                .filter(|s| *s != failed)
+                .collect();
+            if let Some(p) = primary {
+                self.fill_replicas(region, p, &mut replicas);
+            }
+            self.region_map.borrow_mut().set_replicas(region, replicas);
+            self.events
+                .borrow()
+                .record(self.sim.now(), "replication.repair", || {
+                    format!("region={region} lost_backup={failed}")
+                });
+            if primary.is_some() {
+                self.establish_group(region);
+            }
+        }
+    }
+
+    /// Starts the promotion probe for a replicated region whose primary
+    /// just died: ask every live backup for its shadow state, conclude on
+    /// the last reply or a fixed deadline, whichever first.
+    fn begin_promotion_probe(self: &Rc<Self>, region: RegionId, failed: ServerId) {
+        const PROBE_DEADLINE: SimDuration = SimDuration::from_millis(500);
+        let backups: Vec<Rc<RegionServer>> = self
+            .region_map
+            .borrow()
+            .replicas_of(region)
+            .iter()
+            .filter(|s| **s != failed)
+            .filter_map(|s| self.dir.get(*s))
+            .filter(|s| s.is_alive())
+            .collect();
+        self.pending_recoveries.borrow_mut().insert(
+            region,
+            PendingRecovery {
+                failed,
+                records: None,
+                probe_done: false,
+                promoted: false,
+                replies: Vec::new(),
+                expected: backups.len(),
+            },
+        );
+        if backups.is_empty() {
+            self.conclude_probe(region);
+            return;
+        }
+        for backup in backups {
+            let bid = backup.id();
+            let bnode = backup.node();
+            let reply: Box<dyn FnOnce(u64, u64, bool)> = {
+                let weak = Rc::downgrade(self);
+                let net = Rc::clone(&self.net);
+                let mnode = self.node;
+                Box::new(move |epoch, seq, synced| {
+                    net.send(bnode, mnode, 48, move || {
+                        if let Some(master) = weak.upgrade() {
+                            master.probe_reply(region, bid, epoch, seq, synced);
+                        }
+                    });
+                })
+            };
+            self.net.send(self.node, bnode, 48, move || {
+                backup.query_replica(region, reply);
+            });
+        }
+        let weak = Rc::downgrade(self);
+        self.sim.schedule_in(PROBE_DEADLINE, move || {
+            if let Some(master) = weak.upgrade() {
+                master.conclude_probe(region);
+            }
+        });
+    }
+
+    fn probe_reply(
+        self: &Rc<Self>,
+        region: RegionId,
+        backup: ServerId,
+        epoch: u64,
+        seq: u64,
+        synced: bool,
+    ) {
+        let ready = {
+            let mut pending = self.pending_recoveries.borrow_mut();
+            let Some(p) = pending.get_mut(&region) else {
+                return;
+            };
+            if p.probe_done {
+                return;
+            }
+            p.replies.push((backup, epoch, seq, synced));
+            p.replies.len() >= p.expected
+        };
+        if ready {
+            self.conclude_probe(region);
+        }
+    }
+
+    /// Decides promotion vs replay fallback. Eligible replicas must be
+    /// alive, in sync *at the currently established epoch*, and not in
+    /// the ineligibility set; the most caught-up wins (ties to the lower
+    /// server id).
+    fn conclude_probe(self: &Rc<Self>, region: RegionId) {
+        let (failed, winner) = {
+            let mut pending = self.pending_recoveries.borrow_mut();
+            let Some(p) = pending.get_mut(&region) else {
+                return;
+            };
+            if p.probe_done {
+                return;
+            }
+            p.probe_done = true;
+            let current_epoch = self.repl_epochs.borrow().get(&region).copied().unwrap_or(0);
+            let ineligible = self.repl_ineligible.borrow();
+            let mut eligible: Vec<(u64, ServerId)> = p
+                .replies
+                .iter()
+                .filter(|(b, e, _, synced)| {
+                    *synced
+                        && *e == current_epoch
+                        && !ineligible.contains(&(region, *e, *b))
+                        && self.dir.get(*b).map(|s| s.is_alive()).unwrap_or(false)
+                })
+                .map(|(b, _, seq, _)| (*seq, *b))
+                .collect();
+            eligible.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+            let winner = eligible.first().map(|(_, b)| *b);
+            p.promoted = winner.is_some();
+            (p.failed, winner)
+        };
+        match winner {
+            Some(winner) => {
+                self.repl_promotions.inc();
+                self.events
+                    .borrow()
+                    .record(self.sim.now(), "replication.promote", || {
+                        format!("region={region} winner={winner} failed={failed}")
+                    });
+                self.region_map.borrow_mut().assign(region, winner);
+                let mut replicas: Vec<ServerId> = self
+                    .region_map
+                    .borrow()
+                    .replicas_of(region)
+                    .iter()
+                    .copied()
+                    .filter(|s| *s != winner && *s != failed)
+                    .collect();
+                self.fill_replicas(region, winner, &mut replicas);
+                self.region_map.borrow_mut().set_replicas(region, replicas);
+                let epoch = self.region_map.borrow().epoch();
+                if let Some(server) = self.dir.get(winner) {
+                    let node = server.node();
+                    self.net.send(self.node, node, 256, move || {
+                        server.promote_replica(region, epoch, failed);
+                    });
+                }
+                self.establish_group(region);
+                let mut pending = self.pending_recoveries.borrow_mut();
+                if pending.get(&region).map(|p| p.records.is_some()) == Some(true) {
+                    pending.remove(&region);
+                }
+            }
+            None => {
+                self.repl_fallback_replays.inc();
+                self.events
+                    .borrow()
+                    .record(self.sim.now(), "replication.fallback", || {
+                        format!("region={region} failed={failed}")
+                    });
+                let records = {
+                    let mut pending = self.pending_recoveries.borrow_mut();
+                    match pending.get_mut(&region).and_then(|p| p.records.take()) {
+                        Some(r) => {
+                            pending.remove(&region);
+                            Some(r)
+                        }
+                        None => None, // WAL split still running; resolved on arrival.
+                    }
+                };
+                if let Some(records) = records {
+                    self.place_region(region, records, Some(failed));
+                }
+            }
+        }
+    }
+
+    /// The WAL split delivered `region`'s recovered records: replayed on
+    /// the fallback path, discarded after a promotion (the promoted
+    /// replica already holds every acknowledged write).
+    fn recovery_records_ready(self: &Rc<Self>, region: RegionId, records: Vec<WalRecord>) {
+        let next: Option<Option<ServerId>> = {
+            let mut pending = self.pending_recoveries.borrow_mut();
+            match pending.get_mut(&region) {
+                // No probe outstanding (e.g. a re-failure raced): replay.
+                None => Some(None),
+                Some(p) if !p.probe_done => {
+                    p.records = Some(records);
+                    return;
+                }
+                Some(p) => {
+                    let next = if p.promoted {
+                        None
+                    } else {
+                        Some(Some(p.failed))
+                    };
+                    pending.remove(&region);
+                    next
+                }
+            }
+        };
+        if let Some(failed) = next {
+            self.place_region(region, records, failed);
+        }
+    }
 }
 
 impl SplitCoordinator for Master {
@@ -700,6 +1149,19 @@ impl SplitCoordinator for Master {
         self.hooks
             .borrow()
             .on_region_split(parent, intent.bottom, intent.top);
+        // The daughters inherited the parent's replicas in the map;
+        // rebuild their groups under the bumped epoch (the server already
+        // moved its lanes and closed the parent shadows at the flip).
+        if self.replication_factor.get() > 1 {
+            if let Some(master) = self.self_weak.borrow().upgrade() {
+                master.repl_epochs.borrow_mut().remove(&parent);
+                for daughter in [intent.bottom, intent.top] {
+                    if !master.region_map.borrow().replicas_of(daughter).is_empty() {
+                        master.establish_group(daughter);
+                    }
+                }
+            }
+        }
     }
 
     fn split_aborted(&self, server: ServerId, parent: RegionId) {
@@ -712,6 +1174,63 @@ impl SplitCoordinator for Master {
         };
         if let Some(intent) = intent {
             self.rollback_intent(intent);
+        }
+    }
+}
+
+impl ReplicationCoordinator for Master {
+    fn node(&self) -> NodeId {
+        self.node
+    }
+
+    fn replica_unsynced(
+        &self,
+        region: RegionId,
+        epoch: u64,
+        backup: ServerId,
+        done: Box<dyn FnOnce(bool)>,
+    ) {
+        // A report under an older epoch than the currently established
+        // group comes from a stale ex-primary (it resurfaced after a
+        // promotion it never saw). Acking would let it un-gate and hand
+        // out write acks for a region it no longer owns — direct it to
+        // fence itself instead.
+        let current = self.repl_epochs.borrow().get(&region).copied();
+        let stale = current.map(|c| epoch < c).unwrap_or(true);
+        if stale {
+            self.events
+                .borrow()
+                .record(self.sim.now(), "replication.stale_report", || {
+                    format!("region={region} epoch={epoch} backup={backup}")
+                });
+            done(true);
+            return;
+        }
+        self.repl_ineligible
+            .borrow_mut()
+            .insert((region, epoch, backup));
+        self.events
+            .borrow()
+            .record(self.sim.now(), "replication.ineligible", || {
+                format!("region={region} epoch={epoch} backup={backup}")
+            });
+        // Acking *after* recording is the soundness point: the primary
+        // releases gates only once this backup can no longer win a
+        // promotion at this epoch.
+        done(false);
+    }
+
+    fn replica_synced(&self, region: RegionId, epoch: u64, backup: ServerId) {
+        if self
+            .repl_ineligible
+            .borrow_mut()
+            .remove(&(region, epoch, backup))
+        {
+            self.events
+                .borrow()
+                .record(self.sim.now(), "replication.eligible", || {
+                    format!("region={region} epoch={epoch} backup={backup}")
+                });
         }
     }
 }

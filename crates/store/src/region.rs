@@ -100,6 +100,11 @@ impl RegionDescriptor {
 pub struct RegionMap {
     regions: Vec<RegionDescriptor>,
     assignments: HashMap<RegionId, ServerId>,
+    /// Backup servers per region (the primary is in `assignments`). Only
+    /// populated when region replication is enabled; replica changes bump
+    /// the epoch like assignment changes, because the epoch doubles as the
+    /// fencing token of the primary→backup ship stream.
+    replicas: HashMap<RegionId, Vec<ServerId>>,
     /// Bumped on every assignment change so caches can detect staleness.
     epoch: u64,
 }
@@ -145,6 +150,7 @@ impl RegionMap {
         RegionMap {
             regions,
             assignments: HashMap::new(),
+            replicas: HashMap::new(),
             epoch: 0,
         }
     }
@@ -230,6 +236,37 @@ impl RegionMap {
         out
     }
 
+    /// Records `region`'s backup set, bumping the epoch (the new epoch is
+    /// the fencing token handed to the primary's ship stream).
+    pub fn set_replicas(&mut self, region: RegionId, backups: Vec<ServerId>) {
+        self.replicas.insert(region, backups);
+        self.epoch += 1;
+    }
+
+    /// Drops `region`'s backup set (if any), bumping the epoch on change.
+    pub fn clear_replicas(&mut self, region: RegionId) {
+        if self.replicas.remove(&region).is_some() {
+            self.epoch += 1;
+        }
+    }
+
+    /// The backup servers of `region` (empty when unreplicated).
+    pub fn replicas_of(&self, region: RegionId) -> &[ServerId] {
+        self.replicas.get(&region).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All regions that keep a backup on `server`, sorted.
+    pub fn replica_hosts(&self, server: ServerId) -> Vec<RegionId> {
+        let mut out: Vec<RegionId> = self
+            .replicas
+            .iter()
+            .filter(|(_, backups)| backups.contains(&server))
+            .map(|(r, _)| *r)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
     /// Applies an online split: the `parent` descriptor is atomically
     /// replaced by two daughters partitioning its range at `split_key`
     /// (`bottom` = `[start, split_key)`, `top` = `[split_key, end)`), the
@@ -269,6 +306,12 @@ impl RegionMap {
         if let Some(server) = self.assignments.remove(&parent) {
             self.assignments.insert(bottom, server);
             self.assignments.insert(top, server);
+        }
+        // The parent's backup set carries to both daughters: the master
+        // re-ships daughter state to the same hosts, preserving locality.
+        if let Some(backups) = self.replicas.remove(&parent) {
+            self.replicas.insert(bottom, backups.clone());
+            self.replicas.insert(top, backups);
         }
         self.epoch += 1;
         true
@@ -415,6 +458,34 @@ mod tests {
         let back = SplitIntent::decode(&intent.encode()).expect("decode");
         assert_eq!(back, intent);
         assert!(SplitIntent::decode(&intent.encode()[..3]).is_err());
+    }
+
+    #[test]
+    fn replica_bookkeeping_bumps_epoch_and_follows_splits() {
+        let mut map = RegionMap::split_decimal_keyspace("user", 100, 2);
+        map.assign(RegionId(0), ServerId(1));
+        let epoch = map.epoch();
+        map.set_replicas(RegionId(0), vec![ServerId(2), ServerId(3)]);
+        assert!(map.epoch() > epoch, "replica changes must fence");
+        assert_eq!(map.replicas_of(RegionId(0)), &[ServerId(2), ServerId(3)]);
+        assert_eq!(map.replicas_of(RegionId(1)), &[] as &[ServerId]);
+        assert_eq!(map.replica_hosts(ServerId(2)), vec![RegionId(0)]);
+        assert_eq!(map.replica_hosts(ServerId(1)), Vec::<RegionId>::new());
+        // Splitting the parent carries its backup set to both daughters.
+        let key = Bytes::from_static(b"user000000000020");
+        assert!(map.apply_split(RegionId(0), &key, RegionId(2), RegionId(3)));
+        assert_eq!(map.replicas_of(RegionId(2)), &[ServerId(2), ServerId(3)]);
+        assert_eq!(map.replicas_of(RegionId(3)), &[ServerId(2), ServerId(3)]);
+        assert_eq!(
+            map.replica_hosts(ServerId(3)),
+            vec![RegionId(2), RegionId(3)]
+        );
+        // Clearing is idempotent on the epoch.
+        map.clear_replicas(RegionId(2));
+        let epoch = map.epoch();
+        map.clear_replicas(RegionId(2));
+        assert_eq!(map.epoch(), epoch);
+        assert_eq!(map.replicas_of(RegionId(2)), &[] as &[ServerId]);
     }
 
     #[test]

@@ -90,6 +90,70 @@ pub struct RegionServerConfig {
     pub compaction: CompactionConfig,
     /// Online region-split knobs.
     pub split: SplitConfig,
+    /// Primary/backup region-replication knobs.
+    pub replication: ReplicationConfig,
+}
+
+/// Primary/backup region-replication tuning knobs.
+#[derive(Copy, Clone, Debug)]
+pub struct ReplicationConfig {
+    /// Master switch. Off by default: shipping mutations to backups adds
+    /// network messages (each draws latency jitter from the shared RNG),
+    /// so calibrated experiments that predate replication must not
+    /// shift. The replication suites and `failover_bench` enable it.
+    pub enabled: bool,
+    /// Unacknowledged shipped bytes per backup lane at which the lane is
+    /// declared lagging: the primary stops shipping (and stops gating
+    /// client acks on it) and reports the backup ineligible for
+    /// promotion until a full re-sync completes.
+    pub max_backlog_bytes: usize,
+    /// How long the primary waits for a backup's ack before declaring
+    /// the lane out of sync (fixed delay, no RNG).
+    pub ack_timeout: SimDuration,
+    /// Period of the re-sync timer that ships full region state to
+    /// out-of-sync lanes. Fixed phase — no RNG jitter (see the
+    /// compaction timer note).
+    pub resync_interval: SimDuration,
+}
+
+impl Default for ReplicationConfig {
+    fn default() -> Self {
+        ReplicationConfig {
+            enabled: false,
+            max_backlog_bytes: 8 << 20,
+            ack_timeout: SimDuration::from_millis(1500),
+            resync_interval: SimDuration::from_secs(2),
+        }
+    }
+}
+
+/// Shared observability for primary/backup replication (all handles
+/// clone cheaply and share state, like [`CompactionStats`]).
+#[derive(Clone, Default, Debug)]
+pub struct ReplicationStats {
+    /// Mutation records shipped to backup lanes (primary side).
+    pub ships: Counter,
+    /// Payload bytes shipped to backup lanes (primary side).
+    pub ship_bytes: Counter,
+    /// Acks received from backups (primary side).
+    pub acks: Counter,
+    /// Gap/stale rejections received from backups (primary side).
+    pub nacks: Counter,
+    /// Full-state syncs shipped (primary side).
+    pub syncs: Counter,
+    /// Shipped records applied to a shadow (backup side).
+    pub applied: Counter,
+    /// Ships rejected because the sender's epoch was stale (backup side).
+    pub fences: Counter,
+    /// Regions this server fenced itself out of after learning a newer
+    /// epoch exists (stale-primary self-fencing).
+    pub fenced: Counter,
+    /// Backup lanes declared out of sync (ack timeout, gap or backlog).
+    pub lane_drops: Counter,
+    /// Current unacknowledged shipped bytes across all lanes (primary).
+    pub backlog_bytes: Gauge,
+    /// Worst `shipped - acked` sequence distance across lanes (primary).
+    pub lag: Gauge,
 }
 
 /// Online region-split tuning knobs.
@@ -163,6 +227,7 @@ impl Default for RegionServerConfig {
             verify_filters: false,
             compaction: CompactionConfig::default(),
             split: SplitConfig::default(),
+            replication: ReplicationConfig::default(),
         }
     }
 }
@@ -314,6 +379,111 @@ fn encode_ref_marker(r: &StoreFileData) -> Bytes {
     enc.finish()
 }
 
+/// A serialized memstore image shipped in a full-state sync:
+/// `(row, column, version, value-or-tombstone)` per cell version.
+pub type MemstoreSnapshot = Vec<(Bytes, Bytes, Timestamp, Option<Bytes>)>;
+
+/// A backup's reply to a shipped record or sync.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplAck {
+    /// Applied; the lane is caught up through this sequence number.
+    Applied(u64),
+    /// The record did not extend the shadow contiguously (ships were
+    /// lost); the lane needs a full re-sync.
+    Gap(u64),
+    /// The sender's epoch is older than the backup's: a newer replica
+    /// group exists, the sender must fence itself. Carries the epoch the
+    /// backup holds.
+    Stale(u64),
+}
+
+/// Primary-side state of one backup lane.
+struct ReplLane {
+    backup: ServerId,
+    handle: Weak<RegionServer>,
+    node: NodeId,
+    /// Highest sequence number the backup has acked.
+    acked_seq: u64,
+    /// `seq -> payload bytes` of shipped-but-unacked records.
+    pending: std::collections::BTreeMap<u64, usize>,
+    backlog_bytes: usize,
+    /// In sync: data ships flow and client acks gate on this lane. A
+    /// lane starts out of sync and is brought in by a full-state sync.
+    synced: bool,
+    /// An unsync report to the master is in flight; gates still hold
+    /// until the master acks (the report is the fencing point — a
+    /// primary partitioned from the master can never un-gate).
+    drop_pending: bool,
+    /// Sequence number of the in-flight full-state sync, if any. Its
+    /// `Applied` ack is what flips an out-of-sync lane back in (a late
+    /// ack for an ordinary data ship must not).
+    sync_seq: Option<u64>,
+}
+
+/// Fires every gate at the front of the queue whose acks are all in,
+/// strictly in sequence order (the client-visible commit order must
+/// match the ship order). Returns the finish closures for the caller to
+/// invoke *after* releasing the `repl` borrow.
+fn drain_ready_gates(group: &mut ReplGroup) -> Vec<Box<dyn FnOnce(Result<(), StoreError>)>> {
+    let mut finishes = Vec::new();
+    while let Some((&seq, gate)) = group.gates.iter().next() {
+        if !gate.waiting.is_empty() || gate.finish.is_none() {
+            break;
+        }
+        let gate = group.gates.remove(&seq).expect("front gate present");
+        finishes.push(gate.finish.expect("checked above"));
+    }
+    finishes
+}
+
+/// One client ack (plus its T_P bookkeeping) gated on backup acks.
+struct ReplGate {
+    /// Lanes whose ack is still outstanding.
+    waiting: Vec<ServerId>,
+    /// Runs with `Ok` once every lane acked (in sequence order), or with
+    /// `Err(WrongRegion)` when the group is fenced.
+    finish: Option<Box<dyn FnOnce(Result<(), StoreError>)>>,
+}
+
+/// Primary-side replication state of one hosted region.
+struct ReplGroup {
+    epoch: u64,
+    next_seq: u64,
+    lanes: Vec<ReplLane>,
+    gates: std::collections::BTreeMap<u64, ReplGate>,
+    /// A backup holds a newer epoch: this server is no longer the
+    /// rightful primary. The region was marked offline; all pending
+    /// gates failed with `WrongRegion`.
+    fenced: bool,
+}
+
+/// Backup-side shadow of a region hosted elsewhere.
+struct ShadowRegion {
+    desc: RegionDescriptor,
+    epoch: u64,
+    /// Next sequence number expected from the primary.
+    next_seq: u64,
+    memstore: MemStore,
+    /// Durable store-file paths of the primary's file set, refreshed by
+    /// each full-state sync (resolved through the shared registry at
+    /// promotion).
+    storefile_paths: Vec<String>,
+    /// In sync with the primary: contiguous ship stream since the last
+    /// full-state sync. Only a synced shadow is eligible for promotion.
+    synced: bool,
+    /// A split intent the primary propagated (parent about to split).
+    /// Promotion discards it — the master rolls intents back first.
+    split_intent: Option<(RegionId, RegionId)>,
+}
+
+#[derive(Default)]
+struct ReplState {
+    /// Primary-side groups, keyed by hosted region.
+    groups: HashMap<RegionId, ReplGroup>,
+    /// Backup-side shadows, keyed by region.
+    shadows: HashMap<RegionId, ShadowRegion>,
+}
+
 /// One region server process. Shared via `Rc`; all requests arrive as
 /// events scheduled by [`crate::StoreClient`] or the master.
 pub struct RegionServer {
@@ -381,6 +551,13 @@ pub struct RegionServer {
     /// without the transactional tier — degrades to watermark zero:
     /// compaction still merges files but garbage-collects nothing.
     gc_watermark: RefCell<Option<Rc<dyn Fn() -> GcWatermark>>>,
+    /// Primary/backup replication state (groups this server is primary
+    /// for, shadows it keeps as a backup).
+    repl: RefCell<ReplState>,
+    repl_stats: ReplicationStats,
+    /// The master-side replication coordination surface (installed by
+    /// the cluster wiring; lane-drop reports are inert without it).
+    repl_coord: RefCell<Option<Rc<dyn crate::hooks::ReplicationCoordinator>>>,
     self_weak: RefCell<Weak<RegionServer>>,
 }
 
@@ -446,6 +623,9 @@ impl RegionServer {
             pending_split: RefCell::new(None),
             split_stats: SplitStats::default(),
             gc_watermark: RefCell::new(None),
+            repl: RefCell::new(ReplState::default()),
+            repl_stats: ReplicationStats::default(),
+            repl_coord: RefCell::new(None),
             self_weak: RefCell::new(Weak::new()),
         });
         *server.self_weak.borrow_mut() = Rc::downgrade(&server);
@@ -539,6 +719,24 @@ impl RegionServer {
                 move || {
                     if let Some(server) = weak.upgrade() {
                         server.check_splits();
+                    }
+                },
+            );
+            self.timers.borrow_mut().push(timer);
+        }
+
+        // Replication re-sync checks: ship full region state to
+        // out-of-sync backup lanes. Fixed phase, no RNG jitter, for the
+        // same determinism reason as the compaction timer.
+        if self.cfg.replication.enabled {
+            let weak = Rc::downgrade(self);
+            let timer = every_from(
+                &self.sim,
+                self.cfg.replication.resync_interval,
+                self.cfg.replication.resync_interval,
+                move || {
+                    if let Some(server) = weak.upgrade() {
+                        server.check_resyncs();
                     }
                 },
             );
@@ -662,6 +860,18 @@ impl RegionServer {
         c("store.split.completed", &s.completed);
         c("store.split.aborted", &s.aborted);
         registry.register_map("store.region.load_ns", labels, "region", &s.region_load);
+        let r = &self.repl_stats;
+        c("store.repl.ships", &r.ships);
+        c("store.repl.ship_bytes", &r.ship_bytes);
+        c("store.repl.acks", &r.acks);
+        c("store.repl.nacks", &r.nacks);
+        c("store.repl.syncs", &r.syncs);
+        c("store.repl.applied", &r.applied);
+        c("store.repl.fences", &r.fences);
+        c("store.repl.fenced", &r.fenced);
+        c("store.repl.lane_drops", &r.lane_drops);
+        registry.register_gauge("store.repl.backlog_bytes", labels, &r.backlog_bytes);
+        registry.register_gauge("store.repl.lag", labels, &r.lag);
     }
 
     /// Cumulative foreground service nanoseconds across this server's
@@ -737,6 +947,15 @@ impl RegionServer {
             .unwrap_or(false)
     }
 
+    /// Whether `region` currently has an online split in flight.
+    pub fn split_in_progress(&self, region: RegionId) -> bool {
+        self.regions
+            .borrow()
+            .get(&region)
+            .map(|st| st.splitting)
+            .unwrap_or(false)
+    }
+
     /// Crash-stop failure: the process dies, the network drops its
     /// traffic, timers stop, the coordination session expires on its own.
     /// In-memory state (memstores, WAL buffer) is lost.
@@ -747,6 +966,11 @@ impl RegionServer {
             t.cancel();
         }
         self.timers.borrow_mut().clear();
+        // Shadow memstores and primary-side lane state are in-memory
+        // state: gone with the process.
+        let mut repl = self.repl.borrow_mut();
+        repl.groups.clear();
+        repl.shadows.clear();
     }
 
     /// Ids of regions currently hosted (online or recovering).
@@ -1181,7 +1405,14 @@ impl RegionServer {
                 }
                 Some(st) if !st.online && !replay => {
                     self.not_serving.inc();
-                    reply(Err(StoreError::NotServing(region)));
+                    // A fenced ex-primary can never serve this region
+                    // again under its old epoch — send the client to the
+                    // map, not into a retry loop.
+                    reply(Err(if self.region_fenced(region) {
+                        StoreError::WrongRegion(region)
+                    } else {
+                        StoreError::NotServing(region)
+                    }));
                     return;
                 }
                 Some(_) => {}
@@ -1221,6 +1452,13 @@ impl RegionServer {
                 return;
             }
             let n_mutations = mutations.len();
+            // Ship to backup lanes *before* the WAL append consumes the
+            // batch. Returns the gate sequence when at least one in-sync
+            // lane was shipped; the client ack (and the T_P bookkeeping
+            // hook) then waits for every shipped lane's ack — this is
+            // what makes `T_P(failed)` a sound promotion floor: nothing
+            // at or below it can be missing from an eligible backup.
+            let gate_seq = this.ship_to_replicas(region, ts, &mutations);
             let seq = this.wal.append(WalRecord {
                 region,
                 ts,
@@ -1240,12 +1478,24 @@ impl RegionServer {
                     replay
                 )
             });
-            this.hooks
-                .borrow()
-                .on_write_set_applied(this.id, region, ts, seq, floor);
-            match this.cfg.wal_mode {
-                WalSyncMode::Sync => this.wal.sync_upto(seq, move || reply(Ok(()))),
-                WalSyncMode::Async => reply(Ok(())),
+            let complete: Box<dyn FnOnce(Result<(), StoreError>)> = {
+                let this = Rc::clone(&this);
+                Box::new(move |result| match result {
+                    Ok(()) => {
+                        this.hooks
+                            .borrow()
+                            .on_write_set_applied(this.id, region, ts, seq, floor);
+                        match this.cfg.wal_mode {
+                            WalSyncMode::Sync => this.wal.sync_upto(seq, move || reply(Ok(()))),
+                            WalSyncMode::Async => reply(Ok(())),
+                        }
+                    }
+                    Err(e) => reply(Err(e)),
+                })
+            };
+            match gate_seq {
+                Some(gate_seq) => this.arm_gate(region, gate_seq, complete),
+                None => complete(Ok(())),
             }
         });
     }
@@ -1427,7 +1677,7 @@ impl RegionServer {
             return;
         }
         if idx >= paths.len() {
-            self.finish_region_open(region, failed);
+            self.finish_region_open(region, failed, false);
             return;
         }
         let this = Rc::clone(self);
@@ -1485,7 +1735,12 @@ impl RegionServer {
         });
     }
 
-    fn finish_region_open(self: &Rc<Self>, region: RegionId, failed: Option<ServerId>) {
+    fn finish_region_open(
+        self: &Rc<Self>,
+        region: RegionId,
+        failed: Option<ServerId>,
+        promoted: bool,
+    ) {
         match failed {
             Some(failed_server) => {
                 let hooks = Rc::clone(&*self.hooks.borrow());
@@ -1494,6 +1749,7 @@ impl RegionServer {
                     Rc::clone(self),
                     region,
                     failed_server,
+                    promoted,
                     Box::new(move || {
                         if let Some(server) = weak.upgrade() {
                             server.mark_region_online(region);
@@ -1641,6 +1897,10 @@ impl RegionServer {
                     }
                 };
                 server.update_file_metrics();
+                // The file set changed and the memstore was truncated:
+                // re-baseline every backup lane with a full-state sync
+                // (this is also what keeps shadow memstores bounded).
+                server.ship_sync(region);
                 // The flushed store file now covers the recovered edits;
                 // their files can be garbage-collected.
                 for path in recovered {
@@ -2037,6 +2297,9 @@ impl RegionServer {
                 )
             });
         self.update_file_metrics();
+        // Compaction rewrote the file set; re-baseline backup lanes so a
+        // promoted shadow resolves the merged files, not retired ones.
+        self.ship_sync(region);
         // Fencing: retiring the inputs is the one destructive step, and a
         // server partitioned from the coordination service may already
         // have been failed over — the new host still reads these files.
@@ -2325,6 +2588,11 @@ impl RegionServer {
                     self.id, region, bottom, top
                 )
             });
+        // Tell the backups a split intent is executing, so a promotion
+        // racing the flip knows the shadow may be mid-split (the master
+        // rolls the intent back before promoting, so the promoted
+        // replica discards it).
+        self.ship_split_intent(region, bottom, top);
         let (desc, parents): (RegionDescriptor, Vec<(Rc<StoreFileData>, u32)>) = {
             let regions = self.regions.borrow();
             let Some(st) = regions.get(&region) else {
@@ -2560,6 +2828,11 @@ impl RegionServer {
                 )
             });
         self.update_file_metrics();
+        // The parent's replica group follows the flip: daughters inherit
+        // the parent's lanes (brought in sync by immediate full-state
+        // syncs carrying the daughters' reference files), the parent's
+        // shadows are closed.
+        self.split_replica_groups(work.region, work.bottom, work.top);
         if !superseded.is_empty() {
             self.retire_superseded_references(superseded);
         }
@@ -2647,6 +2920,1200 @@ impl RegionServer {
         }
         self.compaction_stats.level_files.set_all(level_files);
         self.compaction_stats.level_bytes.set_all(level_bytes);
+    }
+
+    // ------------------------------------------------------------------
+    // Primary/backup replication (see ARCHITECTURE.md, "Region
+    // replication": ship protocol, epoch fencing, promotion vs replay)
+    // ------------------------------------------------------------------
+
+    /// Installs the master's replication coordination surface (cluster
+    /// wiring; lane-drop reports are inert without it).
+    pub fn set_replication_coordinator(&self, coord: Rc<dyn crate::hooks::ReplicationCoordinator>) {
+        *self.repl_coord.borrow_mut() = Some(coord);
+    }
+
+    /// Replication observability: ship/ack/fence counters and the
+    /// backlog/lag gauges (shared handles; clone freely).
+    pub fn replication_stats(&self) -> &ReplicationStats {
+        &self.repl_stats
+    }
+
+    /// Whether this server fenced itself out of `region` (a backup holds
+    /// a newer replica-group epoch).
+    pub fn region_fenced(&self, region: RegionId) -> bool {
+        self.repl
+            .borrow()
+            .groups
+            .get(&region)
+            .map(|g| g.fenced)
+            .unwrap_or(false)
+    }
+
+    /// Regions this server currently keeps a backup shadow for (sorted).
+    pub fn shadow_regions(&self) -> Vec<RegionId> {
+        let mut v: Vec<RegionId> = self.repl.borrow().shadows.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Whether the shadow for `region` is in sync with its primary.
+    pub fn shadow_synced(&self, region: RegionId) -> bool {
+        self.repl
+            .borrow()
+            .shadows
+            .get(&region)
+            .map(|s| s.synced)
+            .unwrap_or(false)
+    }
+
+    /// Master RPC: (re)establishes the replica group this server leads
+    /// for `region`. Every lane starts (or resets to) out of sync — the
+    /// next full-state sync brings it in, and only from then on do
+    /// client acks gate on it. Pending gates are released: no lane is in
+    /// sync anymore, and the syncs that follow carry the full state the
+    /// gated writes are part of.
+    pub fn establish_replica_group(
+        self: &Rc<Self>,
+        region: RegionId,
+        epoch: u64,
+        backups: Vec<(ServerId, NodeId, Weak<RegionServer>)>,
+    ) {
+        if !self.alive.get() {
+            return;
+        }
+        let finishes = {
+            let mut repl = self.repl.borrow_mut();
+            let group = repl.groups.entry(region).or_insert_with(|| ReplGroup {
+                epoch,
+                next_seq: 0,
+                lanes: Vec::new(),
+                gates: std::collections::BTreeMap::new(),
+                fenced: false,
+            });
+            group.epoch = epoch;
+            group.fenced = false;
+            group.lanes = backups
+                .into_iter()
+                .map(|(backup, node, handle)| ReplLane {
+                    backup,
+                    handle,
+                    node,
+                    acked_seq: 0,
+                    pending: std::collections::BTreeMap::new(),
+                    backlog_bytes: 0,
+                    synced: false,
+                    drop_pending: false,
+                    sync_seq: None,
+                })
+                .collect();
+            group.lanes.sort_unstable_by_key(|l| l.backup);
+            let mut finishes: Vec<Box<dyn FnOnce(Result<(), StoreError>)>> = Vec::new();
+            let seqs: Vec<u64> = group.gates.keys().copied().collect();
+            for seq in seqs {
+                if let Some(gate) = group.gates.remove(&seq) {
+                    if let Some(f) = gate.finish {
+                        finishes.push(f);
+                    }
+                }
+            }
+            finishes
+        };
+        self.events
+            .borrow()
+            .record(self.sim.now(), "replication.establish", || {
+                format!("server={} region={region} epoch={epoch}", self.id)
+            });
+        for f in finishes {
+            f(Ok(()));
+        }
+        self.update_repl_gauges();
+    }
+
+    /// Master RPC: this server is (or stays) a backup for `region` under
+    /// `epoch`. The shadow is created if missing and always marked out
+    /// of sync — the primary's next full-state sync re-baselines it
+    /// (sequence numbers from different primaries must never be mixed).
+    pub fn open_shadow(&self, region: RegionId, desc: RegionDescriptor, epoch: u64) {
+        if !self.alive.get() {
+            return;
+        }
+        {
+            let mut repl = self.repl.borrow_mut();
+            let shadow = repl.shadows.entry(region).or_insert_with(|| ShadowRegion {
+                desc: desc.clone(),
+                epoch,
+                next_seq: 0,
+                memstore: MemStore::new(),
+                storefile_paths: Vec::new(),
+                synced: false,
+                split_intent: None,
+            });
+            shadow.desc = desc;
+            shadow.epoch = shadow.epoch.max(epoch);
+            shadow.synced = false;
+        }
+        self.events
+            .borrow()
+            .record(self.sim.now(), "replication.shadow_open", || {
+                format!("server={} region={region} epoch={epoch}", self.id)
+            });
+    }
+
+    /// Master RPC: `region`'s shadow is obsolete (parent of an applied
+    /// split, or this backup left the group).
+    pub fn close_shadow(&self, region: RegionId, epoch: u64) {
+        if !self.alive.get() {
+            return;
+        }
+        let removed = {
+            let mut repl = self.repl.borrow_mut();
+            match repl.shadows.get(&region) {
+                Some(s) if s.epoch <= epoch => repl.shadows.remove(&region).is_some(),
+                _ => false,
+            }
+        };
+        if removed {
+            self.events
+                .borrow()
+                .record(self.sim.now(), "replication.shadow_close", || {
+                    format!("server={} region={region}", self.id)
+                });
+        }
+    }
+
+    /// Master RPC: a backup lane's server died; stop shipping and stop
+    /// gating on it.
+    pub fn drop_replica_lane(&self, region: RegionId, backup: ServerId) {
+        if !self.alive.get() {
+            return;
+        }
+        let finishes = {
+            let mut repl = self.repl.borrow_mut();
+            let Some(group) = repl.groups.get_mut(&region) else {
+                return;
+            };
+            group.lanes.retain(|l| l.backup != backup);
+            for gate in group.gates.values_mut() {
+                gate.waiting.retain(|b| *b != backup);
+            }
+            drain_ready_gates(group)
+        };
+        self.events
+            .borrow()
+            .record(self.sim.now(), "replication.drop_lane", || {
+                format!("server={} region={region} backup={backup}", self.id)
+            });
+        for f in finishes {
+            f(Ok(()));
+        }
+        self.update_repl_gauges();
+    }
+
+    /// Master RPC (promotion probe): reports this backup's view of
+    /// `region` — shadow epoch, applied-through sequence and sync state.
+    pub fn query_replica(&self, region: RegionId, reply: Box<dyn FnOnce(u64, u64, bool)>) {
+        if !self.alive.get() {
+            return;
+        }
+        let (epoch, seq, synced) = self
+            .repl
+            .borrow()
+            .shadows
+            .get(&region)
+            .map(|s| (s.epoch, s.next_seq, s.synced))
+            .unwrap_or((0, 0, false));
+        reply(epoch, seq, synced);
+    }
+
+    /// Master RPC: this backup won the promotion for `region` after
+    /// `failed`'s crash. The shadow converts into a hosted (offline)
+    /// region; its inherited memstore is flushed (the shadow's data is
+    /// durable only in the dead primary's WAL until then) and the
+    /// regular recovery gating runs with `promoted = true` — the
+    /// recovery manager replays only the transaction-log suffix above
+    /// the persisted floor instead of waiting for a full WAL split.
+    pub fn promote_replica(self: &Rc<Self>, region: RegionId, epoch: u64, failed: ServerId) {
+        if !self.alive.get() {
+            return;
+        }
+        let shadow = self.repl.borrow_mut().shadows.remove(&region);
+        let Some(shadow) = shadow else {
+            return;
+        };
+        let storefiles: Vec<Rc<StoreFileData>> = shadow
+            .storefile_paths
+            .iter()
+            .filter(|p| !compaction::is_tmp_path(p))
+            .filter_map(|p| self.registry.get(p))
+            .collect();
+        self.regions.borrow_mut().insert(
+            region,
+            RegionState {
+                desc: shadow.desc,
+                memstore: shadow.memstore,
+                flushing: None,
+                storefiles,
+                file_levels: HashMap::new(),
+                recovered_paths: Vec::new(),
+                online: false,
+                flush_in_progress: false,
+                compaction_in_progress: false,
+                splitting: false,
+            },
+        );
+        self.events
+            .borrow()
+            .record(self.sim.now(), "replication.promote", || {
+                format!(
+                    "server={} region={region} epoch={epoch} failed={failed}",
+                    self.id
+                )
+            });
+        self.update_file_metrics();
+        self.flush_region(region);
+        self.finish_region_open(region, Some(failed), true);
+    }
+
+    /// Ships one committed write-set portion to every in-sync backup
+    /// lane. Returns the gate sequence to arm when at least one lane was
+    /// shipped (the client ack must wait for those acks), `None` when
+    /// the region is unreplicated or no lane is in sync.
+    fn ship_to_replicas(
+        self: &Rc<Self>,
+        region: RegionId,
+        ts: Timestamp,
+        mutations: &[Mutation],
+    ) -> Option<u64> {
+        if self.repl.borrow().groups.is_empty() {
+            return None;
+        }
+        let bytes: usize = 40
+            + mutations
+                .iter()
+                .map(|m| {
+                    m.row.len()
+                        + m.column.len()
+                        + match &m.kind {
+                            crate::types::MutationKind::Put(v) => v.len(),
+                            crate::types::MutationKind::Delete => 0,
+                        }
+                })
+                .sum::<usize>();
+        let mut laggards: Vec<ServerId> = Vec::new();
+        let (seq, epoch, targets) = {
+            let mut repl = self.repl.borrow_mut();
+            let group = repl.groups.get_mut(&region)?;
+            if group.fenced {
+                return None;
+            }
+            let seq = group.next_seq;
+            group.next_seq += 1;
+            let epoch = group.epoch;
+            let max_backlog = self.cfg.replication.max_backlog_bytes;
+            let mut targets: Vec<(ServerId, NodeId, Rc<RegionServer>)> = Vec::new();
+            for lane in group.lanes.iter_mut() {
+                if !lane.synced || lane.drop_pending {
+                    continue;
+                }
+                if lane.backlog_bytes + bytes > max_backlog {
+                    laggards.push(lane.backup);
+                    continue;
+                }
+                let Some(handle) = lane.handle.upgrade() else {
+                    laggards.push(lane.backup);
+                    continue;
+                };
+                lane.pending.insert(seq, bytes);
+                lane.backlog_bytes += bytes;
+                targets.push((lane.backup, lane.node, handle));
+            }
+            if targets.is_empty() {
+                (seq, epoch, targets)
+            } else {
+                group.gates.insert(
+                    seq,
+                    ReplGate {
+                        waiting: targets.iter().map(|(b, ..)| *b).collect(),
+                        finish: None,
+                    },
+                );
+                (seq, epoch, targets)
+            }
+        };
+        for backup in laggards {
+            self.begin_lane_drop(region, backup);
+        }
+        if targets.is_empty() {
+            return None;
+        }
+        for (backup, node, handle) in targets {
+            self.repl_stats.ships.inc();
+            self.repl_stats.ship_bytes.add(bytes as u64);
+            self.trace.borrow().record(self.sim.now(), "repl.ship", || {
+                format!(
+                    "server={} region={region} seq={seq} backup={backup} bytes={bytes}",
+                    self.id
+                )
+            });
+            let muts = mutations.to_vec();
+            let reply = self.ack_reply(region, epoch, backup, node);
+            self.net.send(self.node, node, bytes, move || {
+                handle.apply_shipped(region, epoch, seq, ts, muts, reply);
+            });
+            self.schedule_ack_timeout(region, epoch, backup, seq);
+        }
+        self.update_repl_gauges();
+        Some(seq)
+    }
+
+    /// Builds the reply closure a backup invokes to ack a ship: one
+    /// network hop back to this primary.
+    fn ack_reply(
+        self: &Rc<Self>,
+        region: RegionId,
+        epoch: u64,
+        backup: ServerId,
+        backup_node: NodeId,
+    ) -> Box<dyn FnOnce(ReplAck)> {
+        let this = Rc::clone(self);
+        let net = Rc::clone(&self.net);
+        Box::new(move |ack| {
+            let node = this.node;
+            net.send(backup_node, node, 40, move || {
+                this.handle_repl_ack(region, epoch, backup, ack);
+            });
+        })
+    }
+
+    /// Declares the lane out of sync if `seq` is still unacked when the
+    /// fixed timeout fires (a dead or partitioned backup must not hold
+    /// client acks forever — but un-gating waits for the master's ack,
+    /// see [`RegionServer::begin_lane_drop`]).
+    fn schedule_ack_timeout(
+        self: &Rc<Self>,
+        region: RegionId,
+        epoch: u64,
+        backup: ServerId,
+        seq: u64,
+    ) {
+        let weak = Rc::downgrade(self);
+        self.sim
+            .schedule_in(self.cfg.replication.ack_timeout, move || {
+                let Some(this) = weak.upgrade() else { return };
+                if !this.alive.get() {
+                    return;
+                }
+                let timed_out = {
+                    let repl = this.repl.borrow();
+                    repl.groups
+                        .get(&region)
+                        .filter(|g| g.epoch == epoch)
+                        .and_then(|g| g.lanes.iter().find(|l| l.backup == backup))
+                        .map(|l| l.synced && !l.drop_pending && l.pending.contains_key(&seq))
+                        .unwrap_or(false)
+                };
+                if timed_out {
+                    this.begin_lane_drop(region, backup);
+                }
+            });
+    }
+
+    /// Starts taking a lane out of sync: report it to the master and
+    /// only release the lane's gates once the master acked. The report
+    /// is the fencing point — the master now considers the backup
+    /// ineligible for promotion, so acking clients without its coverage
+    /// is sound. A primary partitioned from the master never receives
+    /// the ack, never un-gates, and therefore never acks a write an
+    /// eligible backup is missing.
+    fn begin_lane_drop(self: &Rc<Self>, region: RegionId, backup: ServerId) {
+        let epoch = {
+            let mut repl = self.repl.borrow_mut();
+            let Some(group) = repl.groups.get_mut(&region) else {
+                return;
+            };
+            let Some(lane) = group.lanes.iter_mut().find(|l| l.backup == backup) else {
+                return;
+            };
+            if !lane.synced || lane.drop_pending {
+                return;
+            }
+            lane.drop_pending = true;
+            group.epoch
+        };
+        self.repl_stats.lane_drops.inc();
+        self.events
+            .borrow()
+            .record(self.sim.now(), "replication.lane_unsynced", || {
+                format!("server={} region={region} backup={backup}", self.id)
+            });
+        self.report_lane_unsynced(region, epoch, backup);
+    }
+
+    /// Sends (and re-sends on a fixed period until the master's ack
+    /// lands) the ineligibility report for an out-of-sync lane.
+    fn report_lane_unsynced(self: &Rc<Self>, region: RegionId, epoch: u64, backup: ServerId) {
+        const REPORT_RETRY: SimDuration = SimDuration::from_millis(400);
+        let Some(coord) = self.repl_coord.borrow().clone() else {
+            // No master wiring (unit tests): release locally.
+            self.finish_lane_drop(region, epoch, backup, false);
+            return;
+        };
+        let still_pending = {
+            let repl = self.repl.borrow();
+            repl.groups
+                .get(&region)
+                .filter(|g| g.epoch == epoch)
+                .and_then(|g| g.lanes.iter().find(|l| l.backup == backup))
+                .map(|l| l.drop_pending)
+                .unwrap_or(false)
+        };
+        if !still_pending {
+            return;
+        }
+        let master_node = coord.node();
+        let done: Box<dyn FnOnce(bool)> = {
+            let this = Rc::clone(self);
+            let net = Rc::clone(&self.net);
+            Box::new(move |stale| {
+                let node = this.node;
+                net.send(master_node, node, 32, move || {
+                    this.finish_lane_drop(region, epoch, backup, stale);
+                });
+            })
+        };
+        self.net.send(self.node, master_node, 64, move || {
+            coord.replica_unsynced(region, epoch, backup, done);
+        });
+        let weak = Rc::downgrade(self);
+        self.sim.schedule_in(REPORT_RETRY, move || {
+            if let Some(this) = weak.upgrade() {
+                if this.alive.get() {
+                    this.report_lane_unsynced(region, epoch, backup);
+                }
+            }
+        });
+    }
+
+    /// The master answered the ineligibility report. Normally the lane
+    /// leaves the gating set and its held gates release; a `stale`
+    /// answer means this server is a fenced-out ex-primary — fence the
+    /// whole group instead of un-gating (its held acks must fail, never
+    /// succeed).
+    fn finish_lane_drop(
+        self: &Rc<Self>,
+        region: RegionId,
+        epoch: u64,
+        backup: ServerId,
+        stale: bool,
+    ) {
+        if !self.alive.get() {
+            return;
+        }
+        if stale {
+            let matches = self
+                .repl
+                .borrow()
+                .groups
+                .get(&region)
+                .map(|g| g.epoch == epoch)
+                .unwrap_or(false);
+            if matches {
+                self.fence_group(region, epoch + 1);
+            }
+            return;
+        }
+        let finishes = {
+            let mut repl = self.repl.borrow_mut();
+            let Some(group) = repl.groups.get_mut(&region) else {
+                return;
+            };
+            if group.epoch != epoch {
+                return;
+            }
+            let Some(lane) = group.lanes.iter_mut().find(|l| l.backup == backup) else {
+                return;
+            };
+            if !lane.drop_pending {
+                return;
+            }
+            lane.drop_pending = false;
+            lane.synced = false;
+            lane.sync_seq = None;
+            lane.pending.clear();
+            lane.backlog_bytes = 0;
+            for gate in group.gates.values_mut() {
+                gate.waiting.retain(|b| *b != backup);
+            }
+            drain_ready_gates(group)
+        };
+        for f in finishes {
+            f(Ok(()));
+        }
+        self.update_repl_gauges();
+    }
+
+    /// Attaches the completion of a gated client ack to its gate (the
+    /// gate was registered by [`RegionServer::ship_to_replicas`] in the
+    /// same event, so it still exists unless the group was fenced or
+    /// re-established in between).
+    fn arm_gate(
+        self: &Rc<Self>,
+        region: RegionId,
+        seq: u64,
+        finish: Box<dyn FnOnce(Result<(), StoreError>)>,
+    ) {
+        let finishes = {
+            let mut repl = self.repl.borrow_mut();
+            let Some(group) = repl.groups.get_mut(&region) else {
+                finish(Ok(()));
+                return;
+            };
+            if group.fenced {
+                finish(Err(StoreError::WrongRegion(region)));
+                return;
+            }
+            match group.gates.get_mut(&seq) {
+                Some(gate) => gate.finish = Some(finish),
+                None => {
+                    finish(Ok(()));
+                    return;
+                }
+            }
+            drain_ready_gates(group)
+        };
+        for f in finishes {
+            f(Ok(()));
+        }
+    }
+
+    /// Primary side: a backup's reply to a shipped record or sync.
+    fn handle_repl_ack(
+        self: &Rc<Self>,
+        region: RegionId,
+        epoch: u64,
+        backup: ServerId,
+        ack: ReplAck,
+    ) {
+        if !self.alive.get() {
+            return;
+        }
+        match ack {
+            ReplAck::Applied(seq) => {
+                self.repl_stats.acks.inc();
+                let (finishes, resynced) = {
+                    let mut repl = self.repl.borrow_mut();
+                    let Some(group) = repl.groups.get_mut(&region) else {
+                        return;
+                    };
+                    if group.epoch != epoch {
+                        return;
+                    }
+                    let Some(lane) = group.lanes.iter_mut().find(|l| l.backup == backup) else {
+                        return;
+                    };
+                    let mut resynced = false;
+                    if lane.sync_seq == Some(seq) {
+                        lane.sync_seq = None;
+                        if !lane.synced && !lane.drop_pending {
+                            lane.synced = true;
+                            resynced = true;
+                        }
+                    }
+                    if seq > lane.acked_seq || lane.acked_seq == 0 {
+                        lane.acked_seq = seq;
+                    }
+                    let acked: Vec<u64> = lane.pending.range(..=seq).map(|(s, _)| *s).collect();
+                    for s in acked {
+                        if let Some(b) = lane.pending.remove(&s) {
+                            lane.backlog_bytes = lane.backlog_bytes.saturating_sub(b);
+                        }
+                    }
+                    for (s, gate) in group.gates.range_mut(..=seq) {
+                        let _ = s;
+                        gate.waiting.retain(|b| *b != backup);
+                    }
+                    (drain_ready_gates(group), resynced)
+                };
+                for f in finishes {
+                    f(Ok(()));
+                }
+                if resynced {
+                    self.events.borrow().record(
+                        self.sim.now(),
+                        "replication.lane_resynced",
+                        || format!("server={} region={region} backup={backup}", self.id),
+                    );
+                    if let Some(coord) = self.repl_coord.borrow().clone() {
+                        let node = self.node;
+                        self.net.send(node, coord.node(), 48, move || {
+                            coord.replica_synced(region, epoch, backup);
+                        });
+                    }
+                }
+                self.update_repl_gauges();
+            }
+            ReplAck::Gap(_) => {
+                self.repl_stats.nacks.inc();
+                self.begin_lane_drop(region, backup);
+            }
+            ReplAck::Stale(newer) => {
+                self.repl_stats.nacks.inc();
+                self.fence_group(region, newer);
+            }
+        }
+    }
+
+    /// A backup holds a newer epoch than this server's group: a
+    /// promotion happened behind a partition and this server is a stale
+    /// primary. Fence: the region goes offline (clients get
+    /// `WrongRegion` and refresh their maps toward the new primary) and
+    /// every gated-but-unacked write fails — it was never acknowledged,
+    /// so failing it loses nothing the client could rely on.
+    fn fence_group(self: &Rc<Self>, region: RegionId, newer_epoch: u64) {
+        let finishes = {
+            let mut repl = self.repl.borrow_mut();
+            let Some(group) = repl.groups.get_mut(&region) else {
+                return;
+            };
+            // A fence directive names the epoch that supersedes this
+            // group; one that does not (a reply delayed across a
+            // re-establish) is itself stale and must be ignored.
+            if group.fenced || group.epoch >= newer_epoch {
+                return;
+            }
+            group.fenced = true;
+            let mut finishes: Vec<Box<dyn FnOnce(Result<(), StoreError>)>> = Vec::new();
+            let seqs: Vec<u64> = group.gates.keys().copied().collect();
+            for seq in seqs {
+                if let Some(gate) = group.gates.remove(&seq) {
+                    if let Some(f) = gate.finish {
+                        finishes.push(f);
+                    }
+                }
+            }
+            for lane in group.lanes.iter_mut() {
+                lane.pending.clear();
+                lane.backlog_bytes = 0;
+                lane.synced = false;
+            }
+            finishes
+        };
+        if let Some(st) = self.regions.borrow_mut().get_mut(&region) {
+            st.online = false;
+        }
+        self.repl_stats.fenced.inc();
+        self.events
+            .borrow()
+            .record(self.sim.now(), "replication.fenced", || {
+                format!(
+                    "server={} region={region} newer_epoch={newer_epoch}",
+                    self.id
+                )
+            });
+        for f in finishes {
+            f(Err(StoreError::WrongRegion(region)));
+        }
+        self.update_repl_gauges();
+    }
+
+    /// Backup side: applies one shipped write-set portion to the shadow.
+    pub fn apply_shipped(
+        self: &Rc<Self>,
+        region: RegionId,
+        epoch: u64,
+        seq: u64,
+        ts: Timestamp,
+        mutations: Vec<Mutation>,
+        reply: Box<dyn FnOnce(ReplAck)>,
+    ) {
+        if !self.alive.get() {
+            return;
+        }
+        if let Some(stale) = self.fence_check(region, epoch) {
+            reply(stale);
+            return;
+        }
+        let ack = {
+            let mut repl = self.repl.borrow_mut();
+            match repl.shadows.get_mut(&region) {
+                None => ReplAck::Gap(seq),
+                Some(shadow) if epoch < shadow.epoch => ReplAck::Stale(shadow.epoch),
+                Some(shadow) if !shadow.synced || seq != shadow.next_seq => {
+                    shadow.synced = false;
+                    ReplAck::Gap(seq)
+                }
+                Some(shadow) => {
+                    for m in &mutations {
+                        shadow.memstore.apply_mutation(
+                            m.row.clone(),
+                            m.column.clone(),
+                            ts,
+                            &m.kind,
+                        );
+                    }
+                    shadow.next_seq = seq + 1;
+                    ReplAck::Applied(seq)
+                }
+            }
+        };
+        self.note_backup_ack(region, &ack);
+        reply(ack);
+    }
+
+    /// Backup side: applies a full-state sync, re-baselining the shadow
+    /// (this is what brings an out-of-sync lane back in).
+    #[allow(clippy::too_many_arguments)]
+    pub fn apply_sync(
+        self: &Rc<Self>,
+        region: RegionId,
+        epoch: u64,
+        seq: u64,
+        desc: RegionDescriptor,
+        paths: Vec<String>,
+        snapshot: MemstoreSnapshot,
+        reply: Box<dyn FnOnce(ReplAck)>,
+    ) {
+        if !self.alive.get() {
+            return;
+        }
+        if let Some(stale) = self.fence_check(region, epoch) {
+            reply(stale);
+            return;
+        }
+        let ack = {
+            let mut repl = self.repl.borrow_mut();
+            let shadow = repl.shadows.entry(region).or_insert_with(|| ShadowRegion {
+                desc: desc.clone(),
+                epoch,
+                next_seq: 0,
+                memstore: MemStore::new(),
+                storefile_paths: Vec::new(),
+                synced: false,
+                split_intent: None,
+            });
+            if epoch < shadow.epoch {
+                ReplAck::Stale(shadow.epoch)
+            } else {
+                shadow.desc = desc;
+                shadow.epoch = epoch;
+                let mut ms = MemStore::new();
+                for (row, col, ts, value) in snapshot {
+                    ms.apply(row, col, ts, value);
+                }
+                shadow.memstore = ms;
+                shadow.storefile_paths = paths;
+                shadow.next_seq = seq + 1;
+                shadow.synced = true;
+                shadow.split_intent = None;
+                ReplAck::Applied(seq)
+            }
+        };
+        self.note_backup_ack(region, &ack);
+        reply(ack);
+    }
+
+    /// Backup side: the primary is executing a split of `region`.
+    pub fn apply_split_intent(
+        self: &Rc<Self>,
+        region: RegionId,
+        epoch: u64,
+        seq: u64,
+        bottom: RegionId,
+        top: RegionId,
+        reply: Box<dyn FnOnce(ReplAck)>,
+    ) {
+        if !self.alive.get() {
+            return;
+        }
+        if let Some(stale) = self.fence_check(region, epoch) {
+            reply(stale);
+            return;
+        }
+        let ack = {
+            let mut repl = self.repl.borrow_mut();
+            match repl.shadows.get_mut(&region) {
+                None => ReplAck::Gap(seq),
+                Some(shadow) if epoch < shadow.epoch => ReplAck::Stale(shadow.epoch),
+                Some(shadow) if !shadow.synced || seq != shadow.next_seq => {
+                    shadow.synced = false;
+                    ReplAck::Gap(seq)
+                }
+                Some(shadow) => {
+                    shadow.split_intent = Some((bottom, top));
+                    shadow.next_seq = seq + 1;
+                    ReplAck::Applied(seq)
+                }
+            }
+        };
+        if matches!(ack, ReplAck::Applied(_)) {
+            self.events
+                .borrow()
+                .record(self.sim.now(), "replication.split_intent", || {
+                    format!(
+                        "server={} region={region} bottom={bottom} top={top}",
+                        self.id
+                    )
+                });
+        }
+        self.note_backup_ack(region, &ack);
+        reply(ack);
+    }
+
+    /// Peer side of the idle-lane epoch probe: replies `Stale` only when
+    /// the probing server's epoch is superseded here — this server hosts
+    /// `region` as primary, or holds a shadow under a newer epoch.
+    /// Silence is the healthy answer; the probe repeats on the next
+    /// re-sync tick. This is how a quiesced stale primary (nothing in
+    /// flight when a partition cut it off, so no ack timeout ever fired)
+    /// discovers a promotion it slept through and fences itself.
+    pub fn probe_epoch(&self, region: RegionId, epoch: u64, reply: Box<dyn FnOnce(ReplAck)>) {
+        if !self.alive.get() {
+            return;
+        }
+        if let Some(stale) = self.fence_check(region, epoch) {
+            reply(stale);
+            return;
+        }
+        let newer = self
+            .repl
+            .borrow()
+            .shadows
+            .get(&region)
+            .map(|s| s.epoch)
+            .filter(|e| *e > epoch);
+        if let Some(newer) = newer {
+            let ack = ReplAck::Stale(newer);
+            self.note_backup_ack(region, &ack);
+            reply(ack);
+        }
+    }
+
+    /// A ship addressed to a region this server now hosts as *primary*
+    /// can only come from a stale ex-primary: fence it with this group's
+    /// epoch (or one past the sender's, if the group is not established
+    /// yet).
+    fn fence_check(&self, region: RegionId, epoch: u64) -> Option<ReplAck> {
+        if !self.regions.borrow().contains_key(&region) {
+            return None;
+        }
+        let newer = self
+            .repl
+            .borrow()
+            .groups
+            .get(&region)
+            .map(|g| g.epoch)
+            .unwrap_or(epoch + 1)
+            .max(epoch + 1);
+        self.repl_stats.fences.inc();
+        self.events
+            .borrow()
+            .record(self.sim.now(), "replication.fence", || {
+                format!(
+                    "server={} region={region} stale_epoch={epoch} newer={newer}",
+                    self.id
+                )
+            });
+        Some(ReplAck::Stale(newer))
+    }
+
+    /// Counts backup-side outcomes (fence events are recorded at the
+    /// rejection site).
+    fn note_backup_ack(&self, region: RegionId, ack: &ReplAck) {
+        match ack {
+            ReplAck::Applied(_) => self.repl_stats.applied.inc(),
+            ReplAck::Gap(_) => {}
+            ReplAck::Stale(_) => {
+                self.repl_stats.fences.inc();
+                self.events
+                    .borrow()
+                    .record(self.sim.now(), "replication.fence", || {
+                        format!("server={} region={region}", self.id)
+                    });
+            }
+        }
+    }
+
+    /// Ships a full-state sync for `region` to backup lanes: every lane
+    /// when `only_unsynced` is false (flush/compaction/split re-baseline),
+    /// out-of-sync lanes only on the re-sync timer. Skipped while a
+    /// flush snapshot is in flight — its data is in neither the memstore
+    /// nor the durable file set yet; the flush completion re-ships.
+    fn ship_sync_inner(self: &Rc<Self>, region: RegionId, only_unsynced: bool) {
+        if !self.alive.get() {
+            return;
+        }
+        let (desc, paths, snapshot) = {
+            let regions = self.regions.borrow();
+            let Some(st) = regions.get(&region) else {
+                return;
+            };
+            if st.flush_in_progress || st.flushing.is_some() {
+                return;
+            }
+            let snapshot: MemstoreSnapshot = st
+                .memstore
+                .iter()
+                .map(|(r, c, ts, v)| (r.clone(), c.clone(), ts, v.clone()))
+                .collect();
+            (
+                st.desc.clone(),
+                st.storefiles
+                    .iter()
+                    .map(|sf| sf.path().to_owned())
+                    .collect::<Vec<String>>(),
+                snapshot,
+            )
+        };
+        let bytes: usize = 96
+            + paths.iter().map(|p| p.len()).sum::<usize>()
+            + snapshot
+                .iter()
+                .map(|(r, c, _, v)| r.len() + c.len() + v.as_ref().map(|v| v.len()).unwrap_or(0))
+                .sum::<usize>();
+        let targets = {
+            let mut repl = self.repl.borrow_mut();
+            let Some(group) = repl.groups.get_mut(&region) else {
+                return;
+            };
+            if group.fenced {
+                return;
+            }
+            let epoch = group.epoch;
+            let mut targets: Vec<(u64, u64, ServerId, NodeId, Rc<RegionServer>)> = Vec::new();
+            for lane in group.lanes.iter_mut() {
+                if lane.drop_pending || (only_unsynced && lane.synced) {
+                    continue;
+                }
+                // One un-acked sync at a time per out-of-sync lane; the
+                // next timer tick retries.
+                if !lane.synced && lane.sync_seq.is_some() {
+                    continue;
+                }
+                let Some(handle) = lane.handle.upgrade() else {
+                    continue;
+                };
+                let seq = group.next_seq;
+                group.next_seq += 1;
+                lane.sync_seq = Some(seq);
+                if lane.synced {
+                    lane.pending.insert(seq, bytes);
+                    lane.backlog_bytes += bytes;
+                }
+                targets.push((seq, epoch, lane.backup, lane.node, handle));
+            }
+            targets
+        };
+        for (seq, epoch, backup, node, handle) in targets {
+            self.repl_stats.syncs.inc();
+            self.repl_stats.ship_bytes.add(bytes as u64);
+            self.events
+                .borrow()
+                .record(self.sim.now(), "replication.sync", || {
+                    format!(
+                        "server={} region={region} seq={seq} backup={backup} bytes={bytes}",
+                        self.id
+                    )
+                });
+            let desc = desc.clone();
+            let paths = paths.clone();
+            let snapshot = snapshot.clone();
+            let reply = self.ack_reply(region, epoch, backup, node);
+            self.net.send(self.node, node, bytes, move || {
+                handle.apply_sync(region, epoch, seq, desc, paths, snapshot, reply);
+            });
+            self.schedule_ack_timeout(region, epoch, backup, seq);
+        }
+        self.update_repl_gauges();
+    }
+
+    /// Full-state sync to every lane of `region` (no-op when the region
+    /// is unreplicated).
+    fn ship_sync(self: &Rc<Self>, region: RegionId) {
+        if self.repl.borrow().groups.contains_key(&region) {
+            self.ship_sync_inner(region, false);
+        }
+    }
+
+    /// The re-sync timer tick: bring out-of-sync lanes back via
+    /// full-state syncs (regions in sorted order for determinism), and
+    /// epoch-probe idle in-sync lanes — a primary with nothing in flight
+    /// would otherwise never learn it was superseded behind a partition.
+    fn check_resyncs(self: &Rc<Self>) {
+        if !self.alive.get() {
+            return;
+        }
+        let (mut due, mut probes) = {
+            let repl = self.repl.borrow();
+            let due: Vec<RegionId> = repl
+                .groups
+                .iter()
+                .filter(|(_, g)| {
+                    !g.fenced
+                        && g.lanes
+                            .iter()
+                            .any(|l| !l.synced && !l.drop_pending && l.sync_seq.is_none())
+                })
+                .map(|(r, _)| *r)
+                .collect();
+            let mut probes: Vec<(RegionId, u64, ServerId, NodeId, Rc<RegionServer>)> = Vec::new();
+            for (&region, group) in repl.groups.iter() {
+                if group.fenced {
+                    continue;
+                }
+                for lane in group.lanes.iter() {
+                    if lane.synced
+                        && !lane.drop_pending
+                        && lane.pending.is_empty()
+                        && lane.sync_seq.is_none()
+                    {
+                        if let Some(handle) = lane.handle.upgrade() {
+                            probes.push((region, group.epoch, lane.backup, lane.node, handle));
+                        }
+                    }
+                }
+            }
+            (due, probes)
+        };
+        due.sort_unstable();
+        for region in due {
+            self.ship_sync_inner(region, true);
+        }
+        probes.sort_unstable_by_key(|(region, _, backup, ..)| (*region, *backup));
+        for (region, epoch, backup, node, handle) in probes {
+            let reply = self.ack_reply(region, epoch, backup, node);
+            self.net.send(self.node, node, 24, move || {
+                handle.probe_epoch(region, epoch, reply);
+            });
+        }
+    }
+
+    /// Ships the split-intent notification to in-sync lanes (stream
+    /// element, same contiguity rules as data ships).
+    fn ship_split_intent(self: &Rc<Self>, parent: RegionId, bottom: RegionId, top: RegionId) {
+        let targets = {
+            let mut repl = self.repl.borrow_mut();
+            let Some(group) = repl.groups.get_mut(&parent) else {
+                return;
+            };
+            if group.fenced {
+                return;
+            }
+            let epoch = group.epoch;
+            let mut targets: Vec<(u64, u64, ServerId, NodeId, Rc<RegionServer>)> = Vec::new();
+            for lane in group.lanes.iter_mut() {
+                if !lane.synced || lane.drop_pending {
+                    continue;
+                }
+                let Some(handle) = lane.handle.upgrade() else {
+                    continue;
+                };
+                let seq = group.next_seq;
+                group.next_seq += 1;
+                lane.pending.insert(seq, 48);
+                lane.backlog_bytes += 48;
+                targets.push((seq, epoch, lane.backup, lane.node, handle));
+            }
+            targets
+        };
+        for (seq, epoch, backup, node, handle) in targets {
+            self.repl_stats.ships.inc();
+            let reply = self.ack_reply(parent, epoch, backup, node);
+            self.net.send(self.node, node, 48, move || {
+                handle.apply_split_intent(parent, epoch, seq, bottom, top, reply);
+            });
+            self.schedule_ack_timeout(parent, epoch, backup, seq);
+        }
+    }
+
+    /// Moves the parent's replica group to the split daughters at the
+    /// flip: daughters inherit the lanes (out of sync until the
+    /// immediate full-state syncs ack), the parent's shadows close, and
+    /// any write still gated on the parent fails with `WrongRegion` —
+    /// the retry is idempotent by `(row, version)` and re-routes to a
+    /// daughter after a map refresh.
+    fn split_replica_groups(self: &Rc<Self>, parent: RegionId, bottom: RegionId, top: RegionId) {
+        let (finishes, lanes) = {
+            let mut repl = self.repl.borrow_mut();
+            let Some(mut group) = repl.groups.remove(&parent) else {
+                return;
+            };
+            let mut finishes: Vec<Box<dyn FnOnce(Result<(), StoreError>)>> = Vec::new();
+            let seqs: Vec<u64> = group.gates.keys().copied().collect();
+            for seq in seqs {
+                if let Some(gate) = group.gates.remove(&seq) {
+                    if let Some(f) = gate.finish {
+                        finishes.push(f);
+                    }
+                }
+            }
+            let lanes: Vec<(ServerId, NodeId, Weak<RegionServer>)> = group
+                .lanes
+                .iter()
+                .map(|l| (l.backup, l.node, l.handle.clone()))
+                .collect();
+            for daughter in [bottom, top] {
+                repl.groups.insert(
+                    daughter,
+                    ReplGroup {
+                        epoch: group.epoch,
+                        next_seq: 0,
+                        lanes: lanes
+                            .iter()
+                            .map(|(backup, node, handle)| ReplLane {
+                                backup: *backup,
+                                handle: handle.clone(),
+                                node: *node,
+                                acked_seq: 0,
+                                pending: std::collections::BTreeMap::new(),
+                                backlog_bytes: 0,
+                                synced: false,
+                                drop_pending: false,
+                                sync_seq: None,
+                            })
+                            .collect(),
+                        gates: std::collections::BTreeMap::new(),
+                        fenced: false,
+                    },
+                );
+            }
+            (finishes, (group.epoch, lanes))
+        };
+        for f in finishes {
+            f(Err(StoreError::WrongRegion(parent)));
+        }
+        let (epoch, lanes) = lanes;
+        for (_, node, handle) in &lanes {
+            let Some(handle) = handle.upgrade() else {
+                continue;
+            };
+            let node = *node;
+            self.net.send(self.node, node, 48, move || {
+                handle.close_shadow(parent, epoch);
+            });
+        }
+        self.ship_sync_inner(bottom, false);
+        self.ship_sync_inner(top, false);
+        self.update_repl_gauges();
+    }
+
+    /// Refreshes the replication gauges: total unacked backlog bytes and
+    /// the worst shipped-minus-acked distance across in-sync lanes.
+    fn update_repl_gauges(&self) {
+        let repl = self.repl.borrow();
+        let mut backlog = 0u64;
+        let mut lag = 0u64;
+        for group in repl.groups.values() {
+            for lane in &group.lanes {
+                backlog += lane.backlog_bytes as u64;
+                if lane.synced {
+                    let lane_lag = lane.pending.len() as u64;
+                    lag = lag.max(lane_lag);
+                }
+            }
+        }
+        self.repl_stats.backlog_bytes.set(backlog);
+        self.repl_stats.lag.set(lag);
     }
 
     /// Approximate bytes buffered in `region`'s memstore.

@@ -6,6 +6,9 @@
 //! Every schedule is derived deterministically from the seed, so a failure
 //! here is exactly reproducible.
 
+mod common;
+
+use common::{crash_first_observed, DiceFaults};
 use cumulo_core::{Cluster, ClusterConfig};
 use cumulo_sim::SimDuration;
 use std::cell::RefCell;
@@ -32,8 +35,7 @@ fn chaos_run(seed: u64) {
     });
     // acked[row] = latest acked value writer order is by commit timestamp.
     let acked: Rc<RefCell<HashMap<u64, (u64, String)>>> = Rc::new(RefCell::new(HashMap::new()));
-    let mut rm_down = false;
-    let mut servers_down = 0usize;
+    let mut faults = DiceFaults::new();
 
     for round in 0..90u64 {
         // Load: every live client fires one 3-write transaction.
@@ -80,40 +82,10 @@ fn chaos_run(seed: u64) {
             cluster.rm.t_f()
         );
 
-        // Fault injection, seed-derived.
-        let dice = cluster.sim.gen_range(0, 100);
-        match dice {
-            0..=3 if servers_down < 2 => {
-                // Crash a random live server.
-                let live: Vec<usize> = (0..3).filter(|i| cluster.servers[*i].is_alive()).collect();
-                if live.len() > 1 {
-                    let victim = live[cluster.sim.gen_range(0, live.len() as u64) as usize];
-                    cluster.crash_server(victim);
-                    servers_down += 1;
-                }
-            }
-            4..=6 => {
-                // Crash a random live client (keep at least two).
-                let live: Vec<usize> = (0..6).filter(|i| cluster.clients[*i].is_alive()).collect();
-                if live.len() > 2 {
-                    let victim = live[cluster.sim.gen_range(0, live.len() as u64) as usize];
-                    cluster.crash_client(victim);
-                }
-            }
-            7..=8 if !rm_down => {
-                cluster.crash_recovery_manager();
-                rm_down = true;
-            }
-            9..=11 if rm_down => {
-                cluster.restart_recovery_manager();
-                rm_down = false;
-            }
-            _ => {}
-        }
+        // Fault injection, seed-derived (the shared dice lottery).
+        faults.round(&cluster);
     }
-    if rm_down {
-        cluster.restart_recovery_manager();
-    }
+    faults.settle(&cluster);
     // Converge: recoveries, replays, flush retries all drain.
     cluster.run_for(SimDuration::from_secs(40));
     assert!(
@@ -205,17 +177,7 @@ fn compaction_crash_run(seed: u64) {
         for _ in 0..15 {
             cluster.run_for(SimDuration::from_millis(20));
             if !crashed && round > 20 {
-                let victim = (0..3).find(|&i| {
-                    let s = &cluster.servers[i];
-                    s.is_alive()
-                        && s.hosted_regions()
-                            .iter()
-                            .any(|r| s.compaction_in_progress(*r))
-                });
-                if let Some(victim) = victim {
-                    cluster.crash_server(victim);
-                    crashed = true;
-                }
+                crashed = crash_first_observed(&cluster, |s, r| s.compaction_in_progress(r));
             }
         }
     }

@@ -1,0 +1,234 @@
+//! Shared deterministic chaos-schedule helpers for the failure suites.
+//!
+//! Three fault-injection shapes recur across `tests/{chaos, partitions,
+//! workload_under_failure, replication_chaos}.rs`:
+//!
+//! 1. **Fixed schedules** — crash/partition/heal actions pinned to
+//!    simulated-time offsets ([`ChaosSchedule`]), run either as pure
+//!    time ([`ChaosSchedule::run`]) or interleaved with per-round load
+//!    ([`ChaosSchedule::run_rounds`]).
+//! 2. **Seed-derived dice faults** — a per-round fault lottery drawn
+//!    from the cluster's RNG ([`DiceFaults`]), exactly reproducible
+//!    from the seed.
+//! 3. **Crash-when-observed** — crash the first server caught in some
+//!    transient state, e.g. mid-compaction or mid-split
+//!    ([`crash_first_observed`]).
+//!
+//! Every helper draws randomness only through `cluster.sim`, so a
+//! schedule is a pure function of the seed and a failing run replays
+//! byte-identically.
+
+// Each integration-test binary compiles its own copy of this module and
+// uses a subset of it.
+#![allow(dead_code)]
+
+use cumulo_core::Cluster;
+use cumulo_sim::{NodeId, SimDuration};
+use cumulo_store::{RegionId, RegionServer};
+
+/// One fault-injection step in a [`ChaosSchedule`].
+pub enum ChaosAction {
+    /// Crash the i-th region server.
+    CrashServer(usize),
+    /// Crash the i-th client.
+    CrashClient(usize),
+    /// Partition the i-th region server's node from every other node
+    /// (the machine drops off the rack switch; the process stays up).
+    IsolateServer(usize),
+    /// Remove every installed partition.
+    HealAll,
+    /// Partition a specific node pair.
+    Partition(NodeId, NodeId),
+    /// Heal a specific node pair.
+    Heal(NodeId, NodeId),
+    /// Crash the recovery manager process.
+    CrashRecoveryManager,
+    /// Restart the recovery manager process.
+    RestartRecoveryManager,
+}
+
+/// A deterministic schedule of [`ChaosAction`]s at simulated-time
+/// offsets (relative to when the run starts). Steps at equal offsets
+/// apply in insertion order.
+pub struct ChaosSchedule {
+    steps: Vec<(SimDuration, ChaosAction)>,
+}
+
+impl ChaosSchedule {
+    pub fn new() -> Self {
+        Self { steps: Vec::new() }
+    }
+
+    /// Builder: apply `action` once `offset` of simulated time has
+    /// elapsed since the run began.
+    pub fn at(mut self, offset: SimDuration, action: ChaosAction) -> Self {
+        self.steps.push((offset, action));
+        self
+    }
+
+    fn apply(cluster: &Cluster, action: &ChaosAction) {
+        match action {
+            ChaosAction::CrashServer(i) => cluster.crash_server(*i),
+            ChaosAction::CrashClient(i) => cluster.crash_client(*i),
+            ChaosAction::IsolateServer(i) => cluster.net.isolate(cluster.servers[*i].node()),
+            ChaosAction::HealAll => cluster.net.heal_all(),
+            ChaosAction::Partition(a, b) => cluster.net.partition(*a, *b),
+            ChaosAction::Heal(a, b) => cluster.net.heal(*a, *b),
+            ChaosAction::CrashRecoveryManager => cluster.crash_recovery_manager(),
+            ChaosAction::RestartRecoveryManager => cluster.restart_recovery_manager(),
+        }
+    }
+
+    fn sorted(&self) -> Vec<&(SimDuration, ChaosAction)> {
+        let mut steps: Vec<&(SimDuration, ChaosAction)> = self.steps.iter().collect();
+        steps.sort_by_key(|(t, _)| *t); // stable: ties keep insertion order
+        steps
+    }
+
+    /// Pure-time run: advance the cluster to each step's offset in
+    /// order, apply it, then run out the remainder of `total`.
+    pub fn run(&self, cluster: &Cluster, total: SimDuration) {
+        let mut elapsed = SimDuration::ZERO;
+        for (t, action) in self.sorted() {
+            if *t > elapsed {
+                cluster.run_for(t.saturating_sub(elapsed));
+                elapsed = *t;
+            }
+            Self::apply(cluster, action);
+        }
+        if total > elapsed {
+            cluster.run_for(total.saturating_sub(elapsed));
+        }
+    }
+
+    /// Round-based run under load: each round first applies every step
+    /// due at or before the round's start offset, then fires `load`,
+    /// then advances one `tick`. Steps due after the final round still
+    /// apply at the end (offset exactly `rounds * tick`).
+    pub fn run_rounds(
+        &self,
+        cluster: &Cluster,
+        rounds: u64,
+        tick: SimDuration,
+        mut load: impl FnMut(&Cluster, u64),
+    ) {
+        let steps = self.sorted();
+        let mut next = 0usize;
+        for round in 0..rounds {
+            let now = tick * round;
+            while next < steps.len() && steps[next].0 <= now {
+                Self::apply(cluster, &steps[next].1);
+                next += 1;
+            }
+            load(cluster, round);
+            cluster.run_for(tick);
+        }
+        while next < steps.len() {
+            Self::apply(cluster, &steps[next].1);
+            next += 1;
+        }
+    }
+}
+
+impl Default for ChaosSchedule {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The chaos suite's per-round fault lottery: each call rolls one
+/// `[0, 100)` die from the cluster RNG and maybe crashes a server,
+/// crashes a client, or flaps the recovery manager — bounded so the
+/// cluster can always still make progress. Deterministic in the seed.
+pub struct DiceFaults {
+    /// Never take more than this many servers down.
+    pub max_servers_down: usize,
+    /// Never crash a client when only this many remain alive.
+    pub min_live_clients: usize,
+    rm_down: bool,
+    servers_down: usize,
+}
+
+impl DiceFaults {
+    pub fn new() -> Self {
+        Self {
+            max_servers_down: 2,
+            min_live_clients: 2,
+            rm_down: false,
+            servers_down: 0,
+        }
+    }
+
+    /// Rolls this round's fault die and applies the outcome.
+    pub fn round(&mut self, cluster: &Cluster) {
+        let dice = cluster.sim.gen_range(0, 100);
+        match dice {
+            0..=3 if self.servers_down < self.max_servers_down => {
+                // Crash a random live server (always keep one).
+                let live: Vec<usize> = (0..cluster.servers.len())
+                    .filter(|i| cluster.servers[*i].is_alive())
+                    .collect();
+                if live.len() > 1 {
+                    let victim = live[cluster.sim.gen_range(0, live.len() as u64) as usize];
+                    cluster.crash_server(victim);
+                    self.servers_down += 1;
+                }
+            }
+            4..=6 => {
+                // Crash a random live client (keep a quorum of them).
+                let live: Vec<usize> = (0..cluster.clients.len())
+                    .filter(|i| cluster.clients[*i].is_alive())
+                    .collect();
+                if live.len() > self.min_live_clients {
+                    let victim = live[cluster.sim.gen_range(0, live.len() as u64) as usize];
+                    cluster.crash_client(victim);
+                }
+            }
+            7..=8 if !self.rm_down => {
+                cluster.crash_recovery_manager();
+                self.rm_down = true;
+            }
+            9..=11 if self.rm_down => {
+                cluster.restart_recovery_manager();
+                self.rm_down = false;
+            }
+            _ => {}
+        }
+    }
+
+    /// End of schedule: bring a downed recovery manager back so the
+    /// convergence phase can drain.
+    pub fn settle(&mut self, cluster: &Cluster) {
+        if self.rm_down {
+            cluster.restart_recovery_manager();
+            self.rm_down = false;
+        }
+    }
+}
+
+impl Default for DiceFaults {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Crashes the first live server observed with a hosted region in the
+/// state `pred` describes (mid-compaction, mid-split, …). Returns true
+/// if a victim was found and crashed. Poll this between fine-grained
+/// `run_for` steps to land a crash inside a transient window.
+pub fn crash_first_observed(
+    cluster: &Cluster,
+    pred: impl Fn(&RegionServer, RegionId) -> bool,
+) -> bool {
+    let victim = (0..cluster.servers.len()).find(|&i| {
+        let s = &cluster.servers[i];
+        s.is_alive() && s.hosted_regions().iter().any(|r| pred(s, *r))
+    });
+    match victim {
+        Some(v) => {
+            cluster.crash_server(v);
+            true
+        }
+        None => false,
+    }
+}

@@ -3,6 +3,9 @@
 //! recovery) and the client terminates itself once it realizes it cannot
 //! reach the coordination service.
 
+mod common;
+
+use common::{ChaosAction, ChaosSchedule};
 use cumulo_core::{Cluster, ClusterConfig, Timestamp, TxnError};
 use cumulo_sim::SimDuration;
 use std::cell::RefCell;
@@ -27,18 +30,13 @@ fn partitioned_client_is_recovered_and_self_terminates() {
     let co = committed.clone();
     let net = cluster.net.clone();
     let client_node = client.node();
-    let all_nodes: Vec<_> = (0..40).map(cumulo_sim::NodeId).collect();
     client.begin(move |txn| {
         let txn = txn.expect("begin on live client");
         txn.put("user000000000099", "f0", "stranded").unwrap();
         txn.commit(move |r| {
             *co.borrow_mut() = Some(r);
             // Total partition: cut the client off from everyone.
-            for n in &all_nodes {
-                if *n != client_node {
-                    net.partition(client_node, *n);
-                }
-            }
+            net.isolate(client_node);
         });
     });
     cluster.run_for(SimDuration::from_secs(1));
@@ -76,10 +74,16 @@ fn healed_partition_before_timeout_causes_no_recovery() {
     let client = cluster.client(0).clone();
     let coord_node = cluster.coord.node();
     // Brief partition (1 s) — well under the 3 s session timeout.
-    cluster.net.partition(client.node(), coord_node);
-    cluster.run_for(SimDuration::from_secs(1));
-    cluster.net.heal(client.node(), coord_node);
-    cluster.run_for(SimDuration::from_secs(10));
+    ChaosSchedule::new()
+        .at(
+            SimDuration::ZERO,
+            ChaosAction::Partition(client.node(), coord_node),
+        )
+        .at(
+            SimDuration::from_secs(1),
+            ChaosAction::Heal(client.node(), coord_node),
+        )
+        .run(&cluster, SimDuration::from_secs(11));
     assert_eq!(
         cluster.rm.client_recovery_count(),
         0,
@@ -128,8 +132,12 @@ fn partitioned_server_is_failed_over_like_a_crash() {
     // expires, the master reassigns, recovery replays.
     let server_node = cluster.servers[0].node();
     let coord_node = cluster.coord.node();
-    cluster.net.partition(server_node, coord_node);
-    cluster.run_for(SimDuration::from_secs(15));
+    ChaosSchedule::new()
+        .at(
+            SimDuration::ZERO,
+            ChaosAction::Partition(server_node, coord_node),
+        )
+        .run(&cluster, SimDuration::from_secs(15));
     assert!(
         cluster.master.failover_count() >= 1,
         "partition must trigger failover"

@@ -1,0 +1,287 @@
+//! Replication chaos suite: primary/backup region replication under the
+//! failure modes the tentpole names — primary crash mid-split, a
+//! partition (not a crash) of the primary mid-commit with stale-primary
+//! fencing, and the all-replicas-dead replay fallback — audited with
+//! bank-balance conservation under RNG-shifted seeds.
+//!
+//! Every schedule is deterministic in the seed; the RNG-shift variants
+//! draw a few extra values up front so the same logical schedule runs
+//! under perturbed event timings.
+
+mod common;
+
+use common::{crash_first_observed, ChaosAction, ChaosSchedule};
+use cumulo_core::{Cluster, ClusterConfig, TransactionalClient};
+use cumulo_sim::SimDuration;
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Every schedule below ticks the cluster in rounds of this length.
+const TICK: SimDuration = SimDuration::from_millis(400);
+
+const ACCOUNTS: u64 = 120;
+const INITIAL: i64 = 500;
+
+fn account(i: u64) -> String {
+    format!("user{i:012}")
+}
+
+fn parse(v: Option<bytes::Bytes>) -> i64 {
+    v.map(|b| String::from_utf8_lossy(&b).parse().unwrap_or(0))
+        .unwrap_or(INITIAL)
+}
+
+fn replicated_config(seed: u64) -> ClusterConfig {
+    ClusterConfig {
+        seed,
+        clients: 6,
+        servers: 3,
+        regions: 6,
+        key_count: ACCOUNTS,
+        region_replication: 2,
+        heartbeat_interval: SimDuration::from_millis(500),
+        ..ClusterConfig::default()
+    }
+}
+
+/// One random transfer between two accounts (the atomicity suite's
+/// idiom): read both balances, move a random amount, commit.
+fn transfer(cluster: &Cluster, client: TransactionalClient, committed: Rc<Cell<u32>>) {
+    let sim = cluster.sim.clone();
+    let from = sim.gen_range(0, ACCOUNTS);
+    let to = (from + 1 + sim.gen_range(0, ACCOUNTS - 1)) % ACCOUNTS;
+    let amount = sim.gen_range(1, 20) as i64;
+    client.begin(move |txn| {
+        let Ok(txn) = txn else { return };
+        let committed2 = committed.clone();
+        let txn2 = txn.clone();
+        txn.get(account(from), "bal", move |vf| {
+            let Ok(vf) = vf else { return };
+            let bf = parse(vf);
+            let committed3 = committed2.clone();
+            let txn3 = txn2.clone();
+            txn2.get(account(to), "bal", move |vt| {
+                let Ok(vt) = vt else { return };
+                let bt = parse(vt);
+                let _ = txn3.put(account(from), "bal", (bf - amount).to_string());
+                let _ = txn3.put(account(to), "bal", (bt + amount).to_string());
+                let committed4 = committed3.clone();
+                txn3.commit(move |r| {
+                    if r.is_ok() {
+                        committed4.set(committed4.get() + 1);
+                    }
+                });
+            });
+        });
+    });
+}
+
+fn fire_transfers(cluster: &Cluster, committed: &Rc<Cell<u32>>) {
+    for i in 0..cluster.clients.len() {
+        let client = cluster.client(i).clone();
+        if client.is_alive() {
+            transfer(cluster, client, committed.clone());
+        }
+    }
+}
+
+fn audit_balances(cluster: &Cluster, label: &str) {
+    let mut total = 0i64;
+    for i in 0..ACCOUNTS {
+        total += parse(cluster.read_cell(account(i), "bal", SimDuration::from_secs(10)));
+    }
+    assert_eq!(
+        total,
+        ACCOUNTS as i64 * INITIAL,
+        "{label}: money not conserved"
+    );
+}
+
+/// Shifts the RNG stream by `shift` extra draws so the same logical
+/// schedule runs under perturbed timings (the repo's standard seed-race
+/// probe).
+fn shift_rng(cluster: &Cluster, shift: u32) {
+    for _ in 0..shift {
+        let _ = cluster.sim.jitter(SimDuration::from_secs(1), 0.5);
+    }
+}
+
+/// Crash a primary under transfer load: the master must promote a
+/// backup (not fall back to a WAL replay), the cluster must converge,
+/// and no acknowledged transfer may be lost. Run under three RNG shifts.
+#[test]
+fn primary_crash_promotes_backup_and_conserves_balances() {
+    for shift in [0u32, 1, 2] {
+        let cluster = Cluster::build(replicated_config(8101));
+        shift_rng(&cluster, shift);
+        let committed = Rc::new(Cell::new(0u32));
+        // Crash server 0 after 21 rounds of load.
+        ChaosSchedule::new()
+            .at(TICK * 21, ChaosAction::CrashServer(0))
+            .run_rounds(&cluster, 40, TICK, |cluster, _| {
+                fire_transfers(cluster, &committed)
+            });
+        cluster.run_for(SimDuration::from_secs(25));
+        assert!(
+            cluster.all_regions_online(),
+            "shift {shift}: regions failed to converge"
+        );
+        assert!(
+            committed.get() > 50,
+            "shift {shift}: too few transfers committed ({})",
+            committed.get()
+        );
+        assert!(
+            cluster.master.promotions() > 0,
+            "shift {shift}: primary crash should promote at least one replica \
+             (promotions=0, fallbacks={})",
+            cluster.master.fallback_replays()
+        );
+        audit_balances(&cluster, &format!("shift {shift}"));
+    }
+}
+
+/// Partition (do not crash) a primary mid-commit: its session expires
+/// and a backup is promoted behind the partition. The stale primary must
+/// fence itself once the partition heals — its in-flight commit acks
+/// fail with the `WrongRegion` refresh path rather than succeeding — and
+/// no acknowledged transfer may be lost.
+#[test]
+fn partitioned_primary_is_fenced_after_promotion() {
+    for shift in [0u32, 1, 2] {
+        let cluster = Cluster::build(replicated_config(8202));
+        shift_rng(&cluster, shift);
+        let committed = Rc::new(Cell::new(0u32));
+        // Mid-commit: the isolation lands while transfers are still in
+        // flight toward the servers; the heal comes six seconds later.
+        ChaosSchedule::new()
+            .at(TICK * 20, ChaosAction::IsolateServer(0))
+            .at(TICK * 36, ChaosAction::HealAll)
+            .run_rounds(&cluster, 50, TICK, |cluster, _| {
+                fire_transfers(cluster, &committed)
+            });
+        cluster.run_for(SimDuration::from_secs(25));
+        assert!(
+            cluster.master.failover_count() >= 1,
+            "shift {shift}: partition must look like a crash to the master"
+        );
+        assert!(
+            cluster.master.promotions() > 0,
+            "shift {shift}: promotion should win behind the partition \
+             (promotions=0, fallbacks={})",
+            cluster.master.fallback_replays()
+        );
+        // The stale primary is still alive behind the healed partition;
+        // it must have fenced itself out of its old regions.
+        assert!(
+            cluster.servers[0].is_alive(),
+            "shift {shift}: the partitioned server was never crashed"
+        );
+        assert!(
+            cluster.servers[0].replication_stats().fenced.get() > 0,
+            "shift {shift}: stale primary never fenced itself"
+        );
+        audit_balances(&cluster, &format!("shift {shift}"));
+    }
+}
+
+/// Crash the primary *and* every backup of its regions: no eligible
+/// replica survives, so the master must fall back to the full WAL-replay
+/// path — and even then conserve every acknowledged transfer.
+#[test]
+fn all_replicas_dead_falls_back_to_replay() {
+    for shift in [0u32, 1, 2] {
+        let cluster = Cluster::build(replicated_config(8303));
+        shift_rng(&cluster, shift);
+        let committed = Rc::new(Cell::new(0u32));
+        // With 3 servers and rf=2, killing two servers in the same
+        // instant leaves regions whose primary and only backup are both
+        // dead.
+        ChaosSchedule::new()
+            .at(TICK * 21, ChaosAction::CrashServer(0))
+            .at(TICK * 21, ChaosAction::CrashServer(1))
+            .run_rounds(&cluster, 45, TICK, |cluster, _| {
+                fire_transfers(cluster, &committed)
+            });
+        cluster.run_for(SimDuration::from_secs(30));
+        assert!(
+            cluster.all_regions_online(),
+            "shift {shift}: regions failed to converge on the survivor"
+        );
+        assert!(
+            cluster.master.fallback_replays() > 0,
+            "shift {shift}: a double crash must force at least one replay fallback \
+             (promotions={})",
+            cluster.master.promotions()
+        );
+        audit_balances(&cluster, &format!("shift {shift}"));
+    }
+}
+
+/// Bulky writes into a separate `pad` column (the splits suite's idiom):
+/// they inflate store-file volume so regions cross the split threshold,
+/// without touching the audited `bal` column.
+fn fire_pads(cluster: &Cluster, round: u32) {
+    let client = cluster
+        .client(round as usize % cluster.clients.len())
+        .clone();
+    if !client.is_alive() {
+        return;
+    }
+    let sim = cluster.sim.clone();
+    client.begin(move |txn| {
+        let Ok(txn) = txn else { return };
+        for k in 0..8 {
+            let i = sim.gen_range(0, ACCOUNTS);
+            let _ = txn.put(account(i), "pad", format!("r{round}k{k}{:_<512}", ""));
+        }
+        txn.commit(|_| {});
+    });
+}
+
+/// Crash a primary while one of its regions is mid-split: split intents
+/// were shipped to the replicas, the split rolls back or completes, and
+/// either way promotion/recovery converges without losing a transfer.
+#[test]
+fn primary_crash_mid_split_converges() {
+    for shift in [0u32, 1] {
+        let mut cfg = replicated_config(8404);
+        cfg.splits = true;
+        // Split threshold low enough that the padded transfer traffic
+        // splits hot regions during the run.
+        cfg.split_threshold_bytes = 16 << 10;
+        cfg.server_cfg.memstore_flush_bytes = 6 << 10;
+        cfg.server_cfg.flush_check_interval = SimDuration::from_millis(400);
+        cfg.server_cfg.split.check_interval = SimDuration::from_millis(300);
+        let cluster = Cluster::build(cfg);
+        shift_rng(&cluster, shift);
+        let committed = Rc::new(Cell::new(0u32));
+        let mut crashed = false;
+        for round in 0..60 {
+            fire_transfers(&cluster, &committed);
+            fire_pads(&cluster, round);
+            for _ in 0..20 {
+                cluster.run_for(SimDuration::from_millis(20));
+                // Crash the first server observed with a split in
+                // flight (after enough rounds that data exists).
+                if !crashed && round > 10 {
+                    crashed = crash_first_observed(&cluster, |s, r| s.split_in_progress(r));
+                }
+            }
+        }
+        cluster.run_for(SimDuration::from_secs(30));
+        assert!(
+            crashed,
+            "shift {shift}: no split was ever in flight; tune the thresholds"
+        );
+        assert!(
+            cluster.all_regions_online(),
+            "shift {shift}: regions failed to converge after the mid-split crash"
+        );
+        assert!(
+            cluster.master.promotions() + cluster.master.fallback_replays() > 0,
+            "shift {shift}: the crash recovered no region at all"
+        );
+        audit_balances(&cluster, &format!("shift {shift}"));
+    }
+}

@@ -2,6 +2,9 @@
 //! measurement pipeline itself (throughput accounting, stall behaviour,
 //! rate limiting) and the no-loss guarantee under load.
 
+mod common;
+
+use common::{ChaosAction, ChaosSchedule};
 use cumulo_core::{Cluster, ClusterConfig, PersistenceMode};
 use cumulo_sim::SimDuration;
 use cumulo_ycsb::{Driver, KeyDistribution, Workload};
@@ -101,9 +104,9 @@ fn throughput_dips_and_recovers_around_a_server_crash() {
     };
     let driver = Driver::new(&c, workload);
     driver.start(SimDuration::ZERO, SimDuration::from_secs(60));
-    c.run_for(SimDuration::from_secs(30));
-    c.crash_server(0);
-    c.run_for(SimDuration::from_secs(32));
+    ChaosSchedule::new()
+        .at(SimDuration::from_secs(30), ChaosAction::CrashServer(0))
+        .run(&c, SimDuration::from_secs(62));
 
     let windows = driver.windows();
     let rate = |i: usize| windows[i].rate(SimDuration::from_secs(2));
