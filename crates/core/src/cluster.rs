@@ -19,9 +19,9 @@ use cumulo_sim::{
     DiskConfig, Journal, LatencyConfig, MetricsRegistry, Network, Sim, SimDuration, SimTime,
 };
 use cumulo_store::{
-    ClientId, CompactionPolicyKind, Master, MasterConfig, MemStore, RegionMap, RegionServer,
-    RegionServerConfig, ServerDirectory, ServerId, StoreClient, StoreClientConfig, StoreFileData,
-    StoreFileRegistry, Timestamp, WalSyncMode,
+    ClientId, CompactionPolicyKind, Master, MasterConfig, MemStore, RegionId, RegionMap,
+    RegionServer, RegionServerConfig, ServerDirectory, ServerId, StoreClient, StoreClientConfig,
+    StoreFileData, StoreFileRegistry, Timestamp, WalSyncMode,
 };
 use cumulo_txn::{TransactionManager, TxnManagerConfig};
 use std::cell::RefCell;
@@ -82,6 +82,23 @@ pub struct ClusterConfig {
     /// Durable store-file bytes at which a region splits (overrides
     /// `server_cfg.split.threshold_bytes`).
     pub split_threshold_bytes: usize,
+    /// Whether online region merges run (overrides
+    /// `server_cfg.merge.enabled`). Off by default — merges add a timer,
+    /// so calibrated experiments keep byte-identical schedules. Merges
+    /// and region replication are mutually exclusive in this version.
+    pub merges: bool,
+    /// Combined durable bytes *under* which an adjacent co-hosted pair
+    /// of regions is a merge candidate (overrides
+    /// `server_cfg.merge.threshold_bytes`). Keep this well below the
+    /// split threshold or the cluster oscillates split↔merge.
+    pub merge_threshold_bytes: usize,
+    /// Whether the master's proactive hot-region move checker runs
+    /// (overrides `master_cfg.moves.enabled`). Off by default for the
+    /// same schedule-stability reason as `merges`.
+    pub moves: bool,
+    /// Master knobs (`moves.enabled` is overridden by the top-level
+    /// `moves` field).
+    pub master_cfg: MasterConfig,
     /// Network latency model.
     pub latency: LatencyConfig,
     /// Region-server knobs (`wal_mode` is overridden by `persistence`;
@@ -119,6 +136,10 @@ impl Default for ClusterConfig {
             splits: false,
             region_replication: 1,
             split_threshold_bytes: 256 << 20,
+            merges: false,
+            merge_threshold_bytes: 32 << 20,
+            moves: false,
+            master_cfg: MasterConfig::default(),
             latency: LatencyConfig::lan_100mbps(),
             server_cfg: RegionServerConfig::default(),
             store_client_cfg: StoreClientConfig::default(),
@@ -139,6 +160,9 @@ pub struct Cluster {
     pub coord: Rc<CoordService>,
     /// The filesystem namenode.
     pub namenode: Rc<NameNode>,
+    /// The filesystem datanodes, by index (crash one through
+    /// [`Cluster::crash_datanode`] to exercise re-replication).
+    pub datanodes: Vec<Rc<DataNode>>,
     /// The shared store-file registry.
     pub registry: Rc<StoreFileRegistry>,
     /// The server directory.
@@ -228,7 +252,7 @@ impl Cluster {
             replication: cfg.replication,
             ..NameNodeConfig::default()
         };
-        let namenode = NameNode::new(&sim, &net, nn_node, dns, nn_cfg);
+        let namenode = NameNode::new(&sim, &net, nn_node, dns.clone(), nn_cfg);
 
         let registry = StoreFileRegistry::new();
         let dir = ServerDirectory::new();
@@ -248,6 +272,8 @@ impl Cluster {
         server_cfg.compaction.policy = cfg.compaction_policy;
         server_cfg.split.enabled = cfg.splits;
         server_cfg.split.threshold_bytes = cfg.split_threshold_bytes;
+        server_cfg.merge.enabled = cfg.merges;
+        server_cfg.merge.threshold_bytes = cfg.merge_threshold_bytes;
         server_cfg.replication.enabled = cfg.region_replication > 1;
         if cfg.tracking && cfg.persistence == PersistenceMode::Asynchronous {
             // Paper-faithful: with the middleware installed, the WAL is
@@ -293,11 +319,13 @@ impl Cluster {
         // Master.
         let master_node = net.add_node("master");
         let master_dfs = DfsClient::new(&sim, &net, &namenode, master_node);
+        let mut master_cfg = cfg.master_cfg;
+        master_cfg.moves.enabled = cfg.moves;
         let master = Master::new(
             &sim,
             &net,
             master_node,
-            MasterConfig::default(),
+            master_cfg,
             master_dfs,
             Rc::clone(&dir),
         );
@@ -410,6 +438,7 @@ impl Cluster {
             net,
             coord,
             namenode,
+            datanodes: dns,
             registry,
             dir,
             master,
@@ -461,6 +490,13 @@ impl Cluster {
     /// heartbeats and replays its interrupted commits).
     pub fn crash_client(&self, i: usize) {
         self.clients[i].crash();
+    }
+
+    /// Crashes datanode `i`'s node: the namenode's sweep detects the
+    /// missing replicas and re-replicates every under-replicated file
+    /// onto surviving datanodes.
+    pub fn crash_datanode(&self, i: usize) {
+        self.net.crash(self.datanodes[i].node());
     }
 
     /// Crashes the recovery manager (§3.3).
@@ -676,6 +712,57 @@ impl Cluster {
         self.master.splits_applied()
     }
 
+    /// Cluster-wide snapshot of the online-merge statistics, mirroring
+    /// [`Cluster::split_totals`] (see `cumulo_store`'s `MergeStats`).
+    pub fn merge_totals(&self) -> MergeTotals {
+        MergeTotals {
+            considered: self.metrics.sum("store.merge.considered"),
+            intents_requested: self.metrics.sum("store.merge.intents_requested"),
+            executing: self.metrics.sum("store.merge.executing"),
+            completed: self.metrics.sum("store.merge.completed"),
+            server_aborted: self.metrics.sum("store.merge.aborted"),
+            intents_persisted: self.metrics.sum("master.merge.intents_persisted"),
+            applied: self.metrics.sum("master.merge.applied"),
+            rolled_back: self.metrics.sum("master.merge.rolled_back"),
+        }
+    }
+
+    /// Merges applied to the region map so far.
+    pub fn total_merges(&self) -> u64 {
+        self.master.merges_applied()
+    }
+
+    /// Proactive region moves completed by the master so far.
+    pub fn total_moves(&self) -> u64 {
+        self.master.moves_completed()
+    }
+
+    /// Admin trigger: ask the server currently hosting `left` to merge
+    /// it with the adjacent region `right`. Returns `false` (no side
+    /// effects) when the pair is not currently mergeable — not
+    /// co-hosted, not adjacent, or a structural operation is already in
+    /// flight on that server. Deterministic alternative to waiting for
+    /// the merge-candidacy timer; tests and benches drive the full
+    /// intent→execute→flip protocol through it.
+    pub fn request_merge(&self, left: RegionId, right: RegionId) -> bool {
+        let map = self.master.snapshot_map();
+        let (Some(&owner_l), Some(&owner_r)) =
+            (map.assignments().get(&left), map.assignments().get(&right))
+        else {
+            return false;
+        };
+        if owner_l != owner_r {
+            return false;
+        }
+        let Some(server) = self.servers.iter().find(|s| s.id() == owner_l) else {
+            return false;
+        };
+        if !server.is_alive() {
+            return false;
+        }
+        server.request_region_merge(left, right)
+    }
+
     /// Asserts the region map still partitions the key space: regions
     /// sorted by start, contiguous, non-overlapping, covering
     /// `(-inf, +inf)` — the invariant every split must preserve. Also
@@ -781,6 +868,28 @@ pub struct SplitTotals {
     /// Intents the master made durable.
     pub intents_persisted: u64,
     /// Splits applied to the region map.
+    pub applied: u64,
+    /// Intents rolled back at the master (failover or abort).
+    pub rolled_back: u64,
+}
+
+/// Cluster-wide sums of the online-merge statistics, the exact mirror
+/// of [`SplitTotals`] for the reverse operation.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct MergeTotals {
+    /// Merge candidacies accepted by servers (timer or admin trigger).
+    pub considered: u64,
+    /// Intent requests sent to the master.
+    pub intents_requested: u64,
+    /// Intents whose execution reached reference building.
+    pub executing: u64,
+    /// Merges flipped on a server (daughters replaced by merged region).
+    pub completed: u64,
+    /// Granted intents abandoned server-side (plus denials).
+    pub server_aborted: u64,
+    /// Intents the master made durable.
+    pub intents_persisted: u64,
+    /// Merges applied to the region map.
     pub applied: u64,
     /// Intents rolled back at the master (failover or abort).
     pub rolled_back: u64,

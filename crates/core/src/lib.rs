@@ -69,7 +69,9 @@ mod recovery_manager;
 mod server_tracker;
 mod txn_client;
 
-pub use cluster::{Cluster, ClusterConfig, CompactionTotals, FilterTotals, SplitTotals};
+pub use cluster::{
+    Cluster, ClusterConfig, CompactionTotals, FilterTotals, MergeTotals, SplitTotals,
+};
 pub use flush_tracker::FlushTracker;
 pub use hooks_impl::MiddlewareHooks;
 pub use persist_tracker::PersistTracker;

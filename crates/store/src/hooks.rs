@@ -39,6 +39,28 @@ pub trait SplitCoordinator {
     /// The server abandoned an intent it was granted (e.g. the reference
     /// marker writes failed); the master rolls the intent back.
     fn split_aborted(&self, server: ServerId, parent: RegionId);
+
+    /// A server asks to merge the adjacent shrunken daughters `left` and
+    /// `right` (both of which it hosts). The master validates adjacency
+    /// and co-hosting, persists a [`crate::MergeIntent`], and — once the
+    /// intent is durable — tells the server to execute. The default
+    /// denies: merge arbitration is optional coordinator surface.
+    fn request_merge(&self, server: ServerId, left: RegionId, right: RegionId) {
+        let _ = (server, left, right);
+    }
+
+    /// The server finished the local merge flip: the merged region is
+    /// online in its memory, both daughters are gone. The master applies
+    /// the merge to the region map and retires the intent.
+    fn merge_completed(&self, server: ServerId, left: RegionId) {
+        let _ = (server, left);
+    }
+
+    /// The server abandoned a merge intent it was granted; the master
+    /// rolls the intent back.
+    fn merge_aborted(&self, server: ServerId, left: RegionId) {
+        let _ = (server, left);
+    }
 }
 
 /// Callbacks from the store into the recovery middleware.
@@ -85,6 +107,14 @@ pub trait RecoveryHooks {
     /// daughter ids are fresh); the default does nothing.
     fn on_region_split(&self, parent: RegionId, bottom: RegionId, top: RegionId) {
         let _ = (parent, bottom, top);
+    }
+
+    /// The master applied an online merge: adjacent daughters `left` and
+    /// `right` were replaced in the region map by `merged`. Informational,
+    /// mirroring [`RecoveryHooks::on_region_split`]; the default does
+    /// nothing.
+    fn on_region_merged(&self, left: RegionId, right: RegionId, merged: RegionId) {
+        let _ = (left, right, merged);
     }
 }
 

@@ -115,9 +115,9 @@ pub use compaction::{
 };
 pub use error::StoreError;
 pub use hooks::{NoopHooks, RecoveryHooks, ReplicationCoordinator, SplitCoordinator};
-pub use master::{Master, MasterConfig, ServerDirectory};
+pub use master::{Master, MasterConfig, MoveConfig, ServerDirectory};
 pub use memstore::{MemStore, VersionedValue};
-pub use region::{RegionDescriptor, RegionMap, SplitIntent};
+pub use region::{MergeIntent, RegionDescriptor, RegionMap, SplitIntent};
 pub use server::{
     FilterStats, MemstoreSnapshot, RegionServer, RegionServerConfig, ReplAck, ReplicationConfig,
     ReplicationStats, SplitConfig, SplitStats,

@@ -3,7 +3,7 @@
 
 use crate::codec::WalRecord;
 use crate::hooks::{NoopHooks, RecoveryHooks, ReplicationCoordinator, SplitCoordinator};
-use crate::region::{RegionDescriptor, RegionMap, SplitIntent};
+use crate::region::{MergeIntent, RegionDescriptor, RegionMap, SplitIntent};
 use crate::server::RegionServer;
 use crate::sstable::StoreFileRegistry;
 use crate::types::{Mutation, RegionId, ServerId};
@@ -18,6 +18,15 @@ use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 use std::rc::{Rc, Weak};
+
+/// Each already-assigned region charges a nominal placement cost on top
+/// of its server's measured service load: service loads only move when
+/// traffic does, so without this a whole failed server's region set
+/// would dogpile onto whichever target momentarily reads least loaded —
+/// consecutive placements must see their own weight. (Shared by failover
+/// placement and the proactive move checker, which must agree on what
+/// "load" means.)
+const ASSIGNED_REGION_COST_NS: u64 = 50_000_000;
 
 /// Registry resolving [`ServerId`]s to live process handles, shared by the
 /// master and the store clients (it plays the role of connection strings /
@@ -72,12 +81,44 @@ impl ServerDirectory {
 pub struct MasterConfig {
     /// Retry period for regions that could not be placed (no live server).
     pub assign_retry_interval: SimDuration,
+    /// Proactive hot-region move knobs.
+    pub moves: MoveConfig,
 }
 
 impl Default for MasterConfig {
     fn default() -> Self {
         MasterConfig {
             assign_retry_interval: SimDuration::from_secs(1),
+            moves: MoveConfig::default(),
+        }
+    }
+}
+
+/// Proactive hot-region move tuning knobs. Moves reuse the load-aware
+/// placement signal: when one server's load dwarfs the least-loaded
+/// server's, its hottest region is closed there and reopened on the cold
+/// server — the proactive mirror of what failover placement already does
+/// reactively for a dead server's regions.
+#[derive(Copy, Clone, Debug)]
+pub struct MoveConfig {
+    /// Master switch. Off by default: moves add master RPCs, flushes and
+    /// map epochs, so calibrated experiments that predate them must not
+    /// shift. The scale campaign enables them.
+    pub enabled: bool,
+    /// How often server loads are compared. The timer runs at a fixed
+    /// phase — no RNG jitter (see the split timer note in `server.rs`).
+    pub check_interval: SimDuration,
+    /// A move is considered only when the most loaded server's placement
+    /// load exceeds the least loaded server's by this factor.
+    pub load_ratio: f64,
+}
+
+impl Default for MoveConfig {
+    fn default() -> Self {
+        MoveConfig {
+            enabled: false,
+            check_interval: SimDuration::from_secs(5),
+            load_ratio: 4.0,
         }
     }
 }
@@ -131,6 +172,27 @@ pub struct Master {
     intents_persisted: Counter,
     splits_applied: Counter,
     splits_rolled_back: Counter,
+    /// Merge intents granted and durable but not yet completed, keyed by
+    /// the *left* daughter (the intent's filesystem record lives at
+    /// `/merge/{left}`), mirroring `split_intents`.
+    merge_intents: RefCell<HashMap<RegionId, MergeIntent>>,
+    merge_intents_persisted: Counter,
+    merges_applied: Counter,
+    merges_rolled_back: Counter,
+    /// The one in-flight proactive move, if any: (region, donor, target).
+    /// One at a time — moves are a background rebalance, not a bulk
+    /// migration, and serializing them keeps the load signal honest
+    /// (each move sees the previous one's effect).
+    pending_move: RefCell<Option<(RegionId, ServerId, ServerId)>>,
+    moves_started: Counter,
+    moves_completed: Counter,
+    moves_refused: Counter,
+    /// Placement target-selection work actually performed (one unit per
+    /// live server examined) vs what the pre-fix O(servers × regions)
+    /// assignment scan would have cost — the before/after evidence pair
+    /// for the placement scaling cliff, emitted in `BENCH_scale.json`.
+    placement_cost: Counter,
+    placement_cost_naive: Counter,
     /// The shared store-file registry (installed by the cluster wiring);
     /// intent rollback purges a crashed split's orphaned reference
     /// registrations through it so backing-ref counts cannot leak.
@@ -194,6 +256,16 @@ impl Master {
             intents_persisted: Counter::new(),
             splits_applied: Counter::new(),
             splits_rolled_back: Counter::new(),
+            merge_intents: RefCell::new(HashMap::new()),
+            merge_intents_persisted: Counter::new(),
+            merges_applied: Counter::new(),
+            merges_rolled_back: Counter::new(),
+            pending_move: RefCell::new(None),
+            moves_started: Counter::new(),
+            moves_completed: Counter::new(),
+            moves_refused: Counter::new(),
+            placement_cost: Counter::new(),
+            placement_cost_naive: Counter::new(),
             registry: RefCell::new(None),
             timers: RefCell::new(Vec::new()),
             self_weak: RefCell::new(Weak::new()),
@@ -248,6 +320,17 @@ impl Master {
             }
         });
         self.timers.borrow_mut().push(timer);
+        // Proactive hot-region moves. Fixed phase, no RNG jitter, and off
+        // by default (see the split timer note in `server.rs`).
+        if self.cfg.moves.enabled {
+            let weak = Rc::downgrade(self);
+            let timer = every(&self.sim, self.cfg.moves.check_interval, move || {
+                if let Some(master) = weak.upgrade() {
+                    master.check_moves();
+                }
+            });
+            self.timers.borrow_mut().push(timer);
+        }
     }
 
     /// Assigns every region of `map` round-robin across the registered
@@ -340,6 +423,22 @@ impl Master {
         );
         registry.register_counter("master.split.applied", &[], &self.splits_applied);
         registry.register_counter("master.split.rolled_back", &[], &self.splits_rolled_back);
+        registry.register_counter(
+            "master.merge.intents_persisted",
+            &[],
+            &self.merge_intents_persisted,
+        );
+        registry.register_counter("master.merge.applied", &[], &self.merges_applied);
+        registry.register_counter("master.merge.rolled_back", &[], &self.merges_rolled_back);
+        registry.register_counter("master.move.started", &[], &self.moves_started);
+        registry.register_counter("master.move.completed", &[], &self.moves_completed);
+        registry.register_counter("master.move.refused", &[], &self.moves_refused);
+        registry.register_counter("master.placement.cost", &[], &self.placement_cost);
+        registry.register_counter(
+            "master.placement.cost_naive",
+            &[],
+            &self.placement_cost_naive,
+        );
         registry.register_counter("master.repl.promotions", &[], &self.repl_promotions);
         registry.register_counter(
             "master.repl.fallback_replays",
@@ -378,6 +477,38 @@ impl Master {
         };
         for intent in intents {
             self.rollback_intent(intent);
+        }
+        // Merge intents granted to the failed server roll back under the
+        // same argument: the map never flipped, so no client ever
+        // addressed the merged id — both daughters' WALs and store files
+        // are untouched and recover normally below.
+        let merge_intents: Vec<MergeIntent> = {
+            let mut pending = self.merge_intents.borrow_mut();
+            let mut doomed: Vec<RegionId> = pending
+                .iter()
+                .filter(|(_, i)| i.server == failed)
+                .map(|(k, _)| *k)
+                .collect();
+            // HashMap iteration order varies per process; roll back in
+            // key order so runs with the same seed stay byte-identical.
+            doomed.sort_unstable();
+            doomed
+                .into_iter()
+                .filter_map(|k| pending.remove(&k))
+                .collect()
+        };
+        for intent in merge_intents {
+            self.rollback_merge_intent(intent);
+        }
+        // A move whose donor or target died is abandoned: the region is
+        // either still assigned to the donor (recovered right here) or
+        // already assigned to the target (its own failover recovers it).
+        let abandoned_move = matches!(
+            *self.pending_move.borrow(),
+            Some((_, donor, target)) if donor == failed || target == failed
+        );
+        if abandoned_move {
+            self.pending_move.borrow_mut().take();
         }
         {
             let mut map = self.region_map.borrow_mut();
@@ -449,6 +580,35 @@ impl Master {
                     }
                 });
         }
+    }
+
+    /// Rolls a durable-but-uncompleted merge intent back: the intent
+    /// record and the merged region's orphaned reference markers are
+    /// deleted; the region map was never touched, so both daughters
+    /// recover from their own untouched files.
+    fn rollback_merge_intent(&self, intent: MergeIntent) {
+        self.merges_rolled_back.inc();
+        self.events
+            .borrow()
+            .record(self.sim.now(), "merge.rollback", || {
+                format!(
+                    "left={} right={} server={}",
+                    intent.left, intent.right, intent.server
+                )
+            });
+        self.dfs.delete(&format!("/merge/{}", intent.left));
+        let merged = intent.merged;
+        if let Some(registry) = self.registry.borrow().as_ref() {
+            registry.purge_references_under(&format!("/store/{merged}/"));
+        }
+        let dfs = self.dfs.clone();
+        self.dfs
+            .clone()
+            .list(&format!("/store/{merged}/"), move |paths| {
+                for p in paths {
+                    dfs.delete(&p);
+                }
+            });
     }
 
     /// Installs the shared store-file registry (cluster wiring) so split
@@ -549,17 +709,19 @@ impl Master {
     /// hot region outweighs many cold ones, and it is exactly the hot
     /// parent's daughters this most often places.
     fn place_region_with_edits(self: &Rc<Self>, region: RegionId, failed: Option<ServerId>) {
-        // Each already-assigned region also charges a nominal cost:
-        // service loads only move when traffic does, so without this a
-        // whole failed server's region set would dogpile onto whichever
-        // target momentarily reads least loaded — consecutive placements
-        // must see their own weight.
-        const ASSIGNED_REGION_COST_NS: u64 = 50_000_000;
         let target = {
             let map = self.region_map.borrow();
-            let mut live: Vec<(u64, ServerId)> = self
-                .dir
-                .live_ids()
+            let live_ids = self.dir.live_ids();
+            // Before the indexed counts, each server's assigned-region
+            // count was a full scan of the assignments map — O(servers ×
+            // regions) per placement, the cliff a mass-split failover
+            // storm runs into. The counter pair records the work actually
+            // done vs what the scan would have cost, so the scale bench
+            // can emit the before/after evidence.
+            self.placement_cost.add(live_ids.len() as u64);
+            self.placement_cost_naive
+                .add((live_ids.len() * map.regions().len()) as u64);
+            let mut live: Vec<(u64, ServerId)> = live_ids
                 .into_iter()
                 .map(|id| {
                     let load = self
@@ -567,7 +729,7 @@ impl Master {
                         .get(id)
                         .map(|s| s.service_load_ns())
                         .unwrap_or(u64::MAX);
-                    let assigned = map.regions_of(id).len() as u64;
+                    let assigned = map.assigned_count(id) as u64;
                     (load.saturating_add(assigned * ASSIGNED_REGION_COST_NS), id)
                 })
                 .collect();
@@ -682,6 +844,7 @@ impl Master {
                 && inside
                 && !self.handled_failures.borrow().contains(&server)
                 && !self.split_intents.borrow().contains_key(&region)
+                && !self.merge_involves(region)
         };
         if !valid {
             self.deny_split(server, region);
@@ -759,6 +922,285 @@ impl Master {
         self.net.send(self.node, node, 48, move || {
             target.split_request_denied(region);
         });
+    }
+
+    // ------------------------------------------------------------------
+    // Online region merges (master side; see `SplitCoordinator`)
+    // ------------------------------------------------------------------
+
+    /// Merge intents made durable in the filesystem.
+    pub fn merge_intents_persisted(&self) -> u64 {
+        self.merge_intents_persisted.get()
+    }
+
+    /// Merges applied to the region map.
+    pub fn merges_applied(&self) -> u64 {
+        self.merges_applied.get()
+    }
+
+    /// Merge intents rolled back (server failed mid-merge, marker writes
+    /// failed, or the intent could not be persisted).
+    pub fn merges_rolled_back(&self) -> u64 {
+        self.merges_rolled_back.get()
+    }
+
+    /// Whether a merge intent currently involves `region` (as either
+    /// daughter).
+    pub fn merge_involves(&self, region: RegionId) -> bool {
+        self.merge_intents
+            .borrow()
+            .values()
+            .any(|i| i.left == region || i.right == region)
+    }
+
+    /// Validates a server's merge request; on success persists the
+    /// intent and, once durable, tells the server to execute. Valid
+    /// requests name two regions that are adjacent in key order, both
+    /// assigned to the requesting server, with no split or merge intent
+    /// outstanding on either. Merging replicated regions is not
+    /// supported: the daughters' shadow lanes would have to be collapsed
+    /// too, and the scale campaign does not need the combination.
+    fn handle_merge_request(self: &Rc<Self>, server: ServerId, left: RegionId, right: RegionId) {
+        let valid = {
+            let map = self.region_map.borrow();
+            let assigned_here =
+                map.server_for(left) == Some(server) && map.server_for(right) == Some(server);
+            let adjacent = map
+                .descriptor(left)
+                .zip(map.descriptor(right))
+                .map(|(l, r)| l.end.as_deref() == Some(&r.start[..]))
+                .unwrap_or(false);
+            let unreplicated =
+                map.replicas_of(left).is_empty() && map.replicas_of(right).is_empty();
+            let intents = self.split_intents.borrow();
+            assigned_here
+                && adjacent
+                && unreplicated
+                && !self.handled_failures.borrow().contains(&server)
+                && !intents.contains_key(&left)
+                && !intents.contains_key(&right)
+                && !self.merge_involves(left)
+                && !self.merge_involves(right)
+        };
+        if !valid {
+            self.deny_merge(server, left);
+            return;
+        }
+        let merged = RegionId(self.next_region_id.get());
+        self.next_region_id.set(self.next_region_id.get() + 1);
+        let intent = MergeIntent {
+            left,
+            right,
+            merged,
+            server,
+        };
+        // Record in memory first so a racing second request is denied;
+        // the DFS record is written before the server may execute — the
+        // same durability point as the split intent.
+        self.merge_intents.borrow_mut().insert(left, intent.clone());
+        let encoded = intent.encode();
+        let weak = Rc::downgrade(self);
+        self.dfs.create(&format!("/merge/{left}"), move |file| {
+            let Some(master) = weak.upgrade() else { return };
+            let Ok(file) = file else {
+                // Create can fail with AlreadyExists when an earlier
+                // attempt's append died half-way and left the file
+                // behind; delete it so the pair is not permanently
+                // merge-blocked, then deny (the server re-requests).
+                master.dfs.delete(&format!("/merge/{left}"));
+                master.merge_intents.borrow_mut().remove(&left);
+                master.deny_merge(server, left);
+                return;
+            };
+            let weak = weak.clone();
+            file.append(encoded, move |result| {
+                let Some(master) = weak.upgrade() else { return };
+                if result.is_err() {
+                    master.dfs.delete(&format!("/merge/{left}"));
+                    master.merge_intents.borrow_mut().remove(&left);
+                    master.deny_merge(server, left);
+                    return;
+                }
+                master.merge_intents_persisted.inc();
+                master
+                    .events
+                    .borrow()
+                    .record(master.sim.now(), "merge.persisted", || {
+                        format!("left={left} right={right} server={server} merged={merged}")
+                    });
+                // The server may have died while the intent was being
+                // written; its failover already rolled the intent back.
+                if !master.merge_intents.borrow().contains_key(&left) {
+                    return;
+                }
+                let Some(target) = master.dir.get(server) else {
+                    return;
+                };
+                let node = target.node();
+                master.net.send(master.node, node, 96, move || {
+                    target.execute_merge(left, right, merged);
+                });
+            });
+        });
+    }
+
+    fn deny_merge(&self, server: ServerId, left: RegionId) {
+        let Some(target) = self.dir.get(server) else {
+            return;
+        };
+        let node = target.node();
+        self.net.send(self.node, node, 48, move || {
+            target.merge_request_denied(left);
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Proactive hot-region moves (master side)
+    // ------------------------------------------------------------------
+
+    /// Moves completed (region reopened on its new host).
+    pub fn moves_completed(&self) -> u64 {
+        self.moves_completed.get()
+    }
+
+    /// Compares live servers' placement loads and, when the spread
+    /// exceeds the configured ratio, closes the most loaded server's
+    /// hottest region and reopens it on the least loaded server. One
+    /// move at a time; each runs the same close → flush → reopen path a
+    /// failover uses, minus the WAL replay (the donor flushes before
+    /// closing, so the region's state is entirely in its store files).
+    fn check_moves(self: &Rc<Self>) {
+        if self.pending_move.borrow().is_some() {
+            return;
+        }
+        let picked = {
+            let map = self.region_map.borrow();
+            let mut live: Vec<(u64, ServerId)> = self
+                .dir
+                .live_ids()
+                .into_iter()
+                .map(|id| {
+                    let load = self
+                        .dir
+                        .get(id)
+                        .map(|s| s.service_load_ns())
+                        .unwrap_or(u64::MAX);
+                    let assigned = map.assigned_count(id) as u64;
+                    (load.saturating_add(assigned * ASSIGNED_REGION_COST_NS), id)
+                })
+                .collect();
+            live.sort_unstable();
+            if live.len() < 2 {
+                return;
+            }
+            let (cold_load, cold) = live[0];
+            let (hot_load, hot) = *live.last().expect("non-empty");
+            if (hot_load as f64) < (cold_load.max(1) as f64) * self.cfg.moves.load_ratio {
+                return;
+            }
+            if map.assigned_count(hot) < 2 {
+                return; // never strip a server of its only region
+            }
+            let Some(donor) = self.dir.get(hot) else {
+                return;
+            };
+            // Hottest hosted region by charged load, ids as the
+            // deterministic tie-break; regions tangled in a split or
+            // merge intent (or replicated) stay put.
+            let candidate = map
+                .regions_of(hot)
+                .into_iter()
+                .filter(|r| {
+                    !self.split_intents.borrow().contains_key(r)
+                        && !self.merge_involves(*r)
+                        && map.replicas_of(*r).is_empty()
+                })
+                .map(|r| (donor.region_load_ns(r), r))
+                .max_by(|a, b| (a.0, std::cmp::Reverse(a.1)).cmp(&(b.0, std::cmp::Reverse(b.1))));
+            candidate.map(|(_, region)| (region, hot, cold))
+        };
+        let Some((region, donor, target)) = picked else {
+            return;
+        };
+        *self.pending_move.borrow_mut() = Some((region, donor, target));
+        self.moves_started.inc();
+        self.events
+            .borrow()
+            .record(self.sim.now(), "move.start", || {
+                format!("region={region} donor={donor} target={target}")
+            });
+        let Some(server) = self.dir.get(donor) else {
+            self.pending_move.borrow_mut().take();
+            return;
+        };
+        let node = server.node();
+        let done: Box<dyn FnOnce(bool)> = {
+            let weak = Rc::downgrade(self);
+            let net = Rc::clone(&self.net);
+            let mnode = self.node;
+            Box::new(move |ok| {
+                net.send(node, mnode, 48, move || {
+                    if let Some(master) = weak.upgrade() {
+                        master.move_closed(region, donor, ok);
+                    }
+                });
+            })
+        };
+        self.net.send(self.node, node, 64, move || {
+            server.prepare_move(region, done);
+        });
+    }
+
+    /// The donor closed (or refused to close) the moving region. On
+    /// success the region is reassigned and reopened on the chosen
+    /// target — or wherever placement prefers now, if the target died in
+    /// the meantime.
+    fn move_closed(self: &Rc<Self>, region: RegionId, donor: ServerId, ok: bool) {
+        let matches = matches!(
+            *self.pending_move.borrow(),
+            Some((r, d, _)) if r == region && d == donor
+        );
+        if !matches || self.handled_failures.borrow().contains(&donor) {
+            return;
+        }
+        let (_, _, target) = self.pending_move.borrow_mut().take().expect("checked");
+        if !ok {
+            self.moves_refused.inc();
+            return;
+        }
+        // The donor flushed and dropped the region; until the reopen
+        // completes the region is offline (clients retry on NotServing,
+        // exactly as during a failover).
+        let alive = self.dir.get(target).map(|s| s.is_alive()).unwrap_or(false);
+        if !alive {
+            self.region_map.borrow_mut().unassign(region);
+            self.place_region_with_edits(region, None);
+            return;
+        }
+        self.region_map.borrow_mut().assign(region, target);
+        self.moves_completed.inc();
+        self.events
+            .borrow()
+            .record(self.sim.now(), "move.open", || {
+                format!("region={region} donor={donor} target={target}")
+            });
+        let desc = self
+            .region_map
+            .borrow()
+            .descriptor(region)
+            .expect("region exists in the map")
+            .clone();
+        let server = self.dir.get(target).expect("alive implies registered");
+        let node = server.node();
+        let dfs = self.dfs.clone();
+        let net = Rc::clone(&self.net);
+        let master_node = self.node;
+        dfs.clone()
+            .list(&format!("/store/{region}/"), move |paths| {
+                net.send(master_node, node, 512, move || {
+                    server.open_region(desc, paths, Vec::new(), None);
+                });
+            });
     }
 
     // ------------------------------------------------------------------
@@ -1174,6 +1616,62 @@ impl SplitCoordinator for Master {
         };
         if let Some(intent) = intent {
             self.rollback_intent(intent);
+        }
+    }
+
+    fn request_merge(&self, server: ServerId, left: RegionId, right: RegionId) {
+        if let Some(master) = self.self_weak.borrow().upgrade() {
+            master.handle_merge_request(server, left, right);
+        }
+    }
+
+    fn merge_completed(&self, server: ServerId, left: RegionId) {
+        // A failover that raced ahead has already rolled the intent back
+        // (and this message came from a now-dead server): ignore.
+        let intent = {
+            let intents = self.merge_intents.borrow();
+            match intents.get(&left) {
+                Some(i) if i.server == server => Some(i.clone()),
+                _ => None,
+            }
+        };
+        let Some(intent) = intent else { return };
+        if self.handled_failures.borrow().contains(&server) {
+            return;
+        }
+        let applied =
+            self.region_map
+                .borrow_mut()
+                .apply_merge(intent.left, intent.right, intent.merged);
+        if !applied {
+            return;
+        }
+        self.merge_intents.borrow_mut().remove(&left);
+        self.merges_applied.inc();
+        self.events
+            .borrow()
+            .record(self.sim.now(), "merge.applied", || {
+                format!(
+                    "left={} right={} merged={}",
+                    intent.left, intent.right, intent.merged
+                )
+            });
+        self.dfs.delete(&format!("/merge/{left}"));
+        self.hooks
+            .borrow()
+            .on_region_merged(intent.left, intent.right, intent.merged);
+    }
+
+    fn merge_aborted(&self, server: ServerId, left: RegionId) {
+        let intent = {
+            let mut intents = self.merge_intents.borrow_mut();
+            match intents.get(&left) {
+                Some(i) if i.server == server => intents.remove(&left),
+                _ => None,
+            }
+        };
+        if let Some(intent) = intent {
+            self.rollback_merge_intent(intent);
         }
     }
 }

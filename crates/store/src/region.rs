@@ -71,6 +71,54 @@ impl SplitIntent {
     }
 }
 
+/// The durable record of an in-flight online merge, persisted by the
+/// master (at `/merge/{left}` in the filesystem) *before* the hosting
+/// server is told to execute — the mirror image of [`SplitIntent`]. Two
+/// adjacent shrunken daughters `left` and `right` collapse into a single
+/// `merged` region spanning their union. Failover of a server with a
+/// merge intent outstanding rolls the merge back when the map never
+/// flipped (clients cannot address the merged id the map has never shown
+/// them); after the flip the merged region recovers like any other.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MergeIntent {
+    /// The lower-range region being merged (`[start, boundary)`).
+    pub left: RegionId,
+    /// The upper-range region being merged (`[boundary, end)`).
+    pub right: RegionId,
+    /// The merged region's id (`[left.start, right.end)`).
+    pub merged: RegionId,
+    /// The server executing the merge (it must host both daughters).
+    pub server: ServerId,
+}
+
+impl MergeIntent {
+    /// Serializes the intent for its filesystem record.
+    pub fn encode(&self) -> Bytes {
+        let mut enc = Encoder::new();
+        enc.put_u32(self.left.0);
+        enc.put_u32(self.right.0);
+        enc.put_u32(self.merged.0);
+        enc.put_u32(self.server.0);
+        enc.finish()
+    }
+
+    /// Parses an intent record previously produced by
+    /// [`MergeIntent::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on truncated or corrupt input.
+    pub fn decode(buf: &[u8]) -> Result<MergeIntent, DecodeError> {
+        let mut dec = Decoder::new(buf);
+        Ok(MergeIntent {
+            left: RegionId(dec.get_u32()?),
+            right: RegionId(dec.get_u32()?),
+            merged: RegionId(dec.get_u32()?),
+            server: ServerId(dec.get_u32()?),
+        })
+    }
+}
+
 /// A region's identity and key range `[start, end)`.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct RegionDescriptor {
@@ -100,6 +148,11 @@ impl RegionDescriptor {
 pub struct RegionMap {
     regions: Vec<RegionDescriptor>,
     assignments: HashMap<RegionId, ServerId>,
+    /// Per-server assigned-region counts, maintained incrementally so the
+    /// master's load-aware placement reads a server's load in O(1) instead
+    /// of scanning every assignment (O(regions) per server per placement —
+    /// the scaling cliff the million-key soak exposed).
+    assigned_counts: HashMap<ServerId, usize>,
     /// Backup servers per region (the primary is in `assignments`). Only
     /// populated when region replication is enabled; replica changes bump
     /// the epoch like assignment changes, because the epoch doubles as the
@@ -150,6 +203,7 @@ impl RegionMap {
         RegionMap {
             regions,
             assignments: HashMap::new(),
+            assigned_counts: HashMap::new(),
             replicas: HashMap::new(),
             epoch: 0,
         }
@@ -211,17 +265,40 @@ impl RegionMap {
         (r, self.server_for(r))
     }
 
+    fn count_inc(&mut self, server: ServerId) {
+        *self.assigned_counts.entry(server).or_insert(0) += 1;
+    }
+
+    fn count_dec(&mut self, server: ServerId) {
+        if let Some(n) = self.assigned_counts.get_mut(&server) {
+            *n -= 1;
+            if *n == 0 {
+                self.assigned_counts.remove(&server);
+            }
+        }
+    }
+
     /// Records an assignment, bumping the epoch.
     pub fn assign(&mut self, region: RegionId, server: ServerId) {
-        self.assignments.insert(region, server);
+        if let Some(prev) = self.assignments.insert(region, server) {
+            self.count_dec(prev);
+        }
+        self.count_inc(server);
         self.epoch += 1;
     }
 
     /// Removes an assignment (region offline), bumping the epoch.
     pub fn unassign(&mut self, region: RegionId) {
-        if self.assignments.remove(&region).is_some() {
+        if let Some(prev) = self.assignments.remove(&region) {
+            self.count_dec(prev);
             self.epoch += 1;
         }
+    }
+
+    /// How many regions are currently assigned to `server` — O(1), fed by
+    /// the incrementally-maintained per-server counts.
+    pub fn assigned_count(&self, server: ServerId) -> usize {
+        self.assigned_counts.get(&server).copied().unwrap_or(0)
     }
 
     /// All regions currently assigned to `server`.
@@ -306,6 +383,7 @@ impl RegionMap {
         if let Some(server) = self.assignments.remove(&parent) {
             self.assignments.insert(bottom, server);
             self.assignments.insert(top, server);
+            self.count_inc(server);
         }
         // The parent's backup set carries to both daughters: the master
         // re-ships daughter state to the same hosts, preserving locality.
@@ -313,6 +391,50 @@ impl RegionMap {
             self.replicas.insert(bottom, backups.clone());
             self.replicas.insert(top, backups);
         }
+        self.epoch += 1;
+        true
+    }
+
+    /// Applies an online merge: the adjacent `left` and `right`
+    /// descriptors are atomically replaced by a single `merged` region
+    /// spanning their union, the common assignment (if any) carries over,
+    /// and the epoch bumps so caches detect the change. Returns `false`
+    /// (and changes nothing) when either region is missing, they are not
+    /// adjacent in key order (`left` immediately below `right`), or they
+    /// are assigned to different servers.
+    pub fn apply_merge(&mut self, left: RegionId, right: RegionId, merged: RegionId) -> bool {
+        let Some(idx) = self.regions.iter().position(|r| r.id == left) else {
+            return false;
+        };
+        if idx + 1 >= self.regions.len() || self.regions[idx + 1].id != right {
+            return false;
+        }
+        if self.assignments.get(&left) != self.assignments.get(&right) {
+            return false;
+        }
+        let l = self.regions[idx].clone();
+        let r = self.regions[idx + 1].clone();
+        debug_assert_eq!(
+            l.end.as_deref(),
+            Some(&r.start[..]),
+            "map regions contiguous"
+        );
+        self.regions[idx] = RegionDescriptor {
+            id: merged,
+            start: l.start,
+            end: r.end,
+        };
+        self.regions.remove(idx + 1);
+        if let Some(server) = self.assignments.remove(&right) {
+            self.count_dec(server);
+        }
+        if let Some(server) = self.assignments.remove(&left) {
+            self.assignments.insert(merged, server);
+        }
+        // The daughters' backup sets retire with them; the master
+        // re-establishes a group for the merged region from scratch.
+        self.replicas.remove(&left);
+        self.replicas.remove(&right);
         self.epoch += 1;
         true
     }
@@ -444,6 +566,98 @@ mod tests {
         assert!(!map.apply_split(RegionId(9), &key, RegionId(2), RegionId(3)));
         assert_eq!(map.epoch(), epoch, "failed splits must not bump the epoch");
         assert_eq!(map.regions().len(), 2);
+    }
+
+    #[test]
+    fn apply_merge_collapses_adjacent_daughters() {
+        let mut map = RegionMap::split_decimal_keyspace("user", 100, 2);
+        map.assign(RegionId(0), ServerId(7));
+        map.assign(RegionId(1), ServerId(7));
+        // Split then merge back: the keyspace partition round-trips.
+        let key = Bytes::from_static(b"user000000000020");
+        assert!(map.apply_split(RegionId(0), &key, RegionId(2), RegionId(3)));
+        let epoch = map.epoch();
+        assert!(map.apply_merge(RegionId(2), RegionId(3), RegionId(4)));
+        assert!(map.epoch() > epoch);
+        assert!(map.descriptor(RegionId(2)).is_none(), "left retired");
+        assert!(map.descriptor(RegionId(3)).is_none(), "right retired");
+        assert_eq!(map.region_for(b"user000000000019"), RegionId(4));
+        assert_eq!(map.region_for(b"user000000000020"), RegionId(4));
+        assert_eq!(map.region_for(b"user000000000050"), RegionId(1));
+        assert_eq!(map.server_for(RegionId(4)), Some(ServerId(7)));
+        for i in 0..100u64 {
+            let key = format!("user{i:012}");
+            let covering = map
+                .regions()
+                .iter()
+                .filter(|r| r.contains(key.as_bytes()))
+                .count();
+            assert_eq!(covering, 1, "key {key}");
+        }
+        assert_eq!(map.max_region_id(), Some(RegionId(4)));
+    }
+
+    #[test]
+    fn apply_merge_rejects_non_adjacent_and_split_hosting() {
+        let mut map = RegionMap::split_decimal_keyspace("user", 100, 4);
+        map.assign(RegionId(0), ServerId(1));
+        map.assign(RegionId(1), ServerId(1));
+        map.assign(RegionId(2), ServerId(2));
+        map.assign(RegionId(3), ServerId(2));
+        let epoch = map.epoch();
+        // Wrong order: right must be immediately above left.
+        assert!(!map.apply_merge(RegionId(1), RegionId(0), RegionId(9)));
+        // Not adjacent.
+        assert!(!map.apply_merge(RegionId(0), RegionId(2), RegionId(9)));
+        // Adjacent but hosted by different servers.
+        assert!(!map.apply_merge(RegionId(1), RegionId(2), RegionId(9)));
+        // Unknown region.
+        assert!(!map.apply_merge(RegionId(8), RegionId(1), RegionId(9)));
+        assert_eq!(map.epoch(), epoch, "failed merges must not bump the epoch");
+        assert_eq!(map.regions().len(), 4);
+        // A valid merge of the co-hosted adjacent pair still works.
+        assert!(map.apply_merge(RegionId(2), RegionId(3), RegionId(9)));
+        assert_eq!(map.regions().len(), 3);
+    }
+
+    #[test]
+    fn assigned_counts_track_mutations() {
+        let mut map = RegionMap::split_decimal_keyspace("user", 100, 3);
+        assert_eq!(map.assigned_count(ServerId(1)), 0);
+        map.assign(RegionId(0), ServerId(1));
+        map.assign(RegionId(1), ServerId(1));
+        map.assign(RegionId(2), ServerId(2));
+        assert_eq!(map.assigned_count(ServerId(1)), 2);
+        assert_eq!(map.assigned_count(ServerId(2)), 1);
+        // Reassignment moves the count between servers.
+        map.assign(RegionId(1), ServerId(2));
+        assert_eq!(map.assigned_count(ServerId(1)), 1);
+        assert_eq!(map.assigned_count(ServerId(2)), 2);
+        map.unassign(RegionId(0));
+        assert_eq!(map.assigned_count(ServerId(1)), 0);
+        // Splits add one hosted region; merges remove one.
+        let key = Bytes::from_static(b"user000000000050");
+        assert!(map.apply_split(RegionId(1), &key, RegionId(3), RegionId(4)));
+        assert_eq!(map.assigned_count(ServerId(2)), 3);
+        assert!(map.apply_merge(RegionId(3), RegionId(4), RegionId(5)));
+        assert_eq!(map.assigned_count(ServerId(2)), 2);
+        // Counts always agree with the exhaustive scan.
+        for s in [ServerId(1), ServerId(2)] {
+            assert_eq!(map.assigned_count(s), map.regions_of(s).len());
+        }
+    }
+
+    #[test]
+    fn merge_intent_roundtrip() {
+        let intent = MergeIntent {
+            left: RegionId(10),
+            right: RegionId(11),
+            merged: RegionId(12),
+            server: ServerId(2),
+        };
+        let back = MergeIntent::decode(&intent.encode()).expect("decode");
+        assert_eq!(back, intent);
+        assert!(MergeIntent::decode(&intent.encode()[..3]).is_err());
     }
 
     #[test]

@@ -90,6 +90,8 @@ pub struct RegionServerConfig {
     pub compaction: CompactionConfig,
     /// Online region-split knobs.
     pub split: SplitConfig,
+    /// Online region-merge knobs.
+    pub merge: MergeConfig,
     /// Primary/backup region-replication knobs.
     pub replication: ReplicationConfig,
 }
@@ -181,6 +183,53 @@ impl Default for SplitConfig {
     }
 }
 
+/// Online region-merge tuning knobs (the inverse of [`SplitConfig`]).
+#[derive(Copy, Clone, Debug)]
+pub struct MergeConfig {
+    /// Master switch. Off by default for the same determinism reason as
+    /// splits: merges add master RPCs and map epochs, and calibrated
+    /// experiments that predate them must not shift. The scale campaign
+    /// and the merge test suites enable it.
+    pub enabled: bool,
+    /// Combined durable store-file bytes below which two adjacent
+    /// co-hosted regions become merge candidates. Keep this well under
+    /// [`SplitConfig::threshold_bytes`] or a freshly merged region would
+    /// immediately re-split (an oscillation, not a rebalance).
+    pub threshold_bytes: usize,
+    /// How often hosted regions are checked for merge candidacy. Fixed
+    /// phase — no RNG jitter (see the compaction timer note).
+    pub check_interval: SimDuration,
+}
+
+impl Default for MergeConfig {
+    fn default() -> Self {
+        MergeConfig {
+            enabled: false,
+            threshold_bytes: 32 << 20,
+            check_interval: SimDuration::from_secs(5),
+        }
+    }
+}
+
+/// Shared observability for online region merges (all handles clone
+/// cheaply and share state, like [`SplitStats`]).
+#[derive(Clone, Default, Debug)]
+pub struct MergeStats {
+    /// Merge candidacies accepted (a pending merge was set up).
+    pub considered: Counter,
+    /// Merge-intent requests sent to the master.
+    pub intents_requested: Counter,
+    /// Intents whose execution reached the reference-building phase.
+    pub executing: Counter,
+    /// Merges flipped: both daughters atomically replaced by the merged
+    /// region.
+    pub completed: Counter,
+    /// Granted intents abandoned server-side (reference marker writes
+    /// failed) plus denied requests; master-side rollbacks are counted at
+    /// the master.
+    pub aborted: Counter,
+}
+
 /// Shared observability for online region splits (all handles clone
 /// cheaply and share state, like [`CompactionStats`]).
 #[derive(Clone, Default, Debug)]
@@ -227,6 +276,7 @@ impl Default for RegionServerConfig {
             verify_filters: false,
             compaction: CompactionConfig::default(),
             split: SplitConfig::default(),
+            merge: MergeConfig::default(),
             replication: ReplicationConfig::default(),
         }
     }
@@ -279,9 +329,10 @@ struct RegionState {
     online: bool,
     flush_in_progress: bool,
     compaction_in_progress: bool,
-    /// A split of this region is pending or executing: flush checks and
-    /// new compactions skip it so the file set stays stable until the
-    /// flip (requests keep being served normally throughout).
+    /// A structural operation (split or merge) on this region is pending
+    /// or executing: flush checks and new compactions skip it so the
+    /// file set stays stable until the flip (requests keep being served
+    /// normally throughout).
     splitting: bool,
 }
 
@@ -357,6 +408,35 @@ struct SplitWork {
     /// `(marker path, marker content)` per reference, written to the
     /// filesystem before the flip so a failover can list the daughters'
     /// file sets.
+    markers: Vec<(String, Bytes)>,
+}
+
+/// The server-local state machine of one in-flight merge (one at a time
+/// per server, like [`PendingSplit`]).
+struct PendingMerge {
+    left: RegionId,
+    right: RegionId,
+    /// Whether the pre-merge flush round has been issued for both
+    /// daughters.
+    flush_issued: bool,
+    /// Whether the intent request has been sent to the master.
+    intent_sent: bool,
+}
+
+/// Everything a granted merge carries between the reference-building
+/// phase, the marker writes and the flip (the [`SplitWork`] mirror).
+struct MergeWork {
+    left: RegionId,
+    right: RegionId,
+    merged: RegionId,
+    merged_desc: RegionDescriptor,
+    /// The merged region's reference files with the level inherited from
+    /// their source file (the daughters' ranges are disjoint, so levels
+    /// ≥ 1 stay pairwise disjoint after the union).
+    files: Vec<(Rc<StoreFileData>, u32)>,
+    /// `(marker path, marker content)` per reference, written to the
+    /// filesystem before the flip so a failover can list the merged
+    /// region's file set.
     markers: Vec<(String, Bytes)>,
 }
 
@@ -546,6 +626,12 @@ pub struct RegionServer {
     /// The in-flight split, if any.
     pending_split: RefCell<Option<PendingSplit>>,
     split_stats: SplitStats,
+    /// The in-flight merge, if any.
+    pending_merge: RefCell<Option<PendingMerge>>,
+    merge_stats: MergeStats,
+    /// The region currently being closed for a master-driven move, if
+    /// any (one at a time per server, like splits and merges).
+    pending_move: RefCell<Option<RegionId>>,
     /// Supplies the MVCC garbage-collection watermark (the transaction
     /// manager's oldest active snapshot). `None` — e.g. a vanilla cluster
     /// without the transactional tier — degrades to watermark zero:
@@ -622,6 +708,9 @@ impl RegionServer {
             split_coord: RefCell::new(None),
             pending_split: RefCell::new(None),
             split_stats: SplitStats::default(),
+            pending_merge: RefCell::new(None),
+            merge_stats: MergeStats::default(),
+            pending_move: RefCell::new(None),
             gc_watermark: RefCell::new(None),
             repl: RefCell::new(ReplState::default()),
             repl_stats: ReplicationStats::default(),
@@ -725,6 +814,23 @@ impl RegionServer {
             self.timers.borrow_mut().push(timer);
         }
 
+        // Online merge checks. Fixed phase, no RNG jitter, for the same
+        // determinism reason as the compaction timer.
+        if self.cfg.merge.enabled {
+            let weak = Rc::downgrade(self);
+            let timer = every_from(
+                &self.sim,
+                self.cfg.merge.check_interval,
+                self.cfg.merge.check_interval,
+                move || {
+                    if let Some(server) = weak.upgrade() {
+                        server.check_merges();
+                    }
+                },
+            );
+            self.timers.borrow_mut().push(timer);
+        }
+
         // Replication re-sync checks: ship full region state to
         // out-of-sync backup lanes. Fixed phase, no RNG jitter, for the
         // same determinism reason as the compaction timer.
@@ -796,6 +902,12 @@ impl RegionServer {
         &self.split_stats
     }
 
+    /// Merge observability: candidacies, intents, completions (shared
+    /// handles; clone freely).
+    pub fn merge_stats(&self) -> &MergeStats {
+        &self.merge_stats
+    }
+
     /// Installs the master's split coordination surface (cluster wiring;
     /// without one, split candidacy checks never fire an intent).
     pub fn set_split_coordinator(&self, coord: Rc<dyn SplitCoordinator>) {
@@ -860,6 +972,12 @@ impl RegionServer {
         c("store.split.completed", &s.completed);
         c("store.split.aborted", &s.aborted);
         registry.register_map("store.region.load_ns", labels, "region", &s.region_load);
+        let m = &self.merge_stats;
+        c("store.merge.considered", &m.considered);
+        c("store.merge.intents_requested", &m.intents_requested);
+        c("store.merge.executing", &m.executing);
+        c("store.merge.completed", &m.completed);
+        c("store.merge.aborted", &m.aborted);
         let r = &self.repl_stats;
         c("store.repl.ships", &r.ships);
         c("store.repl.ship_bytes", &r.ship_bytes);
@@ -2381,6 +2499,12 @@ impl RegionServer {
             self.advance_pending_split();
             return;
         }
+        // One structural operation per server at a time: a merge in
+        // flight defers split candidacy to the next tick (and vice
+        // versa), so their flush/quiescence phases never interleave.
+        if self.pending_merge.borrow().is_some() {
+            return;
+        }
         if self.split_coord.borrow().is_none() {
             return; // no master wiring — splits are inert
         }
@@ -2878,6 +3002,629 @@ impl RegionServer {
             // there is no failover to fence against.
             None => retire(self, refs),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Online region merges (the split protocol run in reverse: see
+    // ARCHITECTURE.md, "Scale campaign & region merges")
+    // ------------------------------------------------------------------
+
+    /// Periodic merge candidacy check: among hosted, online, quiescent
+    /// regions, find the adjacent co-hosted pair with the smallest
+    /// combined durable bytes under the threshold and start merging it.
+    fn check_merges(self: &Rc<Self>) {
+        if !self.alive.get() {
+            return;
+        }
+        if self.pending_merge.borrow().is_some() {
+            self.advance_pending_merge();
+            return;
+        }
+        if self.pending_split.borrow().is_some() {
+            return; // one structural operation per server at a time
+        }
+        if self.split_coord.borrow().is_none() {
+            return; // no master wiring — merges are inert
+        }
+        let picked = {
+            let regions = self.regions.borrow();
+            let mut hosted: Vec<(&RegionId, &RegionState)> = regions
+                .iter()
+                .filter(|(_, st)| st.online && !st.splitting && st.recovered_paths.is_empty())
+                .collect();
+            // Adjacency is a key-order property: sort by start key (the
+            // sort also fixes HashMap iteration order, keeping runs with
+            // the same seed byte-identical).
+            hosted.sort_unstable_by(|a, b| a.1.desc.start.cmp(&b.1.desc.start));
+            let mut best: Option<(usize, RegionId, RegionId)> = None;
+            for w in hosted.windows(2) {
+                let (lid, l) = w[0];
+                let (rid, r) = w[1];
+                if l.desc.end.as_deref() != Some(&r.desc.start[..]) {
+                    continue; // co-hosted but not adjacent in the keyspace
+                }
+                let bytes: usize = l
+                    .storefiles
+                    .iter()
+                    .chain(r.storefiles.iter())
+                    .map(|sf| sf.total_bytes())
+                    .sum();
+                if bytes >= self.cfg.merge.threshold_bytes {
+                    continue;
+                }
+                // Smallest combined pair first; strict < keeps the first
+                // pair in key order on ties.
+                if best.as_ref().map(|(b, ..)| bytes < *b).unwrap_or(true) {
+                    best = Some((bytes, *lid, *rid));
+                }
+            }
+            best
+        };
+        let Some((_, left, right)) = picked else {
+            return;
+        };
+        self.begin_merge(left, right);
+    }
+
+    /// Admin trigger: merge the two hosted regions `left` and `right`
+    /// immediately (subject to the same validation the candidacy timer
+    /// applies), regardless of thresholds or whether the merge timer is
+    /// enabled. Returns `false` without side effects when the pair is
+    /// not currently mergeable here — not hosted, not adjacent, mid-op,
+    /// or another structural operation is in flight. This is the
+    /// HBase-style `merge_region` admin surface; tests and benches use
+    /// it to exercise the protocol deterministically.
+    pub fn request_region_merge(self: &Rc<Self>, left: RegionId, right: RegionId) -> bool {
+        if !self.alive.get()
+            || self.pending_merge.borrow().is_some()
+            || self.pending_split.borrow().is_some()
+            || self.split_coord.borrow().is_none()
+        {
+            return false;
+        }
+        let ok = {
+            let regions = self.regions.borrow();
+            match (regions.get(&left), regions.get(&right)) {
+                (Some(l), Some(r)) => {
+                    l.online
+                        && r.online
+                        && !l.splitting
+                        && !r.splitting
+                        && l.recovered_paths.is_empty()
+                        && r.recovered_paths.is_empty()
+                        && l.desc.end.as_deref() == Some(&r.desc.start[..])
+                }
+                _ => false,
+            }
+        };
+        if !ok {
+            return false;
+        }
+        self.begin_merge(left, right);
+        true
+    }
+
+    /// Marks both daughters as mid-structural-op and starts driving the
+    /// pending merge (flush both, then ask the master for an intent).
+    fn begin_merge(self: &Rc<Self>, left: RegionId, right: RegionId) {
+        {
+            let mut regions = self.regions.borrow_mut();
+            for id in [left, right] {
+                if let Some(st) = regions.get_mut(&id) {
+                    st.splitting = true;
+                }
+            }
+        }
+        self.merge_stats.considered.inc();
+        self.events
+            .borrow()
+            .record(self.sim.now(), "merge.consider", || {
+                format!("server={} left={} right={}", self.id, left, right)
+            });
+        *self.pending_merge.borrow_mut() = Some(PendingMerge {
+            left,
+            right,
+            flush_issued: false,
+            intent_sent: false,
+        });
+        self.advance_pending_merge();
+    }
+
+    /// Drives a pending merge forward: flush both daughters' memstores
+    /// once, then ask the master for a durable merge intent. Anything
+    /// the memstores absorb after the flush moves to the merged region
+    /// at the flip, so both daughters keep serving throughout.
+    fn advance_pending_merge(self: &Rc<Self>) {
+        let (left, right, flush_issued, intent_sent) = {
+            let p = self.pending_merge.borrow();
+            let Some(p) = p.as_ref() else { return };
+            (p.left, p.right, p.flush_issued, p.intent_sent)
+        };
+        if intent_sent {
+            return; // waiting for the master's execute / denial
+        }
+        let mut gone = false;
+        let mut flush_busy = false;
+        let mut dirty = false;
+        {
+            let regions = self.regions.borrow();
+            for id in [left, right] {
+                match regions.get(&id) {
+                    Some(st) => {
+                        flush_busy |= st.flush_in_progress || st.flushing.is_some();
+                        dirty |= !st.memstore.is_empty();
+                    }
+                    None => gone = true,
+                }
+            }
+        }
+        if gone {
+            self.clear_pending_merge(left, right);
+            return;
+        }
+        if flush_busy {
+            return; // next check tick
+        }
+        if dirty && !flush_issued {
+            if let Some(p) = self.pending_merge.borrow_mut().as_mut() {
+                p.flush_issued = true;
+            }
+            self.flush_region(left);
+            self.flush_region(right);
+            return;
+        }
+        if let Some(p) = self.pending_merge.borrow_mut().as_mut() {
+            p.intent_sent = true;
+        }
+        let Some(coord) = self.split_coord.borrow().clone() else {
+            self.clear_pending_merge(left, right);
+            return;
+        };
+        self.merge_stats.intents_requested.inc();
+        self.events
+            .borrow()
+            .record(self.sim.now(), "merge.intent", || {
+                format!("server={} left={} right={}", self.id, left, right)
+            });
+        let id = self.id;
+        let net = Rc::clone(&self.net);
+        net.send(self.node, coord.node(), 96, move || {
+            coord.request_merge(id, left, right)
+        });
+    }
+
+    /// Drops the pending merge and clears both daughters' structural-op
+    /// flags (denial, abandonment or a vanished region).
+    fn clear_pending_merge(&self, left: RegionId, right: RegionId) {
+        self.pending_merge.borrow_mut().take();
+        let mut regions = self.regions.borrow_mut();
+        for id in [left, right] {
+            if let Some(st) = regions.get_mut(&id) {
+                st.splitting = false;
+            }
+        }
+    }
+
+    /// Master RPC: the merge request was rejected (stale assignment, an
+    /// intent already in flight, or a non-adjacent pair). Both regions
+    /// resume normal flush/compaction scheduling.
+    pub fn merge_request_denied(&self, left: RegionId) {
+        if !self.alive.get() {
+            return;
+        }
+        let pair = self
+            .pending_merge
+            .borrow()
+            .as_ref()
+            .filter(|p| p.left == left)
+            .map(|p| (p.left, p.right));
+        if let Some((left, right)) = pair {
+            self.merge_stats.aborted.inc();
+            self.events
+                .borrow()
+                .record(self.sim.now(), "merge.denied", || {
+                    format!("server={} left={} right={}", self.id, left, right)
+                });
+            self.clear_pending_merge(left, right);
+        }
+    }
+
+    /// Master RPC: the merge intent is durable — execute. Builds the
+    /// merged region's reference files over both daughters' store files,
+    /// makes their marker files durable in the filesystem (so a failover
+    /// can resolve the merged region's file set), then flips atomically.
+    pub fn execute_merge(self: &Rc<Self>, left: RegionId, right: RegionId, merged: RegionId) {
+        if !self.alive.get() {
+            return;
+        }
+        let matches = self
+            .pending_merge
+            .borrow()
+            .as_ref()
+            .map(|p| p.left == left && p.right == right)
+            .unwrap_or(false);
+        if !matches {
+            // We no longer recognize this intent (e.g. abandoned); tell
+            // the master to roll it back rather than leaving it dangling.
+            self.notify_merge_aborted(left);
+            return;
+        }
+        // Both daughters' file sets must be quiescent before references
+        // are cut over them. Retry shortly (fixed delay, no RNG).
+        let busy = {
+            let regions = self.regions.borrow();
+            [left, right].iter().any(|id| {
+                regions
+                    .get(id)
+                    .map(|st| {
+                        st.compaction_in_progress || st.flush_in_progress || st.flushing.is_some()
+                    })
+                    .unwrap_or(false)
+            })
+        };
+        if busy {
+            let this = Rc::clone(self);
+            self.sim
+                .schedule_in(SimDuration::from_millis(200), move || {
+                    this.execute_merge(left, right, merged)
+                });
+            return;
+        }
+        self.merge_stats.executing.inc();
+        self.events
+            .borrow()
+            .record(self.sim.now(), "merge.execute", || {
+                format!(
+                    "server={} left={} right={} merged={}",
+                    self.id, left, right, merged
+                )
+            });
+        let sources: Vec<(RegionDescriptor, Vec<(Rc<StoreFileData>, u32)>)> = {
+            let regions = self.regions.borrow();
+            let mut out = Vec::with_capacity(2);
+            for id in [left, right] {
+                let Some(st) = regions.get(&id) else {
+                    drop(regions);
+                    self.notify_merge_aborted(left);
+                    self.clear_pending_merge(left, right);
+                    return;
+                };
+                out.push((
+                    st.desc.clone(),
+                    st.storefiles
+                        .iter()
+                        .map(|sf| (Rc::clone(sf), st.level_of(sf.path())))
+                        .collect(),
+                ));
+            }
+            out
+        };
+        let merged_desc = RegionDescriptor {
+            id: merged,
+            start: sources[0].0.start.clone(),
+            end: sources[1].0.end.clone(),
+        };
+        let mut files: Vec<(Rc<StoreFileData>, u32)> = Vec::new();
+        let mut markers: Vec<(String, Bytes)> = Vec::new();
+        for (src_desc, src_files) in &sources {
+            for (sf, level) in src_files {
+                let base = sf.path().rsplit('/').next().unwrap_or("file").to_owned();
+                // The source region id disambiguates: both daughters may
+                // hold references with the same base name after earlier
+                // splits of a common ancestor.
+                let path = format!("/store/{merged}/ref-{}-{base}", src_desc.id.0);
+                if let Some(r) = StoreFileData::reference(
+                    sf,
+                    merged,
+                    path,
+                    &src_desc.start[..],
+                    src_desc.end.as_deref(),
+                ) {
+                    let r = Rc::new(r);
+                    // The daughter's physical file must outlive this
+                    // reference; the registry tracks the hold.
+                    self.registry.add_backing_ref(r.backing_path());
+                    self.registry.insert(Rc::clone(&r));
+                    markers.push((r.path().to_owned(), encode_ref_marker(&r)));
+                    files.push((r, *level));
+                }
+            }
+        }
+        let work = Rc::new(MergeWork {
+            left,
+            right,
+            merged,
+            merged_desc,
+            files,
+            markers,
+        });
+        self.write_merge_markers(work, 0);
+    }
+
+    /// Writes reference marker file `idx` to the filesystem, then
+    /// recurses; once all are durable the flip runs. A crash mid-way
+    /// leaves only orphaned markers under the merged region's directory,
+    /// which the region map never learns about — the master's failover
+    /// rolls the intent back and recovers both daughters from their
+    /// untouched files.
+    fn write_merge_markers(self: &Rc<Self>, work: Rc<MergeWork>, idx: usize) {
+        if !self.alive.get() {
+            return;
+        }
+        if idx == work.markers.len() {
+            self.finish_merge(&work);
+            return;
+        }
+        let (path, content) = work.markers[idx].clone();
+        let weak = Rc::downgrade(self);
+        self.dfs.create(&path, move |file| {
+            let Some(server) = weak.upgrade() else { return };
+            let Ok(file) = file else {
+                server.abort_granted_merge(&work);
+                return;
+            };
+            let weak = weak.clone();
+            file.append(content, move |result| {
+                let Some(server) = weak.upgrade() else { return };
+                if !server.alive.get() {
+                    return;
+                }
+                if result.is_err() {
+                    server.abort_granted_merge(&work);
+                    return;
+                }
+                server.write_merge_markers(work, idx + 1);
+            });
+        });
+    }
+
+    /// Server-side rollback of a granted merge intent (marker writes
+    /// failed): unregister the references, release the backing holds
+    /// (both daughters still own their physical files, so nothing is
+    /// deleted), best-effort delete the markers, and tell the master.
+    fn abort_granted_merge(self: &Rc<Self>, work: &MergeWork) {
+        for (sf, _) in &work.files {
+            self.registry.remove(sf.path());
+            let _ = self.registry.release_backing_ref(sf.backing_path());
+        }
+        for (path, _) in &work.markers {
+            self.dfs.delete(path);
+        }
+        self.merge_stats.aborted.inc();
+        self.events
+            .borrow()
+            .record(self.sim.now(), "merge.abort", || {
+                format!("server={} left={} right={}", self.id, work.left, work.right)
+            });
+        self.clear_pending_merge(work.left, work.right);
+        self.notify_merge_aborted(work.left);
+    }
+
+    fn notify_merge_aborted(&self, left: RegionId) {
+        let Some(coord) = self.split_coord.borrow().clone() else {
+            return;
+        };
+        let id = self.id;
+        self.net.send(self.node, coord.node(), 48, move || {
+            coord.merge_aborted(id, left)
+        });
+    }
+
+    /// The atomic flip, in reverse of [`RegionServer::finish_split`]: in
+    /// one event both daughter region states are removed and the merged
+    /// region appears online — reference files as its store stack, both
+    /// daughters' leftover memstores combined (their ranges are
+    /// disjoint). At no instant are a daughter and the merged region
+    /// both servable. The master is then told to apply the map change.
+    fn finish_merge(self: &Rc<Self>, work: &MergeWork) {
+        if !self.alive.get() {
+            return;
+        }
+        let superseded = {
+            let mut regions = self.regions.borrow_mut();
+            if !regions.contains_key(&work.left) || !regions.contains_key(&work.right) {
+                drop(regions);
+                self.abort_granted_merge(work);
+                return;
+            }
+            let l = regions.remove(&work.left).expect("checked");
+            let r = regions.remove(&work.right).expect("checked");
+            // Leftover memstore entries (absorbed since the pre-merge
+            // flush; all covered by WAL records the failover remaps by
+            // row) combine — the daughters' ranges are disjoint.
+            let mut memstore = MemStore::new();
+            for src in [&l, &r] {
+                for (row, c, ts, v) in src.memstore.iter() {
+                    memstore.apply(row.clone(), c.clone(), ts, v.clone());
+                }
+            }
+            // A daughter file that is itself a reference (the daughter
+            // came from an earlier split or merge) is superseded: the
+            // new references back directly onto the physical file and
+            // hold their own counts. Retirement is destructive, so it
+            // runs after the flip behind the coordination fence (see
+            // `finish_split`).
+            let superseded: Vec<Rc<StoreFileData>> = l
+                .storefiles
+                .iter()
+                .chain(r.storefiles.iter())
+                .filter(|sf| sf.is_reference())
+                .cloned()
+                .collect();
+            regions.insert(
+                work.merged,
+                RegionState {
+                    desc: work.merged_desc.clone(),
+                    memstore,
+                    flushing: None,
+                    storefiles: work.files.iter().map(|(f, _)| Rc::clone(f)).collect(),
+                    file_levels: work
+                        .files
+                        .iter()
+                        .filter(|(_, lv)| *lv > 0)
+                        .map(|(f, lv)| (f.path().to_owned(), *lv))
+                        .collect(),
+                    recovered_paths: Vec::new(),
+                    online: true,
+                    flush_in_progress: false,
+                    compaction_in_progress: false,
+                    splitting: false,
+                },
+            );
+            superseded
+        };
+        // The daughters' cached blocks belong to regions that no longer
+        // exist; the merged region refills under its own id.
+        for id in [work.left, work.right] {
+            self.cache.borrow_mut().evict_region(id);
+        }
+        // The daughters' accumulated load history moves to the merged
+        // region — the placement signal must not read a server that just
+        // merged two warm regions as suddenly idle.
+        let load = self.split_stats.region_load.get(work.left.0 as u64)
+            + self.split_stats.region_load.get(work.right.0 as u64);
+        self.split_stats.region_load.remove(work.left.0 as u64);
+        self.split_stats.region_load.remove(work.right.0 as u64);
+        self.split_stats.region_load.add(work.merged.0 as u64, load);
+        self.pending_merge.borrow_mut().take();
+        self.merge_stats.completed.inc();
+        self.events
+            .borrow()
+            .record(self.sim.now(), "merge.flip", || {
+                format!(
+                    "server={} left={} right={} merged={}",
+                    self.id, work.left, work.right, work.merged
+                )
+            });
+        self.update_file_metrics();
+        if !superseded.is_empty() {
+            self.retire_superseded_references(superseded);
+        }
+        if let Some(coord) = self.split_coord.borrow().clone() {
+            let id = self.id;
+            let left = work.left;
+            self.net.send(self.node, coord.node(), 64, move || {
+                coord.merge_completed(id, left)
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Master-driven region moves (proactive load shedding)
+    // ------------------------------------------------------------------
+
+    /// Master RPC: close `region` so it can reopen on another server.
+    /// The region goes offline immediately (requests get NotServing, as
+    /// during a failover), its memstore is flushed, and once the file
+    /// set is quiescent the state is dropped and `done(true)` reports
+    /// back. Refuses (`done(false)`) when the region is mid-flight in
+    /// any other operation; a crash mid-close simply never reports, and
+    /// the master's failover of this server recovers the region — still
+    /// assigned here — through the normal WAL path.
+    pub fn prepare_move(self: &Rc<Self>, region: RegionId, done: Box<dyn FnOnce(bool)>) {
+        if !self.alive.get() {
+            return;
+        }
+        let ok = self.pending_move.borrow().is_none() && !self.cfg.replication.enabled && {
+            let regions = self.regions.borrow();
+            regions
+                .get(&region)
+                .map(|st| {
+                    st.online
+                        && !st.splitting
+                        && !st.compaction_in_progress
+                        && st.recovered_paths.is_empty()
+                })
+                .unwrap_or(false)
+        };
+        if !ok {
+            done(false);
+            return;
+        }
+        {
+            let mut regions = self.regions.borrow_mut();
+            let st = regions.get_mut(&region).expect("checked above");
+            st.online = false;
+            // The structural-op flag keeps flush checks and compaction
+            // candidacy away while this close drives the flush itself.
+            st.splitting = true;
+        }
+        *self.pending_move.borrow_mut() = Some(region);
+        self.events
+            .borrow()
+            .record(self.sim.now(), "move.close", || {
+                format!("server={} region={}", self.id, region)
+            });
+        self.advance_pending_move(region, done, 0);
+    }
+
+    /// Polls the moving region toward quiescence (fixed 200ms steps, no
+    /// RNG): flush anything dirty, wait out in-flight flushes, then drop
+    /// the state and acknowledge. Gives up (reopening the region in
+    /// place) if the filesystem stays unavailable past the attempt cap.
+    fn advance_pending_move(
+        self: &Rc<Self>,
+        region: RegionId,
+        done: Box<dyn FnOnce(bool)>,
+        attempts: u32,
+    ) {
+        const MAX_ATTEMPTS: u32 = 50;
+        if !self.alive.get() {
+            return;
+        }
+        let (gone, busy, dirty) = {
+            let regions = self.regions.borrow();
+            match regions.get(&region) {
+                Some(st) => (
+                    false,
+                    st.flush_in_progress || st.flushing.is_some(),
+                    !st.memstore.is_empty(),
+                ),
+                None => (true, false, false),
+            }
+        };
+        if gone {
+            self.pending_move.borrow_mut().take();
+            done(false);
+            return;
+        }
+        if busy || dirty {
+            if attempts >= MAX_ATTEMPTS {
+                // Filesystem unavailable: abandon the move and resume
+                // serving in place — the region lost availability for
+                // the poll window, not its data.
+                {
+                    let mut regions = self.regions.borrow_mut();
+                    if let Some(st) = regions.get_mut(&region) {
+                        st.online = true;
+                        st.splitting = false;
+                    }
+                }
+                self.pending_move.borrow_mut().take();
+                done(false);
+                return;
+            }
+            if dirty && !busy {
+                self.flush_region(region);
+            }
+            let this = Rc::clone(self);
+            self.sim
+                .schedule_in(SimDuration::from_millis(200), move || {
+                    this.advance_pending_move(region, done, attempts + 1)
+                });
+            return;
+        }
+        self.regions.borrow_mut().remove(&region);
+        self.cache.borrow_mut().evict_region(region);
+        self.split_stats.region_load.remove(region.0 as u64);
+        self.pending_move.borrow_mut().take();
+        self.update_file_metrics();
+        self.events
+            .borrow()
+            .record(self.sim.now(), "move.closed", || {
+                format!("server={} region={}", self.id, region)
+            });
+        done(true);
     }
 
     /// Refreshes the gauges derived from the current file sets: the

@@ -1,0 +1,307 @@
+//! Online region merges racing the failure-recovery machinery: the
+//! merge-under-failure suite, mirroring `tests/splits.rs` for the
+//! reverse operation.
+//!
+//! A merge is a region-map change racing the T_F/T_P recovery protocol.
+//! These tests crash the merging server at the three interesting points
+//! of the merge lifecycle —
+//!
+//! 1. **before the merge intent is persisted** (the merge is only
+//!    server-local state),
+//! 2. **after the intent is durable but before the map flip** (the
+//!    master must roll the merge back), and
+//! 3. **after the merged region is online in the map** (the merged
+//!    region itself fails over, its file set made of references over
+//!    both daughters' files) —
+//!
+//! and assert the same invariants every time: bank-transfer totals
+//! conserve, every cell is served by exactly one region, and the region
+//! map still partitions the key space.
+//!
+//! Merge candidates need *adjacent co-hosted* regions, which the
+//! bootstrap striping never produces. Each schedule therefore starts
+//! with a setup crash: the failover's load-aware placement packs the
+//! victim's regions onto survivors, deterministically creating adjacent
+//! co-hosted pairs the merge-candidacy timer then finds.
+
+use cumulo_core::{Cluster, ClusterConfig, TransactionalClient};
+use cumulo_sim::SimDuration;
+use std::cell::Cell;
+use std::rc::Rc;
+
+const ACCOUNTS: u64 = 400;
+const INITIAL: i64 = 1_000;
+
+fn account(i: u64) -> String {
+    format!("user{i:012}")
+}
+
+fn parse(v: Option<bytes::Bytes>) -> i64 {
+    v.map(|b| String::from_utf8_lossy(&b).parse().unwrap_or(0))
+        .unwrap_or(INITIAL)
+}
+
+/// A merge-happy cluster: many small regions, merges on with a generous
+/// threshold (every adjacent co-hosted pair qualifies), splits off.
+fn merge_cluster(seed: u64) -> Cluster {
+    let mut cfg = ClusterConfig {
+        seed,
+        servers: 4,
+        clients: 6,
+        regions: 8,
+        key_count: ACCOUNTS,
+        merges: true,
+        ..ClusterConfig::default()
+    };
+    cfg.server_cfg.memstore_flush_bytes = 12 << 10;
+    cfg.server_cfg.flush_check_interval = SimDuration::from_millis(250);
+    cfg.server_cfg.merge.check_interval = SimDuration::from_millis(300);
+    Cluster::build(cfg)
+}
+
+/// One money transfer between two random accounts (full key space, so
+/// transfers routinely straddle merge boundaries).
+fn transfer(cluster: &Cluster, client: TransactionalClient, committed: Rc<Cell<u32>>) {
+    let sim = cluster.sim.clone();
+    let from = sim.gen_range(0, ACCOUNTS);
+    let to = (from + 1 + sim.gen_range(0, ACCOUNTS - 1)) % ACCOUNTS;
+    let amount = sim.gen_range(1, 20) as i64;
+    client.begin(move |txn| {
+        let Ok(txn) = txn else { return };
+        let committed2 = committed.clone();
+        let txn2 = txn.clone();
+        txn.get(account(from), "bal", move |vf| {
+            let Ok(vf) = vf else { return };
+            let bf = parse(vf);
+            let committed3 = committed2.clone();
+            let txn3 = txn2.clone();
+            txn2.get(account(to), "bal", move |vt| {
+                let Ok(vt) = vt else { return };
+                let bt = parse(vt);
+                let _ = txn3.put(account(from), "bal", (bf - amount).to_string());
+                let _ = txn3.put(account(to), "bal", (bt + amount).to_string());
+                let committed4 = committed3.clone();
+                txn3.commit(move |r| {
+                    if r.is_ok() {
+                        committed4.set(committed4.get() + 1);
+                    }
+                });
+            });
+        });
+    });
+}
+
+/// One scheduling round: every live client fires a transfer.
+fn round(cluster: &Cluster, committed: &Rc<Cell<u32>>) {
+    for i in 0..cluster.clients.len() {
+        let client = cluster.client(i).clone();
+        if client.is_alive() {
+            transfer(cluster, client, Rc::clone(committed));
+        }
+    }
+}
+
+/// Steps the simulation in `step`-sized increments until `pred` holds or
+/// `max` elapses; returns whether the predicate fired.
+fn run_until(
+    cluster: &Cluster,
+    step: SimDuration,
+    max: SimDuration,
+    pred: impl Fn() -> bool,
+) -> bool {
+    let deadline = cluster.now() + max;
+    while cluster.now() < deadline {
+        if pred() {
+            return true;
+        }
+        cluster.run_for(step);
+    }
+    pred()
+}
+
+/// The index of the server currently carrying a pending/executing merge.
+fn merging_server(cluster: &Cluster) -> Option<usize> {
+    cluster.servers.iter().position(|s| {
+        s.is_alive()
+            && s.merge_stats().considered.get()
+                > s.merge_stats().completed.get() + s.merge_stats().aborted.get()
+    })
+}
+
+/// The setup crash: kill one server so the failover packs its regions
+/// onto survivors, creating the adjacent co-hosted pairs merges need.
+fn create_adjacency(cluster: &Cluster, committed: &Rc<Cell<u32>>) {
+    for _ in 0..10 {
+        round(cluster, committed);
+        cluster.run_for(SimDuration::from_millis(300));
+    }
+    cluster.crash_server(cluster.servers.len() - 1);
+    let recovered = run_until(
+        cluster,
+        SimDuration::from_millis(200),
+        SimDuration::from_secs(60),
+        || cluster.all_regions_online(),
+    );
+    assert!(recovered, "setup failover did not finish");
+}
+
+/// The post-crash audit shared by all three schedules.
+fn audit(cluster: &Cluster, committed: u32) {
+    assert!(committed > 60, "too few transfers committed: {committed}");
+    assert!(
+        cluster.all_regions_online(),
+        "cluster did not fully recover"
+    );
+    cluster.assert_region_partition();
+    let mut total = 0i64;
+    for i in 0..ACCOUNTS {
+        total += parse(cluster.read_cell(account(i), "bal", SimDuration::from_secs(10)));
+    }
+    assert_eq!(
+        total,
+        ACCOUNTS as i64 * INITIAL,
+        "merge x failover lost or duplicated money"
+    );
+}
+
+/// Crash point 1: the merging server dies while a merge is pending
+/// server-side but *before* any intent reached the filesystem. Nothing
+/// durable mentions the merge; failover recovers both daughters as if
+/// the merge had never been considered.
+#[test]
+fn crash_before_intent_persisted_recovers_daughters() {
+    let cluster = merge_cluster(8101);
+    let committed = Rc::new(Cell::new(0u32));
+    create_adjacency(&cluster, &committed);
+    // Drive load until a merge candidacy is accepted somewhere and no
+    // intent has been persisted yet, then crash that server mid-window
+    // (the window spans the pre-merge flush of both daughters, so
+    // coarse polling catches it).
+    let mut caught = false;
+    for _ in 0..600 {
+        round(&cluster, &committed);
+        if run_until(
+            &cluster,
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(200),
+            || merging_server(&cluster).is_some() && cluster.master.merge_intents_persisted() == 0,
+        ) {
+            caught = true;
+            break;
+        }
+    }
+    assert!(caught, "no merge candidacy was ever observed");
+    let victim = merging_server(&cluster).expect("just observed");
+    assert_eq!(
+        cluster.master.merge_intents_persisted(),
+        0,
+        "crash point 1 requires no durable intent"
+    );
+    cluster.crash_server(victim);
+    for _ in 0..20 {
+        round(&cluster, &committed);
+        cluster.run_for(SimDuration::from_millis(400));
+    }
+    cluster.run_for(SimDuration::from_secs(30));
+    audit(&cluster, committed.get());
+}
+
+/// Crash point 2: the intent is durable but the merged region never made
+/// it into the region map. The master must roll the merge back — both
+/// daughters' files and WAL still cover everything, and no client ever
+/// saw the merged id — and recover the daughters on survivors.
+#[test]
+fn crash_after_intent_before_merged_online_rolls_back() {
+    let cluster = merge_cluster(8202);
+    let committed = Rc::new(Cell::new(0u32));
+    create_adjacency(&cluster, &committed);
+    let mut caught = false;
+    for _ in 0..600 {
+        round(&cluster, &committed);
+        // Fine-grained stepping: the window between the durable intent
+        // and the map flip is a handful of DFS marker writes wide.
+        if run_until(
+            &cluster,
+            SimDuration::from_millis(2),
+            SimDuration::from_millis(200),
+            || cluster.master.merge_intents_persisted() > 0 && cluster.master.merges_applied() == 0,
+        ) {
+            caught = true;
+            break;
+        }
+        if cluster.master.merges_applied() > 0 {
+            panic!("merge completed before the crash window could be hit; lower the step size");
+        }
+    }
+    assert!(caught, "never caught the intent-persisted window");
+    let victim = merging_server(&cluster).expect("a server holds the granted intent");
+    cluster.crash_server(victim);
+    // The master's failover must roll the intent back (never serve the
+    // merged region of an unapplied merge).
+    let rolled = run_until(
+        &cluster,
+        SimDuration::from_millis(100),
+        SimDuration::from_secs(30),
+        || cluster.master.merges_rolled_back() > 0,
+    );
+    assert!(rolled, "failover did not roll the durable intent back");
+    for _ in 0..20 {
+        round(&cluster, &committed);
+        cluster.run_for(SimDuration::from_millis(400));
+    }
+    cluster.run_for(SimDuration::from_secs(30));
+    audit(&cluster, committed.get());
+}
+
+/// Crash point 3: the merge completed — the merged region is live in the
+/// map and absorbing writes — and *then* its server dies. The merged
+/// region fails over like an ordinary region, except its recovered state
+/// is made of reference files over both daughters' files plus WAL
+/// records that predate the merge (the master remaps those into the
+/// merged region by row).
+#[test]
+fn crash_after_merged_online_fails_over_merged_region() {
+    let cluster = merge_cluster(8303);
+    let committed = Rc::new(Cell::new(0u32));
+    create_adjacency(&cluster, &committed);
+    let mut applied = false;
+    for _ in 0..600 {
+        round(&cluster, &committed);
+        cluster.run_for(SimDuration::from_millis(200));
+        if cluster.master.merges_applied() > 0 {
+            applied = true;
+            break;
+        }
+    }
+    assert!(applied, "no merge was ever applied");
+    // Let the merged region absorb post-merge writes before the crash.
+    for _ in 0..8 {
+        round(&cluster, &committed);
+        cluster.run_for(SimDuration::from_millis(300));
+    }
+    // Crash the server hosting a merged region (initial max id was 7,
+    // so any region id >= 8 is merge output).
+    let map = cluster.master.snapshot_map();
+    let merged_server = map
+        .regions()
+        .iter()
+        .filter(|d| d.id.0 >= 8)
+        .find_map(|d| map.server_for(d.id))
+        .expect("an assigned merged region");
+    let victim = cluster
+        .servers
+        .iter()
+        .position(|s| s.id() == merged_server)
+        .expect("directory index");
+    cluster.crash_server(victim);
+    for _ in 0..25 {
+        round(&cluster, &committed);
+        cluster.run_for(SimDuration::from_millis(400));
+    }
+    cluster.run_for(SimDuration::from_secs(30));
+    audit(&cluster, committed.get());
+    assert!(
+        cluster.master.failover_count() >= 2,
+        "the merged region's failover was not processed"
+    );
+}
