@@ -189,6 +189,10 @@ fn build_cluster(d: &Dims) -> Cluster {
     cfg.server_cfg.merge.check_interval = SimDuration::from_secs(2);
     cfg.master_cfg.moves.load_ratio = 2.0;
     cfg.master_cfg.moves.check_interval = SimDuration::from_secs(5);
+    // Debounce region-map refreshes: at this client count a single
+    // split/merge/move flip would otherwise trigger a refresh stampede
+    // against the master (one fetch per routed-stale request).
+    cfg.store_client_cfg.min_refresh_interval = SimDuration::from_millis(50);
     Cluster::build(cfg)
 }
 

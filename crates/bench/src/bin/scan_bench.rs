@@ -1,0 +1,179 @@
+//! Cross-region scan microbench: continuation cost as a range grows
+//! from one region to the whole table.
+//!
+//! One phase per span (1, 2, 4, 8 regions, on an 8-region cluster):
+//! each phase issues a fixed number of boundary-aligned transactional
+//! scans whose range covers exactly `span` regions, rotating the start
+//! region so every server serves legs. The client's continuation walks
+//! one RPC leg per region, so legs-per-scan must equal the span — the
+//! bench asserts it, along with exact row counts (no truncation at
+//! region boundaries, the bug the continuation fixed, and no
+//! duplicates from retries).
+//!
+//! The CSV reports, per span: scans, continuation legs, rows returned,
+//! and scan latency mean/p95/p99 — the price of a multi-region range
+//! read in round trips and tail latency.
+//!
+//! Run: `cargo run --release -p cumulo-bench --bin scan_bench`
+//! (`CUMULO_QUICK=1` for the CI smoke run). CSV on stdout is
+//! byte-identical across runs of the same build (determinism probe — CI
+//! runs it twice and diffs, including the `--emit-json` snapshot).
+
+use cumulo_bench::report::{kv, BenchArgs, BenchReport};
+use cumulo_core::{Cluster, ClusterConfig, TransactionalClient};
+use cumulo_sim::{Sim, SimDuration};
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+/// Regions in the bench cluster; spans are measured against this.
+const REGIONS: u64 = 8;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let quick = std::env::var("CUMULO_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let rows: u64 = if quick { 8_000 } else { 40_000 };
+    let scans: u64 = if quick { 40 } else { 200 };
+    let mut rep = BenchReport::new("scan_bench");
+    rep.config("rows", rows);
+    rep.config("regions", REGIONS);
+    rep.config("scans_per_span", scans);
+    rep.config("quick", quick);
+
+    println!("span_regions,scans,legs,legs_per_scan,rows_returned,mean_ms,p95_ms,p99_ms");
+    for span in [1u64, 2, 4, 8] {
+        // A fresh, identically seeded cluster per span: every phase sees
+        // the same region layout, file stacks and cache state.
+        let cluster = Cluster::build(ClusterConfig {
+            seed: 7171,
+            servers: 4,
+            clients: 4,
+            regions: REGIONS as usize,
+            key_count: rows,
+            ..ClusterConfig::default()
+        });
+        cluster.load_rows(rows, &["f0"], 100, true);
+        let state = Rc::new(SpanState {
+            rows,
+            span,
+            total: scans,
+            done: Cell::new(0),
+            returned: Cell::new(0),
+            latencies_ns: RefCell::new(Vec::new()),
+        });
+        let sc = cluster.client(0).store_client();
+        let legs_before = sc.scan_leg_rpcs();
+        issue_scan(
+            cluster.client(0).clone(),
+            cluster.sim.clone(),
+            Rc::clone(&state),
+        );
+        let deadline = cluster.now() + SimDuration::from_secs(600);
+        while state.done.get() < scans && cluster.now() < deadline {
+            cluster.run_for(SimDuration::from_millis(100));
+        }
+        assert_eq!(state.done.get(), scans, "span {span}: scans did not finish");
+        let legs = cluster.client(0).store_client().scan_leg_rpcs() - legs_before;
+        // One leg per region covered, exactly: continuation totality
+        // without retries on a fault-free cluster.
+        assert_eq!(legs, scans * span, "span {span}: unexpected leg count");
+        let expected_rows: u64 = (0..scans)
+            .map(|i| {
+                let b = start_region(i, span);
+                rows * (b + span) / REGIONS - rows * b / REGIONS
+            })
+            .sum();
+        assert_eq!(
+            state.returned.get(),
+            expected_rows,
+            "span {span}: scans dropped or duplicated rows"
+        );
+        let mut lat = state.latencies_ns.borrow_mut();
+        lat.sort_unstable();
+        let mean_ms = lat.iter().sum::<u64>() as f64 / lat.len() as f64 / 1e6;
+        let p95_ms = percentile_ns(&lat, 0.95) / 1e6;
+        let p99_ms = percentile_ns(&lat, 0.99) / 1e6;
+        let per_scan = legs as f64 / scans as f64;
+        println!(
+            "{span},{scans},{legs},{per_scan:.2},{},{mean_ms:.2},{p95_ms:.2},{p99_ms:.2}",
+            state.returned.get()
+        );
+        eprintln!(
+            "[scan_bench] span {span}: {legs} legs ({per_scan:.2}/scan), \
+             mean {mean_ms:.2} ms, p99 {p99_ms:.2} ms"
+        );
+        rep.phase(vec![
+            kv("span_regions", span),
+            kv("scans", scans),
+            kv("legs", legs),
+            kv("legs_per_scan", per_scan),
+            kv("rows_returned", state.returned.get()),
+            kv("mean_ms", mean_ms),
+            kv("p95_ms", p95_ms),
+            kv("p99_ms", p99_ms),
+        ]);
+        rep.cluster(&format!("span{span}"), &cluster);
+    }
+    rep.write(&args);
+}
+
+struct SpanState {
+    rows: u64,
+    span: u64,
+    total: u64,
+    done: Cell<u64>,
+    returned: Cell<u64>,
+    latencies_ns: RefCell<Vec<u64>>,
+}
+
+/// The start region of the i-th scan: rotate over every start that
+/// still fits the span, so legs land on all servers.
+fn start_region(i: u64, span: u64) -> u64 {
+    i % (REGIONS - span + 1)
+}
+
+/// Issues one boundary-aligned scan covering exactly `state.span`
+/// regions, then re-arms for the next until `state.total` have run.
+/// Sequential on one client: latencies never include queueing behind
+/// our own scans.
+fn issue_scan(client: TransactionalClient, sim: Sim, state: Rc<SpanState>) {
+    let i = state.done.get();
+    let b = start_region(i, state.span);
+    let start = format!("user{:012}", state.rows * b / REGIONS);
+    let end_key = state.rows * (b + state.span) / REGIONS;
+    // The last region's range runs to the table end: exercise the
+    // unbounded-end continuation path there.
+    let end = if b + state.span == REGIONS {
+        None
+    } else {
+        Some(bytes::Bytes::from(format!("user{end_key:012}")))
+    };
+    let limit = (state.rows * state.span / REGIONS) as usize + 16;
+    let client2 = client.clone();
+    client.begin(move |txn| {
+        let txn = txn.expect("fault-free bench: begin succeeds");
+        let t0 = sim.now();
+        let txn2 = txn.clone();
+        let sim2 = sim.clone();
+        txn.scan(start, end, limit, move |hits| {
+            let hits = hits.expect("fault-free bench: scan succeeds");
+            let elapsed = sim2.now() - t0;
+            state.returned.set(state.returned.get() + hits.len() as u64);
+            state.latencies_ns.borrow_mut().push(elapsed.nanos());
+            txn2.abort();
+            state.done.set(state.done.get() + 1);
+            if state.done.get() < state.total {
+                issue_scan(client2, sim2, state);
+            }
+        });
+    });
+}
+
+fn percentile_ns(sorted: &[u64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx] as f64
+}

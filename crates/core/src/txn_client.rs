@@ -416,15 +416,23 @@ impl Transaction {
         });
     }
 
-    /// Transactional range scan over `[start, end)` at the transaction's
-    /// snapshot, returning up to `limit` cells merged with the
-    /// transaction's own buffered writes (which win per cell; buffered
-    /// deletes hide cells).
+    /// Transactional range scan over `[start, end)` (end-exclusive;
+    /// `None` = to the end of the table) at the transaction's snapshot,
+    /// returning up to `limit` cells in `(row, column)` order. The
+    /// store scan walks **every region the range covers** (cross-region
+    /// continuation, see `StoreClient::scan`), and the transaction's own
+    /// buffered writes are merged over the whole merged result — not
+    /// just the region containing `start`: buffered puts win per cell,
+    /// buffered deletes hide cells, across all scanned regions.
     ///
     /// The store is asked for `limit` *plus the number of buffered
-    /// deletes in range* hits: a buffered delete can hide a store row
-    /// post-merge, and without the over-fetch a scan could return fewer
-    /// than `limit` rows even though more qualify.
+    /// deletes in range* hits: each buffered delete can hide at most one
+    /// store cell post-merge, and without the over-fetch a scan could
+    /// return fewer than `limit` rows even though more qualify. The
+    /// continuation re-computes the outstanding budget per region leg
+    /// (remaining = fetch limit − cells already accumulated), so even a
+    /// first leg whose hits are *all* shadowed by local deletes still
+    /// fills the limit from later regions.
     pub fn scan(
         &self,
         start: impl Into<Bytes>,

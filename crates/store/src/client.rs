@@ -5,9 +5,10 @@
 //! interrupted flush keeps retrying until the affected region comes back
 //! online (§3.2): "we work around this by removing the retry and timeout
 //! limits so that the client keeps retrying until it succeeds."
-//! [`StoreClient::get`], [`StoreClient::multi_get`] and
-//! [`StoreClient::multi_put`] therefore retry forever; their callbacks
-//! fire exactly once, on success.
+//! [`StoreClient::get`], [`StoreClient::multi_get`], [`StoreClient::scan`]
+//! and [`StoreClient::multi_put`] therefore retry forever; their callbacks
+//! fire exactly once, on success. Scans additionally continue across
+//! region boundaries, walking regions in key order one leg at a time.
 
 use crate::master::{Master, ServerDirectory};
 use crate::memstore::VersionedValue;
@@ -31,6 +32,22 @@ pub struct StoreClientConfig {
     pub retry_backoff: SimDuration,
     /// Cap on the exponential retry backoff.
     pub max_backoff: SimDuration,
+    /// Continue scans across region boundaries (on by default). When
+    /// off, [`StoreClient::scan`] reverts to the legacy behavior of
+    /// serving only the region containing `start` — kept for calibrated
+    /// experiments whose pinned baselines predate the continuation (the
+    /// extra per-leg messages draw network-jitter RNG and would shift
+    /// their event schedules).
+    pub cross_region_scans: bool,
+    /// Minimum spacing between region-map refresh fetches, plus an
+    /// epoch check: a routing failure whose observed map epoch is
+    /// already stale (the cache advanced since the op was routed) skips
+    /// the fetch entirely. `ZERO` (the default) disables the debounce —
+    /// every routing failure past the inflight flag triggers a fetch,
+    /// the pre-debounce behavior calibrated experiments replay
+    /// byte-for-byte. Enable on clusters where mass splits make whole
+    /// client fleets re-fetch the full map per retrying op.
+    pub min_refresh_interval: SimDuration,
 }
 
 impl Default for StoreClientConfig {
@@ -39,6 +56,8 @@ impl Default for StoreClientConfig {
             request_timeout: SimDuration::from_millis(60),
             retry_backoff: SimDuration::from_millis(15),
             max_backoff: SimDuration::from_millis(500),
+            cross_region_scans: true,
+            min_refresh_interval: SimDuration::ZERO,
         }
     }
 }
@@ -52,11 +71,17 @@ struct Inner {
     map: RefCell<RegionMap>,
     cfg: StoreClientConfig,
     refresh_inflight: Cell<bool>,
+    /// Completion instant of the last map refresh, for the
+    /// `min_refresh_interval` debounce (`None` = never refreshed).
+    last_refresh: Cell<Option<u64>>,
     retries: Counter,
     gets_ok: Counter,
     puts_ok: Counter,
     multi_get_rpcs: Counter,
     multi_gets_ok: Counter,
+    scan_leg_rpcs: Counter,
+    scans_ok: Counter,
+    refresh_skips: Counter,
 }
 
 /// A client-side handle to the distributed store. Cheap to clone.
@@ -95,11 +120,15 @@ impl StoreClient {
                 map: RefCell::new(master.snapshot_map()),
                 cfg,
                 refresh_inflight: Cell::new(false),
+                last_refresh: Cell::new(None),
                 retries: Counter::new(),
                 gets_ok: Counter::new(),
                 puts_ok: Counter::new(),
                 multi_get_rpcs: Counter::new(),
                 multi_gets_ok: Counter::new(),
+                scan_leg_rpcs: Counter::new(),
+                scans_ok: Counter::new(),
+                refresh_skips: Counter::new(),
             }),
         }
     }
@@ -202,8 +231,23 @@ impl StoreClient {
         }
     }
 
-    /// Scans `[start, end)` at `snapshot` within the region containing
-    /// `start`, returning up to `limit` cells. Retries until served.
+    /// Scans `[start, end)` at `snapshot` (end-exclusive; `None` = to
+    /// the end of the table), returning up to `limit` cells in
+    /// `(row, column)` order, merged across **every region the range
+    /// covers** — not just the region containing `start`.
+    ///
+    /// The scan is a continuation loop walking regions in key order:
+    /// each leg asks the region hosting the cursor for the *remaining*
+    /// limit, and the reply ([`crate::ScanPage`]) carries the serving
+    /// region's exclusive end bound, which becomes the next cursor. The
+    /// resume key is server truth, so a split, merge, move or failover
+    /// landing mid-scan neither drops nor duplicates cells at the new
+    /// boundary: a failed leg retries *at the same cursor* with a
+    /// refreshed map (the `WrongRegion`-style self-healing the write
+    /// path uses), and snapshot reads are independent of region
+    /// structure. Legacy single-region truncation is available via
+    /// [`StoreClientConfig::cross_region_scans`]. Retries until served;
+    /// `done` fires exactly once.
     pub fn scan(
         &self,
         start: Bytes,
@@ -212,12 +256,13 @@ impl StoreClient {
         limit: usize,
         done: impl FnOnce(Vec<(Bytes, Bytes, VersionedValue)>) + 'static,
     ) {
-        scan_attempt(
+        scan_leg(
             Rc::clone(&self.inner),
             start,
             end,
             snapshot,
             limit,
+            Vec::new(),
             0,
             Box::new(done),
         );
@@ -278,6 +323,23 @@ impl StoreClient {
     pub fn puts_ok(&self) -> u64 {
         self.inner.puts_ok.get()
     }
+
+    /// Per-region scan leg RPCs issued (continuation legs + retries; a
+    /// scan confined to one region issues exactly one).
+    pub fn scan_leg_rpcs(&self) -> u64 {
+        self.inner.scan_leg_rpcs.get()
+    }
+
+    /// Completed scans (every continuation leg served).
+    pub fn scans_ok(&self) -> u64 {
+        self.inner.scans_ok.get()
+    }
+
+    /// Region-map refresh fetches skipped by the epoch / min-interval
+    /// debounce ([`StoreClientConfig::min_refresh_interval`]).
+    pub fn refresh_skips(&self) -> u64 {
+        self.inner.refresh_skips.get()
+    }
 }
 
 fn backoff(inner: &Inner, attempt: u32) -> SimDuration {
@@ -287,10 +349,34 @@ fn backoff(inner: &Inner, attempt: u32) -> SimDuration {
     inner.sim.jitter(d, 0.3)
 }
 
-/// Refreshes the cached region map from the master (debounced).
-fn refresh_map(inner: &Rc<Inner>) {
+/// Refreshes the cached region map from the master, debounced by the
+/// inflight flag and — when [`StoreClientConfig::min_refresh_interval`]
+/// is non-zero — by an epoch check and a minimum fetch spacing.
+///
+/// `observed_epoch` is the cached map's epoch at the moment the failed
+/// operation was *routed*. If the cache has advanced past it, a refresh
+/// already landed since that routing decision and re-fetching cannot
+/// teach this client anything the retry will not already use — the
+/// stampede after a mass-split storm, where every retrying op on every
+/// client re-fetched the full map. With the default `ZERO` interval both
+/// checks are skipped and the legacy fetch-per-failure behavior (and its
+/// exact message schedule) is preserved.
+fn refresh_map(inner: &Rc<Inner>, observed_epoch: u64) {
     if inner.refresh_inflight.get() {
         return;
+    }
+    if !inner.cfg.min_refresh_interval.is_zero() {
+        if inner.map.borrow().epoch() > observed_epoch {
+            inner.refresh_skips.inc();
+            return;
+        }
+        if let Some(last) = inner.last_refresh.get() {
+            let now = inner.sim.now().nanos();
+            if now.saturating_sub(last) < inner.cfg.min_refresh_interval.nanos() {
+                inner.refresh_skips.inc();
+                return;
+            }
+        }
     }
     inner.refresh_inflight.set(true);
     let master = Rc::clone(&inner.master);
@@ -302,6 +388,7 @@ fn refresh_map(inner: &Rc<Inner>) {
         let size = 64 + snapshot.assignments().len() * 16;
         net.send(master.node(), from, size, move || {
             *inner2.map.borrow_mut() = snapshot;
+            inner2.last_refresh.set(Some(inner2.sim.now().nanos()));
             inner2.refresh_inflight.set(false);
         });
     });
@@ -318,10 +405,13 @@ fn get_attempt(
     if !inner.net.is_alive(inner.from) {
         return; // the client process is dead; drop the retry chain
     }
-    let (region, server) = inner.map.borrow().locate(&row);
+    let (routed_epoch, server) = {
+        let map = inner.map.borrow();
+        (map.epoch(), map.locate(&row).1)
+    };
     let server = server.and_then(|s| inner.dir.get(s));
     let Some(server) = server else {
-        refresh_map(&inner);
+        refresh_map(&inner, routed_epoch);
         let wait = backoff(&inner, attempt);
         let inner2 = Rc::clone(&inner);
         inner.retries.inc();
@@ -330,7 +420,6 @@ fn get_attempt(
         });
         return;
     };
-    let _ = region;
     let settled = Rc::new(Cell::new(false));
     let done_cell: Rc<RefCell<Option<Box<dyn FnOnce(Option<VersionedValue>)>>>> =
         Rc::new(RefCell::new(Some(done)));
@@ -364,7 +453,7 @@ fn get_attempt(
                             Err(_) => {
                                 // NotServing / unavailable: refresh and retry.
                                 inner.retries.inc();
-                                refresh_map(&inner);
+                                refresh_map(&inner, routed_epoch);
                                 let wait = backoff(&inner, attempt);
                                 let inner2 = Rc::clone(&inner);
                                 inner.sim.schedule_in(wait, move || {
@@ -385,7 +474,7 @@ fn get_attempt(
         settled.set(true);
         let done = done_cell.borrow_mut().take().expect("settled guards");
         inner2.retries.inc();
-        refresh_map(&inner2);
+        refresh_map(&inner2, routed_epoch);
         let wait = backoff(&inner2, attempt);
         let inner3 = Rc::clone(&inner2);
         inner2.sim.schedule_in(wait, move || {
@@ -457,13 +546,13 @@ fn put_attempt(
         }
         return;
     }
-    let server = inner
-        .map
-        .borrow()
-        .server_for(region)
-        .and_then(|s| inner.dir.get(s));
+    let (routed_epoch, server) = {
+        let map = inner.map.borrow();
+        (map.epoch(), map.server_for(region))
+    };
+    let server = server.and_then(|s| inner.dir.get(s));
     let Some(server) = server else {
-        refresh_map(&inner);
+        refresh_map(&inner, routed_epoch);
         let wait = backoff(&inner, attempt);
         let inner2 = Rc::clone(&inner);
         inner.retries.inc();
@@ -510,7 +599,7 @@ fn put_attempt(
                         }
                         Err(_) => {
                             inner.retries.inc();
-                            refresh_map(&inner);
+                            refresh_map(&inner, routed_epoch);
                             let wait = backoff(&inner, attempt);
                             let inner2 = Rc::clone(&inner);
                             inner.sim.schedule_in(wait, move || {
@@ -539,7 +628,7 @@ fn put_attempt(
         settled.set(true);
         let done = done_cell.borrow_mut().take().expect("settled guards");
         inner2.retries.inc();
-        refresh_map(&inner2);
+        refresh_map(&inner2, routed_epoch);
         let wait = backoff(&inner2, attempt);
         let inner3 = Rc::clone(&inner2);
         inner2.sim.schedule_in(wait, move || {
@@ -607,13 +696,13 @@ fn multi_get_attempt(
         }
         return;
     }
-    let server = inner
-        .map
-        .borrow()
-        .server_for(region)
-        .and_then(|s| inner.dir.get(s));
+    let (routed_epoch, server) = {
+        let map = inner.map.borrow();
+        (map.epoch(), map.server_for(region))
+    };
+    let server = server.and_then(|s| inner.dir.get(s));
     let Some(server) = server else {
-        refresh_map(&inner);
+        refresh_map(&inner, routed_epoch);
         let wait = backoff(&inner, attempt);
         let inner2 = Rc::clone(&inner);
         inner.retries.inc();
@@ -659,7 +748,7 @@ fn multi_get_attempt(
                         }
                         Err(_) => {
                             inner.retries.inc();
-                            refresh_map(&inner);
+                            refresh_map(&inner, routed_epoch);
                             let wait = backoff(&inner, attempt);
                             let inner2 = Rc::clone(&inner);
                             inner.sim.schedule_in(wait, move || {
@@ -685,7 +774,7 @@ fn multi_get_attempt(
         }
         settled.set(true);
         inner2.retries.inc();
-        refresh_map(&inner2);
+        refresh_map(&inner2, routed_epoch);
         let wait = backoff(&inner2, attempt);
         let inner3 = Rc::clone(&inner2);
         inner2.sim.schedule_in(wait, move || {
@@ -715,74 +804,105 @@ fn complete_multi_get_group(
     }
 }
 
+/// In-flight state of a cross-region scan: the cells accumulated by the
+/// legs served so far plus the caller's completion. Travels intact
+/// through leg retries — only a *served* page ever extends it.
+struct ScanState {
+    acc: Vec<(Bytes, Bytes, VersionedValue)>,
+    done: Box<dyn FnOnce(Vec<(Bytes, Bytes, VersionedValue)>)>,
+}
+
+/// One continuation leg of a cross-region scan: asks the region hosting
+/// `cursor` for up to `remaining` cells of `[cursor, end)`, then either
+/// completes the scan or recurses at the served region's end bound (see
+/// [`crate::ScanPage`]). Errors and timeouts retry the *same* leg —
+/// same cursor, same remaining budget, accumulated cells untouched —
+/// after a map refresh, so a split, merge, move or failover landing
+/// mid-scan cannot drop or duplicate cells: the cursor only ever
+/// advances to a bound some server actually served through.
 #[allow(clippy::too_many_arguments)]
-fn scan_attempt(
+fn scan_leg(
     inner: Rc<Inner>,
-    start: Bytes,
+    cursor: Bytes,
     end: Option<Bytes>,
     snapshot: Timestamp,
-    limit: usize,
+    remaining: usize,
+    acc: Vec<(Bytes, Bytes, VersionedValue)>,
     attempt: u32,
     done: Box<dyn FnOnce(Vec<(Bytes, Bytes, VersionedValue)>)>,
 ) {
     if !inner.net.is_alive(inner.from) {
         return; // the client process is dead; drop the retry chain
     }
-    let (_, server) = inner.map.borrow().locate(&start);
+    let (routed_epoch, server) = {
+        let map = inner.map.borrow();
+        (map.epoch(), map.locate(&cursor).1)
+    };
     let server = server.and_then(|s| inner.dir.get(s));
     let Some(server) = server else {
-        refresh_map(&inner);
+        refresh_map(&inner, routed_epoch);
         let wait = backoff(&inner, attempt);
         let inner2 = Rc::clone(&inner);
         inner.retries.inc();
         inner.sim.schedule_in(wait, move || {
-            scan_attempt(inner2, start, end, snapshot, limit, attempt + 1, done)
+            scan_leg(
+                inner2,
+                cursor,
+                end,
+                snapshot,
+                remaining,
+                acc,
+                attempt + 1,
+                done,
+            )
         });
         return;
     };
     let settled = Rc::new(Cell::new(false));
-    let done_cell: Rc<RefCell<Option<Box<dyn FnOnce(Vec<(Bytes, Bytes, VersionedValue)>)>>>> =
-        Rc::new(RefCell::new(Some(done)));
+    let state_cell: Rc<RefCell<Option<ScanState>>> =
+        Rc::new(RefCell::new(Some(ScanState { acc, done })));
     let server_node = server.node();
     let from = inner.from;
     let net_back = Rc::clone(&inner.net);
+    inner.scan_leg_rpcs.inc();
     {
         let inner = Rc::clone(&inner);
         let settled = Rc::clone(&settled);
-        let done_cell = Rc::clone(&done_cell);
-        let (start2, end2) = (start.clone(), end.clone());
+        let state_cell = Rc::clone(&state_cell);
+        let (cursor2, end2) = (cursor.clone(), end.clone());
         inner.net.clone().send(from, server_node, 96, move || {
             let net_back = Rc::clone(&net_back);
             let server2 = Rc::clone(&server);
             server2.handle_scan(
-                start2.clone(),
+                cursor2.clone(),
                 end2.clone(),
                 snapshot,
-                limit,
+                remaining,
                 move |result| {
-                    let size = 64 + result.as_ref().map(|v| v.len() * 64).unwrap_or(0);
+                    let size = 64 + result.as_ref().map(|p| p.cells.len() * 64).unwrap_or(0);
                     net_back.send(server_node, from, size, move || {
                         if settled.get() {
                             return;
                         }
                         settled.set(true);
-                        let done = done_cell.borrow_mut().take().expect("settled guards");
+                        let state = state_cell.borrow_mut().take().expect("settled guards");
                         match result {
-                            Ok(v) => done(v),
+                            Ok(page) => advance_scan(inner, end2, snapshot, remaining, state, page),
                             Err(_) => {
                                 inner.retries.inc();
-                                refresh_map(&inner);
+                                refresh_map(&inner, routed_epoch);
                                 let wait = backoff(&inner, attempt);
                                 let inner2 = Rc::clone(&inner);
                                 inner.sim.schedule_in(wait, move || {
-                                    scan_attempt(
+                                    scan_leg(
                                         inner2,
-                                        start2,
+                                        cursor2,
                                         end2,
                                         snapshot,
-                                        limit,
+                                        remaining,
+                                        state.acc,
                                         attempt + 1,
-                                        done,
+                                        state.done,
                                     )
                                 });
                             }
@@ -798,13 +918,51 @@ fn scan_attempt(
             return;
         }
         settled.set(true);
-        let done = done_cell.borrow_mut().take().expect("settled guards");
+        let state = state_cell.borrow_mut().take().expect("settled guards");
         inner2.retries.inc();
-        refresh_map(&inner2);
+        refresh_map(&inner2, routed_epoch);
         let wait = backoff(&inner2, attempt);
         let inner3 = Rc::clone(&inner2);
         inner2.sim.schedule_in(wait, move || {
-            scan_attempt(inner3, start, end, snapshot, limit, attempt + 1, done)
+            scan_leg(
+                inner3,
+                cursor,
+                end,
+                snapshot,
+                remaining,
+                state.acc,
+                attempt + 1,
+                state.done,
+            )
         });
     });
+}
+
+/// Completion step of one served scan leg: absorb the page, then finish
+/// — limit filled, table end reached, requested end covered by the
+/// region just served, or continuation disabled (legacy single-region
+/// truncation) — or issue the next leg at the region's end bound.
+fn advance_scan(
+    inner: Rc<Inner>,
+    end: Option<Bytes>,
+    snapshot: Timestamp,
+    remaining: usize,
+    mut state: ScanState,
+    page: crate::server::ScanPage,
+) {
+    let got = page.cells.len();
+    state.acc.extend(page.cells);
+    let left = remaining.saturating_sub(got);
+    let covered = match (&page.region_end, &end) {
+        (None, _) => true,              // the region extends to the table end
+        (Some(re), Some(e)) => re >= e, // the requested end is inside the region
+        (Some(_), None) => false,       // more table to the right
+    };
+    if left == 0 || covered || !inner.cfg.cross_region_scans {
+        inner.scans_ok.inc();
+        (state.done)(state.acc);
+        return;
+    }
+    let next = page.region_end.expect("covered handles None");
+    scan_leg(inner, next, end, snapshot, left, state.acc, 0, state.done);
 }

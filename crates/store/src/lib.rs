@@ -120,7 +120,7 @@ pub use memstore::{MemStore, VersionedValue};
 pub use region::{MergeIntent, RegionDescriptor, RegionMap, SplitIntent};
 pub use server::{
     FilterStats, MemstoreSnapshot, RegionServer, RegionServerConfig, ReplAck, ReplicationConfig,
-    ReplicationStats, SplitConfig, SplitStats,
+    ReplicationStats, ScanPage, SplitConfig, SplitStats,
 };
 pub use sstable::{StoreFileData, StoreFileEntry, StoreFileRegistry};
 pub use types::{ClientId, Mutation, MutationKind, RegionId, ServerId, Timestamp, WriteSet};

@@ -137,7 +137,12 @@ impl MemStore {
     }
 
     /// Latest visible value per cell for rows in `[start, end)` at
-    /// `snapshot`, excluding tombstoned cells. Rows come back in key order.
+    /// `snapshot` (`end` exclusive, `None` = unbounded), excluding
+    /// tombstoned cells. Rows come back in key order. This is one
+    /// region's in-memory slice of a scan: the region server merges it
+    /// with the flushing snapshot and store files, and the store client
+    /// stitches consecutive regions' pages into the full cross-region
+    /// result.
     pub fn scan(
         &self,
         start: &[u8],

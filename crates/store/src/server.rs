@@ -463,6 +463,22 @@ fn encode_ref_marker(r: &StoreFileData) -> Bytes {
 /// `(row, column, version, value-or-tombstone)` per cell version.
 pub type MemstoreSnapshot = Vec<(Bytes, Bytes, Timestamp, Option<Bytes>)>;
 
+/// One region's worth of a range scan: the cells served plus the serving
+/// region's exclusive end bound. The client's cross-region continuation
+/// ([`crate::StoreClient::scan`]) uses `region_end` as the next leg's
+/// cursor, so the resume key is always *server truth* — whatever region
+/// actually served the page, even if the client routed here through a
+/// stale map while a split or merge was in flight.
+#[derive(Clone, Debug)]
+pub struct ScanPage {
+    /// Newest visible version per `(row, column)` at the scan snapshot,
+    /// sorted, tombstones elided, truncated to the requested limit.
+    pub cells: Vec<(Bytes, Bytes, VersionedValue)>,
+    /// Exclusive end key of the region that served this page (`None` =
+    /// the region extends to the end of the table).
+    pub region_end: Option<Bytes>,
+}
+
 /// A backup's reply to a shipped record or sync.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ReplAck {
@@ -585,6 +601,7 @@ pub struct RegionServer {
     gets: Counter,
     multi_gets: Counter,
     puts: Counter,
+    scans: Counter,
     not_serving: Counter,
     /// Per-RPC trace journal (queue wait + service breakdown per request;
     /// [`Journal::disabled`] until the cluster wiring installs a shared
@@ -692,6 +709,7 @@ impl RegionServer {
             gets: Counter::new(),
             multi_gets: Counter::new(),
             puts: Counter::new(),
+            scans: Counter::new(),
             not_serving: Counter::new(),
             trace: RefCell::new(Journal::disabled()),
             events: RefCell::new(Journal::disabled()),
@@ -934,6 +952,7 @@ impl RegionServer {
         c("store.gets", &self.gets);
         c("store.multi_gets", &self.multi_gets);
         c("store.puts", &self.puts);
+        c("store.scans", &self.scans);
         c("store.not_serving", &self.not_serving);
         let f = &self.filter_stats;
         c("store.filter.probes", &f.probes);
@@ -1127,6 +1146,12 @@ impl RegionServer {
     /// Number of write batches applied.
     pub fn puts_applied(&self) -> u64 {
         self.puts.get()
+    }
+
+    /// Number of scan legs served ([`RegionServer::handle_scan`] pages;
+    /// a cross-region scan counts once per region walked).
+    pub fn scans_served(&self) -> u64 {
+        self.scans.get()
     }
 
     /// Number of requests rejected with `NotServing`.
@@ -1618,25 +1643,44 @@ impl RegionServer {
         });
     }
 
-    /// Serves a snapshot range scan over `[start, end)` within one region,
-    /// returning the newest visible version per cell (tombstones elided).
+    /// Serves one page of a snapshot range scan: the newest visible
+    /// version per cell in `[start, end)` (end-exclusive, tombstones
+    /// elided) *within the hosted region containing `start`*, plus that
+    /// region's exclusive end bound as the continuation resume key. The
+    /// client stitches pages from consecutive regions into one merged
+    /// cross-region result (see [`crate::StoreClient::scan`]).
     pub fn handle_scan(
         self: &Rc<Self>,
         start: Bytes,
         end: Option<Bytes>,
         snapshot: Timestamp,
         limit: usize,
-        reply: impl FnOnce(Result<Vec<(Bytes, Bytes, VersionedValue)>, StoreError>) + 'static,
+        reply: impl FnOnce(Result<ScanPage, StoreError>) + 'static,
     ) {
         if !self.alive.get() {
             return;
         }
         let region_id = {
             let regions = self.regions.borrow();
-            match regions.values().find(|st| st.desc.contains(&start)) {
-                Some(st) if st.online => st.desc.id,
-                Some(st) => {
-                    reply(Err(StoreError::NotServing(st.desc.id)));
+            // Deterministic choice when more than one hosted region
+            // transiently covers `start` (e.g. an offline parent beside
+            // an online daughter mid-split): prefer the online region,
+            // tie-break by id — HashMap iteration order must never pick
+            // the reply.
+            let mut covering: Vec<_> = regions
+                .values()
+                .filter(|st| st.desc.contains(&start))
+                .map(|st| (st.desc.id, st.online))
+                .collect();
+            covering.sort_unstable_by_key(|(id, _)| *id);
+            match covering
+                .iter()
+                .find(|(_, online)| *online)
+                .or_else(|| covering.first())
+            {
+                Some((id, true)) => *id,
+                Some((id, false)) => {
+                    reply(Err(StoreError::NotServing(*id)));
                     return;
                 }
                 None => {
@@ -1708,6 +1752,8 @@ impl RegionServer {
                 .collect();
             out.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
             out.truncate(limit);
+            let region_end = st.desc.end.clone();
+            this.scans.inc();
             let now = this.sim.now();
             let queue_ns = (now.nanos() - submitted.nanos()).saturating_sub(service.nanos());
             this.trace.borrow().record(now, "rpc.scan", || {
@@ -1721,7 +1767,10 @@ impl RegionServer {
                     out.len()
                 )
             });
-            reply(Ok(out));
+            reply(Ok(ScanPage {
+                cells: out,
+                region_end,
+            }));
         });
     }
 

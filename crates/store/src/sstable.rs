@@ -341,7 +341,11 @@ impl StoreFileData {
         }
     }
 
-    /// Latest version ≤ `snapshot` per cell for rows in `[start, end)`.
+    /// Latest version ≤ `snapshot` per cell for rows in `[start, end)`
+    /// (`end` exclusive, `None` = unbounded) — including tombstones,
+    /// which the region server's merge needs so a newer file-borne
+    /// delete shadows older values. One file's slice of a single
+    /// region's scan page; cross-region merging happens in the client.
     pub fn scan(
         &self,
         start: &[u8],

@@ -233,6 +233,124 @@ fn scan_fills_its_limit_despite_buffered_deletes() {
 }
 
 #[test]
+fn scan_fills_its_limit_across_regions_despite_buffered_deletes() {
+    // The cluster partitions 1 000 keys over 4 regions, so a region
+    // boundary falls at user000000000250. Buffer deletes that shadow
+    // every live row the *first* region leg can serve: the continuation
+    // must re-compute the remaining budget per leg and fill the limit
+    // entirely from the next region instead of under-filling.
+    let c = cluster(69);
+    let client = c.client(0).clone();
+    client.begin(move |txn| {
+        let txn = txn.expect("begin");
+        for i in 248u64..=253 {
+            txn.put(format!("user{i:012}"), "f0", format!("v{i}"))
+                .unwrap();
+        }
+        txn.commit(|_| {});
+    });
+    settle(&c);
+    let results: Rc<RefCell<Option<Vec<Vec<u8>>>>> = Rc::new(RefCell::new(None));
+    let r2 = results.clone();
+    let client2 = c.client(0).clone();
+    client2.begin(move |txn| {
+        let txn = txn.expect("begin");
+        // Rows 248 and 249 are the only committed rows below the
+        // boundary; deleting both leaves the first leg's page fully
+        // shadowed by local writes.
+        txn.delete("user000000000248", "f0").unwrap();
+        txn.delete("user000000000249", "f0").unwrap();
+        let r3 = r2.clone();
+        let txn2 = txn.clone();
+        txn.scan(
+            "user000000000248",
+            Some("user000000000254".into()),
+            4,
+            move |hits| {
+                *r3.borrow_mut() = Some(
+                    hits.unwrap()
+                        .into_iter()
+                        .map(|(r, _, _)| r.to_vec())
+                        .collect(),
+                );
+                txn2.abort();
+            },
+        );
+    });
+    settle(&c);
+    let rows = results.borrow_mut().take().expect("scan completed");
+    let rows: Vec<String> = rows
+        .iter()
+        .map(|r| String::from_utf8_lossy(r).into_owned())
+        .collect();
+    assert_eq!(
+        rows,
+        vec![
+            "user000000000250",
+            "user000000000251",
+            "user000000000252",
+            "user000000000253",
+        ],
+        "the scan must cross the region boundary to fill its limit"
+    );
+}
+
+#[test]
+fn refresh_debounce_skips_stampeding_map_fetches() {
+    // Crash a server under in-flight reads: every timed-out request
+    // asks for a region-map refresh. With `min_refresh_interval` set,
+    // the storm collapses to at most one fetch per interval — the rest
+    // are counted as skips — and the reads still retry through to the
+    // recovered region (unbounded retries are untouched).
+    let mut cfg = ClusterConfig {
+        seed: 71,
+        clients: 2,
+        servers: 2,
+        regions: 4,
+        key_count: 1_000,
+        ..ClusterConfig::default()
+    };
+    cfg.store_client_cfg.min_refresh_interval = SimDuration::from_millis(200);
+    let c = Cluster::build(cfg);
+    let client = c.client(0).clone();
+    client.begin(move |txn| {
+        let txn = txn.expect("begin");
+        for i in 0..8u64 {
+            txn.put(format!("user{:012}", i * 125), "f0", format!("v{i}"))
+                .unwrap();
+        }
+        txn.commit(|_| {});
+    });
+    settle(&c);
+    c.crash_server(0);
+    let got: Rc<Cell<u32>> = Rc::new(Cell::new(0));
+    let g2 = got.clone();
+    let client2 = c.client(0).clone();
+    client2.begin(move |txn| {
+        let txn = txn.expect("begin");
+        // Fan all reads out at once so the crashed server's timeouts
+        // land together — the refresh stampede shape.
+        for i in 0..8u64 {
+            let g3 = g2.clone();
+            txn.get(format!("user{:012}", i * 125), "f0", move |v| {
+                assert_eq!(
+                    v.unwrap().as_deref(),
+                    Some(format!("v{i}").as_bytes()),
+                    "read must survive the failover"
+                );
+                g3.set(g3.get() + 1);
+            });
+        }
+    });
+    c.run_for(SimDuration::from_secs(30));
+    assert_eq!(got.get(), 8, "all reads must complete after failover");
+    assert!(
+        c.client(0).store_client().refresh_skips() > 0,
+        "the debounce never suppressed a refresh"
+    );
+}
+
+#[test]
 fn multiple_concurrent_transactions_per_client() {
     // The paper: "a client can execute multiple transactions
     // concurrently". Launch 20 without waiting in between.
