@@ -311,13 +311,18 @@ impl CoordService {
 
     fn expire_dead_sessions(&self) {
         let now = self.sim.now();
-        let dead: Vec<SessionId> = self
+        let mut dead: Vec<SessionId> = self
             .sessions
             .borrow()
             .iter()
             .filter(|(_, s)| now.saturating_since(s.last_touch) > s.timeout)
             .map(|(id, _)| *id)
             .collect();
+        // `sessions` is a HashMap, so the collect above is in hash order,
+        // which varies per process. Expiry deletes ephemerals, and those
+        // deletes fire watches — an observable order. Sort so runs with
+        // the same seed deliver watch events identically.
+        dead.sort_unstable();
         for id in dead {
             self.sessions.borrow_mut().remove(&id);
             self.expired_sessions.set(self.expired_sessions.get() + 1);
@@ -443,6 +448,35 @@ mod tests {
             vec![WatchEvent::Deleted("/live/w".into())]
         );
         assert_eq!(svc.expired_session_count(), 1);
+    }
+
+    /// Regression (CD001): a single sweep expiring many sessions used to
+    /// process them in `sessions` HashMap order, so the ephemeral-delete
+    /// watch events reached watchers in a per-process order. They must
+    /// arrive in session-id order.
+    #[test]
+    fn mass_expiry_fires_watches_in_session_order() {
+        let (sim, _net, svc, watcher) = setup();
+        let mut paths = Vec::new();
+        for _ in 0..12 {
+            let sid = svc.create_session(watcher, SimDuration::from_secs(1));
+            let path = format!("/live/{:04}", sid.0);
+            svc.create(&path, Bytes::new(), Some(sid));
+            paths.push(path);
+        }
+        let events: Rc<RefCell<Vec<String>>> = Rc::new(RefCell::new(Vec::new()));
+        let ev2 = events.clone();
+        svc.watch_prefix("/live/", watcher, move |e| {
+            ev2.borrow_mut().push(e.path().to_owned());
+        });
+        // No touches: every session expires in the same sweep tick.
+        sim.run_until(SimTime::from_secs(5));
+        assert_eq!(svc.expired_session_count(), 12);
+        assert_eq!(
+            *events.borrow(),
+            paths,
+            "expiry watch events must arrive in session-id order"
+        );
     }
 
     #[test]

@@ -103,6 +103,7 @@ impl ServerTracker {
             );
         }
         let this = Rc::clone(self);
+        // lint:allow(CD004, reason = "heartbeat first-fire stagger draws from the seeded sim RNG; the desync avoids lockstep heartbeats and all pinned baselines include this draw")
         let first = self.sim.jitter(self.cfg.heartbeat_interval, 0.9);
         let timer = every_from(&self.sim, first, self.cfg.heartbeat_interval, move || {
             this.heartbeat();

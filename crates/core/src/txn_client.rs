@@ -392,7 +392,9 @@ impl Transaction {
             (at.start_ts, local, misses)
         };
         if misses.is_empty() {
+            #[allow(clippy::expect_used)]
             let out: Vec<Option<Bytes>> =
+                // lint:allow(CD005, reason = "internal invariant, not client input: the misses.is_empty() branch guarantees every slot was filled from the write-set")
                 local.into_iter().map(|v| v.expect("all local")).collect();
             self.inner
                 .sim
@@ -409,10 +411,13 @@ impl Transaction {
             for ((i, _, _), vv) in misses.into_iter().zip(values) {
                 out[i] = Some(vv.and_then(|v| v.value));
             }
-            done(Ok(out
+            #[allow(clippy::expect_used)]
+            let filled: Vec<Option<Bytes>> = out
                 .into_iter()
+                // lint:allow(CD005, reason = "internal invariant, not client input: every miss slot was just filled from the store batch reply above")
                 .map(|v| v.expect("filled by store batch"))
-                .collect()));
+                .collect();
+            done(Ok(filled));
         });
     }
 
@@ -495,6 +500,8 @@ impl Transaction {
             return Err(e);
         }
         let mut active = self.inner.active.borrow_mut();
+        #[allow(clippy::expect_used)]
+        // lint:allow(CD005, reason = "internal invariant, not client input: state_err() just verified the transaction is registered in `active`")
         let at = active.get_mut(&self.id).expect("checked by state_err");
         at.write_set
             .push(Mutation::put(row.into(), column.into(), value.into()));
@@ -507,6 +514,8 @@ impl Transaction {
             return Err(e);
         }
         let mut active = self.inner.active.borrow_mut();
+        #[allow(clippy::expect_used)]
+        // lint:allow(CD005, reason = "internal invariant, not client input: state_err() just verified the transaction is registered in `active`")
         let at = active.get_mut(&self.id).expect("checked by state_err");
         at.write_set
             .push(Mutation::delete(row.into(), column.into()));
@@ -527,11 +536,13 @@ impl Transaction {
             self.fail(e, done);
             return;
         }
+        #[allow(clippy::expect_used)]
         let at = self
             .inner
             .active
             .borrow_mut()
             .remove(&self.id)
+            // lint:allow(CD005, reason = "internal invariant, not client input: state_err() just verified the transaction is registered in `active`")
             .expect("checked by state_err");
         let txn = self.id;
         let ws = at.write_set;
@@ -720,6 +731,7 @@ impl TransactionalClient {
                         .coord
                         .create(&paths::client_live(inner2.id), Bytes::new(), Some(sid));
                     let inner3 = Rc::clone(&inner2);
+                    // lint:allow(CD004, reason = "client heartbeat stagger draws from the seeded sim RNG; the desync avoids lockstep heartbeats and all pinned baselines include this draw")
                     let first = inner2.sim.jitter(inner2.cfg.heartbeat_interval, 0.9);
                     let timer = every_from(
                         &inner2.sim,

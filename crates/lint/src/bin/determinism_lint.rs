@@ -1,0 +1,71 @@
+//! CLI for the workspace determinism linter.
+//!
+//! ```text
+//! determinism_lint [--json] [--deny] [--rules] [--root PATH]
+//! ```
+//!
+//! * `--json`  — emit the deterministic JSON report instead of text
+//! * `--deny`  — exit non-zero when any unsuppressed finding remains
+//!   (the CI mode; CI also runs it twice and diffs the JSON)
+//! * `--rules` — print the rule catalogue and exit
+//! * `--root`  — workspace root (default: walk up from the current
+//!   directory to the first `Cargo.toml` containing `[workspace]`)
+
+use cumulo_lint::report::{render_human, render_json};
+use cumulo_lint::rules::RULES;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut deny = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--deny" => deny = true,
+            "--rules" => {
+                for r in RULES {
+                    println!("{}  {}", r.id, r.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => root = args.next().map(PathBuf::from),
+            other => {
+                eprintln!("determinism_lint: unknown argument `{other}`");
+                eprintln!("usage: determinism_lint [--json] [--deny] [--rules] [--root PATH]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(root) = root.or_else(find_workspace_root) else {
+        eprintln!("determinism_lint: no workspace root found (try --root PATH)");
+        return ExitCode::from(2);
+    };
+    let report = cumulo_lint::lint_workspace(&root);
+    if json {
+        print!("{}", render_json(&report));
+    } else {
+        print!("{}", render_human(&report));
+    }
+    if deny && !report.findings.is_empty() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

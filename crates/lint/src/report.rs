@@ -1,0 +1,135 @@
+//! Rendering: human-readable text and deterministic JSON.
+//!
+//! Both renderings are fully determined by the findings — no
+//! timestamps, no absolute paths, no environment — so CI can run the
+//! linter twice and `diff` the outputs byte-for-byte: the linter must
+//! satisfy the same double-run probe it exists to protect.
+
+use crate::rules::{Finding, RULES};
+
+/// Aggregate result of linting a file set.
+#[derive(Clone, Debug, Default)]
+pub struct LintReport {
+    /// Surviving (unsuppressed) findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Number of files lexed and linted.
+    pub files_scanned: usize,
+    /// Total `lint:allow` directives seen.
+    pub allows_total: usize,
+    /// Directives that suppressed at least one finding.
+    pub allows_used: usize,
+}
+
+/// Renders findings like rustc diagnostics, one block per finding, with
+/// a trailing summary line.
+pub fn render_human(r: &LintReport) -> String {
+    let mut out = String::new();
+    for f in &r.findings {
+        out.push_str(&format!(
+            "error[{}]: {}\n  --> {}:{}\n   | {}\n",
+            f.rule, f.message, f.file, f.line, f.excerpt
+        ));
+    }
+    out.push_str(&format!(
+        "determinism_lint: {} finding(s) across {} file(s); {}/{} lint:allow directive(s) in use\n",
+        r.findings.len(),
+        r.files_scanned,
+        r.allows_used,
+        r.allows_total
+    ));
+    out
+}
+
+/// Renders the full report as deterministic JSON: object keys in fixed
+/// order, findings pre-sorted, `\n`-terminated.
+pub fn render_json(r: &LintReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"version\": 1,\n");
+    out.push_str(&format!("  \"files_scanned\": {},\n", r.files_scanned));
+    out.push_str(&format!(
+        "  \"allows\": {{\"total\": {}, \"used\": {}}},\n",
+        r.allows_total, r.allows_used
+    ));
+    out.push_str("  \"rules\": [");
+    for (i, rule) in RULES.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{}\"", rule.id));
+    }
+    out.push_str("],\n");
+    out.push_str("  \"findings\": [");
+    for (i, f) in r.findings.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}, \"excerpt\": {}}}",
+            json_str(&f.file),
+            f.line,
+            json_str(f.rule),
+            json_str(&f.message),
+            json_str(&f.excerpt)
+        ));
+    }
+    if !r.findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Minimal JSON string escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LintReport {
+        LintReport {
+            findings: vec![Finding {
+                file: "crates/x/src/lib.rs".to_owned(),
+                line: 3,
+                rule: "CD001",
+                message: "iteration over `m`".to_owned(),
+                excerpt: "for k in m.keys() { \"q\\\" }".to_owned(),
+            }],
+            files_scanned: 2,
+            allows_total: 1,
+            allows_used: 1,
+        }
+    }
+
+    #[test]
+    fn json_is_stable_and_escapes() {
+        let a = render_json(&sample());
+        let b = render_json(&sample());
+        assert_eq!(a, b);
+        assert!(a.contains("\\\""));
+        assert!(a.ends_with("}\n"));
+    }
+
+    #[test]
+    fn human_render_mentions_rule_file_line() {
+        let h = render_human(&sample());
+        assert!(h.contains("error[CD001]"));
+        assert!(h.contains("crates/x/src/lib.rs:3"));
+        assert!(h.contains("1 finding(s)"));
+    }
+}

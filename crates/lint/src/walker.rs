@@ -1,0 +1,250 @@
+//! Workspace discovery: finds every Rust file the linter must scan by
+//! following `mod` declarations from each crate root.
+//!
+//! Roots are, per workspace member (vendored `third_party/` subsets are
+//! deliberately skipped — they are frozen API shims, not simulation
+//! code): `src/lib.rs`, `src/main.rs`, every `src/bin/*.rs`,
+//! `tests/*.rs`, `benches/*.rs` and `examples/*.rs`. From each root the
+//! walker lexes the file and follows `mod name;` declarations (including
+//! through inline `mod name { ... }` nesting and `#[path = "..."]`
+//! overrides) to `name.rs` / `name/mod.rs`, so a stray `.rs` file that
+//! no crate compiles is never linted — exactly the set rustc sees.
+
+use crate::lexer::{lex, TokKind, Token};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// Returns the sorted, de-duplicated, workspace-relative list of Rust
+/// files reachable from the workspace's crate roots.
+///
+/// `root` is the workspace root (the directory holding the top-level
+/// `Cargo.toml`). Unreadable or missing files are skipped silently —
+/// `cfg`'d-out modules routinely point at files that exist only on
+/// other platforms.
+pub fn workspace_files(root: &Path) -> Vec<PathBuf> {
+    let mut visited: BTreeSet<PathBuf> = BTreeSet::new();
+    for dir in member_dirs(root) {
+        for r in package_roots(&root.join(&dir)) {
+            follow(root, dir.join(r), &mut visited);
+        }
+    }
+    visited.into_iter().collect()
+}
+
+/// Workspace member directories (relative), plus the root package, with
+/// `third_party/` members filtered out.
+fn member_dirs(root: &Path) -> Vec<PathBuf> {
+    let mut dirs = Vec::new();
+    let manifest = std::fs::read_to_string(root.join("Cargo.toml")).unwrap_or_default();
+    let mut in_members = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with("members") && line.contains('[') {
+            in_members = true;
+        }
+        if in_members {
+            for piece in line.split(',') {
+                let piece = piece.trim().trim_matches(|c| c == '[' || c == ']').trim();
+                if let Some(name) = piece.strip_prefix('"').and_then(|p| p.strip_suffix('"')) {
+                    if !name.starts_with("third_party") {
+                        dirs.push(PathBuf::from(name));
+                    }
+                }
+            }
+            if line.contains(']') {
+                in_members = false;
+            }
+        }
+    }
+    // The umbrella root package (integration tests + examples).
+    if manifest.contains("[package]") {
+        dirs.push(PathBuf::from("."));
+    }
+    dirs
+}
+
+/// Compilation roots of one package directory, relative to it.
+fn package_roots(pkg: &Path) -> Vec<PathBuf> {
+    let mut roots = Vec::new();
+    for fixed in ["src/lib.rs", "src/main.rs"] {
+        if pkg.join(fixed).is_file() {
+            roots.push(PathBuf::from(fixed));
+        }
+    }
+    for dir in ["src/bin", "tests", "benches", "examples"] {
+        let Ok(entries) = std::fs::read_dir(pkg.join(dir)) else {
+            continue;
+        };
+        let mut names: Vec<PathBuf> = entries
+            .flatten()
+            .filter(|e| e.path().extension().is_some_and(|x| x == "rs"))
+            .map(|e| PathBuf::from(dir).join(e.file_name()))
+            .collect();
+        names.sort();
+        roots.append(&mut names);
+    }
+    roots
+}
+
+/// Depth-first walk from one file, pushing every reached file (relative
+/// to the workspace root) into `visited`.
+fn follow(root: &Path, rel: PathBuf, visited: &mut BTreeSet<PathBuf>) {
+    let rel = normalize(&rel);
+    if !visited.insert(rel.clone()) {
+        return;
+    }
+    let Ok(src) = std::fs::read_to_string(root.join(&rel)) else {
+        visited.remove(&rel);
+        return;
+    };
+    let toks = lex(&src).tokens;
+    // Children of `lib.rs`/`main.rs`/`mod.rs` and of any compilation
+    // root (tests/foo.rs, src/bin/foo.rs) live next to the file; children
+    // of an ordinary module file `src/foo.rs` live in `src/foo/`.
+    let file_name = rel.file_name().and_then(|n| n.to_str()).unwrap_or("");
+    let parent = rel.parent().unwrap_or(Path::new("")).to_path_buf();
+    let is_root_like = matches!(file_name, "lib.rs" | "main.rs" | "mod.rs")
+        || parent.ends_with("tests")
+        || parent.ends_with("benches")
+        || parent.ends_with("examples")
+        || parent.ends_with("bin");
+    let base = if is_root_like {
+        parent
+    } else {
+        parent.join(rel.file_stem().and_then(|n| n.to_str()).unwrap_or(""))
+    };
+
+    // Inline-module nesting: (name, brace depth at entry).
+    let mut inline: Vec<(String, usize)> = Vec::new();
+    let mut depth = 0usize;
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Punct, "{") => depth += 1,
+            (TokKind::Punct, "}") => {
+                depth = depth.saturating_sub(1);
+                while inline.last().is_some_and(|(_, d)| *d > depth) {
+                    inline.pop();
+                }
+            }
+            (TokKind::Ident, "mod") => {
+                if let Some(name_tok) = toks.get(i + 1) {
+                    if name_tok.kind == TokKind::Ident {
+                        match toks.get(i + 2).map(|t| t.text.as_str()) {
+                            Some(";") => {
+                                let sub = resolve_child(
+                                    &base,
+                                    &inline,
+                                    &name_tok.text,
+                                    path_override(&toks, i),
+                                );
+                                for cand in sub {
+                                    if root.join(&cand).is_file() {
+                                        follow(root, cand, visited);
+                                        break;
+                                    }
+                                }
+                                i += 2;
+                            }
+                            Some("{") => {
+                                depth += 1;
+                                inline.push((name_tok.text.clone(), depth));
+                                i += 2;
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// Candidate paths for `mod name;` declared under `inline` nesting.
+fn resolve_child(
+    base: &Path,
+    inline: &[(String, usize)],
+    name: &str,
+    path_attr: Option<String>,
+) -> Vec<PathBuf> {
+    let mut dir = base.to_path_buf();
+    for (m, _) in inline {
+        dir = dir.join(m);
+    }
+    if let Some(p) = path_attr {
+        return vec![normalize(&dir.join(p))];
+    }
+    vec![
+        normalize(&dir.join(format!("{name}.rs"))),
+        normalize(&dir.join(name).join("mod.rs")),
+    ]
+}
+
+/// If tokens directly before the `mod` at `mod_idx` are
+/// `#[path = "..."]`, returns the path string.
+fn path_override(toks: &[Token], mod_idx: usize) -> Option<String> {
+    if mod_idx < 6 {
+        return None;
+    }
+    let window = &toks[mod_idx - 6..mod_idx];
+    let shape: Vec<&str> = window
+        .iter()
+        .map(|t| match t.kind {
+            TokKind::Str => "\"\"",
+            _ => t.text.as_str(),
+        })
+        .collect();
+    if shape == ["#", "[", "path", "=", "\"\"", "]"] {
+        return Some(window[4].text.clone());
+    }
+    None
+}
+
+/// Lexically removes `.` components so joined paths compare equal.
+fn normalize(p: &Path) -> PathBuf {
+    let mut out = PathBuf::new();
+    for c in p.components() {
+        match c {
+            std::path::Component::CurDir => {}
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The walker, run over this workspace, reaches this very file and
+    /// never reaches the vendored subsets or the test fixture corpus.
+    #[test]
+    fn walks_this_workspace() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let files = workspace_files(&root);
+        assert!(!files.is_empty());
+        let has = |s: &str| files.iter().any(|f| f.ends_with(s));
+        assert!(has("crates/lint/src/walker.rs"), "missed ourselves");
+        assert!(has("crates/sim/src/kernel.rs"));
+        assert!(has("tests/common/mod.rs") || has("tests/chaos.rs"));
+        assert!(
+            !files.iter().any(|f| f.starts_with("third_party")),
+            "vendored subsets must not be linted"
+        );
+        assert!(
+            !files
+                .iter()
+                .any(|f| f.to_string_lossy().contains("tests/fixtures/")),
+            "fixture corpus must not be linted"
+        );
+        assert!(
+            has("crates/lint/tests/fixtures_test.rs"),
+            "the fixture harness itself is real code and must be linted"
+        );
+        // Deterministic: same inputs, same sorted list.
+        assert_eq!(files, workspace_files(&root));
+    }
+}

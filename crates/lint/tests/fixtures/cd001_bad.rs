@@ -1,0 +1,26 @@
+// Fixture: hash-ordered iteration escaping into ordered context.
+// Linted as crates/store/src/fixture.rs. Not compiled.
+use std::collections::HashMap;
+
+fn emit_all(m: &HashMap<u64, u64>) -> Vec<u64> {
+    let mut out = Vec::new();
+    for (k, v) in m.iter() { //~ CD001
+        out.push(k + v);
+    }
+    out
+}
+
+fn escape_keys(m: &HashMap<String, u64>) -> Vec<String> {
+    m.keys().cloned().collect() //~ CD001
+}
+
+fn bare_for(set: &std::collections::HashSet<u64>) {
+    for k in set { //~ CD001
+        emit(*k);
+    }
+}
+
+fn local_binding() -> Vec<u64> {
+    let m = HashMap::new();
+    m.into_values().collect() //~ CD001
+}

@@ -1,0 +1,28 @@
+// Fixture: map iterations whose order provably cannot escape — none of
+// these may produce findings. Linted as crates/store/src/fixture.rs.
+use std::collections::HashMap;
+
+fn total(m: &HashMap<u64, u64>) -> u64 {
+    m.values().sum()
+}
+
+fn biggest(m: &HashMap<u64, u64>) -> Option<u64> {
+    m.values().copied().max()
+}
+
+fn any_zero(m: &HashMap<u64, u64>) -> bool {
+    m.values().any(|v| *v == 0)
+}
+
+fn sorted_keys(m: &HashMap<u64, u64>) -> Vec<u64> {
+    let mut keys: Vec<u64> = m.keys().copied().collect();
+    keys.sort_unstable();
+    keys
+}
+
+fn annotated(m: &HashMap<u64, u64>) {
+    // lint:allow(CD001, reason = "fixture: demonstrates a correctly used directive")
+    for k in m.keys() {
+        emit(*k);
+    }
+}

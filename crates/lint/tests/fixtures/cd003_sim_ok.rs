@@ -1,0 +1,11 @@
+// Fixture: the simulator itself is the one place allowed to name
+// wall-clock types (it defines the virtual clock and its docs compare
+// against real time). Linted as crates/sim/src/fixture.rs — no findings.
+
+fn virtual_now(sim: &Sim) -> SimTime {
+    sim.now()
+}
+
+fn doc_example() {
+    let _t = std::time::Instant::now();
+}

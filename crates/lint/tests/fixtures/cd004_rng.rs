@@ -1,0 +1,29 @@
+// Fixture: ambient RNG anywhere, and jitter drawn in startup paths.
+// Linted as crates/store/src/fixture.rs.
+
+fn seed_from_os() -> u64 {
+    let mut rng = rand::thread_rng(); //~ CD004
+    next(&mut rng)
+}
+
+fn pick() -> u64 {
+    rand::random() //~ CD004
+}
+
+struct Component;
+
+impl Component {
+    fn start(&self, sim: &Sim) {
+        let _phase = sim.jitter(interval(), 0.5); //~ CD004
+    }
+
+    fn with_timer(&self, sim: &Sim) {
+        let _phase = sim.jitter(interval(), 0.5); //~ CD004
+    }
+
+    fn tick(&self, sim: &Sim) {
+        // Fine: periodic steady-state draws are part of the calibrated
+        // stream; only startup-path draws shift phases.
+        let _phase = sim.jitter(interval(), 0.5);
+    }
+}

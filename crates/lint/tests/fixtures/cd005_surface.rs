@@ -1,0 +1,30 @@
+// Fixture: the cumulo-core public client surface must never panic on
+// misuse (PR 5 contract). Linted as crates/core/src/txn_client.rs.
+
+impl Txn {
+    pub fn read(&self) -> u64 {
+        self.slot.get().unwrap() //~ CD005
+    }
+
+    pub fn must(&self, ok: bool) {
+        if !ok {
+            panic!("misuse"); //~ CD005
+        }
+    }
+
+    pub fn lookup(&self, k: u64) -> u64 {
+        self.table.get(&k).copied().expect("present") //~ CD005
+    }
+
+    pub fn later(&self) {
+        todo!() //~ CD005
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        Some(1u64).unwrap();
+    }
+}

@@ -1,0 +1,13 @@
+// Fixture: derive(Hash)-keyed collections declared in scheduling/output
+// paths are flagged for review. Linted as crates/bench/src/fixture.rs.
+
+#[derive(Hash, PartialEq, Eq)]
+struct LaneKey {
+    region: u64,
+    backup: u32,
+}
+
+struct Tracker {
+    lanes: HashMap<LaneKey, u64>, //~ CD006
+    by_name: HashMap<String, u64>,
+}

@@ -1,0 +1,69 @@
+//! Property tests for the lexer: it is fed every file the workspace
+//! compiles, so it must never panic and must keep its line accounting
+//! honest on arbitrary input — including byte soup that is nothing like
+//! Rust, unterminated strings, and nested comment edge cases.
+
+use cumulo_lint::lexer::lex;
+use proptest::prelude::*;
+
+proptest! {
+    /// Arbitrary (lossily decoded) bytes: no panics, and the reported
+    /// line count and every token/directive line stay consistent with
+    /// the source's actual newline count.
+    #[test]
+    fn lexer_survives_byte_soup(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let lexed = lex(&src);
+        let newlines = src.matches('\n').count() as u32;
+        prop_assert_eq!(lexed.lines, newlines + 1);
+        for t in &lexed.tokens {
+            prop_assert!(t.line >= 1 && t.line <= lexed.lines);
+        }
+        for a in &lexed.allows {
+            prop_assert!(a.line >= 1 && a.line <= lexed.lines);
+        }
+    }
+
+    /// Rust-ish soup assembled from tricky fragments (raw strings,
+    /// nested block comments, char literals vs lifetimes, directives):
+    /// still no panics, still consistent line accounting.
+    #[test]
+    fn lexer_survives_rustish_soup(
+        picks in prop::collection::vec(0usize..FRAGMENTS.len(), 0..64),
+    ) {
+        let src: String = picks
+            .iter()
+            .map(|i| FRAGMENTS[*i])
+            .collect::<Vec<_>>()
+            .join("\n");
+        let lexed = lex(&src);
+        let newlines = src.matches('\n').count() as u32;
+        prop_assert_eq!(lexed.lines, newlines + 1);
+        for t in &lexed.tokens {
+            prop_assert!(t.line >= 1 && t.line <= lexed.lines);
+        }
+    }
+}
+
+const FRAGMENTS: &[&str] = &[
+    "fn f() {}",
+    "let s = \"multi\\nline \\\" escape\";",
+    "let r = r#\"raw \" with quote\"#;",
+    "let r2 = r##\"nested \"# hash\"##;",
+    "/* block /* nested */ still comment */",
+    "/* unterminated",
+    "// line comment with \"quote\" and 'tick'",
+    "// lint:allow(CD001, reason = \"soup\")",
+    "// lint:allow(CD001)",
+    "// lint:allow(",
+    "let c = 'x';",
+    "let nl = '\\n';",
+    "let lt: &'static str = \"lifetime vs char\";",
+    "for (k, v) in m.iter() { body(k, v); }",
+    "\"unterminated string",
+    "r#\"unterminated raw",
+    "let weird = 0xFFu64 + 1_000;",
+    "}}}}",
+    "((((",
+    "#[derive(Hash, Eq)] struct K;",
+];

@@ -497,6 +497,7 @@ impl Master {
                 .filter_map(|k| pending.remove(&k))
                 .collect()
         };
+        // lint:allow(CD001, reason = "false positive: this `merge_intents` is the local Vec built above, already sorted by key — it shadows the map field of the same name")
         for intent in merge_intents {
             self.rollback_merge_intent(intent);
         }

@@ -165,6 +165,53 @@ fn write_then_read_roundtrip() {
     assert!(c.client.gets_ok() >= 20);
 }
 
+/// Regression (CD001): `handle_get` used to pick the serving region with
+/// `regions.values().find(...)` — HashMap iteration order. When an offline
+/// region also covers the row (a failover or split window), whether a get
+/// served or bounced `NotServing` depended on per-process hash order. The
+/// pick must prefer the online region deterministically.
+#[test]
+fn get_prefers_online_region_over_offline_coverers() {
+    let c = build(11, 1, 1, WalSyncMode::Async);
+    write_rows(&c, 1, 5);
+    // Pile whole-keyspace *offline* regions onto the same server: a
+    // non-empty recovered-edits list keeps each offline until its (bogus)
+    // WAL read completes, which cannot happen before the sim runs again.
+    let server = &c.servers[0];
+    for i in 0..8u32 {
+        server.open_region(
+            cumulo_store::RegionDescriptor {
+                id: cumulo_store::RegionId(1000 + i),
+                start: Bytes::new(),
+                end: None,
+            },
+            Vec::new(),
+            vec![format!("/bogus/recovered-{i}")],
+            None,
+        );
+    }
+    // Issue the get directly at the server: the region pick happens
+    // synchronously, while eight of the nine covering regions are offline.
+    let out: Rc<RefCell<Option<Result<Option<Bytes>, cumulo_store::StoreError>>>> =
+        Rc::new(RefCell::new(None));
+    let o = out.clone();
+    server.handle_get(
+        key(0),
+        Bytes::from_static(b"f0"),
+        Timestamp(1000),
+        move |r| {
+            *o.borrow_mut() = Some(r.map(|vv| vv.and_then(|vv| vv.value)));
+        },
+    );
+    c.sim.run_for(SimDuration::from_secs(2));
+    let got = out.borrow_mut().take().expect("get completed");
+    assert_eq!(
+        got.expect("online region must serve the get"),
+        Some(Bytes::from_static(b"value-1")),
+        "get must be served by the online region, not bounced by an offline coverer"
+    );
+}
+
 #[test]
 fn snapshot_isolation_versions() {
     let c = build(2, 2, 4, WalSyncMode::Async);

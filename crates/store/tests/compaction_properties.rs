@@ -83,6 +83,7 @@ fn folded_scan(files: &[Rc<StoreFileData>], snap: u64) -> HashMap<(Bytes, Bytes)
         }
     }
     merged
+        // lint:allow(CD001, reason = "map-to-map transform: the collect target is itself a HashMap keyed per cell, so iteration order cannot be observed")
         .into_iter()
         .filter_map(|(k, (_, v))| v.map(|v| (k, v)))
         .collect()
@@ -278,6 +279,7 @@ proptest! {
                 }
             }
             keep.extend(
+                // lint:allow(CD001, reason = "false positive: this `merged` is a MultiMergeResult whose outputs is a key-ordered Vec — the name collides with folded_scan's fold map")
                 merged.outputs.into_iter().map(|sf| (Rc::new(sf), job.output_level)),
             );
             files = keep;

@@ -204,19 +204,23 @@ impl TransactionManager {
     /// Client-failure notification (from the recovery manager): aborts
     /// every transaction the dead client still had open, releasing their
     /// pinned snapshots so the MVCC garbage-collection watermark can keep
-    /// advancing. Returns how many transactions were reaped.
-    pub fn handle_client_failed(&self, client: ClientId) -> usize {
-        let doomed: Vec<TxnId> = self
+    /// advancing. Returns the reaped transactions in `TxnId` order.
+    pub fn handle_client_failed(&self, client: ClientId) -> Vec<TxnId> {
+        let mut doomed: Vec<TxnId> = self
             .active
             .borrow()
             .iter()
             .filter(|(_, info)| info.client == client)
             .map(|(id, _)| *id)
             .collect();
+        // `active` is a HashMap; aborting in its iteration order would
+        // release locks and emit trace events in a per-process order.
+        // Reap in TxnId order so recovery runs stay byte-identical.
+        doomed.sort_unstable();
         for txn in &doomed {
             self.handle_abort(*txn);
         }
-        doomed.len()
+        doomed
     }
 
     /// Abort request: the buffered write-set is simply discarded (§2.2:
@@ -490,11 +494,34 @@ mod tests {
         let (_c, _) = tm.handle_begin(ClientId(8));
         assert_eq!(tm.active_count(), 3);
         assert_eq!(tm.oldest_active_snapshot(), snap);
-        assert_eq!(tm.handle_client_failed(ClientId(7)), 2);
+        assert_eq!(tm.handle_client_failed(ClientId(7)).len(), 2);
         assert_eq!(tm.active_count(), 1, "only the live client's txn remains");
         assert_eq!(tm.abort_count(), 2);
         // Reaping twice is a no-op.
-        assert_eq!(tm.handle_client_failed(ClientId(7)), 0);
+        assert!(tm.handle_client_failed(ClientId(7)).is_empty());
+    }
+
+    /// Regression (CD001): reaping a failed client's transactions used to
+    /// walk the `active` HashMap in hash order, aborting (and unpinning
+    /// snapshots) in a per-process order. The reap must be in TxnId order.
+    #[test]
+    fn client_failure_reaps_in_txn_id_order() {
+        let (_sim, tm) = tm();
+        // Interleave the doomed client's begins with a survivor's so the
+        // doomed TxnIds are non-contiguous.
+        let mut doomed_ids = Vec::new();
+        for i in 0..24u32 {
+            let client = ClientId(1 + (i % 2));
+            let (txn, _) = tm.handle_begin(client);
+            if client == ClientId(1) {
+                doomed_ids.push(txn);
+            }
+        }
+        let reaped = tm.handle_client_failed(ClientId(1));
+        doomed_ids.sort_unstable();
+        assert_eq!(reaped, doomed_ids, "reap must be exactly in TxnId order");
+        assert_eq!(tm.abort_count(), 12);
+        assert_eq!(tm.active_count(), 12, "the survivor's txns stay open");
     }
 
     #[test]

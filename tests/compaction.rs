@@ -78,6 +78,7 @@ fn write_load(cluster: &Cluster, rounds: u64) -> Rc<RefCell<HashMap<u64, (u64, S
 }
 
 fn verify_acked(cluster: &Cluster, acked: &HashMap<u64, (u64, String)>) {
+    // lint:allow(CD001, reason = "per-row verification: each iteration independently asserts one row's value; visit order affects nothing but which assertion fires first on failure")
     for (row, (_, val)) in acked.iter() {
         let got = cluster.read_cell(key(*row), "f0", SimDuration::from_secs(10));
         let got = got.unwrap_or_else(|| panic!("acked row {row} missing"));
@@ -254,6 +255,7 @@ fn policy_switch_under_crash_recovery_loses_no_data() {
     // Newest acked value per row across all three phases must survive.
     let mut newest: HashMap<u64, (u64, String)> = HashMap::new();
     for acked in [&acked1, &acked2, &acked3] {
+        // lint:allow(CD001, reason = "order-independent merge: newest-timestamp-wins fold into a map, commutative because commit timestamps are unique per row")
         for (row, (ts, val)) in acked.borrow().iter() {
             match newest.get(row) {
                 Some((old_ts, _)) if *old_ts > *ts => {}
